@@ -1,0 +1,115 @@
+//! `repro` — regenerate any table or figure from the paper.
+//!
+//! ```text
+//! repro [--sf <scale>] [--seed <n>] <experiment>...
+//! experiments: table1 table2 fig4 fig9 fig10 fig11 fig12 fig13
+//!              fig15 fig16 fig17 table3 table4 table5 calibrate ablation all
+//! ```
+//!
+//! The paper runs at TPC-H scale factor 0.2 on real hardware; the default
+//! here is 0.02 because every tuple pays for cache simulation. Shapes (who
+//! wins, by what factor, where crossovers fall) are scale-invariant.
+
+use bufferdb_bench::experiments as exp;
+use bufferdb_bench::experiments::ExperimentCtx;
+use bufferdb_tpch::queries::JoinMethod;
+
+const USAGE: &str = "usage: repro [--sf <scale>] [--seed <n>] <experiment>...
+experiments:
+  table1    machine specification
+  table2    operator instruction footprints
+  fig4      Query 1 breakdown (unbuffered)
+  fig9      Query 2 original vs buffered (no benefit expected)
+  fig10     Query 1 original vs buffered
+  fig11     cardinality sweep
+  fig12     buffer-size sweep (elapsed)
+  fig13     buffer-size sweep (breakdown)
+  fig15     Query 3, nested-loop join
+  fig16     Query 3, hash join
+  fig17     Query 3, merge join
+  table3    overall improvement, three join methods
+  table4    CPI, three join methods
+  table5    TPC-H Q1/Q6/Q12/Q14 original vs refined
+  calibrate cardinality-threshold calibration
+  ablation  predictor / placement / cache-size / copy-buffer / cross-arch
+  blockcmp  buffering vs block-oriented processing (related work)
+  misscurve i-cache miss rate vs capacity, interleaved vs batched
+  all       everything above";
+
+fn main() {
+    let mut scale = 0.02_f64;
+    let mut seed = 42_u64;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sf" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--sf needs a number"));
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        die("no experiment given");
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "table1", "table2", "fig4", "fig9", "fig10", "fig11", "fig12", "fig13", "fig15",
+            "fig16", "fig17", "table3", "table4", "table5", "calibrate", "ablation",
+            "blockcmp", "misscurve",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    eprintln!("generating TPC-H catalog at scale factor {scale} (seed {seed})…");
+    let ctx = ExperimentCtx::new(scale, seed);
+    eprintln!(
+        "lineitem rows: {}\n",
+        ctx.catalog.table("lineitem").expect("lineitem").row_count()
+    );
+
+    for e in &experiments {
+        let report = match e.as_str() {
+            "table1" => exp::table1(&ctx),
+            "table2" => exp::table2(),
+            "fig4" => exp::fig4(&ctx),
+            "fig9" => exp::fig9(&ctx),
+            "fig10" => exp::fig10(&ctx),
+            "fig11" => exp::fig11(&ctx),
+            "fig12" => exp::fig12(&ctx),
+            "fig13" => exp::fig13(&ctx),
+            "fig15" => exp::join_figure(&ctx, JoinMethod::NestLoop),
+            "fig16" => exp::join_figure(&ctx, JoinMethod::HashJoin),
+            "fig17" => exp::join_figure(&ctx, JoinMethod::MergeJoin),
+            "table3" => exp::table3(&ctx),
+            "table4" => exp::table4(&ctx),
+            "table5" => exp::table5(&ctx),
+            "calibrate" => exp::calibrate(&ctx),
+            "ablation" => exp::ablation(&ctx),
+            "blockcmp" => exp::blockcmp(&ctx),
+            "misscurve" => exp::misscurve(&ctx),
+            other => die(&format!("unknown experiment {other:?}")),
+        };
+        println!("{report}");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2)
+}

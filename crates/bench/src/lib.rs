@@ -1,0 +1,45 @@
+//! Experiment harness: one function per table/figure of the paper.
+//!
+//! Each experiment returns a plain-text report whose rows mirror what the
+//! paper charts. The `repro` binary dispatches on experiment id; the
+//! Criterion benches and integration tests reuse the same functions.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+
+pub use experiments::*;
+pub use runner::{run_plan, RunResult};
+
+/// Execute Query 1 with the ablation-only **copying** buffer (§5 argues the
+/// production buffer must store pointers instead). Built by hand because
+/// plans always instantiate the pointer variant. Returns
+/// `(modeled seconds, instructions retired)`.
+pub fn run_copy_buffered_query1(ctx: &experiments::ExperimentCtx) -> (f64, u64) {
+    use bufferdb_core::context::ExecContext;
+    use bufferdb_core::exec::agg::AggregateOp;
+    use bufferdb_core::exec::copybuffer::CopyBufferOp;
+    use bufferdb_core::exec::seqscan::SeqScanOp;
+    use bufferdb_core::exec::Operator;
+    use bufferdb_core::footprint::FootprintModel;
+    use bufferdb_core::plan::PlanNode;
+
+    let plan = bufferdb_tpch::queries::paper_query1(&ctx.catalog).expect("query 1");
+    let PlanNode::Aggregate { input, group_by, aggs } = plan else { unreachable!() };
+    let PlanNode::SeqScan { table, predicate, .. } = *input else { unreachable!() };
+
+    let mut fm = FootprintModel::new();
+    let scan =
+        Box::new(SeqScanOp::new(&ctx.catalog, &mut fm, &table, predicate, None).expect("scan"));
+    let copy = Box::new(CopyBufferOp::new(&mut fm, scan, ctx.refine.buffer_size).expect("copy"));
+    let mut agg = AggregateOp::new(&mut fm, copy, group_by, aggs).expect("agg");
+
+    let mut exec_ctx = ExecContext::new(ctx.machine.clone());
+    agg.open(&mut exec_ctx).expect("open");
+    while agg.next(&mut exec_ctx).expect("next").is_some() {}
+    agg.close(&mut exec_ctx).expect("close");
+    let counters = exec_ctx.machine.snapshot();
+    let breakdown = exec_ctx.machine.breakdown_for(&counters);
+    (breakdown.seconds(), counters.instructions)
+}

@@ -1,0 +1,105 @@
+//! Shared plan-execution helpers for the experiments.
+
+use bufferdb_cachesim::MachineConfig;
+use bufferdb_core::exec::execute_with_stats;
+use bufferdb_core::plan::PlanNode;
+use bufferdb_core::stats::ExecStats;
+use bufferdb_storage::Catalog;
+use bufferdb_types::Tuple;
+
+/// One executed plan with its measurements.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Display label ("Original Plan", "Buffered Plan", …).
+    pub label: String,
+    /// Result rows.
+    pub rows: Vec<Tuple>,
+    /// Simulated counters and cost breakdown.
+    pub stats: ExecStats,
+}
+
+impl RunResult {
+    /// The paper-style breakdown row for this run.
+    pub fn chart_row(&self) -> String {
+        self.stats.breakdown.chart_row(&self.label)
+    }
+}
+
+/// Execute `plan` and package the measurements.
+pub fn run_plan(
+    label: &str,
+    plan: &PlanNode,
+    catalog: &Catalog,
+    cfg: &MachineConfig,
+) -> RunResult {
+    let (rows, stats) = execute_with_stats(plan, catalog, cfg)
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    RunResult { label: label.to_string(), rows, stats }
+}
+
+/// Percentage reduction of `after` relative to `before` (positive = fewer).
+pub fn reduction(before: u64, after: u64) -> f64 {
+    if before == 0 {
+        0.0
+    } else {
+        100.0 * (before as f64 - after as f64) / before as f64
+    }
+}
+
+/// Format a side-by-side original/buffered comparison in the paper's style.
+pub fn comparison_report(title: &str, original: &RunResult, buffered: &RunResult) -> String {
+    let (o, b) = (&original.stats, &buffered.stats);
+    let mut s = String::new();
+    s.push_str(&format!("== {title} ==\n"));
+    s.push_str(&format!("{}\n", original.chart_row()));
+    s.push_str(&format!("{}\n", buffered.chart_row()));
+    s.push_str(&format!(
+        "trace (L1i) misses : {:>12} -> {:>12}  ({:+.1}% reduction)\n",
+        o.counters.l1i_misses,
+        b.counters.l1i_misses,
+        reduction(o.counters.l1i_misses, b.counters.l1i_misses)
+    ));
+    s.push_str(&format!(
+        "branch mispredicts : {:>12} -> {:>12}  ({:+.1}% reduction)\n",
+        o.counters.mispredictions,
+        b.counters.mispredictions,
+        reduction(o.counters.mispredictions, b.counters.mispredictions)
+    ));
+    s.push_str(&format!(
+        "L2 misses          : {:>12} -> {:>12}  ({:+.1}% reduction)\n",
+        o.counters.l2_misses_uncovered(),
+        b.counters.l2_misses_uncovered(),
+        reduction(o.counters.l2_misses_uncovered(), b.counters.l2_misses_uncovered())
+    ));
+    s.push_str(&format!(
+        "ITLB misses        : {:>12} -> {:>12}  ({:+.1}% reduction)\n",
+        o.counters.itlb_misses,
+        b.counters.itlb_misses,
+        reduction(o.counters.itlb_misses, b.counters.itlb_misses)
+    ));
+    s.push_str(&format!(
+        "instructions       : {:>12} -> {:>12}  ({:+.2}% change)\n",
+        o.counters.instructions,
+        b.counters.instructions,
+        -reduction(o.counters.instructions, b.counters.instructions)
+    ));
+    s.push_str(&format!(
+        "elapsed (modeled)  : {:>10.3}s -> {:>10.3}s  ({:+.1}% improvement)\n",
+        o.seconds(),
+        b.seconds(),
+        100.0 * b.improvement_over(o)
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_math() {
+        assert_eq!(reduction(100, 20), 80.0);
+        assert_eq!(reduction(0, 5), 0.0);
+        assert_eq!(reduction(100, 150), -50.0);
+    }
+}

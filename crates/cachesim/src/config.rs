@@ -1,0 +1,293 @@
+//! Machine configuration: cache geometries, predictor choice, latencies.
+
+use crate::branch::PredictorKind;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be `line_size * associativity * sets`.
+    pub capacity: usize,
+    /// Line size in bytes (power of two).
+    pub line_size: usize,
+    /// Ways per set.
+    pub associativity: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        self.capacity / (self.line_size * self.associativity)
+    }
+
+    /// Validate the geometry (power-of-two line size and set count, capacity
+    /// divisible by `line_size * associativity`).
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.line_size.is_power_of_two() {
+            return Err(format!("line size {} not a power of two", self.line_size));
+        }
+        if !self.capacity.is_multiple_of(self.line_size * self.associativity) {
+            return Err(format!(
+                "capacity {} not divisible by line*assoc {}",
+                self.capacity,
+                self.line_size * self.associativity
+            ));
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(format!("set count {} not a power of two", self.sets()));
+        }
+        Ok(())
+    }
+}
+
+/// Branch-prediction hardware description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchConfig {
+    /// Which predictor to simulate.
+    pub kind: PredictorKind,
+    /// Two-bit-counter table size (power of two).
+    pub table_entries: usize,
+    /// Global history bits (gshare only).
+    pub history_bits: u32,
+}
+
+/// Miss latencies in cycles, following the paper's Table 1 (see DESIGN.md for
+/// the OCR reconstruction of the dropped digits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latencies {
+    /// L1 instruction (trace) cache miss: lower bound per §3 accounting.
+    pub l1i_miss: u64,
+    /// L1 data miss that hits in L2.
+    pub l1d_miss: u64,
+    /// L2 miss to memory.
+    pub l2_miss: u64,
+    /// Residual cost of an L2 miss the sequential prefetcher covered: the
+    /// hardware runs ahead but not infinitely far, so "hidden" misses still
+    /// cost a few cycles on average (§7.4: prefetch "hides most of the L2
+    /// data cache miss latency").
+    pub l2_covered: u64,
+    /// Branch misprediction (20-stage pipeline).
+    pub branch_misprediction: u64,
+    /// ITLB miss (page-walk); the paper calls its impact "relatively small".
+    pub itlb_miss: u64,
+}
+
+/// Full machine description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// L1 instruction cache (trace-cache equivalent).
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified second-level cache.
+    pub l2: CacheConfig,
+    /// First-level ITLB entries (fully associative, 4 KB pages).
+    pub itlb_entries: usize,
+    /// Branch predictor.
+    pub branch: BranchConfig,
+    /// Penalty latencies.
+    pub latencies: Latencies,
+    /// Base cost per instruction in milli-cycles: the no-stall issue cost,
+    /// covering decode, dependency and resource stalls that the explicit
+    /// penalty terms do not. Fitted once (3.5 cycles/instruction) so the
+    /// unbuffered Query 1 breakdown has the paper's Figure 4 proportions —
+    /// DB workloads on the Pentium 4 ran at CPI ≈ 4-6 — and never re-tuned
+    /// per experiment.
+    pub base_cpi_milli: u64,
+    /// Clock rate used to convert cycles to seconds.
+    pub clock_hz: u64,
+    /// Number of sequential streams the hardware prefetcher tracks.
+    pub prefetch_streams: usize,
+}
+
+impl MachineConfig {
+    /// A Pentium-4-like preset matching the paper's Table 1 (2 GHz, 16 KB
+    /// trace-cache equivalent, 16 KB L1d, 256 KB L2).
+    ///
+    /// The default predictor is bimodal with a 512-entry table — the low end
+    /// of the paper's "usually between 512 and 4 K branch instructions"
+    /// history capacity. Per-address counters capture the §4 mechanism
+    /// robustly: branches of different operators alias in the finite table,
+    /// and interleaved execution retrains the aliased entries every tuple
+    /// where buffered execution retrains them once per batch. (A gshare
+    /// predictor is available via [`BranchConfig`]; its global history makes
+    /// the buffering effect direction depend on incidental aliasing.)
+    pub fn pentium4_like() -> Self {
+        MachineConfig {
+            l1i: CacheConfig { capacity: 16 * 1024, line_size: 64, associativity: 8 },
+            l1d: CacheConfig { capacity: 16 * 1024, line_size: 64, associativity: 8 },
+            l2: CacheConfig { capacity: 256 * 1024, line_size: 128, associativity: 8 },
+            itlb_entries: 16,
+            branch: BranchConfig {
+                kind: PredictorKind::Bimodal,
+                table_entries: 512,
+                history_bits: 12,
+            },
+            latencies: Latencies {
+                l1i_miss: 27,
+                l1d_miss: 18,
+                l2_miss: 276,
+                l2_covered: 30,
+                branch_misprediction: 20,
+                itlb_miss: 30,
+            },
+            base_cpi_milli: 3500,
+            clock_hz: 2_000_000_000,
+            prefetch_streams: 8,
+        }
+    }
+
+    /// A machine with a larger (32 KB) L1i, for "does a bigger i-cache make
+    /// buffering unnecessary?" ablations.
+    pub fn large_l1i() -> Self {
+        let mut cfg = Self::pentium4_like();
+        cfg.l1i.capacity = 32 * 1024;
+        cfg
+    }
+
+    /// An UltraSPARC-III-like preset (the paper also ran its experiments on
+    /// a Sun UltraSparc): 32 KB 4-way L1i with 32 B lines, 64 KB L1d,
+    /// 1 MB off-chip L2 with higher latency, shallower pipeline (smaller
+    /// misprediction penalty), slower clock.
+    pub fn ultrasparc_like() -> Self {
+        MachineConfig {
+            l1i: CacheConfig { capacity: 32 * 1024, line_size: 32, associativity: 4 },
+            l1d: CacheConfig { capacity: 64 * 1024, line_size: 32, associativity: 4 },
+            l2: CacheConfig { capacity: 1024 * 1024, line_size: 64, associativity: 4 },
+            itlb_entries: 16,
+            branch: BranchConfig {
+                kind: PredictorKind::Gshare,
+                table_entries: 2048,
+                history_bits: 12,
+            },
+            latencies: Latencies {
+                l1i_miss: 14,
+                l1d_miss: 12,
+                l2_miss: 200,
+                l2_covered: 24,
+                branch_misprediction: 8,
+                itlb_miss: 24,
+            },
+            base_cpi_milli: 3500,
+            clock_hz: 900_000_000,
+            prefetch_streams: 4,
+        }
+    }
+
+    /// An Athlon-like preset (the paper also ran on an AMD Athlon): large
+    /// 64 KB 2-way L1 caches, 256 KB L2, shallower pipeline.
+    pub fn athlon_like() -> Self {
+        MachineConfig {
+            l1i: CacheConfig { capacity: 64 * 1024, line_size: 64, associativity: 2 },
+            l1d: CacheConfig { capacity: 64 * 1024, line_size: 64, associativity: 2 },
+            l2: CacheConfig { capacity: 256 * 1024, line_size: 64, associativity: 16 },
+            itlb_entries: 24,
+            branch: BranchConfig {
+                kind: PredictorKind::Gshare,
+                table_entries: 2048,
+                history_bits: 12,
+            },
+            latencies: Latencies {
+                l1i_miss: 12,
+                l1d_miss: 11,
+                l2_miss: 180,
+                l2_covered: 20,
+                branch_misprediction: 10,
+                itlb_miss: 25,
+            },
+            base_cpi_milli: 3500,
+            clock_hz: 1_400_000_000,
+            prefetch_streams: 6,
+        }
+    }
+
+    /// Same machine with a bimodal (per-address) predictor, for ablation.
+    pub fn with_bimodal(mut self) -> Self {
+        self.branch.kind = PredictorKind::Bimodal;
+        self
+    }
+
+    /// Same machine with a gshare predictor, for ablation.
+    pub fn with_gshare(mut self) -> Self {
+        self.branch.kind = PredictorKind::Gshare;
+        self
+    }
+
+    /// Validate every cache geometry.
+    pub fn validate(&self) -> Result<(), String> {
+        self.l1i.validate()?;
+        self.l1d.validate()?;
+        self.l2.validate()?;
+        if !self.branch.table_entries.is_power_of_two() {
+            return Err("branch table entries must be a power of two".into());
+        }
+        if self.itlb_entries == 0 {
+            return Err("itlb must have at least one entry".into());
+        }
+        Ok(())
+    }
+
+    /// Render the configuration as the paper's Table 1.
+    pub fn to_table1(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("CPU                          simulated, {} GHz\n", self.clock_hz as f64 / 1e9));
+        s.push_str(&format!("L1 instruction (trace) cache {} KB, {}-way, {} B lines\n", self.l1i.capacity / 1024, self.l1i.associativity, self.l1i.line_size));
+        s.push_str(&format!("ITLB                         {} entries\n", self.itlb_entries));
+        s.push_str(&format!("L1 data cache                {} KB, {}-way, {} B lines\n", self.l1d.capacity / 1024, self.l1d.associativity, self.l1d.line_size));
+        s.push_str(&format!("L2 cache                     {} KB, {}-way, {} B lines\n", self.l2.capacity / 1024, self.l2.associativity, self.l2.line_size));
+        s.push_str(&format!("L1i (trace) miss latency     {} cycles\n", self.latencies.l1i_miss));
+        s.push_str(&format!("L1 data miss latency         {} cycles\n", self.latencies.l1d_miss));
+        s.push_str(&format!("L2 miss latency              {} cycles\n", self.latencies.l2_miss));
+        s.push_str(&format!("Branch misprediction latency {} cycles\n", self.latencies.branch_misprediction));
+        s.push_str(&format!("Branch predictor             {:?}, {} entries, {} history bits\n", self.branch.kind, self.branch.table_entries, self.branch.history_bits));
+        s.push_str("Hardware prefetch            yes (sequential streams)\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_is_valid() {
+        MachineConfig::pentium4_like().validate().unwrap();
+        MachineConfig::large_l1i().validate().unwrap();
+        MachineConfig::ultrasparc_like().validate().unwrap();
+        MachineConfig::athlon_like().validate().unwrap();
+    }
+
+    #[test]
+    fn sets_computed_from_geometry() {
+        let cfg = MachineConfig::pentium4_like();
+        assert_eq!(cfg.l1i.sets(), 32); // 16 KB / (64 B * 8 ways)
+        assert_eq!(cfg.l2.sets(), 256); // 256 KB / (128 B * 8 ways)
+    }
+
+    #[test]
+    fn invalid_geometries_rejected() {
+        let bad = CacheConfig { capacity: 1000, line_size: 64, associativity: 8 };
+        assert!(bad.validate().is_err());
+        let bad_line = CacheConfig { capacity: 16384, line_size: 48, associativity: 8 };
+        assert!(bad_line.validate().is_err());
+    }
+
+    #[test]
+    fn table1_mentions_key_latencies() {
+        let t = MachineConfig::pentium4_like().to_table1();
+        assert!(t.contains("27 cycles"));
+        assert!(t.contains("276 cycles"));
+        assert!(t.contains("20 cycles"));
+    }
+
+    #[test]
+    fn predictor_ablations_switch_kind() {
+        assert_eq!(
+            MachineConfig::pentium4_like().with_gshare().branch.kind,
+            PredictorKind::Gshare
+        );
+        assert_eq!(
+            MachineConfig::pentium4_like().with_bimodal().branch.kind,
+            PredictorKind::Bimodal
+        );
+    }
+}

@@ -1,0 +1,360 @@
+//! Code layout: synthetic instruction footprints for query operators.
+//!
+//! The paper estimates per-module footprints (Table 2) by summing the binary
+//! sizes of the functions each module calls at runtime, noting that "most
+//! functions are smaller than 1 K bytes" and that modules share a fair number
+//! of functions. We model exactly that: a *segment* (named unit of code such
+//! as "seqscan core" or the shared "expression evaluator") is split into
+//! functions of ≤ [`FUNC_BYTES`] bytes; each function lives on its own 4 KB
+//! page at a hash-derived 64-byte-aligned offset, scattering the footprint
+//! the way a multi-megabyte binary does. Operators reference segments by
+//! handle; shared segments are allocated once, so combined execution-group
+//! footprints automatically count common code once (§6.1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Maximum synthetic function size in bytes ("most functions < 1 K").
+pub const FUNC_BYTES: usize = 832;
+/// Page size for the ITLB model.
+pub const PAGE_BYTES: u64 = 4096;
+/// Base of the simulated text section.
+pub const CODE_BASE: u64 = 0x0040_0000;
+/// One static branch site per this many bytes of code.
+pub const BRANCH_SITE_STRIDE: usize = 256;
+
+/// Request to define a segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentSpec {
+    /// Unique name, e.g. `"expr_eval"`.
+    pub name: String,
+    /// Footprint contribution in bytes.
+    pub bytes: usize,
+}
+
+impl SegmentSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, bytes: usize) -> Self {
+        SegmentSpec { name: name.into(), bytes }
+    }
+}
+
+/// Statically-biased behaviour class of a synthetic branch site.
+///
+/// These stand in for the data-independent control flow inside operator code
+/// (error checks, type dispatch, loop back-edges). Data-*dependent* branches
+/// (predicate outcomes) are fired separately by the engine with real
+/// outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// Almost always taken (error-check style): not-taken once per 64.
+    Biased,
+    /// Short repeating pattern (taken-taken-not): learnable through clean
+    /// global history, broken by polluted history — the §4 effect.
+    Mixed,
+    /// Loop back-edge: taken 7 of 8 consecutive executions.
+    Loop,
+}
+
+impl SiteKind {
+    /// Deterministic outcome of the `count`-th execution of a site.
+    pub fn outcome(self, count: u64) -> bool {
+        match self {
+            SiteKind::Biased => count % 64 != 63,
+            SiteKind::Mixed => count % 3 != 2,
+            SiteKind::Loop => count % 8 != 7,
+        }
+    }
+}
+
+/// One immutable, laid-out segment.
+#[derive(Debug)]
+pub struct SegmentCode {
+    /// Segment name (unique within a layout).
+    pub name: String,
+    /// Total bytes (the Table 2 footprint contribution).
+    pub bytes: usize,
+    /// Laid-out functions as `(base address, length)`.
+    pub functions: Vec<(u64, u32)>,
+    /// Static branch sites as `(address, kind)`.
+    pub sites: Vec<(u64, SiteKind)>,
+}
+
+/// Shared handle to a laid-out segment.
+pub type SegmentRef = Arc<SegmentCode>;
+
+fn mix(mut x: u64) -> u64 {
+    // splitmix64 finalizer: cheap, deterministic scatter.
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Cache-set fold used to balance function placement. 64 covers both the
+/// default 16 KB L1i (32 sets — balance mod 64 implies balance mod 32) and
+/// the 32 KB ablation cache (64 sets).
+pub const SET_FOLD: usize = 64;
+
+/// Allocates segments within a simulated text section.
+#[derive(Debug, Default)]
+pub struct CodeLayout {
+    segments: HashMap<String, SegmentRef>,
+    next_page: u64,
+    /// Cumulative i-cache-set load; each new function is placed at the
+    /// in-page offset that keeps set loads as even as possible — the
+    /// uniform set coverage contiguous linker packing would produce (a
+    /// hash-scattered layout creates artificial hot sets that thrash even
+    /// when a footprint fits overall).
+    set_load: Vec<u32>,
+}
+
+impl CodeLayout {
+    /// An empty layout.
+    pub fn new() -> Self {
+        CodeLayout { segments: HashMap::new(), next_page: 0, set_load: vec![0; SET_FOLD] }
+    }
+
+    /// The in-page line slot for a function of `lines` cache lines that
+    /// minimizes the peak per-set load, then record its placement.
+    fn balanced_slot(&mut self, lines: u64) -> u64 {
+        let max_slot = (PAGE_BYTES - FUNC_BYTES as u64) / 64; // 51
+        let mut best = (u32::MAX, u64::MAX, 0u64); // (peak, total, slot)
+        for slot in 0..=max_slot {
+            let mut peak = 0u32;
+            let mut total = 0u64;
+            for k in 0..lines {
+                let load = self.set_load[((slot + k) % SET_FOLD as u64) as usize] + 1;
+                peak = peak.max(load);
+                total += load as u64;
+            }
+            if (peak, total) < (best.0, best.1) {
+                best = (peak, total, slot);
+            }
+        }
+        let slot = best.2;
+        for k in 0..lines {
+            self.set_load[((slot + k) % SET_FOLD as u64) as usize] += 1;
+        }
+        slot
+    }
+
+    /// Define (or fetch the previously defined) segment for `spec`.
+    /// Re-defining a name with a different size is a bug and panics.
+    pub fn define(&mut self, spec: &SegmentSpec) -> SegmentRef {
+        if let Some(existing) = self.segments.get(&spec.name) {
+            assert_eq!(
+                existing.bytes, spec.bytes,
+                "segment {:?} redefined with a different size",
+                spec.name
+            );
+            return Arc::clone(existing);
+        }
+        let mut functions = Vec::new();
+        let mut sites = Vec::new();
+        let mut remaining = spec.bytes;
+        while remaining > 0 {
+            let len = remaining.min(FUNC_BYTES) as u32;
+            let page = CODE_BASE + self.next_page * PAGE_BYTES;
+            self.next_page += 1;
+            // Set-balanced 64-byte-aligned in-page offset (see set_load).
+            let slot = self.balanced_slot((len as u64).div_ceil(64));
+            let base = page + slot * 64;
+            for off in (0..len as usize).step_by(BRANCH_SITE_STRIDE) {
+                let addr = base + off as u64 + 16;
+                let kind = match mix(addr) % 10 {
+                    0..=5 => SiteKind::Biased,
+                    6..=8 => SiteKind::Mixed,
+                    _ => SiteKind::Loop,
+                };
+                sites.push((addr, kind));
+            }
+            functions.push((base, len));
+            remaining -= len as usize;
+        }
+        let seg = Arc::new(SegmentCode {
+            name: spec.name.clone(),
+            bytes: spec.bytes,
+            functions,
+            sites,
+        });
+        self.segments.insert(spec.name.clone(), Arc::clone(&seg));
+        seg
+    }
+
+    /// Look up a previously defined segment.
+    pub fn get(&self, name: &str) -> Option<SegmentRef> {
+        self.segments.get(name).cloned()
+    }
+
+    /// Combined footprint in bytes of a set of segment names, counting each
+    /// segment once (the paper's §6.1 shared-function rule).
+    pub fn combined_bytes(&self, names: &[&str]) -> usize {
+        let mut seen = Vec::new();
+        let mut total = 0;
+        for n in names {
+            if !seen.contains(n) {
+                seen.push(n);
+                total += self.segments.get(*n).map_or(0, |s| s.bytes);
+            }
+        }
+        total
+    }
+}
+
+/// Per-operator-instance executable region: shared immutable segments plus
+/// private per-site execution counters (branch history position).
+#[derive(Debug)]
+pub struct CodeRegion {
+    segments: Vec<SegmentRef>,
+    /// `(address, kind, executions)` for every site of every segment.
+    site_state: Vec<(u64, SiteKind, u64)>,
+}
+
+impl CodeRegion {
+    /// Build a region over the given segments.
+    pub fn new(segments: Vec<SegmentRef>) -> Self {
+        let site_state = segments
+            .iter()
+            .flat_map(|s| s.sites.iter().map(|&(a, k)| (a, k, 0)))
+            .collect();
+        CodeRegion { segments, site_state }
+    }
+
+    /// An empty region (an operator with no simulated code, used in tests).
+    pub fn empty() -> Self {
+        CodeRegion { segments: Vec::new(), site_state: Vec::new() }
+    }
+
+    /// The segments making up this region.
+    pub fn segments(&self) -> &[SegmentRef] {
+        &self.segments
+    }
+
+    /// Mutable view of site execution state (used by [`crate::Machine`]).
+    pub(crate) fn site_state_mut(&mut self) -> &mut [(u64, SiteKind, u64)] {
+        &mut self.site_state
+    }
+
+    /// Total footprint bytes, counting shared segments once.
+    pub fn footprint_bytes(&self) -> usize {
+        let mut seen: Vec<&str> = Vec::new();
+        let mut total = 0;
+        for s in &self.segments {
+            if !seen.contains(&s.name.as_str()) {
+                seen.push(&s.name);
+                total += s.bytes;
+            }
+        }
+        total
+    }
+
+    /// Number of distinct 4 KB pages the region's functions touch.
+    pub fn pages(&self) -> usize {
+        let mut pages: Vec<u64> = self
+            .segments
+            .iter()
+            .flat_map(|s| s.functions.iter().map(|&(b, _)| b / PAGE_BYTES))
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_splits_into_small_functions() {
+        let mut l = CodeLayout::new();
+        let seg = l.define(&SegmentSpec::new("scan", 9000));
+        assert_eq!(seg.bytes, 9000);
+        assert_eq!(seg.functions.len(), 9000usize.div_ceil(FUNC_BYTES));
+        assert!(seg.functions.iter().all(|&(_, len)| len as usize <= FUNC_BYTES));
+        let total: usize = seg.functions.iter().map(|&(_, l)| l as usize).sum();
+        assert_eq!(total, 9000);
+    }
+
+    #[test]
+    fn functions_live_on_distinct_pages() {
+        let mut l = CodeLayout::new();
+        let seg = l.define(&SegmentSpec::new("scan", 9000));
+        let mut pages: Vec<u64> = seg.functions.iter().map(|&(b, _)| b / PAGE_BYTES).collect();
+        pages.sort_unstable();
+        pages.dedup();
+        assert_eq!(pages.len(), seg.functions.len());
+    }
+
+    #[test]
+    fn functions_fit_within_their_page() {
+        let mut l = CodeLayout::new();
+        let seg = l.define(&SegmentSpec::new("x", 5000));
+        for &(base, len) in &seg.functions {
+            assert_eq!(base % 64, 0, "function base must be line-aligned");
+            assert_eq!(base / PAGE_BYTES, (base + len as u64 - 1) / PAGE_BYTES);
+        }
+    }
+
+    #[test]
+    fn redefinition_returns_same_segment() {
+        let mut l = CodeLayout::new();
+        let a = l.define(&SegmentSpec::new("expr", 1500));
+        let b = l.define(&SegmentSpec::new("expr", 1500));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "redefined")]
+    fn redefinition_with_new_size_panics() {
+        let mut l = CodeLayout::new();
+        l.define(&SegmentSpec::new("expr", 1500));
+        l.define(&SegmentSpec::new("expr", 2000));
+    }
+
+    #[test]
+    fn combined_bytes_counts_shared_once() {
+        let mut l = CodeLayout::new();
+        l.define(&SegmentSpec::new("common", 800));
+        l.define(&SegmentSpec::new("scan", 8200));
+        l.define(&SegmentSpec::new("agg", 200));
+        assert_eq!(l.combined_bytes(&["common", "scan"]), 9000);
+        assert_eq!(l.combined_bytes(&["common", "scan", "common", "agg"]), 9200);
+    }
+
+    #[test]
+    fn region_footprint_counts_shared_once() {
+        let mut l = CodeLayout::new();
+        let common = l.define(&SegmentSpec::new("common", 800));
+        let scan = l.define(&SegmentSpec::new("scan", 8200));
+        let r = CodeRegion::new(vec![common.clone(), scan, common]);
+        assert_eq!(r.footprint_bytes(), 9000);
+        assert!(r.pages() >= 11);
+    }
+
+    #[test]
+    fn branch_sites_every_stride() {
+        let mut l = CodeLayout::new();
+        let seg = l.define(&SegmentSpec::new("s", 2000));
+        // 2000 bytes => functions of 832+832+336 => 4+4+2 sites.
+        assert_eq!(seg.sites.len(), 10);
+    }
+
+    #[test]
+    fn site_kind_patterns_are_deterministic_and_biased() {
+        let taken = |k: SiteKind| (0..640u64).filter(|&c| k.outcome(c)).count();
+        assert_eq!(taken(SiteKind::Biased), 630); // 1 in 64 not taken
+        assert_eq!(taken(SiteKind::Loop), 560); // 7 in 8 taken
+        assert_eq!(taken(SiteKind::Mixed), 427); // 2 of 3 taken (ceil for 640)
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let build = || {
+            let mut l = CodeLayout::new();
+            let s = l.define(&SegmentSpec::new("a", 3000));
+            s.functions.clone()
+        };
+        assert_eq!(build(), build());
+    }
+}

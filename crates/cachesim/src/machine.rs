@@ -1,0 +1,313 @@
+//! The machine facade: caches + TLB + predictor + prefetcher + counters.
+
+use crate::branch::{build_predictor, BranchPredictor};
+use crate::cache::Cache;
+use crate::config::MachineConfig;
+use crate::counters::PerfCounters;
+use crate::layout::CodeRegion;
+use crate::prefetch::StreamPrefetcher;
+use crate::report::BreakdownReport;
+use crate::tlb::Tlb;
+
+/// One simulated CPU. The query executor drives it with three event kinds:
+/// [`Machine::exec_region`] (an operator executes its code for one call),
+/// [`Machine::branch`] (a data-dependent branch resolved), and
+/// [`Machine::data_read`] / [`Machine::data_write`] (tuple memory traffic).
+pub struct Machine {
+    cfg: MachineConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    itlb: Tlb,
+    predictor: Box<dyn BranchPredictor + Send>,
+    prefetcher: StreamPrefetcher,
+    instructions: u64,
+    l2_accesses: u64,
+    l2_misses: u64,
+    l2_covered: u64,
+    l2_line_shift: u32,
+}
+
+impl Machine {
+    /// A cold machine for `cfg`.
+    pub fn new(cfg: MachineConfig) -> Self {
+        cfg.validate().expect("invalid machine config");
+        Machine {
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            itlb: Tlb::new(cfg.itlb_entries),
+            predictor: build_predictor(&cfg.branch),
+            prefetcher: StreamPrefetcher::new(cfg.prefetch_streams),
+            instructions: 0,
+            l2_accesses: 0,
+            l2_misses: 0,
+            l2_covered: 0,
+            l2_line_shift: cfg.l2.line_size.trailing_zeros(),
+            cfg,
+        }
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    fn l2_access(&mut self, addr: u64, prefetchable: bool) {
+        self.l2_accesses += 1;
+        if !self.l2.access(addr) {
+            self.l2_misses += 1;
+            let line = addr >> self.l2_line_shift;
+            if prefetchable && self.prefetcher.observe_miss(line) {
+                self.l2_covered += 1;
+            }
+        }
+    }
+
+    /// Simulate one execution of an operator's code: every function is
+    /// entered (one ITLB lookup), every instruction line is fetched through
+    /// L1i (missing to L2/memory), and every static branch site fires with
+    /// its deterministic data-independent pattern.
+    pub fn exec_region(&mut self, region: &mut CodeRegion) {
+        let line = self.cfg.l1i.line_size as u64;
+        for seg in region.segments() {
+            for &(base, len) in &seg.functions {
+                self.itlb.access(base);
+                self.instructions += (len as u64) / 4;
+                let mut addr = base;
+                let end = base + len as u64;
+                while addr < end {
+                    if !self.l1i.access(addr) {
+                        // Instruction refill from L2 (not prefetchable: the
+                        // P4 trace cache rebuilds traces on demand).
+                        self.l2_access(addr, false);
+                    }
+                    addr += line;
+                }
+            }
+        }
+        for (addr, kind, count) in region.site_state_mut() {
+            let taken = kind.outcome(*count);
+            *count += 1;
+            self.predictor.predict_and_update(*addr, taken);
+        }
+    }
+
+    /// Resolve one data-dependent branch (e.g. a predicate outcome) at the
+    /// given site address.
+    pub fn branch(&mut self, site: u64, taken: bool) {
+        self.predictor.predict_and_update(site, taken);
+    }
+
+    /// Simulate a data read of `len` bytes at `addr` (tuple slot access).
+    pub fn data_read(&mut self, addr: u64, len: usize) {
+        self.data_access(addr, len)
+    }
+
+    /// Simulate a data write of `len` bytes at `addr` (write-allocate).
+    pub fn data_write(&mut self, addr: u64, len: usize) {
+        self.data_access(addr, len)
+    }
+
+    fn data_access(&mut self, addr: u64, len: usize) {
+        let line = self.cfg.l1d.line_size as u64;
+        let mut a = addr & !(line - 1);
+        let end = addr + len.max(1) as u64;
+        while a < end {
+            if !self.l1d.access(a) {
+                self.l2_access(a, true);
+            }
+            a += line;
+        }
+    }
+
+    /// Account for computation that executes no modeled code region (e.g.
+    /// tight loops inside sort comparisons).
+    pub fn add_instructions(&mut self, n: u64) {
+        self.instructions += n;
+    }
+
+    /// Snapshot every counter.
+    pub fn snapshot(&self) -> PerfCounters {
+        PerfCounters {
+            instructions: self.instructions,
+            l1i_accesses: self.l1i.accesses(),
+            l1i_misses: self.l1i.misses(),
+            l1d_accesses: self.l1d.accesses(),
+            l1d_misses: self.l1d.misses(),
+            l2_accesses: self.l2_accesses,
+            l2_misses: self.l2_misses,
+            l2_covered: self.l2_covered,
+            itlb_accesses: self.itlb.accesses(),
+            itlb_misses: self.itlb.misses(),
+            branches: self.predictor.branches(),
+            mispredictions: self.predictor.mispredictions(),
+        }
+    }
+
+    /// Modeled cycles for a counter delta, per the paper's methodology
+    /// (penalty = events × latency, plus a base issue cost).
+    pub fn cycles_for(&self, c: &PerfCounters) -> u64 {
+        BreakdownReport::from_counters(c, &self.cfg).total_cycles
+    }
+
+    /// Execution-time breakdown for a counter delta (the paper's Figures
+    /// 4, 9, 10, 13, 15–17).
+    pub fn breakdown_for(&self, c: &PerfCounters) -> BreakdownReport {
+        BreakdownReport::from_counters(c, &self.cfg)
+    }
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cfg", &self.cfg)
+            .field("counters", &self.snapshot())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{CodeLayout, CodeRegion, SegmentSpec};
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::pentium4_like())
+    }
+
+    fn region(layout: &mut CodeLayout, name: &str, bytes: usize) -> CodeRegion {
+        let seg = layout.define(&SegmentSpec::new(name, bytes));
+        CodeRegion::new(vec![seg])
+    }
+
+    #[test]
+    fn small_region_becomes_cache_resident() {
+        let mut m = machine();
+        let mut l = CodeLayout::new();
+        let mut r = region(&mut l, "small", 4000);
+        m.exec_region(&mut r);
+        let cold = m.snapshot();
+        assert!(cold.l1i_misses > 0, "compulsory misses expected");
+        for _ in 0..100 {
+            m.exec_region(&mut r);
+        }
+        let warm = m.snapshot() - cold;
+        assert_eq!(warm.l1i_misses, 0, "4 KB of code must stay resident in 16 KB L1i");
+    }
+
+    #[test]
+    fn interleaving_two_large_regions_thrashes() {
+        // Two 13 KB regions: together 26 KB > 16 KB L1i. Interleaved
+        // execution (the paper's PCPC pattern) must miss heavily; batched
+        // execution (PCCCC...PPPP) must not.
+        let interleaved = {
+            let mut m = machine();
+            let mut l = CodeLayout::new();
+            let mut a = region(&mut l, "parent", 13_000);
+            let mut b = region(&mut l, "child", 13_000);
+            for _ in 0..200 {
+                m.exec_region(&mut b);
+                m.exec_region(&mut a);
+            }
+            m.snapshot().l1i_misses
+        };
+        let batched = {
+            let mut m = machine();
+            let mut l = CodeLayout::new();
+            let mut a = region(&mut l, "parent", 13_000);
+            let mut b = region(&mut l, "child", 13_000);
+            for _ in 0..2 {
+                for _ in 0..100 {
+                    m.exec_region(&mut b);
+                }
+                for _ in 0..100 {
+                    m.exec_region(&mut a);
+                }
+            }
+            m.snapshot().l1i_misses
+        };
+        assert!(
+            batched * 4 < interleaved,
+            "batched {batched} should be ≪ interleaved {interleaved}"
+        );
+    }
+
+    #[test]
+    fn combined_regions_under_capacity_do_not_thrash() {
+        // 7 KB + 7 KB = 14 KB < 16 KB: interleaving is fine (paper's Query 2).
+        let mut m = machine();
+        let mut l = CodeLayout::new();
+        let mut a = region(&mut l, "p", 7000);
+        let mut b = region(&mut l, "c", 7000);
+        for _ in 0..5 {
+            m.exec_region(&mut b);
+            m.exec_region(&mut a);
+        }
+        let warmup = m.snapshot();
+        for _ in 0..100 {
+            m.exec_region(&mut b);
+            m.exec_region(&mut a);
+        }
+        let delta = m.snapshot() - warmup;
+        let per_iter = delta.l1i_misses as f64 / 100.0;
+        // A few conflict misses are tolerated; thrashing would be hundreds.
+        assert!(per_iter < 20.0, "per-iteration misses {per_iter}");
+    }
+
+    #[test]
+    fn data_accesses_flow_through_hierarchy() {
+        let mut m = machine();
+        m.data_write(0x1000_0000, 64);
+        let c = m.snapshot();
+        assert_eq!(c.l1d_accesses, 1);
+        assert_eq!(c.l1d_misses, 1);
+        assert_eq!(c.l2_accesses, 1);
+        assert_eq!(c.l2_misses, 1);
+        m.data_read(0x1000_0000, 64);
+        let c2 = m.snapshot();
+        assert_eq!(c2.l1d_misses, 1, "second access hits L1d");
+    }
+
+    #[test]
+    fn sequential_data_misses_are_prefetch_covered() {
+        let mut m = machine();
+        // Stream through 1 MB sequentially — far beyond L2 (256 KB).
+        for i in 0..16_384u64 {
+            m.data_read(0x2000_0000 + i * 64, 64);
+        }
+        let c = m.snapshot();
+        assert!(c.l2_misses > 1000);
+        let covered_frac = c.l2_covered as f64 / c.l2_misses as f64;
+        assert!(covered_frac > 0.9, "covered fraction {covered_frac}");
+    }
+
+    #[test]
+    fn data_dependent_branches_feed_predictor() {
+        let mut m = machine();
+        for i in 0..1000u64 {
+            m.branch(0x5000, i % 10 != 0); // 90% taken: learnable
+        }
+        let c = m.snapshot();
+        assert_eq!(c.branches, 1000);
+        assert!(c.mispredictions < 200, "got {}", c.mispredictions);
+    }
+
+    #[test]
+    fn unaligned_data_access_touches_both_lines() {
+        let mut m = machine();
+        m.data_read(0x1000_0020, 96); // crosses a 64 B boundary
+        assert_eq!(m.snapshot().l1d_accesses, 2);
+    }
+
+    #[test]
+    fn instructions_counted_per_execution() {
+        let mut m = machine();
+        let mut l = CodeLayout::new();
+        let mut r = region(&mut l, "s", 4000);
+        m.exec_region(&mut r);
+        assert_eq!(m.snapshot().instructions, 1000); // 4000 bytes / 4
+        m.add_instructions(50);
+        assert_eq!(m.snapshot().instructions, 1050);
+    }
+}

@@ -1,0 +1,179 @@
+//! Execution-time breakdowns in the paper's style.
+//!
+//! The paper charts query time as stacked penalties: trace (L1i) cache miss
+//! penalty, L2 cache miss penalty, branch misprediction penalty, and "other
+//! cost", each computed as `events × latency` (§4: "the cache miss penalty
+//! as the total time taken if each cache miss takes exactly the measured
+//! cache miss latency").
+
+use crate::config::MachineConfig;
+use crate::counters::PerfCounters;
+use std::fmt;
+
+/// A stacked-cost breakdown of one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakdownReport {
+    /// L1 instruction (trace) cache miss penalty cycles.
+    pub l1i_penalty: u64,
+    /// L2 miss penalty cycles (uncovered misses only; the prefetcher hides
+    /// sequential ones, §7.4).
+    pub l2_penalty: u64,
+    /// Branch misprediction penalty cycles.
+    pub mispred_penalty: u64,
+    /// L1 data miss penalty cycles (folded into "other" in the charts, as in
+    /// the paper).
+    pub l1d_penalty: u64,
+    /// ITLB miss penalty cycles (also folded into "other").
+    pub itlb_penalty: u64,
+    /// Base issue cost cycles (`instructions × base CPI`).
+    pub base_cycles: u64,
+    /// Sum of everything above.
+    pub total_cycles: u64,
+    /// Clock for converting to seconds.
+    pub clock_hz: u64,
+    /// Instructions retired (for CPI).
+    pub instructions: u64,
+}
+
+impl BreakdownReport {
+    /// Compute the breakdown for a counter delta under `cfg`.
+    pub fn from_counters(c: &PerfCounters, cfg: &MachineConfig) -> Self {
+        let lat = &cfg.latencies;
+        let l1i_penalty = c.l1i_misses * lat.l1i_miss;
+        let l2_penalty = c.l2_misses_uncovered() * lat.l2_miss + c.l2_covered * lat.l2_covered;
+        let mispred_penalty = c.mispredictions * lat.branch_misprediction;
+        let l1d_penalty = c.l1d_misses * lat.l1d_miss;
+        let itlb_penalty = c.itlb_misses * lat.itlb_miss;
+        let base_cycles = c.instructions * cfg.base_cpi_milli / 1000;
+        BreakdownReport {
+            l1i_penalty,
+            l2_penalty,
+            mispred_penalty,
+            l1d_penalty,
+            itlb_penalty,
+            base_cycles,
+            total_cycles: l1i_penalty
+                + l2_penalty
+                + mispred_penalty
+                + l1d_penalty
+                + itlb_penalty
+                + base_cycles,
+            clock_hz: cfg.clock_hz,
+            instructions: c.instructions,
+        }
+    }
+
+    /// "Other cost" as charted: base + L1d + ITLB.
+    pub fn other_cycles(&self) -> u64 {
+        self.base_cycles + self.l1d_penalty + self.itlb_penalty
+    }
+
+    /// Modeled elapsed seconds.
+    pub fn seconds(&self) -> f64 {
+        self.total_cycles as f64 / self.clock_hz as f64
+    }
+
+    /// Cost per instruction (the paper's Table 4 metric).
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of total time attributed to L1i misses.
+    pub fn l1i_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.l1i_penalty as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// One chart row: label plus the four stacked components in seconds,
+    /// matching the paper's figure legends.
+    pub fn chart_row(&self, label: &str) -> String {
+        let s = |cyc: u64| cyc as f64 / self.clock_hz as f64;
+        format!(
+            "{label:<26} total {:>8.3}s | trace {:>7.3}s | L2 {:>7.3}s | mispred {:>7.3}s | other {:>7.3}s",
+            self.seconds(),
+            s(self.l1i_penalty),
+            s(self.l2_penalty),
+            s(self.mispred_penalty),
+            s(self.other_cycles()),
+        )
+    }
+}
+
+impl fmt::Display for BreakdownReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "total: {:.4}s ({} cycles, CPI {:.2})", self.seconds(), self.total_cycles, self.cpi())?;
+        let pct = |c: u64| {
+            if self.total_cycles == 0 { 0.0 } else { 100.0 * c as f64 / self.total_cycles as f64 }
+        };
+        writeln!(f, "  trace (L1i) miss penalty : {:>12} cycles ({:>5.1}%)", self.l1i_penalty, pct(self.l1i_penalty))?;
+        writeln!(f, "  L2 miss penalty          : {:>12} cycles ({:>5.1}%)", self.l2_penalty, pct(self.l2_penalty))?;
+        writeln!(f, "  branch mispred penalty   : {:>12} cycles ({:>5.1}%)", self.mispred_penalty, pct(self.mispred_penalty))?;
+        writeln!(f, "  other (base+L1d+ITLB)    : {:>12} cycles ({:>5.1}%)", self.other_cycles(), pct(self.other_cycles()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> PerfCounters {
+        PerfCounters {
+            instructions: 1000,
+            l1i_misses: 10,
+            l2_misses: 5,
+            l2_covered: 3,
+            mispredictions: 4,
+            l1d_misses: 2,
+            itlb_misses: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn penalties_follow_latencies() {
+        let cfg = MachineConfig::pentium4_like();
+        let r = BreakdownReport::from_counters(&counters(), &cfg);
+        assert_eq!(r.l1i_penalty, 10 * 27);
+        assert_eq!(r.l2_penalty, 2 * 276 + 3 * 30); // uncovered + covered residual
+        assert_eq!(r.mispred_penalty, 4 * 20);
+        assert_eq!(r.l1d_penalty, 2 * 18);
+        assert_eq!(r.base_cycles, 3500);
+        assert_eq!(
+            r.total_cycles,
+            r.l1i_penalty + r.l2_penalty + r.mispred_penalty + r.l1d_penalty + r.itlb_penalty + r.base_cycles
+        );
+    }
+
+    #[test]
+    fn seconds_and_cpi() {
+        let cfg = MachineConfig::pentium4_like();
+        let r = BreakdownReport::from_counters(&counters(), &cfg);
+        assert!((r.seconds() - r.total_cycles as f64 / 2e9).abs() < 1e-12);
+        assert!((r.cpi() - r.total_cycles as f64 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_counters_zero_report() {
+        let cfg = MachineConfig::pentium4_like();
+        let r = BreakdownReport::from_counters(&PerfCounters::default(), &cfg);
+        assert_eq!(r.total_cycles, 0);
+        assert_eq!(r.cpi(), 0.0);
+        assert_eq!(r.l1i_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_and_chart_row_render() {
+        let cfg = MachineConfig::pentium4_like();
+        let r = BreakdownReport::from_counters(&counters(), &cfg);
+        let text = r.to_string();
+        assert!(text.contains("trace (L1i) miss penalty"));
+        assert!(r.chart_row("Original").starts_with("Original"));
+    }
+}

@@ -1,0 +1,107 @@
+//! A small fully-associative, LRU translation lookaside buffer.
+//!
+//! Used for instruction pages (the paper reports ITLB misses dropping by
+//! ~60–86 % under buffering). 4 KB pages.
+
+const PAGE_SHIFT: u32 = 12;
+
+/// Fully-associative LRU TLB over 4 KB pages.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    /// Resident page numbers, MRU first. Small (≤ tens of entries), so a
+    /// vector beats any hashing scheme.
+    pages: Vec<u64>,
+    entries: usize,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// An empty TLB with `entries` slots.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "TLB must have at least one entry");
+        Tlb { pages: Vec::with_capacity(entries), entries, accesses: 0, misses: 0 }
+    }
+
+    /// Translate the page containing `addr`; returns `true` on TLB hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        let page = addr >> PAGE_SHIFT;
+        if let Some(pos) = self.pages.iter().position(|&p| p == page) {
+            // Move to MRU position.
+            self.pages.remove(pos);
+            self.pages.insert(0, page);
+            true
+        } else {
+            self.misses += 1;
+            if self.pages.len() == self.entries {
+                self.pages.pop();
+            }
+            self.pages.insert(0, page);
+            false
+        }
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of configured entries.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(4);
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1abc)); // same 4 KB page
+        assert!(!t.access(0x2000)); // next page
+        assert_eq!(t.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut t = Tlb::new(2);
+        t.access(0x1000); // page 1
+        t.access(0x2000); // page 2
+        t.access(0x1000); // page 1 is MRU
+        t.access(0x3000); // evicts page 2
+        assert!(t.access(0x1000));
+        assert!(!t.access(0x2000));
+        assert_eq!(t.misses(), 4);
+    }
+
+    #[test]
+    fn working_set_larger_than_entries_thrashes() {
+        let mut t = Tlb::new(4);
+        let pages: Vec<u64> = (0..5).map(|i| i * 0x1000).collect();
+        for p in &pages {
+            t.access(*p);
+        }
+        let before = t.misses();
+        for _ in 0..10 {
+            for p in &pages {
+                t.access(*p);
+            }
+        }
+        assert_eq!(t.misses() - before, 50); // cyclic over entries+1 always misses
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_panics() {
+        Tlb::new(0);
+    }
+}

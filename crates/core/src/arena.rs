@@ -1,0 +1,235 @@
+//! The tuple arena: intermediate-tuple storage with simulated addresses.
+//!
+//! In PostgreSQL an operator generates its output tuple in a heap within the
+//! operator's own memory space, and the tuple stays alive until an ancestor
+//! deallocates it (paper §5, footnote 3). The buffer operator exploits this:
+//! it stores *pointers* to up to `buffer_size` child tuples, so the child
+//! needs that many live output slots. The arena models exactly this: each
+//! operator owns a *region* of tuple slots, reused round-robin, whose
+//! capacity is raised by a parent buffer's batch hint before `open`.
+
+use bufferdb_cachesim::Machine;
+use bufferdb_types::Tuple;
+
+/// Base of per-query scratch space (operator slots, buffer arrays, hash
+/// tables, sort runs); table heaps live below this.
+pub const EXEC_DATA_BASE: u64 = 0x8_0000_0000;
+
+/// Handle to one tuple living in an arena region. `Copy`, like the tuple
+/// pointers the paper's buffer array stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TupleSlot {
+    /// Owning region.
+    pub region: u32,
+    /// Slot within the region.
+    pub slot: u32,
+}
+
+#[derive(Debug)]
+struct Region {
+    base: u64,
+    slot_bytes: u32,
+    /// 0 = unbounded (append-only: sorts/hash tables that materialize).
+    capacity: u32,
+    next: u32,
+    tuples: Vec<Option<Tuple>>,
+}
+
+/// Per-query tuple storage.
+#[derive(Debug, Default)]
+pub struct TupleArena {
+    regions: Vec<Region>,
+    next_addr: u64,
+}
+
+impl TupleArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        TupleArena { regions: Vec::new(), next_addr: EXEC_DATA_BASE }
+    }
+
+    /// Allocate raw simulated data space (buffer pointer arrays, hash
+    /// buckets). Returns the base address.
+    pub fn sim_alloc(&mut self, bytes: u64) -> u64 {
+        let base = self.next_addr;
+        self.next_addr = base + bytes.max(1).next_multiple_of(64);
+        base
+    }
+
+    /// Create a bounded region of `capacity` slots of `slot_bytes` each,
+    /// reused round-robin. Operators size `capacity` from their parent's
+    /// batch hint (+1 so the in-flight tuple survives a full refill).
+    pub fn alloc_region(&mut self, capacity: u32, slot_bytes: u32) -> u32 {
+        assert!(capacity > 0, "bounded region needs capacity");
+        let id = self.regions.len() as u32;
+        let base = self.sim_alloc(capacity as u64 * slot_bytes as u64);
+        self.regions.push(Region {
+            base,
+            slot_bytes,
+            capacity,
+            next: 0,
+            tuples: vec![None; capacity as usize],
+        });
+        id
+    }
+
+    /// Create an unbounded append-only region (sort/hash materialization).
+    pub fn alloc_unbounded_region(&mut self, slot_bytes: u32) -> u32 {
+        let id = self.regions.len() as u32;
+        // Reserve a generous contiguous address range; addresses are virtual.
+        let base = self.sim_alloc(1 << 28);
+        self.regions.push(Region { base, slot_bytes, capacity: 0, next: 0, tuples: Vec::new() });
+        id
+    }
+
+    /// Store a tuple into `region`, simulating the memory write of its
+    /// payload. Returns the slot handle.
+    pub fn store(&mut self, region: u32, tuple: Tuple, machine: &mut Machine) -> TupleSlot {
+        let r = &mut self.regions[region as usize];
+        let slot = r.next;
+        let written = (tuple.simulated_width() as u32).min(r.slot_bytes.max(16));
+        if r.capacity == 0 {
+            r.tuples.push(Some(tuple));
+            r.next += 1;
+        } else {
+            r.tuples[slot as usize] = Some(tuple);
+            r.next = (r.next + 1) % r.capacity;
+        }
+        let addr = r.base + slot as u64 * r.slot_bytes as u64;
+        machine.data_write(addr, written as usize);
+        TupleSlot { region, slot }
+    }
+
+    /// The tuple in `slot`. Panics when the slot was never written or has
+    /// been recycled — which indicates an executor protocol bug (a parent
+    /// holding a pointer longer than the child's slot capacity allows).
+    pub fn tuple(&self, slot: TupleSlot) -> &Tuple {
+        self.regions[slot.region as usize].tuples[slot.slot as usize]
+            .as_ref()
+            .expect("read of recycled or unwritten tuple slot")
+    }
+
+    /// Like [`TupleArena::tuple`], but also simulates the memory read.
+    pub fn read(&self, slot: TupleSlot, machine: &mut Machine) -> &Tuple {
+        let r = &self.regions[slot.region as usize];
+        let t = r.tuples[slot.slot as usize]
+            .as_ref()
+            .expect("read of recycled or unwritten tuple slot");
+        let addr = r.base + slot.slot as u64 * r.slot_bytes as u64;
+        machine.data_read(addr, (t.simulated_width() as u32).min(r.slot_bytes.max(16)) as usize);
+        t
+    }
+
+    /// Simulated address of a slot (for pointer-array modelling).
+    pub fn slot_addr(&self, slot: TupleSlot) -> u64 {
+        let r = &self.regions[slot.region as usize];
+        r.base + slot.slot as u64 * r.slot_bytes as u64
+    }
+
+    /// Number of regions allocated (diagnostics).
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bufferdb_cachesim::MachineConfig;
+    use bufferdb_types::Datum;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::pentium4_like())
+    }
+
+    fn tup(v: i64) -> Tuple {
+        Tuple::new(vec![Datum::Int(v)])
+    }
+
+    #[test]
+    fn store_and_read_round_trip() {
+        let mut a = TupleArena::new();
+        let mut m = machine();
+        let r = a.alloc_region(4, 64);
+        let s = a.store(r, tup(42), &mut m);
+        assert_eq!(a.tuple(s).get(0).as_int(), Some(42));
+        assert_eq!(a.read(s, &mut m).get(0).as_int(), Some(42));
+    }
+
+    #[test]
+    fn bounded_region_recycles_round_robin() {
+        let mut a = TupleArena::new();
+        let mut m = machine();
+        let r = a.alloc_region(3, 64);
+        let s0 = a.store(r, tup(0), &mut m);
+        let _s1 = a.store(r, tup(1), &mut m);
+        let _s2 = a.store(r, tup(2), &mut m);
+        let s3 = a.store(r, tup(3), &mut m);
+        // Slot 0 was recycled for tuple 3.
+        assert_eq!(s3.slot, s0.slot);
+        assert_eq!(a.tuple(s3).get(0).as_int(), Some(3));
+    }
+
+    #[test]
+    fn slots_alive_within_capacity_window() {
+        let mut a = TupleArena::new();
+        let mut m = machine();
+        let r = a.alloc_region(100, 64);
+        let slots: Vec<TupleSlot> = (0..100).map(|i| a.store(r, tup(i), &mut m)).collect();
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!(a.tuple(*s).get(0).as_int(), Some(i as i64));
+        }
+    }
+
+    #[test]
+    fn unbounded_region_grows() {
+        let mut a = TupleArena::new();
+        let mut m = machine();
+        let r = a.alloc_unbounded_region(64);
+        let slots: Vec<TupleSlot> = (0..10_000).map(|i| a.store(r, tup(i), &mut m)).collect();
+        assert_eq!(a.tuple(slots[9999]).get(0).as_int(), Some(9999));
+        assert_eq!(a.tuple(slots[0]).get(0).as_int(), Some(0));
+    }
+
+    #[test]
+    fn addresses_are_disjoint_across_regions() {
+        let mut a = TupleArena::new();
+        let mut m = machine();
+        let r1 = a.alloc_region(10, 64);
+        let r2 = a.alloc_region(10, 128);
+        let s1 = a.store(r1, tup(1), &mut m);
+        let s2 = a.store(r2, tup(2), &mut m);
+        assert_ne!(a.slot_addr(s1), a.slot_addr(s2));
+        assert!(a.slot_addr(s2) >= a.slot_addr(s1) + 10 * 64);
+    }
+
+    #[test]
+    fn sequential_stores_write_sequential_addresses() {
+        let mut a = TupleArena::new();
+        let mut m = machine();
+        let r = a.alloc_region(8, 64);
+        let s0 = a.store(r, tup(0), &mut m);
+        let s1 = a.store(r, tup(1), &mut m);
+        assert_eq!(a.slot_addr(s1), a.slot_addr(s0) + 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "recycled or unwritten")]
+    fn reading_unwritten_slot_panics() {
+        let a2 = {
+            let mut a = TupleArena::new();
+            a.alloc_region(4, 64);
+            a
+        };
+        let _ = a2.tuple(TupleSlot { region: 0, slot: 2 });
+    }
+
+    #[test]
+    fn sim_alloc_is_monotonic() {
+        let mut a = TupleArena::new();
+        let x = a.sim_alloc(100);
+        let y = a.sim_alloc(1);
+        assert!(y > x);
+        assert_eq!(x % 64, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Execution context threaded through every operator call.
+
+use crate::arena::TupleArena;
+use bufferdb_cachesim::{Machine, MachineConfig};
+
+/// Per-query execution state: the simulated machine and the tuple arena.
+///
+/// Operators receive `&mut ExecContext` on every `open`/`next`/`close` call,
+/// mirroring PostgreSQL's `EState`.
+pub struct ExecContext {
+    /// The simulated CPU (caches, predictor, counters).
+    pub machine: Machine,
+    /// Intermediate tuple storage.
+    pub arena: TupleArena,
+}
+
+impl ExecContext {
+    /// Fresh context for one query under the given machine configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        ExecContext { machine: Machine::new(cfg), arena: TupleArena::new() }
+    }
+}
+
+impl std::fmt::Debug for ExecContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecContext")
+            .field("counters", &self.machine.snapshot())
+            .field("regions", &self.arena.region_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_context_has_clean_counters() {
+        let ctx = ExecContext::new(MachineConfig::pentium4_like());
+        let c = ctx.machine.snapshot();
+        assert_eq!(c.instructions, 0);
+        assert_eq!(ctx.arena.region_count(), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! The paper's buffer operator (§5).
+//!
+//! A light-weight iterator that batches the intermediate results of the
+//! operator(s) below it. `GetNext` follows the paper's Figure 6 pseudocode:
+//!
+//! ```text
+//! GetNext()
+//! 1 if empty and !end_of_tuples then
+//! 2    while !full
+//! 3       do child.GetNext()
+//! 4       if end_of_tuples then break
+//! 5       else store the pointer to the tuple
+//! 6 return the next pointed tuple
+//! ```
+//!
+//! Crucially it stores **pointers** (arena slots), never copies: "the
+//! overhead of copying would reduce the benefit of buffering instructions".
+//! The child is told (batch hint) to keep `size` output tuples alive, the
+//! Rust rendering of PostgreSQL's delegate-deallocation-to-ancestor rule.
+
+use crate::arena::TupleSlot;
+use crate::context::ExecContext;
+use crate::exec::Operator;
+use crate::footprint::{FootprintModel, OpKind};
+use bufferdb_cachesim::CodeRegion;
+use bufferdb_types::{Datum, DbError, Result, SchemaRef};
+
+/// Instruction cost of storing one pointer into the array.
+const STORE_INSTR: u64 = 12;
+/// Instruction cost of returning one pointed tuple.
+const RETURN_INSTR: u64 = 10;
+
+/// The buffer operator.
+pub struct BufferOp {
+    child: Box<dyn Operator>,
+    size: usize,
+    schema: SchemaRef,
+    code: CodeRegion,
+    slots: Vec<TupleSlot>,
+    pos: usize,
+    end_of_tuples: bool,
+    array_base: u64,
+    /// Extra live-slot demand announced by a parent (a stacked buffer):
+    /// forwarded to the child, since we return the child's slots directly.
+    parent_hint: usize,
+}
+
+impl BufferOp {
+    /// Wrap `child` with a buffer of `size` tuple pointers.
+    pub fn new(fm: &mut FootprintModel, child: Box<dyn Operator>, size: usize) -> Result<Self> {
+        if size == 0 {
+            return Err(DbError::InvalidPlan("buffer size must be > 0".into()));
+        }
+        let schema = child.schema();
+        let code = fm.region_for(&OpKind::Buffer);
+        Ok(BufferOp {
+            child,
+            size,
+            schema,
+            code,
+            slots: Vec::with_capacity(size),
+            pos: 0,
+            end_of_tuples: false,
+            array_base: 0,
+            parent_hint: 0,
+        })
+    }
+
+    /// Configured array capacity.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+impl Operator for BufferOp {
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        // The child must keep `size` output tuples alive while we hold
+        // pointers to them (+1 for the tuple being produced), plus whatever
+        // window a parent holding *our* outputs (= the child's slots) needs.
+        self.child.set_batch_hint(self.size + self.parent_hint + 1);
+        self.child.open(ctx)?;
+        self.array_base = ctx.arena.sim_alloc(self.size as u64 * 8);
+        self.slots.clear();
+        self.pos = 0;
+        self.end_of_tuples = false;
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleSlot>> {
+        if self.pos >= self.slots.len() && !self.end_of_tuples {
+            // The full (still tiny, 0.7 K) buffer code runs on the refill
+            // path; the return-pointed-tuple fast path below is a handful of
+            // instructions — this is what makes the operator "light-weight"
+            // (Table 4: < 1 % instruction-count difference).
+            ctx.machine.exec_region(&mut self.code);
+            // Refill: repeatedly call the child until the array is full or
+            // end-of-tuples — the paper's PCCCCC phase.
+            self.slots.clear();
+            self.pos = 0;
+            while self.slots.len() < self.size {
+                match self.child.next(ctx)? {
+                    Some(slot) => {
+                        ctx.machine
+                            .data_write(self.array_base + self.slots.len() as u64 * 8, 8);
+                        ctx.machine.add_instructions(STORE_INSTR);
+                        self.slots.push(slot);
+                    }
+                    None => {
+                        self.end_of_tuples = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if self.pos < self.slots.len() {
+            ctx.machine.data_read(self.array_base + self.pos as u64 * 8, 8);
+            ctx.machine.add_instructions(RETURN_INSTR);
+            let slot = self.slots[self.pos];
+            self.pos += 1;
+            Ok(Some(slot))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        self.slots.clear();
+        self.child.close(ctx)
+    }
+
+    fn rescan(&mut self, ctx: &mut ExecContext, param: Option<&Datum>) -> Result<()> {
+        self.child.rescan(ctx, param)?;
+        self.slots.clear();
+        self.pos = 0;
+        self.end_of_tuples = false;
+        Ok(())
+    }
+
+    fn set_batch_hint(&mut self, n: usize) {
+        // A buffer's own storage is just the pointer array; we forward the
+        // demand because our outputs ARE the child's slots.
+        self.parent_hint = self.parent_hint.max(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::seqscan::SeqScanOp;
+    use crate::expr::Expr;
+    use bufferdb_cachesim::MachineConfig;
+    use bufferdb_storage::{Catalog, TableBuilder};
+    use bufferdb_types::{DataType, Field, Schema, Tuple};
+
+    fn setup(n: i64) -> (Catalog, FootprintModel, ExecContext) {
+        let c = Catalog::new();
+        let mut b = TableBuilder::new("t", Schema::new(vec![Field::new("k", DataType::Int)]));
+        for i in 0..n {
+            b.push(Tuple::new(vec![Datum::Int(i)]));
+        }
+        c.add_table(b);
+        (c, FootprintModel::new(), ExecContext::new(MachineConfig::pentium4_like()))
+    }
+
+    fn scan(c: &Catalog, fm: &mut FootprintModel, pred: Option<Expr>) -> Box<dyn Operator> {
+        Box::new(SeqScanOp::new(c, fm, "t", pred, None).unwrap())
+    }
+
+    #[test]
+    fn buffer_is_transparent() {
+        let (c, mut fm, mut ctx) = setup(257);
+        let child = scan(&c, &mut fm, None);
+        let mut op = BufferOp::new(&mut fm, child, 100).unwrap();
+        op.open(&mut ctx).unwrap();
+        let mut got = Vec::new();
+        while let Some(s) = op.next(&mut ctx).unwrap() {
+            got.push(ctx.arena.tuple(s).get(0).as_int().unwrap());
+        }
+        assert_eq!(got, (0..257).collect::<Vec<_>>());
+        assert!(op.next(&mut ctx).unwrap().is_none(), "stays exhausted");
+        op.close(&mut ctx).unwrap();
+    }
+
+    #[test]
+    fn buffer_size_one_still_correct() {
+        let (c, mut fm, mut ctx) = setup(5);
+        let child = scan(&c, &mut fm, None);
+        let mut op = BufferOp::new(&mut fm, child, 1).unwrap();
+        op.open(&mut ctx).unwrap();
+        let mut n = 0;
+        while op.next(&mut ctx).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn zero_size_rejected() {
+        let (c, mut fm, _) = setup(1);
+        let child = scan(&c, &mut fm, None);
+        assert!(BufferOp::new(&mut fm, child, 0).is_err());
+    }
+
+    #[test]
+    fn empty_child() {
+        let (c, mut fm, mut ctx) = setup(0);
+        let child = scan(&c, &mut fm, None);
+        let mut op = BufferOp::new(&mut fm, child, 100).unwrap();
+        op.open(&mut ctx).unwrap();
+        assert!(op.next(&mut ctx).unwrap().is_none());
+    }
+
+    #[test]
+    fn rescan_resets_buffer_state() {
+        let (c, mut fm, mut ctx) = setup(10);
+        let child = scan(&c, &mut fm, None);
+        let mut op = BufferOp::new(&mut fm, child, 4).unwrap();
+        op.open(&mut ctx).unwrap();
+        for _ in 0..10 {
+            assert!(op.next(&mut ctx).unwrap().is_some());
+        }
+        assert!(op.next(&mut ctx).unwrap().is_none());
+        op.rescan(&mut ctx, None).unwrap();
+        let mut n = 0;
+        while op.next(&mut ctx).unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn child_called_in_batches() {
+        // With size 100 over 250 rows, the child should be drained in runs:
+        // verify by checking the buffer still returns tuples with correct
+        // values even after the child's slot window cycled.
+        let (c, mut fm, mut ctx) = setup(250);
+        let child = scan(&c, &mut fm, None);
+        let mut op = BufferOp::new(&mut fm, child, 100).unwrap();
+        op.open(&mut ctx).unwrap();
+        let mut all = Vec::new();
+        while let Some(s) = op.next(&mut ctx).unwrap() {
+            all.push(ctx.arena.tuple(s).get(0).as_int().unwrap());
+        }
+        assert_eq!(all.len(), 250);
+        assert_eq!(all[199], 199);
+    }
+
+    #[test]
+    fn filtered_child_with_no_survivors() {
+        let (c, mut fm, mut ctx) = setup(100);
+        let pred = Expr::col(0).lt(Expr::lit(0)); // nothing passes
+        let child = scan(&c, &mut fm, Some(pred));
+        let mut op = BufferOp::new(&mut fm, child, 10).unwrap();
+        op.open(&mut ctx).unwrap();
+        assert!(op.next(&mut ctx).unwrap().is_none());
+    }
+
+    #[test]
+    fn buffer_instruction_overhead_is_small() {
+        // Table 4's observation: buffered and original plans execute almost
+        // the same number of instructions (< 1% difference). The buffer adds
+        // ~20 instructions per tuple vs thousands for real operators.
+        let (c, mut fm, mut ctx) = setup(1000);
+        let mut plain = scan(&c, &mut fm, None);
+        plain.open(&mut ctx).unwrap();
+        let s0 = ctx.machine.snapshot();
+        while plain.next(&mut ctx).unwrap().is_some() {}
+        let plain_instr = (ctx.machine.snapshot() - s0).instructions;
+
+        let (c2, mut fm2, mut ctx2) = setup(1000);
+        let child2 = scan(&c2, &mut fm2, None);
+        let mut buffered = BufferOp::new(&mut fm2, child2, 100).unwrap();
+        buffered.open(&mut ctx2).unwrap();
+        let s1 = ctx2.machine.snapshot();
+        while buffered.next(&mut ctx2).unwrap().is_some() {}
+        let buf_instr = (ctx2.machine.snapshot() - s1).instructions;
+
+        let overhead = buf_instr as f64 / plain_instr as f64 - 1.0;
+        assert!(overhead < 0.02, "buffer instruction overhead {overhead:.3}");
+    }
+}

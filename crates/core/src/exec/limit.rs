@@ -1,0 +1,131 @@
+//! LIMIT operator.
+
+use crate::arena::TupleSlot;
+use crate::context::ExecContext;
+use crate::exec::Operator;
+use crate::footprint::{FootprintModel, OpKind};
+use bufferdb_cachesim::CodeRegion;
+use bufferdb_types::{Datum, Result, SchemaRef};
+
+/// Limit operator: stops after `n` tuples. A tiny footprint — like the
+/// buffer, it is a light-weight wrapper.
+pub struct LimitOp {
+    child: Box<dyn Operator>,
+    limit: u64,
+    produced: u64,
+    schema: SchemaRef,
+    code: CodeRegion,
+}
+
+impl LimitOp {
+    /// Wrap `child`, producing at most `limit` tuples.
+    pub fn new(fm: &mut FootprintModel, child: Box<dyn Operator>, limit: u64) -> Self {
+        let schema = child.schema();
+        LimitOp { child, limit, produced: 0, schema, code: fm.region_for(&OpKind::Limit) }
+    }
+}
+
+impl Operator for LimitOp {
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn set_batch_hint(&mut self, n: usize) {
+        self.child.set_batch_hint(n);
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        self.produced = 0;
+        self.child.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleSlot>> {
+        ctx.machine.exec_region(&mut self.code);
+        if self.produced >= self.limit {
+            return Ok(None);
+        }
+        match self.child.next(ctx)? {
+            None => Ok(None),
+            Some(slot) => {
+                self.produced += 1;
+                Ok(Some(slot))
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        self.child.close(ctx)
+    }
+
+    fn rescan(&mut self, ctx: &mut ExecContext, param: Option<&Datum>) -> Result<()> {
+        self.child.rescan(ctx, param)?;
+        self.produced = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::seqscan::SeqScanOp;
+    use bufferdb_cachesim::MachineConfig;
+    use bufferdb_storage::{Catalog, TableBuilder};
+    use bufferdb_types::{DataType, Field, Schema, Tuple};
+
+    fn setup(n: i64) -> (Catalog, FootprintModel, ExecContext) {
+        let c = Catalog::new();
+        let mut b = TableBuilder::new("t", Schema::new(vec![Field::new("k", DataType::Int)]));
+        for i in 0..n {
+            b.push(Tuple::new(vec![Datum::Int(i)]));
+        }
+        c.add_table(b);
+        (c, FootprintModel::new(), ExecContext::new(MachineConfig::pentium4_like()))
+    }
+
+    fn count(op: &mut dyn Operator, ctx: &mut ExecContext) -> usize {
+        let mut n = 0;
+        while op.next(ctx).unwrap().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let (c, mut fm, mut ctx) = setup(100);
+        let child = Box::new(SeqScanOp::new(&c, &mut fm, "t", None, None).unwrap());
+        let mut op = LimitOp::new(&mut fm, child, 7);
+        op.open(&mut ctx).unwrap();
+        assert_eq!(count(&mut op, &mut ctx), 7);
+        assert!(op.next(&mut ctx).unwrap().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn limit_larger_than_input() {
+        let (c, mut fm, mut ctx) = setup(3);
+        let child = Box::new(SeqScanOp::new(&c, &mut fm, "t", None, None).unwrap());
+        let mut op = LimitOp::new(&mut fm, child, 10);
+        op.open(&mut ctx).unwrap();
+        assert_eq!(count(&mut op, &mut ctx), 3);
+    }
+
+    #[test]
+    fn limit_zero() {
+        let (c, mut fm, mut ctx) = setup(3);
+        let child = Box::new(SeqScanOp::new(&c, &mut fm, "t", None, None).unwrap());
+        let mut op = LimitOp::new(&mut fm, child, 0);
+        op.open(&mut ctx).unwrap();
+        assert_eq!(count(&mut op, &mut ctx), 0);
+    }
+
+    #[test]
+    fn rescan_resets_count() {
+        let (c, mut fm, mut ctx) = setup(10);
+        let child = Box::new(SeqScanOp::new(&c, &mut fm, "t", None, None).unwrap());
+        let mut op = LimitOp::new(&mut fm, child, 4);
+        op.open(&mut ctx).unwrap();
+        assert_eq!(count(&mut op, &mut ctx), 4);
+        op.rescan(&mut ctx, None).unwrap();
+        assert_eq!(count(&mut op, &mut ctx), 4);
+    }
+}

@@ -1,0 +1,186 @@
+//! The demand-pull executor: Volcano iterators over the simulated machine.
+//!
+//! Every operator implements the open/next/close (+ rescan) interface of §4.
+//! `next` produces **one tuple per call** — the paper's PCPCPC interleaving —
+//! and executes the operator's synthetic code region through the machine
+//! simulator on every call, so instruction-cache behaviour emerges from the
+//! execution pattern rather than being assumed.
+
+pub mod agg;
+pub mod buffer;
+pub mod copybuffer;
+pub mod filter;
+pub mod hashjoin;
+pub mod limit;
+pub mod indexscan;
+pub mod materialize;
+pub mod mergejoin;
+pub mod nestloop;
+pub mod project;
+pub mod seqscan;
+pub mod sort;
+
+use crate::arena::TupleSlot;
+use crate::context::ExecContext;
+use crate::footprint::FootprintModel;
+use crate::plan::PlanNode;
+use crate::stats::ExecStats;
+use bufferdb_cachesim::MachineConfig;
+use bufferdb_storage::Catalog;
+use bufferdb_types::{DataType, Datum, DbError, Result, SchemaRef, Tuple};
+
+/// Default live-slot window for an operator's output region when no buffer
+/// operator raised it: the consumer holds at most the current tuple while the
+/// producer writes the next one.
+pub const DEFAULT_BATCH: usize = 2;
+
+/// The iterator interface every operator supports (§4).
+pub trait Operator {
+    /// Output schema.
+    fn schema(&self) -> SchemaRef;
+
+    /// Initialize state; called once before any `next`.
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<()>;
+
+    /// Produce the next tuple, or `None` when exhausted.
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleSlot>>;
+
+    /// Release state; called once after the last `next`.
+    fn close(&mut self, ctx: &mut ExecContext) -> Result<()>;
+
+    /// Restart the iterator, optionally with a new parameter (the inner side
+    /// of a nested-loop join). Operators that cannot restart return an error.
+    fn rescan(&mut self, _ctx: &mut ExecContext, _param: Option<&Datum>) -> Result<()> {
+        Err(DbError::ExecProtocol(format!(
+            "operator over {} does not support rescan",
+            self.schema()
+        )))
+    }
+
+    /// A parent buffer operator announces it will keep up to `n` output
+    /// tuples of this operator alive (§5: the buffer stores pointers; the
+    /// tuples stay in the child's memory space). Called before `open`.
+    fn set_batch_hint(&mut self, _n: usize) {}
+}
+
+/// Estimated simulated slot width in bytes for tuples of `schema`.
+pub fn schema_slot_bytes(schema: &SchemaRef) -> u32 {
+    let payload: usize = schema
+        .fields()
+        .iter()
+        .map(|f| match f.ty {
+            DataType::Bool => 1,
+            DataType::Int | DataType::Float => 8,
+            DataType::Decimal => 16,
+            DataType::Date => 4,
+            DataType::Str => 48,
+        })
+        .sum();
+    ((16 + payload).next_multiple_of(16)) as u32
+}
+
+/// Build an executable operator tree for `plan`.
+///
+/// `fm` owns the simulated code layout; passing the same model for several
+/// plans makes them share operator code, as compiled binaries do.
+pub fn build_executor(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    fm: &mut FootprintModel,
+) -> Result<Box<dyn Operator>> {
+    // Validate the whole tree up front (schemas, column indices).
+    plan.output_schema(catalog)?;
+    build_rec(plan, catalog, fm)
+}
+
+fn build_rec(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    fm: &mut FootprintModel,
+) -> Result<Box<dyn Operator>> {
+    Ok(match plan {
+        PlanNode::SeqScan { table, predicate, projection } => Box::new(
+            seqscan::SeqScanOp::new(catalog, fm, table, predicate.clone(), projection.clone())?,
+        ),
+        PlanNode::IndexScan { index, mode } => {
+            Box::new(indexscan::IndexScanOp::new(catalog, fm, index, mode.clone())?)
+        }
+        PlanNode::NestLoopJoin { outer, inner, param_outer_col, qual, .. } => {
+            let o = build_rec(outer, catalog, fm)?;
+            let i = build_rec(inner, catalog, fm)?;
+            Box::new(nestloop::NestLoopOp::new(fm, o, i, *param_outer_col, qual.clone()))
+        }
+        PlanNode::HashJoin { probe, build, probe_key, build_key } => {
+            let p = build_rec(probe, catalog, fm)?;
+            let b = build_rec(build, catalog, fm)?;
+            Box::new(hashjoin::HashJoinOp::new(fm, p, b, *probe_key, *build_key))
+        }
+        PlanNode::MergeJoin { left, right, left_key, right_key } => {
+            let l = build_rec(left, catalog, fm)?;
+            let r = build_rec(right, catalog, fm)?;
+            Box::new(mergejoin::MergeJoinOp::new(fm, l, r, *left_key, *right_key))
+        }
+        PlanNode::Sort { input, keys } => {
+            let c = build_rec(input, catalog, fm)?;
+            Box::new(sort::SortOp::new(fm, c, keys.clone()))
+        }
+        PlanNode::Aggregate { input, group_by, aggs } => {
+            let c = build_rec(input, catalog, fm)?;
+            Box::new(agg::AggregateOp::new(fm, c, group_by.clone(), aggs.clone())?)
+        }
+        PlanNode::Project { input, exprs } => {
+            let c = build_rec(input, catalog, fm)?;
+            Box::new(project::ProjectOp::new(fm, c, exprs.clone())?)
+        }
+        PlanNode::Buffer { input, size } => {
+            let c = build_rec(input, catalog, fm)?;
+            Box::new(buffer::BufferOp::new(fm, c, *size)?)
+        }
+        PlanNode::Filter { input, predicate } => {
+            let c = build_rec(input, catalog, fm)?;
+            Box::new(filter::FilterOp::new(fm, c, predicate.clone())?)
+        }
+        PlanNode::Limit { input, limit } => {
+            let c = build_rec(input, catalog, fm)?;
+            Box::new(limit::LimitOp::new(fm, c, *limit))
+        }
+        PlanNode::Materialize { input } => {
+            let c = build_rec(input, catalog, fm)?;
+            Box::new(materialize::MaterializeOp::new(fm, c))
+        }
+    })
+}
+
+/// Execute a plan to completion, returning the result rows.
+pub fn execute_collect(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    cfg: &MachineConfig,
+) -> Result<Vec<Tuple>> {
+    let (rows, _) = execute_with_stats(plan, catalog, cfg)?;
+    Ok(rows)
+}
+
+/// Execute a plan to completion, returning rows plus the simulated hardware
+/// counters, cost breakdown and wall-clock time.
+pub fn execute_with_stats(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    cfg: &MachineConfig,
+) -> Result<(Vec<Tuple>, ExecStats)> {
+    let mut fm = FootprintModel::new();
+    let mut root = build_executor(plan, catalog, &mut fm)?;
+    let mut ctx = ExecContext::new(cfg.clone());
+    let wall_start = std::time::Instant::now();
+    root.open(&mut ctx)?;
+    let mut rows = Vec::new();
+    while let Some(slot) = root.next(&mut ctx)? {
+        rows.push(ctx.arena.tuple(slot).clone());
+    }
+    root.close(&mut ctx)?;
+    let wall = wall_start.elapsed();
+    let counters = ctx.machine.snapshot();
+    let breakdown = ctx.machine.breakdown_for(&counters);
+    let row_count = rows.len() as u64;
+    Ok((rows, ExecStats { rows: row_count, counters, breakdown, wall }))
+}

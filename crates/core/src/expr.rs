@@ -1,0 +1,511 @@
+//! Scalar expressions: columns, literals, comparisons, arithmetic, logic.
+//!
+//! Expressions are evaluated per tuple by scans (predicates, projections),
+//! joins (quals) and aggregates (arguments) — the per-record "nullability,
+//! datatypes, comparison, overflow" checks of §4. Data-dependent predicate
+//! outcomes are reported to the simulated branch predictor by the operators
+//! that own them.
+
+use bufferdb_types::{ops, DataType, Datum, DbError, Result, SchemaRef, Tuple};
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A scalar expression tree over one input tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Input column by position.
+    Column(usize),
+    /// Constant.
+    Literal(Datum),
+    /// Comparison producing a (three-valued) boolean.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Arithmetic.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Three-valued AND.
+    And(Box<Expr>, Box<Expr>),
+    /// Three-valued OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Three-valued NOT.
+    Not(Box<Expr>),
+    /// `IS NULL` (never NULL itself).
+    IsNull(Box<Expr>),
+    /// `CASE WHEN cond THEN then ELSE otherwise END`; a NULL condition
+    /// selects the ELSE branch, as in SQL.
+    Case {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when the condition is true.
+        then: Box<Expr>,
+        /// Value otherwise (including NULL condition).
+        otherwise: Box<Expr>,
+    },
+    /// String prefix test (`col LIKE 'PROMO%'`); NULL input yields NULL.
+    StartsWith {
+        /// String-valued input.
+        input: Box<Expr>,
+        /// Literal prefix.
+        prefix: String,
+    },
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Column(i)
+    }
+
+    /// Literal.
+    pub fn lit(d: impl Into<Datum>) -> Expr {
+        Expr::Literal(d.into())
+    }
+
+    fn cmp(op: CmpOp, l: Expr, r: Expr) -> Expr {
+        Expr::Cmp { op, left: Box::new(l), right: Box::new(r) }
+    }
+
+    /// `self = other`
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::cmp(CmpOp::Eq, self, other)
+    }
+
+    /// `self <> other`
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::cmp(CmpOp::Ne, self, other)
+    }
+
+    /// `self < other`
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::cmp(CmpOp::Lt, self, other)
+    }
+
+    /// `self <= other`
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::cmp(CmpOp::Le, self, other)
+    }
+
+    /// `self > other`
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::cmp(CmpOp::Gt, self, other)
+    }
+
+    /// `self >= other`
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::cmp(CmpOp::Ge, self, other)
+    }
+
+    /// `self AND other`
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self IS NULL`
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+
+    /// `CASE WHEN self THEN then ELSE otherwise END`
+    pub fn case(self, then: Expr, otherwise: Expr) -> Expr {
+        Expr::Case { cond: Box::new(self), then: Box::new(then), otherwise: Box::new(otherwise) }
+    }
+
+    /// `self LIKE 'prefix%'`
+    pub fn starts_with(self, prefix: impl Into<String>) -> Expr {
+        Expr::StartsWith { input: Box::new(self), prefix: prefix.into() }
+    }
+
+    /// `self + other`
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Arith { op: ArithOp::Add, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// `self - other`
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Arith { op: ArithOp::Sub, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// `self * other`
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Arith { op: ArithOp::Mul, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// `self / other`
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::Arith { op: ArithOp::Div, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// Evaluate against one tuple.
+    pub fn eval(&self, row: &Tuple) -> Result<Datum> {
+        match self {
+            Expr::Column(i) => {
+                if *i >= row.arity() {
+                    return Err(DbError::UnknownColumn(format!("column #{i} of {}-ary row", row.arity())));
+                }
+                Ok(row.get(*i).clone())
+            }
+            Expr::Literal(d) => Ok(d.clone()),
+            Expr::Cmp { op, left, right } => {
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                let v = match op {
+                    CmpOp::Eq => ops::eq(&l, &r)?,
+                    CmpOp::Ne => ops::ne(&l, &r)?,
+                    CmpOp::Lt => ops::lt(&l, &r)?,
+                    CmpOp::Le => ops::le(&l, &r)?,
+                    CmpOp::Gt => ops::gt(&l, &r)?,
+                    CmpOp::Ge => ops::ge(&l, &r)?,
+                };
+                Ok(v.map(Datum::Bool).unwrap_or(Datum::Null))
+            }
+            Expr::Arith { op, left, right } => {
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                match op {
+                    ArithOp::Add => ops::add(&l, &r),
+                    ArithOp::Sub => ops::sub(&l, &r),
+                    ArithOp::Mul => ops::mul(&l, &r),
+                    ArithOp::Div => ops::div(&l, &r),
+                }
+            }
+            Expr::And(a, b) => {
+                let x = a.eval(row)?;
+                let y = b.eval(row)?;
+                Ok(bool3_to_datum(ops::and3(datum_to_bool3(&x)?, datum_to_bool3(&y)?)))
+            }
+            Expr::Or(a, b) => {
+                let x = a.eval(row)?;
+                let y = b.eval(row)?;
+                Ok(bool3_to_datum(ops::or3(datum_to_bool3(&x)?, datum_to_bool3(&y)?)))
+            }
+            Expr::Not(a) => {
+                let x = a.eval(row)?;
+                Ok(bool3_to_datum(ops::not3(datum_to_bool3(&x)?)))
+            }
+            Expr::IsNull(a) => Ok(Datum::Bool(a.eval(row)?.is_null())),
+            Expr::Case { cond, then, otherwise } => {
+                match datum_to_bool3(&cond.eval(row)?)? {
+                    Some(true) => then.eval(row),
+                    _ => otherwise.eval(row),
+                }
+            }
+            Expr::StartsWith { input, prefix } => match input.eval(row)? {
+                Datum::Null => Ok(Datum::Null),
+                Datum::Str(s) => Ok(Datum::Bool(s.starts_with(prefix.as_str()))),
+                other => Err(DbError::TypeMismatch(format!(
+                    "LIKE applied to non-string {other}"
+                ))),
+            },
+        }
+    }
+
+    /// Evaluate as a predicate: NULL counts as not-satisfied (SQL WHERE).
+    pub fn eval_predicate(&self, row: &Tuple) -> Result<bool> {
+        match self.eval(row)? {
+            Datum::Bool(b) => Ok(b),
+            Datum::Null => Ok(false),
+            other => Err(DbError::TypeMismatch(format!("predicate produced {other}"))),
+        }
+    }
+
+    /// Number of nodes — a proxy for per-evaluation instruction cost.
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            Expr::Column(_) | Expr::Literal(_) => 0,
+            Expr::Cmp { left, right, .. } | Expr::Arith { left, right, .. } => {
+                left.node_count() + right.node_count()
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => a.node_count() + b.node_count(),
+            Expr::Not(a) | Expr::IsNull(a) => a.node_count(),
+            Expr::Case { cond, then, otherwise } => {
+                cond.node_count() + then.node_count() + otherwise.node_count()
+            }
+            Expr::StartsWith { input, .. } => input.node_count(),
+        }
+    }
+
+    /// Simulated instructions per evaluation (≈ 24 per node: the paper's
+    /// per-record checks are short but numerous).
+    pub fn instruction_cost(&self) -> u64 {
+        self.node_count() as u64 * 24
+    }
+
+    /// Infer the output type against `schema`, validating column indices.
+    pub fn data_type(&self, schema: &SchemaRef) -> Result<DataType> {
+        match self {
+            Expr::Column(i) => {
+                if *i >= schema.len() {
+                    return Err(DbError::UnknownColumn(format!("column #{i} of {schema}")));
+                }
+                Ok(schema.field(*i).ty)
+            }
+            Expr::Literal(d) => d.data_type().ok_or_else(|| {
+                DbError::TypeMismatch("untyped NULL literal".into())
+            }),
+            Expr::Cmp { left, right, .. } => {
+                left.data_type(schema)?;
+                right.data_type(schema)?;
+                Ok(DataType::Bool)
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.data_type(schema)?;
+                b.data_type(schema)?;
+                Ok(DataType::Bool)
+            }
+            Expr::Not(a) | Expr::IsNull(a) => {
+                a.data_type(schema)?;
+                Ok(DataType::Bool)
+            }
+            Expr::StartsWith { input, .. } => {
+                input.data_type(schema)?;
+                Ok(DataType::Bool)
+            }
+            Expr::Case { cond, then, otherwise } => {
+                cond.data_type(schema)?;
+                otherwise.data_type(schema)?;
+                then.data_type(schema)
+            }
+            Expr::Arith { left, right, .. } => {
+                let l = left.data_type(schema)?;
+                let r = right.data_type(schema)?;
+                Ok(match (l, r) {
+                    (DataType::Float, _) | (_, DataType::Float) => DataType::Float,
+                    (DataType::Decimal, _) | (_, DataType::Decimal) => DataType::Decimal,
+                    _ => l,
+                })
+            }
+        }
+    }
+}
+
+fn datum_to_bool3(d: &Datum) -> Result<Option<bool>> {
+    match d {
+        Datum::Null => Ok(None),
+        Datum::Bool(b) => Ok(Some(*b)),
+        other => Err(DbError::TypeMismatch(format!("expected boolean, got {other}"))),
+    }
+}
+
+fn bool3_to_datum(v: Option<bool>) -> Datum {
+    v.map(Datum::Bool).unwrap_or(Datum::Null)
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(i) => write!(f, "${i}"),
+            Expr::Literal(d) => write!(f, "{d}"),
+            Expr::Cmp { op, left, right } => {
+                let s = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "<>",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                write!(f, "({left} {s} {right})")
+            }
+            Expr::Arith { op, left, right } => {
+                let s = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "/",
+                };
+                write!(f, "({left} {s} {right})")
+            }
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(a) => write!(f, "(NOT {a})"),
+            Expr::IsNull(a) => write!(f, "({a} IS NULL)"),
+            Expr::Case { cond, then, otherwise } => {
+                write!(f, "(CASE WHEN {cond} THEN {then} ELSE {otherwise} END)")
+            }
+            Expr::StartsWith { input, prefix } => write!(f, "({input} LIKE '{prefix}%')"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bufferdb_types::{Date, Decimal, Field, Schema};
+
+    fn row() -> Tuple {
+        Tuple::new(vec![
+            Datum::Int(10),
+            Datum::Decimal(Decimal::parse("2.50").unwrap()),
+            Datum::Null,
+            Datum::Date(Date::parse("1998-09-02").unwrap()),
+        ])
+    }
+
+    #[test]
+    fn column_and_literal() {
+        assert_eq!(Expr::col(0).eval(&row()).unwrap().as_int(), Some(10));
+        assert_eq!(Expr::lit(7).eval(&row()).unwrap().as_int(), Some(7));
+        assert!(Expr::col(9).eval(&row()).is_err());
+    }
+
+    #[test]
+    fn comparisons_three_valued() {
+        let e = Expr::col(0).le(Expr::lit(10));
+        assert_eq!(e.eval(&row()).unwrap(), Datum::Bool(true));
+        let with_null = Expr::col(2).le(Expr::lit(10));
+        assert!(with_null.eval(&row()).unwrap().is_null());
+        assert!(!with_null.eval_predicate(&row()).unwrap()); // NULL => filtered
+    }
+
+    #[test]
+    fn q1_charge_expression_evaluates() {
+        // price * (1 - discount): col1 is 2.50, discount 0.2.
+        let e = Expr::col(1).mul(Expr::lit(Datum::Decimal(Decimal::from_int(1)))
+            .sub(Expr::lit(Datum::Decimal(Decimal::parse("0.2").unwrap()))));
+        let v = e.eval(&row()).unwrap();
+        assert_eq!(v.as_decimal().unwrap(), Decimal::parse("2.0").unwrap());
+    }
+
+    #[test]
+    fn logic_and_is_null() {
+        let t = Expr::lit(Datum::Bool(true));
+        let null_cmp = Expr::col(2).eq(Expr::lit(1));
+        let e = t.clone().and(null_cmp.clone());
+        assert!(e.eval(&row()).unwrap().is_null());
+        let e2 = Expr::lit(Datum::Bool(false)).and(null_cmp.clone());
+        assert_eq!(e2.eval(&row()).unwrap(), Datum::Bool(false));
+        assert_eq!(null_cmp.clone().is_null().eval(&row()).unwrap(), Datum::Bool(true));
+        assert_eq!(null_cmp.not().eval(&row()).unwrap(), Datum::Null);
+        let or = Expr::lit(Datum::Bool(true)).or(Expr::col(2).eq(Expr::lit(1)));
+        assert_eq!(or.eval(&row()).unwrap(), Datum::Bool(true));
+    }
+
+    #[test]
+    fn date_predicate_like_query1() {
+        let e = Expr::col(3).le(Expr::lit(Datum::Date(Date::parse("1998-12-01").unwrap())));
+        assert!(e.eval_predicate(&row()).unwrap());
+        let e2 = Expr::col(3).le(Expr::lit(Datum::Date(Date::parse("1998-01-01").unwrap())));
+        assert!(!e2.eval_predicate(&row()).unwrap());
+    }
+
+    #[test]
+    fn predicate_type_error_is_reported() {
+        let e = Expr::col(0).add(Expr::lit(1)); // Int, not Bool
+        assert!(e.eval_predicate(&row()).is_err());
+    }
+
+    #[test]
+    fn node_count_and_cost() {
+        let e = Expr::col(0).le(Expr::lit(10)).and(Expr::col(1).gt(Expr::lit(0)));
+        assert_eq!(e.node_count(), 7);
+        assert_eq!(e.instruction_cost(), 7 * 24);
+    }
+
+    #[test]
+    fn type_inference() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Decimal),
+        ])
+        .into_ref();
+        assert_eq!(Expr::col(0).data_type(&schema).unwrap(), DataType::Int);
+        assert_eq!(
+            Expr::col(0).mul(Expr::col(1)).data_type(&schema).unwrap(),
+            DataType::Decimal
+        );
+        assert_eq!(
+            Expr::col(0).le(Expr::col(1)).data_type(&schema).unwrap(),
+            DataType::Bool
+        );
+        assert!(Expr::col(5).data_type(&schema).is_err());
+    }
+
+    #[test]
+    fn case_when_selects_branches() {
+        // CASE WHEN col0 <= 5 THEN 1 ELSE 0 END over col0 = 10.
+        let e = Expr::col(0).le(Expr::lit(5)).case(Expr::lit(1), Expr::lit(0));
+        assert_eq!(e.eval(&row()).unwrap().as_int(), Some(0));
+        let e2 = Expr::col(0).le(Expr::lit(100)).case(Expr::lit(1), Expr::lit(0));
+        assert_eq!(e2.eval(&row()).unwrap().as_int(), Some(1));
+        // NULL condition takes the ELSE branch.
+        let e3 = Expr::col(2).le(Expr::lit(1)).case(Expr::lit(1), Expr::lit(0));
+        assert_eq!(e3.eval(&row()).unwrap().as_int(), Some(0));
+    }
+
+    #[test]
+    fn starts_with_prefix_test() {
+        let t = Tuple::new(vec![Datum::str("PROMO BURNISHED"), Datum::Null, Datum::Int(3)]);
+        assert_eq!(
+            Expr::col(0).starts_with("PROMO").eval(&t).unwrap(),
+            Datum::Bool(true)
+        );
+        assert_eq!(
+            Expr::col(0).starts_with("ECONOMY").eval(&t).unwrap(),
+            Datum::Bool(false)
+        );
+        assert!(Expr::col(1).starts_with("X").eval(&t).unwrap().is_null());
+        assert!(Expr::col(2).starts_with("X").eval(&t).is_err());
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = Expr::col(0).le(Expr::lit(10)).and(Expr::col(1).is_null());
+        assert_eq!(e.to_string(), "(($0 <= 10) AND ($1 IS NULL))");
+    }
+}

@@ -1,0 +1,233 @@
+//! Constant folding for expressions.
+//!
+//! Plans built programmatically (or by the optimizer) often contain
+//! all-literal subtrees like `1 - 0.05` in Query 1's charge expression.
+//! Folding them once at plan time removes per-tuple work — PostgreSQL's
+//! `eval_const_expressions` does the same. Folding is *conservative*:
+//! any subtree whose evaluation errors (overflow, division by zero, type
+//! mismatch) is left intact so the error surfaces at execution time with
+//! row context, preserving semantics.
+
+use crate::expr::Expr;
+use bufferdb_types::Tuple;
+
+/// Fold every all-literal subtree of `e` into a literal. Returns the
+/// simplified expression; idempotent.
+pub fn fold_constants(e: &Expr) -> Expr {
+    let folded = match e {
+        Expr::Column(_) | Expr::Literal(_) => e.clone(),
+        Expr::Cmp { op, left, right } => Expr::Cmp {
+            op: *op,
+            left: Box::new(fold_constants(left)),
+            right: Box::new(fold_constants(right)),
+        },
+        Expr::Arith { op, left, right } => Expr::Arith {
+            op: *op,
+            left: Box::new(fold_constants(left)),
+            right: Box::new(fold_constants(right)),
+        },
+        Expr::And(a, b) => {
+            Expr::And(Box::new(fold_constants(a)), Box::new(fold_constants(b)))
+        }
+        Expr::Or(a, b) => Expr::Or(Box::new(fold_constants(a)), Box::new(fold_constants(b))),
+        Expr::Not(a) => Expr::Not(Box::new(fold_constants(a))),
+        Expr::IsNull(a) => Expr::IsNull(Box::new(fold_constants(a))),
+        Expr::Case { cond, then, otherwise } => Expr::Case {
+            cond: Box::new(fold_constants(cond)),
+            then: Box::new(fold_constants(then)),
+            otherwise: Box::new(fold_constants(otherwise)),
+        },
+        Expr::StartsWith { input, prefix } => Expr::StartsWith {
+            input: Box::new(fold_constants(input)),
+            prefix: prefix.clone(),
+        },
+    };
+    if is_literal(&folded) {
+        return folded;
+    }
+    if has_no_columns(&folded) {
+        // Evaluate against an empty row; keep the original on error.
+        if let Ok(v) = folded.eval(&Tuple::new(vec![])) {
+            return Expr::Literal(v);
+        }
+    }
+    folded
+}
+
+fn is_literal(e: &Expr) -> bool {
+    matches!(e, Expr::Literal(_))
+}
+
+fn has_no_columns(e: &Expr) -> bool {
+    match e {
+        Expr::Column(_) => false,
+        Expr::Literal(_) => true,
+        Expr::Cmp { left, right, .. } | Expr::Arith { left, right, .. } => {
+            has_no_columns(left) && has_no_columns(right)
+        }
+        Expr::And(a, b) | Expr::Or(a, b) => has_no_columns(a) && has_no_columns(b),
+        Expr::Not(a) | Expr::IsNull(a) => has_no_columns(a),
+        Expr::Case { cond, then, otherwise } => {
+            has_no_columns(cond) && has_no_columns(then) && has_no_columns(otherwise)
+        }
+        Expr::StartsWith { input, .. } => has_no_columns(input),
+    }
+}
+
+/// Fold constants in every expression of a plan tree.
+pub fn fold_plan(plan: &crate::plan::PlanNode) -> crate::plan::PlanNode {
+    use crate::plan::PlanNode as P;
+    let fold_proj = |p: &Option<Vec<(Expr, String)>>| {
+        p.as_ref().map(|v| {
+            v.iter().map(|(e, n)| (fold_constants(e), n.clone())).collect::<Vec<_>>()
+        })
+    };
+    match plan {
+        P::SeqScan { table, predicate, projection } => P::SeqScan {
+            table: table.clone(),
+            predicate: predicate.as_ref().map(fold_constants),
+            projection: fold_proj(projection),
+        },
+        P::IndexScan { .. } => plan.clone(),
+        P::NestLoopJoin { outer, inner, param_outer_col, qual, fk_inner } => P::NestLoopJoin {
+            outer: Box::new(fold_plan(outer)),
+            inner: Box::new(fold_plan(inner)),
+            param_outer_col: *param_outer_col,
+            qual: qual.as_ref().map(fold_constants),
+            fk_inner: *fk_inner,
+        },
+        P::HashJoin { probe, build, probe_key, build_key } => P::HashJoin {
+            probe: Box::new(fold_plan(probe)),
+            build: Box::new(fold_plan(build)),
+            probe_key: *probe_key,
+            build_key: *build_key,
+        },
+        P::MergeJoin { left, right, left_key, right_key } => P::MergeJoin {
+            left: Box::new(fold_plan(left)),
+            right: Box::new(fold_plan(right)),
+            left_key: *left_key,
+            right_key: *right_key,
+        },
+        P::Sort { input, keys } => {
+            P::Sort { input: Box::new(fold_plan(input)), keys: keys.clone() }
+        }
+        P::Aggregate { input, group_by, aggs } => P::Aggregate {
+            input: Box::new(fold_plan(input)),
+            group_by: group_by.clone(),
+            aggs: aggs
+                .iter()
+                .map(|a| crate::plan::AggSpec {
+                    func: a.func,
+                    input: a.input.as_ref().map(fold_constants),
+                    name: a.name.clone(),
+                })
+                .collect(),
+        },
+        P::Project { input, exprs } => P::Project {
+            input: Box::new(fold_plan(input)),
+            exprs: exprs.iter().map(|(e, n)| (fold_constants(e), n.clone())).collect(),
+        },
+        P::Filter { input, predicate } => P::Filter {
+            input: Box::new(fold_plan(input)),
+            predicate: fold_constants(predicate),
+        },
+        P::Limit { input, limit } => {
+            P::Limit { input: Box::new(fold_plan(input)), limit: *limit }
+        }
+        P::Buffer { input, size } => {
+            P::Buffer { input: Box::new(fold_plan(input)), size: *size }
+        }
+        P::Materialize { input } => P::Materialize { input: Box::new(fold_plan(input)) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bufferdb_types::{Datum, Decimal};
+
+    fn dec(s: &str) -> Expr {
+        Expr::lit(Datum::Decimal(Decimal::parse(s).unwrap()))
+    }
+
+    #[test]
+    fn folds_all_literal_arithmetic() {
+        // 1 - 0.05 => 0.95
+        let e = dec("1").sub(dec("0.05"));
+        let f = fold_constants(&e);
+        assert_eq!(f, dec("0.95"));
+    }
+
+    #[test]
+    fn folds_inside_column_expressions() {
+        // col0 * (1 - 0.05): the inner subtree folds, the product stays.
+        let e = Expr::col(0).mul(dec("1").sub(dec("0.05")));
+        let f = fold_constants(&e);
+        assert_eq!(f, Expr::col(0).mul(dec("0.95")));
+        assert!(f.node_count() < e.node_count());
+    }
+
+    #[test]
+    fn keeps_erroring_subtrees_intact() {
+        // 1 / 0 must NOT fold away; the error surfaces at execution.
+        let e = Expr::lit(1).div(Expr::lit(0));
+        assert_eq!(fold_constants(&e), e);
+    }
+
+    #[test]
+    fn folds_logic_and_case() {
+        let e = Expr::lit(Datum::Bool(true)).and(Expr::lit(Datum::Bool(false)));
+        assert_eq!(fold_constants(&e), Expr::lit(Datum::Bool(false)));
+        let c = Expr::lit(1).le(Expr::lit(2)).case(Expr::lit(10), Expr::lit(20));
+        assert_eq!(fold_constants(&c), Expr::lit(10));
+    }
+
+    #[test]
+    fn is_idempotent_and_semantics_preserving() {
+        use bufferdb_types::Tuple;
+        let exprs = [
+            Expr::col(0).mul(dec("1").add(dec("0.08"))),
+            Expr::col(0).le(Expr::lit(3).add(Expr::lit(4))),
+            Expr::col(0).is_null().or(Expr::lit(Datum::Bool(false))),
+        ];
+        let row = Tuple::new(vec![Datum::Int(5)]);
+        for e in &exprs {
+            let f = fold_constants(e);
+            assert_eq!(fold_constants(&f), f, "idempotent");
+            assert_eq!(e.eval(&row).unwrap(), f.eval(&row).unwrap(), "same value");
+        }
+    }
+
+    #[test]
+    fn fold_plan_reduces_query1_expression_cost() {
+        use crate::plan::PlanNode;
+        let catalog = {
+            use bufferdb_storage::{Catalog, TableBuilder};
+            use bufferdb_types::{DataType, Field, Schema, Tuple};
+            let c = Catalog::new();
+            let mut b =
+                TableBuilder::new("t", Schema::new(vec![Field::new("x", DataType::Decimal)]));
+            b.push(Tuple::new(vec![Datum::Decimal(Decimal::from_cents(100))]));
+            c.add_table(b);
+            c
+        };
+        let plan = PlanNode::Project {
+            input: Box::new(PlanNode::SeqScan {
+                table: "t".into(),
+                predicate: None,
+                projection: None,
+            }),
+            exprs: vec![(Expr::col(0).mul(dec("1").sub(dec("0.05"))), "v".into())],
+        };
+        let folded = fold_plan(&plan);
+        // Same results, fewer expression nodes.
+        use crate::exec::execute_collect;
+        use bufferdb_cachesim::MachineConfig;
+        let m = MachineConfig::pentium4_like();
+        let a = execute_collect(&plan, &catalog, &m).unwrap();
+        let b = execute_collect(&folded, &catalog, &m).unwrap();
+        assert_eq!(a, b);
+        let PlanNode::Project { exprs, .. } = &folded else { panic!() };
+        assert_eq!(exprs[0].0.node_count(), 3); // col * lit
+    }
+}

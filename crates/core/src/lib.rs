@@ -1,0 +1,40 @@
+//! BufferDB core: a demand-pull pipelined query executor with the paper's
+//! **buffer operator** and **plan refinement algorithm**.
+//!
+//! The executor follows the classic Volcano `open`/`next`/`close` iterator
+//! contract (§4 of the paper): every operator produces one tuple per `next`
+//! call, recursively pulling from its children. Each operator carries a
+//! synthetic instruction footprint (Table 2) that it executes through the
+//! simulated machine on every call — so the PCPCPC interleaving of parent
+//! and child code, and the instruction-cache thrashing it causes, appear in
+//! the simulated counters exactly as they do on the paper's Pentium 4.
+//!
+//! The [`exec::buffer::BufferOp`] operator implements §5: it batches child
+//! tuples by *pointer* (arena slot), turning the execution sequence into
+//! PCCCCC…PPPPP and restoring instruction locality. [`refine::refine_plan`]
+//! implements §6: bottom-up execution-group formation from calibrated
+//! footprints, with blocking operators and low-cardinality operators
+//! excluded, and a buffer operator placed above each completed group.
+
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod block;
+pub mod context;
+pub mod exec;
+pub mod expr;
+pub mod expr_fold;
+pub mod footprint;
+pub mod optimizer;
+pub mod plan;
+pub mod refine;
+pub mod stats;
+
+pub use arena::{TupleArena, TupleSlot};
+pub use context::ExecContext;
+pub use exec::{build_executor, execute_collect, execute_with_stats, Operator};
+pub use expr::Expr;
+pub use footprint::{FootprintModel, OpKind};
+pub use plan::{AggFunc, AggSpec, IndexMode, PlanNode};
+pub use refine::{refine_plan, RefineConfig};
+pub use stats::ExecStats;

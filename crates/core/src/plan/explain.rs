@@ -1,0 +1,106 @@
+//! EXPLAIN-style plan rendering with footprints and cardinality estimates.
+
+use crate::plan::estimate::estimate_rows;
+use crate::plan::PlanNode;
+use bufferdb_storage::Catalog;
+use std::fmt::Write as _;
+
+/// Render a plan tree, one node per line, annotated with the operator's
+/// instruction footprint (Table 2 values) and estimated rows.
+pub fn explain(plan: &PlanNode, catalog: &Catalog) -> String {
+    let mut out = String::new();
+    render(plan, catalog, 0, &mut out);
+    out
+}
+
+fn render(node: &PlanNode, catalog: &Catalog, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    let fp = node.op_kind().footprint_bytes();
+    let est = estimate_rows(node, catalog);
+    let label = match node {
+        PlanNode::SeqScan { table, predicate, .. } => match predicate {
+            Some(p) => format!("SeqScan on {table} filter {p}"),
+            None => format!("SeqScan on {table}"),
+        },
+        PlanNode::IndexScan { index, mode } => match mode {
+            crate::plan::IndexMode::LookupParam => format!("IndexScan using {index} (param lookup)"),
+            crate::plan::IndexMode::Range { lo, hi } => {
+                format!("IndexScan using {index} range [{lo:?}, {hi:?}]")
+            }
+        },
+        PlanNode::NestLoopJoin { fk_inner, qual, .. } => {
+            let fk = if *fk_inner { " (fk inner)" } else { "" };
+            match qual {
+                Some(q) => format!("NestLoopJoin{fk} qual {q}"),
+                None => format!("NestLoopJoin{fk}"),
+            }
+        }
+        PlanNode::HashJoin { probe_key, build_key, .. } => {
+            format!("HashJoin probe.${probe_key} = build.${build_key} (build is blocking)")
+        }
+        PlanNode::MergeJoin { left_key, right_key, .. } => {
+            format!("MergeJoin left.${left_key} = right.${right_key}")
+        }
+        PlanNode::Sort { keys, .. } => format!("Sort by {keys:?} (blocking)"),
+        PlanNode::Aggregate { group_by, aggs, .. } => {
+            let names: Vec<&str> = aggs.iter().map(|a| a.name.as_str()).collect();
+            if group_by.is_empty() {
+                format!("Aggregate [{}]", names.join(", "))
+            } else {
+                format!("HashAggregate group by {group_by:?} [{}]", names.join(", "))
+            }
+        }
+        PlanNode::Project { exprs, .. } => {
+            let names: Vec<&str> = exprs.iter().map(|(_, n)| n.as_str()).collect();
+            format!("Project [{}]", names.join(", "))
+        }
+        PlanNode::Buffer { size, .. } => format!("*Buffer* (size {size})"),
+        PlanNode::Filter { predicate, .. } => format!("Filter {predicate}"),
+        PlanNode::Limit { limit, .. } => format!("Limit {limit}"),
+        PlanNode::Materialize { .. } => "Materialize (blocking)".to_string(),
+    };
+    let _ = writeln!(out, "{pad}{label}  [footprint {:.1}K, est_rows {est:.0}]", fp as f64 / 1000.0);
+    for c in node.children() {
+        render(c, catalog, depth + 1, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::AggSpec;
+    use bufferdb_storage::TableBuilder;
+    use bufferdb_types::{DataType, Datum, Field, Schema, Tuple};
+
+    #[test]
+    fn explain_renders_buffered_plan() {
+        let c = Catalog::new();
+        let mut b = TableBuilder::new("t", Schema::new(vec![Field::new("k", DataType::Int)]));
+        for i in 0..10 {
+            b.push(Tuple::new(vec![Datum::Int(i)]));
+        }
+        c.add_table(b);
+        let plan = PlanNode::Aggregate {
+            input: Box::new(PlanNode::Buffer {
+                input: Box::new(PlanNode::SeqScan {
+                    table: "t".into(),
+                    predicate: Some(Expr::col(0).le(Expr::lit(5))),
+                    projection: None,
+                }),
+                size: 100,
+            }),
+            group_by: vec![],
+            aggs: vec![AggSpec::count_star("n")],
+        };
+        let text = explain(&plan, &c);
+        assert!(text.contains("Aggregate [n]"));
+        assert!(text.contains("*Buffer* (size 100)"));
+        assert!(text.contains("SeqScan on t filter"));
+        assert!(text.contains("footprint 13.2K"));
+        // Child lines are indented below parents.
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[1].starts_with("  "));
+        assert!(lines[2].starts_with("    "));
+    }
+}

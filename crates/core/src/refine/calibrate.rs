@@ -1,0 +1,135 @@
+//! Cardinality-threshold calibration (§6, §7.3).
+//!
+//! "The calibration experiment would consist of running a single query with
+//! and without buffering at various cardinalities. Query 1 would be a good
+//! choice … The cardinality at which the buffered plan begins to beat the
+//! unbuffered plan would be the cardinality threshold for buffering."
+//!
+//! This runs once per target machine configuration, on a synthetic table.
+
+use crate::exec::execute_with_stats;
+use crate::expr::Expr;
+use crate::plan::{AggFunc, AggSpec, PlanNode};
+use bufferdb_cachesim::MachineConfig;
+use bufferdb_storage::{Catalog, TableBuilder};
+use bufferdb_types::{DataType, Datum, Decimal, Field, Schema, Tuple};
+
+/// Result of one calibration sweep.
+#[derive(Debug, Clone)]
+pub struct CalibrationReport {
+    /// `(output cardinality, unbuffered seconds, buffered seconds)` rows.
+    pub points: Vec<(u64, f64, f64)>,
+    /// Smallest swept cardinality where the buffered plan wins.
+    pub threshold: u64,
+}
+
+/// The Query-1-shaped calibration template over a synthetic table: the scan
+/// (with predicate) and the computed aggregation each fit in L1i, while
+/// their combination exceeds it.
+fn template(limit: i64, buffered: bool, buffer_size: usize) -> PlanNode {
+    let scan = PlanNode::SeqScan {
+        table: "calib".into(),
+        predicate: Some(Expr::col(0).lt(Expr::lit(limit))),
+        projection: None,
+    };
+    let input = if buffered {
+        PlanNode::Buffer { input: Box::new(scan), size: buffer_size }
+    } else {
+        scan
+    };
+    PlanNode::Aggregate {
+        input: Box::new(input),
+        group_by: vec![],
+        aggs: vec![
+            AggSpec::new(AggFunc::Sum, Expr::col(1), "s"),
+            AggSpec::new(AggFunc::Avg, Expr::col(1), "a"),
+            AggSpec::count_star("n"),
+        ],
+    }
+}
+
+/// Build the synthetic calibration table: `rows` rows of (sequence, money).
+pub fn calibration_catalog(rows: i64) -> Catalog {
+    let catalog = Catalog::new();
+    let mut b = TableBuilder::new(
+        "calib",
+        Schema::new(vec![
+            Field::new("seq", DataType::Int),
+            Field::new("price", DataType::Decimal),
+        ]),
+    );
+    for i in 0..rows {
+        b.push(Tuple::new(vec![
+            Datum::Int(i),
+            Datum::Decimal(Decimal::from_cents(100 + (i * 37) % 90_000)),
+        ]));
+    }
+    catalog.add_table(b);
+    catalog
+}
+
+/// Sweep output cardinalities and find the crossover where buffering starts
+/// to win on the given machine. Returns the full sweep for reporting.
+pub fn calibrate_cardinality_threshold(
+    cfg: &MachineConfig,
+    buffer_size: usize,
+) -> CalibrationReport {
+    // Fixed table; the scan predicate controls output cardinality (§7.3).
+    let cardinalities: &[i64] = &[25, 50, 100, 200, 400, 800, 1600, 3200, 6400];
+    let table_rows = 8000;
+    let catalog = calibration_catalog(table_rows);
+    let mut points = Vec::new();
+    let mut threshold = None;
+    for &n in cardinalities {
+        let (_, plain) =
+            execute_with_stats(&template(n, false, buffer_size), &catalog, cfg).expect("calibration query");
+        let (_, buf) =
+            execute_with_stats(&template(n, true, buffer_size), &catalog, cfg).expect("calibration query");
+        let (ps, bs) = (plain.seconds(), buf.seconds());
+        points.push((n as u64, ps, bs));
+        if bs < ps && threshold.is_none() {
+            threshold = Some(n as u64);
+        }
+        if bs >= ps {
+            threshold = None; // require the win to persist for larger cards
+        }
+    }
+    CalibrationReport {
+        points,
+        threshold: threshold.unwrap_or(table_rows as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffered_wins_at_high_cardinality() {
+        let cfg = MachineConfig::pentium4_like();
+        let catalog = calibration_catalog(8000);
+        let (_, plain) = execute_with_stats(&template(6400, false, 100), &catalog, &cfg).unwrap();
+        let (_, buf) = execute_with_stats(&template(6400, true, 100), &catalog, &cfg).unwrap();
+        assert!(
+            buf.seconds() < plain.seconds(),
+            "buffered {} vs plain {}",
+            buf.seconds(),
+            plain.seconds()
+        );
+        // And the dominant saving is instruction-cache misses.
+        assert!(buf.counters.l1i_misses * 2 < plain.counters.l1i_misses);
+    }
+
+    #[test]
+    fn calibration_finds_a_finite_threshold() {
+        let cfg = MachineConfig::pentium4_like();
+        let report = calibrate_cardinality_threshold(&cfg, 100);
+        assert_eq!(report.points.len(), 9);
+        assert!(report.threshold >= 25);
+        assert!(report.threshold < 8000, "threshold {}", report.threshold);
+        // The sweep is monotone-ish: buffered relative advantage grows.
+        let first_gain = report.points[0].1 - report.points[0].2;
+        let last_gain = report.points[8].1 - report.points[8].2;
+        assert!(last_gain > first_gain);
+    }
+}

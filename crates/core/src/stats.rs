@@ -1,0 +1,73 @@
+//! Execution statistics returned alongside query results.
+
+use bufferdb_cachesim::{BreakdownReport, PerfCounters};
+use std::time::Duration;
+
+/// Everything the paper's experiments measure for one query execution.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecStats {
+    /// Result rows produced.
+    pub rows: u64,
+    /// Simulated hardware counters (VTune equivalent).
+    pub counters: PerfCounters,
+    /// Cost-model breakdown (trace / L2 / mispredict / other penalties).
+    pub breakdown: BreakdownReport,
+    /// Host wall-clock time (not the modeled time; useful for sanity only).
+    pub wall: Duration,
+}
+
+impl ExecStats {
+    /// Modeled elapsed seconds (cycles / clock).
+    pub fn seconds(&self) -> f64 {
+        self.breakdown.seconds()
+    }
+
+    /// Modeled cost per instruction (Table 4's metric).
+    pub fn cpi(&self) -> f64 {
+        self.breakdown.cpi()
+    }
+
+    /// Relative improvement of `self` over `baseline` in modeled time
+    /// (positive = faster), e.g. `0.12` = 12 % faster.
+    pub fn improvement_over(&self, baseline: &ExecStats) -> f64 {
+        let base = baseline.seconds();
+        if base == 0.0 {
+            0.0
+        } else {
+            (base - self.seconds()) / base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bufferdb_cachesim::MachineConfig;
+
+    fn stats(l1i_misses: u64) -> ExecStats {
+        let counters = PerfCounters { instructions: 1000, l1i_misses, ..Default::default() };
+        let cfg = MachineConfig::pentium4_like();
+        ExecStats {
+            rows: 1,
+            counters,
+            breakdown: BreakdownReport::from_counters(&counters, &cfg),
+            wall: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn improvement_is_relative_to_baseline() {
+        let slow = stats(1000);
+        let fast = stats(100);
+        let imp = fast.improvement_over(&slow);
+        assert!(imp > 0.0 && imp < 1.0);
+        assert!(slow.improvement_over(&fast) < 0.0);
+    }
+
+    #[test]
+    fn seconds_and_cpi_delegate_to_breakdown() {
+        let s = stats(10);
+        assert!(s.seconds() > 0.0);
+        assert!(s.cpi() > 0.0);
+    }
+}

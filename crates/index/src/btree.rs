@@ -1,0 +1,493 @@
+//! The B+-tree itself.
+//!
+//! A textbook main-memory B+-tree: fixed fan-out internal nodes, leaf nodes
+//! linked left-to-right for range scans. Built bottom-up via bulk load or
+//! incrementally via inserts; lookups return all row ids for a key, range
+//! scans iterate `[lo, hi]` in key order.
+
+use bufferdb_types::{DbError, Result};
+
+/// Heap row identifier stored in index leaves.
+pub type RowId = u32;
+
+/// Maximum keys per node (fan-out - 1 for internal nodes).
+const MAX_KEYS: usize = 64;
+/// Minimum keys per node after a split.
+const MIN_KEYS: usize = MAX_KEYS / 2;
+
+#[derive(Debug)]
+struct Leaf {
+    keys: Vec<i64>,
+    rows: Vec<RowId>,
+    next: Option<usize>,
+}
+
+#[derive(Debug)]
+struct Internal {
+    /// `keys[i]` is the smallest key reachable via `children[i + 1]`.
+    keys: Vec<i64>,
+    children: Vec<usize>,
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf(Leaf),
+    Internal(Internal),
+}
+
+/// A B+-tree mapping `i64` keys to heap row ids. Duplicates allowed.
+#[derive(Debug)]
+pub struct BTreeIndex {
+    nodes: Vec<Node>,
+    root: usize,
+    len: usize,
+    height: usize,
+}
+
+impl Default for BTreeIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTreeIndex {
+    /// An empty tree.
+    pub fn new() -> Self {
+        let leaf = Node::Leaf(Leaf { keys: Vec::new(), rows: Vec::new(), next: None });
+        BTreeIndex { nodes: vec![leaf], root: 0, len: 0, height: 1 }
+    }
+
+    /// Bulk-load from `(key, row)` pairs; pairs need not be sorted.
+    pub fn bulk_load(mut pairs: Vec<(i64, RowId)>) -> Self {
+        pairs.sort_unstable();
+        let mut tree = BTreeIndex { nodes: Vec::new(), root: 0, len: pairs.len(), height: 1 };
+
+        // Build the leaf level: chunks of MAX_KEYS, linked in order.
+        let mut level: Vec<(i64, usize)> = Vec::new(); // (min key, node id)
+        if pairs.is_empty() {
+            tree.nodes.push(Node::Leaf(Leaf { keys: Vec::new(), rows: Vec::new(), next: None }));
+            tree.root = 0;
+            return tree;
+        }
+        let mut leaf_ids = Vec::new();
+        for chunk in pairs.chunks(MAX_KEYS) {
+            let id = tree.nodes.len();
+            tree.nodes.push(Node::Leaf(Leaf {
+                keys: chunk.iter().map(|&(k, _)| k).collect(),
+                rows: chunk.iter().map(|&(_, r)| r).collect(),
+                next: None,
+            }));
+            level.push((chunk[0].0, id));
+            leaf_ids.push(id);
+        }
+        for w in leaf_ids.windows(2) {
+            if let Node::Leaf(l) = &mut tree.nodes[w[0]] {
+                l.next = Some(w[1]);
+            }
+        }
+
+        // Build internal levels until a single root remains.
+        while level.len() > 1 {
+            tree.height += 1;
+            let mut next_level = Vec::new();
+            for chunk in level.chunks(MAX_KEYS + 1) {
+                let id = tree.nodes.len();
+                tree.nodes.push(Node::Internal(Internal {
+                    keys: chunk[1..].iter().map(|&(k, _)| k).collect(),
+                    children: chunk.iter().map(|&(_, c)| c).collect(),
+                }));
+                next_level.push((chunk[0].0, id));
+            }
+            level = next_level;
+        }
+        tree.root = level[0].1;
+        tree
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (levels, leaves inclusive).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    fn leftmost_leaf(&self) -> usize {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf(_) => return id,
+                Node::Internal(n) => id = n.children[0],
+            }
+        }
+    }
+
+    /// Descend to the *leftmost* leaf that may contain `key`. Because a leaf
+    /// split can leave keys equal to the separator in the left sibling,
+    /// reads must branch left on equality; inserts branch right (appending
+    /// after existing duplicates).
+    fn find_leaf(&self, key: i64) -> usize {
+        let mut id = self.root;
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf(_) => return id,
+                Node::Internal(n) => {
+                    let slot = n.keys.partition_point(|&k| k < key);
+                    id = n.children[slot];
+                }
+            }
+        }
+    }
+
+    /// Insert one `(key, row)` entry.
+    pub fn insert(&mut self, key: i64, row: RowId) {
+        self.len += 1;
+        if let Some((mid_key, new_id)) = self.insert_rec(self.root, key, row) {
+            // Root split: grow the tree by one level.
+            let new_root = Node::Internal(Internal {
+                keys: vec![mid_key],
+                children: vec![self.root, new_id],
+            });
+            self.nodes.push(new_root);
+            self.root = self.nodes.len() - 1;
+            self.height += 1;
+        }
+    }
+
+    /// Returns `Some((separator key, new right node id))` when `node` split.
+    fn insert_rec(&mut self, node: usize, key: i64, row: RowId) -> Option<(i64, usize)> {
+        match &mut self.nodes[node] {
+            Node::Leaf(leaf) => {
+                let pos = leaf.keys.partition_point(|&k| k <= key);
+                leaf.keys.insert(pos, key);
+                leaf.rows.insert(pos, row);
+                if leaf.keys.len() <= MAX_KEYS {
+                    return None;
+                }
+                // Split at the midpoint.
+                let right_keys = leaf.keys.split_off(MIN_KEYS);
+                let right_rows = leaf.rows.split_off(MIN_KEYS);
+                let sep = right_keys[0];
+                let old_next = leaf.next;
+                let new_id = self.nodes.len();
+                if let Node::Leaf(l) = &mut self.nodes[node] {
+                    l.next = Some(new_id);
+                }
+                self.nodes.push(Node::Leaf(Leaf {
+                    keys: right_keys,
+                    rows: right_rows,
+                    next: old_next,
+                }));
+                Some((sep, new_id))
+            }
+            Node::Internal(n) => {
+                let slot = n.keys.partition_point(|&k| k <= key);
+                let child = n.children[slot];
+                let split = self.insert_rec(child, key, row)?;
+                let (sep, new_child) = split;
+                if let Node::Internal(n) = &mut self.nodes[node] {
+                    let pos = n.keys.partition_point(|&k| k <= sep);
+                    n.keys.insert(pos, sep);
+                    n.children.insert(pos + 1, new_child);
+                    if n.keys.len() <= MAX_KEYS {
+                        return None;
+                    }
+                    // Split internal node; middle key moves up.
+                    let mid = n.keys.len() / 2;
+                    let up_key = n.keys[mid];
+                    let right_keys = n.keys.split_off(mid + 1);
+                    n.keys.pop(); // remove up_key
+                    let right_children = n.children.split_off(mid + 1);
+                    let new_id = self.nodes.len();
+                    self.nodes.push(Node::Internal(Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    }));
+                    return Some((up_key, new_id));
+                }
+                unreachable!("node kind changed during insert");
+            }
+        }
+    }
+
+    /// All row ids for `key`, in insertion-independent (key, position) order.
+    pub fn lookup(&self, key: i64) -> Vec<RowId> {
+        let mut out = Vec::new();
+        let mut leaf_id = self.find_leaf(key);
+        loop {
+            let Node::Leaf(leaf) = &self.nodes[leaf_id] else { unreachable!() };
+            let start = leaf.keys.partition_point(|&k| k < key);
+            for i in start..leaf.keys.len() {
+                if leaf.keys[i] != key {
+                    return out;
+                }
+                out.push(leaf.rows[i]);
+            }
+            match leaf.next {
+                Some(next) => leaf_id = next,
+                None => return out,
+            }
+        }
+    }
+
+    /// Iterate `(key, row)` pairs with `lo <= key <= hi`, in key order.
+    pub fn range(&self, lo: i64, hi: i64) -> RangeIter<'_> {
+        if lo > hi || self.is_empty() {
+            return RangeIter { tree: self, leaf: None, pos: 0, hi };
+        }
+        let leaf = self.find_leaf(lo);
+        let Node::Leaf(l) = &self.nodes[leaf] else { unreachable!() };
+        let pos = l.keys.partition_point(|&k| k < lo);
+        RangeIter { tree: self, leaf: Some(leaf), pos, hi }
+    }
+
+    /// Iterate every `(key, row)` pair in key order.
+    pub fn scan_all(&self) -> RangeIter<'_> {
+        RangeIter { tree: self, leaf: Some(self.leftmost_leaf()), pos: 0, hi: i64::MAX }
+    }
+
+    /// The number of comparisons a lookup performs (≈ height × log fan-out);
+    /// exposed so the executor can charge instruction work per probe.
+    pub fn probe_cost(&self) -> usize {
+        self.height * (MAX_KEYS.ilog2() as usize + 1)
+    }
+
+    /// Validate structural invariants; returns a description of the first
+    /// violation. Used by property tests.
+    pub fn check_invariants(&self) -> Result<()> {
+        // Keys within each leaf are sorted; leaf chain is globally sorted;
+        // entry count matches len.
+        let mut count = 0;
+        let mut last: Option<i64> = None;
+        let mut leaf_id = Some(self.leftmost_leaf());
+        while let Some(id) = leaf_id {
+            let Node::Leaf(leaf) = &self.nodes[id] else {
+                return Err(DbError::ExecProtocol("leaf chain hits internal node".into()));
+            };
+            if leaf.keys.len() != leaf.rows.len() {
+                return Err(DbError::ExecProtocol("leaf keys/rows length mismatch".into()));
+            }
+            for &k in &leaf.keys {
+                if let Some(prev) = last {
+                    if prev > k {
+                        return Err(DbError::ExecProtocol(format!(
+                            "keys out of order: {prev} > {k}"
+                        )));
+                    }
+                }
+                last = Some(k);
+                count += 1;
+            }
+            leaf_id = leaf.next;
+        }
+        if count != self.len {
+            return Err(DbError::ExecProtocol(format!(
+                "len {} but {} entries reachable",
+                self.len, count
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over a key range of the tree.
+pub struct RangeIter<'a> {
+    tree: &'a BTreeIndex,
+    leaf: Option<usize>,
+    pos: usize,
+    hi: i64,
+}
+
+impl Iterator for RangeIter<'_> {
+    type Item = (i64, RowId);
+
+    fn next(&mut self) -> Option<(i64, RowId)> {
+        loop {
+            let leaf_id = self.leaf?;
+            let Node::Leaf(leaf) = &self.tree.nodes[leaf_id] else { unreachable!() };
+            if self.pos < leaf.keys.len() {
+                let k = leaf.keys[self.pos];
+                if k > self.hi {
+                    self.leaf = None;
+                    return None;
+                }
+                let r = leaf.rows[self.pos];
+                self.pos += 1;
+                return Some((k, r));
+            }
+            self.leaf = leaf.next;
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng as _};
+
+    #[test]
+    fn empty_tree() {
+        let t = BTreeIndex::new();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(42), Vec::<RowId>::new());
+        assert_eq!(t.range(0, 100).count(), 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = BTreeIndex::new();
+        for i in 0..500i64 {
+            t.insert(i * 2, i as RowId);
+        }
+        assert_eq!(t.len(), 500);
+        assert_eq!(t.lookup(10), vec![5]);
+        assert_eq!(t.lookup(11), Vec::<RowId>::new());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let mut t = BTreeIndex::new();
+        for i in 0..10u32 {
+            t.insert(7, i);
+        }
+        let mut rows = t.lookup(7);
+        rows.sort_unstable();
+        assert_eq!(rows, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicates_across_leaf_boundaries() {
+        let mut t = BTreeIndex::new();
+        // Enough duplicates to span several leaves.
+        for i in 0..300u32 {
+            t.insert(5, i);
+        }
+        t.insert(4, 999);
+        t.insert(6, 998);
+        assert_eq!(t.lookup(5).len(), 300);
+        assert_eq!(t.lookup(4), vec![999]);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn range_scan_inclusive() {
+        let mut t = BTreeIndex::new();
+        for i in 0..1000i64 {
+            t.insert(i, i as RowId);
+        }
+        let got: Vec<i64> = t.range(100, 110).map(|(k, _)| k).collect();
+        assert_eq!(got, (100..=110).collect::<Vec<_>>());
+        assert_eq!(t.range(500, 400).count(), 0);
+        assert_eq!(t.range(-10, -1).count(), 0);
+        assert_eq!(t.range(999, 5000).count(), 1);
+    }
+
+    #[test]
+    fn scan_all_is_sorted_and_complete() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut t = BTreeIndex::new();
+        let mut keys: Vec<i64> = (0..5000).map(|_| rng.gen_range(-1000..1000)).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            t.insert(k, i as RowId);
+        }
+        let scanned: Vec<i64> = t.scan_all().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        assert_eq!(scanned, keys);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let pairs: Vec<(i64, RowId)> =
+            (0..3000).map(|i| (rng.gen_range(0..500), i as RowId)).collect();
+        let bulk = BTreeIndex::bulk_load(pairs.clone());
+        let mut incr = BTreeIndex::new();
+        for &(k, r) in &pairs {
+            incr.insert(k, r);
+        }
+        bulk.check_invariants().unwrap();
+        for key in 0..500i64 {
+            let mut a = bulk.lookup(key);
+            let mut b = incr.lookup(key);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "key {key}");
+        }
+        assert_eq!(bulk.len(), incr.len());
+    }
+
+    #[test]
+    fn bulk_load_empty() {
+        let t = BTreeIndex::bulk_load(Vec::new());
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let pairs: Vec<(i64, RowId)> = (0..100_000).map(|i| (i, i as RowId)).collect();
+        let t = BTreeIndex::bulk_load(pairs);
+        assert!(t.height() <= 4, "height {}", t.height());
+        assert!(t.probe_cost() > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The tree agrees with a reference BTreeMap<i64, Vec<RowId>> on
+        /// lookups and ranges, and invariants hold after arbitrary inserts.
+        #[test]
+        fn prop_matches_reference(ops in proptest::collection::vec((-50i64..50, 0u32..1000), 1..400)) {
+            use std::collections::BTreeMap;
+            let mut t = BTreeIndex::new();
+            let mut reference: BTreeMap<i64, Vec<RowId>> = BTreeMap::new();
+            for &(k, r) in &ops {
+                t.insert(k, r);
+                reference.entry(k).or_default().push(r);
+            }
+            t.check_invariants().unwrap();
+            for k in -50..50i64 {
+                let mut got = t.lookup(k);
+                got.sort_unstable();
+                let mut want = reference.get(&k).cloned().unwrap_or_default();
+                want.sort_unstable();
+                prop_assert_eq!(got, want);
+            }
+            // Random range agrees too.
+            let lo = -20i64;
+            let hi = 20i64;
+            let got: Vec<i64> = t.range(lo, hi).map(|(k, _)| k).collect();
+            let want: Vec<i64> = reference
+                .range(lo..=hi)
+                .flat_map(|(&k, rs)| std::iter::repeat_n(k, rs.len()))
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Bulk load over random pairs preserves every entry.
+        #[test]
+        fn prop_bulk_load_complete(pairs in proptest::collection::vec((-100i64..100, 0u32..10_000), 0..500)) {
+            let t = BTreeIndex::bulk_load(pairs.clone());
+            t.check_invariants().unwrap();
+            prop_assert_eq!(t.len(), pairs.len());
+            let mut scanned: Vec<(i64, RowId)> = t.scan_all().collect();
+            let mut want = pairs;
+            want.sort_unstable();
+            scanned.sort_unstable();
+            prop_assert_eq!(scanned, want);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! A B+-tree index over 64-bit integer keys.
+//!
+//! The paper's Query 3 nested-loop plan probes `orders(o_orderkey)` through
+//! an index (IndexScan, Table 2 footprint 14 K); this crate provides that
+//! substrate. Keys are `i64` (TPC-H keys are integers); values are row ids
+//! into a heap table. Duplicate keys are supported (one entry per row).
+
+#![warn(missing_docs)]
+
+pub mod btree;
+
+pub use btree::{BTreeIndex, RowId};

@@ -1,0 +1,170 @@
+//! The catalog: named tables and indexes, plus simulated-address allocation.
+
+use crate::table::{Table, TableBuilder};
+use bufferdb_index::BTreeIndex;
+use bufferdb_types::{DbError, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Base of the simulated data address space (code lives far below).
+pub const DATA_BASE: u64 = 0x1_0000_0000;
+
+/// A secondary index registered in the catalog.
+#[derive(Debug)]
+pub struct IndexDef {
+    /// Index name, e.g. `"orders_pkey"`.
+    pub name: String,
+    /// Indexed table.
+    pub table: String,
+    /// Key column position in the table schema.
+    pub key_column: usize,
+    /// The B+-tree itself.
+    pub btree: BTreeIndex,
+}
+
+/// A catalog of immutable tables and indexes.
+///
+/// Interior mutability lets the TPC-H generator register tables from worker
+/// threads while queries hold only `&Catalog`.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    indexes: RwLock<HashMap<String, Arc<IndexDef>>>,
+    next_addr: RwLock<u64>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog {
+            tables: RwLock::new(HashMap::new()),
+            indexes: RwLock::new(HashMap::new()),
+            next_addr: RwLock::new(DATA_BASE),
+        }
+    }
+
+    /// Finish `builder` into a table laid out at the next free simulated
+    /// address and register it. Returns the shared handle.
+    pub fn add_table(&self, builder: TableBuilder) -> Arc<Table> {
+        // Hold the allocator lock across the build so concurrent callers get
+        // disjoint heaps; registration is rare (load time only).
+        let mut next = self.next_addr.write();
+        let base = *next;
+        let table = Arc::new(builder.build(base));
+        // A 1 MB guard gap separates heaps so streams never blend.
+        *next = base + table.heap_bytes() + (1 << 20);
+        drop(next);
+        self.tables.write().insert(table.name().to_string(), Arc::clone(&table));
+        table
+    }
+
+    /// Allocate `bytes` of simulated data space (hash tables, sort runs,
+    /// buffer arrays). Returns the base address.
+    pub fn alloc_data(&self, bytes: u64) -> u64 {
+        let mut next = self.next_addr.write();
+        let base = *next;
+        *next = base + bytes.next_multiple_of(64);
+        base
+    }
+
+    /// Register an index.
+    pub fn add_index(&self, def: IndexDef) -> Arc<IndexDef> {
+        let arc = Arc::new(def);
+        self.indexes.write().insert(arc.name.clone(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::UnknownRelation(name.to_string()))
+    }
+
+    /// Look up an index by name.
+    pub fn index(&self, name: &str) -> Result<Arc<IndexDef>> {
+        self.indexes
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::UnknownRelation(name.to_string()))
+    }
+
+    /// Names of all registered tables (unordered).
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bufferdb_types::{DataType, Datum, Field, Schema, Tuple};
+
+    fn builder(name: &str, n: i64) -> TableBuilder {
+        let mut b = TableBuilder::new(name, Schema::new(vec![Field::new("id", DataType::Int)]));
+        for i in 0..n {
+            b.push(Tuple::new(vec![Datum::Int(i)]));
+        }
+        b
+    }
+
+    #[test]
+    fn add_and_lookup_table() {
+        let c = Catalog::new();
+        c.add_table(builder("t1", 10));
+        let t = c.table("t1").unwrap();
+        assert_eq!(t.row_count(), 10);
+        assert!(matches!(c.table("nope"), Err(DbError::UnknownRelation(_))));
+    }
+
+    #[test]
+    fn tables_get_disjoint_address_ranges() {
+        let c = Catalog::new();
+        let a = c.add_table(builder("a", 1000));
+        let b = c.add_table(builder("b", 1000));
+        let a_end = a.row_addr(999) + a.row_width(999) as u64;
+        assert!(b.row_addr(0) >= a_end, "heaps must not overlap");
+    }
+
+    #[test]
+    fn alloc_data_is_monotonic_and_aligned() {
+        let c = Catalog::new();
+        let x = c.alloc_data(100);
+        let y = c.alloc_data(10);
+        assert!(y >= x + 128);
+        assert_eq!(y % 64, 0);
+    }
+
+    #[test]
+    fn index_registration() {
+        let c = Catalog::new();
+        c.add_table(builder("t", 5));
+        let mut btree = BTreeIndex::new();
+        for i in 0..5 {
+            btree.insert(i, i as u32);
+        }
+        c.add_index(IndexDef {
+            name: "t_pkey".into(),
+            table: "t".into(),
+            key_column: 0,
+            btree,
+        });
+        let idx = c.index("t_pkey").unwrap();
+        assert_eq!(idx.btree.lookup(3), vec![3]);
+        assert!(c.index("missing").is_err());
+    }
+
+    #[test]
+    fn table_names_lists_everything() {
+        let c = Catalog::new();
+        c.add_table(builder("x", 1));
+        c.add_table(builder("y", 1));
+        let mut names = c.table_names();
+        names.sort();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+}

@@ -1,0 +1,18 @@
+//! In-memory row storage: heap tables, a catalog, and table statistics.
+//!
+//! The paper's experiments run against a memory-resident PostgreSQL with a
+//! buffer pool large enough that no I/O occurs; we therefore model tables as
+//! in-memory row heaps directly. Every row carries a *simulated address* so
+//! that the data-cache model in `bufferdb-cachesim` sees realistic tuple
+//! traffic (sequential heap layout ⇒ hardware prefetch hides scan latency,
+//! exactly the effect §7.4 relies on).
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod stats;
+pub mod table;
+
+pub use catalog::{Catalog, IndexDef};
+pub use stats::TableStats;
+pub use table::{RowId, Table, TableBuilder};

@@ -1,0 +1,491 @@
+//! The TPC-H generator.
+
+use crate::text;
+use bufferdb_index::BTreeIndex;
+use bufferdb_storage::{Catalog, IndexDef, TableBuilder};
+use bufferdb_types::{DataType, Date, Datum, Decimal, Field, Schema, Tuple};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// TPC-H scale factor (1.0 = 6M lineitems; the paper uses 0.2).
+    pub scale: f64,
+    /// Master seed; every run with the same `(scale, seed)` produces
+    /// byte-identical tables.
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// Rows for a base cardinality at this scale (min 1).
+    fn rows(&self, base: u64) -> i64 {
+        ((base as f64 * self.scale).round() as i64).max(1)
+    }
+}
+
+/// TPC-H date range start.
+fn start_date() -> Date {
+    Date::from_ymd(1992, 1, 1).expect("static date")
+}
+
+/// Last order date (spec: 1998-08-02).
+const ORDER_DATE_SPAN: i32 = 2405;
+
+fn money(rng: &mut SmallRng, lo_cents: i64, hi_cents: i64) -> Datum {
+    Datum::Decimal(Decimal::from_cents(rng.gen_range(lo_cents..=hi_cents)))
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The order date for `orderkey`, derived from a hash so that the orders and
+/// lineitem generators agree without sharing an RNG stream.
+fn order_date(cfg: &GenConfig, orderkey: i64) -> Date {
+    let off = (mix(cfg.seed ^ 0x0D ^ orderkey as u64) % ORDER_DATE_SPAN as u64) as i32;
+    start_date().add_days(off)
+}
+
+/// Generate all eight tables plus primary-key indexes into a fresh catalog.
+///
+/// Tables are generated on worker threads (one per table, deterministic
+/// per-table seeds) and registered serially.
+pub fn generate_catalog(scale: f64, seed: u64) -> Catalog {
+    let cfg = GenConfig { scale, seed };
+    let catalog = Catalog::new();
+
+    // Order counts drive lineitem generation, so compute them first.
+    let n_orders = cfg.rows(1_500_000);
+
+    let (region, nation, supplier, customer, part, partsupp, orders, lineitem) =
+        crossbeam::thread::scope(|s| {
+            let h_region = s.spawn(|_| gen_region());
+            let h_nation = s.spawn(|_| gen_nation());
+            let h_supplier = s.spawn(move |_| gen_supplier(&cfg));
+            let h_customer = s.spawn(move |_| gen_customer(&cfg));
+            let h_part = s.spawn(move |_| gen_part(&cfg));
+            let h_partsupp = s.spawn(move |_| gen_partsupp(&cfg));
+            let h_orders = s.spawn(move |_| gen_orders(&cfg, n_orders));
+            let h_lineitem = s.spawn(move |_| gen_lineitem(&cfg, n_orders));
+            (
+                h_region.join().expect("region gen"),
+                h_nation.join().expect("nation gen"),
+                h_supplier.join().expect("supplier gen"),
+                h_customer.join().expect("customer gen"),
+                h_part.join().expect("part gen"),
+                h_partsupp.join().expect("partsupp gen"),
+                h_orders.join().expect("orders gen"),
+                h_lineitem.join().expect("lineitem gen"),
+            )
+        })
+        .expect("generator threads");
+
+    catalog.add_table(region);
+    catalog.add_table(nation);
+    catalog.add_table(supplier);
+    catalog.add_table(customer);
+    catalog.add_table(part);
+    catalog.add_table(partsupp);
+    catalog.add_table(orders);
+    catalog.add_table(lineitem);
+
+    // Primary-key indexes used by the paper's index-nested-loop and merge
+    // join plans.
+    for (index, table) in [
+        ("orders_pkey", "orders"),
+        ("part_pkey", "part"),
+        ("customer_pkey", "customer"),
+    ] {
+        let t = catalog.table(table).expect("registered above");
+        let pairs: Vec<(i64, u32)> = t
+            .rows()
+            .iter()
+            .enumerate()
+            .map(|(i, row)| (row.get(0).as_int().expect("integer pkey"), i as u32))
+            .collect();
+        catalog.add_index(IndexDef {
+            name: index.into(),
+            table: table.into(),
+            key_column: 0,
+            btree: BTreeIndex::bulk_load(pairs),
+        });
+    }
+    catalog
+}
+
+fn gen_region() -> TableBuilder {
+    let mut b = TableBuilder::new(
+        "region",
+        Schema::new(vec![
+            Field::new("r_regionkey", DataType::Int),
+            Field::new("r_name", DataType::Str),
+            Field::new("r_comment", DataType::Str),
+        ]),
+    );
+    let mut rng = SmallRng::seed_from_u64(0xE0);
+    for (i, name) in text::REGIONS.iter().enumerate() {
+        b.push(Tuple::new(vec![
+            Datum::Int(i as i64),
+            Datum::str(*name),
+            Datum::Str(text::comment(&mut rng)),
+        ]));
+    }
+    b
+}
+
+fn gen_nation() -> TableBuilder {
+    let mut b = TableBuilder::new(
+        "nation",
+        Schema::new(vec![
+            Field::new("n_nationkey", DataType::Int),
+            Field::new("n_name", DataType::Str),
+            Field::new("n_regionkey", DataType::Int),
+            Field::new("n_comment", DataType::Str),
+        ]),
+    );
+    let mut rng = SmallRng::seed_from_u64(0xE1);
+    for (i, (name, region)) in text::NATIONS.iter().enumerate() {
+        b.push(Tuple::new(vec![
+            Datum::Int(i as i64),
+            Datum::str(*name),
+            Datum::Int(*region as i64),
+            Datum::Str(text::comment(&mut rng)),
+        ]));
+    }
+    b
+}
+
+fn gen_supplier(cfg: &GenConfig) -> TableBuilder {
+    let n = cfg.rows(10_000);
+    let mut b = TableBuilder::new(
+        "supplier",
+        Schema::new(vec![
+            Field::new("s_suppkey", DataType::Int),
+            Field::new("s_name", DataType::Str),
+            Field::new("s_nationkey", DataType::Int),
+            Field::new("s_acctbal", DataType::Decimal),
+            Field::new("s_comment", DataType::Str),
+        ]),
+    );
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x51);
+    for i in 1..=n {
+        b.push(Tuple::new(vec![
+            Datum::Int(i),
+            Datum::str(format!("Supplier#{i:09}")),
+            Datum::Int(rng.gen_range(0..25)),
+            money(&mut rng, -99_999, 999_999),
+            Datum::Str(text::comment(&mut rng)),
+        ]));
+    }
+    b
+}
+
+fn gen_customer(cfg: &GenConfig) -> TableBuilder {
+    let n = cfg.rows(150_000);
+    let mut b = TableBuilder::new(
+        "customer",
+        Schema::new(vec![
+            Field::new("c_custkey", DataType::Int),
+            Field::new("c_name", DataType::Str),
+            Field::new("c_nationkey", DataType::Int),
+            Field::new("c_acctbal", DataType::Decimal),
+            Field::new("c_mktsegment", DataType::Str),
+            Field::new("c_comment", DataType::Str),
+        ]),
+    );
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xC5);
+    for i in 1..=n {
+        b.push(Tuple::new(vec![
+            Datum::Int(i),
+            Datum::str(format!("Customer#{i:09}")),
+            Datum::Int(rng.gen_range(0..25)),
+            money(&mut rng, -99_999, 999_999),
+            Datum::Str(text::pick(&mut rng, &text::MKT_SEGMENTS)),
+            Datum::Str(text::comment(&mut rng)),
+        ]));
+    }
+    b
+}
+
+fn gen_part(cfg: &GenConfig) -> TableBuilder {
+    let n = cfg.rows(200_000);
+    let mut b = TableBuilder::new(
+        "part",
+        Schema::new(vec![
+            Field::new("p_partkey", DataType::Int),
+            Field::new("p_name", DataType::Str),
+            Field::new("p_brand", DataType::Str),
+            Field::new("p_type", DataType::Str),
+            Field::new("p_size", DataType::Int),
+            Field::new("p_container", DataType::Str),
+            Field::new("p_retailprice", DataType::Decimal),
+        ]),
+    );
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9A);
+    for i in 1..=n {
+        let ty = format!(
+            "{} {} {}",
+            text::TYPE_S1[rng.gen_range(0..text::TYPE_S1.len())],
+            text::TYPE_S2[rng.gen_range(0..text::TYPE_S2.len())],
+            text::TYPE_S3[rng.gen_range(0..text::TYPE_S3.len())],
+        );
+        // Spec: price = (90000 + (partkey mod 200001)/10 + 100*(partkey mod 1000)) / 100.
+        let cents = 90_000 + (i % 200_001) / 10 + 100 * (i % 1000);
+        b.push(Tuple::new(vec![
+            Datum::Int(i),
+            Datum::str(format!("part {i}")),
+            Datum::str(format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6))),
+            Datum::Str(Arc::from(ty)),
+            Datum::Int(rng.gen_range(1..51)),
+            Datum::Str(text::pick(&mut rng, &text::CONTAINERS)),
+            Datum::Decimal(Decimal::from_cents(cents)),
+        ]));
+    }
+    b
+}
+
+fn gen_partsupp(cfg: &GenConfig) -> TableBuilder {
+    let parts = cfg.rows(200_000);
+    let suppliers = cfg.rows(10_000);
+    let mut b = TableBuilder::new(
+        "partsupp",
+        Schema::new(vec![
+            Field::new("ps_partkey", DataType::Int),
+            Field::new("ps_suppkey", DataType::Int),
+            Field::new("ps_availqty", DataType::Int),
+            Field::new("ps_supplycost", DataType::Decimal),
+        ]),
+    );
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xB5);
+    for p in 1..=parts {
+        for s in 0..4 {
+            b.push(Tuple::new(vec![
+                Datum::Int(p),
+                Datum::Int((p + s * (suppliers / 4).max(1)) % suppliers + 1),
+                Datum::Int(rng.gen_range(1..10_000)),
+                money(&mut rng, 100, 100_000),
+            ]));
+        }
+    }
+    b
+}
+
+fn gen_orders(cfg: &GenConfig, n_orders: i64) -> TableBuilder {
+    let customers = cfg.rows(150_000);
+    let mut b = TableBuilder::new(
+        "orders",
+        Schema::new(vec![
+            Field::new("o_orderkey", DataType::Int),
+            Field::new("o_custkey", DataType::Int),
+            Field::new("o_orderstatus", DataType::Str),
+            Field::new("o_totalprice", DataType::Decimal),
+            Field::new("o_orderdate", DataType::Date),
+            Field::new("o_orderpriority", DataType::Str),
+            Field::new("o_shippriority", DataType::Int),
+            Field::new("o_comment", DataType::Str),
+        ]),
+    );
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x0D);
+    let start = start_date();
+    for i in 1..=n_orders {
+        let date = order_date(cfg, i);
+        let status = if date.days() < start.add_days(ORDER_DATE_SPAN / 2).days() {
+            "F"
+        } else {
+            "O"
+        };
+        b.push(Tuple::new(vec![
+            Datum::Int(i),
+            Datum::Int(rng.gen_range(1..=customers)),
+            Datum::str(status),
+            money(&mut rng, 90_000, 50_000_000),
+            Datum::Date(date),
+            Datum::Str(text::pick(&mut rng, &text::ORDER_PRIORITIES)),
+            Datum::Int(0),
+            Datum::Str(text::comment(&mut rng)),
+        ]));
+    }
+    b
+}
+
+/// Lineitems per order: 1..=7 uniform, as in the spec.
+fn gen_lineitem(cfg: &GenConfig, n_orders: i64) -> TableBuilder {
+    let parts = cfg.rows(200_000);
+    let suppliers = cfg.rows(10_000);
+    let mut b = TableBuilder::new(
+        "lineitem",
+        Schema::new(vec![
+            Field::new("l_orderkey", DataType::Int),
+            Field::new("l_partkey", DataType::Int),
+            Field::new("l_suppkey", DataType::Int),
+            Field::new("l_linenumber", DataType::Int),
+            Field::new("l_quantity", DataType::Decimal),
+            Field::new("l_extendedprice", DataType::Decimal),
+            Field::new("l_discount", DataType::Decimal),
+            Field::new("l_tax", DataType::Decimal),
+            Field::new("l_returnflag", DataType::Str),
+            Field::new("l_linestatus", DataType::Str),
+            Field::new("l_shipdate", DataType::Date),
+            Field::new("l_commitdate", DataType::Date),
+            Field::new("l_receiptdate", DataType::Date),
+            Field::new("l_shipinstruct", DataType::Str),
+            Field::new("l_shipmode", DataType::Str),
+            Field::new("l_comment", DataType::Str),
+        ]),
+    );
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x11);
+    let currentdate = Date::from_ymd(1995, 6, 17).expect("static date");
+    for order in 1..=n_orders {
+        // The hash-derived order date matches gen_orders exactly.
+        let order_date = order_date(cfg, order);
+        let lines = rng.gen_range(1..=7);
+        for line in 1..=lines {
+            let quantity = rng.gen_range(1..=50);
+            let partkey = rng.gen_range(1..=parts);
+            let price_cents = 90_000 + (partkey % 200_001) / 10 + 100 * (partkey % 1000);
+            let ext_cents = quantity * price_cents;
+            let ship = order_date.add_days(rng.gen_range(1..=121));
+            let commit = order_date.add_days(rng.gen_range(30..=90));
+            let receipt = ship.add_days(rng.gen_range(1..=30));
+            let (flag, status) = if ship <= currentdate {
+                (if rng.gen_bool(0.5) { "R" } else { "A" }, "F")
+            } else {
+                ("N", "O")
+            };
+            b.push(Tuple::new(vec![
+                Datum::Int(order),
+                Datum::Int(partkey),
+                Datum::Int(rng.gen_range(1..=suppliers)),
+                Datum::Int(line),
+                Datum::Decimal(Decimal::from_cents(quantity * 100)),
+                Datum::Decimal(Decimal::from_cents(ext_cents)),
+                Datum::Decimal(Decimal::from_mantissa(rng.gen_range(0..=10), 2)),
+                Datum::Decimal(Decimal::from_mantissa(rng.gen_range(0..=8), 2)),
+                Datum::str(flag),
+                Datum::str(status),
+                Datum::Date(ship),
+                Datum::Date(commit),
+                Datum::Date(receipt),
+                Datum::Str(text::pick(&mut rng, &text::SHIP_INSTRUCT)),
+                Datum::Str(text::pick(&mut rng, &text::SHIP_MODES)),
+                Datum::Str(text::comment(&mut rng)),
+            ]));
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_catalog_has_all_tables_and_indexes() {
+        let c = generate_catalog(0.001, 42);
+        for t in [
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+        ] {
+            assert!(c.table(t).is_ok(), "missing table {t}");
+        }
+        for i in ["orders_pkey", "part_pkey", "customer_pkey"] {
+            assert!(c.index(i).is_ok(), "missing index {i}");
+        }
+        assert_eq!(c.table("region").unwrap().row_count(), 5);
+        assert_eq!(c.table("nation").unwrap().row_count(), 25);
+    }
+
+    #[test]
+    fn scale_controls_cardinalities() {
+        let c = generate_catalog(0.002, 42);
+        let orders = c.table("orders").unwrap().row_count();
+        assert_eq!(orders, 3000);
+        let li = c.table("lineitem").unwrap().row_count();
+        // 1..=7 lineitems per order, expectation 4.
+        assert!(li > orders * 2 && li < orders * 6, "lineitem {li}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_catalog(0.001, 7);
+        let b = generate_catalog(0.001, 7);
+        let (ta, tb) = (a.table("lineitem").unwrap(), b.table("lineitem").unwrap());
+        assert_eq!(ta.row_count(), tb.row_count());
+        for i in [0usize, 17, ta.row_count() - 1] {
+            assert_eq!(
+                format!("{}", ta.rows()[i]),
+                format!("{}", tb.rows()[i]),
+                "row {i} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_catalog(0.001, 7);
+        let b = generate_catalog(0.001, 8);
+        let (ta, tb) = (a.table("lineitem").unwrap(), b.table("lineitem").unwrap());
+        let same = ta.row_count() == tb.row_count()
+            && format!("{}", ta.rows()[0]) == format!("{}", tb.rows()[0]);
+        assert!(!same, "seeds must change data");
+    }
+
+    #[test]
+    fn lineitem_dates_are_consistent_with_orders() {
+        let c = generate_catalog(0.001, 42);
+        let orders = c.table("orders").unwrap();
+        let li = c.table("lineitem").unwrap();
+        // For each of the first 200 lineitems: shipdate within 121 days after
+        // its order's date, receipt after ship.
+        for row in li.rows().iter().take(200) {
+            let okey = row.get(0).as_int().unwrap();
+            let odate = orders.rows()[okey as usize - 1].get(4).as_date().unwrap();
+            let ship = row.get(10).as_date().unwrap();
+            let receipt = row.get(12).as_date().unwrap();
+            assert!(ship > odate && ship.days() <= odate.days() + 121);
+            assert!(receipt > ship);
+        }
+    }
+
+    #[test]
+    fn returnflag_follows_shipdate_rule() {
+        let c = generate_catalog(0.001, 42);
+        let li = c.table("lineitem").unwrap();
+        let cut = Date::from_ymd(1995, 6, 17).unwrap();
+        for row in li.rows().iter().take(500) {
+            let ship = row.get(10).as_date().unwrap();
+            let flag = row.get(8).as_str().unwrap().to_string();
+            if ship <= cut {
+                assert!(flag == "R" || flag == "A");
+            } else {
+                assert_eq!(flag, "N");
+            }
+        }
+    }
+
+    #[test]
+    fn orderkeys_are_dense_and_indexed() {
+        let c = generate_catalog(0.001, 42);
+        let idx = c.index("orders_pkey").unwrap();
+        let n = c.table("orders").unwrap().row_count();
+        assert_eq!(idx.btree.len(), n);
+        assert_eq!(idx.btree.lookup(1).len(), 1);
+        assert_eq!(idx.btree.lookup(n as i64).len(), 1);
+        assert!(idx.btree.lookup(n as i64 + 1).is_empty());
+    }
+
+    #[test]
+    fn discounts_and_taxes_in_spec_range() {
+        let c = generate_catalog(0.001, 42);
+        let li = c.table("lineitem").unwrap();
+        for row in li.rows().iter().take(500) {
+            let disc = row.get(6).as_decimal().unwrap().to_f64();
+            let tax = row.get(7).as_decimal().unwrap().to_f64();
+            assert!((0.0..=0.10).contains(&disc));
+            assert!((0.0..=0.08).contains(&tax));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Deterministic TPC-H data generation and the paper's query plans.
+//!
+//! The paper evaluates on a TPC-H database at scale factor 0.2, memory
+//! resident. This crate is a from-scratch `dbgen` equivalent: all eight
+//! tables at a configurable scale factor, generated deterministically from a
+//! seed (workers generate tables in parallel; per-table seeds keep results
+//! independent of scheduling). Value distributions follow the TPC-H spec
+//! closely enough for the paper's queries: date ranges, discount/tax ranges,
+//! return-flag/line-status derivation, foreign-key structure, and 1–7
+//! lineitems per order. Order keys are dense (1..n) rather than sparse —
+//! irrelevant to instruction-cache behaviour and documented in DESIGN.md.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod queries;
+pub mod text;
+
+pub use gen::{generate_catalog, GenConfig};

@@ -1,0 +1,193 @@
+//! Calendar dates as days since the Unix epoch.
+//!
+//! TPC-H predicates (`l_shipdate <= date '1998-09-02'`) only need ordering,
+//! parsing, formatting and day arithmetic, so a compact `i32` day count is
+//! used. Conversions use Howard Hinnant's civil-days algorithms, valid over
+//! the full proleptic Gregorian calendar.
+
+use crate::error::{DbError, Result};
+use std::fmt;
+
+/// A calendar date, stored as days since 1970-01-01.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date(i32);
+
+impl Date {
+    /// Construct from a raw day count since the epoch.
+    pub fn from_days(days: i32) -> Self {
+        Date(days)
+    }
+
+    /// Days since 1970-01-01 (may be negative).
+    pub fn days(&self) -> i32 {
+        self.0
+    }
+
+    /// Construct from a civil year/month/day. Returns an error if the
+    /// combination is not a real calendar date.
+    pub fn from_ymd(y: i32, m: u32, d: u32) -> Result<Self> {
+        if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+            return Err(DbError::Parse(format!("invalid date {y:04}-{m:02}-{d:02}")));
+        }
+        Ok(Date(days_from_civil(y, m, d)))
+    }
+
+    /// Decompose into (year, month, day).
+    pub fn to_ymd(&self) -> (i32, u32, u32) {
+        civil_from_days(self.0)
+    }
+
+    /// Parse an ISO-8601 date of the form `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Result<Self> {
+        let parts: Vec<&str> = s.trim().split('-').collect();
+        if parts.len() != 3 {
+            return Err(DbError::Parse(format!("bad date literal {s:?}")));
+        }
+        let y: i32 = parts[0]
+            .parse()
+            .map_err(|_| DbError::Parse(format!("bad year in {s:?}")))?;
+        let m: u32 = parts[1]
+            .parse()
+            .map_err(|_| DbError::Parse(format!("bad month in {s:?}")))?;
+        let d: u32 = parts[2]
+            .parse()
+            .map_err(|_| DbError::Parse(format!("bad day in {s:?}")))?;
+        Date::from_ymd(y, m, d)
+    }
+
+    /// The date `n` days later (negative moves backwards).
+    pub fn add_days(&self, n: i32) -> Date {
+        Date(self.0 + n)
+    }
+
+    /// The year component; convenient for EXTRACT-style grouping.
+    pub fn year(&self) -> i32 {
+        self.to_ymd().0
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.to_ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+fn is_leap(y: i32) -> bool {
+    y % 4 == 0 && (y % 100 != 0 || y % 400 == 0)
+}
+
+fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(y) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (Hinnant, `days_from_civil`).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i32 - 719468
+}
+
+/// Civil date for days since 1970-01-01 (Hinnant, `civil_from_days`).
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Date::from_ymd(1970, 1, 1).unwrap().days(), 0);
+        assert_eq!(Date::from_days(0).to_string(), "1970-01-01");
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let d = Date::parse("1998-09-02").unwrap();
+        assert_eq!(d.to_string(), "1998-09-02");
+        assert_eq!(d.to_ymd(), (1998, 9, 2));
+    }
+
+    #[test]
+    fn parse_rejects_invalid() {
+        assert!(Date::parse("1998-13-01").is_err());
+        assert!(Date::parse("1998-02-30").is_err());
+        assert!(Date::parse("1998/01/01").is_err());
+        assert!(Date::parse("not-a-date").is_err());
+        assert!(Date::parse("1998-09").is_err());
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(Date::parse("2000-02-29").is_ok()); // 400-rule
+        assert!(Date::parse("1900-02-29").is_err()); // 100-rule
+        assert!(Date::parse("1996-02-29").is_ok());
+        assert!(Date::parse("1997-02-29").is_err());
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        let a = Date::parse("1995-12-31").unwrap();
+        let b = Date::parse("1996-01-01").unwrap();
+        assert!(a < b);
+        assert_eq!(b.days() - a.days(), 1);
+    }
+
+    #[test]
+    fn add_days_crosses_month_and_year() {
+        let d = Date::parse("1998-12-31").unwrap();
+        assert_eq!(d.add_days(1).to_string(), "1999-01-01");
+        assert_eq!(d.add_days(-365).to_string(), "1997-12-31");
+    }
+
+    #[test]
+    fn tpch_date_range_round_trips() {
+        // TPC-H dates span 1992-01-01 .. 1998-12-31.
+        let start = Date::parse("1992-01-01").unwrap();
+        let end = Date::parse("1998-12-31").unwrap();
+        assert_eq!(end.days() - start.days(), 2556);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ymd_round_trip(days in -200_000i32..200_000) {
+            let d = Date::from_days(days);
+            let (y, m, dd) = d.to_ymd();
+            prop_assert_eq!(Date::from_ymd(y, m, dd).unwrap(), d);
+        }
+
+        #[test]
+        fn prop_display_parse_round_trip(days in -100_000i32..100_000) {
+            let d = Date::from_days(days);
+            prop_assert_eq!(Date::parse(&d.to_string()).unwrap(), d);
+        }
+
+        #[test]
+        fn prop_add_days_is_consistent(days in -50_000i32..50_000, n in -1000i32..1000) {
+            let d = Date::from_days(days);
+            prop_assert_eq!(d.add_days(n).days(), days + n);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced by BufferDB components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// An operation was applied to operands of incompatible types.
+    TypeMismatch(String),
+    /// Arithmetic overflow (decimals are checked).
+    Overflow(String),
+    /// Division by zero in expression evaluation.
+    DivideByZero,
+    /// A named column was not found in a schema.
+    UnknownColumn(String),
+    /// A table or index was not found in the catalog.
+    UnknownRelation(String),
+    /// Malformed literal (date or decimal parse failure).
+    Parse(String),
+    /// Invalid plan shape (e.g. merge join over unsorted input).
+    InvalidPlan(String),
+    /// Executor protocol violation (e.g. `next` before `open`).
+    ExecProtocol(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            DbError::Overflow(m) => write!(f, "arithmetic overflow: {m}"),
+            DbError::DivideByZero => write!(f, "division by zero"),
+            DbError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            DbError::UnknownRelation(r) => write!(f, "unknown relation: {r}"),
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            DbError::ExecProtocol(m) => write!(f, "executor protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = DbError::UnknownColumn("l_shipdate".into());
+        assert_eq!(e.to_string(), "unknown column: l_shipdate");
+        let e = DbError::DivideByZero;
+        assert_eq!(e.to_string(), "division by zero");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(DbError::DivideByZero, DbError::DivideByZero);
+        assert_ne!(
+            DbError::Overflow("a".into()),
+            DbError::Overflow("b".into())
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! Core value, schema and tuple types shared by every BufferDB crate.
+//!
+//! The type system deliberately mirrors what the paper's evaluation needs
+//! (TPC-H over PostgreSQL): 64-bit integers, floats, fixed-point decimals,
+//! dates, strings and booleans, all nullable with SQL three-valued logic.
+
+#![warn(missing_docs)]
+
+pub mod date;
+pub mod decimal;
+pub mod error;
+pub mod ops;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use date::Date;
+pub use decimal::Decimal;
+pub use error::{DbError, Result};
+pub use schema::{DataType, Field, Schema, SchemaRef};
+pub use tuple::Tuple;
+pub use value::Datum;

@@ -1,0 +1,322 @@
+//! Datum comparison, arithmetic and SQL three-valued logic.
+//!
+//! These are the "nullability, datatype, comparison, overflow" checks the
+//! paper notes every operator performs per record (§4); the executor routes
+//! their data-dependent outcomes into the simulated branch predictor.
+
+use crate::error::{DbError, Result};
+use crate::value::Datum;
+use std::cmp::Ordering;
+
+/// Compare two datums. `Ok(None)` means SQL NULL (either side null).
+///
+/// Numeric types coerce (`Int` ↔ `Decimal`, `Int` ↔ `Float`); all other
+/// cross-type comparisons are errors, surfacing plan bugs early.
+pub fn compare(a: &Datum, b: &Datum) -> Result<Option<Ordering>> {
+    use Datum::*;
+    let ord = match (a, b) {
+        (Null, _) | (_, Null) => return Ok(None),
+        (Bool(x), Bool(y)) => x.cmp(y),
+        (Int(x), Int(y)) => x.cmp(y),
+        (Float(x), Float(y)) => x
+            .partial_cmp(y)
+            .ok_or_else(|| DbError::TypeMismatch("NaN comparison".into()))?,
+        (Decimal(x), Decimal(y)) => x.cmp(y),
+        (Int(x), Decimal(y)) => crate::Decimal::from_int(*x).cmp(y),
+        (Decimal(x), Int(y)) => x.cmp(&crate::Decimal::from_int(*y)),
+        (Int(x), Float(y)) => (*x as f64)
+            .partial_cmp(y)
+            .ok_or_else(|| DbError::TypeMismatch("NaN comparison".into()))?,
+        (Float(x), Int(y)) => x
+            .partial_cmp(&(*y as f64))
+            .ok_or_else(|| DbError::TypeMismatch("NaN comparison".into()))?,
+        (Date(x), Date(y)) => x.cmp(y),
+        (Str(x), Str(y)) => x.cmp(y),
+        _ => {
+            return Err(DbError::TypeMismatch(format!(
+                "cannot compare {a} with {b}"
+            )))
+        }
+    };
+    Ok(Some(ord))
+}
+
+/// `a = b` under three-valued logic.
+pub fn eq(a: &Datum, b: &Datum) -> Result<Option<bool>> {
+    Ok(compare(a, b)?.map(|o| o == Ordering::Equal))
+}
+
+/// `a < b` under three-valued logic.
+pub fn lt(a: &Datum, b: &Datum) -> Result<Option<bool>> {
+    Ok(compare(a, b)?.map(|o| o == Ordering::Less))
+}
+
+/// `a <= b` under three-valued logic.
+pub fn le(a: &Datum, b: &Datum) -> Result<Option<bool>> {
+    Ok(compare(a, b)?.map(|o| o != Ordering::Greater))
+}
+
+/// `a > b` under three-valued logic.
+pub fn gt(a: &Datum, b: &Datum) -> Result<Option<bool>> {
+    Ok(compare(a, b)?.map(|o| o == Ordering::Greater))
+}
+
+/// `a >= b` under three-valued logic.
+pub fn ge(a: &Datum, b: &Datum) -> Result<Option<bool>> {
+    Ok(compare(a, b)?.map(|o| o != Ordering::Less))
+}
+
+/// `a <> b` under three-valued logic.
+pub fn ne(a: &Datum, b: &Datum) -> Result<Option<bool>> {
+    Ok(compare(a, b)?.map(|o| o != Ordering::Equal))
+}
+
+/// Total order for sorting: NULLs sort last, after all non-null values.
+///
+/// Unlike [`compare`], this never fails on mixed types that a validated sort
+/// key can produce (it cannot — sort keys are monomorphic — so the fallback
+/// arm is unreachable in practice and orders by discriminant for safety).
+pub fn sort_compare(a: &Datum, b: &Datum) -> Ordering {
+    match (a.is_null(), b.is_null()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => compare(a, b)
+            .ok()
+            .flatten()
+            .unwrap_or(Ordering::Equal),
+    }
+}
+
+fn numeric_pair(a: &Datum, b: &Datum, op: &str) -> Result<(Datum, Datum)> {
+    use Datum::*;
+    Ok(match (a, b) {
+        (Int(x), Decimal(_)) => (Decimal(crate::Decimal::from_int(*x)), b.clone()),
+        (Decimal(_), Int(y)) => (a.clone(), Decimal(crate::Decimal::from_int(*y))),
+        (Int(x), Float(_)) => (Float(*x as f64), b.clone()),
+        (Float(_), Int(y)) => (a.clone(), Float(*y as f64)),
+        (Int(_), Int(_)) | (Float(_), Float(_)) | (Decimal(_), Decimal(_)) => {
+            (a.clone(), b.clone())
+        }
+        _ => {
+            return Err(DbError::TypeMismatch(format!(
+                "cannot apply {op} to {a} and {b}"
+            )))
+        }
+    })
+}
+
+/// `a + b`; NULL-propagating, overflow-checked.
+pub fn add(a: &Datum, b: &Datum) -> Result<Datum> {
+    use Datum::*;
+    if a.is_null() || b.is_null() {
+        return Ok(Null);
+    }
+    match numeric_pair(a, b, "+")? {
+        (Int(x), Int(y)) => x
+            .checked_add(y)
+            .map(Int)
+            .ok_or_else(|| DbError::Overflow(format!("{x} + {y}"))),
+        (Float(x), Float(y)) => Ok(Float(x + y)),
+        (Decimal(x), Decimal(y)) => Ok(Decimal(x.checked_add(&y)?)),
+        _ => unreachable!("numeric_pair returns aligned numeric types"),
+    }
+}
+
+/// `a - b`; NULL-propagating, overflow-checked.
+pub fn sub(a: &Datum, b: &Datum) -> Result<Datum> {
+    use Datum::*;
+    if a.is_null() || b.is_null() {
+        return Ok(Null);
+    }
+    match numeric_pair(a, b, "-")? {
+        (Int(x), Int(y)) => x
+            .checked_sub(y)
+            .map(Int)
+            .ok_or_else(|| DbError::Overflow(format!("{x} - {y}"))),
+        (Float(x), Float(y)) => Ok(Float(x - y)),
+        (Decimal(x), Decimal(y)) => Ok(Decimal(x.checked_sub(&y)?)),
+        _ => unreachable!("numeric_pair returns aligned numeric types"),
+    }
+}
+
+/// `a * b`; NULL-propagating, overflow-checked.
+pub fn mul(a: &Datum, b: &Datum) -> Result<Datum> {
+    use Datum::*;
+    if a.is_null() || b.is_null() {
+        return Ok(Null);
+    }
+    match numeric_pair(a, b, "*")? {
+        (Int(x), Int(y)) => x
+            .checked_mul(y)
+            .map(Int)
+            .ok_or_else(|| DbError::Overflow(format!("{x} * {y}"))),
+        (Float(x), Float(y)) => Ok(Float(x * y)),
+        (Decimal(x), Decimal(y)) => Ok(Decimal(x.checked_mul(&y)?)),
+        _ => unreachable!("numeric_pair returns aligned numeric types"),
+    }
+}
+
+/// `a / b`; NULL-propagating; integer division by zero is an error.
+pub fn div(a: &Datum, b: &Datum) -> Result<Datum> {
+    use Datum::*;
+    if a.is_null() || b.is_null() {
+        return Ok(Null);
+    }
+    match numeric_pair(a, b, "/")? {
+        (Int(x), Int(y)) => {
+            if y == 0 {
+                Err(DbError::DivideByZero)
+            } else {
+                Ok(Int(x / y))
+            }
+        }
+        (Float(x), Float(y)) => Ok(Float(x / y)),
+        (Decimal(x), Decimal(y)) => Ok(Decimal(x.checked_div(&y)?)),
+        _ => unreachable!("numeric_pair returns aligned numeric types"),
+    }
+}
+
+/// Three-valued AND.
+pub fn and3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Some(false),
+        (Some(true), Some(true)) => Some(true),
+        _ => None,
+    }
+}
+
+/// Three-valued OR.
+pub fn or3(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Some(true),
+        (Some(false), Some(false)) => Some(false),
+        _ => None,
+    }
+}
+
+/// Three-valued NOT.
+pub fn not3(a: Option<bool>) -> Option<bool> {
+    a.map(|v| !v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Date, Decimal};
+    use proptest::prelude::*;
+
+    fn dec(s: &str) -> Datum {
+        Datum::Decimal(Decimal::parse(s).unwrap())
+    }
+
+    #[test]
+    fn null_propagates_through_comparison() {
+        assert_eq!(eq(&Datum::Null, &Datum::Int(1)).unwrap(), None);
+        assert_eq!(lt(&Datum::Int(1), &Datum::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        assert_eq!(eq(&Datum::Int(2), &dec("2.00")).unwrap(), Some(true));
+        assert_eq!(lt(&dec("1.99"), &Datum::Int(2)).unwrap(), Some(true));
+        assert_eq!(gt(&Datum::Int(3), &Datum::Float(2.5)).unwrap(), Some(true));
+    }
+
+    #[test]
+    fn incompatible_comparison_errors() {
+        assert!(compare(&Datum::Int(1), &Datum::str("1")).is_err());
+        assert!(compare(&Datum::Bool(true), &Datum::Int(1)).is_err());
+    }
+
+    #[test]
+    fn date_comparison() {
+        let a = Datum::Date(Date::parse("1998-09-01").unwrap());
+        let b = Datum::Date(Date::parse("1998-09-02").unwrap());
+        assert_eq!(le(&a, &b).unwrap(), Some(true));
+        assert_eq!(ge(&a, &b).unwrap(), Some(false));
+    }
+
+    #[test]
+    fn arithmetic_null_propagation() {
+        assert!(add(&Datum::Null, &Datum::Int(1)).unwrap().is_null());
+        assert!(mul(&Datum::Int(1), &Datum::Null).unwrap().is_null());
+    }
+
+    #[test]
+    fn arithmetic_coercion() {
+        assert_eq!(
+            add(&Datum::Int(1), &dec("0.50")).unwrap(),
+            match dec("1.50") {
+                Datum::Decimal(d) => Datum::Decimal(d),
+                _ => unreachable!(),
+            }
+        );
+        assert_eq!(mul(&Datum::Int(2), &Datum::Float(1.5)).unwrap().as_float(), Some(3.0));
+    }
+
+    #[test]
+    fn integer_overflow_is_reported() {
+        assert!(add(&Datum::Int(i64::MAX), &Datum::Int(1)).is_err());
+        assert!(mul(&Datum::Int(i64::MAX), &Datum::Int(2)).is_err());
+    }
+
+    #[test]
+    fn integer_divide_by_zero() {
+        assert_eq!(div(&Datum::Int(1), &Datum::Int(0)), Err(DbError::DivideByZero));
+    }
+
+    #[test]
+    fn three_valued_logic_tables() {
+        let (t, f, u) = (Some(true), Some(false), None);
+        // AND
+        assert_eq!(and3(t, t), t);
+        assert_eq!(and3(t, f), f);
+        assert_eq!(and3(f, u), f);
+        assert_eq!(and3(u, f), f);
+        assert_eq!(and3(t, u), u);
+        assert_eq!(and3(u, u), u);
+        // OR
+        assert_eq!(or3(f, f), f);
+        assert_eq!(or3(t, u), t);
+        assert_eq!(or3(u, t), t);
+        assert_eq!(or3(f, u), u);
+        // NOT
+        assert_eq!(not3(t), f);
+        assert_eq!(not3(u), u);
+    }
+
+    #[test]
+    fn sort_compare_nulls_last() {
+        use std::cmp::Ordering::*;
+        assert_eq!(sort_compare(&Datum::Null, &Datum::Int(1)), Greater);
+        assert_eq!(sort_compare(&Datum::Int(1), &Datum::Null), Less);
+        assert_eq!(sort_compare(&Datum::Null, &Datum::Null), Equal);
+        assert_eq!(sort_compare(&Datum::Int(1), &Datum::Int(2)), Less);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_compare_antisymmetric(a in -1000i64..1000, b in -1000i64..1000) {
+            let x = Datum::Int(a);
+            let y = Datum::Int(b);
+            let ab = compare(&x, &y).unwrap().unwrap();
+            let ba = compare(&y, &x).unwrap().unwrap();
+            prop_assert_eq!(ab, ba.reverse());
+        }
+
+        #[test]
+        fn prop_and3_commutes(a in proptest::option::of(any::<bool>()),
+                              b in proptest::option::of(any::<bool>())) {
+            prop_assert_eq!(and3(a, b), and3(b, a));
+            prop_assert_eq!(or3(a, b), or3(b, a));
+        }
+
+        #[test]
+        fn prop_de_morgan(a in proptest::option::of(any::<bool>()),
+                          b in proptest::option::of(any::<bool>())) {
+            prop_assert_eq!(not3(and3(a, b)), or3(not3(a), not3(b)));
+            prop_assert_eq!(not3(or3(a, b)), and3(not3(a), not3(b)));
+        }
+    }
+}

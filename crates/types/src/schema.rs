@@ -1,0 +1,193 @@
+//! Schemas: ordered, named, typed, nullable fields.
+
+use crate::error::{DbError, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// The static type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Fixed-point decimal.
+    Decimal,
+    /// Calendar date.
+    Date,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Decimal => "decimal",
+            DataType::Date => "date",
+            DataType::Str => "str",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name, e.g. `l_shipdate`.
+    pub name: String,
+    /// Column type.
+    pub ty: DataType,
+    /// Whether NULLs may appear.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A non-nullable field.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Field { name: name.into(), ty, nullable: false }
+    }
+
+    /// A nullable field.
+    pub fn nullable(name: impl Into<String>, ty: DataType) -> Self {
+        Field { name: name.into(), ty, nullable: true }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared schema handle; operators hand these out without copying.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Wrap in an `Arc`.
+    pub fn into_ref(self) -> SchemaRef {
+        Arc::new(self)
+    }
+
+    /// The fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The field at `idx`. Panics when out of range (schema indices are
+    /// produced by plan validation, not user input).
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Position of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| DbError::UnknownColumn(name.to_string()))
+    }
+
+    /// Concatenate two schemas (join output: left columns then right columns).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// A schema containing the given columns, in the given order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.ty)?;
+            if field.nullable {
+                write!(f, "?")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::nullable("b", DataType::Str),
+            Field::new("c", DataType::Date),
+        ])
+    }
+
+    #[test]
+    fn index_of_finds_and_errors() {
+        let s = sample();
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert_eq!(
+            s.index_of("missing"),
+            Err(DbError::UnknownColumn("missing".into()))
+        );
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = sample();
+        let t = Schema::new(vec![Field::new("x", DataType::Float)]);
+        let j = s.join(&t);
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.field(3).name, "x");
+        assert_eq!(j.field(0).name, "a");
+    }
+
+    #[test]
+    fn project_reorders() {
+        let s = sample();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.field(0).name, "c");
+        assert_eq!(p.field(1).name, "a");
+    }
+
+    #[test]
+    fn display_marks_nullable() {
+        assert_eq!(sample().to_string(), "(a: int, b: str?, c: date)");
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::default();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

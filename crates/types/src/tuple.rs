@@ -1,0 +1,98 @@
+//! Tuples: fixed-arity rows of datums.
+
+use crate::value::Datum;
+use std::fmt;
+
+/// A row of values. Tuples are created by scans and operators; the buffer
+/// operator of the paper stores *pointers* to tuples (here: slot indices into
+/// a tuple arena), never copies of them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tuple {
+    values: Box<[Datum]>,
+}
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: Vec<Datum>) -> Self {
+        Tuple { values: values.into_boxed_slice() }
+    }
+
+    /// The values, in schema order.
+    pub fn values(&self) -> &[Datum] {
+        &self.values
+    }
+
+    /// Value at column `idx`. Panics when out of range; column indices come
+    /// from validated plans.
+    pub fn get(&self, idx: usize) -> &Datum {
+        &self.values[idx]
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Concatenate two tuples (join output).
+    pub fn join(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.values.len() + other.values.len());
+        v.extend(self.values.iter().cloned());
+        v.extend(other.values.iter().cloned());
+        Tuple::new(v)
+    }
+
+    /// Approximate in-memory size in bytes (header + payloads); drives the
+    /// simulated-address layout of tuple slots in the data-cache model.
+    pub fn simulated_width(&self) -> usize {
+        16 + self.values.iter().map(Datum::simulated_width).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::new(vec![Datum::Int(1), Datum::Null, Datum::str("x")]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0).as_int(), Some(1));
+        assert!(t.get(1).is_null());
+    }
+
+    #[test]
+    fn join_concatenates_values() {
+        let a = Tuple::new(vec![Datum::Int(1)]);
+        let b = Tuple::new(vec![Datum::Int(2), Datum::Int(3)]);
+        let j = a.join(&b);
+        assert_eq!(j.arity(), 3);
+        assert_eq!(j.get(2).as_int(), Some(3));
+    }
+
+    #[test]
+    fn display_is_bracketed() {
+        let t = Tuple::new(vec![Datum::Int(1), Datum::Null]);
+        assert_eq!(t.to_string(), "[1, NULL]");
+    }
+
+    #[test]
+    fn simulated_width_counts_header_and_payload() {
+        let t = Tuple::new(vec![Datum::Int(1), Datum::Int(2)]);
+        assert_eq!(t.simulated_width(), 16 + 8 + 8);
+        let empty = Tuple::new(vec![]);
+        assert_eq!(empty.simulated_width(), 16);
+    }
+}

@@ -1,0 +1,43 @@
+//! The §7.3 calibration experiment: find the output-cardinality threshold
+//! at which buffering starts to pay off on this (simulated) machine, then
+//! show how the threshold feeds the plan refinement configuration.
+//!
+//! ```sh
+//! cargo run --release --example calibration
+//! ```
+
+use bufferdb::core::refine::calibrate::calibrate_cardinality_threshold;
+use bufferdb::prelude::*;
+
+fn main() {
+    let machine = MachineConfig::pentium4_like();
+    println!("calibrating the buffering cardinality threshold (Query 1 template)…\n");
+    let report = calibrate_cardinality_threshold(&machine, 100);
+    println!("cardinality | original (s) | buffered (s) | winner");
+    for (card, orig, buf) in &report.points {
+        println!(
+            "{card:>11} | {orig:>12.4} | {buf:>12.4} | {}",
+            if buf < orig { "buffered" } else { "original" }
+        );
+    }
+    println!("\ncalibrated threshold: {} output tuples", report.threshold);
+
+    let refine_cfg = RefineConfig {
+        cardinality_threshold: report.threshold as f64,
+        ..RefineConfig::default()
+    };
+    println!(
+        "refiner configured: L1i budget {} bytes, threshold {}, buffer size {}",
+        refine_cfg.l1i_capacity, refine_cfg.cardinality_threshold, refine_cfg.buffer_size
+    );
+
+    // Also calibrate an ablation machine with a larger L1i: the threshold
+    // hardly matters there because the thrashing itself disappears.
+    let big = MachineConfig::large_l1i();
+    let report_big = calibrate_cardinality_threshold(&big, 100);
+    println!(
+        "\nwith a 32 KB L1i the buffered plan wins from cardinality {} (if ever: {} = never within sweep)",
+        report_big.threshold,
+        8000
+    );
+}

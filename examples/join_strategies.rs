@@ -1,0 +1,55 @@
+//! The paper's Query 3 under all three join methods (§7.5): how buffering
+//! interacts with nested-loop, hash and merge joins, and where the plan
+//! refinement algorithm places buffers in each.
+//!
+//! ```sh
+//! cargo run --release --example join_strategies [scale_factor]
+//! ```
+
+use bufferdb::core::exec::execute_with_stats;
+use bufferdb::core::plan::explain::explain;
+use bufferdb::prelude::*;
+use bufferdb::tpch::{self, queries::JoinMethod};
+
+fn main() -> Result<()> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.005);
+    println!("generating TPC-H data at scale factor {scale}…");
+    let catalog = tpch::generate_catalog(scale, 42);
+    let machine = MachineConfig::pentium4_like();
+    let refine_cfg = RefineConfig::default();
+
+    let mut answers = Vec::new();
+    for method in [JoinMethod::NestLoop, JoinMethod::HashJoin, JoinMethod::MergeJoin] {
+        let plan = tpch::queries::paper_query3(&catalog, method)?;
+        let refined = refine_plan(&plan, &catalog, &refine_cfg);
+        let (rows, original) = execute_with_stats(&plan, &catalog, &machine)?;
+        let (rows2, buffered) = execute_with_stats(&refined, &catalog, &machine)?;
+        assert_eq!(format!("{}", rows[0]), format!("{}", rows2[0]));
+        answers.push(format!("{}", rows[0]));
+
+        println!("== {method:?} ==");
+        println!("{}", explain(&refined, &catalog));
+        println!(
+            "modeled: {:.3}s -> {:.3}s ({:+.1}%), L1i misses {} -> {} ({:.0}% fewer), \
+             mispredictions {} -> {}",
+            original.seconds(),
+            buffered.seconds(),
+            100.0 * buffered.improvement_over(&original),
+            original.counters.l1i_misses,
+            buffered.counters.l1i_misses,
+            100.0 * (1.0 - buffered.counters.l1i_misses as f64
+                / original.counters.l1i_misses.max(1) as f64),
+            original.counters.mispredictions,
+            buffered.counters.mispredictions,
+        );
+        println!();
+    }
+
+    // All three methods are the same query: answers must agree.
+    assert!(answers.windows(2).all(|w| w[0] == w[1]), "join methods disagree");
+    println!("all join methods return: {}", answers[0]);
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! End-to-end tour: cost-based join selection, then footprint-based plan
+//! refinement — the full pipeline the paper assumes (optimizer upstream,
+//! refinement downstream).
+//!
+//! ```sh
+//! cargo run --release --example optimizer_tour
+//! ```
+
+use bufferdb::core::exec::execute_with_stats;
+use bufferdb::core::optimizer::{choose_join_plan, JoinCostModel, JoinQuery};
+use bufferdb::core::plan::explain::explain;
+use bufferdb::prelude::*;
+use bufferdb::tpch;
+
+fn main() -> Result<()> {
+    let catalog = tpch::generate_catalog(0.005, 42);
+    let machine = MachineConfig::pentium4_like();
+    let l_ship = catalog.table("lineitem")?.schema().index_of("l_shipdate")?;
+    let cutoffs = [
+        ("1992-02-01", "very selective"),
+        ("1998-09-02", "keeps everything"),
+    ];
+    for (cutoff, label) in cutoffs {
+        let query = JoinQuery {
+            outer_table: "lineitem".into(),
+            outer_predicate: Some(
+                Expr::col(l_ship).le(Expr::lit(bufferdb::types::Datum::Date(
+                    Date::parse(cutoff).expect("date"),
+                ))),
+            ),
+            outer_key: 0,
+            inner_table: "orders".into(),
+            inner_key: 0,
+            inner_index: Some("orders_pkey".into()),
+        };
+        let choice = choose_join_plan(&query, &catalog, &JoinCostModel::default())?;
+        println!("== shipdate <= {cutoff} ({label}) ==");
+        println!("optimizer picks: {} (cost {:.0})", choice.method, choice.cost);
+        let refined = refine_plan(&choice.plan, &catalog, &RefineConfig::default());
+        println!("{}", explain(&refined, &catalog));
+        let (rows, stats) = execute_with_stats(&refined, &catalog, &machine)?;
+        println!(
+            "rows: {}, modeled {:.3}s, L1i misses {}\n",
+            rows.len(),
+            stats.seconds(),
+            stats.counters.l1i_misses
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! The paper's motivating workload: the TPC-H pricing summary report
+//! (Query 1, Figure 3) on generated data, original vs refined plan.
+//!
+//! ```sh
+//! cargo run --release --example pricing_report [scale_factor]
+//! ```
+
+use bufferdb::core::exec::execute_with_stats;
+use bufferdb::core::plan::explain::explain;
+use bufferdb::prelude::*;
+use bufferdb::tpch;
+
+fn main() -> Result<()> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.01);
+    println!("generating TPC-H data at scale factor {scale}…");
+    let catalog = tpch::generate_catalog(scale, 42);
+    let machine = MachineConfig::pentium4_like();
+
+    let plan = tpch::queries::paper_query1(&catalog)?;
+    let refined = refine_plan(&plan, &catalog, &RefineConfig::default());
+
+    let (rows, original) = execute_with_stats(&plan, &catalog, &machine)?;
+    let (_, buffered) = execute_with_stats(&refined, &catalog, &machine)?;
+
+    println!("\npricing summary: {}", rows[0]);
+    println!("\noriginal plan:\n{}", explain(&plan, &catalog));
+    println!("{}", original.breakdown);
+    println!("refined plan:\n{}", explain(&refined, &catalog));
+    println!("{}", buffered.breakdown);
+    println!(
+        "buffering improvement: {:+.1}% modeled time, {:.0}% fewer L1i misses",
+        100.0 * buffered.improvement_over(&original),
+        100.0 * (1.0 - buffered.counters.l1i_misses as f64 / original.counters.l1i_misses.max(1) as f64)
+    );
+    Ok(())
+}

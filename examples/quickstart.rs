@@ -1,0 +1,74 @@
+//! Quickstart: build a table, run a query, let the refiner add a buffer.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bufferdb::core::exec::execute_with_stats;
+use bufferdb::core::plan::explain::explain;
+use bufferdb::prelude::*;
+use bufferdb::storage::TableBuilder;
+
+fn main() -> Result<()> {
+    // 1. A catalog with one table: 200k rows of (id, amount).
+    let catalog = Catalog::new();
+    let mut builder = TableBuilder::new(
+        "payments",
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("amount", DataType::Decimal),
+        ]),
+    );
+    for i in 0..200_000i64 {
+        builder.push(Tuple::new(vec![
+            Datum::Int(i),
+            Datum::Decimal(Decimal::from_cents(100 + (i * 37) % 50_000)),
+        ]));
+    }
+    catalog.add_table(builder);
+
+    // 2. A demand-pull plan: SELECT SUM(amount), AVG(amount), COUNT(*)
+    //    FROM payments WHERE id < 150000.
+    let plan = PlanNode::Aggregate {
+        input: Box::new(PlanNode::SeqScan {
+            table: "payments".into(),
+            predicate: Some(Expr::col(0).lt(Expr::lit(150_000))),
+            projection: None,
+        }),
+        group_by: vec![],
+        aggs: vec![
+            bufferdb::core::plan::AggSpec::new(AggFunc::Sum, Expr::col(1), "total"),
+            bufferdb::core::plan::AggSpec::new(AggFunc::Avg, Expr::col(1), "avg"),
+            bufferdb::core::plan::AggSpec::count_star("n"),
+        ],
+    };
+
+    // 3. Execute on the simulated Pentium-4-like machine.
+    let machine = MachineConfig::pentium4_like();
+    let (rows, original) = execute_with_stats(&plan, &catalog, &machine)?;
+    println!("result: {}", rows[0]);
+    println!("\noriginal plan:\n{}", explain(&plan, &catalog));
+    println!("{}", original.breakdown);
+
+    // 4. Refine: the scan (13.2 K) + computed aggregation exceed the L1
+    //    instruction cache, so a buffer operator is inserted.
+    let refined = refine_plan(&plan, &catalog, &RefineConfig::default());
+    let (rows2, buffered) = execute_with_stats(&refined, &catalog, &machine)?;
+    assert_eq!(format!("{}", rows[0]), format!("{}", rows2[0]), "same answer");
+    println!("refined plan:\n{}", explain(&refined, &catalog));
+    println!("{}", buffered.breakdown);
+
+    println!(
+        "instruction-cache misses: {} -> {} ({:.0}% fewer)",
+        original.counters.l1i_misses,
+        buffered.counters.l1i_misses,
+        100.0 * (1.0 - buffered.counters.l1i_misses as f64 / original.counters.l1i_misses as f64)
+    );
+    println!(
+        "modeled time: {:.3}s -> {:.3}s ({:+.1}% improvement)",
+        original.seconds(),
+        buffered.seconds(),
+        100.0 * buffered.improvement_over(&original)
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # BufferDB
+//!
+//! A reproduction of *"Buffering Database Operations for Enhanced Instruction
+//! Cache Performance"* (Zhou & Ross, SIGMOD 2004): a demand-pull pipelined
+//! query engine, a machine simulator that stands in for the paper's Pentium 4
+//! hardware counters, the light-weight **buffer operator**, and the
+//! instruction-footprint-driven **plan refinement algorithm**.
+//!
+//! This facade crate re-exports every workspace crate under one roof:
+//!
+//! ```
+//! use bufferdb::prelude::*;
+//!
+//! // Build a tiny catalog and run COUNT(*) over a filtered scan, once with
+//! // the original plan and once with a buffer operator inserted.
+//! let catalog = bufferdb::tpch::generate_catalog(0.001, 42);
+//! let plan = bufferdb::tpch::queries::paper_query2(&catalog).unwrap();
+//! let machine = MachineConfig::pentium4_like();
+//! let out = execute_collect(&plan, &catalog, &machine).unwrap();
+//! assert_eq!(out.len(), 1); // single aggregate row
+//! ```
+//!
+//! See `examples/` for end-to-end walkthroughs and `crates/bench` for the
+//! harness that regenerates every table and figure in the paper.
+
+#![warn(missing_docs)]
+
+pub use bufferdb_cachesim as cachesim;
+pub use bufferdb_core as core;
+pub use bufferdb_index as index;
+pub use bufferdb_storage as storage;
+pub use bufferdb_tpch as tpch;
+pub use bufferdb_types as types;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use bufferdb_cachesim::{BreakdownReport, MachineConfig, PerfCounters};
+    pub use bufferdb_core::exec::execute_collect;
+    pub use bufferdb_core::expr::Expr;
+    pub use bufferdb_core::plan::{AggFunc, PlanNode};
+    pub use bufferdb_core::refine::{refine_plan, RefineConfig};
+    pub use bufferdb_storage::{Catalog, Table};
+    pub use bufferdb_types::{DataType, Date, Datum, DbError, Decimal, Field, Result, Schema, Tuple};
+}

@@ -1,0 +1,142 @@
+//! End-to-end integration: TPC-H queries through the whole stack
+//! (generator → storage → executor → simulator), checking that every plan
+//! variant computes the same answer and that the answer matches a direct
+//! reference computation over the raw tables.
+
+use bufferdb::cachesim::MachineConfig;
+use bufferdb::core::exec::execute_collect;
+use bufferdb::core::refine::{refine_plan, RefineConfig};
+use bufferdb::tpch::{self, queries, queries::JoinMethod};
+use bufferdb::types::{Decimal, Tuple};
+
+fn rows_to_string(rows: &[Tuple]) -> String {
+    rows.iter().map(|t| t.to_string()).collect::<Vec<_>>().join("\n")
+}
+
+#[test]
+fn query1_matches_reference_scan() {
+    let catalog = tpch::generate_catalog(0.002, 7);
+    let machine = MachineConfig::pentium4_like();
+    let plan = queries::paper_query1(&catalog).unwrap();
+    let rows = execute_collect(&plan, &catalog, &machine).unwrap();
+    assert_eq!(rows.len(), 1);
+
+    // Reference: direct fold over the heap.
+    let li = catalog.table("lineitem").unwrap();
+    let cutoff = bufferdb::types::Date::parse("1998-09-02").unwrap();
+    let one = Decimal::from_int(1);
+    let mut sum = Decimal::from_int(0);
+    let mut count = 0i64;
+    let mut qty_sum = 0.0f64;
+    for row in li.rows() {
+        if row.get(10).as_date().unwrap() <= cutoff {
+            let price = row.get(5).as_decimal().unwrap();
+            let disc = row.get(6).as_decimal().unwrap();
+            let tax = row.get(7).as_decimal().unwrap();
+            let charge = price
+                .checked_mul(&one.checked_sub(&disc).unwrap())
+                .unwrap()
+                .checked_mul(&one.checked_add(&tax).unwrap())
+                .unwrap();
+            sum = sum.checked_add(&charge).unwrap();
+            qty_sum += row.get(4).as_decimal().unwrap().to_f64();
+            count += 1;
+        }
+    }
+    assert!(count > 1000, "enough data to be meaningful");
+    assert_eq!(rows[0].get(0).as_decimal().unwrap(), sum, "sum_charge");
+    assert_eq!(rows[0].get(2).as_int().unwrap(), count, "count_order");
+    let avg = rows[0].get(1).as_float().unwrap();
+    assert!((avg - qty_sum / count as f64).abs() < 1e-6, "avg_qty");
+}
+
+#[test]
+fn refinement_preserves_results_for_every_paper_query() {
+    let catalog = tpch::generate_catalog(0.002, 7);
+    let machine = MachineConfig::pentium4_like();
+    let cfg = RefineConfig::default();
+    let plans = vec![
+        ("paper q1", queries::paper_query1(&catalog).unwrap()),
+        ("paper q2", queries::paper_query2(&catalog).unwrap()),
+        ("paper q3 nl", queries::paper_query3(&catalog, JoinMethod::NestLoop).unwrap()),
+        ("paper q3 hj", queries::paper_query3(&catalog, JoinMethod::HashJoin).unwrap()),
+        ("paper q3 mj", queries::paper_query3(&catalog, JoinMethod::MergeJoin).unwrap()),
+        ("tpch q1", queries::tpch_q1(&catalog).unwrap()),
+        ("tpch q6", queries::tpch_q6(&catalog).unwrap()),
+        ("tpch q12", queries::tpch_q12(&catalog).unwrap()),
+        ("tpch q14", queries::tpch_q14(&catalog).unwrap()),
+    ];
+    for (name, plan) in plans {
+        let refined = refine_plan(&plan, &catalog, &cfg);
+        let a = execute_collect(&plan, &catalog, &machine).unwrap();
+        let b = execute_collect(&refined, &catalog, &machine).unwrap();
+        assert_eq!(rows_to_string(&a), rows_to_string(&b), "{name}");
+    }
+}
+
+#[test]
+fn join_methods_agree_with_reference_join() {
+    let catalog = tpch::generate_catalog(0.001, 3);
+    let machine = MachineConfig::pentium4_like();
+    // Reference: count lineitems with shipdate <= cutoff (every one joins
+    // exactly one order, FK integrity).
+    let li = catalog.table("lineitem").unwrap();
+    let cutoff = bufferdb::types::Date::parse("1998-09-02").unwrap();
+    let expected: i64 = li
+        .rows()
+        .iter()
+        .filter(|r| r.get(10).as_date().unwrap() <= cutoff)
+        .count() as i64;
+    for m in [JoinMethod::NestLoop, JoinMethod::HashJoin, JoinMethod::MergeJoin] {
+        let plan = queries::paper_query3(&catalog, m).unwrap();
+        let rows = execute_collect(&plan, &catalog, &machine).unwrap();
+        assert_eq!(rows[0].get(1).as_int().unwrap(), expected, "{m:?} count");
+    }
+}
+
+#[test]
+fn foreign_keys_are_consistent() {
+    let catalog = tpch::generate_catalog(0.001, 9);
+    let orders = catalog.table("orders").unwrap();
+    let customers = catalog.table("customer").unwrap().row_count() as i64;
+    for row in orders.rows().iter().take(500) {
+        let ck = row.get(1).as_int().unwrap();
+        assert!(ck >= 1 && ck <= customers, "o_custkey {ck} out of range");
+    }
+    let li = catalog.table("lineitem").unwrap();
+    let n_orders = orders.row_count() as i64;
+    let parts = catalog.table("part").unwrap().row_count() as i64;
+    for row in li.rows().iter().take(500) {
+        let ok = row.get(0).as_int().unwrap();
+        let pk = row.get(1).as_int().unwrap();
+        assert!(ok >= 1 && ok <= n_orders);
+        assert!(pk >= 1 && pk <= parts);
+    }
+}
+
+#[test]
+fn buffer_everywhere_is_still_correct() {
+    use bufferdb::core::plan::PlanNode;
+    let catalog = tpch::generate_catalog(0.001, 5);
+    let machine = MachineConfig::pentium4_like();
+    let plan = queries::paper_query3(&catalog, JoinMethod::HashJoin).unwrap();
+    // Stack buffers of several sizes above the probe scan.
+    let PlanNode::Aggregate { input, group_by, aggs } = plan.clone() else { panic!() };
+    let PlanNode::HashJoin { probe, build, probe_key, build_key } = *input else { panic!() };
+    let stacked = PlanNode::Aggregate {
+        input: Box::new(PlanNode::HashJoin {
+            probe: Box::new(PlanNode::Buffer {
+                input: Box::new(PlanNode::Buffer { input: probe, size: 7 }),
+                size: 64,
+            }),
+            build,
+            probe_key,
+            build_key,
+        }),
+        group_by,
+        aggs,
+    };
+    let a = execute_collect(&plan, &catalog, &machine).unwrap();
+    let b = execute_collect(&stacked, &catalog, &machine).unwrap();
+    assert_eq!(rows_to_string(&a), rows_to_string(&b));
+}

@@ -1,0 +1,161 @@
+//! Failure injection: malformed plans and data must produce typed errors,
+//! never panics or wrong answers.
+
+use bufferdb::cachesim::MachineConfig;
+use bufferdb::core::exec::{execute_collect, execute_with_stats};
+use bufferdb::core::plan::{AggFunc, AggSpec, IndexMode, PlanNode};
+use bufferdb::prelude::*;
+use bufferdb::storage::TableBuilder;
+use bufferdb::types::DbError;
+
+fn catalog() -> Catalog {
+    let c = Catalog::new();
+    let mut b = TableBuilder::new(
+        "t",
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("s", DataType::Str),
+        ]),
+    );
+    for i in 0..10 {
+        b.push(Tuple::new(vec![Datum::Int(i), Datum::str(format!("v{i}"))]));
+    }
+    c.add_table(b);
+    c
+}
+
+fn machine() -> MachineConfig {
+    MachineConfig::pentium4_like()
+}
+
+#[test]
+fn unknown_table_and_index() {
+    let c = catalog();
+    let plan = PlanNode::SeqScan { table: "missing".into(), predicate: None, projection: None };
+    assert!(matches!(
+        execute_collect(&plan, &c, &machine()),
+        Err(DbError::UnknownRelation(_))
+    ));
+    let ix = PlanNode::IndexScan { index: "missing".into(), mode: IndexMode::LookupParam };
+    assert!(matches!(
+        execute_collect(&ix, &c, &machine()),
+        Err(DbError::UnknownRelation(_))
+    ));
+}
+
+#[test]
+fn out_of_range_columns_are_rejected_at_build() {
+    let c = catalog();
+    let plan = PlanNode::SeqScan {
+        table: "t".into(),
+        predicate: Some(Expr::col(9).is_null()),
+        projection: None,
+    };
+    assert!(matches!(
+        execute_collect(&plan, &c, &machine()),
+        Err(DbError::UnknownColumn(_))
+    ));
+    let agg = PlanNode::Aggregate {
+        input: Box::new(PlanNode::SeqScan { table: "t".into(), predicate: None, projection: None }),
+        group_by: vec![7],
+        aggs: vec![],
+    };
+    assert!(execute_collect(&agg, &c, &machine()).is_err());
+}
+
+#[test]
+fn type_errors_surface_not_panic() {
+    let c = catalog();
+    // Predicate comparing int to string.
+    let plan = PlanNode::SeqScan {
+        table: "t".into(),
+        predicate: Some(Expr::col(0).eq(Expr::col(1))),
+        projection: None,
+    };
+    assert!(matches!(
+        execute_collect(&plan, &c, &machine()),
+        Err(DbError::TypeMismatch(_))
+    ));
+    // Non-boolean predicate.
+    let plan2 = PlanNode::SeqScan {
+        table: "t".into(),
+        predicate: Some(Expr::col(0).add(Expr::lit(1))),
+        projection: None,
+    };
+    assert!(execute_collect(&plan2, &c, &machine()).is_err());
+}
+
+#[test]
+fn division_by_zero_in_projection() {
+    let c = catalog();
+    let plan = PlanNode::Project {
+        input: Box::new(PlanNode::SeqScan { table: "t".into(), predicate: None, projection: None }),
+        exprs: vec![(Expr::lit(1).div(Expr::col(0).mul(Expr::lit(0))), "boom".into())],
+    };
+    assert_eq!(execute_collect(&plan, &c, &machine()), Err(DbError::DivideByZero));
+}
+
+#[test]
+fn grouping_by_float_is_rejected() {
+    let c = Catalog::new();
+    let mut b = TableBuilder::new("f", Schema::new(vec![Field::new("x", DataType::Float)]));
+    b.push(Tuple::new(vec![Datum::Float(1.5)]));
+    c.add_table(b);
+    let plan = PlanNode::Aggregate {
+        input: Box::new(PlanNode::SeqScan { table: "f".into(), predicate: None, projection: None }),
+        group_by: vec![0],
+        aggs: vec![AggSpec::count_star("n")],
+    };
+    assert!(matches!(
+        execute_collect(&plan, &c, &machine()),
+        Err(DbError::InvalidPlan(_))
+    ));
+}
+
+#[test]
+fn merge_join_over_unsorted_inputs_reports_invalid_plan() {
+    let c = Catalog::new();
+    let mut b = TableBuilder::new("u", Schema::new(vec![Field::new("k", DataType::Int)]));
+    for k in [5i64, 1, 9, 2] {
+        b.push(Tuple::new(vec![Datum::Int(k)]));
+    }
+    c.add_table(b);
+    let scan = || PlanNode::SeqScan { table: "u".into(), predicate: None, projection: None };
+    let plan = PlanNode::MergeJoin {
+        left: Box::new(scan()),
+        right: Box::new(scan()),
+        left_key: 0,
+        right_key: 0,
+    };
+    assert!(matches!(
+        execute_collect(&plan, &c, &machine()),
+        Err(DbError::InvalidPlan(_))
+    ));
+}
+
+#[test]
+fn aggregate_without_argument_is_rejected() {
+    let c = catalog();
+    let plan = PlanNode::Aggregate {
+        input: Box::new(PlanNode::SeqScan { table: "t".into(), predicate: None, projection: None }),
+        group_by: vec![],
+        aggs: vec![AggSpec { func: AggFunc::Avg, input: None, name: "a".into() }],
+    };
+    assert!(execute_collect(&plan, &c, &machine()).is_err());
+}
+
+#[test]
+fn errors_do_not_corrupt_later_runs() {
+    let c = catalog();
+    let bad = PlanNode::SeqScan {
+        table: "t".into(),
+        predicate: Some(Expr::col(0).eq(Expr::col(1))),
+        projection: None,
+    };
+    let _ = execute_collect(&bad, &c, &machine());
+    // A fresh, valid execution still works (no shared poisoned state).
+    let good = PlanNode::SeqScan { table: "t".into(), predicate: None, projection: None };
+    let (rows, stats) = execute_with_stats(&good, &c, &machine()).unwrap();
+    assert_eq!(rows.len(), 10);
+    assert!(stats.counters.instructions > 0);
+}

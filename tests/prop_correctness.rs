@@ -1,0 +1,240 @@
+//! Property-based correctness: on randomly generated tables, every plan
+//! transformation the paper introduces (buffer insertion at any size, plan
+//! refinement) and every join method must leave query answers unchanged,
+//! and operators must agree with straightforward reference computations.
+
+use bufferdb::cachesim::MachineConfig;
+use bufferdb::core::exec::execute_collect;
+use bufferdb::core::expr::Expr;
+use bufferdb::core::plan::{AggFunc, AggSpec, PlanNode};
+use bufferdb::core::refine::{refine_plan, RefineConfig};
+use bufferdb::index::BTreeIndex;
+use bufferdb::storage::{Catalog, IndexDef, TableBuilder};
+use bufferdb::types::{DataType, Datum, Field, Schema, Tuple};
+use proptest::prelude::*;
+
+/// Build a catalog with a fact table of `(k, v)` rows (nullable v) and a
+/// dimension table keyed 0..dim_n with an index.
+fn catalog_from(rows: &[(i64, Option<i64>)], dim_n: i64) -> Catalog {
+    let c = Catalog::new();
+    let mut fact = TableBuilder::new(
+        "fact",
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::nullable("v", DataType::Int),
+        ]),
+    );
+    for (k, v) in rows {
+        fact.push(Tuple::new(vec![
+            Datum::Int(*k),
+            v.map(Datum::Int).unwrap_or(Datum::Null),
+        ]));
+    }
+    c.add_table(fact);
+    let mut dim = TableBuilder::new(
+        "dim",
+        Schema::new(vec![
+            Field::new("d_k", DataType::Int),
+            Field::new("d_tag", DataType::Int),
+        ]),
+    );
+    let mut btree = BTreeIndex::new();
+    for i in 0..dim_n {
+        dim.push(Tuple::new(vec![Datum::Int(i), Datum::Int(i * 3)]));
+        btree.insert(i, i as u32);
+    }
+    c.add_table(dim);
+    c.add_index(IndexDef { name: "dim_pkey".into(), table: "dim".into(), key_column: 0, btree });
+    c
+}
+
+fn machine() -> MachineConfig {
+    MachineConfig::pentium4_like()
+}
+
+fn rows_sig(rows: &[Tuple]) -> Vec<String> {
+    rows.iter().map(|t| t.to_string()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Buffering at ANY size is transparent: same rows, same order.
+    #[test]
+    fn prop_buffer_is_transparent(
+        rows in proptest::collection::vec((0i64..40, proptest::option::of(-100i64..100)), 0..120),
+        size in 1usize..300,
+        bound in -100i64..100,
+    ) {
+        let c = catalog_from(&rows, 40);
+        let scan = PlanNode::SeqScan {
+            table: "fact".into(),
+            predicate: Some(Expr::col(1).le(Expr::lit(bound))),
+            projection: None,
+        };
+        let buffered = PlanNode::Buffer { input: Box::new(scan.clone()), size };
+        let a = execute_collect(&scan, &c, &machine()).unwrap();
+        let b = execute_collect(&buffered, &c, &machine()).unwrap();
+        prop_assert_eq!(rows_sig(&a), rows_sig(&b));
+    }
+
+    /// Aggregation over a filtered scan matches a direct fold, with or
+    /// without refinement.
+    #[test]
+    fn prop_aggregate_matches_reference(
+        rows in proptest::collection::vec((0i64..40, proptest::option::of(-50i64..50)), 0..150),
+        bound in -50i64..50,
+    ) {
+        let c = catalog_from(&rows, 40);
+        let plan = PlanNode::Aggregate {
+            input: Box::new(PlanNode::SeqScan {
+                table: "fact".into(),
+                predicate: Some(Expr::col(1).lt(Expr::lit(bound))),
+                projection: None,
+            }),
+            group_by: vec![],
+            aggs: vec![
+                AggSpec::count_star("n"),
+                AggSpec::new(AggFunc::Sum, Expr::col(1), "s"),
+                AggSpec::new(AggFunc::Min, Expr::col(1), "mn"),
+                AggSpec::new(AggFunc::Max, Expr::col(1), "mx"),
+            ],
+        };
+        let refined = refine_plan(&plan, &c, &RefineConfig::default());
+        let got = execute_collect(&refined, &c, &machine()).unwrap();
+
+        let selected: Vec<i64> = rows
+            .iter()
+            .filter_map(|(_, v)| *v)
+            .filter(|v| *v < bound)
+            .collect();
+        prop_assert_eq!(got[0].get(0).as_int().unwrap(), selected.len() as i64);
+        if selected.is_empty() {
+            prop_assert!(got[0].get(1).is_null());
+            prop_assert!(got[0].get(2).is_null());
+        } else {
+            prop_assert_eq!(got[0].get(1).as_int().unwrap(), selected.iter().sum::<i64>());
+            prop_assert_eq!(got[0].get(2).as_int().unwrap(), *selected.iter().min().unwrap());
+            prop_assert_eq!(got[0].get(3).as_int().unwrap(), *selected.iter().max().unwrap());
+        }
+    }
+
+    /// All three join methods compute the same join, equal to a brute-force
+    /// reference (counts per key).
+    #[test]
+    fn prop_join_methods_agree(
+        rows in proptest::collection::vec((0i64..30, proptest::option::of(-10i64..10)), 0..100),
+        dim_n in 1i64..30,
+    ) {
+        let c = catalog_from(&rows, dim_n);
+        let agg = |input: PlanNode| PlanNode::Aggregate {
+            input: Box::new(input),
+            group_by: vec![],
+            aggs: vec![
+                AggSpec::count_star("n"),
+                AggSpec::new(AggFunc::Sum, Expr::col(3), "tag_sum"),
+            ],
+        };
+        let scan = PlanNode::SeqScan { table: "fact".into(), predicate: None, projection: None };
+        let nl = agg(PlanNode::NestLoopJoin {
+            outer: Box::new(scan.clone()),
+            inner: Box::new(PlanNode::IndexScan {
+                index: "dim_pkey".into(),
+                mode: bufferdb::core::plan::IndexMode::LookupParam,
+            }),
+            param_outer_col: Some(0),
+            qual: None,
+            fk_inner: true,
+        });
+        let hj = agg(PlanNode::HashJoin {
+            probe: Box::new(scan.clone()),
+            build: Box::new(PlanNode::SeqScan { table: "dim".into(), predicate: None, projection: None }),
+            probe_key: 0,
+            build_key: 0,
+        });
+        let mj = agg(PlanNode::MergeJoin {
+            left: Box::new(PlanNode::Sort { input: Box::new(scan), keys: vec![(0, true)] }),
+            right: Box::new(PlanNode::IndexScan {
+                index: "dim_pkey".into(),
+                mode: bufferdb::core::plan::IndexMode::Range { lo: None, hi: None },
+            }),
+            left_key: 0,
+            right_key: 0,
+        });
+        let m = machine();
+        let a = execute_collect(&nl, &c, &m).unwrap();
+        let b = execute_collect(&hj, &c, &m).unwrap();
+        let d = execute_collect(&mj, &c, &m).unwrap();
+        prop_assert_eq!(rows_sig(&a), rows_sig(&b));
+        prop_assert_eq!(rows_sig(&b), rows_sig(&d));
+        // Brute force: every fact row with k < dim_n matches exactly once.
+        let expect_n = rows.iter().filter(|(k, _)| *k < dim_n).count() as i64;
+        prop_assert_eq!(a[0].get(0).as_int().unwrap(), expect_n);
+        let expect_sum: i64 = rows.iter().filter(|(k, _)| *k < dim_n).map(|(k, _)| k * 3).sum();
+        if expect_n > 0 {
+            prop_assert_eq!(a[0].get(1).as_int().unwrap(), expect_sum);
+        }
+    }
+
+    /// Sort output equals std sort; buffering below the sort changes nothing.
+    #[test]
+    fn prop_sort_matches_std(
+        rows in proptest::collection::vec((0i64..1000, proptest::option::of(-50i64..50)), 0..200),
+        size in 1usize..64,
+    ) {
+        let c = catalog_from(&rows, 1);
+        let sort = PlanNode::Sort {
+            input: Box::new(PlanNode::SeqScan { table: "fact".into(), predicate: None, projection: None }),
+            keys: vec![(0, true)],
+        };
+        let sort_buf = PlanNode::Sort {
+            input: Box::new(PlanNode::Buffer {
+                input: Box::new(PlanNode::SeqScan { table: "fact".into(), predicate: None, projection: None }),
+                size,
+            }),
+            keys: vec![(0, true)],
+        };
+        let m = machine();
+        let a = execute_collect(&sort, &c, &m).unwrap();
+        let b = execute_collect(&sort_buf, &c, &m).unwrap();
+        let got: Vec<i64> = a.iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        let mut want: Vec<i64> = rows.iter().map(|(k, _)| *k).collect();
+        want.sort();
+        prop_assert_eq!(&got, &want);
+        let got_b: Vec<i64> = b.iter().map(|t| t.get(0).as_int().unwrap()).collect();
+        prop_assert_eq!(&got_b, &want);
+    }
+
+    /// Group-by aggregation matches a HashMap reference.
+    #[test]
+    fn prop_group_by_matches_reference(
+        rows in proptest::collection::vec((0i64..8, proptest::option::of(0i64..100)), 0..150),
+    ) {
+        use std::collections::HashMap;
+        let c = catalog_from(&rows, 1);
+        let plan = PlanNode::Aggregate {
+            input: Box::new(PlanNode::SeqScan { table: "fact".into(), predicate: None, projection: None }),
+            group_by: vec![0],
+            aggs: vec![AggSpec::count_star("n"), AggSpec::new(AggFunc::Sum, Expr::col(1), "s")],
+        };
+        let got = execute_collect(&plan, &c, &machine()).unwrap();
+        let mut reference: HashMap<i64, (i64, Option<i64>)> = HashMap::new();
+        for (k, v) in &rows {
+            let e = reference.entry(*k).or_insert((0, None));
+            e.0 += 1;
+            if let Some(v) = v {
+                e.1 = Some(e.1.unwrap_or(0) + v);
+            }
+        }
+        prop_assert_eq!(got.len(), reference.len());
+        for row in &got {
+            let k = row.get(0).as_int().unwrap();
+            let (n, s) = reference[&k];
+            prop_assert_eq!(row.get(1).as_int().unwrap(), n);
+            match s {
+                None => prop_assert!(row.get(2).is_null()),
+                Some(s) => prop_assert_eq!(row.get(2).as_int().unwrap(), s),
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Structural invariants of refined plans, checked against the rules of §6:
+//! no buffer above the root, none above blocking operators, none above the
+//! parameterized inner of a foreign-key nested-loop join, configured sizes
+//! everywhere, and idempotency.
+
+use bufferdb::core::plan::PlanNode;
+use bufferdb::core::refine::{refine_plan, RefineConfig};
+use bufferdb::tpch::{self, queries, queries::JoinMethod};
+
+fn all_plans(catalog: &bufferdb::storage::Catalog) -> Vec<(&'static str, PlanNode)> {
+    vec![
+        ("paper q1", queries::paper_query1(catalog).unwrap()),
+        ("paper q2", queries::paper_query2(catalog).unwrap()),
+        ("q3 nl", queries::paper_query3(catalog, JoinMethod::NestLoop).unwrap()),
+        ("q3 hj", queries::paper_query3(catalog, JoinMethod::HashJoin).unwrap()),
+        ("q3 mj", queries::paper_query3(catalog, JoinMethod::MergeJoin).unwrap()),
+        ("tpch q1", queries::tpch_q1(catalog).unwrap()),
+        ("tpch q6", queries::tpch_q6(catalog).unwrap()),
+        ("tpch q12", queries::tpch_q12(catalog).unwrap()),
+        ("tpch q14", queries::tpch_q14(catalog).unwrap()),
+    ]
+}
+
+/// Walk the plan, asserting buffer-placement invariants.
+fn check_invariants(node: &PlanNode, cfg: &RefineConfig, path: &str) {
+    if let PlanNode::Buffer { input, size } = node {
+        assert_eq!(*size, cfg.buffer_size, "buffer size at {path}");
+        assert!(
+            !input.is_blocking(),
+            "buffer directly above blocking operator at {path}: {input:?}"
+        );
+        assert!(
+            !matches!(**input, PlanNode::Buffer { .. }),
+            "stacked buffers at {path}"
+        );
+    }
+    if let PlanNode::NestLoopJoin { inner, fk_inner: true, .. } = node {
+        assert!(
+            !matches!(**inner, PlanNode::Buffer { .. }),
+            "buffer above FK inner at {path}"
+        );
+    }
+    for (i, c) in node.children().iter().enumerate() {
+        check_invariants(c, cfg, &format!("{path}/{i}"));
+    }
+}
+
+#[test]
+fn refined_plans_satisfy_placement_rules() {
+    let catalog = tpch::generate_catalog(0.002, 11);
+    let cfg = RefineConfig::default();
+    for (name, plan) in all_plans(&catalog) {
+        let refined = refine_plan(&plan, &catalog, &cfg);
+        assert!(
+            !matches!(refined, PlanNode::Buffer { .. }),
+            "{name}: root must not be a buffer"
+        );
+        check_invariants(&refined, &cfg, name);
+    }
+}
+
+#[test]
+fn refinement_is_idempotent() {
+    let catalog = tpch::generate_catalog(0.002, 11);
+    let cfg = RefineConfig::default();
+    for (name, plan) in all_plans(&catalog) {
+        let once = refine_plan(&plan, &catalog, &cfg);
+        let twice = refine_plan(&once, &catalog, &cfg);
+        assert_eq!(
+            once.buffer_count(),
+            twice.buffer_count(),
+            "{name}: refining twice must not add buffers"
+        );
+    }
+}
+
+#[test]
+fn no_buffers_below_the_cardinality_threshold() {
+    let catalog = tpch::generate_catalog(0.002, 11);
+    let cfg = RefineConfig { cardinality_threshold: f64::INFINITY, ..Default::default() };
+    for (name, plan) in all_plans(&catalog) {
+        let refined = refine_plan(&plan, &catalog, &cfg);
+        assert_eq!(refined.buffer_count(), 0, "{name}");
+    }
+}
+
+#[test]
+fn infinite_cache_means_no_buffers() {
+    let catalog = tpch::generate_catalog(0.002, 11);
+    let cfg = RefineConfig { l1i_capacity: usize::MAX, ..Default::default() };
+    for (name, plan) in all_plans(&catalog) {
+        let refined = refine_plan(&plan, &catalog, &cfg);
+        assert_eq!(refined.buffer_count(), 0, "{name}");
+    }
+}
+
+#[test]
+fn tiny_cache_buffers_every_eligible_group() {
+    let catalog = tpch::generate_catalog(0.002, 11);
+    // A 2 KB budget: nothing merges, every eligible group gets a buffer.
+    let cfg = RefineConfig {
+        l1i_capacity: 2 * 1024,
+        cardinality_threshold: 0.0,
+        ..Default::default()
+    };
+    let plan = queries::paper_query1(&catalog).unwrap();
+    let refined = refine_plan(&plan, &catalog, &cfg);
+    assert_eq!(refined.buffer_count(), 1, "scan group closed under agg");
+    let q3 = queries::paper_query3(&catalog, JoinMethod::MergeJoin).unwrap();
+    let refined3 = refine_plan(&q3, &catalog, &cfg);
+    assert!(refined3.buffer_count() >= 3, "{refined3:#?}");
+}
+
+#[test]
+fn refined_paper_plans_match_published_figures() {
+    let catalog = tpch::generate_catalog(0.01, 11);
+    let cfg = RefineConfig::default();
+    // Figure 5(b): one buffer between scan and aggregation for Query 1.
+    let q1 = refine_plan(&queries::paper_query1(&catalog).unwrap(), &catalog, &cfg);
+    assert_eq!(q1.buffer_count(), 1);
+    // §7.2: no buffers for Query 2.
+    let q2 = refine_plan(&queries::paper_query2(&catalog).unwrap(), &catalog, &cfg);
+    assert_eq!(q2.buffer_count(), 0);
+    // Figure 15(b): one buffer (above the outer scan).
+    let nl = refine_plan(
+        &queries::paper_query3(&catalog, JoinMethod::NestLoop).unwrap(),
+        &catalog,
+        &cfg,
+    );
+    assert_eq!(nl.buffer_count(), 1);
+    // Figure 16(b): two buffers (above each scan).
+    let hj = refine_plan(
+        &queries::paper_query3(&catalog, JoinMethod::HashJoin).unwrap(),
+        &catalog,
+        &cfg,
+    );
+    assert_eq!(hj.buffer_count(), 2);
+    // Figure 17(b): two buffers (below the sort, above the index scan).
+    let mj = refine_plan(
+        &queries::paper_query3(&catalog, JoinMethod::MergeJoin).unwrap(),
+        &catalog,
+        &cfg,
+    );
+    assert_eq!(mj.buffer_count(), 2);
+}

@@ -1,0 +1,146 @@
+//! Simulation-level integration: determinism, headline shapes from the
+//! paper (Query 1 buffered wins, Query 2 does not, misses scale ∝ 1/B),
+//! and machine ablations (a big-enough L1i removes the thrashing).
+
+use bufferdb::cachesim::MachineConfig;
+use bufferdb::core::exec::execute_with_stats;
+use bufferdb::core::plan::PlanNode;
+use bufferdb::core::refine::{refine_plan, RefineConfig};
+use bufferdb::tpch::{self, queries};
+
+fn buffered_q1(catalog: &bufferdb::storage::Catalog, size: usize) -> PlanNode {
+    let plan = queries::paper_query1(catalog).unwrap();
+    let PlanNode::Aggregate { input, group_by, aggs } = plan else { panic!() };
+    PlanNode::Aggregate {
+        input: Box::new(PlanNode::Buffer { input, size }),
+        group_by,
+        aggs,
+    }
+}
+
+#[test]
+fn execution_is_deterministic() {
+    let catalog = tpch::generate_catalog(0.001, 21);
+    let machine = MachineConfig::pentium4_like();
+    let plan = queries::paper_query1(&catalog).unwrap();
+    let (_, a) = execute_with_stats(&plan, &catalog, &machine).unwrap();
+    let (_, b) = execute_with_stats(&plan, &catalog, &machine).unwrap();
+    assert_eq!(a.counters, b.counters, "identical runs, identical counters");
+}
+
+#[test]
+fn query1_buffering_wins_query2_does_not() {
+    let catalog = tpch::generate_catalog(0.002, 21);
+    let machine = MachineConfig::pentium4_like();
+    let cfg = RefineConfig::default();
+
+    let q1 = queries::paper_query1(&catalog).unwrap();
+    let q1_ref = refine_plan(&q1, &catalog, &cfg);
+    let (_, o1) = execute_with_stats(&q1, &catalog, &machine).unwrap();
+    let (_, b1) = execute_with_stats(&q1_ref, &catalog, &machine).unwrap();
+    assert!(b1.seconds() < o1.seconds(), "Q1 buffered must win");
+    assert!(
+        (b1.counters.l1i_misses as f64) < 0.5 * o1.counters.l1i_misses as f64,
+        "Q1 L1i misses must drop by more than half: {} -> {}",
+        o1.counters.l1i_misses,
+        b1.counters.l1i_misses
+    );
+
+    // Q2: forcing a buffer where refinement declines must not help.
+    let q2 = queries::paper_query2(&catalog).unwrap();
+    let PlanNode::Aggregate { input, group_by, aggs } = q2.clone() else { panic!() };
+    let q2_forced = PlanNode::Aggregate {
+        input: Box::new(PlanNode::Buffer { input, size: 100 }),
+        group_by,
+        aggs,
+    };
+    let (_, o2) = execute_with_stats(&q2, &catalog, &machine).unwrap();
+    let (_, b2) = execute_with_stats(&q2_forced, &catalog, &machine).unwrap();
+    assert!(
+        b2.seconds() >= o2.seconds() * 0.995,
+        "Q2 buffering must not meaningfully win: {} vs {}",
+        b2.seconds(),
+        o2.seconds()
+    );
+}
+
+#[test]
+fn miss_reduction_scales_inversely_with_buffer_size() {
+    // §7.4: "The number of reduced trace cache misses is roughly
+    // proportional to 1/buffersize", flattening past ~100.
+    let catalog = tpch::generate_catalog(0.002, 21);
+    let machine = MachineConfig::pentium4_like();
+    let misses = |size: usize| {
+        let (_, s) = execute_with_stats(&buffered_q1(&catalog, size), &catalog, &machine).unwrap();
+        s.counters.l1i_misses
+    };
+    let m1 = misses(1);
+    let m10 = misses(10);
+    let m100 = misses(100);
+    let m1000 = misses(1000);
+    assert!(m10 < m1 / 4, "size 10 ≪ size 1: {m10} vs {m1}");
+    assert!(m100 < m10, "size 100 < size 10");
+    // Beyond ~100 there is "only a small incentive to make it bigger".
+    let gain_10_100 = m10 as f64 / m100 as f64;
+    let gain_100_1000 = m100 as f64 / m1000.max(1) as f64;
+    assert!(
+        gain_10_100 > gain_100_1000,
+        "diminishing returns: {gain_10_100} vs {gain_100_1000}"
+    );
+}
+
+#[test]
+fn larger_l1i_removes_thrashing() {
+    let catalog = tpch::generate_catalog(0.002, 21);
+    let plan = queries::paper_query1(&catalog).unwrap();
+    let small = MachineConfig::pentium4_like();
+    let big = MachineConfig::large_l1i();
+    let (_, s) = execute_with_stats(&plan, &catalog, &small).unwrap();
+    let (_, b) = execute_with_stats(&plan, &catalog, &big).unwrap();
+    assert!(
+        b.counters.l1i_misses * 10 < s.counters.l1i_misses,
+        "32 KB L1i must eliminate Query 1 thrashing: {} vs {}",
+        b.counters.l1i_misses,
+        s.counters.l1i_misses
+    );
+}
+
+#[test]
+fn buffering_reduces_itlb_misses() {
+    let catalog = tpch::generate_catalog(0.002, 21);
+    let machine = MachineConfig::pentium4_like();
+    let plan = queries::paper_query1(&catalog).unwrap();
+    let refined = refine_plan(&plan, &catalog, &RefineConfig::default());
+    let (_, o) = execute_with_stats(&plan, &catalog, &machine).unwrap();
+    let (_, b) = execute_with_stats(&refined, &catalog, &machine).unwrap();
+    assert!(
+        b.counters.itlb_misses < o.counters.itlb_misses,
+        "{} vs {}",
+        b.counters.itlb_misses,
+        o.counters.itlb_misses
+    );
+}
+
+#[test]
+fn instruction_counts_nearly_identical() {
+    // Table 4: "Both the original and buffered plans have almost the same
+    // number (less than 1% difference) of instructions executed."
+    let catalog = tpch::generate_catalog(0.002, 21);
+    let machine = MachineConfig::pentium4_like();
+    let plan = queries::paper_query1(&catalog).unwrap();
+    let refined = refine_plan(&plan, &catalog, &RefineConfig::default());
+    let (_, o) = execute_with_stats(&plan, &catalog, &machine).unwrap();
+    let (_, b) = execute_with_stats(&refined, &catalog, &machine).unwrap();
+    let ratio = b.counters.instructions as f64 / o.counters.instructions as f64;
+    assert!((0.99..=1.01).contains(&ratio), "instruction ratio {ratio}");
+}
+
+#[test]
+fn wall_clock_is_recorded() {
+    let catalog = tpch::generate_catalog(0.001, 21);
+    let machine = MachineConfig::pentium4_like();
+    let plan = queries::paper_query2(&catalog).unwrap();
+    let (_, s) = execute_with_stats(&plan, &catalog, &machine).unwrap();
+    assert!(s.wall.as_nanos() > 0);
+    assert!(s.rows == 1);
+}
