@@ -2,63 +2,64 @@
 //! wall-clock each simulated event costs, which determines feasible scale
 //! factors for the paper reproductions.
 
+use bufferdb_bench::microbench::bench;
 use bufferdb_cachesim::{
     BranchPredictor, Cache, CacheConfig, CodeLayout, CodeRegion, GsharePredictor, Machine,
     MachineConfig, SegmentSpec,
 };
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
-fn bench_cache_access(c: &mut Criterion) {
-    let mut cache = Cache::new(CacheConfig { capacity: 16 * 1024, line_size: 64, associativity: 8 });
-    let mut addr = 0u64;
-    c.bench_function("cache/access_streaming", |b| {
-        b.iter(|| {
-            addr = addr.wrapping_add(64);
-            black_box(cache.access(addr))
-        })
+fn bench_cache_access() {
+    let mut cache = Cache::new(CacheConfig {
+        capacity: 16 * 1024,
+        line_size: 64,
+        associativity: 8,
     });
-    let mut hot = Cache::new(CacheConfig { capacity: 16 * 1024, line_size: 64, associativity: 8 });
+    let mut addr = 0u64;
+    bench("cache/access_streaming", || {
+        addr = addr.wrapping_add(64);
+        black_box(cache.access(addr))
+    });
+    let mut hot = Cache::new(CacheConfig {
+        capacity: 16 * 1024,
+        line_size: 64,
+        associativity: 8,
+    });
     hot.access(0x1000);
-    c.bench_function("cache/access_hit", |b| b.iter(|| black_box(hot.access(0x1000))));
+    bench("cache/access_hit", || black_box(hot.access(0x1000)));
 }
 
-fn bench_exec_region(c: &mut Criterion) {
+fn bench_exec_region() {
     let mut layout = CodeLayout::new();
     let seg = layout.define(&SegmentSpec::new("bench_scan", 13_200));
     let mut region = CodeRegion::new(vec![seg]);
     let mut machine = Machine::new(MachineConfig::pentium4_like());
-    c.bench_function("machine/exec_region_13k", |b| {
-        b.iter(|| machine.exec_region(black_box(&mut region)))
+    bench("machine/exec_region_13k", || {
+        machine.exec_region(black_box(&mut region))
     });
 }
 
-fn bench_predictor(c: &mut Criterion) {
+fn bench_predictor() {
     let mut p = GsharePredictor::new(512, 12);
     let mut i = 0u64;
-    c.bench_function("branch/gshare_predict_update", |b| {
-        b.iter(|| {
-            i += 1;
-            black_box(p.predict_and_update(0x400 + (i % 64) * 16, !i.is_multiple_of(3)))
-        })
+    bench("branch/gshare_predict_update", || {
+        i += 1;
+        black_box(p.predict_and_update(0x400 + (i % 64) * 16, !i.is_multiple_of(3)))
     });
 }
 
-fn bench_data_access(c: &mut Criterion) {
+fn bench_data_access() {
     let mut machine = Machine::new(MachineConfig::pentium4_like());
     let mut addr = 0x1000_0000u64;
-    c.bench_function("machine/data_read_sequential", |b| {
-        b.iter(|| {
-            addr += 64;
-            machine.data_read(black_box(addr), 64)
-        })
+    bench("machine/data_read_sequential", || {
+        addr += 64;
+        machine.data_read(black_box(addr), 64)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_cache_access,
-    bench_exec_region,
-    bench_predictor,
-    bench_data_access
-);
-criterion_main!(benches);
+fn main() {
+    bench_cache_access();
+    bench_exec_region();
+    bench_predictor();
+    bench_data_access();
+}

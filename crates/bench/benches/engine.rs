@@ -3,6 +3,7 @@
 //! refinement latency (§7: "the overhead of this algorithm is very small"),
 //! and B+-tree probes.
 
+use bufferdb_bench::microbench::bench;
 use bufferdb_cachesim::MachineConfig;
 use bufferdb_core::context::ExecContext;
 use bufferdb_core::exec::buffer::BufferOp;
@@ -14,7 +15,7 @@ use bufferdb_index::BTreeIndex;
 use bufferdb_storage::{Catalog, TableBuilder};
 use bufferdb_tpch::queries;
 use bufferdb_types::{DataType, Datum, Field, Schema, Tuple};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
 fn int_catalog(rows: i64) -> Catalog {
     let c = Catalog::new();
@@ -26,64 +27,56 @@ fn int_catalog(rows: i64) -> Catalog {
     c
 }
 
-fn bench_scan_next(c: &mut Criterion) {
+fn bench_scan_next() {
     let catalog = int_catalog(1_000_000);
     let mut fm = FootprintModel::new();
     let mut ctx = ExecContext::new(MachineConfig::pentium4_like());
     let mut scan = SeqScanOp::new(&catalog, &mut fm, "t", None, None).unwrap();
     scan.open(&mut ctx).unwrap();
-    c.bench_function("engine/seqscan_next", |b| {
-        b.iter(|| {
-            if scan.next(&mut ctx).unwrap().is_none() {
-                scan.rescan(&mut ctx, None).unwrap();
-            }
-        })
+    bench("engine/seqscan_next", || {
+        if scan.next(&mut ctx).unwrap().is_none() {
+            scan.rescan(&mut ctx, None).unwrap();
+        }
     });
 }
 
-fn bench_buffered_scan_next(c: &mut Criterion) {
+fn bench_buffered_scan_next() {
     let catalog = int_catalog(1_000_000);
     let mut fm = FootprintModel::new();
     let mut ctx = ExecContext::new(MachineConfig::pentium4_like());
     let child = Box::new(SeqScanOp::new(&catalog, &mut fm, "t", None, None).unwrap());
     let mut op = BufferOp::new(&mut fm, child, 100).unwrap();
     op.open(&mut ctx).unwrap();
-    c.bench_function("engine/buffered_scan_next", |b| {
-        b.iter(|| {
-            if op.next(&mut ctx).unwrap().is_none() {
-                op.rescan(&mut ctx, None).unwrap();
-            }
-        })
+    bench("engine/buffered_scan_next", || {
+        if op.next(&mut ctx).unwrap().is_none() {
+            op.rescan(&mut ctx, None).unwrap();
+        }
     });
 }
 
-fn bench_refine(c: &mut Criterion) {
+fn bench_refine() {
     let catalog = bufferdb_tpch::generate_catalog(0.001, 42);
-    let plan = queries::paper_query3(&catalog, bufferdb_tpch::queries::JoinMethod::MergeJoin)
-        .unwrap();
+    let plan =
+        queries::paper_query3(&catalog, bufferdb_tpch::queries::JoinMethod::MergeJoin).unwrap();
     let cfg = RefineConfig::default();
-    c.bench_function("refine/query3_mergejoin", |b| {
-        b.iter(|| black_box(refine_plan(black_box(&plan), &catalog, &cfg)))
+    bench("refine/query3_mergejoin", || {
+        black_box(refine_plan(black_box(&plan), &catalog, &cfg))
     });
 }
 
-fn bench_btree_probe(c: &mut Criterion) {
+fn bench_btree_probe() {
     let pairs: Vec<(i64, u32)> = (0..1_000_000).map(|i| (i, i as u32)).collect();
     let tree = BTreeIndex::bulk_load(pairs);
     let mut key = 0i64;
-    c.bench_function("btree/lookup_1m", |b| {
-        b.iter(|| {
-            key = (key + 7919) % 1_000_000;
-            black_box(tree.lookup(key))
-        })
+    bench("btree/lookup_1m", || {
+        key = (key + 7919) % 1_000_000;
+        black_box(tree.lookup(key))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_scan_next,
-    bench_buffered_scan_next,
-    bench_refine,
-    bench_btree_probe
-);
-criterion_main!(benches);
+fn main() {
+    bench_scan_next();
+    bench_buffered_scan_next();
+    bench_refine();
+    bench_btree_probe();
+}

@@ -5,43 +5,40 @@
 //! engine/simulator and demonstrate that refined plans do not burden the
 //! host (the extra buffer work is tiny).
 
+use bufferdb_bench::microbench::bench_n;
 use bufferdb_cachesim::MachineConfig;
 use bufferdb_core::exec::execute_collect;
 use bufferdb_core::refine::{refine_plan, RefineConfig};
 use bufferdb_tpch::queries;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
-fn bench_query1(c: &mut Criterion) {
+fn bench_query1() {
     let catalog = bufferdb_tpch::generate_catalog(0.002, 42);
     let machine = MachineConfig::pentium4_like();
     let plan = queries::paper_query1(&catalog).unwrap();
     let refined = refine_plan(&plan, &catalog, &RefineConfig::default());
-    let mut g = c.benchmark_group("query1");
-    g.sample_size(10);
-    g.bench_function("original", |b| {
-        b.iter(|| black_box(execute_collect(&plan, &catalog, &machine).unwrap()))
+    bench_n("query1/original", 10, || {
+        black_box(execute_collect(&plan, &catalog, &machine).unwrap())
     });
-    g.bench_function("refined", |b| {
-        b.iter(|| black_box(execute_collect(&refined, &catalog, &machine).unwrap()))
+    bench_n("query1/refined", 10, || {
+        black_box(execute_collect(&refined, &catalog, &machine).unwrap())
     });
-    g.finish();
 }
 
-fn bench_query6(c: &mut Criterion) {
+fn bench_query6() {
     let catalog = bufferdb_tpch::generate_catalog(0.002, 42);
     let machine = MachineConfig::pentium4_like();
     let plan = queries::tpch_q6(&catalog).unwrap();
     let refined = refine_plan(&plan, &catalog, &RefineConfig::default());
-    let mut g = c.benchmark_group("tpch_q6");
-    g.sample_size(10);
-    g.bench_function("original", |b| {
-        b.iter(|| black_box(execute_collect(&plan, &catalog, &machine).unwrap()))
+    bench_n("tpch_q6/original", 10, || {
+        black_box(execute_collect(&plan, &catalog, &machine).unwrap())
     });
-    g.bench_function("refined", |b| {
-        b.iter(|| black_box(execute_collect(&refined, &catalog, &machine).unwrap()))
+    bench_n("tpch_q6/refined", 10, || {
+        black_box(execute_collect(&refined, &catalog, &machine).unwrap())
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_query1, bench_query6);
-criterion_main!(benches);
+fn main() {
+    bench_query1();
+    bench_query6();
+}

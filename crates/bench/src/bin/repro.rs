@@ -34,6 +34,8 @@ experiments:
   ablation  predictor / placement / cache-size / copy-buffer / cross-arch
   blockcmp  buffering vs block-oriented processing (related work)
   misscurve i-cache miss rate vs capacity, interleaved vs batched
+  baseline  write per-query metrics to BENCH_baseline.json
+  analyze   EXPLAIN ANALYZE of Query 1, unbuffered vs buffered
   all       everything above";
 
 fn main() {
@@ -67,9 +69,26 @@ fn main() {
     }
     if experiments.iter().any(|e| e == "all") {
         experiments = [
-            "table1", "table2", "fig4", "fig9", "fig10", "fig11", "fig12", "fig13", "fig15",
-            "fig16", "fig17", "table3", "table4", "table5", "calibrate", "ablation",
-            "blockcmp", "misscurve",
+            "table1",
+            "table2",
+            "fig4",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig15",
+            "fig16",
+            "fig17",
+            "table3",
+            "table4",
+            "table5",
+            "calibrate",
+            "ablation",
+            "blockcmp",
+            "misscurve",
+            "baseline",
+            "analyze",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -103,10 +122,46 @@ fn main() {
             "ablation" => exp::ablation(&ctx),
             "blockcmp" => exp::blockcmp(&ctx),
             "misscurve" => exp::misscurve(&ctx),
+            "baseline" => write_baseline(&ctx, seed),
+            "analyze" => analyze_query1(&ctx),
             other => die(&format!("unknown experiment {other:?}")),
         };
         println!("{report}");
     }
+}
+
+/// Run the baseline query set and write `BENCH_baseline.json` next to the
+/// current directory (uploaded as a CI artifact).
+fn write_baseline(ctx: &ExperimentCtx, seed: u64) -> String {
+    let report = exp::baseline_metrics(ctx, seed);
+    let path = "BENCH_baseline.json";
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(path, &json) {
+        die(&format!("cannot write {path}: {e}"));
+    }
+    let mut s = format!(
+        "== Baseline metrics ==\nwrote {path} ({} entries)\n",
+        report.entries.len()
+    );
+    for e in &report.entries {
+        s.push_str(&format!(
+            "{:<9} {:<8} | {:>9.3}s | CPI {:>5.2} | L1i misses {:>10}\n",
+            e.query, e.variant, e.modeled_seconds, e.cpi, e.l1i_misses
+        ));
+    }
+    s
+}
+
+/// EXPLAIN ANALYZE of the paper's Query 1, before and after refinement:
+/// per-operator attribution of the L1i misses buffering removes.
+fn analyze_query1(ctx: &ExperimentCtx) -> String {
+    use bufferdb_core::plan::analyze::explain_analyze;
+    use bufferdb_core::refine::{refine_plan, RefineConfig};
+    let plan = bufferdb_tpch::queries::paper_query1(&ctx.catalog).expect("query 1");
+    let refined = refine_plan(&plan, &ctx.catalog, &RefineConfig::default());
+    let orig = explain_analyze(&plan, &ctx.catalog, &ctx.machine).expect("analyze original");
+    let buf = explain_analyze(&refined, &ctx.catalog, &ctx.machine).expect("analyze refined");
+    format!("== EXPLAIN ANALYZE: Query 1 original ==\n{orig}\n== EXPLAIN ANALYZE: Query 1 refined ==\n{buf}")
 }
 
 fn die(msg: &str) -> ! {

@@ -1,6 +1,8 @@
 //! One function per paper artifact (table or figure).
 
-use crate::runner::{comparison_report, reduction, run_plan, RunResult};
+use crate::runner::{
+    comparison_report, reduction, run_plan, MetricsReport, QueryMetrics, RunResult,
+};
 use bufferdb_cachesim::MachineConfig;
 use bufferdb_core::footprint::OpKind;
 use bufferdb_core::plan::explain::explain;
@@ -45,24 +47,40 @@ impl ExperimentCtx {
 /// force buffering regardless of the refiner's verdict, e.g. Figure 9).
 fn buffer_above_input(plan: &PlanNode, size: usize) -> PlanNode {
     match plan {
-        PlanNode::Aggregate { input, group_by, aggs } => PlanNode::Aggregate {
-            input: Box::new(PlanNode::Buffer { input: input.clone(), size }),
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => PlanNode::Aggregate {
+            input: Box::new(PlanNode::Buffer {
+                input: input.clone(),
+                size,
+            }),
             group_by: group_by.clone(),
             aggs: aggs.clone(),
         },
-        other => PlanNode::Buffer { input: Box::new(other.clone()), size },
+        other => PlanNode::Buffer {
+            input: Box::new(other.clone()),
+            size,
+        },
     }
 }
 
 /// Table 1: the simulated machine specification.
 pub fn table1(ctx: &ExperimentCtx) -> String {
-    format!("== Table 1: system specification ==\n{}", ctx.machine.to_table1())
+    format!(
+        "== Table 1: system specification ==\n{}",
+        ctx.machine.to_table1()
+    )
 }
 
 /// Table 2: operator instruction footprints.
 pub fn table2() -> String {
     let rows: Vec<(&str, OpKind)> = vec![
-        ("Scan, without predicates", OpKind::SeqScan { with_pred: false }),
+        (
+            "Scan, without predicates",
+            OpKind::SeqScan { with_pred: false },
+        ),
         ("Scan, with predicates", OpKind::SeqScan { with_pred: true }),
         ("IndexScan", OpKind::IndexScan),
         ("Sort", OpKind::Sort),
@@ -71,16 +89,45 @@ pub fn table2() -> String {
         ("Hash Join, build", OpKind::HashBuild),
         ("Hash Join, probe", OpKind::HashProbe),
         ("Aggregation, base", OpKind::Aggregate { funcs: vec![] }),
-        ("  + COUNT", OpKind::Aggregate { funcs: vec![AggFunc::CountStar] }),
-        ("  + MIN", OpKind::Aggregate { funcs: vec![AggFunc::Min] }),
-        ("  + MAX", OpKind::Aggregate { funcs: vec![AggFunc::Max] }),
-        ("  + SUM", OpKind::Aggregate { funcs: vec![AggFunc::Sum] }),
-        ("  + AVG", OpKind::Aggregate { funcs: vec![AggFunc::Avg] }),
+        (
+            "  + COUNT",
+            OpKind::Aggregate {
+                funcs: vec![AggFunc::CountStar],
+            },
+        ),
+        (
+            "  + MIN",
+            OpKind::Aggregate {
+                funcs: vec![AggFunc::Min],
+            },
+        ),
+        (
+            "  + MAX",
+            OpKind::Aggregate {
+                funcs: vec![AggFunc::Max],
+            },
+        ),
+        (
+            "  + SUM",
+            OpKind::Aggregate {
+                funcs: vec![AggFunc::Sum],
+            },
+        ),
+        (
+            "  + AVG",
+            OpKind::Aggregate {
+                funcs: vec![AggFunc::Avg],
+            },
+        ),
         ("Buffer", OpKind::Buffer),
     ];
     let mut s = String::from("== Table 2: instruction footprints ==\n");
     for (name, kind) in rows {
-        let _ = writeln!(s, "{name:<28} {:>6.1} K", kind.footprint_bytes() as f64 / 1000.0);
+        let _ = writeln!(
+            s,
+            "{name:<28} {:>6.1} K",
+            kind.footprint_bytes() as f64 / 1000.0
+        );
     }
     s
 }
@@ -153,7 +200,11 @@ pub fn fig11(ctx: &ExperimentCtx) -> String {
             card,
             orig.stats.seconds(),
             buf.stats.seconds(),
-            if buf.stats.seconds() < orig.stats.seconds() { "buffered" } else { "original" },
+            if buf.stats.seconds() < orig.stats.seconds() {
+                "buffered"
+            } else {
+                "original"
+            },
         );
         let _ = n; // cardinality reported from the actual run
     }
@@ -171,7 +222,12 @@ pub fn fig12(ctx: &ExperimentCtx) -> String {
         "== Figure 12: varied buffer sizes (Query 1) ==\n\
          buffer size | elapsed (s) | vs original\n",
     );
-    let _ = writeln!(s, "{:>11} | {:>11.4} | (original plan)", 0, orig.stats.seconds());
+    let _ = writeln!(
+        s,
+        "{:>11} | {:>11.4} | (original plan)",
+        0,
+        orig.stats.seconds()
+    );
     for size in BUFFER_SIZES {
         let buffered = buffer_above_input(&plan, size);
         let run = run_plan("buf", &buffered, &ctx.catalog, &ctx.machine);
@@ -192,7 +248,12 @@ pub fn fig13(ctx: &ExperimentCtx) -> String {
     let mut s = String::from("== Figure 13: breakdown for varied buffer sizes (Query 1) ==\n");
     for size in BUFFER_SIZES {
         let buffered = buffer_above_input(&plan, size);
-        let run = run_plan(&format!("size {size}"), &buffered, &ctx.catalog, &ctx.machine);
+        let run = run_plan(
+            &format!("size {size}"),
+            &buffered,
+            &ctx.catalog,
+            &ctx.machine,
+        );
         let _ = writeln!(s, "{}", run.chart_row());
     }
     s
@@ -302,6 +363,39 @@ pub fn table5(ctx: &ExperimentCtx) -> String {
     s
 }
 
+/// Per-query modeled metrics for the machine-readable baseline export:
+/// the paper's Query 1 plus the Table 5 TPC-H queries, original vs refined.
+/// The `repro` binary serializes this to `BENCH_baseline.json`.
+pub fn baseline_metrics(ctx: &ExperimentCtx, seed: u64) -> MetricsReport {
+    let plans: Vec<(&str, PlanNode)> = vec![
+        (
+            "paper Q1",
+            queries::paper_query1(&ctx.catalog).expect("paper q1"),
+        ),
+        ("Q1", queries::tpch_q1(&ctx.catalog).expect("q1")),
+        ("Q6", queries::tpch_q6(&ctx.catalog).expect("q6")),
+        ("Q12", queries::tpch_q12(&ctx.catalog).expect("q12")),
+        ("Q14", queries::tpch_q14(&ctx.catalog).expect("q14")),
+    ];
+    let mut report = MetricsReport {
+        scale: ctx.scale,
+        seed,
+        entries: Vec::new(),
+    };
+    for (name, plan) in plans {
+        let refined = ctx.buffered(&plan);
+        let o = run_plan("original", &plan, &ctx.catalog, &ctx.machine);
+        let b = run_plan("refined", &refined, &ctx.catalog, &ctx.machine);
+        report
+            .entries
+            .push(QueryMetrics::from_run(name, "original", &plan, &o));
+        report
+            .entries
+            .push(QueryMetrics::from_run(name, "refined", &refined, &b));
+    }
+    report
+}
+
 /// §7.3 calibration: the cardinality threshold for this machine.
 pub fn calibrate(ctx: &ExperimentCtx) -> String {
     let report = calibrate_cardinality_threshold(&ctx.machine, ctx.refine.buffer_size);
@@ -335,7 +429,10 @@ pub fn ablation(ctx: &ExperimentCtx) -> String {
             "predictor {name:<8}: mispred {} -> {} ({:+.1}% reduction), time {:+.1}%",
             o.stats.counters.mispredictions,
             b.stats.counters.mispredictions,
-            reduction(o.stats.counters.mispredictions, b.stats.counters.mispredictions),
+            reduction(
+                o.stats.counters.mispredictions,
+                b.stats.counters.mispredictions
+            ),
             100.0 * b.stats.improvement_over(&o.stats),
         );
     }
@@ -359,7 +456,10 @@ pub fn ablation(ctx: &ExperimentCtx) -> String {
     // (c) A 32 KB L1i: the refiner stops recommending buffers.
     let mut big = ctx.machine.clone();
     big.l1i.capacity = 32 * 1024;
-    let big_refine = RefineConfig { l1i_capacity: 40 * 1024, ..ctx.refine.clone() };
+    let big_refine = RefineConfig {
+        l1i_capacity: 40 * 1024,
+        ..ctx.refine.clone()
+    };
     let refined_big = refine_plan(&plan, &ctx.catalog, &big_refine);
     let o_big = run_plan("orig-32k", &plan, &ctx.catalog, &big);
     let _ = writeln!(
@@ -443,32 +543,42 @@ pub fn blockcmp(ctx: &ExperimentCtx) -> String {
     let buffered = run_plan("buffered (paper)", &refined, &ctx.catalog, &ctx.machine);
 
     // Block-oriented engine on the same query.
-    let PlanNode::Aggregate { input, aggs, .. } = plan else { unreachable!() };
-    let PlanNode::SeqScan { table, predicate, .. } = *input else { unreachable!() };
+    let PlanNode::Aggregate { input, aggs, .. } = plan else {
+        unreachable!()
+    };
+    let PlanNode::SeqScan {
+        table, predicate, ..
+    } = *input
+    else {
+        unreachable!()
+    };
     let mut fm = FootprintModel::new();
     let scan = Box::new(
-        BlockScan::new(&ctx.catalog, &mut fm, &table, predicate, ctx.refine.buffer_size)
-            .expect("block scan"),
+        BlockScan::new(
+            &ctx.catalog,
+            &mut fm,
+            &table,
+            predicate,
+            ctx.refine.buffer_size,
+        )
+        .expect("block scan"),
     );
-    let mut agg = BlockAggregate::new(&mut fm, scan, aggs, ctx.refine.buffer_size)
-        .expect("block agg");
+    let mut agg =
+        BlockAggregate::new(&mut fm, scan, aggs, ctx.refine.buffer_size).expect("block agg");
     let mut exec_ctx = ExecContext::new(ctx.machine.clone());
     let row = agg.execute(&mut exec_ctx).expect("block query");
     let counters = exec_ctx.machine.snapshot();
     let block_breakdown = exec_ctx.machine.breakdown_for(&counters);
 
-    let mut s = String::from(
-        "== Related work: buffering vs block-oriented processing (Query 1) ==\n",
-    );
+    let mut s =
+        String::from("== Related work: buffering vs block-oriented processing (Query 1) ==\n");
     let _ = writeln!(s, "{}", tuple.chart_row());
     let _ = writeln!(s, "{}", buffered.chart_row());
     let _ = writeln!(s, "{}", block_breakdown.chart_row("block-oriented"));
     let _ = writeln!(
         s,
         "L1i misses: tuple {} | buffered {} | block {}",
-        tuple.stats.counters.l1i_misses,
-        buffered.stats.counters.l1i_misses,
-        counters.l1i_misses,
+        tuple.stats.counters.l1i_misses, buffered.stats.counters.l1i_misses, counters.l1i_misses,
     );
     let _ = writeln!(
         s,
@@ -492,33 +602,51 @@ pub fn buffer_everywhere(plan: &PlanNode, size: usize) -> PlanNode {
         if matches!(inner, PlanNode::Buffer { .. }) || p.is_blocking() {
             Box::new(inner)
         } else {
-            Box::new(PlanNode::Buffer { input: Box::new(inner), size })
+            Box::new(PlanNode::Buffer {
+                input: Box::new(inner),
+                size,
+            })
         }
     };
     match plan {
         PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => plan.clone(),
-        PlanNode::Aggregate { input, group_by, aggs } => PlanNode::Aggregate {
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => PlanNode::Aggregate {
             input: wrap(input),
             group_by: group_by.clone(),
             aggs: aggs.clone(),
         },
-        PlanNode::Project { input, exprs } => {
-            PlanNode::Project { input: wrap(input), exprs: exprs.clone() }
-        }
-        PlanNode::Sort { input, keys } => {
-            PlanNode::Sort { input: wrap(input), keys: keys.clone() }
-        }
+        PlanNode::Project { input, exprs } => PlanNode::Project {
+            input: wrap(input),
+            exprs: exprs.clone(),
+        },
+        PlanNode::Sort { input, keys } => PlanNode::Sort {
+            input: wrap(input),
+            keys: keys.clone(),
+        },
         PlanNode::Materialize { input } => PlanNode::Materialize { input: wrap(input) },
-        PlanNode::Filter { input, predicate } => {
-            PlanNode::Filter { input: wrap(input), predicate: predicate.clone() }
-        }
-        PlanNode::Limit { input, limit } => {
-            PlanNode::Limit { input: wrap(input), limit: *limit }
-        }
-        PlanNode::Buffer { input, size: s } => {
-            PlanNode::Buffer { input: Box::new(buffer_everywhere(input, size)), size: *s }
-        }
-        PlanNode::NestLoopJoin { outer, inner, param_outer_col, qual, fk_inner } => {
+        PlanNode::Filter { input, predicate } => PlanNode::Filter {
+            input: wrap(input),
+            predicate: predicate.clone(),
+        },
+        PlanNode::Limit { input, limit } => PlanNode::Limit {
+            input: wrap(input),
+            limit: *limit,
+        },
+        PlanNode::Buffer { input, size: s } => PlanNode::Buffer {
+            input: Box::new(buffer_everywhere(input, size)),
+            size: *s,
+        },
+        PlanNode::NestLoopJoin {
+            outer,
+            inner,
+            param_outer_col,
+            qual,
+            fk_inner,
+        } => {
             PlanNode::NestLoopJoin {
                 outer: wrap(outer),
                 // The parameterized inner cannot be usefully buffered.
@@ -528,13 +656,23 @@ pub fn buffer_everywhere(plan: &PlanNode, size: usize) -> PlanNode {
                 fk_inner: *fk_inner,
             }
         }
-        PlanNode::HashJoin { probe, build, probe_key, build_key } => PlanNode::HashJoin {
+        PlanNode::HashJoin {
+            probe,
+            build,
+            probe_key,
+            build_key,
+        } => PlanNode::HashJoin {
             probe: wrap(probe),
             build: wrap(build),
             probe_key: *probe_key,
             build_key: *build_key,
         },
-        PlanNode::MergeJoin { left, right, left_key, right_key } => PlanNode::MergeJoin {
+        PlanNode::MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => PlanNode::MergeJoin {
             left: wrap(left),
             right: wrap(right),
             left_key: *left_key,
@@ -564,7 +702,10 @@ mod tests {
         let ctx = tiny();
         let report = fig10(&ctx);
         assert!(report.contains("Buffered Plan"), "{report}");
-        assert!(report.contains("*Buffer*"), "refined plan must contain a buffer\n{report}");
+        assert!(
+            report.contains("*Buffer*"),
+            "refined plan must contain a buffer\n{report}"
+        );
     }
 
     #[test]
@@ -591,7 +732,11 @@ mod tests {
     #[test]
     fn join_figures_render_for_all_methods() {
         let ctx = tiny();
-        for m in [JoinMethod::NestLoop, JoinMethod::HashJoin, JoinMethod::MergeJoin] {
+        for m in [
+            JoinMethod::NestLoop,
+            JoinMethod::HashJoin,
+            JoinMethod::MergeJoin,
+        ] {
             let report = join_figure(&ctx, m);
             assert!(report.contains("trace (L1i) misses"), "{report}");
         }

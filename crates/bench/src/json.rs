@@ -1,0 +1,155 @@
+//! A minimal JSON document builder for metrics export.
+//!
+//! The workspace is dependency-free, so instead of serde this provides the
+//! few value shapes the reports need, with RFC 8259 string escaping and
+//! stable (insertion-order) object keys.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An unsigned integer (counter values; kept exact, never via f64).
+    U64(u64),
+    /// A floating-point number; non-finite values render as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Render with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => out.push_str(&n.to_string()),
+            Json::F64(x) => {
+                if x.is_finite() {
+                    out.push_str(&format!("{x}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pretty())
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.pretty(), "null\n");
+        assert_eq!(Json::Bool(true).pretty(), "true\n");
+        assert_eq!(Json::U64(u64::MAX).pretty(), "18446744073709551615\n");
+        assert_eq!(Json::F64(1.5).pretty(), "1.5\n");
+        assert_eq!(Json::F64(f64::NAN).pretty(), "null\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::str("a\"b\\c\nd\u{1}").pretty();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn nested_structure_renders_stably() {
+        let doc = Json::Obj(vec![
+            ("name".into(), Json::str("q1")),
+            ("rows".into(), Json::U64(4)),
+            ("runs".into(), Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+            ("empty".into(), Json::Obj(vec![])),
+        ]);
+        let text = doc.pretty();
+        assert!(text.starts_with("{\n  \"name\": \"q1\","), "{text}");
+        assert!(text.contains("\"runs\": [\n    1,\n    2\n  ]"), "{text}");
+        assert!(text.contains("\"empty\": {}"), "{text}");
+        // Keys stay in insertion order.
+        let name_pos = text.find("name").unwrap();
+        let rows_pos = text.find("rows").unwrap();
+        assert!(name_pos < rows_pos);
+    }
+}

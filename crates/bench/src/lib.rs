@@ -2,15 +2,18 @@
 //!
 //! Each experiment returns a plain-text report whose rows mirror what the
 //! paper charts. The `repro` binary dispatches on experiment id; the
-//! Criterion benches and integration tests reuse the same functions.
+//! benches and integration tests reuse the same functions.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
+pub mod microbench;
 pub mod runner;
 
 pub use experiments::*;
-pub use runner::{run_plan, RunResult};
+pub use json::Json;
+pub use runner::{run_plan, MetricsReport, QueryMetrics, RunResult};
 
 /// Execute Query 1 with the ablation-only **copying** buffer (§5 argues the
 /// production buffer must store pointers instead). Built by hand because
@@ -26,8 +29,20 @@ pub fn run_copy_buffered_query1(ctx: &experiments::ExperimentCtx) -> (f64, u64) 
     use bufferdb_core::plan::PlanNode;
 
     let plan = bufferdb_tpch::queries::paper_query1(&ctx.catalog).expect("query 1");
-    let PlanNode::Aggregate { input, group_by, aggs } = plan else { unreachable!() };
-    let PlanNode::SeqScan { table, predicate, .. } = *input else { unreachable!() };
+    let PlanNode::Aggregate {
+        input,
+        group_by,
+        aggs,
+    } = plan
+    else {
+        unreachable!()
+    };
+    let PlanNode::SeqScan {
+        table, predicate, ..
+    } = *input
+    else {
+        unreachable!()
+    };
 
     let mut fm = FootprintModel::new();
     let scan =

@@ -1,0 +1,52 @@
+//! Tiny self-contained timing harness for the `[[bench]]` targets.
+//!
+//! The benches were originally Criterion-based; the harness below keeps the
+//! same shape (warmup, auto-calibrated iteration count, ns/iter report) with
+//! nothing but `std::time::Instant`, so the workspace builds without any
+//! external crates.
+
+use std::time::Instant;
+
+/// Minimum measured wall-clock per benchmark before we trust the numbers.
+const TARGET_MS: u128 = 20;
+
+/// Iteration-count ceiling so pathological fast closures terminate.
+const MAX_ITERS: u64 = 1 << 26;
+
+/// Run `f` repeatedly and print a `name  ...  ns/iter` line.
+///
+/// Doubles the iteration count until the batch takes at least
+/// [`TARGET_MS`] milliseconds, then reports the per-iteration mean of the
+/// final batch. The closure's result is passed through
+/// [`std::hint::black_box`] so the optimizer cannot delete the work.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    for _ in 0..8 {
+        std::hint::black_box(f());
+    }
+    let mut iters: u64 = 8;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= TARGET_MS || iters >= MAX_ITERS {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{name:<34} {ns:>14.1} ns/iter   ({iters} iters)");
+            return;
+        }
+        iters = iters.saturating_mul(2);
+    }
+}
+
+/// Run `f` a fixed `iters` times and report ns/iter — for expensive bodies
+/// (whole-query executions) where auto-calibration would take minutes.
+pub fn bench_n<T>(name: &str, iters: u64, mut f: impl FnMut() -> T) {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<34} {:>14.3} ms/iter   ({iters} iters)", ns / 1e6);
+}

@@ -1,6 +1,8 @@
-//! Shared plan-execution helpers for the experiments.
+//! Shared plan-execution helpers for the experiments, plus the JSON
+//! metrics report the `repro` binary exports for CI artifacts.
 
-use bufferdb_cachesim::MachineConfig;
+use crate::json::Json;
+use bufferdb_cachesim::{format_counter_comparison, pct_reduction, MachineConfig};
 use bufferdb_core::exec::execute_with_stats;
 use bufferdb_core::plan::PlanNode;
 use bufferdb_core::stats::ExecStats;
@@ -26,24 +28,20 @@ impl RunResult {
 }
 
 /// Execute `plan` and package the measurements.
-pub fn run_plan(
-    label: &str,
-    plan: &PlanNode,
-    catalog: &Catalog,
-    cfg: &MachineConfig,
-) -> RunResult {
-    let (rows, stats) = execute_with_stats(plan, catalog, cfg)
-        .unwrap_or_else(|e| panic!("{label}: {e}"));
-    RunResult { label: label.to_string(), rows, stats }
+pub fn run_plan(label: &str, plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> RunResult {
+    let (rows, stats) =
+        execute_with_stats(plan, catalog, cfg).unwrap_or_else(|e| panic!("{label}: {e}"));
+    RunResult {
+        label: label.to_string(),
+        rows,
+        stats,
+    }
 }
 
 /// Percentage reduction of `after` relative to `before` (positive = fewer).
+/// Re-exported from the simulator crate, which owns all report formatting.
 pub fn reduction(before: u64, after: u64) -> f64 {
-    if before == 0 {
-        0.0
-    } else {
-        100.0 * (before as f64 - after as f64) / before as f64
-    }
+    pct_reduction(before, after)
 }
 
 /// Format a side-by-side original/buffered comparison in the paper's style.
@@ -53,36 +51,7 @@ pub fn comparison_report(title: &str, original: &RunResult, buffered: &RunResult
     s.push_str(&format!("== {title} ==\n"));
     s.push_str(&format!("{}\n", original.chart_row()));
     s.push_str(&format!("{}\n", buffered.chart_row()));
-    s.push_str(&format!(
-        "trace (L1i) misses : {:>12} -> {:>12}  ({:+.1}% reduction)\n",
-        o.counters.l1i_misses,
-        b.counters.l1i_misses,
-        reduction(o.counters.l1i_misses, b.counters.l1i_misses)
-    ));
-    s.push_str(&format!(
-        "branch mispredicts : {:>12} -> {:>12}  ({:+.1}% reduction)\n",
-        o.counters.mispredictions,
-        b.counters.mispredictions,
-        reduction(o.counters.mispredictions, b.counters.mispredictions)
-    ));
-    s.push_str(&format!(
-        "L2 misses          : {:>12} -> {:>12}  ({:+.1}% reduction)\n",
-        o.counters.l2_misses_uncovered(),
-        b.counters.l2_misses_uncovered(),
-        reduction(o.counters.l2_misses_uncovered(), b.counters.l2_misses_uncovered())
-    ));
-    s.push_str(&format!(
-        "ITLB misses        : {:>12} -> {:>12}  ({:+.1}% reduction)\n",
-        o.counters.itlb_misses,
-        b.counters.itlb_misses,
-        reduction(o.counters.itlb_misses, b.counters.itlb_misses)
-    ));
-    s.push_str(&format!(
-        "instructions       : {:>12} -> {:>12}  ({:+.2}% change)\n",
-        o.counters.instructions,
-        b.counters.instructions,
-        -reduction(o.counters.instructions, b.counters.instructions)
-    ));
+    s.push_str(&format_counter_comparison(&o.counters, &b.counters));
     s.push_str(&format!(
         "elapsed (modeled)  : {:>10.3}s -> {:>10.3}s  ({:+.1}% improvement)\n",
         o.seconds(),
@@ -90,6 +59,96 @@ pub fn comparison_report(title: &str, original: &RunResult, buffered: &RunResult
         100.0 * b.improvement_over(o)
     ));
     s
+}
+
+/// One query-variant measurement destined for the JSON report.
+#[derive(Debug, Clone)]
+pub struct QueryMetrics {
+    /// Query name ("Q1", "paper q3 mj", …).
+    pub query: String,
+    /// Plan variant ("original", "refined").
+    pub variant: String,
+    /// Buffer operators in the executed plan.
+    pub buffers: u64,
+    /// Result rows.
+    pub rows: u64,
+    /// Modeled elapsed seconds.
+    pub modeled_seconds: f64,
+    /// Modeled cost per instruction.
+    pub cpi: f64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// L1 instruction (trace) cache misses.
+    pub l1i_misses: u64,
+    /// L2 misses that paid memory latency.
+    pub l2_misses: u64,
+    /// Branch mispredictions.
+    pub mispredictions: u64,
+    /// ITLB misses.
+    pub itlb_misses: u64,
+}
+
+impl QueryMetrics {
+    /// Extract the exported metrics from one executed plan.
+    pub fn from_run(query: &str, variant: &str, plan: &PlanNode, run: &RunResult) -> Self {
+        let c = &run.stats.counters;
+        QueryMetrics {
+            query: query.to_string(),
+            variant: variant.to_string(),
+            buffers: plan.buffer_count() as u64,
+            rows: run.stats.rows,
+            modeled_seconds: run.stats.seconds(),
+            cpi: run.stats.cpi(),
+            instructions: c.instructions,
+            l1i_misses: c.l1i_misses,
+            l2_misses: c.l2_misses_uncovered(),
+            mispredictions: c.mispredictions,
+            itlb_misses: c.itlb_misses,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("query".into(), Json::str(&self.query)),
+            ("variant".into(), Json::str(&self.variant)),
+            ("buffers".into(), Json::U64(self.buffers)),
+            ("rows".into(), Json::U64(self.rows)),
+            ("modeled_seconds".into(), Json::F64(self.modeled_seconds)),
+            ("cpi".into(), Json::F64(self.cpi)),
+            ("instructions".into(), Json::U64(self.instructions)),
+            ("l1i_misses".into(), Json::U64(self.l1i_misses)),
+            ("l2_misses".into(), Json::U64(self.l2_misses)),
+            ("mispredictions".into(), Json::U64(self.mispredictions)),
+            ("itlb_misses".into(), Json::U64(self.itlb_misses)),
+        ])
+    }
+}
+
+/// The machine-readable counterpart of the plain-text experiment reports.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsReport {
+    /// TPC-H scale factor the catalog was generated at.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// One entry per (query, variant) execution.
+    pub entries: Vec<QueryMetrics>,
+}
+
+impl MetricsReport {
+    /// Render the report as a pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("schema".into(), Json::str("bufferdb-metrics/v1")),
+            ("scale_factor".into(), Json::F64(self.scale)),
+            ("seed".into(), Json::U64(self.seed)),
+            (
+                "queries".into(),
+                Json::Arr(self.entries.iter().map(|e| e.to_json()).collect()),
+            ),
+        ])
+        .pretty()
+    }
 }
 
 #[cfg(test)]
@@ -101,5 +160,34 @@ mod tests {
         assert_eq!(reduction(100, 20), 80.0);
         assert_eq!(reduction(0, 5), 0.0);
         assert_eq!(reduction(100, 150), -50.0);
+    }
+
+    #[test]
+    fn metrics_report_renders_json() {
+        let report = MetricsReport {
+            scale: 0.02,
+            seed: 42,
+            entries: vec![QueryMetrics {
+                query: "Q1".into(),
+                variant: "original".into(),
+                buffers: 0,
+                rows: 4,
+                modeled_seconds: 1.25,
+                cpi: 1.9,
+                instructions: 1000,
+                l1i_misses: 10,
+                l2_misses: 5,
+                mispredictions: 3,
+                itlb_misses: 1,
+            }],
+        };
+        let text = report.to_json();
+        assert!(
+            text.contains("\"schema\": \"bufferdb-metrics/v1\""),
+            "{text}"
+        );
+        assert!(text.contains("\"query\": \"Q1\""), "{text}");
+        assert!(text.contains("\"instructions\": 1000"), "{text}");
+        assert!(text.contains("\"modeled_seconds\": 1.25"), "{text}");
     }
 }

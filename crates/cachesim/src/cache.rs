@@ -124,11 +124,23 @@ impl Cache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// Tiny local SplitMix64 so the simulator crate stays dependency-free.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
 
     fn small() -> Cache {
         // 4 sets * 2 ways * 64 B = 512 B
-        Cache::new(CacheConfig { capacity: 512, line_size: 64, associativity: 2 })
+        Cache::new(CacheConfig {
+            capacity: 512,
+            line_size: 64,
+            associativity: 2,
+        })
     }
 
     #[test]
@@ -206,26 +218,38 @@ mod tests {
         }
     }
 
-    proptest! {
-        /// Against a reference model: a cache never holds more lines than its
-        /// capacity, and a repeat access with no intervening set-conflicts hits.
-        #[test]
-        fn prop_resident_never_exceeds_capacity(addrs in proptest::collection::vec(0u64..0x10000, 1..200)) {
+    /// Against a reference model: a cache never holds more lines than its
+    /// capacity, over many random address streams.
+    #[test]
+    fn resident_never_exceeds_capacity() {
+        for seed in 0..64u64 {
+            let mut state = seed;
             let mut c = small();
-            for a in &addrs {
-                c.access(*a);
+            let len = 1 + (splitmix(&mut state) % 200) as usize;
+            for _ in 0..len {
+                c.access(splitmix(&mut state) % 0x10000);
             }
-            prop_assert!(c.resident_lines() <= 8); // 4 sets * 2 ways
+            assert!(c.resident_lines() <= 8); // 4 sets * 2 ways
         }
+    }
 
-        /// Hit/miss agrees with an exact reference LRU simulation.
-        #[test]
-        fn prop_matches_reference_lru(addrs in proptest::collection::vec(0u64..0x2000, 1..300)) {
-            let cfg = CacheConfig { capacity: 512, line_size: 64, associativity: 2 };
+    /// Hit/miss agrees with an exact reference LRU simulation across many
+    /// random address streams.
+    #[test]
+    fn matches_reference_lru() {
+        for seed in 0..64u64 {
+            let mut state = seed.wrapping_mul(0x5851_F42D_4C95_7F2D);
+            let cfg = CacheConfig {
+                capacity: 512,
+                line_size: 64,
+                associativity: 2,
+            };
             let mut c = Cache::new(cfg);
             // Reference: per-set Vec of lines ordered MRU-first.
             let mut sets: Vec<Vec<u64>> = vec![Vec::new(); 4];
-            for a in &addrs {
+            let len = 1 + (splitmix(&mut state) % 300) as usize;
+            for _ in 0..len {
+                let a = splitmix(&mut state) % 0x2000;
                 let line = a >> 6;
                 let set = (line & 3) as usize;
                 let expect_hit = sets[set].contains(&line);
@@ -235,7 +259,7 @@ mod tests {
                     sets[set].pop();
                 }
                 sets[set].insert(0, line);
-                prop_assert_eq!(c.access(*a), expect_hit);
+                assert_eq!(c.access(a), expect_hit, "seed {seed} addr {a:#x}");
             }
         }
     }

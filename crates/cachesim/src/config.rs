@@ -25,7 +25,10 @@ impl CacheConfig {
         if !self.line_size.is_power_of_two() {
             return Err(format!("line size {} not a power of two", self.line_size));
         }
-        if !self.capacity.is_multiple_of(self.line_size * self.associativity) {
+        if !self
+            .capacity
+            .is_multiple_of(self.line_size * self.associativity)
+        {
             return Err(format!(
                 "capacity {} not divisible by line*assoc {}",
                 self.capacity,
@@ -113,9 +116,21 @@ impl MachineConfig {
     /// the buffering effect direction depend on incidental aliasing.)
     pub fn pentium4_like() -> Self {
         MachineConfig {
-            l1i: CacheConfig { capacity: 16 * 1024, line_size: 64, associativity: 8 },
-            l1d: CacheConfig { capacity: 16 * 1024, line_size: 64, associativity: 8 },
-            l2: CacheConfig { capacity: 256 * 1024, line_size: 128, associativity: 8 },
+            l1i: CacheConfig {
+                capacity: 16 * 1024,
+                line_size: 64,
+                associativity: 8,
+            },
+            l1d: CacheConfig {
+                capacity: 16 * 1024,
+                line_size: 64,
+                associativity: 8,
+            },
+            l2: CacheConfig {
+                capacity: 256 * 1024,
+                line_size: 128,
+                associativity: 8,
+            },
             itlb_entries: 16,
             branch: BranchConfig {
                 kind: PredictorKind::Bimodal,
@@ -150,9 +165,21 @@ impl MachineConfig {
     /// misprediction penalty), slower clock.
     pub fn ultrasparc_like() -> Self {
         MachineConfig {
-            l1i: CacheConfig { capacity: 32 * 1024, line_size: 32, associativity: 4 },
-            l1d: CacheConfig { capacity: 64 * 1024, line_size: 32, associativity: 4 },
-            l2: CacheConfig { capacity: 1024 * 1024, line_size: 64, associativity: 4 },
+            l1i: CacheConfig {
+                capacity: 32 * 1024,
+                line_size: 32,
+                associativity: 4,
+            },
+            l1d: CacheConfig {
+                capacity: 64 * 1024,
+                line_size: 32,
+                associativity: 4,
+            },
+            l2: CacheConfig {
+                capacity: 1024 * 1024,
+                line_size: 64,
+                associativity: 4,
+            },
             itlb_entries: 16,
             branch: BranchConfig {
                 kind: PredictorKind::Gshare,
@@ -177,9 +204,21 @@ impl MachineConfig {
     /// 64 KB 2-way L1 caches, 256 KB L2, shallower pipeline.
     pub fn athlon_like() -> Self {
         MachineConfig {
-            l1i: CacheConfig { capacity: 64 * 1024, line_size: 64, associativity: 2 },
-            l1d: CacheConfig { capacity: 64 * 1024, line_size: 64, associativity: 2 },
-            l2: CacheConfig { capacity: 256 * 1024, line_size: 64, associativity: 16 },
+            l1i: CacheConfig {
+                capacity: 64 * 1024,
+                line_size: 64,
+                associativity: 2,
+            },
+            l1d: CacheConfig {
+                capacity: 64 * 1024,
+                line_size: 64,
+                associativity: 2,
+            },
+            l2: CacheConfig {
+                capacity: 256 * 1024,
+                line_size: 64,
+                associativity: 16,
+            },
             itlb_entries: 24,
             branch: BranchConfig {
                 kind: PredictorKind::Gshare,
@@ -229,16 +268,52 @@ impl MachineConfig {
     /// Render the configuration as the paper's Table 1.
     pub fn to_table1(&self) -> String {
         let mut s = String::new();
-        s.push_str(&format!("CPU                          simulated, {} GHz\n", self.clock_hz as f64 / 1e9));
-        s.push_str(&format!("L1 instruction (trace) cache {} KB, {}-way, {} B lines\n", self.l1i.capacity / 1024, self.l1i.associativity, self.l1i.line_size));
-        s.push_str(&format!("ITLB                         {} entries\n", self.itlb_entries));
-        s.push_str(&format!("L1 data cache                {} KB, {}-way, {} B lines\n", self.l1d.capacity / 1024, self.l1d.associativity, self.l1d.line_size));
-        s.push_str(&format!("L2 cache                     {} KB, {}-way, {} B lines\n", self.l2.capacity / 1024, self.l2.associativity, self.l2.line_size));
-        s.push_str(&format!("L1i (trace) miss latency     {} cycles\n", self.latencies.l1i_miss));
-        s.push_str(&format!("L1 data miss latency         {} cycles\n", self.latencies.l1d_miss));
-        s.push_str(&format!("L2 miss latency              {} cycles\n", self.latencies.l2_miss));
-        s.push_str(&format!("Branch misprediction latency {} cycles\n", self.latencies.branch_misprediction));
-        s.push_str(&format!("Branch predictor             {:?}, {} entries, {} history bits\n", self.branch.kind, self.branch.table_entries, self.branch.history_bits));
+        s.push_str(&format!(
+            "CPU                          simulated, {} GHz\n",
+            self.clock_hz as f64 / 1e9
+        ));
+        s.push_str(&format!(
+            "L1 instruction (trace) cache {} KB, {}-way, {} B lines\n",
+            self.l1i.capacity / 1024,
+            self.l1i.associativity,
+            self.l1i.line_size
+        ));
+        s.push_str(&format!(
+            "ITLB                         {} entries\n",
+            self.itlb_entries
+        ));
+        s.push_str(&format!(
+            "L1 data cache                {} KB, {}-way, {} B lines\n",
+            self.l1d.capacity / 1024,
+            self.l1d.associativity,
+            self.l1d.line_size
+        ));
+        s.push_str(&format!(
+            "L2 cache                     {} KB, {}-way, {} B lines\n",
+            self.l2.capacity / 1024,
+            self.l2.associativity,
+            self.l2.line_size
+        ));
+        s.push_str(&format!(
+            "L1i (trace) miss latency     {} cycles\n",
+            self.latencies.l1i_miss
+        ));
+        s.push_str(&format!(
+            "L1 data miss latency         {} cycles\n",
+            self.latencies.l1d_miss
+        ));
+        s.push_str(&format!(
+            "L2 miss latency              {} cycles\n",
+            self.latencies.l2_miss
+        ));
+        s.push_str(&format!(
+            "Branch misprediction latency {} cycles\n",
+            self.latencies.branch_misprediction
+        ));
+        s.push_str(&format!(
+            "Branch predictor             {:?}, {} entries, {} history bits\n",
+            self.branch.kind, self.branch.table_entries, self.branch.history_bits
+        ));
         s.push_str("Hardware prefetch            yes (sequential streams)\n");
         s
     }
@@ -265,9 +340,17 @@ mod tests {
 
     #[test]
     fn invalid_geometries_rejected() {
-        let bad = CacheConfig { capacity: 1000, line_size: 64, associativity: 8 };
+        let bad = CacheConfig {
+            capacity: 1000,
+            line_size: 64,
+            associativity: 8,
+        };
         assert!(bad.validate().is_err());
-        let bad_line = CacheConfig { capacity: 16384, line_size: 48, associativity: 8 };
+        let bad_line = CacheConfig {
+            capacity: 16384,
+            line_size: 48,
+            associativity: 8,
+        };
         assert!(bad_line.validate().is_err());
     }
 

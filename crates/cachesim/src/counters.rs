@@ -1,6 +1,6 @@
 //! Hardware-counter snapshots, mirroring what the paper reads via VTune.
 
-use std::ops::Sub;
+use std::ops::{Add, Sub};
 
 /// A snapshot of every simulated event counter. Obtain via
 /// [`crate::Machine::snapshot`]; subtract snapshots to get per-query deltas.
@@ -57,6 +57,27 @@ impl PerfCounters {
     }
 }
 
+impl Add for PerfCounters {
+    type Output = PerfCounters;
+
+    fn add(self, rhs: PerfCounters) -> PerfCounters {
+        PerfCounters {
+            instructions: self.instructions + rhs.instructions,
+            l1i_accesses: self.l1i_accesses + rhs.l1i_accesses,
+            l1i_misses: self.l1i_misses + rhs.l1i_misses,
+            l1d_accesses: self.l1d_accesses + rhs.l1d_accesses,
+            l1d_misses: self.l1d_misses + rhs.l1d_misses,
+            l2_accesses: self.l2_accesses + rhs.l2_accesses,
+            l2_misses: self.l2_misses + rhs.l2_misses,
+            l2_covered: self.l2_covered + rhs.l2_covered,
+            itlb_accesses: self.itlb_accesses + rhs.itlb_accesses,
+            itlb_misses: self.itlb_misses + rhs.itlb_misses,
+            branches: self.branches + rhs.branches,
+            mispredictions: self.mispredictions + rhs.mispredictions,
+        }
+    }
+}
+
 impl Sub for PerfCounters {
     type Output = PerfCounters;
 
@@ -83,9 +104,35 @@ mod tests {
     use super::*;
 
     #[test]
+    fn sum_adds_fieldwise() {
+        let a = PerfCounters {
+            instructions: 10,
+            l1i_misses: 3,
+            ..Default::default()
+        };
+        let b = PerfCounters {
+            instructions: 4,
+            branches: 2,
+            ..Default::default()
+        };
+        let s = a + b;
+        assert_eq!(s.instructions, 14);
+        assert_eq!(s.l1i_misses, 3);
+        assert_eq!(s.branches, 2);
+    }
+
+    #[test]
     fn delta_subtracts_fieldwise() {
-        let a = PerfCounters { instructions: 10, l1i_misses: 3, ..Default::default() };
-        let b = PerfCounters { instructions: 4, l1i_misses: 1, ..Default::default() };
+        let a = PerfCounters {
+            instructions: 10,
+            l1i_misses: 3,
+            ..Default::default()
+        };
+        let b = PerfCounters {
+            instructions: 4,
+            l1i_misses: 1,
+            ..Default::default()
+        };
         let d = a - b;
         assert_eq!(d.instructions, 6);
         assert_eq!(d.l1i_misses, 2);
@@ -100,7 +147,11 @@ mod tests {
 
     #[test]
     fn uncovered_l2() {
-        let c = PerfCounters { l2_misses: 10, l2_covered: 7, ..Default::default() };
+        let c = PerfCounters {
+            l2_misses: 10,
+            l2_covered: 7,
+            ..Default::default()
+        };
         assert_eq!(c.l2_misses_uncovered(), 3);
     }
 }

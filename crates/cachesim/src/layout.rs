@@ -35,7 +35,10 @@ pub struct SegmentSpec {
 impl SegmentSpec {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, bytes: usize) -> Self {
-        SegmentSpec { name: name.into(), bytes }
+        SegmentSpec {
+            name: name.into(),
+            bytes,
+        }
     }
 }
 
@@ -111,7 +114,11 @@ pub struct CodeLayout {
 impl CodeLayout {
     /// An empty layout.
     pub fn new() -> Self {
-        CodeLayout { segments: HashMap::new(), next_page: 0, set_load: vec![0; SET_FOLD] }
+        CodeLayout {
+            segments: HashMap::new(),
+            next_page: 0,
+            set_load: vec![0; SET_FOLD],
+        }
     }
 
     /// The in-page line slot for a function of `lines` cache lines that
@@ -217,12 +224,18 @@ impl CodeRegion {
             .iter()
             .flat_map(|s| s.sites.iter().map(|&(a, k)| (a, k, 0)))
             .collect();
-        CodeRegion { segments, site_state }
+        CodeRegion {
+            segments,
+            site_state,
+        }
     }
 
     /// An empty region (an operator with no simulated code, used in tests).
     pub fn empty() -> Self {
-        CodeRegion { segments: Vec::new(), site_state: Vec::new() }
+        CodeRegion {
+            segments: Vec::new(),
+            site_state: Vec::new(),
+        }
     }
 
     /// The segments making up this region.
@@ -271,7 +284,10 @@ mod tests {
         let seg = l.define(&SegmentSpec::new("scan", 9000));
         assert_eq!(seg.bytes, 9000);
         assert_eq!(seg.functions.len(), 9000usize.div_ceil(FUNC_BYTES));
-        assert!(seg.functions.iter().all(|&(_, len)| len as usize <= FUNC_BYTES));
+        assert!(seg
+            .functions
+            .iter()
+            .all(|&(_, len)| len as usize <= FUNC_BYTES));
         let total: usize = seg.functions.iter().map(|&(_, l)| l as usize).sum();
         assert_eq!(total, 9000);
     }

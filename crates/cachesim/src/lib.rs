@@ -42,5 +42,7 @@ pub use layout::{CodeLayout, CodeRegion, SegmentSpec};
 pub use machine::Machine;
 pub use misscurve::{sweep as miss_curve_sweep, MissPoint};
 pub use prefetch::StreamPrefetcher;
-pub use report::BreakdownReport;
+pub use report::{
+    counter_rows, format_counter_comparison, format_counter_table, pct_reduction, BreakdownReport,
+};
 pub use tlb::Tlb;

@@ -193,7 +193,10 @@ mod tests {
             m.exec_region(&mut r);
         }
         let warm = m.snapshot() - cold;
-        assert_eq!(warm.l1i_misses, 0, "4 KB of code must stay resident in 16 KB L1i");
+        assert_eq!(
+            warm.l1i_misses, 0,
+            "4 KB of code must stay resident in 16 KB L1i"
+        );
     }
 
     #[test]

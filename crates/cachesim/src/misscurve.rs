@@ -49,13 +49,16 @@ pub fn sweep(parent_bytes: usize, child_bytes: usize, capacities: &[usize]) -> V
     capacities
         .iter()
         .map(|&capacity| {
-            let cfg = CacheConfig { capacity, line_size: 64, associativity: 8 };
+            let cfg = CacheConfig {
+                capacity,
+                line_size: 64,
+                associativity: 8,
+            };
             // Fresh layout per point so set balance matches the default fold.
             let mut layout = CodeLayout::new();
-            let parent = CodeRegion::new(vec![layout.define(&SegmentSpec::new(
-                "parent",
-                parent_bytes,
-            ))]);
+            let parent = CodeRegion::new(vec![
+                layout.define(&SegmentSpec::new("parent", parent_bytes))
+            ]);
             let child =
                 CodeRegion::new(vec![layout.define(&SegmentSpec::new("child", child_bytes))]);
 
@@ -103,8 +106,7 @@ pub fn sweep(parent_bytes: usize, child_bytes: usize, capacities: &[usize]) -> V
 }
 
 /// Standard capacity sweep: 4 KB – 64 KB in powers of two.
-pub const STANDARD_CAPACITIES: [usize; 5] =
-    [4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024];
+pub const STANDARD_CAPACITIES: [usize; 5] = [4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024];
 
 #[cfg(test)]
 mod tests {

@@ -56,14 +56,14 @@ impl StreamPrefetcher {
             }
         }
         // New candidate stream expecting line+1; replace LRU if full.
-        let entry = Stream { next_line: line + 1, confirmed: false, last_used: self.tick };
+        let entry = Stream {
+            next_line: line + 1,
+            confirmed: false,
+            last_used: self.tick,
+        };
         if self.streams.len() < self.capacity {
             self.streams.push(entry);
-        } else if let Some(lru) = self
-            .streams
-            .iter_mut()
-            .min_by_key(|s| s.last_used)
-        {
+        } else if let Some(lru) = self.streams.iter_mut().min_by_key(|s| s.last_used) {
             *lru = entry;
         }
         false

@@ -106,16 +106,101 @@ impl BreakdownReport {
     }
 }
 
+/// Percentage reduction of `after` relative to `before` (positive = fewer).
+pub fn pct_reduction(before: u64, after: u64) -> f64 {
+    if before == 0 {
+        0.0
+    } else {
+        100.0 * (before as f64 - after as f64) / before as f64
+    }
+}
+
+/// The counter rows every report tabulates, in display order: label plus the
+/// extracted value. One definition so the comparison reports, the JSON
+/// export and EXPLAIN ANALYZE all show the same events under the same names.
+pub fn counter_rows(c: &PerfCounters) -> [(&'static str, u64); 5] {
+    [
+        ("trace (L1i) misses", c.l1i_misses),
+        ("branch mispredicts", c.mispredictions),
+        ("L2 misses", c.l2_misses_uncovered()),
+        ("ITLB misses", c.itlb_misses),
+        ("instructions", c.instructions),
+    ]
+}
+
+/// One counter snapshot as an aligned `label : value` table.
+pub fn format_counter_table(c: &PerfCounters) -> String {
+    let mut s = String::new();
+    for (label, value) in counter_rows(c) {
+        s.push_str(&format!("{label:<19}: {value:>12}\n"));
+    }
+    s
+}
+
+/// Side-by-side `before -> after` counter table with percentage deltas, in
+/// the paper's comparison style. Instruction count is reported as a change
+/// (buffering is supposed to leave it nearly untouched); every other row is
+/// a reduction (positive = fewer events after).
+pub fn format_counter_comparison(before: &PerfCounters, after: &PerfCounters) -> String {
+    let mut s = String::new();
+    let b_rows = counter_rows(before);
+    let a_rows = counter_rows(after);
+    for ((label, b), (_, a)) in b_rows.iter().zip(a_rows.iter()) {
+        if *label == "instructions" {
+            s.push_str(&format!(
+                "{label:<19}: {b:>12} -> {a:>12}  ({:+.2}% change)\n",
+                -pct_reduction(*b, *a)
+            ));
+        } else {
+            s.push_str(&format!(
+                "{label:<19}: {b:>12} -> {a:>12}  ({:+.1}% reduction)\n",
+                pct_reduction(*b, *a)
+            ));
+        }
+    }
+    s
+}
+
 impl fmt::Display for BreakdownReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "total: {:.4}s ({} cycles, CPI {:.2})", self.seconds(), self.total_cycles, self.cpi())?;
+        writeln!(
+            f,
+            "total: {:.4}s ({} cycles, CPI {:.2})",
+            self.seconds(),
+            self.total_cycles,
+            self.cpi()
+        )?;
         let pct = |c: u64| {
-            if self.total_cycles == 0 { 0.0 } else { 100.0 * c as f64 / self.total_cycles as f64 }
+            if self.total_cycles == 0 {
+                0.0
+            } else {
+                100.0 * c as f64 / self.total_cycles as f64
+            }
         };
-        writeln!(f, "  trace (L1i) miss penalty : {:>12} cycles ({:>5.1}%)", self.l1i_penalty, pct(self.l1i_penalty))?;
-        writeln!(f, "  L2 miss penalty          : {:>12} cycles ({:>5.1}%)", self.l2_penalty, pct(self.l2_penalty))?;
-        writeln!(f, "  branch mispred penalty   : {:>12} cycles ({:>5.1}%)", self.mispred_penalty, pct(self.mispred_penalty))?;
-        writeln!(f, "  other (base+L1d+ITLB)    : {:>12} cycles ({:>5.1}%)", self.other_cycles(), pct(self.other_cycles()))
+        writeln!(
+            f,
+            "  trace (L1i) miss penalty : {:>12} cycles ({:>5.1}%)",
+            self.l1i_penalty,
+            pct(self.l1i_penalty)
+        )?;
+        writeln!(
+            f,
+            "  L2 miss penalty          : {:>12} cycles ({:>5.1}%)",
+            self.l2_penalty,
+            pct(self.l2_penalty)
+        )?;
+        writeln!(
+            f,
+            "  branch mispred penalty   : {:>12} cycles ({:>5.1}%)",
+            self.mispred_penalty,
+            pct(self.mispred_penalty)
+        )?;
+        writeln!(
+            f,
+            "  other (base+L1d+ITLB)    : {:>12} cycles ({:>5.1}%)",
+            self.other_cycles(),
+            pct(self.other_cycles())
+        )
     }
 }
 
@@ -147,7 +232,12 @@ mod tests {
         assert_eq!(r.base_cycles, 3500);
         assert_eq!(
             r.total_cycles,
-            r.l1i_penalty + r.l2_penalty + r.mispred_penalty + r.l1d_penalty + r.itlb_penalty + r.base_cycles
+            r.l1i_penalty
+                + r.l2_penalty
+                + r.mispred_penalty
+                + r.l1d_penalty
+                + r.itlb_penalty
+                + r.base_cycles
         );
     }
 
@@ -175,5 +265,25 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("trace (L1i) miss penalty"));
         assert!(r.chart_row("Original").starts_with("Original"));
+    }
+
+    #[test]
+    fn reduction_math() {
+        assert_eq!(pct_reduction(100, 20), 80.0);
+        assert_eq!(pct_reduction(0, 5), 0.0);
+        assert_eq!(pct_reduction(100, 150), -50.0);
+    }
+
+    #[test]
+    fn counter_tables_share_rows() {
+        let c = counters();
+        let table = format_counter_table(&c);
+        let cmp = format_counter_comparison(&c, &PerfCounters::default());
+        for (label, _) in counter_rows(&c) {
+            assert!(table.contains(label), "{label} missing from table");
+            assert!(cmp.contains(label), "{label} missing from comparison");
+        }
+        assert!(cmp.contains("+100.0% reduction"), "{cmp}");
+        assert!(cmp.contains("-100.00% change"), "{cmp}");
     }
 }

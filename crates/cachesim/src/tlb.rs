@@ -20,7 +20,12 @@ impl Tlb {
     /// An empty TLB with `entries` slots.
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0, "TLB must have at least one entry");
-        Tlb { pages: Vec::with_capacity(entries), entries, accesses: 0, misses: 0 }
+        Tlb {
+            pages: Vec::with_capacity(entries),
+            entries,
+            accesses: 0,
+            misses: 0,
+        }
     }
 
     /// Translate the page containing `addr`; returns `true` on TLB hit.

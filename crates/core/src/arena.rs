@@ -45,7 +45,10 @@ pub struct TupleArena {
 impl TupleArena {
     /// An empty arena.
     pub fn new() -> Self {
-        TupleArena { regions: Vec::new(), next_addr: EXEC_DATA_BASE }
+        TupleArena {
+            regions: Vec::new(),
+            next_addr: EXEC_DATA_BASE,
+        }
     }
 
     /// Allocate raw simulated data space (buffer pointer arrays, hash
@@ -78,7 +81,13 @@ impl TupleArena {
         let id = self.regions.len() as u32;
         // Reserve a generous contiguous address range; addresses are virtual.
         let base = self.sim_alloc(1 << 28);
-        self.regions.push(Region { base, slot_bytes, capacity: 0, next: 0, tuples: Vec::new() });
+        self.regions.push(Region {
+            base,
+            slot_bytes,
+            capacity: 0,
+            next: 0,
+            tuples: Vec::new(),
+        });
         id
     }
 
@@ -116,7 +125,10 @@ impl TupleArena {
             .as_ref()
             .expect("read of recycled or unwritten tuple slot");
         let addr = r.base + slot.slot as u64 * r.slot_bytes as u64;
-        machine.data_read(addr, (t.simulated_width() as u32).min(r.slot_bytes.max(16)) as usize);
+        machine.data_read(
+            addr,
+            (t.simulated_width() as u32).min(r.slot_bytes.max(16)) as usize,
+        );
         t
     }
 

@@ -72,7 +72,9 @@ impl BlockScan {
         if let Some(p) = &predicate {
             p.data_type(table.schema())?;
         }
-        let kind = OpKind::Block(Box::new(OpKind::SeqScan { with_pred: predicate.is_some() }));
+        let kind = OpKind::Block(Box::new(OpKind::SeqScan {
+            with_pred: predicate.is_some(),
+        }));
         Ok(BlockScan {
             schema: table.schema().clone(),
             code: fm.region_for(&kind),
@@ -122,7 +124,9 @@ impl BlockOperator for BlockScan {
                     continue;
                 }
             }
-            let slot = ctx.arena.store(self.out_region, row.clone(), &mut ctx.machine);
+            let slot = ctx
+                .arena
+                .store(self.out_region, row.clone(), &mut ctx.machine);
             out.push(slot);
         }
         Ok(())
@@ -281,7 +285,11 @@ mod tests {
             ]));
         }
         c.add_table(b);
-        (c, FootprintModel::new(), ExecContext::new(MachineConfig::pentium4_like()))
+        (
+            c,
+            FootprintModel::new(),
+            ExecContext::new(MachineConfig::pentium4_like()),
+        )
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Execution context threaded through every operator call.
 
 use crate::arena::TupleArena;
+use crate::obs::{ObsEvent, ObsId, QueryProfiler};
 use bufferdb_cachesim::{Machine, MachineConfig};
 
 /// Per-query execution state: the simulated machine and the tuple arena.
@@ -12,12 +13,47 @@ pub struct ExecContext {
     pub machine: Machine,
     /// Intermediate tuple storage.
     pub arena: TupleArena,
+    /// Per-operator stats sink; `None` (the default) makes every `obs_*`
+    /// helper a no-op, so unprofiled runs pay nothing.
+    pub profiler: Option<QueryProfiler>,
 }
 
 impl ExecContext {
     /// Fresh context for one query under the given machine configuration.
     pub fn new(cfg: MachineConfig) -> Self {
-        ExecContext { machine: Machine::new(cfg), arena: TupleArena::new() }
+        ExecContext {
+            machine: Machine::new(cfg),
+            arena: TupleArena::new(),
+            profiler: None,
+        }
+    }
+
+    /// Record entry into operator `id` (called by the profiling decorator).
+    pub fn obs_enter(&mut self, id: ObsId) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.enter(id, self.machine.snapshot());
+        }
+    }
+
+    /// Record exit from operator `id` with what the call did.
+    pub fn obs_exit(&mut self, id: ObsId, event: ObsEvent) {
+        if let Some(p) = self.profiler.as_mut() {
+            p.exit(id, event, self.machine.snapshot());
+        }
+    }
+
+    /// A buffer operator finished a refill pass that stored `stored` tuples.
+    pub fn obs_buffer_fill(&mut self, id: Option<ObsId>, stored: u64) {
+        if let (Some(id), Some(p)) = (id, self.profiler.as_mut()) {
+            p.buffer_fill(id, stored);
+        }
+    }
+
+    /// A buffer operator's batch was fully consumed.
+    pub fn obs_buffer_drain(&mut self, id: Option<ObsId>) {
+        if let (Some(id), Some(p)) = (id, self.profiler.as_mut()) {
+            p.buffer_drain(id);
+        }
     }
 }
 

@@ -61,10 +61,9 @@ impl AggState {
                     if !v.is_null() {
                         let replace = match acc {
                             None => true,
-                            Some(a) => matches!(
-                                ops::compare(v, a)?,
-                                Some(std::cmp::Ordering::Less)
-                            ),
+                            Some(a) => {
+                                matches!(ops::compare(v, a)?, Some(std::cmp::Ordering::Less))
+                            }
                         };
                         if replace {
                             *acc = Some(v.clone());
@@ -77,10 +76,9 @@ impl AggState {
                     if !v.is_null() {
                         let replace = match acc {
                             None => true,
-                            Some(a) => matches!(
-                                ops::compare(v, a)?,
-                                Some(std::cmp::Ordering::Greater)
-                            ),
+                            Some(a) => {
+                                matches!(ops::compare(v, a)?, Some(std::cmp::Ordering::Greater))
+                            }
                         };
                         if replace {
                             *acc = Some(v.clone());
@@ -154,7 +152,9 @@ fn key_atom(d: &Datum) -> Result<KeyAtom> {
             KeyAtom::Dec(m, s)
         }
         Datum::Float(_) => {
-            return Err(DbError::InvalidPlan("cannot group by a float column".into()))
+            return Err(DbError::InvalidPlan(
+                "cannot group by a float column".into(),
+            ))
         }
     })
 }
@@ -279,7 +279,10 @@ impl AggregateOp {
                 ctx.machine.data_read(self.ht_base + (h & 0xFFFF) * 16, 16);
                 let entry = groups.entry(key.clone()).or_insert_with(|| {
                     order.push(key);
-                    (key_vals, self.aggs.iter().map(|a| AggState::new(a.func)).collect())
+                    (
+                        key_vals,
+                        self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                    )
                 });
                 let states = &mut entry.1;
                 let mut tmp = std::mem::take(states);
@@ -383,7 +386,11 @@ mod tests {
             ]));
         }
         c.add_table(b);
-        (c, FootprintModel::new(), ExecContext::new(MachineConfig::pentium4_like()))
+        (
+            c,
+            FootprintModel::new(),
+            ExecContext::new(MachineConfig::pentium4_like()),
+        )
     }
 
     fn run(op: &mut AggregateOp, ctx: &mut ExecContext) -> Vec<Tuple> {
@@ -452,7 +459,10 @@ mod tests {
             &mut fm,
             child,
             vec![0],
-            vec![AggSpec::count_star("n"), AggSpec::new(AggFunc::Sum, Expr::col(1), "sv")],
+            vec![
+                AggSpec::count_star("n"),
+                AggSpec::new(AggFunc::Sum, Expr::col(1), "sv"),
+            ],
         )
         .unwrap();
         let rows = run(&mut op, &mut ctx);
@@ -473,18 +483,29 @@ mod tests {
             &mut fm,
             child,
             vec![],
-            vec![AggSpec::count_star("n"), AggSpec::new(AggFunc::Sum, Expr::col(1), "s")],
+            vec![
+                AggSpec::count_star("n"),
+                AggSpec::new(AggFunc::Sum, Expr::col(1), "s"),
+            ],
         )
         .unwrap();
         let rows = run(&mut plain, &mut ctx);
-        assert_eq!(rows.len(), 1, "plain aggregate yields a row even on empty input");
+        assert_eq!(
+            rows.len(),
+            1,
+            "plain aggregate yields a row even on empty input"
+        );
         assert_eq!(rows[0].get(0).as_int(), Some(0));
         assert!(rows[0].get(1).is_null());
 
         let child2 = Box::new(SeqScanOp::new(&c, &mut fm, "t", Some(pred), None).unwrap());
         let mut grouped =
             AggregateOp::new(&mut fm, child2, vec![0], vec![AggSpec::count_star("n")]).unwrap();
-        assert_eq!(run(&mut grouped, &mut ctx).len(), 0, "no groups on empty input");
+        assert_eq!(
+            run(&mut grouped, &mut ctx).len(),
+            0,
+            "no groups on empty input"
+        );
     }
 
     #[test]
@@ -505,7 +526,11 @@ mod tests {
             &mut fm,
             child,
             vec![],
-            vec![AggSpec { func: AggFunc::Sum, input: None, name: "s".into() }],
+            vec![AggSpec {
+                func: AggFunc::Sum,
+                input: None,
+                name: "s".into(),
+            }],
         );
         assert!(bad.is_err());
         let child2 = Box::new(SeqScanOp::new(&c, &mut fm, "t", None, None).unwrap());

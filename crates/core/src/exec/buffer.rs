@@ -22,6 +22,7 @@ use crate::arena::TupleSlot;
 use crate::context::ExecContext;
 use crate::exec::Operator;
 use crate::footprint::{FootprintModel, OpKind};
+use crate::obs::ObsId;
 use bufferdb_cachesim::CodeRegion;
 use bufferdb_types::{Datum, DbError, Result, SchemaRef};
 
@@ -43,6 +44,8 @@ pub struct BufferOp {
     /// Extra live-slot demand announced by a parent (a stacked buffer):
     /// forwarded to the child, since we return the child's slots directly.
     parent_hint: usize,
+    /// Profiler identity for fill/occupancy/drain gauges (`None` = unprofiled).
+    obs_id: Option<ObsId>,
 }
 
 impl BufferOp {
@@ -63,12 +66,19 @@ impl BufferOp {
             end_of_tuples: false,
             array_base: 0,
             parent_hint: 0,
+            obs_id: None,
         })
     }
 
     /// Configured array capacity.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Report buffer gauges (fills, occupancy, drains) under `id` when the
+    /// context carries a profiler. Set by the executor builder.
+    pub fn set_obs(&mut self, id: Option<ObsId>) {
+        self.obs_id = id;
     }
 }
 
@@ -115,12 +125,19 @@ impl Operator for BufferOp {
                     }
                 }
             }
+            if !self.slots.is_empty() {
+                ctx.obs_buffer_fill(self.obs_id, self.slots.len() as u64);
+            }
         }
         if self.pos < self.slots.len() {
-            ctx.machine.data_read(self.array_base + self.pos as u64 * 8, 8);
+            ctx.machine
+                .data_read(self.array_base + self.pos as u64 * 8, 8);
             ctx.machine.add_instructions(RETURN_INSTR);
             let slot = self.slots[self.pos];
             self.pos += 1;
+            if self.pos == self.slots.len() {
+                ctx.obs_buffer_drain(self.obs_id);
+            }
             Ok(Some(slot))
         } else {
             Ok(None)
@@ -163,7 +180,11 @@ mod tests {
             b.push(Tuple::new(vec![Datum::Int(i)]));
         }
         c.add_table(b);
-        (c, FootprintModel::new(), ExecContext::new(MachineConfig::pentium4_like()))
+        (
+            c,
+            FootprintModel::new(),
+            ExecContext::new(MachineConfig::pentium4_like()),
+        )
     }
 
     fn scan(c: &Catalog, fm: &mut FootprintModel, pred: Option<Expr>) -> Box<dyn Operator> {

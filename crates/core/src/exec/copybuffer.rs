@@ -135,10 +135,17 @@ mod tests {
             ]),
         );
         for i in 0..n {
-            b.push(Tuple::new(vec![Datum::Int(i), Datum::str(format!("payload {i}"))]));
+            b.push(Tuple::new(vec![
+                Datum::Int(i),
+                Datum::str(format!("payload {i}")),
+            ]));
         }
         c.add_table(b);
-        (c, FootprintModel::new(), ExecContext::new(MachineConfig::pentium4_like()))
+        (
+            c,
+            FootprintModel::new(),
+            ExecContext::new(MachineConfig::pentium4_like()),
+        )
     }
 
     #[test]

@@ -61,7 +61,8 @@ impl Operator for FilterOp {
                         let row = ctx.arena.tuple(slot);
                         self.predicate.eval_predicate(row)?
                     };
-                    ctx.machine.add_instructions(self.predicate.instruction_cost());
+                    ctx.machine
+                        .add_instructions(self.predicate.instruction_cost());
                     ctx.machine.branch(self.pred_site, keep);
                     if keep {
                         return Ok(Some(slot));
@@ -95,7 +96,11 @@ mod tests {
             b.push(Tuple::new(vec![Datum::Int(i)]));
         }
         c.add_table(b);
-        (c, FootprintModel::new(), ExecContext::new(MachineConfig::pentium4_like()))
+        (
+            c,
+            FootprintModel::new(),
+            ExecContext::new(MachineConfig::pentium4_like()),
+        )
     }
 
     #[test]

@@ -122,7 +122,8 @@ impl Operator for HashJoinOp {
         self.ht_base = ctx.arena.sim_alloc(buckets * 16);
         for (k, v) in &self.table {
             for _ in v {
-                ctx.machine.data_write(self.ht_base + (mix(*k as u64) & self.bucket_mask) * 16, 16);
+                ctx.machine
+                    .data_write(self.ht_base + (mix(*k as u64) & self.bucket_mask) * 16, 16);
             }
         }
         self.pending = None;
@@ -207,7 +208,11 @@ mod tests {
         // A row with NULL flag and an unmatched key.
         orders.push(Tuple::new(vec![Datum::Int(99), Datum::Null]));
         c.add_table(orders);
-        (c, FootprintModel::new(), ExecContext::new(MachineConfig::pentium4_like()))
+        (
+            c,
+            FootprintModel::new(),
+            ExecContext::new(MachineConfig::pentium4_like()),
+        )
     }
 
     fn scan(c: &Catalog, fm: &mut FootprintModel, t: &str) -> Box<dyn Operator> {
@@ -244,7 +249,10 @@ mod tests {
         while op.next(&mut ctx).unwrap().is_some() {
             n += 1;
         }
-        assert_eq!(n, 30, "10 matching orders × 3 items (order 99 matches none)");
+        assert_eq!(
+            n, 30,
+            "10 matching orders × 3 items (order 99 matches none)"
+        );
     }
 
     #[test]

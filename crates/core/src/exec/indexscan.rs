@@ -134,7 +134,11 @@ impl Operator for IndexScanOp {
         ctx.machine
             .data_read(self.table.row_addr(row_id), self.table.row_width(row_id));
         let out = self.table.row(row_id).clone();
-        Ok(Some(ctx.arena.store(self.out_region, out, &mut ctx.machine)))
+        Ok(Some(ctx.arena.store(
+            self.out_region,
+            out,
+            &mut ctx.machine,
+        )))
     }
 
     fn close(&mut self, _ctx: &mut ExecContext) -> Result<()> {
@@ -188,7 +192,10 @@ mod tests {
         let c = Catalog::new();
         let mut b = TableBuilder::new(
             "orders",
-            Schema::new(vec![Field::new("o_orderkey", DataType::Int), Field::new("x", DataType::Int)]),
+            Schema::new(vec![
+                Field::new("o_orderkey", DataType::Int),
+                Field::new("x", DataType::Int),
+            ]),
         );
         for i in 0..n {
             b.push(Tuple::new(vec![Datum::Int(i), Datum::Int(i * 2)]));
@@ -204,7 +211,11 @@ mod tests {
             key_column: 0,
             btree,
         });
-        (c, FootprintModel::new(), ExecContext::new(MachineConfig::pentium4_like()))
+        (
+            c,
+            FootprintModel::new(),
+            ExecContext::new(MachineConfig::pentium4_like()),
+        )
     }
 
     #[test]
@@ -214,7 +225,10 @@ mod tests {
             &c,
             &mut fm,
             "orders_pkey",
-            IndexMode::Range { lo: Some(10), hi: Some(14) },
+            IndexMode::Range {
+                lo: Some(10),
+                hi: Some(14),
+            },
         )
         .unwrap();
         op.open(&mut ctx).unwrap();
@@ -228,8 +242,7 @@ mod tests {
     #[test]
     fn param_lookup_per_rescan() {
         let (c, mut fm, mut ctx) = setup(100);
-        let mut op =
-            IndexScanOp::new(&c, &mut fm, "orders_pkey", IndexMode::LookupParam).unwrap();
+        let mut op = IndexScanOp::new(&c, &mut fm, "orders_pkey", IndexMode::LookupParam).unwrap();
         op.open(&mut ctx).unwrap();
         assert!(op.next(&mut ctx).unwrap().is_none(), "no key yet");
         op.rescan(&mut ctx, Some(&Datum::Int(42))).unwrap();
@@ -247,8 +260,7 @@ mod tests {
     #[test]
     fn protocol_violations_error() {
         let (c, mut fm, mut ctx) = setup(10);
-        let mut op =
-            IndexScanOp::new(&c, &mut fm, "orders_pkey", IndexMode::LookupParam).unwrap();
+        let mut op = IndexScanOp::new(&c, &mut fm, "orders_pkey", IndexMode::LookupParam).unwrap();
         op.open(&mut ctx).unwrap();
         assert!(op.rescan(&mut ctx, None).is_err());
         let mut range = IndexScanOp::new(
@@ -265,8 +277,7 @@ mod tests {
     #[test]
     fn descent_touches_index_memory() {
         let (c, mut fm, mut ctx) = setup(1000);
-        let mut op =
-            IndexScanOp::new(&c, &mut fm, "orders_pkey", IndexMode::LookupParam).unwrap();
+        let mut op = IndexScanOp::new(&c, &mut fm, "orders_pkey", IndexMode::LookupParam).unwrap();
         op.open(&mut ctx).unwrap();
         let before = ctx.machine.snapshot();
         op.rescan(&mut ctx, Some(&Datum::Int(7))).unwrap();

@@ -21,7 +21,13 @@ impl LimitOp {
     /// Wrap `child`, producing at most `limit` tuples.
     pub fn new(fm: &mut FootprintModel, child: Box<dyn Operator>, limit: u64) -> Self {
         let schema = child.schema();
-        LimitOp { child, limit, produced: 0, schema, code: fm.region_for(&OpKind::Limit) }
+        LimitOp {
+            child,
+            limit,
+            produced: 0,
+            schema,
+            code: fm.region_for(&OpKind::Limit),
+        }
     }
 }
 
@@ -79,7 +85,11 @@ mod tests {
             b.push(Tuple::new(vec![Datum::Int(i)]));
         }
         c.add_table(b);
-        (c, FootprintModel::new(), ExecContext::new(MachineConfig::pentium4_like()))
+        (
+            c,
+            FootprintModel::new(),
+            ExecContext::new(MachineConfig::pentium4_like()),
+        )
     }
 
     fn count(op: &mut dyn Operator, ctx: &mut ExecContext) -> usize {

@@ -46,7 +46,9 @@ impl Operator for MaterializeOp {
 
     fn open(&mut self, ctx: &mut ExecContext) -> Result<()> {
         self.child.open(ctx)?;
-        self.own_region = ctx.arena.alloc_unbounded_region(schema_slot_bytes(&self.schema));
+        self.own_region = ctx
+            .arena
+            .alloc_unbounded_region(schema_slot_bytes(&self.schema));
         self.stored.clear();
         self.pos = 0;
         self.drained = false;
@@ -80,7 +82,9 @@ impl Operator for MaterializeOp {
 
     fn rescan(&mut self, _ctx: &mut ExecContext, param: Option<&Datum>) -> Result<()> {
         if param.is_some() {
-            return Err(DbError::ExecProtocol("materialize takes no parameter".into()));
+            return Err(DbError::ExecProtocol(
+                "materialize takes no parameter".into(),
+            ));
         }
         // Replay without re-running the child: the point of materialization.
         self.pos = 0;
@@ -103,7 +107,11 @@ mod tests {
             b.push(Tuple::new(vec![Datum::Int(i)]));
         }
         c.add_table(b);
-        (c, FootprintModel::new(), ExecContext::new(MachineConfig::pentium4_like()))
+        (
+            c,
+            FootprintModel::new(),
+            ExecContext::new(MachineConfig::pentium4_like()),
+        )
     }
 
     #[test]

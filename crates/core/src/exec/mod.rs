@@ -11,8 +11,8 @@ pub mod buffer;
 pub mod copybuffer;
 pub mod filter;
 pub mod hashjoin;
-pub mod limit;
 pub mod indexscan;
+pub mod limit;
 pub mod materialize;
 pub mod mergejoin;
 pub mod nestloop;
@@ -23,6 +23,7 @@ pub mod sort;
 use crate::arena::TupleSlot;
 use crate::context::ExecContext;
 use crate::footprint::FootprintModel;
+use crate::obs::{ProfiledOp, QueryProfile, QueryProfiler};
 use crate::plan::PlanNode;
 use crate::stats::ExecStats;
 use bufferdb_cachesim::MachineConfig;
@@ -93,29 +94,87 @@ pub fn build_executor(
     build_rec(plan, catalog, fm)
 }
 
+/// Short operator label for profiling output.
+fn obs_label(plan: &PlanNode) -> String {
+    match plan {
+        PlanNode::SeqScan { table, .. } => format!("SeqScan({table})"),
+        PlanNode::IndexScan { index, .. } => format!("IndexScan({index})"),
+        PlanNode::NestLoopJoin { .. } => "NestLoopJoin".to_string(),
+        PlanNode::HashJoin { .. } => "HashJoin".to_string(),
+        PlanNode::MergeJoin { .. } => "MergeJoin".to_string(),
+        PlanNode::Sort { .. } => "Sort".to_string(),
+        PlanNode::Aggregate { .. } => "Aggregate".to_string(),
+        PlanNode::Project { .. } => "Project".to_string(),
+        PlanNode::Buffer { size, .. } => format!("Buffer({size})"),
+        PlanNode::Filter { .. } => "Filter".to_string(),
+        PlanNode::Limit { .. } => "Limit".to_string(),
+        PlanNode::Materialize { .. } => "Materialize".to_string(),
+    }
+}
+
 fn build_rec(
     plan: &PlanNode,
     catalog: &Catalog,
     fm: &mut FootprintModel,
 ) -> Result<Box<dyn Operator>> {
-    Ok(match plan {
-        PlanNode::SeqScan { table, predicate, projection } => Box::new(
-            seqscan::SeqScanOp::new(catalog, fm, table, predicate.clone(), projection.clone())?,
-        ),
-        PlanNode::IndexScan { index, mode } => {
-            Box::new(indexscan::IndexScanOp::new(catalog, fm, index, mode.clone())?)
-        }
-        PlanNode::NestLoopJoin { outer, inner, param_outer_col, qual, .. } => {
+    // Register this node *before* recursing so ids follow plan pre-order —
+    // the contract `explain_analyze` relies on to map nodes to stats.
+    let obs = if fm.obs_enabled() {
+        Some(fm.obs_register(obs_label(plan)))
+    } else {
+        None
+    };
+    let op: Box<dyn Operator> = match plan {
+        PlanNode::SeqScan {
+            table,
+            predicate,
+            projection,
+        } => Box::new(seqscan::SeqScanOp::new(
+            catalog,
+            fm,
+            table,
+            predicate.clone(),
+            projection.clone(),
+        )?),
+        PlanNode::IndexScan { index, mode } => Box::new(indexscan::IndexScanOp::new(
+            catalog,
+            fm,
+            index,
+            mode.clone(),
+        )?),
+        PlanNode::NestLoopJoin {
+            outer,
+            inner,
+            param_outer_col,
+            qual,
+            ..
+        } => {
             let o = build_rec(outer, catalog, fm)?;
             let i = build_rec(inner, catalog, fm)?;
-            Box::new(nestloop::NestLoopOp::new(fm, o, i, *param_outer_col, qual.clone()))
+            Box::new(nestloop::NestLoopOp::new(
+                fm,
+                o,
+                i,
+                *param_outer_col,
+                qual.clone(),
+            ))
         }
-        PlanNode::HashJoin { probe, build, probe_key, build_key } => {
+        PlanNode::HashJoin {
+            probe,
+            build,
+            probe_key,
+            build_key,
+        } => {
             let p = build_rec(probe, catalog, fm)?;
             let b = build_rec(build, catalog, fm)?;
             Box::new(hashjoin::HashJoinOp::new(fm, p, b, *probe_key, *build_key))
         }
-        PlanNode::MergeJoin { left, right, left_key, right_key } => {
+        PlanNode::MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
             let l = build_rec(left, catalog, fm)?;
             let r = build_rec(right, catalog, fm)?;
             Box::new(mergejoin::MergeJoinOp::new(fm, l, r, *left_key, *right_key))
@@ -124,9 +183,18 @@ fn build_rec(
             let c = build_rec(input, catalog, fm)?;
             Box::new(sort::SortOp::new(fm, c, keys.clone()))
         }
-        PlanNode::Aggregate { input, group_by, aggs } => {
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let c = build_rec(input, catalog, fm)?;
-            Box::new(agg::AggregateOp::new(fm, c, group_by.clone(), aggs.clone())?)
+            Box::new(agg::AggregateOp::new(
+                fm,
+                c,
+                group_by.clone(),
+                aggs.clone(),
+            )?)
         }
         PlanNode::Project { input, exprs } => {
             let c = build_rec(input, catalog, fm)?;
@@ -134,7 +202,11 @@ fn build_rec(
         }
         PlanNode::Buffer { input, size } => {
             let c = build_rec(input, catalog, fm)?;
-            Box::new(buffer::BufferOp::new(fm, c, *size)?)
+            let mut b = buffer::BufferOp::new(fm, c, *size)?;
+            // Fill/drain gauges are internal to the refill loop, so the
+            // buffer reports them itself rather than via the decorator.
+            b.set_obs(obs);
+            Box::new(b)
         }
         PlanNode::Filter { input, predicate } => {
             let c = build_rec(input, catalog, fm)?;
@@ -148,6 +220,10 @@ fn build_rec(
             let c = build_rec(input, catalog, fm)?;
             Box::new(materialize::MaterializeOp::new(fm, c))
         }
+    };
+    Ok(match obs {
+        Some(id) => Box::new(ProfiledOp::new(id, op)),
+        None => op,
     })
 }
 
@@ -182,5 +258,57 @@ pub fn execute_with_stats(
     let counters = ctx.machine.snapshot();
     let breakdown = ctx.machine.breakdown_for(&counters);
     let row_count = rows.len() as u64;
-    Ok((rows, ExecStats { rows: row_count, counters, breakdown, wall }))
+    Ok((
+        rows,
+        ExecStats {
+            rows: row_count,
+            counters,
+            breakdown,
+            wall,
+        },
+    ))
+}
+
+/// Execute a plan with per-operator profiling: rows and whole-query stats
+/// as [`execute_with_stats`], plus a [`QueryProfile`] attributing every
+/// simulated event to one operator instance (ids in plan pre-order).
+///
+/// The instrumentation adds no modeled instructions, so `stats` match an
+/// unprofiled run of the same plan.
+pub fn execute_profiled(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    cfg: &MachineConfig,
+) -> Result<(Vec<Tuple>, ExecStats, QueryProfile)> {
+    let mut fm = FootprintModel::new();
+    fm.enable_obs();
+    let mut root = build_executor(plan, catalog, &mut fm)?;
+    let mut ctx = ExecContext::new(cfg.clone());
+    ctx.profiler = Some(QueryProfiler::new(fm.obs_labels()));
+    let wall_start = std::time::Instant::now();
+    root.open(&mut ctx)?;
+    let mut rows = Vec::new();
+    while let Some(slot) = root.next(&mut ctx)? {
+        rows.push(ctx.arena.tuple(slot).clone());
+    }
+    root.close(&mut ctx)?;
+    let wall = wall_start.elapsed();
+    let counters = ctx.machine.snapshot();
+    let breakdown = ctx.machine.breakdown_for(&counters);
+    let profile = ctx
+        .profiler
+        .take()
+        .expect("profiler installed above")
+        .finish(counters);
+    let row_count = rows.len() as u64;
+    Ok((
+        rows,
+        ExecStats {
+            rows: row_count,
+            counters,
+            breakdown,
+            wall,
+        },
+        profile,
+    ))
 }

@@ -166,7 +166,11 @@ mod tests {
             key_column: 0,
             btree,
         });
-        (c, FootprintModel::new(), ExecContext::new(MachineConfig::pentium4_like()))
+        (
+            c,
+            FootprintModel::new(),
+            ExecContext::new(MachineConfig::pentium4_like()),
+        )
     }
 
     #[test]

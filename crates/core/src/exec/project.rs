@@ -28,7 +28,10 @@ impl ProjectOp {
         let input = child.schema();
         let mut fields = Vec::with_capacity(exprs.len());
         for (e, name) in &exprs {
-            fields.push(bufferdb_types::Field::nullable(name.clone(), e.data_type(&input)?));
+            fields.push(bufferdb_types::Field::nullable(
+                name.clone(),
+                e.data_type(&input)?,
+            ));
         }
         Ok(ProjectOp {
             child,
@@ -69,7 +72,11 @@ impl Operator for ProjectOp {
                     ctx.machine.add_instructions(e.instruction_cost());
                     vals.push(e.eval(&row)?);
                 }
-                Ok(Some(ctx.arena.store(self.out_region, Tuple::new(vals), &mut ctx.machine)))
+                Ok(Some(ctx.arena.store(
+                    self.out_region,
+                    Tuple::new(vals),
+                    &mut ctx.machine,
+                )))
             }
         }
     }

@@ -55,7 +55,9 @@ impl SeqScanOp {
                 Schema::new(fields).into_ref()
             }
         };
-        let code = fm.region_for(&OpKind::SeqScan { with_pred: predicate.is_some() });
+        let code = fm.region_for(&OpKind::SeqScan {
+            with_pred: predicate.is_some(),
+        });
         let pred_site = fm.predicate_site();
         Ok(SeqScanOp {
             table,
@@ -137,7 +139,9 @@ impl Operator for SeqScanOp {
 
     fn rescan(&mut self, _ctx: &mut ExecContext, param: Option<&Datum>) -> Result<()> {
         if param.is_some() {
-            return Err(DbError::ExecProtocol("SeqScan takes no rescan parameter".into()));
+            return Err(DbError::ExecProtocol(
+                "SeqScan takes no rescan parameter".into(),
+            ));
         }
         self.pos = 0;
         Ok(())
@@ -155,13 +159,20 @@ mod tests {
         let c = Catalog::new();
         let mut b = TableBuilder::new(
             "t",
-            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
         );
         for i in 0..n {
             b.push(Tuple::new(vec![Datum::Int(i), Datum::Int(i * 10)]));
         }
         c.add_table(b);
-        (c, FootprintModel::new(), ExecContext::new(MachineConfig::pentium4_like()))
+        (
+            c,
+            FootprintModel::new(),
+            ExecContext::new(MachineConfig::pentium4_like()),
+        )
     }
 
     fn drain(op: &mut dyn Operator, ctx: &mut ExecContext) -> Vec<Tuple> {

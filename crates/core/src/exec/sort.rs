@@ -29,7 +29,11 @@ pub struct SortOp {
 
 impl SortOp {
     /// Build a sort over `keys` (`(column, ascending)`).
-    pub fn new(fm: &mut FootprintModel, child: Box<dyn Operator>, keys: Vec<(usize, bool)>) -> Self {
+    pub fn new(
+        fm: &mut FootprintModel,
+        child: Box<dyn Operator>,
+        keys: Vec<(usize, bool)>,
+    ) -> Self {
         let schema = child.schema();
         let code = fm.region_for(&OpKind::Sort);
         SortOp {
@@ -56,14 +60,15 @@ impl SortOp {
     }
 
     fn build(&mut self, ctx: &mut ExecContext) -> Result<()> {
-        self.own_region = ctx.arena.alloc_unbounded_region(schema_slot_bytes(&self.schema));
+        self.own_region = ctx
+            .arena
+            .alloc_unbounded_region(schema_slot_bytes(&self.schema));
         let mut rows: Vec<(Vec<Datum>, TupleSlot)> = Vec::new();
         while let Some(slot) = self.child.next(ctx)? {
             ctx.machine.exec_region(&mut self.code);
             // Materialize into our own storage (tuplesort copies tuples).
             let t = ctx.arena.tuple(slot).clone();
-            let keys: Vec<Datum> =
-                self.keys.iter().map(|&(c, _)| t.get(c).clone()).collect();
+            let keys: Vec<Datum> = self.keys.iter().map(|&(c, _)| t.get(c).clone()).collect();
             let own = ctx.arena.store(self.own_region, t, &mut ctx.machine);
             rows.push((keys, own));
         }
@@ -149,7 +154,11 @@ mod tests {
             ]));
         }
         c.add_table(b);
-        (c, FootprintModel::new(), ExecContext::new(MachineConfig::pentium4_like()))
+        (
+            c,
+            FootprintModel::new(),
+            ExecContext::new(MachineConfig::pentium4_like()),
+        )
     }
 
     fn sort_keys(vals: &[Option<i64>], asc: bool) -> Vec<Option<i64>> {

@@ -103,7 +103,11 @@ impl Expr {
     }
 
     fn cmp(op: CmpOp, l: Expr, r: Expr) -> Expr {
-        Expr::Cmp { op, left: Box::new(l), right: Box::new(r) }
+        Expr::Cmp {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
     }
 
     /// `self = other`
@@ -159,36 +163,59 @@ impl Expr {
 
     /// `CASE WHEN self THEN then ELSE otherwise END`
     pub fn case(self, then: Expr, otherwise: Expr) -> Expr {
-        Expr::Case { cond: Box::new(self), then: Box::new(then), otherwise: Box::new(otherwise) }
+        Expr::Case {
+            cond: Box::new(self),
+            then: Box::new(then),
+            otherwise: Box::new(otherwise),
+        }
     }
 
     /// `self LIKE 'prefix%'`
     pub fn starts_with(self, prefix: impl Into<String>) -> Expr {
-        Expr::StartsWith { input: Box::new(self), prefix: prefix.into() }
+        Expr::StartsWith {
+            input: Box::new(self),
+            prefix: prefix.into(),
+        }
     }
 
     /// `self + other`
     #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
-        Expr::Arith { op: ArithOp::Add, left: Box::new(self), right: Box::new(other) }
+        Expr::Arith {
+            op: ArithOp::Add,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// `self - other`
     #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
-        Expr::Arith { op: ArithOp::Sub, left: Box::new(self), right: Box::new(other) }
+        Expr::Arith {
+            op: ArithOp::Sub,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// `self * other`
     #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Expr {
-        Expr::Arith { op: ArithOp::Mul, left: Box::new(self), right: Box::new(other) }
+        Expr::Arith {
+            op: ArithOp::Mul,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// `self / other`
     #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Expr) -> Expr {
-        Expr::Arith { op: ArithOp::Div, left: Box::new(self), right: Box::new(other) }
+        Expr::Arith {
+            op: ArithOp::Div,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// Evaluate against one tuple.
@@ -196,7 +223,10 @@ impl Expr {
         match self {
             Expr::Column(i) => {
                 if *i >= row.arity() {
-                    return Err(DbError::UnknownColumn(format!("column #{i} of {}-ary row", row.arity())));
+                    return Err(DbError::UnknownColumn(format!(
+                        "column #{i} of {}-ary row",
+                        row.arity()
+                    )));
                 }
                 Ok(row.get(*i).clone())
             }
@@ -227,24 +257,32 @@ impl Expr {
             Expr::And(a, b) => {
                 let x = a.eval(row)?;
                 let y = b.eval(row)?;
-                Ok(bool3_to_datum(ops::and3(datum_to_bool3(&x)?, datum_to_bool3(&y)?)))
+                Ok(bool3_to_datum(ops::and3(
+                    datum_to_bool3(&x)?,
+                    datum_to_bool3(&y)?,
+                )))
             }
             Expr::Or(a, b) => {
                 let x = a.eval(row)?;
                 let y = b.eval(row)?;
-                Ok(bool3_to_datum(ops::or3(datum_to_bool3(&x)?, datum_to_bool3(&y)?)))
+                Ok(bool3_to_datum(ops::or3(
+                    datum_to_bool3(&x)?,
+                    datum_to_bool3(&y)?,
+                )))
             }
             Expr::Not(a) => {
                 let x = a.eval(row)?;
                 Ok(bool3_to_datum(ops::not3(datum_to_bool3(&x)?)))
             }
             Expr::IsNull(a) => Ok(Datum::Bool(a.eval(row)?.is_null())),
-            Expr::Case { cond, then, otherwise } => {
-                match datum_to_bool3(&cond.eval(row)?)? {
-                    Some(true) => then.eval(row),
-                    _ => otherwise.eval(row),
-                }
-            }
+            Expr::Case {
+                cond,
+                then,
+                otherwise,
+            } => match datum_to_bool3(&cond.eval(row)?)? {
+                Some(true) => then.eval(row),
+                _ => otherwise.eval(row),
+            },
             Expr::StartsWith { input, prefix } => match input.eval(row)? {
                 Datum::Null => Ok(Datum::Null),
                 Datum::Str(s) => Ok(Datum::Bool(s.starts_with(prefix.as_str()))),
@@ -273,9 +311,11 @@ impl Expr {
             }
             Expr::And(a, b) | Expr::Or(a, b) => a.node_count() + b.node_count(),
             Expr::Not(a) | Expr::IsNull(a) => a.node_count(),
-            Expr::Case { cond, then, otherwise } => {
-                cond.node_count() + then.node_count() + otherwise.node_count()
-            }
+            Expr::Case {
+                cond,
+                then,
+                otherwise,
+            } => cond.node_count() + then.node_count() + otherwise.node_count(),
             Expr::StartsWith { input, .. } => input.node_count(),
         }
     }
@@ -295,9 +335,9 @@ impl Expr {
                 }
                 Ok(schema.field(*i).ty)
             }
-            Expr::Literal(d) => d.data_type().ok_or_else(|| {
-                DbError::TypeMismatch("untyped NULL literal".into())
-            }),
+            Expr::Literal(d) => d
+                .data_type()
+                .ok_or_else(|| DbError::TypeMismatch("untyped NULL literal".into())),
             Expr::Cmp { left, right, .. } => {
                 left.data_type(schema)?;
                 right.data_type(schema)?;
@@ -316,7 +356,11 @@ impl Expr {
                 input.data_type(schema)?;
                 Ok(DataType::Bool)
             }
-            Expr::Case { cond, then, otherwise } => {
+            Expr::Case {
+                cond,
+                then,
+                otherwise,
+            } => {
                 cond.data_type(schema)?;
                 otherwise.data_type(schema)?;
                 then.data_type(schema)
@@ -338,7 +382,9 @@ fn datum_to_bool3(d: &Datum) -> Result<Option<bool>> {
     match d {
         Datum::Null => Ok(None),
         Datum::Bool(b) => Ok(Some(*b)),
-        other => Err(DbError::TypeMismatch(format!("expected boolean, got {other}"))),
+        other => Err(DbError::TypeMismatch(format!(
+            "expected boolean, got {other}"
+        ))),
     }
 }
 
@@ -375,7 +421,11 @@ impl fmt::Display for Expr {
             Expr::Or(a, b) => write!(f, "({a} OR {b})"),
             Expr::Not(a) => write!(f, "(NOT {a})"),
             Expr::IsNull(a) => write!(f, "({a} IS NULL)"),
-            Expr::Case { cond, then, otherwise } => {
+            Expr::Case {
+                cond,
+                then,
+                otherwise,
+            } => {
                 write!(f, "(CASE WHEN {cond} THEN {then} ELSE {otherwise} END)")
             }
             Expr::StartsWith { input, prefix } => write!(f, "({input} LIKE '{prefix}%')"),
@@ -416,8 +466,10 @@ mod tests {
     #[test]
     fn q1_charge_expression_evaluates() {
         // price * (1 - discount): col1 is 2.50, discount 0.2.
-        let e = Expr::col(1).mul(Expr::lit(Datum::Decimal(Decimal::from_int(1)))
-            .sub(Expr::lit(Datum::Decimal(Decimal::parse("0.2").unwrap()))));
+        let e = Expr::col(1).mul(
+            Expr::lit(Datum::Decimal(Decimal::from_int(1)))
+                .sub(Expr::lit(Datum::Decimal(Decimal::parse("0.2").unwrap()))),
+        );
         let v = e.eval(&row()).unwrap();
         assert_eq!(v.as_decimal().unwrap(), Decimal::parse("2.0").unwrap());
     }
@@ -430,7 +482,10 @@ mod tests {
         assert!(e.eval(&row()).unwrap().is_null());
         let e2 = Expr::lit(Datum::Bool(false)).and(null_cmp.clone());
         assert_eq!(e2.eval(&row()).unwrap(), Datum::Bool(false));
-        assert_eq!(null_cmp.clone().is_null().eval(&row()).unwrap(), Datum::Bool(true));
+        assert_eq!(
+            null_cmp.clone().is_null().eval(&row()).unwrap(),
+            Datum::Bool(true)
+        );
         assert_eq!(null_cmp.not().eval(&row()).unwrap(), Datum::Null);
         let or = Expr::lit(Datum::Bool(true)).or(Expr::col(2).eq(Expr::lit(1)));
         assert_eq!(or.eval(&row()).unwrap(), Datum::Bool(true));
@@ -452,7 +507,9 @@ mod tests {
 
     #[test]
     fn node_count_and_cost() {
-        let e = Expr::col(0).le(Expr::lit(10)).and(Expr::col(1).gt(Expr::lit(0)));
+        let e = Expr::col(0)
+            .le(Expr::lit(10))
+            .and(Expr::col(1).gt(Expr::lit(0)));
         assert_eq!(e.node_count(), 7);
         assert_eq!(e.instruction_cost(), 7 * 24);
     }
@@ -479,18 +536,28 @@ mod tests {
     #[test]
     fn case_when_selects_branches() {
         // CASE WHEN col0 <= 5 THEN 1 ELSE 0 END over col0 = 10.
-        let e = Expr::col(0).le(Expr::lit(5)).case(Expr::lit(1), Expr::lit(0));
+        let e = Expr::col(0)
+            .le(Expr::lit(5))
+            .case(Expr::lit(1), Expr::lit(0));
         assert_eq!(e.eval(&row()).unwrap().as_int(), Some(0));
-        let e2 = Expr::col(0).le(Expr::lit(100)).case(Expr::lit(1), Expr::lit(0));
+        let e2 = Expr::col(0)
+            .le(Expr::lit(100))
+            .case(Expr::lit(1), Expr::lit(0));
         assert_eq!(e2.eval(&row()).unwrap().as_int(), Some(1));
         // NULL condition takes the ELSE branch.
-        let e3 = Expr::col(2).le(Expr::lit(1)).case(Expr::lit(1), Expr::lit(0));
+        let e3 = Expr::col(2)
+            .le(Expr::lit(1))
+            .case(Expr::lit(1), Expr::lit(0));
         assert_eq!(e3.eval(&row()).unwrap().as_int(), Some(0));
     }
 
     #[test]
     fn starts_with_prefix_test() {
-        let t = Tuple::new(vec![Datum::str("PROMO BURNISHED"), Datum::Null, Datum::Int(3)]);
+        let t = Tuple::new(vec![
+            Datum::str("PROMO BURNISHED"),
+            Datum::Null,
+            Datum::Int(3),
+        ]);
         assert_eq!(
             Expr::col(0).starts_with("PROMO").eval(&t).unwrap(),
             Datum::Bool(true)

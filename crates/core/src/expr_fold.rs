@@ -26,13 +26,15 @@ pub fn fold_constants(e: &Expr) -> Expr {
             left: Box::new(fold_constants(left)),
             right: Box::new(fold_constants(right)),
         },
-        Expr::And(a, b) => {
-            Expr::And(Box::new(fold_constants(a)), Box::new(fold_constants(b)))
-        }
+        Expr::And(a, b) => Expr::And(Box::new(fold_constants(a)), Box::new(fold_constants(b))),
         Expr::Or(a, b) => Expr::Or(Box::new(fold_constants(a)), Box::new(fold_constants(b))),
         Expr::Not(a) => Expr::Not(Box::new(fold_constants(a))),
         Expr::IsNull(a) => Expr::IsNull(Box::new(fold_constants(a))),
-        Expr::Case { cond, then, otherwise } => Expr::Case {
+        Expr::Case {
+            cond,
+            then,
+            otherwise,
+        } => Expr::Case {
             cond: Box::new(fold_constants(cond)),
             then: Box::new(fold_constants(then)),
             otherwise: Box::new(fold_constants(otherwise)),
@@ -67,9 +69,11 @@ fn has_no_columns(e: &Expr) -> bool {
         }
         Expr::And(a, b) | Expr::Or(a, b) => has_no_columns(a) && has_no_columns(b),
         Expr::Not(a) | Expr::IsNull(a) => has_no_columns(a),
-        Expr::Case { cond, then, otherwise } => {
-            has_no_columns(cond) && has_no_columns(then) && has_no_columns(otherwise)
-        }
+        Expr::Case {
+            cond,
+            then,
+            otherwise,
+        } => has_no_columns(cond) && has_no_columns(then) && has_no_columns(otherwise),
         Expr::StartsWith { input, .. } => has_no_columns(input),
     }
 }
@@ -79,39 +83,66 @@ pub fn fold_plan(plan: &crate::plan::PlanNode) -> crate::plan::PlanNode {
     use crate::plan::PlanNode as P;
     let fold_proj = |p: &Option<Vec<(Expr, String)>>| {
         p.as_ref().map(|v| {
-            v.iter().map(|(e, n)| (fold_constants(e), n.clone())).collect::<Vec<_>>()
+            v.iter()
+                .map(|(e, n)| (fold_constants(e), n.clone()))
+                .collect::<Vec<_>>()
         })
     };
     match plan {
-        P::SeqScan { table, predicate, projection } => P::SeqScan {
+        P::SeqScan {
+            table,
+            predicate,
+            projection,
+        } => P::SeqScan {
             table: table.clone(),
             predicate: predicate.as_ref().map(fold_constants),
             projection: fold_proj(projection),
         },
         P::IndexScan { .. } => plan.clone(),
-        P::NestLoopJoin { outer, inner, param_outer_col, qual, fk_inner } => P::NestLoopJoin {
+        P::NestLoopJoin {
+            outer,
+            inner,
+            param_outer_col,
+            qual,
+            fk_inner,
+        } => P::NestLoopJoin {
             outer: Box::new(fold_plan(outer)),
             inner: Box::new(fold_plan(inner)),
             param_outer_col: *param_outer_col,
             qual: qual.as_ref().map(fold_constants),
             fk_inner: *fk_inner,
         },
-        P::HashJoin { probe, build, probe_key, build_key } => P::HashJoin {
+        P::HashJoin {
+            probe,
+            build,
+            probe_key,
+            build_key,
+        } => P::HashJoin {
             probe: Box::new(fold_plan(probe)),
             build: Box::new(fold_plan(build)),
             probe_key: *probe_key,
             build_key: *build_key,
         },
-        P::MergeJoin { left, right, left_key, right_key } => P::MergeJoin {
+        P::MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => P::MergeJoin {
             left: Box::new(fold_plan(left)),
             right: Box::new(fold_plan(right)),
             left_key: *left_key,
             right_key: *right_key,
         },
-        P::Sort { input, keys } => {
-            P::Sort { input: Box::new(fold_plan(input)), keys: keys.clone() }
-        }
-        P::Aggregate { input, group_by, aggs } => P::Aggregate {
+        P::Sort { input, keys } => P::Sort {
+            input: Box::new(fold_plan(input)),
+            keys: keys.clone(),
+        },
+        P::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => P::Aggregate {
             input: Box::new(fold_plan(input)),
             group_by: group_by.clone(),
             aggs: aggs
@@ -125,19 +156,26 @@ pub fn fold_plan(plan: &crate::plan::PlanNode) -> crate::plan::PlanNode {
         },
         P::Project { input, exprs } => P::Project {
             input: Box::new(fold_plan(input)),
-            exprs: exprs.iter().map(|(e, n)| (fold_constants(e), n.clone())).collect(),
+            exprs: exprs
+                .iter()
+                .map(|(e, n)| (fold_constants(e), n.clone()))
+                .collect(),
         },
         P::Filter { input, predicate } => P::Filter {
             input: Box::new(fold_plan(input)),
             predicate: fold_constants(predicate),
         },
-        P::Limit { input, limit } => {
-            P::Limit { input: Box::new(fold_plan(input)), limit: *limit }
-        }
-        P::Buffer { input, size } => {
-            P::Buffer { input: Box::new(fold_plan(input)), size: *size }
-        }
-        P::Materialize { input } => P::Materialize { input: Box::new(fold_plan(input)) },
+        P::Limit { input, limit } => P::Limit {
+            input: Box::new(fold_plan(input)),
+            limit: *limit,
+        },
+        P::Buffer { input, size } => P::Buffer {
+            input: Box::new(fold_plan(input)),
+            size: *size,
+        },
+        P::Materialize { input } => P::Materialize {
+            input: Box::new(fold_plan(input)),
+        },
     }
 }
 
@@ -178,7 +216,9 @@ mod tests {
     fn folds_logic_and_case() {
         let e = Expr::lit(Datum::Bool(true)).and(Expr::lit(Datum::Bool(false)));
         assert_eq!(fold_constants(&e), Expr::lit(Datum::Bool(false)));
-        let c = Expr::lit(1).le(Expr::lit(2)).case(Expr::lit(10), Expr::lit(20));
+        let c = Expr::lit(1)
+            .le(Expr::lit(2))
+            .case(Expr::lit(10), Expr::lit(20));
         assert_eq!(fold_constants(&c), Expr::lit(10));
     }
 
@@ -227,7 +267,9 @@ mod tests {
         let a = execute_collect(&plan, &catalog, &m).unwrap();
         let b = execute_collect(&folded, &catalog, &m).unwrap();
         assert_eq!(a, b);
-        let PlanNode::Project { exprs, .. } = &folded else { panic!() };
+        let PlanNode::Project { exprs, .. } = &folded else {
+            panic!()
+        };
         assert_eq!(exprs[0].0.node_count(), 3); // col * lit
     }
 }

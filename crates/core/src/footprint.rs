@@ -30,6 +30,7 @@
 //! |   + AVG                     | +6.3 K | expr + numeric + agg_avg                          |
 //! | Buffer                      |  0.7 K | buffer_core (no shared code: light-weight)        |
 
+use crate::obs::ObsId;
 use crate::plan::{AggFunc, AggSpec};
 use bufferdb_cachesim::layout::SegmentRef;
 use bufferdb_cachesim::{CodeLayout, CodeRegion, SegmentSpec};
@@ -116,7 +117,9 @@ pub enum OpKind {
 impl OpKind {
     /// The footprint kind for an aggregate node's specs.
     pub fn aggregate(specs: &[AggSpec]) -> OpKind {
-        OpKind::Aggregate { funcs: specs.iter().map(|s| s.func).collect() }
+        OpKind::Aggregate {
+            funcs: specs.iter().map(|s| s.func).collect(),
+        }
     }
 
     /// Segment names + sizes making up this operator's footprint.
@@ -231,6 +234,9 @@ pub struct FootprintModel {
     layout: CodeLayout,
     expr_seg: SegmentRef,
     site_counter: usize,
+    /// When present, executor construction registers every operator here
+    /// (pre-order) and wraps it in a profiling decorator.
+    obs_labels: Option<Vec<String>>,
 }
 
 impl Default for FootprintModel {
@@ -245,7 +251,39 @@ impl FootprintModel {
     pub fn new() -> Self {
         let mut layout = CodeLayout::new();
         let expr_seg = layout.define(&SegmentSpec::new("expr_eval", EXPR_EVAL));
-        FootprintModel { layout, expr_seg, site_counter: 0 }
+        FootprintModel {
+            layout,
+            expr_seg,
+            site_counter: 0,
+            obs_labels: None,
+        }
+    }
+
+    /// Turn on operator registration: executors built with this model are
+    /// wrapped for per-operator profiling (see [`crate::obs`]).
+    pub fn enable_obs(&mut self) {
+        self.obs_labels = Some(Vec::new());
+    }
+
+    /// Whether operator registration is on.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs_labels.is_some()
+    }
+
+    /// Register one operator instance under `label`, returning its id.
+    /// Ids are consecutive in registration (= plan pre-order) order.
+    ///
+    /// # Panics
+    /// If [`FootprintModel::enable_obs`] was not called first.
+    pub fn obs_register(&mut self, label: String) -> ObsId {
+        let labels = self.obs_labels.as_mut().expect("obs not enabled");
+        labels.push(label);
+        ObsId(labels.len() - 1)
+    }
+
+    /// Labels of every registered operator, in id order.
+    pub fn obs_labels(&self) -> &[String] {
+        self.obs_labels.as_deref().unwrap_or(&[])
     }
 
     /// Build a code region for an operator instance. Every region includes
@@ -257,7 +295,10 @@ impl FootprintModel {
             .iter()
             .map(|s| self.layout.define(s))
             .collect();
-        segs.push(self.layout.define(&SegmentSpec::new("exec_dispatch", EXEC_DISPATCH)));
+        segs.push(
+            self.layout
+                .define(&SegmentSpec::new("exec_dispatch", EXEC_DISPATCH)),
+        );
         CodeRegion::new(segs)
     }
 
@@ -307,7 +348,10 @@ mod tests {
     #[test]
     fn table2_totals_match_paper() {
         assert_eq!(OpKind::SeqScan { with_pred: false }.footprint_bytes(), 9000);
-        assert_eq!(OpKind::SeqScan { with_pred: true }.footprint_bytes(), 13_200);
+        assert_eq!(
+            OpKind::SeqScan { with_pred: true }.footprint_bytes(),
+            13_200
+        );
         assert_eq!(OpKind::IndexScan.footprint_bytes(), 14_000);
         assert_eq!(OpKind::Sort.footprint_bytes(), 14_000);
         assert_eq!(OpKind::NestLoop.footprint_bytes(), 11_000);
@@ -320,18 +364,26 @@ mod tests {
 
     #[test]
     fn aggregate_functions_add_their_footprints() {
-        let count = OpKind::Aggregate { funcs: vec![AggFunc::CountStar] };
+        let count = OpKind::Aggregate {
+            funcs: vec![AggFunc::CountStar],
+        };
         assert_eq!(count.footprint_bytes(), 1900); // base 1.0K + count 0.9K
-        let sum = OpKind::Aggregate { funcs: vec![AggFunc::Sum] };
+        let sum = OpKind::Aggregate {
+            funcs: vec![AggFunc::Sum],
+        };
         assert_eq!(sum.footprint_bytes(), 1000 + 2700); // SUM listed as 2.7K
-        let avg = OpKind::Aggregate { funcs: vec![AggFunc::Avg] };
+        let avg = OpKind::Aggregate {
+            funcs: vec![AggFunc::Avg],
+        };
         assert_eq!(avg.footprint_bytes(), 1000 + 6300); // AVG listed as 6.3K
     }
 
     #[test]
     fn duplicate_agg_funcs_counted_once_for_shared_segments() {
         // SUM + AVG share numeric_rt: 1000 + 200 + 2300 + 1500 + 2500 = 7500.
-        let k = OpKind::Aggregate { funcs: vec![AggFunc::Sum, AggFunc::Avg] };
+        let k = OpKind::Aggregate {
+            funcs: vec![AggFunc::Sum, AggFunc::Avg],
+        };
         assert_eq!(k.footprint_bytes(), 7500);
     }
 
@@ -353,7 +405,9 @@ mod tests {
         // Scan-with-pred + Agg(COUNT): §7.2 says ≈ 15 K < 16 K.
         let combined = FootprintModel::combined_footprint(&[
             OpKind::SeqScan { with_pred: true },
-            OpKind::Aggregate { funcs: vec![AggFunc::CountStar] },
+            OpKind::Aggregate {
+                funcs: vec![AggFunc::CountStar],
+            },
         ]);
         assert!(combined < 16 * 1024, "combined {combined}");
         assert!(combined > 13 * 1024, "combined {combined}");

@@ -25,6 +25,7 @@ pub mod exec;
 pub mod expr;
 pub mod expr_fold;
 pub mod footprint;
+pub mod obs;
 pub mod optimizer;
 pub mod plan;
 pub mod refine;
@@ -32,9 +33,11 @@ pub mod stats;
 
 pub use arena::{TupleArena, TupleSlot};
 pub use context::ExecContext;
-pub use exec::{build_executor, execute_collect, execute_with_stats, Operator};
+pub use exec::{build_executor, execute_collect, execute_profiled, execute_with_stats, Operator};
 pub use expr::Expr;
 pub use footprint::{FootprintModel, OpKind};
+pub use obs::{BufferGauges, ObsId, OpStats, QueryProfile, QueryProfiler};
+pub use plan::analyze::explain_analyze;
 pub use plan::{AggFunc, AggSpec, IndexMode, PlanNode};
 pub use refine::{refine_plan, RefineConfig};
 pub use stats::ExecStats;

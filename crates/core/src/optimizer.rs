@@ -152,7 +152,10 @@ pub fn choose_join_plan(
     let right: PlanNode = match &query.inner_index {
         Some(index) => {
             mj_cost += inner_rows * cost.scan_row;
-            PlanNode::IndexScan { index: index.clone(), mode: IndexMode::Range { lo: None, hi: None } }
+            PlanNode::IndexScan {
+                index: index.clone(),
+                mode: IndexMode::Range { lo: None, hi: None },
+            }
         }
         None => {
             let n = inner_rows.max(2.0);
@@ -204,7 +207,10 @@ mod tests {
         let c = Catalog::new();
         let mut fact = TableBuilder::new(
             "fact",
-            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
         );
         for i in 0..fact_rows {
             fact.push(Tuple::new(vec![Datum::Int(i % dim_rows), Datum::Int(i)]));
@@ -281,7 +287,10 @@ mod tests {
             let rows = execute_collect(&choice.plan, &c, &machine).unwrap();
             counts.push((pred.is_some(), rows.len()));
         }
-        assert_eq!(counts[0].1, 2000, "unfiltered FK join returns every fact row");
+        assert_eq!(
+            counts[0].1, 2000,
+            "unfiltered FK join returns every fact row"
+        );
         assert_eq!(counts[1].1, 50);
     }
 

@@ -16,8 +16,12 @@ const DEFAULT_SEL: f64 = 1.0 / 3.0;
 /// whose inner-path rows are per execution.
 pub fn estimate_rows(plan: &PlanNode, catalog: &Catalog) -> f64 {
     match plan {
-        PlanNode::SeqScan { table, predicate, .. } => {
-            let Ok(t) = catalog.table(table) else { return 0.0 };
+        PlanNode::SeqScan {
+            table, predicate, ..
+        } => {
+            let Ok(t) = catalog.table(table) else {
+                return 0.0;
+            };
             let rows = t.stats().row_count as f64;
             match predicate {
                 None => rows,
@@ -25,8 +29,12 @@ pub fn estimate_rows(plan: &PlanNode, catalog: &Catalog) -> f64 {
             }
         }
         PlanNode::IndexScan { index, mode } => {
-            let Ok(idx) = catalog.index(index) else { return 0.0 };
-            let Ok(t) = catalog.table(&idx.table) else { return 0.0 };
+            let Ok(idx) = catalog.index(index) else {
+                return 0.0;
+            };
+            let Ok(t) = catalog.table(&idx.table) else {
+                return 0.0;
+            };
             match mode {
                 // Per-rescan: a key lookup returns ~1 row (unique keys).
                 crate::plan::IndexMode::LookupParam => 1.0,
@@ -34,17 +42,26 @@ pub fn estimate_rows(plan: &PlanNode, catalog: &Catalog) -> f64 {
                     let rows = t.stats().row_count as f64;
                     let lo_sel = match lo {
                         None => 0.0,
-                        Some(v) => t.stats().estimate_le_selectivity(idx.key_column, &Datum::Int(*v)),
+                        Some(v) => t
+                            .stats()
+                            .estimate_le_selectivity(idx.key_column, &Datum::Int(*v)),
                     };
                     let hi_sel = match hi {
                         None => 1.0,
-                        Some(v) => t.stats().estimate_le_selectivity(idx.key_column, &Datum::Int(*v)),
+                        Some(v) => t
+                            .stats()
+                            .estimate_le_selectivity(idx.key_column, &Datum::Int(*v)),
                     };
                     rows * (hi_sel - lo_sel).max(0.0)
                 }
             }
         }
-        PlanNode::NestLoopJoin { outer, inner, fk_inner, .. } => {
+        PlanNode::NestLoopJoin {
+            outer,
+            inner,
+            fk_inner,
+            ..
+        } => {
             let o = estimate_rows(outer, catalog);
             if *fk_inner {
                 o // one match per outer row
@@ -60,10 +77,10 @@ pub fn estimate_rows(plan: &PlanNode, catalog: &Catalog) -> f64 {
         | PlanNode::Buffer { input, .. }
         | PlanNode::Materialize { input } => estimate_rows(input, catalog),
         PlanNode::Filter { input, .. } => estimate_rows(input, catalog) * DEFAULT_SEL,
-        PlanNode::Limit { input, limit } => {
-            estimate_rows(input, catalog).min(*limit as f64)
-        }
-        PlanNode::Aggregate { input, group_by, .. } => {
+        PlanNode::Limit { input, limit } => estimate_rows(input, catalog).min(*limit as f64),
+        PlanNode::Aggregate {
+            input, group_by, ..
+        } => {
             if group_by.is_empty() {
                 1.0
             } else {
@@ -78,7 +95,9 @@ pub fn estimate_rows(plan: &PlanNode, catalog: &Catalog) -> f64 {
 /// Range comparisons over a column and a literal interpolate linearly; AND
 /// multiplies; OR adds (capped); everything else falls back to the default.
 pub fn predicate_selectivity(pred: &Expr, table: &str, catalog: &Catalog) -> f64 {
-    let Ok(t) = catalog.table(table) else { return DEFAULT_SEL };
+    let Ok(t) = catalog.table(table) else {
+        return DEFAULT_SEL;
+    };
     selectivity_rec(pred, t.stats())
 }
 
@@ -92,9 +111,7 @@ fn selectivity_rec(pred: &Expr, stats: &bufferdb_storage::TableStats) -> f64 {
         Expr::Not(a) => 1.0 - selectivity_rec(a, stats),
         Expr::Cmp { op, left, right } => match (&**left, &**right) {
             (Expr::Column(c), Expr::Literal(v)) => column_cmp_selectivity(*op, *c, v, stats),
-            (Expr::Literal(v), Expr::Column(c)) => {
-                column_cmp_selectivity(flip(*op), *c, v, stats)
-            }
+            (Expr::Literal(v), Expr::Column(c)) => column_cmp_selectivity(flip(*op), *c, v, stats),
             _ => DEFAULT_SEL,
         },
         _ => DEFAULT_SEL,
@@ -135,7 +152,8 @@ fn column_cmp_selectivity(
 /// Whether the aggregate list contains expensive computed aggregates — used
 /// by `explain` annotations only.
 pub fn has_computed_aggs(aggs: &[crate::plan::AggSpec]) -> bool {
-    aggs.iter().any(|a| matches!(a.func, AggFunc::Sum | AggFunc::Avg))
+    aggs.iter()
+        .any(|a| matches!(a.func, AggFunc::Sum | AggFunc::Avg))
 }
 
 #[cfg(test)]
@@ -147,10 +165,7 @@ mod tests {
 
     fn catalog(n: i64) -> Catalog {
         let c = Catalog::new();
-        let mut b = TableBuilder::new(
-            "t",
-            Schema::new(vec![Field::new("k", DataType::Int)]),
-        );
+        let mut b = TableBuilder::new("t", Schema::new(vec![Field::new("k", DataType::Int)]));
         for i in 0..n {
             b.push(Tuple::new(vec![Datum::Int(i)]));
         }
@@ -159,7 +174,11 @@ mod tests {
     }
 
     fn scan_with(pred: Option<Expr>) -> PlanNode {
-        PlanNode::SeqScan { table: "t".into(), predicate: pred, projection: None }
+        PlanNode::SeqScan {
+            table: "t".into(),
+            predicate: pred,
+            projection: None,
+        }
     }
 
     #[test]
@@ -212,11 +231,17 @@ mod tests {
             key_column: 0,
             btree,
         });
-        let p = PlanNode::IndexScan { index: "t_pkey".into(), mode: IndexMode::LookupParam };
+        let p = PlanNode::IndexScan {
+            index: "t_pkey".into(),
+            mode: IndexMode::LookupParam,
+        };
         assert_eq!(estimate_rows(&p, &c), 1.0);
         let range = PlanNode::IndexScan {
             index: "t_pkey".into(),
-            mode: IndexMode::Range { lo: None, hi: Some(49) },
+            mode: IndexMode::Range {
+                lo: None,
+                hi: Some(49),
+            },
         };
         let est = estimate_rows(&range, &c);
         assert!(est > 30.0 && est < 70.0, "est {est}");

@@ -13,17 +13,20 @@ pub fn explain(plan: &PlanNode, catalog: &Catalog) -> String {
     out
 }
 
-fn render(node: &PlanNode, catalog: &Catalog, depth: usize, out: &mut String) {
-    let pad = "  ".repeat(depth);
-    let fp = node.op_kind().footprint_bytes();
-    let est = estimate_rows(node, catalog);
-    let label = match node {
-        PlanNode::SeqScan { table, predicate, .. } => match predicate {
+/// The one-line description of a plan node, shared between `explain` and
+/// `explain_analyze` so both render identical tree labels.
+pub fn node_label(node: &PlanNode) -> String {
+    match node {
+        PlanNode::SeqScan {
+            table, predicate, ..
+        } => match predicate {
             Some(p) => format!("SeqScan on {table} filter {p}"),
             None => format!("SeqScan on {table}"),
         },
         PlanNode::IndexScan { index, mode } => match mode {
-            crate::plan::IndexMode::LookupParam => format!("IndexScan using {index} (param lookup)"),
+            crate::plan::IndexMode::LookupParam => {
+                format!("IndexScan using {index} (param lookup)")
+            }
             crate::plan::IndexMode::Range { lo, hi } => {
                 format!("IndexScan using {index} range [{lo:?}, {hi:?}]")
             }
@@ -35,10 +38,18 @@ fn render(node: &PlanNode, catalog: &Catalog, depth: usize, out: &mut String) {
                 None => format!("NestLoopJoin{fk}"),
             }
         }
-        PlanNode::HashJoin { probe_key, build_key, .. } => {
+        PlanNode::HashJoin {
+            probe_key,
+            build_key,
+            ..
+        } => {
             format!("HashJoin probe.${probe_key} = build.${build_key} (build is blocking)")
         }
-        PlanNode::MergeJoin { left_key, right_key, .. } => {
+        PlanNode::MergeJoin {
+            left_key,
+            right_key,
+            ..
+        } => {
             format!("MergeJoin left.${left_key} = right.${right_key}")
         }
         PlanNode::Sort { keys, .. } => format!("Sort by {keys:?} (blocking)"),
@@ -58,8 +69,19 @@ fn render(node: &PlanNode, catalog: &Catalog, depth: usize, out: &mut String) {
         PlanNode::Filter { predicate, .. } => format!("Filter {predicate}"),
         PlanNode::Limit { limit, .. } => format!("Limit {limit}"),
         PlanNode::Materialize { .. } => "Materialize (blocking)".to_string(),
-    };
-    let _ = writeln!(out, "{pad}{label}  [footprint {:.1}K, est_rows {est:.0}]", fp as f64 / 1000.0);
+    }
+}
+
+fn render(node: &PlanNode, catalog: &Catalog, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    let fp = node.op_kind().footprint_bytes();
+    let est = estimate_rows(node, catalog);
+    let label = node_label(node);
+    let _ = writeln!(
+        out,
+        "{pad}{label}  [footprint {:.1}K, est_rows {est:.0}]",
+        fp as f64 / 1000.0
+    );
     for c in node.children() {
         render(c, catalog, depth + 1, out);
     }

@@ -5,6 +5,7 @@
 //! "optimizer" is the plan builder plus table statistics). The refinement
 //! algorithm (§6.2) rewrites a plan by inserting [`PlanNode::Buffer`] nodes.
 
+pub mod analyze;
 pub mod estimate;
 pub mod explain;
 
@@ -44,12 +45,20 @@ pub struct AggSpec {
 impl AggSpec {
     /// `COUNT(*) AS name`.
     pub fn count_star(name: impl Into<String>) -> Self {
-        AggSpec { func: AggFunc::CountStar, input: None, name: name.into() }
+        AggSpec {
+            func: AggFunc::CountStar,
+            input: None,
+            name: name.into(),
+        }
     }
 
     /// `func(expr) AS name`.
     pub fn new(func: AggFunc, input: Expr, name: impl Into<String>) -> Self {
-        AggSpec { func, input: Some(input), name: name.into() }
+        AggSpec {
+            func,
+            input: Some(input),
+            name: name.into(),
+        }
     }
 }
 
@@ -198,9 +207,9 @@ impl PlanNode {
     /// side is accounted separately by the refiner and executor).
     pub fn op_kind(&self) -> OpKind {
         match self {
-            PlanNode::SeqScan { predicate, .. } => {
-                OpKind::SeqScan { with_pred: predicate.is_some() }
-            }
+            PlanNode::SeqScan { predicate, .. } => OpKind::SeqScan {
+                with_pred: predicate.is_some(),
+            },
             PlanNode::IndexScan { .. } => OpKind::IndexScan,
             PlanNode::NestLoopJoin { .. } => OpKind::NestLoop,
             PlanNode::HashJoin { .. } => OpKind::HashProbe,
@@ -225,7 +234,11 @@ impl PlanNode {
     /// Output schema, validated against the catalog.
     pub fn output_schema(&self, catalog: &Catalog) -> Result<SchemaRef> {
         match self {
-            PlanNode::SeqScan { table, projection, predicate } => {
+            PlanNode::SeqScan {
+                table,
+                projection,
+                predicate,
+            } => {
                 let t = catalog.table(table)?;
                 if let Some(p) = predicate {
                     // Validate predicate against the table schema.
@@ -241,7 +254,9 @@ impl PlanNode {
                 let t = catalog.table(&idx.table)?;
                 Ok(t.schema().clone())
             }
-            PlanNode::NestLoopJoin { outer, inner, qual, .. } => {
+            PlanNode::NestLoopJoin {
+                outer, inner, qual, ..
+            } => {
                 let o = outer.output_schema(catalog)?;
                 let i = inner.output_schema(catalog)?;
                 let joined = o.join(&i).into_ref();
@@ -250,14 +265,24 @@ impl PlanNode {
                 }
                 Ok(joined)
             }
-            PlanNode::HashJoin { probe, build, probe_key, build_key } => {
+            PlanNode::HashJoin {
+                probe,
+                build,
+                probe_key,
+                build_key,
+            } => {
                 let p = probe.output_schema(catalog)?;
                 let b = build.output_schema(catalog)?;
                 check_col(&p, *probe_key)?;
                 check_col(&b, *build_key)?;
                 Ok(p.join(&b).into_ref())
             }
-            PlanNode::MergeJoin { left, right, left_key, right_key } => {
+            PlanNode::MergeJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
                 let l = left.output_schema(catalog)?;
                 let r = right.output_schema(catalog)?;
                 check_col(&l, *left_key)?;
@@ -271,7 +296,11 @@ impl PlanNode {
                 }
                 Ok(s)
             }
-            PlanNode::Aggregate { input, group_by, aggs } => {
+            PlanNode::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let s = input.output_schema(catalog)?;
                 let mut fields = Vec::new();
                 for &g in group_by {
@@ -306,13 +335,21 @@ impl PlanNode {
 
     /// Count of plan nodes (diagnostics / tests).
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Number of buffer operators in the tree.
     pub fn buffer_count(&self) -> usize {
         let own = usize::from(matches!(self, PlanNode::Buffer { .. }));
-        own + self.children().iter().map(|c| c.buffer_count()).sum::<usize>()
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.buffer_count())
+            .sum::<usize>()
     }
 }
 
@@ -338,7 +375,12 @@ fn agg_output_type(a: &AggSpec, input: &SchemaRef) -> Result<DataType> {
         AggFunc::Avg => DataType::Float,
         AggFunc::Sum | AggFunc::Min | AggFunc::Max => match &a.input {
             Some(e) => e.data_type(input)?,
-            None => return Err(DbError::InvalidPlan(format!("{:?} needs an argument", a.func))),
+            None => {
+                return Err(DbError::InvalidPlan(format!(
+                    "{:?} needs an argument",
+                    a.func
+                )))
+            }
         },
     })
 }
@@ -369,7 +411,11 @@ mod tests {
     }
 
     fn scan() -> PlanNode {
-        PlanNode::SeqScan { table: "t".into(), predicate: None, projection: None }
+        PlanNode::SeqScan {
+            table: "t".into(),
+            predicate: None,
+            projection: None,
+        }
     }
 
     #[test]
@@ -383,8 +429,15 @@ mod tests {
     #[test]
     fn unknown_table_is_error() {
         let c = catalog();
-        let p = PlanNode::SeqScan { table: "nope".into(), predicate: None, projection: None };
-        assert!(matches!(p.output_schema(&c), Err(DbError::UnknownRelation(_))));
+        let p = PlanNode::SeqScan {
+            table: "nope".into(),
+            predicate: None,
+            projection: None,
+        };
+        assert!(matches!(
+            p.output_schema(&c),
+            Err(DbError::UnknownRelation(_))
+        ));
     }
 
     #[test]
@@ -428,9 +481,15 @@ mod tests {
     #[test]
     fn buffer_passthrough_and_validation() {
         let c = catalog();
-        let p = PlanNode::Buffer { input: Box::new(scan()), size: 100 };
+        let p = PlanNode::Buffer {
+            input: Box::new(scan()),
+            size: 100,
+        };
         assert_eq!(p.output_schema(&c).unwrap().len(), 2);
-        let bad = PlanNode::Buffer { input: Box::new(scan()), size: 0 };
+        let bad = PlanNode::Buffer {
+            input: Box::new(scan()),
+            size: 0,
+        };
         assert!(bad.output_schema(&c).is_err());
         assert_eq!(p.buffer_count(), 1);
         assert_eq!(p.node_count(), 2);
@@ -438,10 +497,16 @@ mod tests {
 
     #[test]
     fn blocking_classification() {
-        let sort = PlanNode::Sort { input: Box::new(scan()), keys: vec![(0, true)] };
+        let sort = PlanNode::Sort {
+            input: Box::new(scan()),
+            keys: vec![(0, true)],
+        };
         assert!(sort.is_blocking());
         assert!(!scan().is_blocking());
-        assert!(PlanNode::Materialize { input: Box::new(scan()) }.is_blocking());
+        assert!(PlanNode::Materialize {
+            input: Box::new(scan())
+        }
+        .is_blocking());
     }
 
     #[test]

@@ -33,7 +33,10 @@ fn template(limit: i64, buffered: bool, buffer_size: usize) -> PlanNode {
         projection: None,
     };
     let input = if buffered {
-        PlanNode::Buffer { input: Box::new(scan), size: buffer_size }
+        PlanNode::Buffer {
+            input: Box::new(scan),
+            size: buffer_size,
+        }
     } else {
         scan
     };
@@ -81,10 +84,10 @@ pub fn calibrate_cardinality_threshold(
     let mut points = Vec::new();
     let mut threshold = None;
     for &n in cardinalities {
-        let (_, plain) =
-            execute_with_stats(&template(n, false, buffer_size), &catalog, cfg).expect("calibration query");
-        let (_, buf) =
-            execute_with_stats(&template(n, true, buffer_size), &catalog, cfg).expect("calibration query");
+        let (_, plain) = execute_with_stats(&template(n, false, buffer_size), &catalog, cfg)
+            .expect("calibration query");
+        let (_, buf) = execute_with_stats(&template(n, true, buffer_size), &catalog, cfg)
+            .expect("calibration query");
         let (ps, bs) = (plain.seconds(), buf.seconds());
         points.push((n as u64, ps, bs));
         if bs < ps && threshold.is_none() {

@@ -77,7 +77,10 @@ impl Refiner<'_> {
     }
 
     fn buffer(&self, plan: PlanNode) -> PlanNode {
-        PlanNode::Buffer { input: Box::new(plan), size: self.cfg.buffer_size }
+        PlanNode::Buffer {
+            input: Box::new(plan),
+            size: self.cfg.buffer_size,
+        }
     }
 
     /// Close out a child group: wrap it in a buffer when the group's output
@@ -98,7 +101,11 @@ impl Refiner<'_> {
                 (node.clone(), Some(vec![node.op_kind()]))
             }
 
-            PlanNode::Aggregate { input, group_by, aggs } => {
+            PlanNode::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let rebuild = |i: PlanNode| PlanNode::Aggregate {
                     input: Box::new(i),
                     group_by: group_by.clone(),
@@ -131,16 +138,32 @@ impl Refiner<'_> {
             PlanNode::Sort { input, keys } => {
                 let (child, child_group) = self.refine(input);
                 let child = self.close_before_blocking(child, child_group, OpKind::Sort);
-                (PlanNode::Sort { input: Box::new(child), keys: keys.clone() }, None)
+                (
+                    PlanNode::Sort {
+                        input: Box::new(child),
+                        keys: keys.clone(),
+                    },
+                    None,
+                )
             }
             PlanNode::Materialize { input } => {
                 let (child, child_group) = self.refine(input);
-                let child =
-                    self.close_before_blocking(child, child_group, OpKind::Materialize);
-                (PlanNode::Materialize { input: Box::new(child) }, None)
+                let child = self.close_before_blocking(child, child_group, OpKind::Materialize);
+                (
+                    PlanNode::Materialize {
+                        input: Box::new(child),
+                    },
+                    None,
+                )
             }
 
-            PlanNode::NestLoopJoin { outer, inner, param_outer_col, qual, fk_inner } => {
+            PlanNode::NestLoopJoin {
+                outer,
+                inner,
+                param_outer_col,
+                qual,
+                fk_inner,
+            } => {
                 let (outer_p, outer_g) = self.refine(outer);
                 let (inner_p, inner_g) = self.refine(inner);
                 // A foreign-key / parameterized inner runs once per outer
@@ -162,14 +185,18 @@ impl Refiner<'_> {
                 self.refine_join_side(node, outer_p, outer_g, rebuild)
             }
 
-            PlanNode::HashJoin { probe, build, probe_key, build_key } => {
+            PlanNode::HashJoin {
+                probe,
+                build,
+                probe_key,
+                build_key,
+            } => {
                 let (probe_p, probe_g) = self.refine(probe);
                 let (build_p, build_g) = self.refine(build);
                 // The blocking build phase interleaves HashBuild code with
                 // the build child per row: close the build group with a
                 // buffer when the pair overflows L1i (Figure 16).
-                let build_p =
-                    self.close_before_blocking(build_p, build_g, OpKind::HashBuild);
+                let build_p = self.close_before_blocking(build_p, build_g, OpKind::HashBuild);
                 let rebuild = |p: PlanNode| PlanNode::HashJoin {
                     probe: Box::new(p),
                     build: Box::new(build_p.clone()),
@@ -179,7 +206,12 @@ impl Refiner<'_> {
                 self.refine_join_side(node, probe_p, probe_g, rebuild)
             }
 
-            PlanNode::MergeJoin { left, right, left_key, right_key } => {
+            PlanNode::MergeJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
                 let (left_p, left_g) = self.refine(left);
                 let (right_p, right_g) = self.refine(right);
                 let my_kind = node.op_kind();
@@ -215,7 +247,13 @@ impl Refiner<'_> {
             PlanNode::Buffer { input, size } => {
                 // A hand-placed buffer: keep it, close anything below.
                 let (child, _group) = self.refine(input);
-                (PlanNode::Buffer { input: Box::new(child), size: *size }, None)
+                (
+                    PlanNode::Buffer {
+                        input: Box::new(child),
+                        size: *size,
+                    },
+                    None,
+                )
             }
         }
     }
@@ -352,7 +390,9 @@ mod tests {
         let refined = refine_plan(&plan, &c, &RefineConfig::default());
         assert_eq!(refined.buffer_count(), 1);
         // Buffer sits directly above the scan.
-        let PlanNode::Aggregate { input, .. } = &refined else { panic!() };
+        let PlanNode::Aggregate { input, .. } = &refined else {
+            panic!()
+        };
         assert!(matches!(**input, PlanNode::Buffer { .. }));
     }
 
@@ -381,7 +421,10 @@ mod tests {
         let c = catalog();
         // Selective predicate: quantity <= 0 matches ~1/50 of rows… use an
         // impossible one via threshold instead: crank the threshold up.
-        let cfg = RefineConfig { cardinality_threshold: 1e12, ..Default::default() };
+        let cfg = RefineConfig {
+            cardinality_threshold: 1e12,
+            ..Default::default()
+        };
         let plan = PlanNode::Aggregate {
             input: Box::new(scan(true)),
             group_by: vec![],
@@ -412,12 +455,20 @@ mod tests {
         };
         let refined = refine_plan(&plan, &c, &RefineConfig::default());
         assert_eq!(refined.buffer_count(), 1);
-        let PlanNode::Aggregate { input, .. } = &refined else { panic!() };
+        let PlanNode::Aggregate { input, .. } = &refined else {
+            panic!()
+        };
         let PlanNode::NestLoopJoin { outer, inner, .. } = &**input else {
             panic!("agg must merge with the join group, not buffer it: {refined:?}")
         };
-        assert!(matches!(**outer, PlanNode::Buffer { .. }), "outer scan buffered");
-        assert!(matches!(**inner, PlanNode::IndexScan { .. }), "inner not buffered");
+        assert!(
+            matches!(**outer, PlanNode::Buffer { .. }),
+            "outer scan buffered"
+        );
+        assert!(
+            matches!(**inner, PlanNode::IndexScan { .. }),
+            "inner not buffered"
+        );
     }
 
     #[test]
@@ -440,8 +491,12 @@ mod tests {
         };
         let refined = refine_plan(&plan, &c, &RefineConfig::default());
         assert_eq!(refined.buffer_count(), 2, "{refined:#?}");
-        let PlanNode::Aggregate { input, .. } = &refined else { panic!() };
-        let PlanNode::HashJoin { probe, build, .. } = &**input else { panic!() };
+        let PlanNode::Aggregate { input, .. } = &refined else {
+            panic!()
+        };
+        let PlanNode::HashJoin { probe, build, .. } = &**input else {
+            panic!()
+        };
         assert!(matches!(**probe, PlanNode::Buffer { .. }));
         assert!(matches!(**build, PlanNode::Buffer { .. }));
     }
@@ -470,34 +525,54 @@ mod tests {
         };
         let refined = refine_plan(&plan, &c, &RefineConfig::default());
         assert_eq!(refined.buffer_count(), 2, "{refined:#?}");
-        let PlanNode::Aggregate { input, .. } = &refined else { panic!() };
+        let PlanNode::Aggregate { input, .. } = &refined else {
+            panic!()
+        };
         let PlanNode::MergeJoin { left, right, .. } = &**input else {
             panic!("no buffer above merge join (agg merges): {refined:#?}")
         };
-        let PlanNode::Sort { input: sort_in, .. } = &**left else { panic!() };
-        assert!(matches!(**sort_in, PlanNode::Buffer { .. }), "buffer below sort");
-        assert!(matches!(**right, PlanNode::Buffer { .. }), "buffer above index scan");
+        let PlanNode::Sort { input: sort_in, .. } = &**left else {
+            panic!()
+        };
+        assert!(
+            matches!(**sort_in, PlanNode::Buffer { .. }),
+            "buffer below sort"
+        );
+        assert!(
+            matches!(**right, PlanNode::Buffer { .. }),
+            "buffer above index scan"
+        );
     }
 
     #[test]
     fn refined_plan_uses_configured_buffer_size() {
         let c = catalog();
-        let cfg = RefineConfig { buffer_size: 777, ..Default::default() };
+        let cfg = RefineConfig {
+            buffer_size: 777,
+            ..Default::default()
+        };
         let plan = PlanNode::Aggregate {
             input: Box::new(scan(true)),
             group_by: vec![],
             aggs: agg_q1(),
         };
         let refined = refine_plan(&plan, &c, &cfg);
-        let PlanNode::Aggregate { input, .. } = &refined else { panic!() };
-        let PlanNode::Buffer { size, .. } = &**input else { panic!() };
+        let PlanNode::Aggregate { input, .. } = &refined else {
+            panic!()
+        };
+        let PlanNode::Buffer { size, .. } = &**input else {
+            panic!()
+        };
         assert_eq!(*size, 777);
     }
 
     #[test]
     fn hand_placed_buffers_are_preserved() {
         let c = catalog();
-        let plan = PlanNode::Buffer { input: Box::new(scan(true)), size: 64 };
+        let plan = PlanNode::Buffer {
+            input: Box::new(scan(true)),
+            size: 64,
+        };
         let refined = refine_plan(&plan, &c, &RefineConfig::default());
         assert_eq!(refined.buffer_count(), 1);
     }
@@ -506,7 +581,10 @@ mod tests {
     fn bigger_l1i_removes_the_buffer() {
         // With a 32 KB L1i, Query 1 fits in one group: no buffering needed.
         let c = catalog();
-        let cfg = RefineConfig { l1i_capacity: 32 * 1024, ..Default::default() };
+        let cfg = RefineConfig {
+            l1i_capacity: 32 * 1024,
+            ..Default::default()
+        };
         let plan = PlanNode::Aggregate {
             input: Box::new(scan(true)),
             group_by: vec![],

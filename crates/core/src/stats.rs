@@ -45,7 +45,11 @@ mod tests {
     use bufferdb_cachesim::MachineConfig;
 
     fn stats(l1i_misses: u64) -> ExecStats {
-        let counters = PerfCounters { instructions: 1000, l1i_misses, ..Default::default() };
+        let counters = PerfCounters {
+            instructions: 1000,
+            l1i_misses,
+            ..Default::default()
+        };
         let cfg = MachineConfig::pentium4_like();
         ExecStats {
             rows: 1,

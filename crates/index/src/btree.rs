@@ -53,19 +53,37 @@ impl Default for BTreeIndex {
 impl BTreeIndex {
     /// An empty tree.
     pub fn new() -> Self {
-        let leaf = Node::Leaf(Leaf { keys: Vec::new(), rows: Vec::new(), next: None });
-        BTreeIndex { nodes: vec![leaf], root: 0, len: 0, height: 1 }
+        let leaf = Node::Leaf(Leaf {
+            keys: Vec::new(),
+            rows: Vec::new(),
+            next: None,
+        });
+        BTreeIndex {
+            nodes: vec![leaf],
+            root: 0,
+            len: 0,
+            height: 1,
+        }
     }
 
     /// Bulk-load from `(key, row)` pairs; pairs need not be sorted.
     pub fn bulk_load(mut pairs: Vec<(i64, RowId)>) -> Self {
         pairs.sort_unstable();
-        let mut tree = BTreeIndex { nodes: Vec::new(), root: 0, len: pairs.len(), height: 1 };
+        let mut tree = BTreeIndex {
+            nodes: Vec::new(),
+            root: 0,
+            len: pairs.len(),
+            height: 1,
+        };
 
         // Build the leaf level: chunks of MAX_KEYS, linked in order.
         let mut level: Vec<(i64, usize)> = Vec::new(); // (min key, node id)
         if pairs.is_empty() {
-            tree.nodes.push(Node::Leaf(Leaf { keys: Vec::new(), rows: Vec::new(), next: None }));
+            tree.nodes.push(Node::Leaf(Leaf {
+                keys: Vec::new(),
+                rows: Vec::new(),
+                next: None,
+            }));
             tree.root = 0;
             return tree;
         }
@@ -222,7 +240,9 @@ impl BTreeIndex {
         let mut out = Vec::new();
         let mut leaf_id = self.find_leaf(key);
         loop {
-            let Node::Leaf(leaf) = &self.nodes[leaf_id] else { unreachable!() };
+            let Node::Leaf(leaf) = &self.nodes[leaf_id] else {
+                unreachable!()
+            };
             let start = leaf.keys.partition_point(|&k| k < key);
             for i in start..leaf.keys.len() {
                 if leaf.keys[i] != key {
@@ -240,17 +260,34 @@ impl BTreeIndex {
     /// Iterate `(key, row)` pairs with `lo <= key <= hi`, in key order.
     pub fn range(&self, lo: i64, hi: i64) -> RangeIter<'_> {
         if lo > hi || self.is_empty() {
-            return RangeIter { tree: self, leaf: None, pos: 0, hi };
+            return RangeIter {
+                tree: self,
+                leaf: None,
+                pos: 0,
+                hi,
+            };
         }
         let leaf = self.find_leaf(lo);
-        let Node::Leaf(l) = &self.nodes[leaf] else { unreachable!() };
+        let Node::Leaf(l) = &self.nodes[leaf] else {
+            unreachable!()
+        };
         let pos = l.keys.partition_point(|&k| k < lo);
-        RangeIter { tree: self, leaf: Some(leaf), pos, hi }
+        RangeIter {
+            tree: self,
+            leaf: Some(leaf),
+            pos,
+            hi,
+        }
     }
 
     /// Iterate every `(key, row)` pair in key order.
     pub fn scan_all(&self) -> RangeIter<'_> {
-        RangeIter { tree: self, leaf: Some(self.leftmost_leaf()), pos: 0, hi: i64::MAX }
+        RangeIter {
+            tree: self,
+            leaf: Some(self.leftmost_leaf()),
+            pos: 0,
+            hi: i64::MAX,
+        }
     }
 
     /// The number of comparisons a lookup performs (≈ height × log fan-out);
@@ -269,10 +306,14 @@ impl BTreeIndex {
         let mut leaf_id = Some(self.leftmost_leaf());
         while let Some(id) = leaf_id {
             let Node::Leaf(leaf) = &self.nodes[id] else {
-                return Err(DbError::ExecProtocol("leaf chain hits internal node".into()));
+                return Err(DbError::ExecProtocol(
+                    "leaf chain hits internal node".into(),
+                ));
             };
             if leaf.keys.len() != leaf.rows.len() {
-                return Err(DbError::ExecProtocol("leaf keys/rows length mismatch".into()));
+                return Err(DbError::ExecProtocol(
+                    "leaf keys/rows length mismatch".into(),
+                ));
             }
             for &k in &leaf.keys {
                 if let Some(prev) = last {
@@ -311,7 +352,9 @@ impl Iterator for RangeIter<'_> {
     fn next(&mut self) -> Option<(i64, RowId)> {
         loop {
             let leaf_id = self.leaf?;
-            let Node::Leaf(leaf) = &self.tree.nodes[leaf_id] else { unreachable!() };
+            let Node::Leaf(leaf) = &self.tree.nodes[leaf_id] else {
+                unreachable!()
+            };
             if self.pos < leaf.keys.len() {
                 let k = leaf.keys[self.pos];
                 if k > self.hi {
@@ -331,9 +374,7 @@ impl Iterator for RangeIter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng as _, SeedableRng as _};
+    use bufferdb_types::Rng;
 
     #[test]
     fn empty_tree() {
@@ -396,9 +437,9 @@ mod tests {
 
     #[test]
     fn scan_all_is_sorted_and_complete() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut t = BTreeIndex::new();
-        let mut keys: Vec<i64> = (0..5000).map(|_| rng.gen_range(-1000..1000)).collect();
+        let mut keys: Vec<i64> = (0..5000).map(|_| rng.gen_range(-1000i64..1000)).collect();
         for (i, &k) in keys.iter().enumerate() {
             t.insert(k, i as RowId);
         }
@@ -410,9 +451,10 @@ mod tests {
 
     #[test]
     fn bulk_load_matches_incremental() {
-        let mut rng = StdRng::seed_from_u64(99);
-        let pairs: Vec<(i64, RowId)> =
-            (0..3000).map(|i| (rng.gen_range(0..500), i as RowId)).collect();
+        let mut rng = Rng::seed_from_u64(99);
+        let pairs: Vec<(i64, RowId)> = (0..3000)
+            .map(|i| (rng.gen_range(0i64..500), i as RowId))
+            .collect();
         let bulk = BTreeIndex::bulk_load(pairs.clone());
         let mut incr = BTreeIndex::new();
         for &(k, r) in &pairs {
@@ -444,17 +486,19 @@ mod tests {
         assert!(t.probe_cost() > 0);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        /// The tree agrees with a reference BTreeMap<i64, Vec<RowId>> on
-        /// lookups and ranges, and invariants hold after arbitrary inserts.
-        #[test]
-        fn prop_matches_reference(ops in proptest::collection::vec((-50i64..50, 0u32..1000), 1..400)) {
-            use std::collections::BTreeMap;
+    /// The tree agrees with a reference BTreeMap<i64, Vec<RowId>> on
+    /// lookups and ranges, and invariants hold after arbitrary inserts.
+    #[test]
+    fn matches_reference_over_random_inserts() {
+        use std::collections::BTreeMap;
+        for seed in 0..64u64 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let n = rng.gen_range(1usize..400);
             let mut t = BTreeIndex::new();
             let mut reference: BTreeMap<i64, Vec<RowId>> = BTreeMap::new();
-            for &(k, r) in &ops {
+            for _ in 0..n {
+                let k = rng.gen_range(-50i64..50);
+                let r = rng.gen_range(0u32..1000);
                 t.insert(k, r);
                 reference.entry(k).or_default().push(r);
             }
@@ -464,30 +508,36 @@ mod tests {
                 got.sort_unstable();
                 let mut want = reference.get(&k).cloned().unwrap_or_default();
                 want.sort_unstable();
-                prop_assert_eq!(got, want);
+                assert_eq!(got, want, "seed {seed} key {k}");
             }
-            // Random range agrees too.
-            let lo = -20i64;
-            let hi = 20i64;
+            // A range scan agrees too.
+            let (lo, hi) = (-20i64, 20i64);
             let got: Vec<i64> = t.range(lo, hi).map(|(k, _)| k).collect();
             let want: Vec<i64> = reference
                 .range(lo..=hi)
                 .flat_map(|(&k, rs)| std::iter::repeat_n(k, rs.len()))
                 .collect();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want, "seed {seed}");
         }
+    }
 
-        /// Bulk load over random pairs preserves every entry.
-        #[test]
-        fn prop_bulk_load_complete(pairs in proptest::collection::vec((-100i64..100, 0u32..10_000), 0..500)) {
+    /// Bulk load over random pairs preserves every entry.
+    #[test]
+    fn bulk_load_complete_over_random_pairs() {
+        for seed in 0..64u64 {
+            let mut rng = Rng::seed_from_u64(seed ^ 0xB17E);
+            let n = rng.gen_range(0usize..500);
+            let pairs: Vec<(i64, RowId)> = (0..n)
+                .map(|_| (rng.gen_range(-100i64..100), rng.gen_range(0u32..10_000)))
+                .collect();
             let t = BTreeIndex::bulk_load(pairs.clone());
             t.check_invariants().unwrap();
-            prop_assert_eq!(t.len(), pairs.len());
+            assert_eq!(t.len(), pairs.len());
             let mut scanned: Vec<(i64, RowId)> = t.scan_all().collect();
             let mut want = pairs;
             want.sort_unstable();
             scanned.sort_unstable();
-            prop_assert_eq!(scanned, want);
+            assert_eq!(scanned, want, "seed {seed}");
         }
     }
 }

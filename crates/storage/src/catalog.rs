@@ -3,9 +3,8 @@
 use crate::table::{Table, TableBuilder};
 use bufferdb_index::BTreeIndex;
 use bufferdb_types::{DbError, Result};
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Base of the simulated data address space (code lives far below).
 pub const DATA_BASE: u64 = 0x1_0000_0000;
@@ -49,20 +48,23 @@ impl Catalog {
     pub fn add_table(&self, builder: TableBuilder) -> Arc<Table> {
         // Hold the allocator lock across the build so concurrent callers get
         // disjoint heaps; registration is rare (load time only).
-        let mut next = self.next_addr.write();
+        let mut next = self.next_addr.write().unwrap();
         let base = *next;
         let table = Arc::new(builder.build(base));
         // A 1 MB guard gap separates heaps so streams never blend.
         *next = base + table.heap_bytes() + (1 << 20);
         drop(next);
-        self.tables.write().insert(table.name().to_string(), Arc::clone(&table));
+        self.tables
+            .write()
+            .unwrap()
+            .insert(table.name().to_string(), Arc::clone(&table));
         table
     }
 
     /// Allocate `bytes` of simulated data space (hash tables, sort runs,
     /// buffer arrays). Returns the base address.
     pub fn alloc_data(&self, bytes: u64) -> u64 {
-        let mut next = self.next_addr.write();
+        let mut next = self.next_addr.write().unwrap();
         let base = *next;
         *next = base + bytes.next_multiple_of(64);
         base
@@ -71,7 +73,10 @@ impl Catalog {
     /// Register an index.
     pub fn add_index(&self, def: IndexDef) -> Arc<IndexDef> {
         let arc = Arc::new(def);
-        self.indexes.write().insert(arc.name.clone(), Arc::clone(&arc));
+        self.indexes
+            .write()
+            .unwrap()
+            .insert(arc.name.clone(), Arc::clone(&arc));
         arc
     }
 
@@ -79,6 +84,7 @@ impl Catalog {
     pub fn table(&self, name: &str) -> Result<Arc<Table>> {
         self.tables
             .read()
+            .unwrap()
             .get(name)
             .cloned()
             .ok_or_else(|| DbError::UnknownRelation(name.to_string()))
@@ -88,6 +94,7 @@ impl Catalog {
     pub fn index(&self, name: &str) -> Result<Arc<IndexDef>> {
         self.indexes
             .read()
+            .unwrap()
             .get(name)
             .cloned()
             .ok_or_else(|| DbError::UnknownRelation(name.to_string()))
@@ -95,7 +102,7 @@ impl Catalog {
 
     /// Names of all registered tables (unordered).
     pub fn table_names(&self) -> Vec<String> {
-        self.tables.read().keys().cloned().collect()
+        self.tables.read().unwrap().keys().cloned().collect()
     }
 }
 

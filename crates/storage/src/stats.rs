@@ -28,7 +28,11 @@ impl TableStats {
     /// Compute statistics in one pass over the rows.
     pub fn compute(schema: &SchemaRef, rows: &[Tuple]) -> TableStats {
         let mut columns: Vec<ColumnStats> = (0..schema.len())
-            .map(|_| ColumnStats { min: None, max: None, null_count: 0 })
+            .map(|_| ColumnStats {
+                min: None,
+                max: None,
+                null_count: 0,
+            })
             .collect();
         for row in rows {
             for (c, stats) in columns.iter_mut().enumerate() {
@@ -53,7 +57,10 @@ impl TableStats {
                 }
             }
         }
-        TableStats { row_count: rows.len() as u64, columns }
+        TableStats {
+            row_count: rows.len() as u64,
+            columns,
+        }
     }
 
     /// Estimated selectivity of `col <= bound`, by linear interpolation over
@@ -113,7 +120,12 @@ mod tests {
 
     #[test]
     fn min_max_and_nulls() {
-        let s = table_stats(vec![Datum::Int(5), Datum::Null, Datum::Int(-3), Datum::Int(9)]);
+        let s = table_stats(vec![
+            Datum::Int(5),
+            Datum::Null,
+            Datum::Int(-3),
+            Datum::Int(9),
+        ]);
         assert_eq!(s.row_count, 4);
         assert_eq!(s.columns[0].min, Some(Datum::Int(-3)));
         assert_eq!(s.columns[0].max, Some(Datum::Int(9)));
@@ -134,7 +146,11 @@ mod tests {
         let mk = |s: &str| Datum::Date(Date::parse(s).unwrap());
         let schema = Schema::new(vec![Field::new("d", DataType::Date)]).into_ref();
         let rows: Vec<Tuple> = (0..=1000)
-            .map(|i| Tuple::new(vec![Datum::Date(Date::parse("1992-01-01").unwrap().add_days(i))]))
+            .map(|i| {
+                Tuple::new(vec![Datum::Date(
+                    Date::parse("1992-01-01").unwrap().add_days(i),
+                )])
+            })
             .collect();
         let s = TableStats::compute(&schema, &rows);
         let sel = s.estimate_le_selectivity(0, &mk("1992-01-01"));

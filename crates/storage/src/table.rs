@@ -81,7 +81,11 @@ pub struct TableBuilder {
 impl TableBuilder {
     /// Start a table with the given name and schema.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        TableBuilder { name: name.into(), schema: schema.into_ref(), rows: Vec::new() }
+        TableBuilder {
+            name: name.into(),
+            schema: schema.into_ref(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append one row. Debug-asserts arity (generators are trusted; plans
@@ -121,7 +125,14 @@ impl TableBuilder {
             addr += w as u64;
         }
         let stats = TableStats::compute(&self.schema, &self.rows);
-        Table { name: self.name, schema: self.schema, rows: self.rows, addrs, widths, stats }
+        Table {
+            name: self.name,
+            schema: self.schema,
+            rows: self.rows,
+            addrs,
+            widths,
+            stats,
+        }
     }
 }
 
@@ -140,7 +151,10 @@ mod tests {
     fn build_table(n: i64) -> Table {
         let mut b = TableBuilder::new("t", schema());
         for i in 0..n {
-            b.push(Tuple::new(vec![Datum::Int(i), Datum::str(format!("row{i}"))]));
+            b.push(Tuple::new(vec![
+                Datum::Int(i),
+                Datum::str(format!("row{i}")),
+            ]));
         }
         b.build(0x1000)
     }

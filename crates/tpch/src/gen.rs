@@ -3,9 +3,7 @@
 use crate::text;
 use bufferdb_index::BTreeIndex;
 use bufferdb_storage::{Catalog, IndexDef, TableBuilder};
-use bufferdb_types::{DataType, Date, Datum, Decimal, Field, Schema, Tuple};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use bufferdb_types::{DataType, Date, Datum, Decimal, Field, Rng, Schema, Tuple};
 use std::sync::Arc;
 
 /// Generation parameters.
@@ -33,7 +31,7 @@ fn start_date() -> Date {
 /// Last order date (spec: 1998-08-02).
 const ORDER_DATE_SPAN: i32 = 2405;
 
-fn money(rng: &mut SmallRng, lo_cents: i64, hi_cents: i64) -> Datum {
+fn money(rng: &mut Rng, lo_cents: i64, hi_cents: i64) -> Datum {
     Datum::Decimal(Decimal::from_cents(rng.gen_range(lo_cents..=hi_cents)))
 }
 
@@ -62,15 +60,15 @@ pub fn generate_catalog(scale: f64, seed: u64) -> Catalog {
     let n_orders = cfg.rows(1_500_000);
 
     let (region, nation, supplier, customer, part, partsupp, orders, lineitem) =
-        crossbeam::thread::scope(|s| {
-            let h_region = s.spawn(|_| gen_region());
-            let h_nation = s.spawn(|_| gen_nation());
-            let h_supplier = s.spawn(move |_| gen_supplier(&cfg));
-            let h_customer = s.spawn(move |_| gen_customer(&cfg));
-            let h_part = s.spawn(move |_| gen_part(&cfg));
-            let h_partsupp = s.spawn(move |_| gen_partsupp(&cfg));
-            let h_orders = s.spawn(move |_| gen_orders(&cfg, n_orders));
-            let h_lineitem = s.spawn(move |_| gen_lineitem(&cfg, n_orders));
+        std::thread::scope(|s| {
+            let h_region = s.spawn(gen_region);
+            let h_nation = s.spawn(gen_nation);
+            let h_supplier = s.spawn(move || gen_supplier(&cfg));
+            let h_customer = s.spawn(move || gen_customer(&cfg));
+            let h_part = s.spawn(move || gen_part(&cfg));
+            let h_partsupp = s.spawn(move || gen_partsupp(&cfg));
+            let h_orders = s.spawn(move || gen_orders(&cfg, n_orders));
+            let h_lineitem = s.spawn(move || gen_lineitem(&cfg, n_orders));
             (
                 h_region.join().expect("region gen"),
                 h_nation.join().expect("nation gen"),
@@ -81,8 +79,7 @@ pub fn generate_catalog(scale: f64, seed: u64) -> Catalog {
                 h_orders.join().expect("orders gen"),
                 h_lineitem.join().expect("lineitem gen"),
             )
-        })
-        .expect("generator threads");
+        });
 
     catalog.add_table(region);
     catalog.add_table(nation);
@@ -126,7 +123,7 @@ fn gen_region() -> TableBuilder {
             Field::new("r_comment", DataType::Str),
         ]),
     );
-    let mut rng = SmallRng::seed_from_u64(0xE0);
+    let mut rng = Rng::seed_from_u64(0xE0);
     for (i, name) in text::REGIONS.iter().enumerate() {
         b.push(Tuple::new(vec![
             Datum::Int(i as i64),
@@ -147,7 +144,7 @@ fn gen_nation() -> TableBuilder {
             Field::new("n_comment", DataType::Str),
         ]),
     );
-    let mut rng = SmallRng::seed_from_u64(0xE1);
+    let mut rng = Rng::seed_from_u64(0xE1);
     for (i, (name, region)) in text::NATIONS.iter().enumerate() {
         b.push(Tuple::new(vec![
             Datum::Int(i as i64),
@@ -171,12 +168,12 @@ fn gen_supplier(cfg: &GenConfig) -> TableBuilder {
             Field::new("s_comment", DataType::Str),
         ]),
     );
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x51);
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x51);
     for i in 1..=n {
         b.push(Tuple::new(vec![
             Datum::Int(i),
             Datum::str(format!("Supplier#{i:09}")),
-            Datum::Int(rng.gen_range(0..25)),
+            Datum::Int(rng.gen_range(0i64..25)),
             money(&mut rng, -99_999, 999_999),
             Datum::Str(text::comment(&mut rng)),
         ]));
@@ -197,12 +194,12 @@ fn gen_customer(cfg: &GenConfig) -> TableBuilder {
             Field::new("c_comment", DataType::Str),
         ]),
     );
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xC5);
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xC5);
     for i in 1..=n {
         b.push(Tuple::new(vec![
             Datum::Int(i),
             Datum::str(format!("Customer#{i:09}")),
-            Datum::Int(rng.gen_range(0..25)),
+            Datum::Int(rng.gen_range(0i64..25)),
             money(&mut rng, -99_999, 999_999),
             Datum::Str(text::pick(&mut rng, &text::MKT_SEGMENTS)),
             Datum::Str(text::comment(&mut rng)),
@@ -225,7 +222,7 @@ fn gen_part(cfg: &GenConfig) -> TableBuilder {
             Field::new("p_retailprice", DataType::Decimal),
         ]),
     );
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9A);
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x9A);
     for i in 1..=n {
         let ty = format!(
             "{} {} {}",
@@ -238,9 +235,13 @@ fn gen_part(cfg: &GenConfig) -> TableBuilder {
         b.push(Tuple::new(vec![
             Datum::Int(i),
             Datum::str(format!("part {i}")),
-            Datum::str(format!("Brand#{}{}", rng.gen_range(1..6), rng.gen_range(1..6))),
+            Datum::str(format!(
+                "Brand#{}{}",
+                rng.gen_range(1..6),
+                rng.gen_range(1..6)
+            )),
             Datum::Str(Arc::from(ty)),
-            Datum::Int(rng.gen_range(1..51)),
+            Datum::Int(rng.gen_range(1i64..51)),
             Datum::Str(text::pick(&mut rng, &text::CONTAINERS)),
             Datum::Decimal(Decimal::from_cents(cents)),
         ]));
@@ -260,13 +261,13 @@ fn gen_partsupp(cfg: &GenConfig) -> TableBuilder {
             Field::new("ps_supplycost", DataType::Decimal),
         ]),
     );
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0xB5);
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xB5);
     for p in 1..=parts {
         for s in 0..4 {
             b.push(Tuple::new(vec![
                 Datum::Int(p),
                 Datum::Int((p + s * (suppliers / 4).max(1)) % suppliers + 1),
-                Datum::Int(rng.gen_range(1..10_000)),
+                Datum::Int(rng.gen_range(1i64..10_000)),
                 money(&mut rng, 100, 100_000),
             ]));
         }
@@ -289,7 +290,7 @@ fn gen_orders(cfg: &GenConfig, n_orders: i64) -> TableBuilder {
             Field::new("o_comment", DataType::Str),
         ]),
     );
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x0D);
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x0D);
     let start = start_date();
     for i in 1..=n_orders {
         let date = order_date(cfg, i);
@@ -337,14 +338,14 @@ fn gen_lineitem(cfg: &GenConfig, n_orders: i64) -> TableBuilder {
             Field::new("l_comment", DataType::Str),
         ]),
     );
-    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x11);
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x11);
     let currentdate = Date::from_ymd(1995, 6, 17).expect("static date");
     for order in 1..=n_orders {
         // The hash-derived order date matches gen_orders exactly.
         let order_date = order_date(cfg, order);
-        let lines = rng.gen_range(1..=7);
+        let lines = rng.gen_range(1i64..=7);
         for line in 1..=lines {
-            let quantity = rng.gen_range(1..=50);
+            let quantity = rng.gen_range(1i64..=50);
             let partkey = rng.gen_range(1..=parts);
             let price_cents = 90_000 + (partkey % 200_001) / 10 + 100 * (partkey % 1000);
             let ext_cents = quantity * price_cents;
@@ -363,8 +364,8 @@ fn gen_lineitem(cfg: &GenConfig, n_orders: i64) -> TableBuilder {
                 Datum::Int(line),
                 Datum::Decimal(Decimal::from_cents(quantity * 100)),
                 Datum::Decimal(Decimal::from_cents(ext_cents)),
-                Datum::Decimal(Decimal::from_mantissa(rng.gen_range(0..=10), 2)),
-                Datum::Decimal(Decimal::from_mantissa(rng.gen_range(0..=8), 2)),
+                Datum::Decimal(Decimal::from_mantissa(rng.gen_range(0i64..=10) as i128, 2)),
+                Datum::Decimal(Decimal::from_mantissa(rng.gen_range(0i64..=8) as i128, 2)),
                 Datum::str(flag),
                 Datum::str(status),
                 Datum::Date(ship),

@@ -19,7 +19,9 @@ fn date_lit(s: &str) -> Expr {
 }
 
 fn dec_lit(s: &str) -> Expr {
-    Expr::lit(Datum::Decimal(Decimal::parse(s).expect("static decimal literal")))
+    Expr::lit(Datum::Decimal(
+        Decimal::parse(s).expect("static decimal literal"),
+    ))
 }
 
 fn one() -> Expr {
@@ -170,14 +172,14 @@ pub fn tpch_q1(catalog: &Catalog) -> Result<PlanNode> {
     let tax = col(catalog, "lineitem", "l_tax")?;
     let charge = disc_price(price, disc).mul(one().add(Expr::col(tax)));
     // DATE '1998-12-01' - INTERVAL '90' DAY.
-    let cutoff = Date::parse("1998-12-01").expect("static date").add_days(-90);
+    let cutoff = Date::parse("1998-12-01")
+        .expect("static date")
+        .add_days(-90);
     Ok(PlanNode::Sort {
         input: Box::new(PlanNode::Aggregate {
             input: Box::new(PlanNode::SeqScan {
                 table: "lineitem".into(),
-                predicate: Some(
-                    Expr::col(ship).le(Expr::lit(Datum::Date(cutoff))),
-                ),
+                predicate: Some(Expr::col(ship).le(Expr::lit(Datum::Date(cutoff)))),
                 projection: None,
             }),
             group_by: vec![flag, status],
@@ -342,7 +344,11 @@ mod tests {
         assert!(count > 0);
         let q2 = paper_query2(&c).unwrap();
         let rows2 = execute_collect(&q2, &c, &cfg).unwrap();
-        assert_eq!(rows2[0].get(0).as_int().unwrap(), count, "Q1/Q2 count agree");
+        assert_eq!(
+            rows2[0].get(0).as_int().unwrap(),
+            count,
+            "Q1/Q2 count agree"
+        );
     }
 
     #[test]
@@ -350,7 +356,11 @@ mod tests {
         let c = small();
         let cfg = MachineConfig::pentium4_like();
         let mut results = Vec::new();
-        for m in [JoinMethod::NestLoop, JoinMethod::HashJoin, JoinMethod::MergeJoin] {
+        for m in [
+            JoinMethod::NestLoop,
+            JoinMethod::HashJoin,
+            JoinMethod::MergeJoin,
+        ] {
             let plan = paper_query3(&c, m).unwrap();
             let rows = execute_collect(&plan, &c, &cfg).unwrap();
             assert_eq!(rows.len(), 1);
@@ -364,7 +374,11 @@ mod tests {
     fn query3_refined_matches_original() {
         let c = small();
         let cfg = MachineConfig::pentium4_like();
-        for m in [JoinMethod::NestLoop, JoinMethod::HashJoin, JoinMethod::MergeJoin] {
+        for m in [
+            JoinMethod::NestLoop,
+            JoinMethod::HashJoin,
+            JoinMethod::MergeJoin,
+        ] {
             let plan = paper_query3(&c, m).unwrap();
             let refined = refine_plan(&plan, &c, &RefineConfig::default());
             let a = execute_collect(&plan, &c, &cfg).unwrap();
@@ -414,7 +428,9 @@ mod tests {
             {
                 matched += 1;
                 let price = row.get(5).as_decimal().unwrap();
-                want = want.checked_add(&price.checked_mul(&disc).unwrap()).unwrap();
+                want = want
+                    .checked_add(&price.checked_mul(&disc).unwrap())
+                    .unwrap();
             }
         }
         assert!(matched > 0, "test data must match some rows");
@@ -461,7 +477,10 @@ mod tests {
             let a = execute_collect(&plan, &c, &cfg).unwrap();
             let b = execute_collect(&refined, &c, &cfg).unwrap();
             let fmt = |rows: &[bufferdb_types::Tuple]| {
-                rows.iter().map(|t| t.to_string()).collect::<Vec<_>>().join("\n")
+                rows.iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
             };
             assert_eq!(fmt(&a), fmt(&b), "{name}");
         }

@@ -1,24 +1,31 @@
 //! Small deterministic text pools for TPC-H string columns.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use bufferdb_types::Rng;
 use std::sync::Arc;
 
 /// TPC-H ship modes.
-pub const SHIP_MODES: [&str; 7] =
-    ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 /// TPC-H ship instructions.
-pub const SHIP_INSTRUCT: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const SHIP_INSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// TPC-H order priorities.
 pub const ORDER_PRIORITIES: [&str; 5] =
     ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// TPC-H market segments.
-pub const MKT_SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const MKT_SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// Part type syllables (the spec's three-syllable types).
 pub const TYPE_S1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
@@ -29,7 +36,14 @@ pub const TYPE_S3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 
 /// Part containers.
 pub const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR",
+    "SM CASE",
+    "SM BOX",
+    "MED BAG",
+    "MED BOX",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PACK",
+    "WRAP JAR",
 ];
 
 /// The 25 TPC-H nations (name, region).
@@ -65,12 +79,26 @@ pub const NATIONS: [(&str, usize); 25] = [
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
 const WORDS: [&str; 16] = [
-    "furiously", "quickly", "slyly", "carefully", "blithely", "deposits", "requests", "accounts",
-    "packages", "foxes", "pearls", "ideas", "theodolites", "platelets", "instructions", "excuses",
+    "furiously",
+    "quickly",
+    "slyly",
+    "carefully",
+    "blithely",
+    "deposits",
+    "requests",
+    "accounts",
+    "packages",
+    "foxes",
+    "pearls",
+    "ideas",
+    "theodolites",
+    "platelets",
+    "instructions",
+    "excuses",
 ];
 
 /// A short pseudo-random comment string.
-pub fn comment(rng: &mut SmallRng) -> Arc<str> {
+pub fn comment(rng: &mut Rng) -> Arc<str> {
     let n = rng.gen_range(2..5);
     let mut s = String::new();
     for i in 0..n {
@@ -83,19 +111,18 @@ pub fn comment(rng: &mut SmallRng) -> Arc<str> {
 }
 
 /// Pick uniformly from a static pool, returning a cheap shared string.
-pub fn pick(rng: &mut SmallRng, pool: &[&str]) -> Arc<str> {
+pub fn pick(rng: &mut Rng, pool: &[&str]) -> Arc<str> {
     Arc::from(pool[rng.gen_range(0..pool.len())])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn comment_is_deterministic_per_seed() {
-        let a = comment(&mut SmallRng::seed_from_u64(1));
-        let b = comment(&mut SmallRng::seed_from_u64(1));
+        let a = comment(&mut Rng::seed_from_u64(1));
+        let b = comment(&mut Rng::seed_from_u64(1));
         assert_eq!(a, b);
     }
 

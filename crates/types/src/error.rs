@@ -58,9 +58,6 @@ mod tests {
     #[test]
     fn errors_are_comparable() {
         assert_eq!(DbError::DivideByZero, DbError::DivideByZero);
-        assert_ne!(
-            DbError::Overflow("a".into()),
-            DbError::Overflow("b".into())
-        );
+        assert_ne!(DbError::Overflow("a".into()), DbError::Overflow("b".into()));
     }
 }

@@ -10,6 +10,7 @@ pub mod date;
 pub mod decimal;
 pub mod error;
 pub mod ops;
+pub mod rng;
 pub mod schema;
 pub mod tuple;
 pub mod value;
@@ -17,6 +18,7 @@ pub mod value;
 pub use date::Date;
 pub use decimal::Decimal;
 pub use error::{DbError, Result};
+pub use rng::Rng;
 pub use schema::{DataType, Field, Schema, SchemaRef};
 pub use tuple::Tuple;
 pub use value::Datum;

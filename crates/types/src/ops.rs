@@ -81,10 +81,7 @@ pub fn sort_compare(a: &Datum, b: &Datum) -> Ordering {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
         (false, true) => Ordering::Less,
-        (false, false) => compare(a, b)
-            .ok()
-            .flatten()
-            .unwrap_or(Ordering::Equal),
+        (false, false) => compare(a, b).ok().flatten().unwrap_or(Ordering::Equal),
     }
 }
 
@@ -204,7 +201,6 @@ pub fn not3(a: Option<bool>) -> Option<bool> {
 mod tests {
     use super::*;
     use crate::{Date, Decimal};
-    use proptest::prelude::*;
 
     fn dec(s: &str) -> Datum {
         Datum::Decimal(Decimal::parse(s).unwrap())
@@ -252,7 +248,10 @@ mod tests {
                 _ => unreachable!(),
             }
         );
-        assert_eq!(mul(&Datum::Int(2), &Datum::Float(1.5)).unwrap().as_float(), Some(3.0));
+        assert_eq!(
+            mul(&Datum::Int(2), &Datum::Float(1.5)).unwrap().as_float(),
+            Some(3.0)
+        );
     }
 
     #[test]
@@ -263,7 +262,10 @@ mod tests {
 
     #[test]
     fn integer_divide_by_zero() {
-        assert_eq!(div(&Datum::Int(1), &Datum::Int(0)), Err(DbError::DivideByZero));
+        assert_eq!(
+            div(&Datum::Int(1), &Datum::Int(0)),
+            Err(DbError::DivideByZero)
+        );
     }
 
     #[test]
@@ -295,28 +297,39 @@ mod tests {
         assert_eq!(sort_compare(&Datum::Int(1), &Datum::Int(2)), Less);
     }
 
-    proptest! {
-        #[test]
-        fn prop_compare_antisymmetric(a in -1000i64..1000, b in -1000i64..1000) {
+    #[test]
+    fn compare_is_antisymmetric() {
+        let mut rng = crate::Rng::seed_from_u64(0xC0);
+        for _ in 0..256 {
+            let a = rng.gen_range(-1000i64..1000);
+            let b = rng.gen_range(-1000i64..1000);
             let x = Datum::Int(a);
             let y = Datum::Int(b);
             let ab = compare(&x, &y).unwrap().unwrap();
             let ba = compare(&y, &x).unwrap().unwrap();
-            prop_assert_eq!(ab, ba.reverse());
+            assert_eq!(ab, ba.reverse(), "a={a} b={b}");
         }
+    }
 
-        #[test]
-        fn prop_and3_commutes(a in proptest::option::of(any::<bool>()),
-                              b in proptest::option::of(any::<bool>())) {
-            prop_assert_eq!(and3(a, b), and3(b, a));
-            prop_assert_eq!(or3(a, b), or3(b, a));
-        }
-
-        #[test]
-        fn prop_de_morgan(a in proptest::option::of(any::<bool>()),
-                          b in proptest::option::of(any::<bool>())) {
-            prop_assert_eq!(not3(and3(a, b)), or3(not3(a), not3(b)));
-            prop_assert_eq!(not3(or3(a, b)), and3(not3(a), not3(b)));
+    /// The full 3×3 truth table: AND/OR commute and De Morgan holds.
+    #[test]
+    fn three_valued_logic_laws_exhaustive() {
+        let vals = [Some(true), Some(false), None];
+        for a in vals {
+            for b in vals {
+                assert_eq!(and3(a, b), and3(b, a), "AND commutes at ({a:?}, {b:?})");
+                assert_eq!(or3(a, b), or3(b, a), "OR commutes at ({a:?}, {b:?})");
+                assert_eq!(
+                    not3(and3(a, b)),
+                    or3(not3(a), not3(b)),
+                    "De Morgan ∧ ({a:?}, {b:?})"
+                );
+                assert_eq!(
+                    not3(or3(a, b)),
+                    and3(not3(a), not3(b)),
+                    "De Morgan ∨ ({a:?}, {b:?})"
+                );
+            }
         }
     }
 }

@@ -1,0 +1,143 @@
+//! A small deterministic PRNG (SplitMix64) used by the TPC-H generator and
+//! the randomized tests.
+//!
+//! The crates.io `rand` crate is deliberately not a dependency: the simulator
+//! only needs a reproducible uniform stream, and an in-tree generator keeps
+//! the workspace building offline. SplitMix64 passes BigCrush for this use
+//! and is seed-stable across platforms, so generated TPC-H data is
+//! byte-identical for a given `(scale, seed)` everywhere.
+
+/// Deterministic pseudo-random generator with a `rand`-like surface
+/// (`seed_from_u64`, `gen_range`, `gen_bool`).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Construct from a 64-bit seed. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit value (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Uniform integer drawn from a half-open (`lo..hi`) or inclusive
+    /// (`lo..=hi`) range. The modulo bias is below 2^-40 for every range the
+    /// workspace uses and is irrelevant for test/generator purposes.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        let (lo, hi) = range.bounds();
+        assert!(lo <= hi, "gen_range over an empty range");
+        let span = (hi - lo) as u128 + 1;
+        let v = lo + (self.next_u64() as u128 % span) as i128;
+        R::from_i128(v)
+    }
+}
+
+/// Integer ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled integer type.
+    type Output;
+    /// Inclusive `(lo, hi)` bounds widened to `i128`.
+    fn bounds(&self) -> (i128, i128);
+    /// Narrow a sampled value back to the output type.
+    fn from_i128(v: i128) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn bounds(&self) -> (i128, i128) {
+                (self.start as i128, self.end as i128 - 1)
+            }
+            fn from_i128(v: i128) -> $t {
+                v as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn bounds(&self) -> (i128, i128) {
+                (*self.start() as i128, *self.end() as i128)
+            }
+            fn from_i128(v: i128) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i32, i64, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut r = Rng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = r.gen_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values hit: {seen:?}");
+        for _ in 0..200 {
+            let v = r.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&v));
+        }
+        // Single-value ranges are fine.
+        assert_eq!(r.gen_range(9i32..=9), 9);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = Rng::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

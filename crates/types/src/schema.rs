@@ -49,12 +49,20 @@ pub struct Field {
 impl Field {
     /// A non-nullable field.
     pub fn new(name: impl Into<String>, ty: DataType) -> Self {
-        Field { name: name.into(), ty, nullable: false }
+        Field {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
     }
 
     /// A nullable field.
     pub fn nullable(name: impl Into<String>, ty: DataType) -> Self {
-        Field { name: name.into(), ty, nullable: true }
+        Field {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
     }
 }
 

@@ -14,7 +14,9 @@ pub struct Tuple {
 impl Tuple {
     /// Build a tuple from values.
     pub fn new(values: Vec<Datum>) -> Self {
-        Tuple { values: values.into_boxed_slice() }
+        Tuple {
+            values: values.into_boxed_slice(),
+        }
     }
 
     /// The values, in schema order.
@@ -44,7 +46,11 @@ impl Tuple {
     /// Approximate in-memory size in bytes (header + payloads); drives the
     /// simulated-address layout of tuple slots in the data-cache model.
     pub fn simulated_width(&self) -> usize {
-        16 + self.values.iter().map(Datum::simulated_width).sum::<usize>()
+        16 + self
+            .values
+            .iter()
+            .map(Datum::simulated_width)
+            .sum::<usize>()
     }
 }
 

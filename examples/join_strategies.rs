@@ -22,7 +22,11 @@ fn main() -> Result<()> {
     let refine_cfg = RefineConfig::default();
 
     let mut answers = Vec::new();
-    for method in [JoinMethod::NestLoop, JoinMethod::HashJoin, JoinMethod::MergeJoin] {
+    for method in [
+        JoinMethod::NestLoop,
+        JoinMethod::HashJoin,
+        JoinMethod::MergeJoin,
+    ] {
         let plan = tpch::queries::paper_query3(&catalog, method)?;
         let refined = refine_plan(&plan, &catalog, &refine_cfg);
         let (rows, original) = execute_with_stats(&plan, &catalog, &machine)?;
@@ -40,8 +44,10 @@ fn main() -> Result<()> {
             100.0 * buffered.improvement_over(&original),
             original.counters.l1i_misses,
             buffered.counters.l1i_misses,
-            100.0 * (1.0 - buffered.counters.l1i_misses as f64
-                / original.counters.l1i_misses.max(1) as f64),
+            100.0
+                * (1.0
+                    - buffered.counters.l1i_misses as f64
+                        / original.counters.l1i_misses.max(1) as f64),
             original.counters.mispredictions,
             buffered.counters.mispredictions,
         );
@@ -49,7 +55,10 @@ fn main() -> Result<()> {
     }
 
     // All three methods are the same query: answers must agree.
-    assert!(answers.windows(2).all(|w| w[0] == w[1]), "join methods disagree");
+    assert!(
+        answers.windows(2).all(|w| w[0] == w[1]),
+        "join methods disagree"
+    );
     println!("all join methods return: {}", answers[0]);
     Ok(())
 }

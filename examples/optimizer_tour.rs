@@ -23,11 +23,9 @@ fn main() -> Result<()> {
     for (cutoff, label) in cutoffs {
         let query = JoinQuery {
             outer_table: "lineitem".into(),
-            outer_predicate: Some(
-                Expr::col(l_ship).le(Expr::lit(bufferdb::types::Datum::Date(
-                    Date::parse(cutoff).expect("date"),
-                ))),
-            ),
+            outer_predicate: Some(Expr::col(l_ship).le(Expr::lit(bufferdb::types::Datum::Date(
+                Date::parse(cutoff).expect("date"),
+            )))),
             outer_key: 0,
             inner_table: "orders".into(),
             inner_key: 0,
@@ -35,7 +33,10 @@ fn main() -> Result<()> {
         };
         let choice = choose_join_plan(&query, &catalog, &JoinCostModel::default())?;
         println!("== shipdate <= {cutoff} ({label}) ==");
-        println!("optimizer picks: {} (cost {:.0})", choice.method, choice.cost);
+        println!(
+            "optimizer picks: {} (cost {:.0})",
+            choice.method, choice.cost
+        );
         let refined = refine_plan(&choice.plan, &catalog, &RefineConfig::default());
         println!("{}", explain(&refined, &catalog));
         let (rows, stats) = execute_with_stats(&refined, &catalog, &machine)?;

@@ -33,7 +33,9 @@ fn main() -> Result<()> {
     println!(
         "buffering improvement: {:+.1}% modeled time, {:.0}% fewer L1i misses",
         100.0 * buffered.improvement_over(&original),
-        100.0 * (1.0 - buffered.counters.l1i_misses as f64 / original.counters.l1i_misses.max(1) as f64)
+        100.0
+            * (1.0
+                - buffered.counters.l1i_misses as f64 / original.counters.l1i_misses.max(1) as f64)
     );
     Ok(())
 }

@@ -54,7 +54,11 @@ fn main() -> Result<()> {
     //    instruction cache, so a buffer operator is inserted.
     let refined = refine_plan(&plan, &catalog, &RefineConfig::default());
     let (rows2, buffered) = execute_with_stats(&refined, &catalog, &machine)?;
-    assert_eq!(format!("{}", rows[0]), format!("{}", rows2[0]), "same answer");
+    assert_eq!(
+        format!("{}", rows[0]),
+        format!("{}", rows2[0]),
+        "same answer"
+    );
     println!("refined plan:\n{}", explain(&refined, &catalog));
     println!("{}", buffered.breakdown);
 

@@ -40,5 +40,7 @@ pub mod prelude {
     pub use bufferdb_core::plan::{AggFunc, PlanNode};
     pub use bufferdb_core::refine::{refine_plan, RefineConfig};
     pub use bufferdb_storage::{Catalog, Table};
-    pub use bufferdb_types::{DataType, Date, Datum, DbError, Decimal, Field, Result, Schema, Tuple};
+    pub use bufferdb_types::{
+        DataType, Date, Datum, DbError, Decimal, Field, Result, Schema, Tuple,
+    };
 }

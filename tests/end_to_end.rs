@@ -10,7 +10,10 @@ use bufferdb::tpch::{self, queries, queries::JoinMethod};
 use bufferdb::types::{Decimal, Tuple};
 
 fn rows_to_string(rows: &[Tuple]) -> String {
-    rows.iter().map(|t| t.to_string()).collect::<Vec<_>>().join("\n")
+    rows.iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 #[test]
@@ -58,9 +61,18 @@ fn refinement_preserves_results_for_every_paper_query() {
     let plans = vec![
         ("paper q1", queries::paper_query1(&catalog).unwrap()),
         ("paper q2", queries::paper_query2(&catalog).unwrap()),
-        ("paper q3 nl", queries::paper_query3(&catalog, JoinMethod::NestLoop).unwrap()),
-        ("paper q3 hj", queries::paper_query3(&catalog, JoinMethod::HashJoin).unwrap()),
-        ("paper q3 mj", queries::paper_query3(&catalog, JoinMethod::MergeJoin).unwrap()),
+        (
+            "paper q3 nl",
+            queries::paper_query3(&catalog, JoinMethod::NestLoop).unwrap(),
+        ),
+        (
+            "paper q3 hj",
+            queries::paper_query3(&catalog, JoinMethod::HashJoin).unwrap(),
+        ),
+        (
+            "paper q3 mj",
+            queries::paper_query3(&catalog, JoinMethod::MergeJoin).unwrap(),
+        ),
         ("tpch q1", queries::tpch_q1(&catalog).unwrap()),
         ("tpch q6", queries::tpch_q6(&catalog).unwrap()),
         ("tpch q12", queries::tpch_q12(&catalog).unwrap()),
@@ -87,7 +99,11 @@ fn join_methods_agree_with_reference_join() {
         .iter()
         .filter(|r| r.get(10).as_date().unwrap() <= cutoff)
         .count() as i64;
-    for m in [JoinMethod::NestLoop, JoinMethod::HashJoin, JoinMethod::MergeJoin] {
+    for m in [
+        JoinMethod::NestLoop,
+        JoinMethod::HashJoin,
+        JoinMethod::MergeJoin,
+    ] {
         let plan = queries::paper_query3(&catalog, m).unwrap();
         let rows = execute_collect(&plan, &catalog, &machine).unwrap();
         assert_eq!(rows[0].get(1).as_int().unwrap(), expected, "{m:?} count");
@@ -121,12 +137,30 @@ fn buffer_everywhere_is_still_correct() {
     let machine = MachineConfig::pentium4_like();
     let plan = queries::paper_query3(&catalog, JoinMethod::HashJoin).unwrap();
     // Stack buffers of several sizes above the probe scan.
-    let PlanNode::Aggregate { input, group_by, aggs } = plan.clone() else { panic!() };
-    let PlanNode::HashJoin { probe, build, probe_key, build_key } = *input else { panic!() };
+    let PlanNode::Aggregate {
+        input,
+        group_by,
+        aggs,
+    } = plan.clone()
+    else {
+        panic!()
+    };
+    let PlanNode::HashJoin {
+        probe,
+        build,
+        probe_key,
+        build_key,
+    } = *input
+    else {
+        panic!()
+    };
     let stacked = PlanNode::Aggregate {
         input: Box::new(PlanNode::HashJoin {
             probe: Box::new(PlanNode::Buffer {
-                input: Box::new(PlanNode::Buffer { input: probe, size: 7 }),
+                input: Box::new(PlanNode::Buffer {
+                    input: probe,
+                    size: 7,
+                }),
                 size: 64,
             }),
             build,

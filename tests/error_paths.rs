@@ -31,12 +31,19 @@ fn machine() -> MachineConfig {
 #[test]
 fn unknown_table_and_index() {
     let c = catalog();
-    let plan = PlanNode::SeqScan { table: "missing".into(), predicate: None, projection: None };
+    let plan = PlanNode::SeqScan {
+        table: "missing".into(),
+        predicate: None,
+        projection: None,
+    };
     assert!(matches!(
         execute_collect(&plan, &c, &machine()),
         Err(DbError::UnknownRelation(_))
     ));
-    let ix = PlanNode::IndexScan { index: "missing".into(), mode: IndexMode::LookupParam };
+    let ix = PlanNode::IndexScan {
+        index: "missing".into(),
+        mode: IndexMode::LookupParam,
+    };
     assert!(matches!(
         execute_collect(&ix, &c, &machine()),
         Err(DbError::UnknownRelation(_))
@@ -56,7 +63,11 @@ fn out_of_range_columns_are_rejected_at_build() {
         Err(DbError::UnknownColumn(_))
     ));
     let agg = PlanNode::Aggregate {
-        input: Box::new(PlanNode::SeqScan { table: "t".into(), predicate: None, projection: None }),
+        input: Box::new(PlanNode::SeqScan {
+            table: "t".into(),
+            predicate: None,
+            projection: None,
+        }),
         group_by: vec![7],
         aggs: vec![],
     };
@@ -89,10 +100,20 @@ fn type_errors_surface_not_panic() {
 fn division_by_zero_in_projection() {
     let c = catalog();
     let plan = PlanNode::Project {
-        input: Box::new(PlanNode::SeqScan { table: "t".into(), predicate: None, projection: None }),
-        exprs: vec![(Expr::lit(1).div(Expr::col(0).mul(Expr::lit(0))), "boom".into())],
+        input: Box::new(PlanNode::SeqScan {
+            table: "t".into(),
+            predicate: None,
+            projection: None,
+        }),
+        exprs: vec![(
+            Expr::lit(1).div(Expr::col(0).mul(Expr::lit(0))),
+            "boom".into(),
+        )],
     };
-    assert_eq!(execute_collect(&plan, &c, &machine()), Err(DbError::DivideByZero));
+    assert_eq!(
+        execute_collect(&plan, &c, &machine()),
+        Err(DbError::DivideByZero)
+    );
 }
 
 #[test]
@@ -102,7 +123,11 @@ fn grouping_by_float_is_rejected() {
     b.push(Tuple::new(vec![Datum::Float(1.5)]));
     c.add_table(b);
     let plan = PlanNode::Aggregate {
-        input: Box::new(PlanNode::SeqScan { table: "f".into(), predicate: None, projection: None }),
+        input: Box::new(PlanNode::SeqScan {
+            table: "f".into(),
+            predicate: None,
+            projection: None,
+        }),
         group_by: vec![0],
         aggs: vec![AggSpec::count_star("n")],
     };
@@ -120,7 +145,11 @@ fn merge_join_over_unsorted_inputs_reports_invalid_plan() {
         b.push(Tuple::new(vec![Datum::Int(k)]));
     }
     c.add_table(b);
-    let scan = || PlanNode::SeqScan { table: "u".into(), predicate: None, projection: None };
+    let scan = || PlanNode::SeqScan {
+        table: "u".into(),
+        predicate: None,
+        projection: None,
+    };
     let plan = PlanNode::MergeJoin {
         left: Box::new(scan()),
         right: Box::new(scan()),
@@ -137,9 +166,17 @@ fn merge_join_over_unsorted_inputs_reports_invalid_plan() {
 fn aggregate_without_argument_is_rejected() {
     let c = catalog();
     let plan = PlanNode::Aggregate {
-        input: Box::new(PlanNode::SeqScan { table: "t".into(), predicate: None, projection: None }),
+        input: Box::new(PlanNode::SeqScan {
+            table: "t".into(),
+            predicate: None,
+            projection: None,
+        }),
         group_by: vec![],
-        aggs: vec![AggSpec { func: AggFunc::Avg, input: None, name: "a".into() }],
+        aggs: vec![AggSpec {
+            func: AggFunc::Avg,
+            input: None,
+            name: "a".into(),
+        }],
     };
     assert!(execute_collect(&plan, &c, &machine()).is_err());
 }
@@ -154,7 +191,11 @@ fn errors_do_not_corrupt_later_runs() {
     };
     let _ = execute_collect(&bad, &c, &machine());
     // A fresh, valid execution still works (no shared poisoned state).
-    let good = PlanNode::SeqScan { table: "t".into(), predicate: None, projection: None };
+    let good = PlanNode::SeqScan {
+        table: "t".into(),
+        predicate: None,
+        projection: None,
+    };
     let (rows, stats) = execute_with_stats(&good, &c, &machine()).unwrap();
     assert_eq!(rows.len(), 10);
     assert!(stats.counters.instructions > 0);

@@ -36,10 +36,18 @@ fn lineitem_orders_join(catalog: &Catalog, cutoff: &str) -> JoinQuery {
 fn optimizer_switches_methods_with_selectivity() {
     let catalog = tpch::generate_catalog(0.002, 13);
     let cost = JoinCostModel::default();
-    let selective = choose_join_plan(&lineitem_orders_join(&catalog, "1992-02-01"), &catalog, &cost)
-        .unwrap();
-    let bulk = choose_join_plan(&lineitem_orders_join(&catalog, "1998-09-02"), &catalog, &cost)
-        .unwrap();
+    let selective = choose_join_plan(
+        &lineitem_orders_join(&catalog, "1992-02-01"),
+        &catalog,
+        &cost,
+    )
+    .unwrap();
+    let bulk = choose_join_plan(
+        &lineitem_orders_join(&catalog, "1998-09-02"),
+        &catalog,
+        &cost,
+    )
+    .unwrap();
     assert_eq!(selective.method, "nestloop");
     assert_eq!(bulk.method, "hashjoin");
     assert!(selective.cost < bulk.cost);
@@ -76,8 +84,15 @@ fn block_engine_agrees_with_tuple_engine_on_query1() {
     let plan = tpch::queries::paper_query1(&catalog).unwrap();
     let tuple_rows = execute_collect(&plan, &catalog, &machine).unwrap();
 
-    let PlanNode::Aggregate { input, aggs, .. } = plan else { panic!() };
-    let PlanNode::SeqScan { table, predicate, .. } = *input else { panic!() };
+    let PlanNode::Aggregate { input, aggs, .. } = plan else {
+        panic!()
+    };
+    let PlanNode::SeqScan {
+        table, predicate, ..
+    } = *input
+    else {
+        panic!()
+    };
     let mut fm = FootprintModel::new();
     let scan = Box::new(BlockScan::new(&catalog, &mut fm, &table, predicate, 100).unwrap());
     let mut agg = BlockAggregate::new(&mut fm, scan, aggs, 100).unwrap();

@@ -1,0 +1,132 @@
+//! Profiler correctness: per-operator attribution must conserve the
+//! whole-query counters, and turning the profiler on must not distort the
+//! simulation it measures.
+
+use bufferdb::cachesim::MachineConfig;
+use bufferdb::core::exec::{execute_profiled, execute_with_stats};
+use bufferdb::core::plan::PlanNode;
+use bufferdb::core::refine::{refine_plan, RefineConfig};
+use bufferdb::tpch::{self, queries, queries::JoinMethod};
+
+fn all_queries(catalog: &bufferdb::storage::Catalog) -> Vec<(&'static str, PlanNode)> {
+    vec![
+        ("paper q1", queries::paper_query1(catalog).unwrap()),
+        ("paper q2", queries::paper_query2(catalog).unwrap()),
+        (
+            "paper q3 nl",
+            queries::paper_query3(catalog, JoinMethod::NestLoop).unwrap(),
+        ),
+        (
+            "paper q3 hj",
+            queries::paper_query3(catalog, JoinMethod::HashJoin).unwrap(),
+        ),
+        (
+            "paper q3 mj",
+            queries::paper_query3(catalog, JoinMethod::MergeJoin).unwrap(),
+        ),
+        ("tpch q1", queries::tpch_q1(catalog).unwrap()),
+        ("tpch q6", queries::tpch_q6(catalog).unwrap()),
+        ("tpch q12", queries::tpch_q12(catalog).unwrap()),
+        ("tpch q14", queries::tpch_q14(catalog).unwrap()),
+    ]
+}
+
+/// The exclusive per-operator deltas must sum exactly to the whole-query
+/// snapshot: attribution is a partition of the run, not an estimate.
+#[test]
+fn per_operator_deltas_sum_to_query_totals() {
+    let catalog = tpch::generate_catalog(0.002, 7);
+    let machine = MachineConfig::pentium4_like();
+    let cfg = RefineConfig::default();
+    for (name, plan) in all_queries(&catalog) {
+        for (variant, p) in [
+            ("original", plan.clone()),
+            ("refined", refine_plan(&plan, &catalog, &cfg)),
+        ] {
+            let (_, stats, profile) = execute_profiled(&p, &catalog, &machine).unwrap();
+            let summed = profile.sum_op_counters();
+            assert_eq!(
+                summed, stats.counters,
+                "{name} ({variant}): per-operator sum != query snapshot"
+            );
+            assert_eq!(
+                summed, profile.total,
+                "{name} ({variant}): profile total mismatch"
+            );
+        }
+    }
+}
+
+/// Enabling the profiler must not change the answer, and may not perturb the
+/// modeled instruction stream by more than 5%. (Hash-based operators iterate
+/// HashMaps whose order varies between processes, so instruction counts can
+/// differ slightly across runs even without the profiler — exact equality is
+/// the wrong bar.)
+#[test]
+fn profiler_overhead_is_under_five_percent() {
+    let catalog = tpch::generate_catalog(0.002, 7);
+    let machine = MachineConfig::pentium4_like();
+    for (name, plan) in all_queries(&catalog) {
+        let (rows_plain, stats_plain) = execute_with_stats(&plan, &catalog, &machine).unwrap();
+        let (rows_prof, stats_prof, profile) = execute_profiled(&plan, &catalog, &machine).unwrap();
+        assert_eq!(
+            rows_plain.len(),
+            rows_prof.len(),
+            "{name}: row count changed"
+        );
+        assert_eq!(
+            stats_plain.rows, stats_prof.rows,
+            "{name}: reported cardinality changed"
+        );
+        let base = stats_plain.counters.instructions as f64;
+        let prof = stats_prof.counters.instructions as f64;
+        let drift = (prof - base).abs() / base;
+        assert!(
+            drift < 0.05,
+            "{name}: profiled run drifted {:.2}% in instructions ({} vs {})",
+            drift * 100.0,
+            stats_prof.counters.instructions,
+            stats_plain.counters.instructions
+        );
+        // Every operator was actually opened and closed once.
+        for op in &profile.ops {
+            assert_eq!(op.opens, 1, "{name}: {} opens", op.label);
+            assert_eq!(op.closes, 1, "{name}: {} closes", op.label);
+        }
+    }
+}
+
+/// Buffer gauges line up with what the operator actually moved: every tuple
+/// the buffer produced was buffered exactly once.
+#[test]
+fn buffer_gauges_match_rows_through_buffer() {
+    let catalog = tpch::generate_catalog(0.002, 7);
+    let machine = MachineConfig::pentium4_like();
+    let cfg = RefineConfig::default();
+    let plan = queries::paper_query1(&catalog).unwrap();
+    let refined = refine_plan(&plan, &catalog, &cfg);
+    let (_, _, profile) = execute_profiled(&refined, &catalog, &machine).unwrap();
+    let buffers: Vec<_> = profile
+        .ops
+        .iter()
+        .filter(|op| op.buffer.is_some())
+        .collect();
+    assert!(
+        !buffers.is_empty(),
+        "refined Q1 should contain a buffer operator"
+    );
+    for op in buffers {
+        let g = op.buffer.as_ref().unwrap();
+        assert_eq!(
+            g.tuples_buffered, op.rows,
+            "{}: gauge vs produced rows",
+            op.label
+        );
+        assert!(
+            g.fills > 0 && g.drains > 0,
+            "{}: no fill/drain activity",
+            op.label
+        );
+        assert!(g.avg_occupancy() > 0.0, "{}: empty fills", op.label);
+    }
+}

@@ -10,8 +10,7 @@ use bufferdb::core::plan::{AggFunc, AggSpec, PlanNode};
 use bufferdb::core::refine::{refine_plan, RefineConfig};
 use bufferdb::index::BTreeIndex;
 use bufferdb::storage::{Catalog, IndexDef, TableBuilder};
-use bufferdb::types::{DataType, Datum, Field, Schema, Tuple};
-use proptest::prelude::*;
+use bufferdb::types::{DataType, Datum, Field, Rng, Schema, Tuple};
 
 /// Build a catalog with a fact table of `(k, v)` rows (nullable v) and a
 /// dimension table keyed 0..dim_n with an index.
@@ -44,7 +43,12 @@ fn catalog_from(rows: &[(i64, Option<i64>)], dim_n: i64) -> Catalog {
         btree.insert(i, i as u32);
     }
     c.add_table(dim);
-    c.add_index(IndexDef { name: "dim_pkey".into(), table: "dim".into(), key_column: 0, btree });
+    c.add_index(IndexDef {
+        name: "dim_pkey".into(),
+        table: "dim".into(),
+        key_column: 0,
+        btree,
+    });
     c
 }
 
@@ -56,35 +60,61 @@ fn rows_sig(rows: &[Tuple]) -> Vec<String> {
     rows.iter().map(|t| t.to_string()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Random `(k, v)` fact rows with ~50% NULL `v`, mirroring the proptest
+/// strategies this file used before going dependency-free.
+fn gen_rows(
+    rng: &mut Rng,
+    max_len: usize,
+    k_max: i64,
+    v_lo: i64,
+    v_hi: i64,
+) -> Vec<(i64, Option<i64>)> {
+    let n = rng.gen_range(0..=max_len);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(0..k_max);
+            let v = if rng.gen_bool(0.5) {
+                Some(rng.gen_range(v_lo..v_hi))
+            } else {
+                None
+            };
+            (k, v)
+        })
+        .collect()
+}
 
-    /// Buffering at ANY size is transparent: same rows, same order.
-    #[test]
-    fn prop_buffer_is_transparent(
-        rows in proptest::collection::vec((0i64..40, proptest::option::of(-100i64..100)), 0..120),
-        size in 1usize..300,
-        bound in -100i64..100,
-    ) {
+/// Buffering at ANY size is transparent: same rows, same order.
+#[test]
+fn buffer_is_transparent_at_any_size() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let rows = gen_rows(&mut rng, 120, 40, -100, 100);
+        let size = rng.gen_range(1usize..300);
+        let bound = rng.gen_range(-100i64..100);
         let c = catalog_from(&rows, 40);
         let scan = PlanNode::SeqScan {
             table: "fact".into(),
             predicate: Some(Expr::col(1).le(Expr::lit(bound))),
             projection: None,
         };
-        let buffered = PlanNode::Buffer { input: Box::new(scan.clone()), size };
+        let buffered = PlanNode::Buffer {
+            input: Box::new(scan.clone()),
+            size,
+        };
         let a = execute_collect(&scan, &c, &machine()).unwrap();
         let b = execute_collect(&buffered, &c, &machine()).unwrap();
-        prop_assert_eq!(rows_sig(&a), rows_sig(&b));
+        assert_eq!(rows_sig(&a), rows_sig(&b), "seed {seed} size {size}");
     }
+}
 
-    /// Aggregation over a filtered scan matches a direct fold, with or
-    /// without refinement.
-    #[test]
-    fn prop_aggregate_matches_reference(
-        rows in proptest::collection::vec((0i64..40, proptest::option::of(-50i64..50)), 0..150),
-        bound in -50i64..50,
-    ) {
+/// Aggregation over a filtered scan matches a direct fold, with or
+/// without refinement.
+#[test]
+fn aggregate_matches_reference() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(seed ^ 0xA6);
+        let rows = gen_rows(&mut rng, 150, 40, -50, 50);
+        let bound = rng.gen_range(-50i64..50);
         let c = catalog_from(&rows, 40);
         let plan = PlanNode::Aggregate {
             input: Box::new(PlanNode::SeqScan {
@@ -108,24 +138,39 @@ proptest! {
             .filter_map(|(_, v)| *v)
             .filter(|v| *v < bound)
             .collect();
-        prop_assert_eq!(got[0].get(0).as_int().unwrap(), selected.len() as i64);
+        assert_eq!(
+            got[0].get(0).as_int().unwrap(),
+            selected.len() as i64,
+            "seed {seed}"
+        );
         if selected.is_empty() {
-            prop_assert!(got[0].get(1).is_null());
-            prop_assert!(got[0].get(2).is_null());
+            assert!(got[0].get(1).is_null());
+            assert!(got[0].get(2).is_null());
         } else {
-            prop_assert_eq!(got[0].get(1).as_int().unwrap(), selected.iter().sum::<i64>());
-            prop_assert_eq!(got[0].get(2).as_int().unwrap(), *selected.iter().min().unwrap());
-            prop_assert_eq!(got[0].get(3).as_int().unwrap(), *selected.iter().max().unwrap());
+            assert_eq!(
+                got[0].get(1).as_int().unwrap(),
+                selected.iter().sum::<i64>()
+            );
+            assert_eq!(
+                got[0].get(2).as_int().unwrap(),
+                *selected.iter().min().unwrap()
+            );
+            assert_eq!(
+                got[0].get(3).as_int().unwrap(),
+                *selected.iter().max().unwrap()
+            );
         }
     }
+}
 
-    /// All three join methods compute the same join, equal to a brute-force
-    /// reference (counts per key).
-    #[test]
-    fn prop_join_methods_agree(
-        rows in proptest::collection::vec((0i64..30, proptest::option::of(-10i64..10)), 0..100),
-        dim_n in 1i64..30,
-    ) {
+/// All three join methods compute the same join, equal to a brute-force
+/// reference (counts per key).
+#[test]
+fn join_methods_agree_with_brute_force() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x10);
+        let rows = gen_rows(&mut rng, 100, 30, -10, 10);
+        let dim_n = rng.gen_range(1i64..30);
         let c = catalog_from(&rows, dim_n);
         let agg = |input: PlanNode| PlanNode::Aggregate {
             input: Box::new(input),
@@ -135,7 +180,11 @@ proptest! {
                 AggSpec::new(AggFunc::Sum, Expr::col(3), "tag_sum"),
             ],
         };
-        let scan = PlanNode::SeqScan { table: "fact".into(), predicate: None, projection: None };
+        let scan = PlanNode::SeqScan {
+            table: "fact".into(),
+            predicate: None,
+            projection: None,
+        };
         let nl = agg(PlanNode::NestLoopJoin {
             outer: Box::new(scan.clone()),
             inner: Box::new(PlanNode::IndexScan {
@@ -148,12 +197,19 @@ proptest! {
         });
         let hj = agg(PlanNode::HashJoin {
             probe: Box::new(scan.clone()),
-            build: Box::new(PlanNode::SeqScan { table: "dim".into(), predicate: None, projection: None }),
+            build: Box::new(PlanNode::SeqScan {
+                table: "dim".into(),
+                predicate: None,
+                projection: None,
+            }),
             probe_key: 0,
             build_key: 0,
         });
         let mj = agg(PlanNode::MergeJoin {
-            left: Box::new(PlanNode::Sort { input: Box::new(scan), keys: vec![(0, true)] }),
+            left: Box::new(PlanNode::Sort {
+                input: Box::new(scan),
+                keys: vec![(0, true)],
+            }),
             right: Box::new(PlanNode::IndexScan {
                 index: "dim_pkey".into(),
                 mode: bufferdb::core::plan::IndexMode::Range { lo: None, hi: None },
@@ -165,31 +221,45 @@ proptest! {
         let a = execute_collect(&nl, &c, &m).unwrap();
         let b = execute_collect(&hj, &c, &m).unwrap();
         let d = execute_collect(&mj, &c, &m).unwrap();
-        prop_assert_eq!(rows_sig(&a), rows_sig(&b));
-        prop_assert_eq!(rows_sig(&b), rows_sig(&d));
+        assert_eq!(rows_sig(&a), rows_sig(&b), "seed {seed}");
+        assert_eq!(rows_sig(&b), rows_sig(&d), "seed {seed}");
         // Brute force: every fact row with k < dim_n matches exactly once.
         let expect_n = rows.iter().filter(|(k, _)| *k < dim_n).count() as i64;
-        prop_assert_eq!(a[0].get(0).as_int().unwrap(), expect_n);
-        let expect_sum: i64 = rows.iter().filter(|(k, _)| *k < dim_n).map(|(k, _)| k * 3).sum();
+        assert_eq!(a[0].get(0).as_int().unwrap(), expect_n, "seed {seed}");
+        let expect_sum: i64 = rows
+            .iter()
+            .filter(|(k, _)| *k < dim_n)
+            .map(|(k, _)| k * 3)
+            .sum();
         if expect_n > 0 {
-            prop_assert_eq!(a[0].get(1).as_int().unwrap(), expect_sum);
+            assert_eq!(a[0].get(1).as_int().unwrap(), expect_sum, "seed {seed}");
         }
     }
+}
 
-    /// Sort output equals std sort; buffering below the sort changes nothing.
-    #[test]
-    fn prop_sort_matches_std(
-        rows in proptest::collection::vec((0i64..1000, proptest::option::of(-50i64..50)), 0..200),
-        size in 1usize..64,
-    ) {
+/// Sort output equals std sort; buffering below the sort changes nothing.
+#[test]
+fn sort_matches_std() {
+    for seed in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x50);
+        let rows = gen_rows(&mut rng, 200, 1000, -50, 50);
+        let size = rng.gen_range(1usize..64);
         let c = catalog_from(&rows, 1);
         let sort = PlanNode::Sort {
-            input: Box::new(PlanNode::SeqScan { table: "fact".into(), predicate: None, projection: None }),
+            input: Box::new(PlanNode::SeqScan {
+                table: "fact".into(),
+                predicate: None,
+                projection: None,
+            }),
             keys: vec![(0, true)],
         };
         let sort_buf = PlanNode::Sort {
             input: Box::new(PlanNode::Buffer {
-                input: Box::new(PlanNode::SeqScan { table: "fact".into(), predicate: None, projection: None }),
+                input: Box::new(PlanNode::SeqScan {
+                    table: "fact".into(),
+                    predicate: None,
+                    projection: None,
+                }),
                 size,
             }),
             keys: vec![(0, true)],
@@ -200,22 +270,31 @@ proptest! {
         let got: Vec<i64> = a.iter().map(|t| t.get(0).as_int().unwrap()).collect();
         let mut want: Vec<i64> = rows.iter().map(|(k, _)| *k).collect();
         want.sort();
-        prop_assert_eq!(&got, &want);
+        assert_eq!(&got, &want, "seed {seed}");
         let got_b: Vec<i64> = b.iter().map(|t| t.get(0).as_int().unwrap()).collect();
-        prop_assert_eq!(&got_b, &want);
+        assert_eq!(&got_b, &want, "seed {seed}");
     }
+}
 
-    /// Group-by aggregation matches a HashMap reference.
-    #[test]
-    fn prop_group_by_matches_reference(
-        rows in proptest::collection::vec((0i64..8, proptest::option::of(0i64..100)), 0..150),
-    ) {
+/// Group-by aggregation matches a HashMap reference.
+#[test]
+fn group_by_matches_reference() {
+    for seed in 0..24u64 {
         use std::collections::HashMap;
+        let mut rng = Rng::seed_from_u64(seed ^ 0x6B);
+        let rows = gen_rows(&mut rng, 150, 8, 0, 100);
         let c = catalog_from(&rows, 1);
         let plan = PlanNode::Aggregate {
-            input: Box::new(PlanNode::SeqScan { table: "fact".into(), predicate: None, projection: None }),
+            input: Box::new(PlanNode::SeqScan {
+                table: "fact".into(),
+                predicate: None,
+                projection: None,
+            }),
             group_by: vec![0],
-            aggs: vec![AggSpec::count_star("n"), AggSpec::new(AggFunc::Sum, Expr::col(1), "s")],
+            aggs: vec![
+                AggSpec::count_star("n"),
+                AggSpec::new(AggFunc::Sum, Expr::col(1), "s"),
+            ],
         };
         let got = execute_collect(&plan, &c, &machine()).unwrap();
         let mut reference: HashMap<i64, (i64, Option<i64>)> = HashMap::new();
@@ -226,14 +305,14 @@ proptest! {
                 e.1 = Some(e.1.unwrap_or(0) + v);
             }
         }
-        prop_assert_eq!(got.len(), reference.len());
+        assert_eq!(got.len(), reference.len(), "seed {seed}");
         for row in &got {
             let k = row.get(0).as_int().unwrap();
             let (n, s) = reference[&k];
-            prop_assert_eq!(row.get(1).as_int().unwrap(), n);
+            assert_eq!(row.get(1).as_int().unwrap(), n, "seed {seed} key {k}");
             match s {
-                None => prop_assert!(row.get(2).is_null()),
-                Some(s) => prop_assert_eq!(row.get(2).as_int().unwrap(), s),
+                None => assert!(row.get(2).is_null(), "seed {seed} key {k}"),
+                Some(s) => assert_eq!(row.get(2).as_int().unwrap(), s, "seed {seed} key {k}"),
             }
         }
     }

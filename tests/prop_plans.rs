@@ -9,8 +9,7 @@ use bufferdb::core::expr_fold::fold_plan;
 use bufferdb::core::plan::{AggFunc, AggSpec, PlanNode};
 use bufferdb::core::refine::{refine_plan, RefineConfig};
 use bufferdb::storage::{Catalog, TableBuilder};
-use bufferdb::types::{DataType, Datum, Field, Schema, Tuple};
-use proptest::prelude::*;
+use bufferdb::types::{DataType, Datum, Field, Rng, Schema, Tuple};
 
 fn catalog() -> Catalog {
     let c = Catalog::new();
@@ -23,7 +22,11 @@ fn catalog() -> Catalog {
             ]),
         );
         for i in 0..rows {
-            let v = if i % 11 == 0 { Datum::Null } else { Datum::Int((i * 7) % 100) };
+            let v = if i % 11 == 0 {
+                Datum::Null
+            } else {
+                Datum::Int((i * 7) % 100)
+            };
             b.push(Tuple::new(vec![Datum::Int(i % 40), v]));
         }
         c.add_table(b);
@@ -46,21 +49,25 @@ enum Layer {
     Aggregate,
 }
 
-fn layer_strategy() -> impl Strategy<Value = Layer> {
-    prop_oneof![
-        (-20i64..120).prop_map(Layer::Filter),
-        Just(Layer::Project),
-        Just(Layer::SortAsc),
-        (1u64..500).prop_map(Layer::Limit),
-        (1usize..200).prop_map(Layer::Buffer),
-        Just(Layer::HashJoinDim),
-        Just(Layer::MergeJoinSelf),
-        Just(Layer::Aggregate),
-    ]
+fn random_layer(rng: &mut Rng) -> Layer {
+    match rng.gen_range(0u32..8) {
+        0 => Layer::Filter(rng.gen_range(-20i64..120)),
+        1 => Layer::Project,
+        2 => Layer::SortAsc,
+        3 => Layer::Limit(rng.gen_range(1u64..500)),
+        4 => Layer::Buffer(rng.gen_range(1usize..200)),
+        5 => Layer::HashJoinDim,
+        6 => Layer::MergeJoinSelf,
+        _ => Layer::Aggregate,
+    }
 }
 
 fn base_scan(table: &str) -> PlanNode {
-    PlanNode::SeqScan { table: table.into(), predicate: None, projection: None }
+    PlanNode::SeqScan {
+        table: table.into(),
+        predicate: None,
+        projection: None,
+    }
 }
 
 /// Apply layers bottom-up. Invariant: the running plan always has schema
@@ -89,10 +96,19 @@ fn build_plan(layers: &[Layer]) -> PlanNode {
             },
             Layer::SortAsc => {
                 sorted = true;
-                PlanNode::Sort { input: Box::new(plan), keys: vec![(0, true), (1, true)] }
+                PlanNode::Sort {
+                    input: Box::new(plan),
+                    keys: vec![(0, true), (1, true)],
+                }
             }
-            Layer::Limit(n) => PlanNode::Limit { input: Box::new(plan), limit: *n },
-            Layer::Buffer(size) => PlanNode::Buffer { input: Box::new(plan), size: *size },
+            Layer::Limit(n) => PlanNode::Limit {
+                input: Box::new(plan),
+                limit: *n,
+            },
+            Layer::Buffer(size) => PlanNode::Buffer {
+                input: Box::new(plan),
+                size: *size,
+            },
             Layer::HashJoinDim => {
                 sorted = false;
                 // Join against dim and project back to (k, v).
@@ -173,67 +189,91 @@ fn strip_buffers(node: &PlanNode) -> PlanNode {
             input: Box::new(strip_buffers(input)),
             predicate: predicate.clone(),
         },
-        PlanNode::Limit { input, limit } => {
-            PlanNode::Limit { input: Box::new(strip_buffers(input)), limit: *limit }
-        }
+        PlanNode::Limit { input, limit } => PlanNode::Limit {
+            input: Box::new(strip_buffers(input)),
+            limit: *limit,
+        },
         PlanNode::Project { input, exprs } => PlanNode::Project {
             input: Box::new(strip_buffers(input)),
             exprs: exprs.clone(),
         },
-        PlanNode::Sort { input, keys } => {
-            PlanNode::Sort { input: Box::new(strip_buffers(input)), keys: keys.clone() }
-        }
-        PlanNode::Materialize { input } => {
-            PlanNode::Materialize { input: Box::new(strip_buffers(input)) }
-        }
-        PlanNode::Aggregate { input, group_by, aggs } => PlanNode::Aggregate {
+        PlanNode::Sort { input, keys } => PlanNode::Sort {
+            input: Box::new(strip_buffers(input)),
+            keys: keys.clone(),
+        },
+        PlanNode::Materialize { input } => PlanNode::Materialize {
+            input: Box::new(strip_buffers(input)),
+        },
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => PlanNode::Aggregate {
             input: Box::new(strip_buffers(input)),
             group_by: group_by.clone(),
             aggs: aggs.clone(),
         },
-        PlanNode::HashJoin { probe, build, probe_key, build_key } => PlanNode::HashJoin {
+        PlanNode::HashJoin {
+            probe,
+            build,
+            probe_key,
+            build_key,
+        } => PlanNode::HashJoin {
             probe: Box::new(strip_buffers(probe)),
             build: Box::new(strip_buffers(build)),
             probe_key: *probe_key,
             build_key: *build_key,
         },
-        PlanNode::MergeJoin { left, right, left_key, right_key } => PlanNode::MergeJoin {
+        PlanNode::MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => PlanNode::MergeJoin {
             left: Box::new(strip_buffers(left)),
             right: Box::new(strip_buffers(right)),
             left_key: *left_key,
             right_key: *right_key,
         },
-        PlanNode::NestLoopJoin { outer, inner, param_outer_col, qual, fk_inner } => {
-            PlanNode::NestLoopJoin {
-                outer: Box::new(strip_buffers(outer)),
-                inner: Box::new(strip_buffers(inner)),
-                param_outer_col: *param_outer_col,
-                qual: qual.clone(),
-                fk_inner: *fk_inner,
-            }
-        }
+        PlanNode::NestLoopJoin {
+            outer,
+            inner,
+            param_outer_col,
+            qual,
+            fk_inner,
+        } => PlanNode::NestLoopJoin {
+            outer: Box::new(strip_buffers(outer)),
+            inner: Box::new(strip_buffers(inner)),
+            param_outer_col: *param_outer_col,
+            qual: qual.clone(),
+            fk_inner: *fk_inner,
+        },
         leaf => leaf.clone(),
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    #[test]
-    fn prop_refinement_and_folding_preserve_any_plan(
-        layers in proptest::collection::vec(layer_strategy(), 0..5)
-    ) {
-        let c = catalog();
-        let machine = MachineConfig::pentium4_like();
+#[test]
+fn refinement_and_folding_preserve_any_plan() {
+    let c = catalog();
+    let machine = MachineConfig::pentium4_like();
+    for seed in 0..20u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let n_layers = rng.gen_range(0usize..5);
+        let layers: Vec<Layer> = (0..n_layers).map(|_| random_layer(&mut rng)).collect();
         let plan = build_plan(&layers);
         // The generated plan must validate.
-        plan.output_schema(&c).expect("generated plan must be valid");
+        plan.output_schema(&c)
+            .expect("generated plan must be valid");
 
         let baseline = execute_collect(&plan, &c, &machine).unwrap();
 
         let refined = refine_plan(&plan, &c, &RefineConfig::default());
         let refined_rows = execute_collect(&refined, &c, &machine).unwrap();
-        prop_assert_eq!(signature(&baseline), signature(&refined_rows));
+        assert_eq!(
+            signature(&baseline),
+            signature(&refined_rows),
+            "seed {seed}: {layers:?}"
+        );
 
         // Placement invariants apply to refiner-added buffers: strip the
         // hand-placed ones first, then refine and check.
@@ -241,17 +281,33 @@ proptest! {
         let refined_clean = refine_plan(&stripped, &c, &RefineConfig::default());
         check_no_stacked_or_blocking_buffers(&refined_clean);
         let clean_rows = execute_collect(&refined_clean, &c, &machine).unwrap();
-        prop_assert_eq!(signature(&baseline), signature(&clean_rows));
+        assert_eq!(
+            signature(&baseline),
+            signature(&clean_rows),
+            "seed {seed}: {layers:?}"
+        );
 
         let folded = fold_plan(&plan);
         let folded_rows = execute_collect(&folded, &c, &machine).unwrap();
-        prop_assert_eq!(signature(&baseline), signature(&folded_rows));
+        assert_eq!(
+            signature(&baseline),
+            signature(&folded_rows),
+            "seed {seed}: {layers:?}"
+        );
 
         // Refinement after folding also agrees and is idempotent.
         let both = refine_plan(&folded, &c, &RefineConfig::default());
         let both_rows = execute_collect(&both, &c, &machine).unwrap();
-        prop_assert_eq!(signature(&baseline), signature(&both_rows));
+        assert_eq!(
+            signature(&baseline),
+            signature(&both_rows),
+            "seed {seed}: {layers:?}"
+        );
         let again = refine_plan(&both, &c, &RefineConfig::default());
-        prop_assert_eq!(again.buffer_count(), both.buffer_count());
+        assert_eq!(
+            again.buffer_count(),
+            both.buffer_count(),
+            "seed {seed}: {layers:?}"
+        );
     }
 }

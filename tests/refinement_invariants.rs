@@ -11,9 +11,18 @@ fn all_plans(catalog: &bufferdb::storage::Catalog) -> Vec<(&'static str, PlanNod
     vec![
         ("paper q1", queries::paper_query1(catalog).unwrap()),
         ("paper q2", queries::paper_query2(catalog).unwrap()),
-        ("q3 nl", queries::paper_query3(catalog, JoinMethod::NestLoop).unwrap()),
-        ("q3 hj", queries::paper_query3(catalog, JoinMethod::HashJoin).unwrap()),
-        ("q3 mj", queries::paper_query3(catalog, JoinMethod::MergeJoin).unwrap()),
+        (
+            "q3 nl",
+            queries::paper_query3(catalog, JoinMethod::NestLoop).unwrap(),
+        ),
+        (
+            "q3 hj",
+            queries::paper_query3(catalog, JoinMethod::HashJoin).unwrap(),
+        ),
+        (
+            "q3 mj",
+            queries::paper_query3(catalog, JoinMethod::MergeJoin).unwrap(),
+        ),
         ("tpch q1", queries::tpch_q1(catalog).unwrap()),
         ("tpch q6", queries::tpch_q6(catalog).unwrap()),
         ("tpch q12", queries::tpch_q12(catalog).unwrap()),
@@ -34,7 +43,12 @@ fn check_invariants(node: &PlanNode, cfg: &RefineConfig, path: &str) {
             "stacked buffers at {path}"
         );
     }
-    if let PlanNode::NestLoopJoin { inner, fk_inner: true, .. } = node {
+    if let PlanNode::NestLoopJoin {
+        inner,
+        fk_inner: true,
+        ..
+    } = node
+    {
         assert!(
             !matches!(**inner, PlanNode::Buffer { .. }),
             "buffer above FK inner at {path}"
@@ -77,7 +91,10 @@ fn refinement_is_idempotent() {
 #[test]
 fn no_buffers_below_the_cardinality_threshold() {
     let catalog = tpch::generate_catalog(0.002, 11);
-    let cfg = RefineConfig { cardinality_threshold: f64::INFINITY, ..Default::default() };
+    let cfg = RefineConfig {
+        cardinality_threshold: f64::INFINITY,
+        ..Default::default()
+    };
     for (name, plan) in all_plans(&catalog) {
         let refined = refine_plan(&plan, &catalog, &cfg);
         assert_eq!(refined.buffer_count(), 0, "{name}");
@@ -87,7 +104,10 @@ fn no_buffers_below_the_cardinality_threshold() {
 #[test]
 fn infinite_cache_means_no_buffers() {
     let catalog = tpch::generate_catalog(0.002, 11);
-    let cfg = RefineConfig { l1i_capacity: usize::MAX, ..Default::default() };
+    let cfg = RefineConfig {
+        l1i_capacity: usize::MAX,
+        ..Default::default()
+    };
     for (name, plan) in all_plans(&catalog) {
         let refined = refine_plan(&plan, &catalog, &cfg);
         assert_eq!(refined.buffer_count(), 0, "{name}");

@@ -10,7 +10,14 @@ use bufferdb::tpch::{self, queries};
 
 fn buffered_q1(catalog: &bufferdb::storage::Catalog, size: usize) -> PlanNode {
     let plan = queries::paper_query1(catalog).unwrap();
-    let PlanNode::Aggregate { input, group_by, aggs } = plan else { panic!() };
+    let PlanNode::Aggregate {
+        input,
+        group_by,
+        aggs,
+    } = plan
+    else {
+        panic!()
+    };
     PlanNode::Aggregate {
         input: Box::new(PlanNode::Buffer { input, size }),
         group_by,
@@ -48,7 +55,14 @@ fn query1_buffering_wins_query2_does_not() {
 
     // Q2: forcing a buffer where refinement declines must not help.
     let q2 = queries::paper_query2(&catalog).unwrap();
-    let PlanNode::Aggregate { input, group_by, aggs } = q2.clone() else { panic!() };
+    let PlanNode::Aggregate {
+        input,
+        group_by,
+        aggs,
+    } = q2.clone()
+    else {
+        panic!()
+    };
     let q2_forced = PlanNode::Aggregate {
         input: Box::new(PlanNode::Buffer { input, size: 100 }),
         group_by,
