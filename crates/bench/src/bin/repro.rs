@@ -14,7 +14,7 @@ use bufferdb_bench::experiments as exp;
 use bufferdb_bench::experiments::ExperimentCtx;
 use bufferdb_tpch::queries::JoinMethod;
 
-const USAGE: &str = "usage: repro [--sf <scale>] [--seed <n>] <experiment>...
+const USAGE: &str = "usage: repro [--sf <scale>] [--seed <n>] [--threads <n>] <experiment>...
 experiments:
   table1    machine specification
   table2    operator instruction footprints
@@ -35,12 +35,18 @@ experiments:
   blockcmp  buffering vs block-oriented processing (related work)
   misscurve i-cache miss rate vs capacity, interleaved vs batched
   baseline  write per-query metrics to BENCH_baseline.json
+  scaling   TPC-H at 1/2/4/8 workers, write BENCH_parallel.json
   analyze   EXPLAIN ANALYZE of Query 1, unbuffered vs buffered
-  all       everything above";
+  all       everything above
+options:
+  --threads <n>  worker budget for parallel builds (default: all cores)";
 
 fn main() {
     let mut scale = 0.02_f64;
     let mut seed = 42_u64;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -56,6 +62,13 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| die("--threads needs a positive integer"));
             }
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -88,6 +101,7 @@ fn main() {
             "blockcmp",
             "misscurve",
             "baseline",
+            "scaling",
             "analyze",
         ]
         .iter()
@@ -122,7 +136,8 @@ fn main() {
             "ablation" => exp::ablation(&ctx),
             "blockcmp" => exp::blockcmp(&ctx),
             "misscurve" => exp::misscurve(&ctx),
-            "baseline" => write_baseline(&ctx, seed),
+            "baseline" => write_baseline(&ctx, seed, threads),
+            "scaling" => write_scaling(&ctx, seed),
             "analyze" => analyze_query1(&ctx),
             other => die(&format!("unknown experiment {other:?}")),
         };
@@ -132,8 +147,8 @@ fn main() {
 
 /// Run the baseline query set and write `BENCH_baseline.json` next to the
 /// current directory (uploaded as a CI artifact).
-fn write_baseline(ctx: &ExperimentCtx, seed: u64) -> String {
-    let report = exp::baseline_metrics(ctx, seed);
+fn write_baseline(ctx: &ExperimentCtx, seed: u64, threads: usize) -> String {
+    let report = exp::baseline_metrics(ctx, seed, threads);
     let path = "BENCH_baseline.json";
     let json = report.to_json();
     if let Err(e) = std::fs::write(path, &json) {
@@ -150,6 +165,21 @@ fn write_baseline(ctx: &ExperimentCtx, seed: u64) -> String {
         ));
     }
     s
+}
+
+/// Run the morsel-parallel scaling sweep and write `BENCH_parallel.json`
+/// (uploaded as a CI artifact).
+fn write_scaling(ctx: &ExperimentCtx, seed: u64) -> String {
+    let report = exp::scaling_metrics(ctx, seed);
+    let path = "BENCH_parallel.json";
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        die(&format!("cannot write {path}: {e}"));
+    }
+    format!(
+        "{}wrote {path} ({} runs)\n",
+        exp::scaling_table(&report),
+        report.entries.len()
+    )
 }
 
 /// EXPLAIN ANALYZE of the paper's Query 1, before and after refinement:

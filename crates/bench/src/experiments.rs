@@ -1,10 +1,13 @@
 //! One function per paper artifact (table or figure).
 
 use crate::runner::{
-    comparison_report, reduction, run_plan, MetricsReport, QueryMetrics, RunResult,
+    comparison_report, reduction, run_plan, run_plan_threads, MetricsReport, QueryMetrics,
+    RunResult, ScalingEntry, ScalingReport, WorkerLaneMetrics,
 };
 use bufferdb_cachesim::MachineConfig;
+use bufferdb_core::exec::execute_profiled_threads;
 use bufferdb_core::footprint::OpKind;
+use bufferdb_core::parallel::parallelize_plan;
 use bufferdb_core::plan::explain::explain;
 use bufferdb_core::plan::{AggFunc, PlanNode};
 use bufferdb_core::refine::calibrate::calibrate_cardinality_threshold;
@@ -366,7 +369,7 @@ pub fn table5(ctx: &ExperimentCtx) -> String {
 /// Per-query modeled metrics for the machine-readable baseline export:
 /// the paper's Query 1 plus the Table 5 TPC-H queries, original vs refined.
 /// The `repro` binary serializes this to `BENCH_baseline.json`.
-pub fn baseline_metrics(ctx: &ExperimentCtx, seed: u64) -> MetricsReport {
+pub fn baseline_metrics(ctx: &ExperimentCtx, seed: u64, threads: usize) -> MetricsReport {
     let plans: Vec<(&str, PlanNode)> = vec![
         (
             "paper Q1",
@@ -380,12 +383,13 @@ pub fn baseline_metrics(ctx: &ExperimentCtx, seed: u64) -> MetricsReport {
     let mut report = MetricsReport {
         scale: ctx.scale,
         seed,
+        threads: threads.max(1) as u64,
         entries: Vec::new(),
     };
     for (name, plan) in plans {
         let refined = ctx.buffered(&plan);
-        let o = run_plan("original", &plan, &ctx.catalog, &ctx.machine);
-        let b = run_plan("refined", &refined, &ctx.catalog, &ctx.machine);
+        let o = run_plan_threads("original", &plan, &ctx.catalog, &ctx.machine, threads);
+        let b = run_plan_threads("refined", &refined, &ctx.catalog, &ctx.machine, threads);
         report
             .entries
             .push(QueryMetrics::from_run(name, "original", &plan, &o));
@@ -394,6 +398,123 @@ pub fn baseline_metrics(ctx: &ExperimentCtx, seed: u64) -> MetricsReport {
             .push(QueryMetrics::from_run(name, "refined", &refined, &b));
     }
     report
+}
+
+/// Worker counts swept by the scaling experiment.
+pub const SCALING_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Modeled wall-clock of a profiled parallel run: every core's cycles are
+/// in the conserved total, but per exchange the worker lanes ran
+/// concurrently — so the modeled wall clock replaces each exchange's
+/// lane-cycle *sum* with its lane-cycle *maximum* (the critical path).
+fn modeled_wall_seconds(
+    stats: &bufferdb_core::stats::ExecStats,
+    profile: &bufferdb_core::obs::QueryProfile,
+    cfg: &MachineConfig,
+) -> f64 {
+    use bufferdb_cachesim::BreakdownReport;
+    let cycles = |c: &bufferdb_cachesim::PerfCounters| {
+        BreakdownReport::from_counters(c, cfg).total_cycles as i128
+    };
+    let mut wall = cycles(&stats.counters);
+    for op in &profile.ops {
+        if let Some(lanes) = &op.workers {
+            let lane_cycles: Vec<i128> = lanes.iter().map(|l| cycles(&l.counters)).collect();
+            wall -= lane_cycles.iter().sum::<i128>();
+            wall += lane_cycles.iter().copied().max().unwrap_or(0);
+        }
+    }
+    wall.max(0) as f64 / cfg.clock_hz as f64
+}
+
+/// Morsel-parallel scaling sweep: the Table 5 TPC-H queries executed at
+/// 1/2/4/8 exchange workers (plan rewritten by [`parallelize_plan`], then
+/// refined, then run under the profiler). Checks counter conservation on
+/// every run — the per-worker cache simulation must account for exactly the
+/// work the serial run would have done, just on different cores — and
+/// reports the modeled-machine wall-clock speedup relative to the 1-worker
+/// run plus per-worker L1i lanes. The `repro` binary serializes this to
+/// `BENCH_parallel.json`.
+pub fn scaling_metrics(ctx: &ExperimentCtx, seed: u64) -> ScalingReport {
+    let plans: Vec<(&str, PlanNode)> = vec![
+        ("Q1", queries::tpch_q1(&ctx.catalog).expect("q1")),
+        ("Q6", queries::tpch_q6(&ctx.catalog).expect("q6")),
+        ("Q12", queries::tpch_q12(&ctx.catalog).expect("q12")),
+        ("Q14", queries::tpch_q14(&ctx.catalog).expect("q14")),
+    ];
+    let mut report = ScalingReport {
+        scale: ctx.scale,
+        seed,
+        entries: Vec::new(),
+    };
+    for (name, plan) in plans {
+        let mut base_modeled = None;
+        let mut base_host = None;
+        for workers in SCALING_WORKERS {
+            let par = refine_plan(
+                &parallelize_plan(&plan, &ctx.catalog, workers),
+                &ctx.catalog,
+                &ctx.refine,
+            );
+            let (rows, stats, profile) =
+                execute_profiled_threads(&par, &ctx.catalog, &ctx.machine, workers)
+                    .unwrap_or_else(|e| panic!("{name} at {workers} workers: {e}"));
+            assert_eq!(
+                profile.sum_op_counters(),
+                stats.counters,
+                "{name} at {workers} workers: per-worker counters not conserved"
+            );
+            let modeled = modeled_wall_seconds(&stats, &profile, &ctx.machine);
+            let host = stats.wall.as_secs_f64();
+            let mbase = *base_modeled.get_or_insert(modeled);
+            let hbase = *base_host.get_or_insert(host);
+            let lanes: Vec<WorkerLaneMetrics> = profile
+                .ops
+                .iter()
+                .filter_map(|op| op.workers.as_ref())
+                .flatten()
+                .map(WorkerLaneMetrics::from_lane)
+                .collect();
+            report.entries.push(ScalingEntry {
+                query: name.to_string(),
+                workers: workers as u64,
+                rows: rows.len() as u64,
+                modeled_wall_seconds: modeled,
+                speedup: if modeled > 0.0 { mbase / modeled } else { 1.0 },
+                modeled_cpu_seconds: stats.seconds(),
+                host_seconds: host,
+                host_speedup: if host > 0.0 { hbase / host } else { 1.0 },
+                l1i_misses: stats.counters.l1i_misses,
+                lanes,
+            });
+        }
+    }
+    report
+}
+
+/// Plain-text rendering of the scaling sweep (the `repro scaling` report).
+pub fn scaling_table(report: &ScalingReport) -> String {
+    let mut s = String::from(
+        "== Scaling: TPC-H under morsel-driven parallelism ==\n\
+         (wall = modeled machine wall clock: serial cycles + slowest lane per exchange;\n\
+          cpu = conserved modeled cycles over all cores; host = simulation runtime)\n\
+         query | workers | wall (s) | speedup | cpu (s) | host (s) | L1i misses | lanes\n",
+    );
+    for e in &report.entries {
+        let _ = writeln!(
+            s,
+            "{:<5} | {:>7} | {:>8.4} | {:>6.2}x | {:>7.4} | {:>8.4} | {:>10} | {}",
+            e.query,
+            e.workers,
+            e.modeled_wall_seconds,
+            e.speedup,
+            e.modeled_cpu_seconds,
+            e.host_seconds,
+            e.l1i_misses,
+            e.lanes.len(),
+        );
+    }
+    s
 }
 
 /// §7.3 calibration: the cardinality threshold for this machine.
@@ -677,6 +798,11 @@ pub fn buffer_everywhere(plan: &PlanNode, size: usize) -> PlanNode {
             right: wrap(right),
             left_key: *left_key,
             right_key: *right_key,
+        },
+        // An exchange already batches at its boundary; buffer below it only.
+        PlanNode::Exchange { input, workers } => PlanNode::Exchange {
+            input: Box::new(buffer_everywhere(input, size)),
+            workers: *workers,
         },
     }
 }

@@ -3,7 +3,8 @@
 
 use crate::json::Json;
 use bufferdb_cachesim::{format_counter_comparison, pct_reduction, MachineConfig};
-use bufferdb_core::exec::execute_with_stats;
+use bufferdb_core::exec::{execute_with_stats, execute_with_stats_threads};
+use bufferdb_core::obs::ExchangeLane;
 use bufferdb_core::plan::PlanNode;
 use bufferdb_core::stats::ExecStats;
 use bufferdb_storage::Catalog;
@@ -31,6 +32,24 @@ impl RunResult {
 pub fn run_plan(label: &str, plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> RunResult {
     let (rows, stats) =
         execute_with_stats(plan, catalog, cfg).unwrap_or_else(|e| panic!("{label}: {e}"));
+    RunResult {
+        label: label.to_string(),
+        rows,
+        stats,
+    }
+}
+
+/// [`run_plan`] with a worker budget for intra-operator parallelism (the
+/// partitioned hash-join build; exchange fan-out comes from the plan).
+pub fn run_plan_threads(
+    label: &str,
+    plan: &PlanNode,
+    catalog: &Catalog,
+    cfg: &MachineConfig,
+    threads: usize,
+) -> RunResult {
+    let (rows, stats) = execute_with_stats_threads(plan, catalog, cfg, threads)
+        .unwrap_or_else(|e| panic!("{label}: {e}"));
     RunResult {
         label: label.to_string(),
         rows,
@@ -131,6 +150,8 @@ pub struct MetricsReport {
     pub scale: f64,
     /// Generator seed.
     pub seed: u64,
+    /// Worker-thread budget the queries ran with.
+    pub threads: u64,
     /// One entry per (query, variant) execution.
     pub entries: Vec<QueryMetrics>,
 }
@@ -142,8 +163,144 @@ impl MetricsReport {
             ("schema".into(), Json::str("bufferdb-metrics/v1")),
             ("scale_factor".into(), Json::F64(self.scale)),
             ("seed".into(), Json::U64(self.seed)),
+            ("threads".into(), Json::U64(self.threads)),
             (
                 "queries".into(),
+                Json::Arr(self.entries.iter().map(|e| e.to_json()).collect()),
+            ),
+        ])
+        .pretty()
+    }
+}
+
+/// Per-worker measurements for one exchange, destined for the scaling
+/// report (mirrors [`ExchangeLane`] with the derived miss rate).
+#[derive(Debug, Clone)]
+pub struct WorkerLaneMetrics {
+    /// Worker index within the exchange's pool.
+    pub worker: u64,
+    /// Morsels this worker claimed.
+    pub morsels: u64,
+    /// Rows this worker produced.
+    pub rows: u64,
+    /// Instructions retired on the worker's simulated core.
+    pub instructions: u64,
+    /// L1i misses on the worker's simulated core.
+    pub l1i_misses: u64,
+    /// L1i miss rate (misses / accesses) on the worker's core.
+    pub l1i_miss_rate: f64,
+}
+
+impl WorkerLaneMetrics {
+    /// Derive the exported lane metrics from a profiler exchange lane.
+    pub fn from_lane(lane: &ExchangeLane) -> Self {
+        let rate = if lane.counters.l1i_accesses == 0 {
+            0.0
+        } else {
+            lane.counters.l1i_misses as f64 / lane.counters.l1i_accesses as f64
+        };
+        WorkerLaneMetrics {
+            worker: lane.worker,
+            morsels: lane.morsels,
+            rows: lane.rows,
+            instructions: lane.counters.instructions,
+            l1i_misses: lane.counters.l1i_misses,
+            l1i_miss_rate: rate,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("worker".into(), Json::U64(self.worker)),
+            ("morsels".into(), Json::U64(self.morsels)),
+            ("rows".into(), Json::U64(self.rows)),
+            ("instructions".into(), Json::U64(self.instructions)),
+            ("l1i_misses".into(), Json::U64(self.l1i_misses)),
+            ("l1i_miss_rate".into(), Json::F64(self.l1i_miss_rate)),
+        ])
+    }
+}
+
+/// One (query, worker-count) point on the scaling curve.
+///
+/// Two elapsed-time views are reported. `modeled_wall_seconds` is the
+/// simulated machine's wall clock: per-exchange, the workers run
+/// concurrently on their own cores, so the parallel phase costs the *slowest
+/// lane* rather than the sum — this is the scaling curve of the modeled
+/// hardware and is host-independent. `host_seconds` is the real wall clock
+/// of the simulation itself; it only scales when the host has idle cores.
+#[derive(Debug, Clone)]
+pub struct ScalingEntry {
+    /// Query name.
+    pub query: String,
+    /// Exchange worker count for this run.
+    pub workers: u64,
+    /// Result rows.
+    pub rows: u64,
+    /// Modeled wall-clock seconds: serial cycles plus each exchange's
+    /// critical path (its slowest worker lane).
+    pub modeled_wall_seconds: f64,
+    /// Wall-clock speedup relative to the 1-worker run of the same query
+    /// (on the modeled machine's clock).
+    pub speedup: f64,
+    /// Modeled CPU seconds summed over every core (the conserved total).
+    pub modeled_cpu_seconds: f64,
+    /// Host wall-clock seconds of the simulation run (sanity only).
+    pub host_seconds: f64,
+    /// Host wall-clock speedup relative to the 1-worker run.
+    pub host_speedup: f64,
+    /// Aggregate L1i misses across all cores (conserved).
+    pub l1i_misses: u64,
+    /// Per-worker lanes from every exchange in the plan.
+    pub lanes: Vec<WorkerLaneMetrics>,
+}
+
+impl ScalingEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("query".into(), Json::str(&self.query)),
+            ("workers".into(), Json::U64(self.workers)),
+            ("rows".into(), Json::U64(self.rows)),
+            (
+                "modeled_wall_seconds".into(),
+                Json::F64(self.modeled_wall_seconds),
+            ),
+            ("speedup".into(), Json::F64(self.speedup)),
+            (
+                "modeled_cpu_seconds".into(),
+                Json::F64(self.modeled_cpu_seconds),
+            ),
+            ("host_seconds".into(), Json::F64(self.host_seconds)),
+            ("host_speedup".into(), Json::F64(self.host_speedup)),
+            ("l1i_misses".into(), Json::U64(self.l1i_misses)),
+            (
+                "worker_lanes".into(),
+                Json::Arr(self.lanes.iter().map(|l| l.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+/// The machine-readable scaling report (`BENCH_parallel.json`).
+#[derive(Debug, Clone, Default)]
+pub struct ScalingReport {
+    /// TPC-H scale factor.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// One entry per (query, worker-count) execution.
+    pub entries: Vec<ScalingEntry>,
+}
+
+impl ScalingReport {
+    /// Render the report as a pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("schema".into(), Json::str("bufferdb-parallel/v1")),
+            ("scale_factor".into(), Json::F64(self.scale)),
+            ("seed".into(), Json::U64(self.seed)),
+            (
+                "runs".into(),
                 Json::Arr(self.entries.iter().map(|e| e.to_json()).collect()),
             ),
         ])
@@ -167,6 +324,7 @@ mod tests {
         let report = MetricsReport {
             scale: 0.02,
             seed: 42,
+            threads: 4,
             entries: vec![QueryMetrics {
                 query: "Q1".into(),
                 variant: "original".into(),
@@ -187,7 +345,44 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("\"query\": \"Q1\""), "{text}");
+        assert!(text.contains("\"threads\": 4"), "{text}");
         assert!(text.contains("\"instructions\": 1000"), "{text}");
         assert!(text.contains("\"modeled_seconds\": 1.25"), "{text}");
+    }
+
+    #[test]
+    fn scaling_report_renders_json() {
+        let report = ScalingReport {
+            scale: 0.01,
+            seed: 42,
+            entries: vec![ScalingEntry {
+                query: "Q6".into(),
+                workers: 4,
+                rows: 1,
+                modeled_wall_seconds: 0.5,
+                speedup: 3.2,
+                modeled_cpu_seconds: 1.1,
+                host_seconds: 0.2,
+                host_speedup: 1.0,
+                l1i_misses: 77,
+                lanes: vec![WorkerLaneMetrics {
+                    worker: 0,
+                    morsels: 3,
+                    rows: 100,
+                    instructions: 5000,
+                    l1i_misses: 20,
+                    l1i_miss_rate: 0.01,
+                }],
+            }],
+        };
+        let text = report.to_json();
+        assert!(
+            text.contains("\"schema\": \"bufferdb-parallel/v1\""),
+            "{text}"
+        );
+        assert!(text.contains("\"workers\": 4"), "{text}");
+        assert!(text.contains("\"speedup\": 3.2"), "{text}");
+        assert!(text.contains("\"worker_lanes\""), "{text}");
+        assert!(text.contains("\"morsels\": 3"), "{text}");
     }
 }

@@ -209,8 +209,10 @@ impl CodeLayout {
 }
 
 /// Per-operator-instance executable region: shared immutable segments plus
-/// private per-site execution counters (branch history position).
-#[derive(Debug)]
+/// private per-site execution counters (branch history position). Cloning a
+/// region models the same binary text mapped by another core: the addresses
+/// are shared, the execution counters are private to the clone.
+#[derive(Debug, Clone)]
 pub struct CodeRegion {
     segments: Vec<SegmentRef>,
     /// `(address, kind, executions)` for every site of every segment.

@@ -26,6 +26,8 @@ pub struct Machine {
     l2_misses: u64,
     l2_covered: u64,
     l2_line_shift: u32,
+    /// Counters merged in from other simulated cores (worker machines).
+    absorbed: PerfCounters,
 }
 
 impl Machine {
@@ -44,6 +46,7 @@ impl Machine {
             l2_misses: 0,
             l2_covered: 0,
             l2_line_shift: cfg.l2.line_size.trailing_zeros(),
+            absorbed: PerfCounters::default(),
             cfg,
         }
     }
@@ -127,22 +130,36 @@ impl Machine {
         self.instructions += n;
     }
 
-    /// Snapshot every counter.
+    /// Fold another core's counter delta into this machine's totals.
+    ///
+    /// Parallel operators (exchange, partitioned hash build) simulate each
+    /// worker on its own [`Machine`] — per-core L1i/ITLB/branch state, as the
+    /// paper assumes — and merge the workers' counters into the coordinating
+    /// machine at the end of the parallel phase. The merge is exact: after
+    /// absorbing every worker, [`Machine::snapshot`] equals the field-wise
+    /// sum of the coordinator's own activity and all worker activity.
+    pub fn absorb(&mut self, other: &PerfCounters) {
+        self.absorbed = self.absorbed + *other;
+    }
+
+    /// Snapshot every counter (this core's activity plus anything absorbed
+    /// from worker machines).
     pub fn snapshot(&self) -> PerfCounters {
-        PerfCounters {
-            instructions: self.instructions,
-            l1i_accesses: self.l1i.accesses(),
-            l1i_misses: self.l1i.misses(),
-            l1d_accesses: self.l1d.accesses(),
-            l1d_misses: self.l1d.misses(),
-            l2_accesses: self.l2_accesses,
-            l2_misses: self.l2_misses,
-            l2_covered: self.l2_covered,
-            itlb_accesses: self.itlb.accesses(),
-            itlb_misses: self.itlb.misses(),
-            branches: self.predictor.branches(),
-            mispredictions: self.predictor.mispredictions(),
-        }
+        self.absorbed
+            + PerfCounters {
+                instructions: self.instructions,
+                l1i_accesses: self.l1i.accesses(),
+                l1i_misses: self.l1i.misses(),
+                l1d_accesses: self.l1d.accesses(),
+                l1d_misses: self.l1d.misses(),
+                l2_accesses: self.l2_accesses,
+                l2_misses: self.l2_misses,
+                l2_covered: self.l2_covered,
+                itlb_accesses: self.itlb.accesses(),
+                itlb_misses: self.itlb.misses(),
+                branches: self.predictor.branches(),
+                mispredictions: self.predictor.mispredictions(),
+            }
     }
 
     /// Modeled cycles for a counter delta, per the paper's methodology

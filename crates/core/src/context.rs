@@ -1,8 +1,8 @@
 //! Execution context threaded through every operator call.
 
 use crate::arena::TupleArena;
-use crate::obs::{ObsEvent, ObsId, QueryProfiler};
-use bufferdb_cachesim::{Machine, MachineConfig};
+use crate::obs::{ExchangeLane, ObsEvent, ObsId, QueryProfile, QueryProfiler};
+use bufferdb_cachesim::{Machine, MachineConfig, PerfCounters};
 
 /// Per-query execution state: the simulated machine and the tuple arena.
 ///
@@ -16,6 +16,14 @@ pub struct ExecContext {
     /// Per-operator stats sink; `None` (the default) makes every `obs_*`
     /// helper a no-op, so unprofiled runs pay nothing.
     pub profiler: Option<QueryProfiler>,
+    /// Row-range morsel handed to a worker pipeline by an exchange operator;
+    /// the driving leaf scan claims it (`take`) at `open` and restricts
+    /// itself to rows in `[lo, hi)`.
+    pub morsel: Option<(u32, u32)>,
+    /// Worker budget for intra-operator parallelism (the hash-join build
+    /// partitioning). 1 inside exchange workers so parallel phases never
+    /// nest.
+    pub build_threads: usize,
 }
 
 impl ExecContext {
@@ -25,6 +33,30 @@ impl ExecContext {
             machine: Machine::new(cfg),
             arena: TupleArena::new(),
             profiler: None,
+            morsel: None,
+            build_threads: 1,
+        }
+    }
+
+    /// Merge one exchange worker's results into this context: the worker
+    /// core's counters into the machine, and (when profiling) the worker's
+    /// per-operator profile into the query profiler plus a lane record on
+    /// the exchange operator. `child_base` is the profiler id of the
+    /// exchange subtree's root.
+    pub fn absorb_worker(
+        &mut self,
+        exchange: Option<ObsId>,
+        child_base: usize,
+        counters: PerfCounters,
+        profile: Option<&QueryProfile>,
+        lane: ExchangeLane,
+    ) {
+        self.machine.absorb(&counters);
+        if let (Some(id), Some(p)) = (exchange, self.profiler.as_mut()) {
+            if let Some(wp) = profile {
+                p.absorb_worker(child_base, id, wp);
+            }
+            p.exchange_lane(id, lane);
         }
     }
 

@@ -1,0 +1,297 @@
+//! Morsel-driven parallel exchange: fan-out + ordered gather.
+//!
+//! The exchange partitions its subtree's driving scan into *morsels*
+//! (contiguous row-id ranges), executes a private copy of the subtree on
+//! each of a fixed pool of workers (`std::thread::scope`), and gathers the
+//! produced tuples through a bounded MPSC channel. Each worker owns its own
+//! [`ExecContext`] with its own simulated [`bufferdb_cachesim::Machine`] —
+//! per-core L1i/ITLB/branch state, as the paper assumes — and, when the
+//! query is profiled, its own [`QueryProfiler`] over the same subtree
+//! labels. At the end of the parallel phase every worker's counters and
+//! profile are merged into the coordinating context with exact conservation
+//! (see [`ExecContext::absorb_worker`]).
+//!
+//! Gathered tuples are resequenced by morsel index, so when the driving
+//! leaf is a sequential scan the output order is exactly the serial order —
+//! parallel execution is bit-identical to serial, including the
+//! floating-point accumulation order of any aggregate above the exchange.
+
+use crate::arena::TupleSlot;
+use crate::context::ExecContext;
+use crate::exec::{schema_slot_bytes, Operator, DEFAULT_BATCH};
+use crate::footprint::{FootprintModel, OpKind};
+use crate::obs::{ExchangeLane, ObsId, QueryProfile, QueryProfiler};
+use crate::plan::PlanNode;
+use bufferdb_cachesim::{CodeRegion, PerfCounters};
+use bufferdb_storage::Catalog;
+use bufferdb_types::{DbError, Result, SchemaRef, Tuple};
+use std::collections::VecDeque;
+use std::sync::{mpsc, Mutex};
+
+/// Upper bound on rows per morsel. Large enough that per-morsel overhead
+/// (one subtree open/close, one coordinator dispatch) is noise; small
+/// enough that a scan splits into many more morsels than workers, so the
+/// shared queue balances skew from uneven predicates.
+pub const MORSEL_ROWS: u32 = 4096;
+
+/// Morsels per worker targeted when the domain is small: work-stealing off
+/// the shared queue needs several morsels per worker to balance.
+const MORSELS_PER_WORKER: usize = 4;
+
+/// Modeled instructions a worker spends pushing one tuple into the gather
+/// queue (outside any operator bracket: this is the lane residual charged
+/// to the exchange operator).
+const QUEUE_PUSH_INSTR: u64 = 12;
+
+/// Modeled instructions the coordinator spends handing one gathered tuple
+/// to its parent.
+const GATHER_INSTR: u64 = 10;
+
+/// Gather channel bound: workers stall once this many tuples are in flight.
+const CHANNEL_BOUND: usize = 256;
+
+/// Rows of the subtree's driving leaf scan — the morsel domain. The driving
+/// leaf is the first-opened scan of the subtree (probe side of a hash join,
+/// outer side of a nested loop), reached through first children.
+pub(crate) fn driving_leaf_rows(plan: &PlanNode, catalog: &Catalog) -> Result<u32> {
+    match plan {
+        PlanNode::SeqScan { table, .. } => Ok(catalog.table(table)?.row_count() as u32),
+        PlanNode::IndexScan { index, .. } => {
+            let idx = catalog.index(index)?;
+            Ok(catalog.table(&idx.table)?.row_count() as u32)
+        }
+        other => {
+            let children = other.children();
+            match children.first() {
+                Some(c) => driving_leaf_rows(c, catalog),
+                None => Err(DbError::InvalidPlan(
+                    "exchange subtree has no driving scan".into(),
+                )),
+            }
+        }
+    }
+}
+
+/// What one worker brings home from the parallel phase.
+struct WorkerOutcome {
+    worker: u64,
+    tree: Box<dyn Operator>,
+    counters: PerfCounters,
+    profile: Option<QueryProfile>,
+    morsels: u64,
+    rows: u64,
+    error: Option<DbError>,
+}
+
+/// The exchange operator (plan node [`PlanNode::Exchange`]).
+pub struct ExchangeOp {
+    schema: SchemaRef,
+    code: CodeRegion,
+    workers: usize,
+    /// Row-id domain of the driving leaf scan, partitioned into morsels.
+    domain: u32,
+    obs: Option<ObsId>,
+    /// Profiler id of the subtree's root: worker op `i` merges into
+    /// `child_base + i` (both sides register the subtree in pre-order).
+    child_base: usize,
+    worker_trees: Vec<Box<dyn Operator>>,
+    /// Subtree labels for per-worker profilers; empty when unprofiled.
+    worker_labels: Vec<String>,
+    gathered: VecDeque<Tuple>,
+    out_region: u32,
+    batch_hint: usize,
+}
+
+impl ExchangeOp {
+    /// Build an exchange over pre-built per-worker subtree copies.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        fm: &mut FootprintModel,
+        schema: SchemaRef,
+        workers: usize,
+        domain: u32,
+        obs: Option<ObsId>,
+        child_base: usize,
+        worker_trees: Vec<Box<dyn Operator>>,
+        worker_labels: Vec<String>,
+    ) -> Self {
+        ExchangeOp {
+            schema,
+            code: fm.region_for(&OpKind::Exchange),
+            workers: workers.max(1),
+            domain,
+            obs,
+            child_base,
+            worker_trees,
+            worker_labels,
+            gathered: VecDeque::new(),
+            out_region: u32::MAX,
+            batch_hint: DEFAULT_BATCH,
+        }
+    }
+
+    fn morsels(&self) -> Vec<(u32, u32)> {
+        let chunk = (self.domain as usize)
+            .div_ceil(self.workers * MORSELS_PER_WORKER)
+            .clamp(1, MORSEL_ROWS as usize) as u32;
+        let mut out = Vec::new();
+        let mut lo = 0u32;
+        while lo < self.domain {
+            let hi = lo.saturating_add(chunk).min(self.domain);
+            out.push((lo, hi));
+            lo = hi;
+        }
+        out
+    }
+}
+
+/// Run one morsel through a worker's subtree, streaming output to the
+/// gather channel tagged with the morsel index.
+fn run_morsel(
+    tree: &mut dyn Operator,
+    wctx: &mut ExecContext,
+    idx: usize,
+    tx: &mpsc::SyncSender<(usize, Tuple)>,
+    rows: &mut u64,
+) -> Result<()> {
+    tree.open(wctx)?;
+    while let Some(slot) = tree.next(wctx)? {
+        let t = wctx.arena.tuple(slot).clone();
+        wctx.machine.add_instructions(QUEUE_PUSH_INSTR);
+        // A send error means the coordinator stopped draining (it is
+        // unwinding an error of its own): stop producing.
+        if tx.send((idx, t)).is_err() {
+            break;
+        }
+        *rows += 1;
+    }
+    tree.close(wctx)
+}
+
+impl Operator for ExchangeOp {
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn set_batch_hint(&mut self, n: usize) {
+        self.batch_hint = self.batch_hint.max(n);
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        self.out_region = ctx
+            .arena
+            .alloc_region(self.batch_hint as u32 + 1, schema_slot_bytes(&self.schema));
+        let cfg = ctx.machine.config().clone();
+        let morsels = self.morsels();
+        let n_morsels = morsels.len();
+        let queue: Mutex<VecDeque<(usize, (u32, u32))>> =
+            Mutex::new(morsels.into_iter().enumerate().collect());
+        let trees = std::mem::take(&mut self.worker_trees);
+        let labels = &self.worker_labels;
+        let (tx, rx) = mpsc::sync_channel::<(usize, Tuple)>(CHANNEL_BOUND);
+        let mut buckets: Vec<Vec<Tuple>> = (0..n_morsels).map(|_| Vec::new()).collect();
+        let outcomes: Vec<WorkerOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = trees
+                .into_iter()
+                .enumerate()
+                .map(|(w, mut tree)| {
+                    let tx = tx.clone();
+                    let queue = &queue;
+                    let cfg = cfg.clone();
+                    s.spawn(move || {
+                        let mut wctx = ExecContext::new(cfg);
+                        if !labels.is_empty() {
+                            wctx.profiler = Some(QueryProfiler::new(labels));
+                        }
+                        let mut morsels_done = 0u64;
+                        let mut rows = 0u64;
+                        let mut error = None;
+                        loop {
+                            // Scope the guard: a `while let` on `lock()`
+                            // would hold the mutex across the whole morsel.
+                            let claimed = queue.lock().expect("morsel queue poisoned").pop_front();
+                            let Some((idx, range)) = claimed else { break };
+                            morsels_done += 1;
+                            wctx.morsel = Some(range);
+                            if let Err(e) = run_morsel(&mut *tree, &mut wctx, idx, &tx, &mut rows) {
+                                error = Some(e);
+                                break;
+                            }
+                        }
+                        drop(tx);
+                        let counters = wctx.machine.snapshot();
+                        let profile = wctx.profiler.take().map(|p| p.finish(counters));
+                        WorkerOutcome {
+                            worker: w as u64,
+                            tree,
+                            counters,
+                            profile,
+                            morsels: morsels_done,
+                            rows,
+                            error,
+                        }
+                    })
+                })
+                .collect();
+            // The coordinator drains the gather channel while workers run;
+            // dropping its own sender first lets the loop end when the last
+            // worker hangs up.
+            drop(tx);
+            for (idx, t) in rx {
+                buckets[idx].push(t);
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("exchange worker panicked"))
+                .collect()
+        });
+        // Resequence by morsel index: serial row order for seq-scan leaves.
+        self.gathered = buckets.into_iter().flatten().collect();
+        let mut restored = Vec::with_capacity(outcomes.len());
+        let mut first_err = None;
+        for oc in outcomes {
+            // Coordinator-side dispatch cost: one pass over the exchange's
+            // code per morsel handed out.
+            for _ in 0..oc.morsels {
+                ctx.machine.exec_region(&mut self.code);
+            }
+            let lane = ExchangeLane {
+                worker: oc.worker,
+                morsels: oc.morsels,
+                rows: oc.rows,
+                counters: oc.counters,
+            };
+            ctx.absorb_worker(
+                self.obs,
+                self.child_base,
+                oc.counters,
+                oc.profile.as_ref(),
+                lane,
+            );
+            restored.push(oc.tree);
+            if first_err.is_none() {
+                first_err = oc.error;
+            }
+        }
+        self.worker_trees = restored;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleSlot>> {
+        match self.gathered.pop_front() {
+            None => Ok(None),
+            Some(t) => {
+                ctx.machine.add_instructions(GATHER_INSTR);
+                Ok(Some(ctx.arena.store(self.out_region, t, &mut ctx.machine)))
+            }
+        }
+    }
+
+    fn close(&mut self, _ctx: &mut ExecContext) -> Result<()> {
+        self.gathered.clear();
+        Ok(())
+    }
+}

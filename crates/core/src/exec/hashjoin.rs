@@ -11,9 +11,13 @@ use crate::arena::TupleSlot;
 use crate::context::ExecContext;
 use crate::exec::{schema_slot_bytes, Operator, DEFAULT_BATCH};
 use crate::footprint::{FootprintModel, OpKind};
-use bufferdb_cachesim::CodeRegion;
+use bufferdb_cachesim::{CodeRegion, Machine, PerfCounters};
 use bufferdb_types::{Result, SchemaRef, Tuple};
 use std::collections::HashMap;
+
+/// Below this many build rows a partitioned build cannot amortize thread
+/// start-up: insert on the coordinating core instead.
+const PARALLEL_BUILD_MIN_ROWS: usize = 256;
 
 fn mix(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -80,6 +84,75 @@ impl HashJoinOp {
     fn bucket_addr(&self, key: i64) -> u64 {
         self.ht_base + (mix(key as u64) & self.bucket_mask) * 16
     }
+
+    /// Partitioned hash-table insertion over already-drained build rows.
+    ///
+    /// Rows are partitioned by `mix(key) % workers`, so partitions are
+    /// key-disjoint: the merged table is a conflict-free union whose per-key
+    /// match lists keep the same (row-index) order as a serial build — the
+    /// join output is bit-identical. Each worker simulates its inserts on
+    /// its own [`Machine`] (a private core running a clone of the build code
+    /// region); the worker counters are absorbed into the coordinating
+    /// machine, which keeps profiler conservation exact (the jump lands on
+    /// this operator's bracket).
+    fn parallel_insert(&mut self, ctx: &mut ExecContext) {
+        let workers = ctx.build_threads;
+        if self.build_rows.len() < PARALLEL_BUILD_MIN_ROWS {
+            for (idx, row) in self.build_rows.iter().enumerate() {
+                ctx.machine.exec_region(&mut self.build_code);
+                if let Some(k) = row.get(self.build_key).as_int() {
+                    ctx.machine
+                        .data_write(self.ht_base + (mix(k as u64) & self.bucket_mask) * 16, 16);
+                    self.table.entry(k).or_default().push(idx as u32);
+                }
+            }
+            return;
+        }
+        let cfg = ctx.machine.config().clone();
+        let rows = &self.build_rows;
+        let build_key = self.build_key;
+        let ht_base = self.ht_base;
+        let mask = self.bucket_mask;
+        let code = &self.build_code;
+        let parts: Vec<(HashMap<i64, Vec<u32>>, PerfCounters)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let cfg = cfg.clone();
+                    let mut code = code.clone();
+                    s.spawn(move || {
+                        let mut m = Machine::new(cfg);
+                        let mut part: HashMap<i64, Vec<u32>> = HashMap::new();
+                        for (idx, row) in rows.iter().enumerate() {
+                            // NULL keys go to worker 0: they run build code
+                            // but insert nothing (never matched).
+                            let key = row.get(build_key).as_int();
+                            let owner = match key {
+                                Some(k) => (mix(k as u64) % workers as u64) as usize,
+                                None => 0,
+                            };
+                            if owner != w {
+                                continue;
+                            }
+                            m.exec_region(&mut code);
+                            if let Some(k) = key {
+                                m.data_write(ht_base + (mix(k as u64) & mask) * 16, 16);
+                                part.entry(k).or_default().push(idx as u32);
+                            }
+                        }
+                        (part, m.snapshot())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("hash build worker panicked"))
+                .collect()
+        });
+        for (part, counters) in parts {
+            ctx.machine.absorb(&counters);
+            self.table.extend(part);
+        }
+    }
 }
 
 impl Operator for HashJoinOp {
@@ -98,32 +171,46 @@ impl Operator for HashJoinOp {
             .arena
             .alloc_region(self.batch_hint as u32 + 1, schema_slot_bytes(&self.schema));
 
-        // Blocking build: drain the build child, interleaving build code
-        // with the child's code per row (the PCPC pattern the refiner may
-        // break with a buffer below us).
         self.table.clear();
         self.build_rows.clear();
-        while let Some(slot) = self.build.next(ctx)? {
-            ctx.machine.exec_region(&mut self.build_code);
-            let row = ctx.arena.tuple(slot).clone();
-            let key = row.get(self.build_key).as_int();
-            let idx = self.build_rows.len() as u32;
-            self.build_rows.push(row);
-            if let Some(k) = key {
-                self.table.entry(k).or_default().push(idx);
+        if ctx.build_threads > 1 {
+            // Parallel build: the child is one iterator, so the drain itself
+            // stays on this core — but build-code execution and hash
+            // insertion move to a key-partitioned worker pool.
+            while let Some(slot) = self.build.next(ctx)? {
+                let row = ctx.arena.tuple(slot).clone();
+                self.build_rows.push(row);
             }
-            // NULL build keys never match; they are stored but unreachable.
-        }
+            let buckets = (self.build_rows.len().max(1) * 2).next_power_of_two() as u64;
+            self.bucket_mask = buckets - 1;
+            self.ht_base = ctx.arena.sim_alloc(buckets * 16);
+            self.parallel_insert(ctx);
+        } else {
+            // Serial blocking build: drain the build child, interleaving
+            // build code with the child's code per row (the PCPC pattern the
+            // refiner may break with a buffer below us).
+            while let Some(slot) = self.build.next(ctx)? {
+                ctx.machine.exec_region(&mut self.build_code);
+                let row = ctx.arena.tuple(slot).clone();
+                let key = row.get(self.build_key).as_int();
+                let idx = self.build_rows.len() as u32;
+                self.build_rows.push(row);
+                if let Some(k) = key {
+                    self.table.entry(k).or_default().push(idx);
+                }
+                // NULL build keys never match; they are stored but unreachable.
+            }
 
-        // Size the simulated bucket array now that the count is known, then
-        // account one write per insert.
-        let buckets = (self.build_rows.len().max(1) * 2).next_power_of_two() as u64;
-        self.bucket_mask = buckets - 1;
-        self.ht_base = ctx.arena.sim_alloc(buckets * 16);
-        for (k, v) in &self.table {
-            for _ in v {
-                ctx.machine
-                    .data_write(self.ht_base + (mix(*k as u64) & self.bucket_mask) * 16, 16);
+            // Size the simulated bucket array now that the count is known,
+            // then account one write per insert.
+            let buckets = (self.build_rows.len().max(1) * 2).next_power_of_two() as u64;
+            self.bucket_mask = buckets - 1;
+            self.ht_base = ctx.arena.sim_alloc(buckets * 16);
+            for (k, v) in &self.table {
+                for _ in v {
+                    ctx.machine
+                        .data_write(self.ht_base + (mix(*k as u64) & self.bucket_mask) * 16, 16);
+                }
             }
         }
         self.pending = None;

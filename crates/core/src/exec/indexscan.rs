@@ -114,9 +114,17 @@ impl Operator for IndexScanOp {
             IndexMode::Range { lo, hi } => {
                 self.simulate_descent(ctx, lo.unwrap_or(0));
                 self.fill_range(lo, hi);
+                // An exchange worker hands us a morsel of the heap row-id
+                // domain: keep only matches inside it.
+                if let Some((mlo, mhi)) = ctx.morsel.take() {
+                    self.matches.retain(|&r| r >= mlo && r < mhi);
+                }
             }
             IndexMode::LookupParam => {
-                // Waits for the first rescan with a parameter.
+                // Waits for the first rescan with a parameter. Morsels never
+                // apply here (lookups are driven by the outer row), but a
+                // stray one must not leak to a sibling scan.
+                ctx.morsel.take();
                 self.matches.clear();
                 self.pos = 0;
             }

@@ -9,6 +9,7 @@
 pub mod agg;
 pub mod buffer;
 pub mod copybuffer;
+pub mod exchange;
 pub mod filter;
 pub mod hashjoin;
 pub mod indexscan;
@@ -36,7 +37,10 @@ use bufferdb_types::{DataType, Datum, DbError, Result, SchemaRef, Tuple};
 pub const DEFAULT_BATCH: usize = 2;
 
 /// The iterator interface every operator supports (§4).
-pub trait Operator {
+///
+/// `Send` because exchange operators move per-worker subtree copies into
+/// scoped threads.
+pub trait Operator: Send {
     /// Output schema.
     fn schema(&self) -> SchemaRef;
 
@@ -109,6 +113,18 @@ fn obs_label(plan: &PlanNode) -> String {
         PlanNode::Filter { .. } => "Filter".to_string(),
         PlanNode::Limit { .. } => "Limit".to_string(),
         PlanNode::Materialize { .. } => "Materialize".to_string(),
+        PlanNode::Exchange { workers, .. } => format!("Exchange({workers})"),
+    }
+}
+
+/// Register every node of `plan` (pre-order) without building operators.
+/// The exchange registers its subtree this way so the coordinating profiler
+/// has slots for the merged per-worker stats at the same pre-order ids
+/// `explain_analyze` derives from the plan walk.
+fn register_labels_rec(plan: &PlanNode, fm: &mut FootprintModel) {
+    fm.obs_register(obs_label(plan));
+    for c in plan.children() {
+        register_labels_rec(c, fm);
     }
 }
 
@@ -220,6 +236,43 @@ fn build_rec(
             let c = build_rec(input, catalog, fm)?;
             Box::new(materialize::MaterializeOp::new(fm, c))
         }
+        PlanNode::Exchange { input, workers } => {
+            // The subtree's profiler slots live in the coordinating model at
+            // the ids right after the exchange; the worker copies are built
+            // against fresh models (separate per-core code mappings) whose
+            // registration follows the same pre-order, so worker op `i`
+            // merges into `child_base + i`.
+            let child_base = fm.obs_labels().len();
+            if fm.obs_enabled() {
+                register_labels_rec(input, fm);
+            }
+            let schema = input.output_schema(catalog)?;
+            let domain = exchange::driving_leaf_rows(input, catalog)?;
+            let n = (*workers).max(1);
+            let mut worker_trees = Vec::with_capacity(n);
+            let mut worker_labels = Vec::new();
+            for w in 0..n {
+                let mut wfm = FootprintModel::new();
+                if fm.obs_enabled() {
+                    wfm.enable_obs();
+                }
+                let tree = build_rec(input, catalog, &mut wfm)?;
+                if w == 0 {
+                    worker_labels = wfm.obs_labels().to_vec();
+                }
+                worker_trees.push(tree);
+            }
+            Box::new(exchange::ExchangeOp::new(
+                fm,
+                schema,
+                *workers,
+                domain,
+                obs,
+                child_base,
+                worker_trees,
+                worker_labels,
+            ))
+        }
     };
     Ok(match obs {
         Some(id) => Box::new(ProfiledOp::new(id, op)),
@@ -244,9 +297,23 @@ pub fn execute_with_stats(
     catalog: &Catalog,
     cfg: &MachineConfig,
 ) -> Result<(Vec<Tuple>, ExecStats)> {
+    execute_with_stats_threads(plan, catalog, cfg, 1)
+}
+
+/// [`execute_with_stats`] with a worker budget for intra-operator
+/// parallelism (the partitioned hash-join build). Inter-operator
+/// parallelism comes from [`PlanNode::Exchange`] nodes in the plan itself
+/// (see [`crate::parallel::parallelize_plan`]).
+pub fn execute_with_stats_threads(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    cfg: &MachineConfig,
+    threads: usize,
+) -> Result<(Vec<Tuple>, ExecStats)> {
     let mut fm = FootprintModel::new();
     let mut root = build_executor(plan, catalog, &mut fm)?;
     let mut ctx = ExecContext::new(cfg.clone());
+    ctx.build_threads = threads.max(1);
     let wall_start = std::time::Instant::now();
     root.open(&mut ctx)?;
     let mut rows = Vec::new();
@@ -280,10 +347,22 @@ pub fn execute_profiled(
     catalog: &Catalog,
     cfg: &MachineConfig,
 ) -> Result<(Vec<Tuple>, ExecStats, QueryProfile)> {
+    execute_profiled_threads(plan, catalog, cfg, 1)
+}
+
+/// [`execute_profiled`] with a worker budget for intra-operator parallelism
+/// (see [`execute_with_stats_threads`]).
+pub fn execute_profiled_threads(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    cfg: &MachineConfig,
+    threads: usize,
+) -> Result<(Vec<Tuple>, ExecStats, QueryProfile)> {
     let mut fm = FootprintModel::new();
     fm.enable_obs();
     let mut root = build_executor(plan, catalog, &mut fm)?;
     let mut ctx = ExecContext::new(cfg.clone());
+    ctx.build_threads = threads.max(1);
     ctx.profiler = Some(QueryProfiler::new(fm.obs_labels()));
     let wall_start = std::time::Instant::now();
     root.open(&mut ctx)?;

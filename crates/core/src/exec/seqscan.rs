@@ -27,6 +27,10 @@ pub struct SeqScanOp {
     schema: SchemaRef,
     code: CodeRegion,
     pos: u32,
+    /// First row id of the scanned range (0 unless a morsel was claimed).
+    start: u32,
+    /// One past the last row id of the scanned range.
+    limit: u32,
     out_region: u32,
     batch_hint: usize,
     opened: bool,
@@ -67,6 +71,8 @@ impl SeqScanOp {
             schema,
             code,
             pos: 0,
+            start: 0,
+            limit: 0,
             out_region: u32::MAX,
             batch_hint: DEFAULT_BATCH,
             opened: false,
@@ -87,7 +93,15 @@ impl Operator for SeqScanOp {
         self.out_region = ctx
             .arena
             .alloc_region(self.batch_hint as u32 + 1, schema_slot_bytes(&self.schema));
-        self.pos = 0;
+        let count = self.table.row_count() as u32;
+        self.start = 0;
+        self.limit = count;
+        // An exchange worker hands us a morsel: scan only that row range.
+        if let Some((lo, hi)) = ctx.morsel.take() {
+            self.start = lo.min(count);
+            self.limit = hi.min(count);
+        }
+        self.pos = self.start;
         self.opened = true;
         Ok(())
     }
@@ -95,9 +109,8 @@ impl Operator for SeqScanOp {
     fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleSlot>> {
         debug_assert!(self.opened, "next before open");
         ctx.machine.exec_region(&mut self.code);
-        let count = self.table.row_count() as u32;
         let mut first = true;
-        while self.pos < count {
+        while self.pos < self.limit {
             let id = self.pos;
             self.pos += 1;
             if !first {
@@ -143,7 +156,7 @@ impl Operator for SeqScanOp {
                 "SeqScan takes no rescan parameter".into(),
             ));
         }
-        self.pos = 0;
+        self.pos = self.start;
         Ok(())
     }
 }

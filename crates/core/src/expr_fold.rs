@@ -176,6 +176,10 @@ pub fn fold_plan(plan: &crate::plan::PlanNode) -> crate::plan::PlanNode {
         P::Materialize { input } => P::Materialize {
             input: Box::new(fold_plan(input)),
         },
+        P::Exchange { input, workers } => P::Exchange {
+            input: Box::new(fold_plan(input)),
+            workers: *workers,
+        },
     }
 }
 

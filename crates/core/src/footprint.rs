@@ -65,6 +65,9 @@ const AGG_MINMAX: usize = 1600;
 const AGG_SUM: usize = 200; // + numeric_rt => 2.7 K as listed
 const AGG_AVG: usize = 2300; // + expr_eval + numeric_rt => 6.3 K as listed
 const BUFFER_CORE: usize = 700;
+/// Exchange gather loop: queue pop + tuple hand-off. Like the buffer
+/// operator it is light-weight and shares no module code.
+const EXCHANGE_CORE: usize = 800;
 const PROJECT_CORE: usize = 600;
 const MATERIALIZE_CORE: usize = 3000;
 const FILTER_CORE: usize = 900;
@@ -100,6 +103,8 @@ pub enum OpKind {
     },
     /// The paper's buffer operator.
     Buffer,
+    /// Parallel exchange (morsel fan-out + gather).
+    Exchange,
     /// Standalone projection.
     Project,
     /// Blocking materialization.
@@ -129,6 +134,9 @@ impl OpKind {
         match self {
             OpKind::Buffer => {
                 out.push(seg("buffer_core", BUFFER_CORE));
+            }
+            OpKind::Exchange => {
+                out.push(seg("exchange_core", EXCHANGE_CORE));
             }
             OpKind::SeqScan { with_pred } => {
                 out.push(seg("common_rt", COMMON_RT));

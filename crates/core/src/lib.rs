@@ -27,16 +27,21 @@ pub mod expr_fold;
 pub mod footprint;
 pub mod obs;
 pub mod optimizer;
+pub mod parallel;
 pub mod plan;
 pub mod refine;
 pub mod stats;
 
 pub use arena::{TupleArena, TupleSlot};
 pub use context::ExecContext;
-pub use exec::{build_executor, execute_collect, execute_profiled, execute_with_stats, Operator};
+pub use exec::{
+    build_executor, execute_collect, execute_profiled, execute_profiled_threads,
+    execute_with_stats, execute_with_stats_threads, Operator,
+};
 pub use expr::Expr;
 pub use footprint::{FootprintModel, OpKind};
-pub use obs::{BufferGauges, ObsId, OpStats, QueryProfile, QueryProfiler};
+pub use obs::{BufferGauges, ExchangeLane, ObsId, OpStats, QueryProfile, QueryProfiler};
+pub use parallel::parallelize_plan;
 pub use plan::analyze::explain_analyze;
 pub use plan::{AggFunc, AggSpec, IndexMode, PlanNode};
 pub use refine::{refine_plan, RefineConfig};

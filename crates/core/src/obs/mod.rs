@@ -69,6 +69,21 @@ impl BufferGauges {
     }
 }
 
+/// Per-worker measurements of one exchange operator's lane.
+#[derive(Debug, Clone, Default)]
+pub struct ExchangeLane {
+    /// Worker index within the exchange (0-based).
+    pub worker: u64,
+    /// Morsels the worker claimed.
+    pub morsels: u64,
+    /// Tuples the worker produced.
+    pub rows: u64,
+    /// Everything the worker's simulated core executed (whole lane, not
+    /// split per operator — the per-operator split is merged into the
+    /// subtree's [`OpStats`] by [`QueryProfiler::absorb_worker`]).
+    pub counters: PerfCounters,
+}
+
 /// Everything measured for one operator instance.
 #[derive(Debug, Clone, Default)]
 pub struct OpStats {
@@ -88,6 +103,8 @@ pub struct OpStats {
     pub counters: PerfCounters,
     /// Buffer gauges, present only for buffer operators.
     pub buffer: Option<BufferGauges>,
+    /// Per-worker lanes, present only for exchange operators.
+    pub workers: Option<Vec<ExchangeLane>>,
 }
 
 /// The per-operator stats sink threaded through [`ExecContext`].
@@ -167,6 +184,52 @@ impl QueryProfiler {
             .buffer
             .get_or_insert_with(BufferGauges::default);
         g.drains += 1;
+    }
+
+    /// Merge a worker's finished profile into this one.
+    ///
+    /// The worker executed a copy of the exchange's subtree, whose operators
+    /// were registered in this profiler starting at `base` (the exchange's
+    /// own id plus one — worker trees are registered in the same pre-order).
+    /// Each worker operator's stats fold into the corresponding subtree slot;
+    /// whatever the worker's core executed *outside* operator brackets (the
+    /// queue hand-off between iterator calls) is the lane residual and is
+    /// charged to the exchange operator itself.
+    ///
+    /// The caller must absorb `worker.total` into the coordinating machine
+    /// (see `Machine::absorb`) in the same bracket; advancing `last` here by
+    /// the same amount keeps that snapshot jump from being double-charged to
+    /// whichever operator is on the stack. Conservation is preserved exactly:
+    /// the op sum and the final total both grow by `worker.total`.
+    pub fn absorb_worker(&mut self, base: usize, exchange: ObsId, worker: &QueryProfile) {
+        let mut attributed = PerfCounters::default();
+        for (i, wop) in worker.ops.iter().enumerate() {
+            let op = &mut self.ops[base + i];
+            op.opens += wop.opens;
+            op.next_calls += wop.next_calls;
+            op.rows += wop.rows;
+            op.rescans += wop.rescans;
+            op.closes += wop.closes;
+            op.counters = op.counters + wop.counters;
+            if let Some(wg) = &wop.buffer {
+                let g = op.buffer.get_or_insert_with(BufferGauges::default);
+                g.fills += wg.fills;
+                g.tuples_buffered += wg.tuples_buffered;
+                g.drains += wg.drains;
+            }
+            attributed = attributed + wop.counters;
+        }
+        let ex = &mut self.ops[exchange.0];
+        ex.counters = ex.counters + (worker.total - attributed);
+        self.last = self.last + worker.total;
+    }
+
+    /// Record one worker lane's gauges on an exchange operator.
+    pub fn exchange_lane(&mut self, id: ObsId, lane: ExchangeLane) {
+        self.ops[id.0]
+            .workers
+            .get_or_insert_with(Vec::new)
+            .push(lane);
     }
 
     /// Seal the profile with the final whole-query counter snapshot.

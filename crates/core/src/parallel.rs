@@ -1,0 +1,248 @@
+//! Parallelism-aware plan rewriting: where to put exchange operators.
+//!
+//! The pass wraps scan-driven pipelines in [`PlanNode::Exchange`] nodes so
+//! they execute morsel-wise on a worker pool (see [`crate::exec::exchange`]).
+//! It is deliberately conservative about ordering: results must stay
+//! bit-identical to serial execution, including floating-point accumulation
+//! order in aggregates above the exchange.
+//!
+//! * A pipeline whose leaf is a **sequential scan** (optionally under
+//!   filters/projections) always qualifies: the exchange resequences output
+//!   by morsel index, reproducing the exact serial row order.
+//! * A pipeline leafed by a **range index scan** emits rows grouped by
+//!   heap-row morsel rather than key order, so it qualifies only where no
+//!   ancestor is order-sensitive (merge joins, sorts, limits, aggregates —
+//!   stable-sort ties and float accumulation make all of them sensitive).
+//! * The rescanned inner side of a nested-loop join is never wrapped: the
+//!   exchange does not support `rescan`.
+//! * Pipelines below [`MIN_PARALLEL_ROWS`] driving rows stay serial —
+//!   thread + per-morsel overhead would outweigh the work.
+//!
+//! Run this pass *before* [`crate::refine::refine_plan`]: refinement treats
+//! the exchange as a blocking buffer point and places buffers below it.
+
+use crate::plan::{IndexMode, PlanNode};
+use bufferdb_storage::Catalog;
+
+use crate::exec::exchange::driving_leaf_rows;
+
+/// Minimum driving-leaf rows for a pipeline to be worth parallelizing.
+pub const MIN_PARALLEL_ROWS: u32 = 512;
+
+/// Rewrite `plan`, wrapping every qualifying scan pipeline in an exchange
+/// over `workers` workers. `workers == 0` is treated as 1; the plan is
+/// rewritten even for a single worker so one-worker parallel execution
+/// exercises the same machinery (useful for determinism tests).
+pub fn parallelize_plan(plan: &PlanNode, catalog: &Catalog, workers: usize) -> PlanNode {
+    rec(plan, catalog, workers.max(1), false)
+}
+
+/// Is `plan` a pipeline an exchange can own: filters/projections over a
+/// single scan leaf, with ordering acceptable under `order_required`?
+fn pipeline_ok(plan: &PlanNode, order_required: bool) -> bool {
+    match plan {
+        PlanNode::SeqScan { .. } => true,
+        PlanNode::IndexScan {
+            mode: IndexMode::Range { .. },
+            ..
+        } => !order_required,
+        PlanNode::Filter { input, .. } | PlanNode::Project { input, .. } => {
+            pipeline_ok(input, order_required)
+        }
+        _ => false,
+    }
+}
+
+fn rec(plan: &PlanNode, catalog: &Catalog, workers: usize, order_required: bool) -> PlanNode {
+    if pipeline_ok(plan, order_required) {
+        let rows = driving_leaf_rows(plan, catalog).unwrap_or(0);
+        if rows >= MIN_PARALLEL_ROWS {
+            return PlanNode::Exchange {
+                input: Box::new(plan.clone()),
+                workers,
+            };
+        }
+        return plan.clone();
+    }
+    match plan {
+        PlanNode::NestLoopJoin {
+            outer,
+            inner,
+            param_outer_col,
+            qual,
+            fk_inner,
+        } => PlanNode::NestLoopJoin {
+            outer: Box::new(rec(outer, catalog, workers, order_required)),
+            // The inner side is rescanned per outer row; exchanges cannot
+            // rescan, so it stays serial.
+            inner: inner.clone(),
+            param_outer_col: *param_outer_col,
+            qual: qual.clone(),
+            fk_inner: *fk_inner,
+        },
+        PlanNode::HashJoin {
+            probe,
+            build,
+            probe_key,
+            build_key,
+        } => PlanNode::HashJoin {
+            // Probe-side order flows into the join output (and build-side
+            // insertion order into per-key match order), so both inherit
+            // the ancestor's order sensitivity.
+            probe: Box::new(rec(probe, catalog, workers, order_required)),
+            build: Box::new(rec(build, catalog, workers, order_required)),
+            probe_key: *probe_key,
+            build_key: *build_key,
+        },
+        PlanNode::MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => PlanNode::MergeJoin {
+            left: Box::new(rec(left, catalog, workers, true)),
+            right: Box::new(rec(right, catalog, workers, true)),
+            left_key: *left_key,
+            right_key: *right_key,
+        },
+        PlanNode::Sort { input, keys } => PlanNode::Sort {
+            // Stable-sort ties keep input order.
+            input: Box::new(rec(input, catalog, workers, true)),
+            keys: keys.clone(),
+        },
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => PlanNode::Aggregate {
+            // Float accumulation and group insertion order are input-order
+            // sensitive.
+            input: Box::new(rec(input, catalog, workers, true)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        PlanNode::Limit { input, limit } => PlanNode::Limit {
+            // Which rows survive the limit depends on order.
+            input: Box::new(rec(input, catalog, workers, true)),
+            limit: *limit,
+        },
+        PlanNode::Project { input, exprs } => PlanNode::Project {
+            input: Box::new(rec(input, catalog, workers, order_required)),
+            exprs: exprs.clone(),
+        },
+        PlanNode::Filter { input, predicate } => PlanNode::Filter {
+            input: Box::new(rec(input, catalog, workers, order_required)),
+            predicate: predicate.clone(),
+        },
+        PlanNode::Buffer { input, size } => PlanNode::Buffer {
+            input: Box::new(rec(input, catalog, workers, order_required)),
+            size: *size,
+        },
+        PlanNode::Materialize { input } => PlanNode::Materialize {
+            input: Box::new(rec(input, catalog, workers, order_required)),
+        },
+        // Already parallel (or a leaf that did not qualify above).
+        PlanNode::Exchange { .. } | PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => {
+            plan.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::{AggFunc, AggSpec};
+    use bufferdb_storage::TableBuilder;
+    use bufferdb_types::{DataType, Datum, Field, Schema, Tuple};
+
+    fn catalog(rows: i64) -> Catalog {
+        let c = Catalog::new();
+        let mut b = TableBuilder::new(
+            "t",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
+        );
+        for i in 0..rows {
+            b.push(Tuple::new(vec![Datum::Int(i), Datum::Int(i % 7)]));
+        }
+        c.add_table(b);
+        c
+    }
+
+    fn scan() -> PlanNode {
+        PlanNode::SeqScan {
+            table: "t".into(),
+            predicate: Some(Expr::col(1).le(Expr::lit(5))),
+            projection: None,
+        }
+    }
+
+    fn exchange_count(p: &PlanNode) -> usize {
+        let own = usize::from(matches!(p, PlanNode::Exchange { .. }));
+        own + p
+            .children()
+            .iter()
+            .map(|c| exchange_count(c))
+            .sum::<usize>()
+    }
+
+    #[test]
+    fn aggregate_over_scan_gets_one_exchange_below_agg() {
+        let c = catalog(5000);
+        let plan = PlanNode::Aggregate {
+            input: Box::new(scan()),
+            group_by: vec![],
+            aggs: vec![AggSpec::new(AggFunc::Sum, Expr::col(1), "s")],
+        };
+        let par = parallelize_plan(&plan, &c, 4);
+        assert_eq!(exchange_count(&par), 1);
+        let PlanNode::Aggregate { input, .. } = &par else {
+            panic!()
+        };
+        let PlanNode::Exchange { workers, input } = &**input else {
+            panic!("expected exchange below aggregate: {par:#?}")
+        };
+        assert_eq!(*workers, 4);
+        assert!(matches!(**input, PlanNode::SeqScan { .. }));
+    }
+
+    #[test]
+    fn small_tables_stay_serial() {
+        let c = catalog(100);
+        let par = parallelize_plan(&scan(), &c, 4);
+        assert_eq!(exchange_count(&par), 0);
+    }
+
+    #[test]
+    fn nestloop_inner_stays_serial() {
+        let c = catalog(5000);
+        let plan = PlanNode::NestLoopJoin {
+            outer: Box::new(scan()),
+            inner: Box::new(scan()),
+            param_outer_col: None,
+            qual: None,
+            fk_inner: false,
+        };
+        let par = parallelize_plan(&plan, &c, 2);
+        let PlanNode::NestLoopJoin { outer, inner, .. } = &par else {
+            panic!()
+        };
+        assert!(matches!(**outer, PlanNode::Exchange { .. }));
+        assert!(matches!(**inner, PlanNode::SeqScan { .. }));
+    }
+
+    #[test]
+    fn existing_exchange_is_not_nested() {
+        let c = catalog(5000);
+        let plan = PlanNode::Exchange {
+            input: Box::new(scan()),
+            workers: 2,
+        };
+        let par = parallelize_plan(&plan, &c, 8);
+        assert_eq!(exchange_count(&par), 1);
+        assert!(matches!(par, PlanNode::Exchange { workers: 2, .. }));
+    }
+}

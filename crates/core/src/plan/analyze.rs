@@ -95,6 +95,25 @@ fn render(
             g.drains,
         );
     }
+    if let Some(lanes) = &op.workers {
+        for lane in lanes {
+            let miss_rate = if lane.counters.l1i_accesses == 0 {
+                0.0
+            } else {
+                lane.counters.l1i_misses as f64 / lane.counters.l1i_accesses as f64
+            };
+            let _ = writeln!(
+                out,
+                "{pad}  worker {}: {} morsels, {} rows, {} instr, L1i misses {} ({:.2}% miss rate)",
+                lane.worker,
+                lane.morsels,
+                lane.rows,
+                lane.counters.instructions,
+                lane.counters.l1i_misses,
+                100.0 * miss_rate,
+            );
+        }
+    }
     for c in node.children() {
         render(c, catalog, cfg, profile, depth + 1, next_id, out);
     }

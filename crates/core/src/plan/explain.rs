@@ -69,6 +69,7 @@ pub fn node_label(node: &PlanNode) -> String {
         PlanNode::Filter { predicate, .. } => format!("Filter {predicate}"),
         PlanNode::Limit { limit, .. } => format!("Limit {limit}"),
         PlanNode::Materialize { .. } => "Materialize (blocking)".to_string(),
+        PlanNode::Exchange { workers, .. } => format!("Exchange ({workers} workers)"),
     }
 }
 

@@ -183,6 +183,16 @@ pub enum PlanNode {
         /// Input.
         input: Box<PlanNode>,
     },
+    /// Parallel exchange: partitions the input's driving scan into morsels,
+    /// executes the subtree on `workers` simulated cores, and gathers the
+    /// results in morsel order (so output order matches serial execution
+    /// when the driving leaf is a sequential scan).
+    Exchange {
+        /// The pipeline executed by each worker.
+        input: Box<PlanNode>,
+        /// Worker count (must be ≥ 1).
+        workers: usize,
+    },
 }
 
 impl PlanNode {
@@ -199,6 +209,7 @@ impl PlanNode {
             | PlanNode::Buffer { input, .. }
             | PlanNode::Filter { input, .. }
             | PlanNode::Limit { input, .. }
+            | PlanNode::Exchange { input, .. }
             | PlanNode::Materialize { input } => vec![input],
         }
     }
@@ -221,6 +232,7 @@ impl PlanNode {
             PlanNode::Filter { .. } => OpKind::Filter,
             PlanNode::Limit { .. } => OpKind::Limit,
             PlanNode::Materialize { .. } => OpKind::Materialize,
+            PlanNode::Exchange { .. } => OpKind::Exchange,
         }
     }
 
@@ -228,7 +240,10 @@ impl PlanNode {
     /// before producing output). Such operators "already buffer query
     /// execution below them" (§6) and are never merged into execution groups.
     pub fn is_blocking(&self) -> bool {
-        matches!(self, PlanNode::Sort { .. } | PlanNode::Materialize { .. })
+        matches!(
+            self,
+            PlanNode::Sort { .. } | PlanNode::Materialize { .. } | PlanNode::Exchange { .. }
+        )
     }
 
     /// Output schema, validated against the catalog.
@@ -330,6 +345,14 @@ impl PlanNode {
             }
             PlanNode::Limit { input, .. } => input.output_schema(catalog),
             PlanNode::Materialize { input } => input.output_schema(catalog),
+            PlanNode::Exchange { input, workers } => {
+                if *workers == 0 {
+                    return Err(DbError::InvalidPlan(
+                        "exchange needs at least one worker".into(),
+                    ));
+                }
+                input.output_schema(catalog)
+            }
         }
     }
 

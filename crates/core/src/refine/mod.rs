@@ -255,6 +255,23 @@ impl Refiner<'_> {
                     None,
                 )
             }
+
+            PlanNode::Exchange { input, workers } => {
+                // An exchange is already a blocking buffer point: the worker
+                // pipeline's code never interleaves with the parent's (they
+                // run on different simulated cores), so groups never span
+                // the exchange edge and the pipeline's top group needs no
+                // buffer. Deeper groups inside the subtree (feeding a
+                // blocking phase, say) are refined as usual.
+                let (child, _group) = self.refine(input);
+                (
+                    PlanNode::Exchange {
+                        input: Box::new(child),
+                        workers: *workers,
+                    },
+                    None,
+                )
+            }
         }
     }
 

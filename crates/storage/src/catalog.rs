@@ -4,6 +4,7 @@ use crate::table::{Table, TableBuilder};
 use bufferdb_index::BTreeIndex;
 use bufferdb_types::{DbError, Result};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Base of the simulated data address space (code lives far below).
@@ -26,11 +27,27 @@ pub struct IndexDef {
 ///
 /// Interior mutability lets the TPC-H generator register tables from worker
 /// threads while queries hold only `&Catalog`.
-#[derive(Debug, Default)]
+///
+/// # Locking
+///
+/// No lock is ever held across query execution: [`Catalog::table`] and
+/// [`Catalog::index`] clone the `Arc` inside the read guard and drop it
+/// before returning, so exchange workers resolving tables concurrently
+/// never serialize on — or deadlock with — a registration in progress. The
+/// simulated-address allocator is a lock-free atomic (registration computes
+/// sizes *before* reserving), which leaves `tables` and `indexes` as the
+/// only locks; neither is ever taken while the other is held.
+#[derive(Debug)]
 pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
     indexes: RwLock<HashMap<String, Arc<IndexDef>>>,
-    next_addr: RwLock<u64>,
+    next_addr: AtomicU64,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Catalog {
@@ -39,21 +56,20 @@ impl Catalog {
         Catalog {
             tables: RwLock::new(HashMap::new()),
             indexes: RwLock::new(HashMap::new()),
-            next_addr: RwLock::new(DATA_BASE),
+            next_addr: AtomicU64::new(DATA_BASE),
         }
     }
 
     /// Finish `builder` into a table laid out at the next free simulated
     /// address and register it. Returns the shared handle.
     pub fn add_table(&self, builder: TableBuilder) -> Arc<Table> {
-        // Hold the allocator lock across the build so concurrent callers get
-        // disjoint heaps; registration is rare (load time only).
-        let mut next = self.next_addr.write().unwrap();
-        let base = *next;
-        let table = Arc::new(builder.build(base));
+        // Reserve the address range up front (the builder knows its layout
+        // size), then build outside any lock: concurrent callers get
+        // disjoint heaps without serializing on the build itself.
         // A 1 MB guard gap separates heaps so streams never blend.
-        *next = base + table.heap_bytes() + (1 << 20);
-        drop(next);
+        let bytes = builder.heap_bytes() + (1 << 20);
+        let base = self.next_addr.fetch_add(bytes, Ordering::Relaxed);
+        let table = Arc::new(builder.build(base));
         self.tables
             .write()
             .unwrap()
@@ -64,10 +80,8 @@ impl Catalog {
     /// Allocate `bytes` of simulated data space (hash tables, sort runs,
     /// buffer arrays). Returns the base address.
     pub fn alloc_data(&self, bytes: u64) -> u64 {
-        let mut next = self.next_addr.write().unwrap();
-        let base = *next;
-        *next = base + bytes.next_multiple_of(64);
-        base
+        self.next_addr
+            .fetch_add(bytes.next_multiple_of(64), Ordering::Relaxed)
     }
 
     /// Register an index.

@@ -112,6 +112,17 @@ impl TableBuilder {
         self.rows.is_empty()
     }
 
+    /// Simulated heap bytes [`TableBuilder::build`] will lay out — the same
+    /// per-row 16-byte-aligned widths, independent of the base address. Lets
+    /// the catalog reserve an address range *before* building, without
+    /// holding its allocator across the build.
+    pub fn heap_bytes(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| r.simulated_width().next_multiple_of(16) as u64)
+            .sum()
+    }
+
     /// Finish: lay rows out sequentially from `base_addr` (16-byte aligned
     /// slots, as a heap allocator would) and compute statistics.
     pub fn build(self, base_addr: u64) -> Table {
