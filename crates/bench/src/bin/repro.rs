@@ -14,7 +14,8 @@ use bufferdb_bench::experiments as exp;
 use bufferdb_bench::experiments::ExperimentCtx;
 use bufferdb_tpch::queries::JoinMethod;
 
-const USAGE: &str = "usage: repro [--sf <scale>] [--seed <n>] [--threads <n>] <experiment>...
+const USAGE: &str =
+    "usage: repro [--sf <scale>] [--seed <n>] [--threads <n>] [--timeout-ms <n>] <experiment>...
 experiments:
   table1    machine specification
   table2    operator instruction footprints
@@ -39,7 +40,13 @@ experiments:
   analyze   EXPLAIN ANALYZE of Query 1, unbuffered vs buffered
   all       everything above
 options:
-  --threads <n>  worker budget for parallel builds (default: all cores)";
+  --threads <n>     worker budget for parallel builds (default: all cores)
+  --timeout-ms <n>  cancel any single query after <n> ms (exit code 3)
+environment:
+  BUFFERDB_FAULT    comma-separated fault specs `site:mode:trigger` injected
+                    into every query (sites: seqscan.next indexscan.next
+                    exchange.morsel hashjoin.build buffer.fill; modes:
+                    error panic; triggers: at_row(N) every(N) prob(SEED,P))";
 
 fn main() {
     let mut scale = 0.02_f64;
@@ -69,6 +76,13 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .filter(|&n: &usize| n >= 1)
                     .unwrap_or_else(|| die("--threads needs a positive integer"));
+            }
+            "--timeout-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--timeout-ms needs an integer"));
+                bufferdb_bench::runner::set_query_timeout_ms(ms);
             }
             "-h" | "--help" => {
                 println!("{USAGE}");

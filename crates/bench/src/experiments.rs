@@ -452,7 +452,8 @@ pub fn scaling_metrics(ctx: &ExperimentCtx, seed: u64) -> ScalingReport {
         let mut base_host = None;
         for workers in SCALING_WORKERS {
             let par = refine_plan(
-                &parallelize_plan(&plan, &ctx.catalog, workers),
+                &parallelize_plan(&plan, &ctx.catalog, workers)
+                    .unwrap_or_else(|e| panic!("{name}: parallelize: {e}")),
                 &ctx.catalog,
                 &ctx.refine,
             );

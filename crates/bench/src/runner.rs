@@ -3,12 +3,74 @@
 
 use crate::json::Json;
 use bufferdb_cachesim::{format_counter_comparison, pct_reduction, MachineConfig};
-use bufferdb_core::exec::{execute_with_stats, execute_with_stats_threads};
+use bufferdb_core::cancel::CancelToken;
+use bufferdb_core::exec::{execute_query, ExecOptions};
+use bufferdb_core::fault::FaultRegistry;
 use bufferdb_core::obs::ExchangeLane;
 use bufferdb_core::plan::PlanNode;
 use bufferdb_core::stats::ExecStats;
 use bufferdb_storage::Catalog;
-use bufferdb_types::Tuple;
+use bufferdb_types::{DbError, Tuple};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Per-process query timeout in milliseconds, set once from `--timeout-ms`
+/// before the experiments run.
+static QUERY_TIMEOUT_MS: OnceLock<u64> = OnceLock::new();
+
+/// Fault registry shared by every query of the process, armed once from the
+/// `BUFFERDB_FAULT` environment variable.
+static FAULTS: OnceLock<Arc<FaultRegistry>> = OnceLock::new();
+
+/// Install a per-query timeout for every subsequent [`run_plan`] call.
+/// Call at most once, before the experiments start.
+pub fn set_query_timeout_ms(ms: u64) {
+    let _ = QUERY_TIMEOUT_MS.set(ms);
+}
+
+fn fault_registry() -> Arc<FaultRegistry> {
+    FAULTS
+        .get_or_init(|| match FaultRegistry::from_env() {
+            Ok(r) => r,
+            Err(msg) => {
+                eprintln!("error: invalid BUFFERDB_FAULT: {msg}");
+                std::process::exit(2);
+            }
+        })
+        .clone()
+}
+
+fn exec_options(threads: usize) -> ExecOptions {
+    let cancel = match QUERY_TIMEOUT_MS.get() {
+        Some(&ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    };
+    ExecOptions {
+        threads,
+        cancel,
+        faults: fault_registry(),
+        profile: false,
+    }
+}
+
+/// Exit for a failed benchmark query: cancellations (timeouts) exit with
+/// code 3 after reporting the partial counters; anything else exits 1.
+fn report_failure_and_exit(label: &str, stats: &ExecStats, rows: usize, err: DbError) -> ! {
+    match err {
+        DbError::Cancelled(msg) => {
+            eprintln!("{label}: query cancelled ({msg})");
+            eprintln!(
+                "{label}: partial progress: {rows} rows, {} instructions, {} L1i misses (counters conserved)",
+                stats.counters.instructions, stats.counters.l1i_misses
+            );
+            std::process::exit(3);
+        }
+        other => {
+            eprintln!("{label}: {other}");
+            std::process::exit(1);
+        }
+    }
+}
 
 /// One executed plan with its measurements.
 #[derive(Debug)]
@@ -28,15 +90,12 @@ impl RunResult {
     }
 }
 
-/// Execute `plan` and package the measurements.
+/// Execute `plan` and package the measurements. Applies the process-wide
+/// timeout (`--timeout-ms`) and fault registry (`BUFFERDB_FAULT`); on
+/// failure, reports and exits (code 3 for a timeout, 1 otherwise) instead
+/// of panicking.
 pub fn run_plan(label: &str, plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> RunResult {
-    let (rows, stats) =
-        execute_with_stats(plan, catalog, cfg).unwrap_or_else(|e| panic!("{label}: {e}"));
-    RunResult {
-        label: label.to_string(),
-        rows,
-        stats,
-    }
+    run_plan_threads(label, plan, catalog, cfg, 1)
 }
 
 /// [`run_plan`] with a worker budget for intra-operator parallelism (the
@@ -48,12 +107,14 @@ pub fn run_plan_threads(
     cfg: &MachineConfig,
     threads: usize,
 ) -> RunResult {
-    let (rows, stats) = execute_with_stats_threads(plan, catalog, cfg, threads)
-        .unwrap_or_else(|e| panic!("{label}: {e}"));
+    let outcome = execute_query(plan, catalog, cfg, &exec_options(threads));
+    if let Some(err) = outcome.error {
+        report_failure_and_exit(label, &outcome.stats, outcome.rows.len(), err);
+    }
     RunResult {
         label: label.to_string(),
-        rows,
-        stats,
+        rows: outcome.rows,
+        stats: outcome.stats,
     }
 }
 

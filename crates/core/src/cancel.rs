@@ -1,0 +1,141 @@
+//! Cooperative query cancellation.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between the thread
+//! driving a query and anything that may want to stop it: another thread
+//! holding [`crate::session::Session::cancel`], a deadline armed by
+//! `--timeout-ms`, or an exchange coordinator telling its workers that a
+//! sibling already failed. Operators never poll it on their per-tuple fast
+//! path; it is checked at *granule* boundaries — morsel claim, buffer refill,
+//! and each iteration of a blocking operator's drain loop — so a query stops
+//! within one granule of the cancel request while the hot loops stay free of
+//! cancellation overhead.
+//!
+//! Cancellation surfaces as [`DbError::Cancelled`] and unwinds through the
+//! iterator tree like any other executor error, which keeps profiler
+//! brackets balanced: a cancelled profiled query still conserves its
+//! per-operator counters exactly.
+
+use bufferdb_types::{DbError, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Absolute deadline; once passed, the token reads as cancelled.
+    deadline: Option<Instant>,
+    /// Original timeout, kept only for the error message.
+    timeout: Option<Duration>,
+}
+
+/// Shared cancellation flag with an optional deadline.
+///
+/// Cloning is cheap (one `Arc`); all clones observe the same state. The
+/// default token never cancels, so unconfigured executions pay one relaxed
+/// atomic load per check.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                timeout: None,
+            }),
+        }
+    }
+
+    /// A token that additionally cancels once `timeout` has elapsed
+    /// (measured from this call).
+    pub fn with_timeout(timeout: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+                timeout: Some(timeout),
+            }),
+        }
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the token been cancelled (explicitly or by deadline)?
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => {
+                // Latch, so later checks skip the clock read.
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Return `Err(DbError::Cancelled)` if the token is cancelled.
+    pub fn check(&self) -> Result<()> {
+        if !self.is_cancelled() {
+            return Ok(());
+        }
+        let reason = match (self.inner.timeout, self.inner.deadline) {
+            (Some(t), Some(d)) if Instant::now() >= d => {
+                format!("timeout of {} ms exceeded", t.as_millis())
+            }
+            _ => "cancel requested".to_string(),
+        };
+        Err(DbError::Cancelled(reason))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_token_never_cancels() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn explicit_cancel_is_visible_to_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert!(matches!(clone.check(), Err(DbError::Cancelled(_))));
+    }
+
+    #[test]
+    fn zero_timeout_cancels_immediately() {
+        let t = CancelToken::with_timeout(Duration::ZERO);
+        match t.check() {
+            Err(DbError::Cancelled(msg)) => assert!(msg.contains("timeout"), "{msg}"),
+            other => panic!("expected timeout cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_does_not_cancel() {
+        let t = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(t.check().is_ok());
+    }
+}

@@ -1,8 +1,12 @@
 //! Execution context threaded through every operator call.
 
 use crate::arena::TupleArena;
+use crate::cancel::CancelToken;
+use crate::fault::FaultRegistry;
 use crate::obs::{ExchangeLane, ObsEvent, ObsId, QueryProfile, QueryProfiler};
 use bufferdb_cachesim::{Machine, MachineConfig, PerfCounters};
+use bufferdb_types::Result;
+use std::sync::Arc;
 
 /// Per-query execution state: the simulated machine and the tuple arena.
 ///
@@ -24,6 +28,14 @@ pub struct ExecContext {
     /// partitioning). 1 inside exchange workers so parallel phases never
     /// nest.
     pub build_threads: usize,
+    /// Cooperative cancellation flag, checked at morsel-claim, buffer-fill
+    /// and blocking-operator loop boundaries. Cloned into worker contexts so
+    /// one token stops the whole pool.
+    pub cancel: CancelToken,
+    /// Fault-injection sites (empty and free in production; see
+    /// [`crate::fault`]). Shared with worker contexts so hit counts are
+    /// pool-global.
+    pub faults: Arc<FaultRegistry>,
 }
 
 impl ExecContext {
@@ -35,7 +47,35 @@ impl ExecContext {
             profiler: None,
             morsel: None,
             build_threads: 1,
+            cancel: CancelToken::new(),
+            faults: Arc::new(FaultRegistry::new()),
         }
+    }
+
+    /// Fresh context for an exchange/build worker: same machine
+    /// configuration, sharing the coordinator's cancel token and fault
+    /// registry, with intra-operator parallelism disabled (parallel phases
+    /// never nest).
+    pub fn for_worker(
+        cfg: MachineConfig,
+        parent_cancel: &CancelToken,
+        parent_faults: &Arc<FaultRegistry>,
+    ) -> Self {
+        let mut ctx = ExecContext::new(cfg);
+        ctx.cancel = parent_cancel.clone();
+        ctx.faults = Arc::clone(parent_faults);
+        ctx
+    }
+
+    /// Fail with [`bufferdb_types::DbError::Cancelled`] if the query's
+    /// cancel token fired. Called at granule boundaries, never per tuple.
+    pub fn check_cancel(&self) -> Result<()> {
+        self.cancel.check()
+    }
+
+    /// Pass through the named fault-injection site (no-op unless armed).
+    pub fn fault(&self, site: &str) -> Result<()> {
+        self.faults.hit(site)
     }
 
     /// Merge one exchange worker's results into this context: the worker

@@ -255,6 +255,7 @@ impl AggregateOp {
             let mut states: Vec<AggState> =
                 self.aggs.iter().map(|a| AggState::new(a.func)).collect();
             while let Some(slot) = self.child.next(ctx)? {
+                ctx.check_cancel()?;
                 ctx.machine.exec_region(&mut self.code);
                 let row = ctx.arena.tuple(slot).clone();
                 self.update_states(ctx, &mut states, &row)?;
@@ -266,6 +267,7 @@ impl AggregateOp {
             let mut groups: HashMap<Vec<KeyAtom>, (Vec<Datum>, Vec<AggState>)> = HashMap::new();
             let mut order: Vec<Vec<KeyAtom>> = Vec::new();
             while let Some(slot) = self.child.next(ctx)? {
+                ctx.check_cancel()?;
                 ctx.machine.exec_region(&mut self.code);
                 let row = ctx.arena.tuple(slot).clone();
                 let mut key = Vec::with_capacity(self.group_by.len());
@@ -291,8 +293,11 @@ impl AggregateOp {
             }
             self.results = order
                 .into_iter()
-                .map(|k| {
-                    let (key_vals, states) = groups.remove(&k).expect("group recorded");
+                // Every key in `order` was inserted into `groups` above, so
+                // the filter never drops anything; it just keeps this path
+                // free of panicking lookups.
+                .filter_map(|k| groups.remove(&k))
+                .map(|(key_vals, states)| {
                     let mut vals = key_vals;
                     vals.extend(states.iter().map(AggState::finish));
                     Tuple::new(vals)

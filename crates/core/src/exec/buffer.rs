@@ -21,6 +21,7 @@
 use crate::arena::TupleSlot;
 use crate::context::ExecContext;
 use crate::exec::Operator;
+use crate::fault;
 use crate::footprint::{FootprintModel, OpKind};
 use crate::obs::ObsId;
 use bufferdb_cachesim::CodeRegion;
@@ -102,6 +103,12 @@ impl Operator for BufferOp {
 
     fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleSlot>> {
         if self.pos >= self.slots.len() && !self.end_of_tuples {
+            // Refill passes are the buffer's granule boundary: cancellation
+            // and fault injection both land here, never on the pointer-return
+            // fast path. An error below leaves `slots` partially filled;
+            // `rescan` clears it, so the operator stays reusable.
+            ctx.check_cancel()?;
+            ctx.fault(fault::BUFFER_FILL)?;
             // The full (still tiny, 0.7 K) buffer code runs on the refill
             // path; the return-pointed-tuple fast path below is a handful of
             // instructions — this is what makes the operator "light-weight"

@@ -19,13 +19,16 @@
 use crate::arena::TupleSlot;
 use crate::context::ExecContext;
 use crate::exec::{schema_slot_bytes, Operator, DEFAULT_BATCH};
+use crate::fault;
 use crate::footprint::{FootprintModel, OpKind};
 use crate::obs::{ExchangeLane, ObsId, QueryProfile, QueryProfiler};
 use crate::plan::PlanNode;
-use bufferdb_cachesim::{CodeRegion, PerfCounters};
+use bufferdb_cachesim::{CodeRegion, MachineConfig, PerfCounters};
 use bufferdb_storage::Catalog;
 use bufferdb_types::{DbError, Result, SchemaRef, Tuple};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex};
 
 /// Upper bound on rows per morsel. Large enough that per-morsel overhead
@@ -75,12 +78,119 @@ pub(crate) fn driving_leaf_rows(plan: &PlanNode, catalog: &Catalog) -> Result<u3
 /// What one worker brings home from the parallel phase.
 struct WorkerOutcome {
     worker: u64,
-    tree: Box<dyn Operator>,
+    /// The worker's subtree, handed back for reuse — `None` when the worker
+    /// panicked (the tree's internal state is indeterminate after unwind).
+    tree: Option<Box<dyn Operator>>,
     counters: PerfCounters,
     profile: Option<QueryProfile>,
     morsels: u64,
     rows: u64,
     error: Option<DbError>,
+}
+
+impl WorkerOutcome {
+    /// Outcome for a worker whose panic escaped even the in-thread
+    /// containment (should be unreachable; kept so `join` never unwinds
+    /// into the coordinator).
+    fn from_escaped_panic(worker: usize, payload: &(dyn std::any::Any + Send)) -> Self {
+        WorkerOutcome {
+            worker: worker as u64,
+            tree: None,
+            counters: PerfCounters::default(),
+            profile: None,
+            morsels: 0,
+            rows: 0,
+            error: Some(DbError::WorkerFailed(format!(
+                "exchange worker {worker} panicked: {}",
+                fault::panic_message(payload)
+            ))),
+        }
+    }
+}
+
+/// Pop the next morsel, recovering the queue from poison: the claim
+/// critical section cannot itself panic, but one failed worker must never
+/// cascade a poisoned-lock panic through the rest of the pool.
+fn claim_morsel(queue: &Mutex<VecDeque<(usize, (u32, u32))>>) -> Option<(usize, (u32, u32))> {
+    queue
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .pop_front()
+}
+
+/// One worker's whole parallel phase: claim morsels until the queue is
+/// empty, a stop is signalled, the query is cancelled, or the subtree
+/// fails. Panics anywhere inside the subtree are contained here and
+/// converted to [`DbError::WorkerFailed`]; the first failure of any kind
+/// raises `stop` so sibling workers quit at their next claim.
+#[allow(clippy::too_many_arguments)]
+fn worker_phase(
+    worker: usize,
+    mut tree: Box<dyn Operator>,
+    cfg: MachineConfig,
+    labels: &[String],
+    queue: &Mutex<VecDeque<(usize, (u32, u32))>>,
+    tx: mpsc::SyncSender<(usize, Tuple)>,
+    stop: &AtomicBool,
+    cancel: &crate::cancel::CancelToken,
+    faults: &std::sync::Arc<crate::fault::FaultRegistry>,
+) -> WorkerOutcome {
+    let mut wctx = ExecContext::for_worker(cfg, cancel, faults);
+    if !labels.is_empty() {
+        wctx.profiler = Some(QueryProfiler::new(labels));
+    }
+    let mut morsels_done = 0u64;
+    let mut rows = 0u64;
+    let caught = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            wctx.check_cancel()?;
+            let Some((idx, range)) = claim_morsel(queue) else {
+                break;
+            };
+            morsels_done += 1;
+            wctx.fault(fault::EXCHANGE_MORSEL)?;
+            wctx.morsel = Some(range);
+            run_morsel(&mut *tree, &mut wctx, idx, &tx, &mut rows)?;
+        }
+        Ok(())
+    }));
+    drop(tx);
+    let (error, panicked) = match caught {
+        Ok(Ok(())) => (None, false),
+        Ok(Err(e)) => (Some(e), false),
+        Err(payload) => (
+            Some(DbError::WorkerFailed(format!(
+                "exchange worker {worker} panicked: {}",
+                fault::panic_message(&*payload)
+            ))),
+            true,
+        ),
+    };
+    if error.is_some() {
+        stop.store(true, Ordering::Relaxed);
+    }
+    let counters = wctx.machine.snapshot();
+    // A panicked worker's profiler brackets are unbalanced mid-call; its
+    // per-operator split is meaningless, so only the lane counters survive
+    // (charged to the exchange operator — conservation holds).
+    let profile = if panicked {
+        wctx.profiler = None;
+        None
+    } else {
+        wctx.profiler.take().map(|p| p.finish(counters))
+    };
+    WorkerOutcome {
+        worker: worker as u64,
+        tree: (!panicked).then_some(tree),
+        counters,
+        profile,
+        morsels: morsels_done,
+        rows,
+        error,
+    }
 }
 
 /// The exchange operator (plan node [`PlanNode::Exchange`]).
@@ -190,46 +300,24 @@ impl Operator for ExchangeOp {
         let labels = &self.worker_labels;
         let (tx, rx) = mpsc::sync_channel::<(usize, Tuple)>(CHANNEL_BOUND);
         let mut buckets: Vec<Vec<Tuple>> = (0..n_morsels).map(|_| Vec::new()).collect();
+        // First failure (error, panic, or cancellation) raises `stop`;
+        // sibling workers observe it at their next morsel claim.
+        let stop = AtomicBool::new(false);
+        let cancel = ctx.cancel.clone();
+        let faults = std::sync::Arc::clone(&ctx.faults);
         let outcomes: Vec<WorkerOutcome> = std::thread::scope(|s| {
             let handles: Vec<_> = trees
                 .into_iter()
                 .enumerate()
-                .map(|(w, mut tree)| {
+                .map(|(w, tree)| {
                     let tx = tx.clone();
                     let queue = &queue;
                     let cfg = cfg.clone();
+                    let stop = &stop;
+                    let cancel = &cancel;
+                    let faults = &faults;
                     s.spawn(move || {
-                        let mut wctx = ExecContext::new(cfg);
-                        if !labels.is_empty() {
-                            wctx.profiler = Some(QueryProfiler::new(labels));
-                        }
-                        let mut morsels_done = 0u64;
-                        let mut rows = 0u64;
-                        let mut error = None;
-                        loop {
-                            // Scope the guard: a `while let` on `lock()`
-                            // would hold the mutex across the whole morsel.
-                            let claimed = queue.lock().expect("morsel queue poisoned").pop_front();
-                            let Some((idx, range)) = claimed else { break };
-                            morsels_done += 1;
-                            wctx.morsel = Some(range);
-                            if let Err(e) = run_morsel(&mut *tree, &mut wctx, idx, &tx, &mut rows) {
-                                error = Some(e);
-                                break;
-                            }
-                        }
-                        drop(tx);
-                        let counters = wctx.machine.snapshot();
-                        let profile = wctx.profiler.take().map(|p| p.finish(counters));
-                        WorkerOutcome {
-                            worker: w as u64,
-                            tree,
-                            counters,
-                            profile,
-                            morsels: morsels_done,
-                            rows,
-                            error,
-                        }
+                        worker_phase(w, tree, cfg, labels, queue, tx, stop, cancel, faults)
                     })
                 })
                 .collect();
@@ -240,9 +328,17 @@ impl Operator for ExchangeOp {
             for (idx, t) in rx {
                 buckets[idx].push(t);
             }
+            // Join-and-collect: a worker result is always a WorkerOutcome —
+            // panics were contained inside the thread, and even an escaped
+            // panic payload is converted here rather than unwinding into
+            // the coordinator.
             handles
                 .into_iter()
-                .map(|h| h.join().expect("exchange worker panicked"))
+                .enumerate()
+                .map(|(w, h)| {
+                    h.join()
+                        .unwrap_or_else(|p| WorkerOutcome::from_escaped_panic(w, &*p))
+                })
                 .collect()
         });
         // Resequence by morsel index: serial row order for seq-scan leaves.
@@ -268,14 +364,20 @@ impl Operator for ExchangeOp {
                 oc.profile.as_ref(),
                 lane,
             );
-            restored.push(oc.tree);
+            if let Some(tree) = oc.tree {
+                restored.push(tree);
+            }
             if first_err.is_none() {
                 first_err = oc.error;
             }
         }
         self.worker_trees = restored;
         match first_err {
-            Some(e) => Err(e),
+            Some(e) => {
+                // Partial gathers are meaningless once any worker failed.
+                self.gathered.clear();
+                Err(e)
+            }
             None => Ok(()),
         }
     }

@@ -10,10 +10,13 @@
 use crate::arena::TupleSlot;
 use crate::context::ExecContext;
 use crate::exec::{schema_slot_bytes, Operator, DEFAULT_BATCH};
+use crate::fault;
 use crate::footprint::{FootprintModel, OpKind};
 use bufferdb_cachesim::{CodeRegion, Machine, PerfCounters};
-use bufferdb_types::{Result, SchemaRef, Tuple};
+use bufferdb_types::{DbError, Result, SchemaRef, Tuple};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Below this many build rows a partitioned build cannot amortize thread
 /// start-up: insert on the coordinating core instead.
@@ -95,10 +98,18 @@ impl HashJoinOp {
     /// region); the worker counters are absorbed into the coordinating
     /// machine, which keeps profiler conservation exact (the jump lands on
     /// this operator's bracket).
-    fn parallel_insert(&mut self, ctx: &mut ExecContext) {
+    ///
+    /// Failure semantics mirror the exchange: a worker panic is contained by
+    /// `catch_unwind` and surfaces as [`DbError::WorkerFailed`]; the first
+    /// failure of any kind raises a stop flag so sibling workers quit at
+    /// their next row; the serial fallback is panic-free and propagates
+    /// typed errors only.
+    fn parallel_insert(&mut self, ctx: &mut ExecContext) -> Result<()> {
         let workers = ctx.build_threads;
         if self.build_rows.len() < PARALLEL_BUILD_MIN_ROWS {
             for (idx, row) in self.build_rows.iter().enumerate() {
+                ctx.check_cancel()?;
+                ctx.fault(fault::HASHJOIN_BUILD)?;
                 ctx.machine.exec_region(&mut self.build_code);
                 if let Some(k) = row.get(self.build_key).as_int() {
                     ctx.machine
@@ -106,7 +117,7 @@ impl HashJoinOp {
                     self.table.entry(k).or_default().push(idx as u32);
                 }
             }
-            return;
+            return Ok(());
         }
         let cfg = ctx.machine.config().clone();
         let rows = &self.build_rows;
@@ -114,43 +125,99 @@ impl HashJoinOp {
         let ht_base = self.ht_base;
         let mask = self.bucket_mask;
         let code = &self.build_code;
-        let parts: Vec<(HashMap<i64, Vec<u32>>, PerfCounters)> = std::thread::scope(|s| {
+        let stop = AtomicBool::new(false);
+        let cancel = ctx.cancel.clone();
+        let faults = std::sync::Arc::clone(&ctx.faults);
+        type BuildPart = (PerfCounters, Result<HashMap<i64, Vec<u32>>>);
+        let parts: Vec<BuildPart> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let cfg = cfg.clone();
                     let mut code = code.clone();
+                    let stop = &stop;
+                    let cancel = &cancel;
+                    let faults = &faults;
                     s.spawn(move || {
+                        // The machine lives outside the unwind boundary so a
+                        // panicked worker still reports its counters.
                         let mut m = Machine::new(cfg);
-                        let mut part: HashMap<i64, Vec<u32>> = HashMap::new();
-                        for (idx, row) in rows.iter().enumerate() {
-                            // NULL keys go to worker 0: they run build code
-                            // but insert nothing (never matched).
-                            let key = row.get(build_key).as_int();
-                            let owner = match key {
-                                Some(k) => (mix(k as u64) % workers as u64) as usize,
-                                None => 0,
-                            };
-                            if owner != w {
-                                continue;
-                            }
-                            m.exec_region(&mut code);
-                            if let Some(k) = key {
-                                m.data_write(ht_base + (mix(k as u64) & mask) * 16, 16);
-                                part.entry(k).or_default().push(idx as u32);
-                            }
+                        let caught =
+                            catch_unwind(AssertUnwindSafe(|| -> Result<HashMap<i64, Vec<u32>>> {
+                                let mut part: HashMap<i64, Vec<u32>> = HashMap::new();
+                                for (idx, row) in rows.iter().enumerate() {
+                                    // NULL keys go to worker 0: they run build
+                                    // code but insert nothing (never matched).
+                                    let key = row.get(build_key).as_int();
+                                    let owner = match key {
+                                        Some(k) => (mix(k as u64) % workers as u64) as usize,
+                                        None => 0,
+                                    };
+                                    if owner != w {
+                                        continue;
+                                    }
+                                    if stop.load(Ordering::Relaxed) {
+                                        break;
+                                    }
+                                    cancel.check()?;
+                                    faults.hit(fault::HASHJOIN_BUILD)?;
+                                    m.exec_region(&mut code);
+                                    if let Some(k) = key {
+                                        m.data_write(ht_base + (mix(k as u64) & mask) * 16, 16);
+                                        part.entry(k).or_default().push(idx as u32);
+                                    }
+                                }
+                                Ok(part)
+                            }));
+                        let result = match caught {
+                            Ok(r) => r,
+                            Err(payload) => Err(DbError::WorkerFailed(format!(
+                                "hash build worker {w} panicked: {}",
+                                fault::panic_message(&*payload)
+                            ))),
+                        };
+                        if result.is_err() {
+                            stop.store(true, Ordering::Relaxed);
                         }
-                        (part, m.snapshot())
+                        (m.snapshot(), result)
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("hash build worker panicked"))
+                .enumerate()
+                .map(|(w, h)| {
+                    h.join().unwrap_or_else(|payload| {
+                        (
+                            PerfCounters::default(),
+                            Err(DbError::WorkerFailed(format!(
+                                "hash build worker {w} panicked: {}",
+                                fault::panic_message(&*payload)
+                            ))),
+                        )
+                    })
+                })
                 .collect()
         });
-        for (part, counters) in parts {
+        let mut first_err = None;
+        for (counters, result) in parts {
+            // Absorb every lane's counters — even failed ones — so the
+            // simulated work that did happen stays conserved.
             ctx.machine.absorb(&counters);
-            self.table.extend(part);
+            match result {
+                Ok(part) => self.table.extend(part),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => {
+                self.table.clear();
+                Err(e)
+            }
+            None => Ok(()),
         }
     }
 }
@@ -178,18 +245,21 @@ impl Operator for HashJoinOp {
             // stays on this core — but build-code execution and hash
             // insertion move to a key-partitioned worker pool.
             while let Some(slot) = self.build.next(ctx)? {
+                ctx.check_cancel()?;
                 let row = ctx.arena.tuple(slot).clone();
                 self.build_rows.push(row);
             }
             let buckets = (self.build_rows.len().max(1) * 2).next_power_of_two() as u64;
             self.bucket_mask = buckets - 1;
             self.ht_base = ctx.arena.sim_alloc(buckets * 16);
-            self.parallel_insert(ctx);
+            self.parallel_insert(ctx)?;
         } else {
             // Serial blocking build: drain the build child, interleaving
             // build code with the child's code per row (the PCPC pattern the
             // refiner may break with a buffer below us).
             while let Some(slot) = self.build.next(ctx)? {
+                ctx.check_cancel()?;
+                ctx.fault(fault::HASHJOIN_BUILD)?;
                 ctx.machine.exec_region(&mut self.build_code);
                 let row = ctx.arena.tuple(slot).clone();
                 let key = row.get(self.build_key).as_int();

@@ -3,6 +3,7 @@
 use crate::arena::TupleSlot;
 use crate::context::ExecContext;
 use crate::exec::{schema_slot_bytes, Operator, DEFAULT_BATCH};
+use crate::fault;
 use crate::footprint::{FootprintModel, OpKind};
 use crate::plan::IndexMode;
 use bufferdb_cachesim::CodeRegion;
@@ -137,6 +138,7 @@ impl Operator for IndexScanOp {
         if self.pos >= self.matches.len() {
             return Ok(None);
         }
+        ctx.fault(fault::INDEXSCAN_NEXT)?;
         let row_id = self.matches[self.pos];
         self.pos += 1;
         ctx.machine

@@ -58,6 +58,7 @@ impl Operator for MaterializeOp {
     fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleSlot>> {
         if !self.drained {
             while let Some(slot) = self.child.next(ctx)? {
+                ctx.check_cancel()?;
                 ctx.machine.exec_region(&mut self.code);
                 let t = ctx.arena.tuple(slot).clone();
                 let own = ctx.arena.store(self.own_region, t, &mut ctx.machine);

@@ -182,10 +182,17 @@ impl Operator for MergeJoinOp {
     fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleSlot>> {
         ctx.machine.exec_region(&mut self.code);
         loop {
-            if self.current_left.is_none() && !self.advance_left(ctx)? {
-                return Ok(None);
+            if self.current_left.is_none() {
+                // One cancel check per left-tuple advance: key-skewed inputs
+                // can spin the alignment loop for a while between returns.
+                ctx.check_cancel()?;
+                if !self.advance_left(ctx)? {
+                    return Ok(None);
+                }
             }
-            let (left_slot, lk) = self.current_left.expect("left set above");
+            let Some((left_slot, lk)) = self.current_left else {
+                return Ok(None);
+            };
 
             // Emit from the loaded group when it matches the current left key.
             if self.group_key == Some(lk) {

@@ -22,7 +22,9 @@ pub mod seqscan;
 pub mod sort;
 
 use crate::arena::TupleSlot;
+use crate::cancel::CancelToken;
 use crate::context::ExecContext;
+use crate::fault::{self, FaultRegistry};
 use crate::footprint::FootprintModel;
 use crate::obs::{ProfiledOp, QueryProfile, QueryProfiler};
 use crate::plan::PlanNode;
@@ -30,6 +32,8 @@ use crate::stats::ExecStats;
 use bufferdb_cachesim::MachineConfig;
 use bufferdb_storage::Catalog;
 use bufferdb_types::{DataType, Datum, DbError, Result, SchemaRef, Tuple};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Default live-slot window for an operator's output region when no buffer
 /// operator raised it: the consumer holds at most the current tuple while the
@@ -280,6 +284,141 @@ fn build_rec(
     })
 }
 
+/// Knobs for one query execution; the default is a serial, unprofiled run
+/// with no cancellation deadline and no armed faults.
+#[derive(Clone)]
+pub struct ExecOptions {
+    /// Worker budget for intra-operator parallelism (hash-join build).
+    pub threads: usize,
+    /// Cancellation handle; clone it before the run to cancel from outside.
+    pub cancel: CancelToken,
+    /// Fault-injection registry (see [`crate::fault`]); empty = no faults.
+    pub faults: Arc<FaultRegistry>,
+    /// Collect a per-operator [`QueryProfile`].
+    pub profile: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            threads: 1,
+            cancel: CancelToken::new(),
+            faults: Arc::new(FaultRegistry::new()),
+            profile: false,
+        }
+    }
+}
+
+/// What one query execution produced — even when it failed.
+///
+/// `error == None` means a clean run; otherwise `rows` holds whatever was
+/// produced before the failure and `stats` the simulated work actually done
+/// (cancelled or fault-injected runs still conserve counters exactly).
+/// `profile` is present when profiling was requested and the run ended with
+/// balanced profiler brackets — every clean run and every typed-error run;
+/// it is dropped only after a contained panic, whose unwind skips the
+/// profiler's exit records.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Rows produced before completion or failure.
+    pub rows: Vec<Tuple>,
+    /// Whole-query simulated counters, breakdown and wall-clock time.
+    pub stats: ExecStats,
+    /// Per-operator attribution (when requested and brackets balanced).
+    pub profile: Option<QueryProfile>,
+    /// The first failure, if any.
+    pub error: Option<DbError>,
+}
+
+impl QueryOutcome {
+    /// Convert to the classic `Result` shape, discarding partial output on
+    /// failure.
+    pub fn into_result(self) -> Result<(Vec<Tuple>, ExecStats, Option<QueryProfile>)> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok((self.rows, self.stats, self.profile)),
+        }
+    }
+}
+
+/// Execute `plan` end to end under `opts`, never panicking: executor errors
+/// (including cancellation and injected faults) land in
+/// [`QueryOutcome::error`], and a panic anywhere in the serial driving path
+/// is contained and converted to [`DbError::WorkerFailed`] — the same
+/// containment exchange and hash-build workers apply on their own threads.
+pub fn execute_query(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    cfg: &MachineConfig,
+    opts: &ExecOptions,
+) -> QueryOutcome {
+    let mut fm = FootprintModel::new();
+    if opts.profile {
+        fm.enable_obs();
+    }
+    let wall_start = std::time::Instant::now();
+    let built = build_executor(plan, catalog, &mut fm);
+    let mut ctx = ExecContext::new(cfg.clone());
+    ctx.build_threads = opts.threads.max(1);
+    ctx.cancel = opts.cancel.clone();
+    ctx.faults = Arc::clone(&opts.faults);
+    if opts.profile {
+        ctx.profiler = Some(QueryProfiler::new(fm.obs_labels()));
+    }
+    let mut rows = Vec::new();
+    let mut panicked = false;
+    let error = match built {
+        Err(e) => Some(e),
+        Ok(mut root) => {
+            let caught = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
+                root.open(&mut ctx)?;
+                while let Some(slot) = root.next(&mut ctx)? {
+                    // Root drive loop is the universal cancellation granule:
+                    // plans with no buffer, exchange, or blocking operator
+                    // still stop within one output row.
+                    ctx.check_cancel()?;
+                    rows.push(ctx.arena.tuple(slot).clone());
+                }
+                root.close(&mut ctx)
+            }));
+            match caught {
+                Ok(Ok(())) => None,
+                Ok(Err(e)) => Some(e),
+                Err(payload) => {
+                    panicked = true;
+                    Some(DbError::WorkerFailed(format!(
+                        "executor panicked: {}",
+                        fault::panic_message(&*payload)
+                    )))
+                }
+            }
+        }
+    };
+    let wall = wall_start.elapsed();
+    let counters = ctx.machine.snapshot();
+    let breakdown = ctx.machine.breakdown_for(&counters);
+    // Typed errors unwind through `ProfiledOp`, which closes its bracket on
+    // the way out, so the profile still conserves exactly. A panic skips
+    // those exits and leaves the enter-stack unbalanced: drop the profile
+    // (the whole-query counters above remain valid either way).
+    let profile = match ctx.profiler.take() {
+        Some(p) if !panicked => Some(p.finish(counters)),
+        _ => None,
+    };
+    let row_count = rows.len() as u64;
+    QueryOutcome {
+        rows,
+        stats: ExecStats {
+            rows: row_count,
+            counters,
+            breakdown,
+            wall,
+        },
+        profile,
+        error,
+    }
+}
+
 /// Execute a plan to completion, returning the result rows.
 pub fn execute_collect(
     plan: &PlanNode,
@@ -310,30 +449,12 @@ pub fn execute_with_stats_threads(
     cfg: &MachineConfig,
     threads: usize,
 ) -> Result<(Vec<Tuple>, ExecStats)> {
-    let mut fm = FootprintModel::new();
-    let mut root = build_executor(plan, catalog, &mut fm)?;
-    let mut ctx = ExecContext::new(cfg.clone());
-    ctx.build_threads = threads.max(1);
-    let wall_start = std::time::Instant::now();
-    root.open(&mut ctx)?;
-    let mut rows = Vec::new();
-    while let Some(slot) = root.next(&mut ctx)? {
-        rows.push(ctx.arena.tuple(slot).clone());
-    }
-    root.close(&mut ctx)?;
-    let wall = wall_start.elapsed();
-    let counters = ctx.machine.snapshot();
-    let breakdown = ctx.machine.breakdown_for(&counters);
-    let row_count = rows.len() as u64;
-    Ok((
-        rows,
-        ExecStats {
-            rows: row_count,
-            counters,
-            breakdown,
-            wall,
-        },
-    ))
+    let opts = ExecOptions {
+        threads,
+        ..ExecOptions::default()
+    };
+    let (rows, stats, _) = execute_query(plan, catalog, cfg, &opts).into_result()?;
+    Ok((rows, stats))
 }
 
 /// Execute a plan with per-operator profiling: rows and whole-query stats
@@ -358,36 +479,18 @@ pub fn execute_profiled_threads(
     cfg: &MachineConfig,
     threads: usize,
 ) -> Result<(Vec<Tuple>, ExecStats, QueryProfile)> {
-    let mut fm = FootprintModel::new();
-    fm.enable_obs();
-    let mut root = build_executor(plan, catalog, &mut fm)?;
-    let mut ctx = ExecContext::new(cfg.clone());
-    ctx.build_threads = threads.max(1);
-    ctx.profiler = Some(QueryProfiler::new(fm.obs_labels()));
-    let wall_start = std::time::Instant::now();
-    root.open(&mut ctx)?;
-    let mut rows = Vec::new();
-    while let Some(slot) = root.next(&mut ctx)? {
-        rows.push(ctx.arena.tuple(slot).clone());
+    let opts = ExecOptions {
+        threads,
+        profile: true,
+        ..ExecOptions::default()
+    };
+    let (rows, stats, profile) = execute_query(plan, catalog, cfg, &opts).into_result()?;
+    match profile {
+        Some(p) => Ok((rows, stats, p)),
+        // Unreachable on the clean path (profile requested, no panic), but
+        // stay typed rather than panicking.
+        None => Err(DbError::ExecProtocol(
+            "profiled run returned no profile".into(),
+        )),
     }
-    root.close(&mut ctx)?;
-    let wall = wall_start.elapsed();
-    let counters = ctx.machine.snapshot();
-    let breakdown = ctx.machine.breakdown_for(&counters);
-    let profile = ctx
-        .profiler
-        .take()
-        .expect("profiler installed above")
-        .finish(counters);
-    let row_count = rows.len() as u64;
-    Ok((
-        rows,
-        ExecStats {
-            rows: row_count,
-            counters,
-            breakdown,
-            wall,
-        },
-        profile,
-    ))
 }

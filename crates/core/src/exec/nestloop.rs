@@ -76,19 +76,23 @@ impl Operator for NestLoopOp {
     fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleSlot>> {
         ctx.machine.exec_region(&mut self.code);
         loop {
-            if self.current_outer.is_none() {
-                match self.outer.next(ctx)? {
+            let outer_slot = match self.current_outer {
+                Some(slot) => slot,
+                None => match self.outer.next(ctx)? {
                     None => return Ok(None),
                     Some(slot) => {
+                        // One cancel check per outer row: an unselective qual
+                        // can spin this loop for a long time between returns.
+                        ctx.check_cancel()?;
                         self.current_outer = Some(slot);
                         let param = self
                             .param_outer_col
                             .map(|c| ctx.arena.tuple(slot).get(c).clone());
                         self.inner.rescan(ctx, param.as_ref())?;
+                        slot
                     }
-                }
-            }
-            let outer_slot = self.current_outer.expect("outer tuple set above");
+                },
+            };
             match self.inner.next(ctx)? {
                 None => {
                     self.current_outer = None;

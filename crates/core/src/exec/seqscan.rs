@@ -8,6 +8,7 @@ use crate::arena::TupleSlot;
 use crate::context::ExecContext;
 use crate::exec::{schema_slot_bytes, Operator, DEFAULT_BATCH};
 use crate::expr::Expr;
+use crate::fault;
 use crate::footprint::{FootprintModel, OpKind};
 use bufferdb_cachesim::CodeRegion;
 use bufferdb_storage::{Catalog, Table};
@@ -111,6 +112,7 @@ impl Operator for SeqScanOp {
         ctx.machine.exec_region(&mut self.code);
         let mut first = true;
         while self.pos < self.limit {
+            ctx.fault(fault::SEQSCAN_NEXT)?;
             let id = self.pos;
             self.pos += 1;
             if !first {

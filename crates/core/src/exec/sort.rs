@@ -65,6 +65,7 @@ impl SortOp {
             .alloc_unbounded_region(schema_slot_bytes(&self.schema));
         let mut rows: Vec<(Vec<Datum>, TupleSlot)> = Vec::new();
         while let Some(slot) = self.child.next(ctx)? {
+            ctx.check_cancel()?;
             ctx.machine.exec_region(&mut self.code);
             // Materialize into our own storage (tuplesort copies tuples).
             let t = ctx.arena.tuple(slot).clone();

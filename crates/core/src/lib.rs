@@ -20,29 +20,39 @@
 
 pub mod arena;
 pub mod block;
+pub mod cancel;
 pub mod context;
+// The executor must stay panic-free outside tests: worker containment and
+// the chaos suite rely on every failure being a typed `DbError`. The gate
+// only covers non-test builds, so `cfg(test)` unit tests may still unwrap.
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod exec;
 pub mod expr;
 pub mod expr_fold;
+pub mod fault;
 pub mod footprint;
 pub mod obs;
 pub mod optimizer;
 pub mod parallel;
 pub mod plan;
 pub mod refine;
+pub mod session;
 pub mod stats;
 
 pub use arena::{TupleArena, TupleSlot};
+pub use cancel::CancelToken;
 pub use context::ExecContext;
 pub use exec::{
-    build_executor, execute_collect, execute_profiled, execute_profiled_threads,
-    execute_with_stats, execute_with_stats_threads, Operator,
+    build_executor, execute_collect, execute_profiled, execute_profiled_threads, execute_query,
+    execute_with_stats, execute_with_stats_threads, ExecOptions, Operator, QueryOutcome,
 };
 pub use expr::Expr;
+pub use fault::{FaultMode, FaultRegistry, Trigger};
 pub use footprint::{FootprintModel, OpKind};
 pub use obs::{BufferGauges, ExchangeLane, ObsId, OpStats, QueryProfile, QueryProfiler};
 pub use parallel::parallelize_plan;
 pub use plan::analyze::explain_analyze;
 pub use plan::{AggFunc, AggSpec, IndexMode, PlanNode};
 pub use refine::{refine_plan, RefineConfig};
+pub use session::Session;
 pub use stats::ExecStats;

@@ -23,6 +23,7 @@
 
 use crate::plan::{IndexMode, PlanNode};
 use bufferdb_storage::Catalog;
+use bufferdb_types::Result;
 
 use crate::exec::exchange::driving_leaf_rows;
 
@@ -33,7 +34,10 @@ pub const MIN_PARALLEL_ROWS: u32 = 512;
 /// over `workers` workers. `workers == 0` is treated as 1; the plan is
 /// rewritten even for a single worker so one-worker parallel execution
 /// exercises the same machinery (useful for determinism tests).
-pub fn parallelize_plan(plan: &PlanNode, catalog: &Catalog, workers: usize) -> PlanNode {
+///
+/// Fails with the underlying catalog error (e.g. a plan leaf naming a table
+/// that does not exist) instead of silently treating the pipeline as empty.
+pub fn parallelize_plan(plan: &PlanNode, catalog: &Catalog, workers: usize) -> Result<PlanNode> {
     rec(plan, catalog, workers.max(1), false)
 }
 
@@ -53,18 +57,23 @@ fn pipeline_ok(plan: &PlanNode, order_required: bool) -> bool {
     }
 }
 
-fn rec(plan: &PlanNode, catalog: &Catalog, workers: usize, order_required: bool) -> PlanNode {
+fn rec(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    workers: usize,
+    order_required: bool,
+) -> Result<PlanNode> {
     if pipeline_ok(plan, order_required) {
-        let rows = driving_leaf_rows(plan, catalog).unwrap_or(0);
+        let rows = driving_leaf_rows(plan, catalog)?;
         if rows >= MIN_PARALLEL_ROWS {
-            return PlanNode::Exchange {
+            return Ok(PlanNode::Exchange {
                 input: Box::new(plan.clone()),
                 workers,
-            };
+            });
         }
-        return plan.clone();
+        return Ok(plan.clone());
     }
-    match plan {
+    Ok(match plan {
         PlanNode::NestLoopJoin {
             outer,
             inner,
@@ -72,7 +81,7 @@ fn rec(plan: &PlanNode, catalog: &Catalog, workers: usize, order_required: bool)
             qual,
             fk_inner,
         } => PlanNode::NestLoopJoin {
-            outer: Box::new(rec(outer, catalog, workers, order_required)),
+            outer: Box::new(rec(outer, catalog, workers, order_required)?),
             // The inner side is rescanned per outer row; exchanges cannot
             // rescan, so it stays serial.
             inner: inner.clone(),
@@ -89,8 +98,8 @@ fn rec(plan: &PlanNode, catalog: &Catalog, workers: usize, order_required: bool)
             // Probe-side order flows into the join output (and build-side
             // insertion order into per-key match order), so both inherit
             // the ancestor's order sensitivity.
-            probe: Box::new(rec(probe, catalog, workers, order_required)),
-            build: Box::new(rec(build, catalog, workers, order_required)),
+            probe: Box::new(rec(probe, catalog, workers, order_required)?),
+            build: Box::new(rec(build, catalog, workers, order_required)?),
             probe_key: *probe_key,
             build_key: *build_key,
         },
@@ -100,14 +109,14 @@ fn rec(plan: &PlanNode, catalog: &Catalog, workers: usize, order_required: bool)
             left_key,
             right_key,
         } => PlanNode::MergeJoin {
-            left: Box::new(rec(left, catalog, workers, true)),
-            right: Box::new(rec(right, catalog, workers, true)),
+            left: Box::new(rec(left, catalog, workers, true)?),
+            right: Box::new(rec(right, catalog, workers, true)?),
             left_key: *left_key,
             right_key: *right_key,
         },
         PlanNode::Sort { input, keys } => PlanNode::Sort {
             // Stable-sort ties keep input order.
-            input: Box::new(rec(input, catalog, workers, true)),
+            input: Box::new(rec(input, catalog, workers, true)?),
             keys: keys.clone(),
         },
         PlanNode::Aggregate {
@@ -117,35 +126,35 @@ fn rec(plan: &PlanNode, catalog: &Catalog, workers: usize, order_required: bool)
         } => PlanNode::Aggregate {
             // Float accumulation and group insertion order are input-order
             // sensitive.
-            input: Box::new(rec(input, catalog, workers, true)),
+            input: Box::new(rec(input, catalog, workers, true)?),
             group_by: group_by.clone(),
             aggs: aggs.clone(),
         },
         PlanNode::Limit { input, limit } => PlanNode::Limit {
             // Which rows survive the limit depends on order.
-            input: Box::new(rec(input, catalog, workers, true)),
+            input: Box::new(rec(input, catalog, workers, true)?),
             limit: *limit,
         },
         PlanNode::Project { input, exprs } => PlanNode::Project {
-            input: Box::new(rec(input, catalog, workers, order_required)),
+            input: Box::new(rec(input, catalog, workers, order_required)?),
             exprs: exprs.clone(),
         },
         PlanNode::Filter { input, predicate } => PlanNode::Filter {
-            input: Box::new(rec(input, catalog, workers, order_required)),
+            input: Box::new(rec(input, catalog, workers, order_required)?),
             predicate: predicate.clone(),
         },
         PlanNode::Buffer { input, size } => PlanNode::Buffer {
-            input: Box::new(rec(input, catalog, workers, order_required)),
+            input: Box::new(rec(input, catalog, workers, order_required)?),
             size: *size,
         },
         PlanNode::Materialize { input } => PlanNode::Materialize {
-            input: Box::new(rec(input, catalog, workers, order_required)),
+            input: Box::new(rec(input, catalog, workers, order_required)?),
         },
         // Already parallel (or a leaf that did not qualify above).
         PlanNode::Exchange { .. } | PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => {
             plan.clone()
         }
-    }
+    })
 }
 
 #[cfg(test)]
@@ -197,7 +206,7 @@ mod tests {
             group_by: vec![],
             aggs: vec![AggSpec::new(AggFunc::Sum, Expr::col(1), "s")],
         };
-        let par = parallelize_plan(&plan, &c, 4);
+        let par = parallelize_plan(&plan, &c, 4).unwrap();
         assert_eq!(exchange_count(&par), 1);
         let PlanNode::Aggregate { input, .. } = &par else {
             panic!()
@@ -212,7 +221,7 @@ mod tests {
     #[test]
     fn small_tables_stay_serial() {
         let c = catalog(100);
-        let par = parallelize_plan(&scan(), &c, 4);
+        let par = parallelize_plan(&scan(), &c, 4).unwrap();
         assert_eq!(exchange_count(&par), 0);
     }
 
@@ -226,7 +235,7 @@ mod tests {
             qual: None,
             fk_inner: false,
         };
-        let par = parallelize_plan(&plan, &c, 2);
+        let par = parallelize_plan(&plan, &c, 2).unwrap();
         let PlanNode::NestLoopJoin { outer, inner, .. } = &par else {
             panic!()
         };
@@ -241,8 +250,23 @@ mod tests {
             input: Box::new(scan()),
             workers: 2,
         };
-        let par = parallelize_plan(&plan, &c, 8);
+        let par = parallelize_plan(&plan, &c, 8).unwrap();
         assert_eq!(exchange_count(&par), 1);
         assert!(matches!(par, PlanNode::Exchange { workers: 2, .. }));
+    }
+
+    #[test]
+    fn unknown_table_propagates_catalog_error() {
+        let c = catalog(5000);
+        let plan = PlanNode::SeqScan {
+            table: "no_such_table".into(),
+            predicate: None,
+            projection: None,
+        };
+        let err = parallelize_plan(&plan, &c, 4).unwrap_err();
+        assert!(
+            err.to_string().contains("no_such_table"),
+            "error should name the missing table: {err}"
+        );
     }
 }

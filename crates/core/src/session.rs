@@ -1,0 +1,156 @@
+//! A long-lived query session: repeated executions against one catalog with
+//! cross-query settings (worker budget, timeout, fault registry) and a
+//! handle for cancelling the in-flight query from another thread.
+//!
+//! The session exists for the robustness contract: after any failed query —
+//! typed error, timeout, injected fault, or contained worker panic — the
+//! session stays usable and the next query runs normally. The chaos suite
+//! (`tests/chaos.rs`) exercises exactly that.
+
+use crate::cancel::CancelToken;
+use crate::exec::{execute_query, ExecOptions, QueryOutcome};
+use crate::fault::FaultRegistry;
+use crate::plan::PlanNode;
+use bufferdb_cachesim::MachineConfig;
+use bufferdb_storage::Catalog;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Stateful query runner over one catalog.
+pub struct Session {
+    catalog: Catalog,
+    cfg: MachineConfig,
+    threads: usize,
+    timeout: Option<Duration>,
+    faults: Arc<FaultRegistry>,
+    /// Cancel token of the in-flight (or most recent) query, so another
+    /// thread holding a reference to the session can stop it.
+    current: Mutex<CancelToken>,
+}
+
+impl Session {
+    /// New session over `catalog` simulating `cfg`.
+    pub fn new(catalog: Catalog, cfg: MachineConfig) -> Self {
+        Session {
+            catalog,
+            cfg,
+            threads: 1,
+            timeout: None,
+            faults: Arc::new(FaultRegistry::new()),
+            current: Mutex::new(CancelToken::new()),
+        }
+    }
+
+    /// The catalog queries run against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The session's fault registry: arm sites here to inject failures into
+    /// subsequent queries.
+    pub fn faults(&self) -> &Arc<FaultRegistry> {
+        &self.faults
+    }
+
+    /// Set the worker budget for intra-operator parallelism.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Set (or clear) a per-query timeout; applies to queries started after
+    /// this call.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.timeout = timeout;
+    }
+
+    /// Cancel the in-flight query (no-op when idle: the token is replaced at
+    /// the start of each run).
+    pub fn cancel(&self) {
+        self.current
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .cancel();
+    }
+
+    /// Run `plan` to completion (or failure), profiled or not.
+    pub fn run(&self, plan: &PlanNode, profile: bool) -> QueryOutcome {
+        let cancel = match self.timeout {
+            Some(t) => CancelToken::with_timeout(t),
+            None => CancelToken::new(),
+        };
+        *self
+            .current
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = cancel.clone();
+        let opts = ExecOptions {
+            threads: self.threads,
+            cancel,
+            faults: Arc::clone(&self.faults),
+            profile,
+        };
+        execute_query(plan, &self.catalog, &self.cfg, &opts)
+    }
+
+    /// [`Session::run`] without profiling.
+    pub fn execute(&self, plan: &PlanNode) -> QueryOutcome {
+        self.run(plan, false)
+    }
+
+    /// [`Session::run`] with per-operator profiling.
+    pub fn execute_profiled(&self, plan: &PlanNode) -> QueryOutcome {
+        self.run(plan, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bufferdb_storage::TableBuilder;
+    use bufferdb_types::{DataType, Datum, DbError, Field, Schema, Tuple};
+
+    fn session() -> Session {
+        let c = Catalog::new();
+        let mut b = TableBuilder::new("t", Schema::new(vec![Field::new("k", DataType::Int)]));
+        for i in 0..100 {
+            b.push(Tuple::new(vec![Datum::Int(i)]));
+        }
+        c.add_table(b);
+        Session::new(c, MachineConfig::pentium4_like())
+    }
+
+    fn scan() -> PlanNode {
+        PlanNode::SeqScan {
+            table: "t".into(),
+            predicate: None,
+            projection: None,
+        }
+    }
+
+    #[test]
+    fn clean_run_returns_rows() {
+        let s = session();
+        let out = s.execute(&scan());
+        assert!(out.error.is_none());
+        assert_eq!(out.rows.len(), 100);
+    }
+
+    #[test]
+    fn zero_timeout_cancels_and_session_recovers() {
+        let mut s = session();
+        s.set_timeout(Some(Duration::ZERO));
+        let out = s.execute(&scan());
+        assert!(matches!(out.error, Some(DbError::Cancelled(_))), "{out:?}");
+        s.set_timeout(None);
+        let out = s.execute(&scan());
+        assert!(out.error.is_none());
+        assert_eq!(out.rows.len(), 100);
+    }
+
+    #[test]
+    fn pre_cancelled_session_token_is_replaced_per_query() {
+        let s = session();
+        s.cancel(); // cancels the idle placeholder token only
+        let out = s.execute(&scan());
+        assert!(out.error.is_none(), "next query gets a fresh token");
+    }
+}

@@ -21,6 +21,12 @@ pub enum DbError {
     InvalidPlan(String),
     /// Executor protocol violation (e.g. `next` before `open`).
     ExecProtocol(String),
+    /// A parallel worker panicked; the panic was contained and converted.
+    WorkerFailed(String),
+    /// The query was cancelled (explicitly or by deadline).
+    Cancelled(String),
+    /// A fault-injection site fired (testing only; see `bufferdb_core::fault`).
+    FaultInjected(String),
 }
 
 impl fmt::Display for DbError {
@@ -34,6 +40,9 @@ impl fmt::Display for DbError {
             DbError::Parse(m) => write!(f, "parse error: {m}"),
             DbError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
             DbError::ExecProtocol(m) => write!(f, "executor protocol violation: {m}"),
+            DbError::WorkerFailed(m) => write!(f, "worker failed: {m}"),
+            DbError::Cancelled(m) => write!(f, "query cancelled: {m}"),
+            DbError::FaultInjected(m) => write!(f, "injected fault: {m}"),
         }
     }
 }

@@ -51,7 +51,7 @@ fn parallel_results_match_serial_at_every_worker_count() {
     for (name, plan) in all_queries(&catalog) {
         let serial = normalized(&execute_collect(&plan, &catalog, &machine).unwrap());
         for workers in [1usize, 2, 7] {
-            let par = parallelize_plan(&plan, &catalog, workers);
+            let par = parallelize_plan(&plan, &catalog, workers).unwrap();
             let (rows, _) = execute_with_stats_threads(&par, &catalog, &machine, workers)
                 .unwrap_or_else(|e| panic!("{name} at {workers} workers: {e}"));
             assert_eq!(
@@ -73,7 +73,11 @@ fn refined_parallel_results_match_serial() {
     for (name, plan) in all_queries(&catalog) {
         let serial = normalized(&execute_collect(&plan, &catalog, &machine).unwrap());
         for workers in [2usize, 7] {
-            let par = refine_plan(&parallelize_plan(&plan, &catalog, workers), &catalog, &cfg);
+            let par = refine_plan(
+                &parallelize_plan(&plan, &catalog, workers).unwrap(),
+                &catalog,
+                &cfg,
+            );
             let (rows, _) = execute_with_stats_threads(&par, &catalog, &machine, workers)
                 .unwrap_or_else(|e| panic!("{name} refined at {workers} workers: {e}"));
             assert_eq!(
@@ -94,7 +98,7 @@ fn parallel_profile_conserves_counters_and_lane_rows() {
     let machine = MachineConfig::pentium4_like();
     for (name, plan) in all_queries(&catalog) {
         for workers in [2usize, 7] {
-            let par = parallelize_plan(&plan, &catalog, workers);
+            let par = parallelize_plan(&plan, &catalog, workers).unwrap();
             let (_, stats, profile) = execute_profiled_threads(&par, &catalog, &machine, workers)
                 .unwrap_or_else(|e| panic!("{name} at {workers} workers: {e}"));
             assert_eq!(
@@ -139,7 +143,7 @@ fn tpch_plans_actually_parallelize() {
             .find(|(n, _)| *n == name)
             .unwrap()
             .1;
-        let par = parallelize_plan(&plan, &catalog, 4);
+        let par = parallelize_plan(&plan, &catalog, 4).unwrap();
         assert!(
             exchange_count(&par) >= 1,
             "{name}: expected at least one exchange"

@@ -96,6 +96,80 @@ fn profiler_overhead_is_under_five_percent() {
     }
 }
 
+/// A child error surfacing mid-fill unwinds through the buffer as a typed
+/// error; a `rescan` on the *same* operator tree clears the partial fill and
+/// replays the complete result; and the fill gauges stay consistent across
+/// the failure (an aborted fill is never gauged, so lifetime
+/// `tuples_buffered` still equals lifetime tuples produced).
+#[test]
+fn buffer_recovers_after_child_error_mid_fill() {
+    use bufferdb::core::exec::build_executor;
+    use bufferdb::core::fault::{self, FaultMode, Trigger};
+    use bufferdb::core::{ExecContext, FootprintModel, QueryProfiler};
+    use bufferdb::storage::{Catalog, TableBuilder};
+    use bufferdb_types::{DataType, Datum, DbError, Field, Schema, Tuple};
+
+    let catalog = Catalog::new();
+    let mut b = TableBuilder::new("t", Schema::new(vec![Field::new("k", DataType::Int)]));
+    for i in 0..200 {
+        b.push(Tuple::new(vec![Datum::Int(i)]));
+    }
+    catalog.add_table(b);
+    let plan = PlanNode::Buffer {
+        input: Box::new(PlanNode::SeqScan {
+            table: "t".into(),
+            predicate: None,
+            projection: None,
+        }),
+        size: 64,
+    };
+    let mut fm = FootprintModel::new();
+    fm.enable_obs();
+    let mut op = build_executor(&plan, &catalog, &mut fm).unwrap();
+    let mut ctx = ExecContext::new(MachineConfig::pentium4_like());
+    ctx.profiler = Some(QueryProfiler::new(fm.obs_labels()));
+    // Row 150 lands inside the third 64-slot fill pass.
+    ctx.faults
+        .arm(fault::SEQSCAN_NEXT, Trigger::at_row(150), FaultMode::Error);
+
+    op.open(&mut ctx).unwrap();
+    let mut produced = 0u64;
+    let err = loop {
+        match op.next(&mut ctx) {
+            Ok(Some(_)) => produced += 1,
+            Ok(None) => panic!("fault must fire before exhaustion"),
+            Err(e) => break e,
+        }
+    };
+    assert!(matches!(err, DbError::FaultInjected(_)), "{err}");
+    assert_eq!(
+        produced, 128,
+        "exactly the two completed fills drain before the faulting one"
+    );
+
+    ctx.faults.clear();
+    op.rescan(&mut ctx, None).unwrap();
+    let mut values = Vec::new();
+    while let Some(s) = op.next(&mut ctx).unwrap() {
+        values.push(ctx.arena.tuple(s).get(0).as_int().unwrap());
+        produced += 1;
+    }
+    assert_eq!(values, (0..200).collect::<Vec<_>>());
+    op.close(&mut ctx).unwrap();
+
+    let profile = ctx.profiler.take().unwrap().finish(ctx.machine.snapshot());
+    let buf = profile
+        .ops
+        .iter()
+        .find(|o| o.buffer.is_some())
+        .expect("buffer gauges present");
+    let g = buf.buffer.as_ref().unwrap();
+    assert_eq!(
+        g.tuples_buffered, produced,
+        "gauge vs tuples produced across error + rescan"
+    );
+}
+
 /// Buffer gauges line up with what the operator actually moved: every tuple
 /// the buffer produced was buffered exactly once.
 #[test]
