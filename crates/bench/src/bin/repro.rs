@@ -37,6 +37,8 @@ experiments:
   misscurve i-cache miss rate vs capacity, interleaved vs batched
   baseline  write per-query metrics to BENCH_baseline.json
   scaling   TPC-H at 1/2/4/8 workers, write BENCH_parallel.json
+  prepared  plan-cache hit/miss timing + adaptive refinement,
+            write BENCH_plancache.json
   analyze   EXPLAIN ANALYZE of Query 1, unbuffered vs buffered
   all       everything above
 options:
@@ -116,6 +118,7 @@ fn main() {
             "misscurve",
             "baseline",
             "scaling",
+            "prepared",
             "analyze",
         ]
         .iter()
@@ -152,6 +155,7 @@ fn main() {
             "misscurve" => exp::misscurve(&ctx),
             "baseline" => write_baseline(&ctx, seed, threads),
             "scaling" => write_scaling(&ctx, seed),
+            "prepared" => write_prepared(&ctx, seed),
             "analyze" => analyze_query1(&ctx),
             other => die(&format!("unknown experiment {other:?}")),
         };
@@ -193,6 +197,22 @@ fn write_scaling(ctx: &ExperimentCtx, seed: u64) -> String {
         "{}wrote {path} ({} runs)\n",
         exp::scaling_table(&report),
         report.entries.len()
+    )
+}
+
+/// Run the prepared-query study and write `BENCH_plancache.json`
+/// (uploaded as a CI artifact). Runs serial — one worker — so the
+/// committed artifact is host-independent and deterministic for a seed.
+fn write_prepared(ctx: &ExperimentCtx, seed: u64) -> String {
+    let report = exp::prepared_metrics(ctx, seed, 1);
+    let path = "BENCH_plancache.json";
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        die(&format!("cannot write {path}: {e}"));
+    }
+    format!(
+        "{}wrote {path} ({} queries)\n",
+        exp::prepared_table(&report),
+        report.queries.len()
     )
 }
 

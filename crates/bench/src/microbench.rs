@@ -16,7 +16,7 @@ const MAX_ITERS: u64 = 1 << 26;
 /// Run `f` repeatedly and print a `name  ...  ns/iter` line.
 ///
 /// Doubles the iteration count until the batch takes at least
-/// [`TARGET_MS`] milliseconds, then reports the per-iteration mean of the
+/// `TARGET_MS` milliseconds, then reports the per-iteration mean of the
 /// final batch. The closure's result is passed through
 /// [`std::hint::black_box`] so the optimizer cannot delete the work.
 pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {

@@ -108,13 +108,14 @@ pub fn run_plan_threads(
     threads: usize,
 ) -> RunResult {
     let outcome = execute_query(plan, catalog, cfg, &exec_options(threads));
-    if let Some(err) = outcome.error {
-        report_failure_and_exit(label, &outcome.stats, outcome.rows.len(), err);
+    let (rows, stats, _profile, error) = outcome.into_parts();
+    if let Some(err) = error {
+        report_failure_and_exit(label, &stats, rows.len(), err);
     }
     RunResult {
         label: label.to_string(),
-        rows: outcome.rows,
-        stats: outcome.stats,
+        rows,
+        stats,
     }
 }
 
@@ -369,6 +370,102 @@ impl ScalingReport {
     }
 }
 
+/// One prepared query's cache-path timings and adaptation outcome.
+#[derive(Debug, Clone)]
+pub struct PreparedQueryMetrics {
+    /// Query name.
+    pub query: String,
+    /// Average cold-path prepare time (fingerprint + parallelize + refine +
+    /// insert), microseconds.
+    pub miss_prepare_micros: f64,
+    /// Average warm-path prepare time (fingerprint + lookup), microseconds.
+    pub hit_prepare_micros: f64,
+    /// Result rows.
+    pub rows: u64,
+    /// Buffer operators in the statically refined plan.
+    pub static_buffers: u64,
+    /// Buffer operators after the adaptive loop converged.
+    pub adapted_buffers: u64,
+    /// Adaptation generations installed (0 = the static plan survived).
+    pub generations: u64,
+    /// L1i misses of a profiled run of the static plan.
+    pub static_l1i_misses: u64,
+    /// L1i misses of a profiled run of the final adapted plan.
+    pub adapted_l1i_misses: u64,
+}
+
+impl PreparedQueryMetrics {
+    /// Whether adaptation replaced the static plan.
+    pub fn adapted(&self) -> bool {
+        self.generations > 0
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("query".into(), Json::str(&self.query)),
+            (
+                "miss_prepare_micros".into(),
+                Json::F64(self.miss_prepare_micros),
+            ),
+            (
+                "hit_prepare_micros".into(),
+                Json::F64(self.hit_prepare_micros),
+            ),
+            ("rows".into(), Json::U64(self.rows)),
+            ("static_buffers".into(), Json::U64(self.static_buffers)),
+            ("adapted_buffers".into(), Json::U64(self.adapted_buffers)),
+            ("generations".into(), Json::U64(self.generations)),
+            (
+                "static_l1i_misses".into(),
+                Json::U64(self.static_l1i_misses),
+            ),
+            (
+                "adapted_l1i_misses".into(),
+                Json::U64(self.adapted_l1i_misses),
+            ),
+        ])
+    }
+}
+
+/// The machine-readable prepared-query report (`BENCH_plancache.json`).
+#[derive(Debug, Clone, Default)]
+pub struct PlanCacheReport {
+    /// TPC-H scale factor.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Worker budget the prepared plans were built/run with.
+    pub threads: u64,
+    /// Plan-cache hits over the whole experiment.
+    pub hits: u64,
+    /// Plan-cache misses over the whole experiment.
+    pub misses: u64,
+    /// Entries resident when the experiment finished.
+    pub entries: u64,
+    /// One entry per prepared query.
+    pub queries: Vec<PreparedQueryMetrics>,
+}
+
+impl PlanCacheReport {
+    /// Render the report as a pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("schema".into(), Json::str("bufferdb-plancache/v1")),
+            ("scale_factor".into(), Json::F64(self.scale)),
+            ("seed".into(), Json::U64(self.seed)),
+            ("threads".into(), Json::U64(self.threads)),
+            ("cache_hits".into(), Json::U64(self.hits)),
+            ("cache_misses".into(), Json::U64(self.misses)),
+            ("cache_entries".into(), Json::U64(self.entries)),
+            (
+                "queries".into(),
+                Json::Arr(self.queries.iter().map(|q| q.to_json()).collect()),
+            ),
+        ])
+        .pretty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,6 +506,37 @@ mod tests {
         assert!(text.contains("\"threads\": 4"), "{text}");
         assert!(text.contains("\"instructions\": 1000"), "{text}");
         assert!(text.contains("\"modeled_seconds\": 1.25"), "{text}");
+    }
+
+    #[test]
+    fn plancache_report_renders_json() {
+        let report = PlanCacheReport {
+            scale: 0.02,
+            seed: 42,
+            threads: 1,
+            hits: 12,
+            misses: 6,
+            entries: 6,
+            queries: vec![PreparedQueryMetrics {
+                query: "Q2".into(),
+                miss_prepare_micros: 80.5,
+                hit_prepare_micros: 2.5,
+                rows: 1,
+                static_buffers: 0,
+                adapted_buffers: 1,
+                generations: 1,
+                static_l1i_misses: 5000,
+                adapted_l1i_misses: 700,
+            }],
+        };
+        let text = report.to_json();
+        assert!(
+            text.contains("\"schema\": \"bufferdb-plancache/v1\""),
+            "{text}"
+        );
+        assert!(text.contains("\"cache_hits\": 12"), "{text}");
+        assert!(text.contains("\"generations\": 1"), "{text}");
+        assert!(text.contains("\"adapted_l1i_misses\": 700"), "{text}");
     }
 
     #[test]

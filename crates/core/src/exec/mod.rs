@@ -311,26 +311,71 @@ impl Default for ExecOptions {
 
 /// What one query execution produced — even when it failed.
 ///
-/// `error == None` means a clean run; otherwise `rows` holds whatever was
-/// produced before the failure and `stats` the simulated work actually done
-/// (cancelled or fault-injected runs still conserve counters exactly).
-/// `profile` is present when profiling was requested and the run ended with
-/// balanced profiler brackets — every clean run and every typed-error run;
-/// it is dropped only after a contained panic, whose unwind skips the
-/// profiler's exit records.
+/// A clean run has [`QueryOutcome::error`] `None`; otherwise
+/// [`QueryOutcome::rows`] holds whatever was produced before the failure and
+/// [`QueryOutcome::stats`] the simulated work actually done (cancelled or
+/// fault-injected runs still conserve counters exactly).
+/// [`QueryOutcome::profile`] is present when profiling was requested and the
+/// run ended with balanced profiler brackets — every clean run and every
+/// typed-error run; it is dropped only after a contained panic, whose unwind
+/// skips the profiler's exit records.
+///
+/// Fields are accessor-based so the struct can grow (plan-cache provenance,
+/// adaptive-refinement decisions, …) without breaking downstream matches.
 #[derive(Debug)]
 pub struct QueryOutcome {
-    /// Rows produced before completion or failure.
-    pub rows: Vec<Tuple>,
-    /// Whole-query simulated counters, breakdown and wall-clock time.
-    pub stats: ExecStats,
-    /// Per-operator attribution (when requested and brackets balanced).
-    pub profile: Option<QueryProfile>,
-    /// The first failure, if any.
-    pub error: Option<DbError>,
+    rows: Vec<Tuple>,
+    stats: ExecStats,
+    profile: Option<QueryProfile>,
+    error: Option<DbError>,
 }
 
 impl QueryOutcome {
+    /// Assemble an outcome (executor-internal; downstream code only reads).
+    pub(crate) fn new(
+        rows: Vec<Tuple>,
+        stats: ExecStats,
+        profile: Option<QueryProfile>,
+        error: Option<DbError>,
+    ) -> Self {
+        QueryOutcome {
+            rows,
+            stats,
+            profile,
+            error,
+        }
+    }
+
+    /// Rows produced before completion or failure.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Whole-query simulated counters, breakdown and wall-clock time.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Per-operator attribution (when requested and brackets balanced).
+    pub fn profile(&self) -> Option<&QueryProfile> {
+        self.profile.as_ref()
+    }
+
+    /// The first failure, if any.
+    pub fn error(&self) -> Option<&DbError> {
+        self.error.as_ref()
+    }
+
+    /// Whether the query ran to completion without failure.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// Decompose into owned parts: `(rows, stats, profile, error)`.
+    pub fn into_parts(self) -> (Vec<Tuple>, ExecStats, Option<QueryProfile>, Option<DbError>) {
+        (self.rows, self.stats, self.profile, self.error)
+    }
+
     /// Convert to the classic `Result` shape, discarding partial output on
     /// failure.
     pub fn into_result(self) -> Result<(Vec<Tuple>, ExecStats, Option<QueryProfile>)> {
@@ -406,9 +451,9 @@ pub fn execute_query(
         _ => None,
     };
     let row_count = rows.len() as u64;
-    QueryOutcome {
+    QueryOutcome::new(
         rows,
-        stats: ExecStats {
+        ExecStats {
             rows: row_count,
             counters,
             breakdown,
@@ -416,7 +461,7 @@ pub fn execute_query(
         },
         profile,
         error,
-    }
+    )
 }
 
 /// Execute a plan to completion, returning the result rows.

@@ -35,6 +35,7 @@ pub mod obs;
 pub mod optimizer;
 pub mod parallel;
 pub mod plan;
+pub mod prepare;
 pub mod refine;
 pub mod session;
 pub mod stats;
@@ -53,6 +54,10 @@ pub use obs::{BufferGauges, ExchangeLane, ObsId, OpStats, QueryProfile, QueryPro
 pub use parallel::parallelize_plan;
 pub use plan::analyze::explain_analyze;
 pub use plan::{AggFunc, AggSpec, IndexMode, PlanNode};
-pub use refine::{refine_plan, RefineConfig};
-pub use session::Session;
+pub use prepare::{
+    prepare_physical_plan, AdaptConfig, CacheStats, Database, PlanCache, PlanFingerprint,
+    PreparedQuery,
+};
+pub use refine::{refine_plan, refine_plan_observed, ObservedCards, RefineConfig};
+pub use session::{QueryOpts, Session};
 pub use stats::ExecStats;

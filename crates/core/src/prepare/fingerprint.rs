@@ -1,0 +1,131 @@
+//! Canonical plan fingerprints: the plan-cache key.
+//!
+//! A fingerprint folds everything that determines the refined + parallelized
+//! physical plan into one 64-bit FNV-1a hash:
+//!
+//! * the **logical plan** (its canonical `Debug` rendering — `PlanNode`
+//!   derives a deterministic, whitespace-free single-line format);
+//! * the **machine configuration** (a different L1i capacity or line size
+//!   refines differently);
+//! * the **worker budget** (parallelization rewrites the plan per count);
+//! * the **catalog stats epoch** (cardinality estimates feed the refiner's
+//!   threshold rule, so any registration or re-analyze must miss);
+//! * the **refinement configuration** (capacity, threshold, buffer size).
+//!
+//! Baking the epoch into the key makes invalidation correct *by
+//! construction*: a stale entry can never be returned for a fresh lookup —
+//! [`crate::prepare::PlanCache::evict_stale`] merely reclaims its memory.
+
+use crate::plan::PlanNode;
+use crate::refine::RefineConfig;
+use bufferdb_cachesim::MachineConfig;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(hash, |h, &b| (h ^ b as u64).wrapping_mul(FNV_PRIME))
+}
+
+/// Structural hash of one plan subtree (FNV-1a over its canonical `Debug`
+/// rendering). Identical subtrees — which execute identically against the
+/// same catalog — hash identically, which is what lets observed
+/// cardinalities survive a re-refinement that moves buffers around (see
+/// [`crate::refine::ObservedCards`]).
+pub fn subtree_hash(plan: &PlanNode) -> u64 {
+    fnv1a(FNV_OFFSET, format!("{plan:?}").as_bytes())
+}
+
+/// The plan-cache key: see the module docs for what it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanFingerprint(u64);
+
+impl PlanFingerprint {
+    /// The raw 64-bit hash (for diagnostics and JSON export).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprint `plan` under the full preparation context.
+pub fn fingerprint_plan(
+    plan: &PlanNode,
+    machine: &MachineConfig,
+    threads: usize,
+    stats_epoch: u64,
+    refine: &RefineConfig,
+) -> PlanFingerprint {
+    let mut h = fnv1a(FNV_OFFSET, format!("{plan:?}").as_bytes());
+    h = fnv1a(h, format!("{machine:?}").as_bytes());
+    h = fnv1a(h, &(threads as u64).to_le_bytes());
+    h = fnv1a(h, &stats_epoch.to_le_bytes());
+    h = fnv1a(h, &(refine.l1i_capacity as u64).to_le_bytes());
+    h = fnv1a(h, &refine.cardinality_threshold.to_bits().to_le_bytes());
+    h = fnv1a(h, &(refine.buffer_size as u64).to_le_bytes());
+    PlanFingerprint(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(table: &str) -> PlanNode {
+        PlanNode::SeqScan {
+            table: table.into(),
+            predicate: None,
+            projection: None,
+        }
+    }
+
+    #[test]
+    fn identical_inputs_fingerprint_identically() {
+        let cfg = MachineConfig::pentium4_like();
+        let r = RefineConfig::default();
+        let a = fingerprint_plan(&scan("t"), &cfg, 1, 0, &r);
+        let b = fingerprint_plan(&scan("t"), &cfg, 1, 0, &r);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_key_component_perturbs_the_fingerprint() {
+        let cfg = MachineConfig::pentium4_like();
+        let r = RefineConfig::default();
+        let base = fingerprint_plan(&scan("t"), &cfg, 1, 0, &r);
+        assert_ne!(base, fingerprint_plan(&scan("u"), &cfg, 1, 0, &r), "plan");
+        assert_ne!(
+            base,
+            fingerprint_plan(&scan("t"), &cfg, 2, 0, &r),
+            "threads"
+        );
+        assert_ne!(base, fingerprint_plan(&scan("t"), &cfg, 1, 1, &r), "epoch");
+        let mut small = MachineConfig::pentium4_like();
+        small.l1i.capacity /= 2;
+        assert_ne!(
+            base,
+            fingerprint_plan(&scan("t"), &small, 1, 0, &r),
+            "machine"
+        );
+        let tight = RefineConfig {
+            l1i_capacity: 8 * 1024,
+            ..RefineConfig::default()
+        };
+        assert_ne!(
+            base,
+            fingerprint_plan(&scan("t"), &cfg, 1, 0, &tight),
+            "refine cfg"
+        );
+    }
+
+    #[test]
+    fn subtree_hash_is_structural() {
+        assert_eq!(subtree_hash(&scan("t")), subtree_hash(&scan("t")));
+        assert_ne!(subtree_hash(&scan("t")), subtree_hash(&scan("u")));
+        let buffered = PlanNode::Buffer {
+            input: Box::new(scan("t")),
+            size: 100,
+        };
+        assert_ne!(subtree_hash(&scan("t")), subtree_hash(&buffered));
+    }
+}

@@ -1,0 +1,328 @@
+//! Prepared queries: the [`Database`] facade, the shared [`PlanCache`], and
+//! feedback-driven adaptive refinement.
+//!
+//! ```ignore
+//! let db = Database::open(catalog, MachineConfig::pentium4_like());
+//! let q = db.prepare(&plan)?;       // parallelize + refine once, cached
+//! let out = q.execute();           // repeated executions skip optimization
+//! let out = q.execute_adaptive();  // profiled; re-refines on divergence
+//! ```
+//!
+//! [`prepare_physical_plan`] is the *single* logical→physical path —
+//! parallelization (when the worker budget warrants it) strictly before
+//! refinement, so exchange boundaries are in place when execution groups
+//! form. Every caller (the facade, the bench harness, examples) routes
+//! through it; ad-hoc `parallelize_plan` + `refine_plan` glue is gone.
+
+pub mod adapt;
+pub mod fingerprint;
+pub mod plancache;
+
+pub use adapt::{adapt_plan, AdaptConfig, AdaptDecision, AdaptState, PendingValidation};
+pub use fingerprint::{fingerprint_plan, subtree_hash, PlanFingerprint};
+pub use plancache::{CacheEntry, CacheStats, PlanCache, DEFAULT_CACHE_CAPACITY};
+
+use crate::exec::QueryOutcome;
+use crate::parallel::parallelize_plan;
+use crate::plan::PlanNode;
+use crate::refine::{refine_plan, RefineConfig};
+use crate::session::{QueryOpts, Session};
+use bufferdb_cachesim::MachineConfig;
+use bufferdb_storage::Catalog;
+use bufferdb_types::Result;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A prepared physical plan: the parallelized base kept for adaptive
+/// re-refinement, plus the refined plan executions actually run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedPlan {
+    /// Parallelized, pre-refinement plan.
+    pub base: PlanNode,
+    /// Refined physical plan.
+    pub physical: PlanNode,
+}
+
+/// The canonical logical→physical pipeline: parallelize (only when
+/// `workers > 1` — the exchange rewrite is not free at one worker), then
+/// refine. Returns both stages; use [`prepare_physical_plan`] when only the
+/// executable plan is needed.
+pub fn prepare_plan_parts(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    refine_cfg: &RefineConfig,
+    workers: usize,
+) -> Result<PreparedPlan> {
+    let base = if workers > 1 {
+        parallelize_plan(plan, catalog, workers)?
+    } else {
+        plan.clone()
+    };
+    let physical = refine_plan(&base, catalog, refine_cfg);
+    Ok(PreparedPlan { base, physical })
+}
+
+/// [`prepare_plan_parts`], returning just the executable physical plan.
+pub fn prepare_physical_plan(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    refine_cfg: &RefineConfig,
+    workers: usize,
+) -> Result<PlanNode> {
+    Ok(prepare_plan_parts(plan, catalog, refine_cfg, workers)?.physical)
+}
+
+/// The top-level facade: a [`Session`] plus a shared [`PlanCache`] and the
+/// adaptive-refinement configuration.
+///
+/// `Database` wraps rather than replaces `Session`: cancellation, fault
+/// injection, and default thread/timeout settings all live on the session
+/// and apply to prepared executions unchanged.
+pub struct Database {
+    session: Session,
+    cache: Arc<PlanCache>,
+    refine_cfg: RefineConfig,
+    adapt_cfg: AdaptConfig,
+}
+
+impl Database {
+    /// Open a database over `catalog` simulating `cfg`, with a
+    /// default-capacity plan cache and default refinement/adaptation
+    /// configuration.
+    pub fn open(catalog: Catalog, cfg: MachineConfig) -> Self {
+        Database {
+            session: Session::new(catalog, cfg),
+            cache: Arc::new(PlanCache::default()),
+            refine_cfg: RefineConfig::default(),
+            adapt_cfg: AdaptConfig::default(),
+        }
+    }
+
+    /// Replace the plan cache (e.g. a smaller capacity for tests, or a
+    /// cache shared with another database over the same catalog semantics).
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Replace the refinement configuration used by [`Database::prepare`].
+    pub fn with_refine_config(mut self, cfg: RefineConfig) -> Self {
+        self.refine_cfg = cfg;
+        self
+    }
+
+    /// Replace the adaptive-refinement configuration.
+    pub fn with_adapt_config(mut self, cfg: AdaptConfig) -> Self {
+        self.adapt_cfg = cfg;
+        self
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The catalog queries run against.
+    pub fn catalog(&self) -> &Catalog {
+        self.session.catalog()
+    }
+
+    /// The shared plan cache (inspect [`PlanCache::stats`] for hit rates).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.cache
+    }
+
+    /// The refinement configuration prepares run under.
+    pub fn refine_config(&self) -> &RefineConfig {
+        &self.refine_cfg
+    }
+
+    /// Set the default worker budget for subsequent prepares/executions.
+    /// Changing it re-keys future fingerprints (a plan parallelized for 2
+    /// workers is not the plan for 8).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.session.set_threads(threads);
+    }
+
+    /// Set (or clear) the session's default per-query timeout.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.session.set_timeout(timeout);
+    }
+
+    /// Prepare `plan`: on a cache hit the stored physical plan is reused
+    /// outright; on a miss the plan is parallelized + refined and cached.
+    /// Also sweeps entries whose stats epoch went stale (they are already
+    /// unreachable — the epoch is part of the key — this reclaims them).
+    pub fn prepare(&self, plan: &PlanNode) -> Result<PreparedQuery<'_>> {
+        let epoch = self.catalog().stats_epoch();
+        self.cache.evict_stale(epoch);
+        let threads = self.session.threads();
+        let fp = fingerprint_plan(
+            plan,
+            self.session.machine(),
+            threads,
+            epoch,
+            &self.refine_cfg,
+        );
+        let entry = match self.cache.lookup(fp) {
+            Some(entry) => entry,
+            None => {
+                let parts = prepare_plan_parts(plan, self.catalog(), &self.refine_cfg, threads)?;
+                self.cache.insert(fp, epoch, parts.base, parts.physical)
+            }
+        };
+        Ok(PreparedQuery { db: self, entry })
+    }
+}
+
+/// A handle on one cached prepared plan, ready for repeated execution.
+///
+/// The handle stays valid even if the cache evicts the entry (it holds the
+/// entry `Arc`); adaptation performed through any handle is visible to all
+/// handles sharing the entry.
+pub struct PreparedQuery<'db> {
+    db: &'db Database,
+    entry: Arc<CacheEntry>,
+}
+
+impl PreparedQuery<'_> {
+    /// Execute the cached physical plan with session defaults, no
+    /// profiling, no adaptation.
+    pub fn execute(&self) -> QueryOutcome {
+        self.execute_opts(&QueryOpts::new())
+    }
+
+    /// Execute the cached physical plan under explicit [`QueryOpts`].
+    pub fn execute_opts(&self, opts: &QueryOpts) -> QueryOutcome {
+        let plan = self.entry.physical_plan();
+        self.db.session.query(&plan, opts)
+    }
+
+    /// Execute with profiling and feed the measurements back: when observed
+    /// group miss rates or cardinalities diverge from the refiner's
+    /// predictions, the cached plan is re-refined in place (visible to
+    /// every holder of this prepared query; see [`adapt_plan`]).
+    ///
+    /// Adaptation is gated on a **clean** profiled outcome — a failed,
+    /// cancelled, or panicked execution returns its outcome untouched and
+    /// never modifies the cached plan.
+    pub fn execute_adaptive(&self) -> QueryOutcome {
+        self.execute_adaptive_opts(&QueryOpts::new())
+    }
+
+    /// [`PreparedQuery::execute_adaptive`] with explicit options
+    /// (profiling is forced on — the feedback needs the measurements).
+    pub fn execute_adaptive_opts(&self, opts: &QueryOpts) -> QueryOutcome {
+        let plan = self.entry.physical_plan();
+        let out = self.db.session.query(&plan, &opts.clone().profile(true));
+        if let (true, Some(profile)) = (out.is_ok(), out.profile()) {
+            let mut state = self.entry.adapt_state();
+            let decision = adapt_plan(
+                self.entry.base_plan(),
+                &plan,
+                profile,
+                self.db.catalog(),
+                &self.db.refine_cfg,
+                &self.db.adapt_cfg,
+                &mut state,
+            );
+            match decision.new_plan {
+                Some(new_plan) => self.entry.install(new_plan, state),
+                None => self.entry.store_adapt_state(state),
+            }
+        }
+        out
+    }
+
+    /// Snapshot of the physical plan the next execution will run.
+    pub fn plan(&self) -> PlanNode {
+        self.entry.physical_plan()
+    }
+
+    /// How many times adaptation has replaced this entry's plan.
+    pub fn generation(&self) -> u64 {
+        self.entry.generation()
+    }
+
+    /// The cache entry backing this handle.
+    pub fn entry(&self) -> &Arc<CacheEntry> {
+        &self.entry
+    }
+
+    /// The fingerprint this query is cached under.
+    pub fn fingerprint(&self) -> PlanFingerprint {
+        self.entry.fingerprint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bufferdb_storage::TableBuilder;
+    use bufferdb_types::{DataType, Datum, Field, Schema, Tuple};
+
+    fn catalog(rows: i64) -> Catalog {
+        let c = Catalog::new();
+        let mut b = TableBuilder::new("t", Schema::new(vec![Field::new("k", DataType::Int)]));
+        for i in 0..rows {
+            b.push(Tuple::new(vec![Datum::Int(i)]));
+        }
+        c.add_table(b);
+        c
+    }
+
+    fn scan() -> PlanNode {
+        PlanNode::SeqScan {
+            table: "t".into(),
+            predicate: None,
+            projection: None,
+        }
+    }
+
+    #[test]
+    fn prepare_twice_hits_the_cache() {
+        let db = Database::open(catalog(100), MachineConfig::pentium4_like());
+        let a = db.prepare(&scan()).unwrap();
+        let b = db.prepare(&scan()).unwrap();
+        assert!(Arc::ptr_eq(a.entry(), b.entry()));
+        let s = db.plan_cache().stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn prepared_execution_returns_rows() {
+        let db = Database::open(catalog(100), MachineConfig::pentium4_like());
+        let q = db.prepare(&scan()).unwrap();
+        let out = q.execute();
+        assert!(out.is_ok());
+        assert_eq!(out.rows().len(), 100);
+    }
+
+    #[test]
+    fn stats_epoch_bump_invalidates() {
+        let db = Database::open(catalog(100), MachineConfig::pentium4_like());
+        let a = db.prepare(&scan()).unwrap();
+        db.catalog().bump_stats_epoch();
+        let b = db.prepare(&scan()).unwrap();
+        assert!(!Arc::ptr_eq(a.entry(), b.entry()), "stale entry not reused");
+        assert_eq!(db.plan_cache().stats().invalidations, 1);
+    }
+
+    #[test]
+    fn thread_count_re_keys_the_cache() {
+        let mut db = Database::open(catalog(100), MachineConfig::pentium4_like());
+        let a = db.prepare(&scan()).unwrap().fingerprint();
+        db.set_threads(4);
+        let b = db.prepare(&scan()).unwrap().fingerprint();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn prepare_physical_plan_skips_exchange_at_one_worker() {
+        let c = catalog(5000);
+        let p = prepare_physical_plan(&scan(), &c, &RefineConfig::default(), 1).unwrap();
+        assert!(!format!("{p:?}").contains("Exchange"));
+        let p = prepare_physical_plan(&scan(), &c, &RefineConfig::default(), 4).unwrap();
+        assert!(format!("{p:?}").contains("Exchange"));
+    }
+}

@@ -21,7 +21,15 @@ pub mod calibrate;
 use crate::footprint::{FootprintModel, OpKind};
 use crate::plan::estimate::estimate_rows;
 use crate::plan::PlanNode;
+use crate::prepare::fingerprint::subtree_hash;
 use bufferdb_storage::Catalog;
+use std::collections::HashMap;
+
+/// Observed output cardinalities from a profiled execution, keyed by the
+/// structural hash ([`subtree_hash`]) of the producing subtree. The adaptive
+/// re-refinement loop feeds these back so the paper's cardinality rule
+/// (§7.3) runs on *measured* rows instead of catalog estimates.
+pub type ObservedCards = HashMap<u64, f64>;
 
 /// Configuration for the refinement pass.
 #[derive(Debug, Clone)]
@@ -54,12 +62,31 @@ type Group = Vec<OpKind>;
 struct Refiner<'a> {
     catalog: &'a Catalog,
     cfg: &'a RefineConfig,
+    observed: Option<&'a ObservedCards>,
 }
 
 /// Refine `plan`, returning an equivalent plan with buffer operators added
 /// where the footprint analysis recommends them.
 pub fn refine_plan(plan: &PlanNode, catalog: &Catalog, cfg: &RefineConfig) -> PlanNode {
-    let r = Refiner { catalog, cfg };
+    refine_plan_observed(plan, catalog, cfg, None)
+}
+
+/// [`refine_plan`] with measured cardinalities: where `observed` has an
+/// entry for a subtree, the cardinality rule uses the measured row count in
+/// place of the catalog estimate (subtrees without an entry fall back to the
+/// estimator). This is how the adaptive loop drops a buffer whose group
+/// produced fewer rows than predicted.
+pub fn refine_plan_observed(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    cfg: &RefineConfig,
+    observed: Option<&ObservedCards>,
+) -> PlanNode {
+    let r = Refiner {
+        catalog,
+        cfg,
+        observed,
+    };
     let (plan, _group) = r.refine(plan);
     plan
 }
@@ -73,7 +100,11 @@ impl Refiner<'_> {
     }
 
     fn above_threshold(&self, node: &PlanNode) -> bool {
-        estimate_rows(node, self.catalog) >= self.cfg.cardinality_threshold
+        let rows = self
+            .observed
+            .and_then(|m| m.get(&subtree_hash(node)).copied())
+            .unwrap_or_else(|| estimate_rows(node, self.catalog));
+        rows >= self.cfg.cardinality_threshold
     }
 
     fn buffer(&self, plan: PlanNode) -> PlanNode {

@@ -6,6 +6,11 @@
 //! typed error, timeout, injected fault, or contained worker panic — the
 //! session stays usable and the next query runs normally. The chaos suite
 //! (`tests/chaos.rs`) exercises exactly that.
+//!
+//! The one entry point is [`Session::query`] with a [`QueryOpts`] builder;
+//! the pre-redesign `run`/`execute`/`execute_profiled` trio survives as
+//! deprecated shims. For cached prepared execution, wrap the session in a
+//! [`crate::prepare::Database`].
 
 use crate::cancel::CancelToken;
 use crate::exec::{execute_query, ExecOptions, QueryOutcome};
@@ -15,6 +20,62 @@ use bufferdb_cachesim::MachineConfig;
 use bufferdb_storage::Catalog;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Per-query options for [`Session::query`], builder style.
+///
+/// Unset options fall back to the session's own defaults, so
+/// `QueryOpts::new()` reproduces the session's plain execution path.
+///
+/// ```ignore
+/// let opts = QueryOpts::new().profile(true).threads(4);
+/// let out = session.query(&plan, &opts);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QueryOpts {
+    profile: bool,
+    threads: Option<usize>,
+    timeout: Option<Duration>,
+}
+
+impl QueryOpts {
+    /// Options that inherit every session default (no profiling).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request per-operator profiling (adds zero modeled cost).
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
+    /// Override the session's worker budget for this query.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Override the session's per-query timeout for this query.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Whether profiling was requested.
+    pub fn wants_profile(&self) -> bool {
+        self.profile
+    }
+
+    /// The thread override, if any.
+    pub fn thread_override(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// The timeout override, if any.
+    pub fn timeout_override(&self) -> Option<Duration> {
+        self.timeout
+    }
+}
 
 /// Stateful query runner over one catalog.
 pub struct Session {
@@ -46,6 +107,21 @@ impl Session {
         &self.catalog
     }
 
+    /// The simulated machine configuration queries run on.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The session's default worker budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The session's default per-query timeout.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
+    }
+
     /// The session's fault registry: arm sites here to inject failures into
     /// subsequent queries.
     pub fn faults(&self) -> &Arc<FaultRegistry> {
@@ -72,9 +148,14 @@ impl Session {
             .cancel();
     }
 
-    /// Run `plan` to completion (or failure), profiled or not.
-    pub fn run(&self, plan: &PlanNode, profile: bool) -> QueryOutcome {
-        let cancel = match self.timeout {
+    /// Run `plan` to completion (or failure) under `opts`. Options left
+    /// unset in `opts` inherit the session defaults.
+    ///
+    /// The plan is executed exactly as given — pass it through
+    /// [`crate::prepare::prepare_physical_plan`] (or use a
+    /// [`crate::prepare::Database`]) to parallelize and refine it first.
+    pub fn query(&self, plan: &PlanNode, opts: &QueryOpts) -> QueryOutcome {
+        let cancel = match opts.timeout_override().or(self.timeout) {
             Some(t) => CancelToken::with_timeout(t),
             None => CancelToken::new(),
         };
@@ -82,23 +163,31 @@ impl Session {
             .current
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner()) = cancel.clone();
-        let opts = ExecOptions {
-            threads: self.threads,
+        let exec_opts = ExecOptions {
+            threads: opts.thread_override().unwrap_or(self.threads),
             cancel,
             faults: Arc::clone(&self.faults),
-            profile,
+            profile: opts.wants_profile(),
         };
-        execute_query(plan, &self.catalog, &self.cfg, &opts)
+        execute_query(plan, &self.catalog, &self.cfg, &exec_opts)
     }
 
-    /// [`Session::run`] without profiling.
+    /// Run `plan` to completion (or failure), profiled or not.
+    #[deprecated(note = "use `Session::query(plan, &QueryOpts::new().profile(p))` instead")]
+    pub fn run(&self, plan: &PlanNode, profile: bool) -> QueryOutcome {
+        self.query(plan, &QueryOpts::new().profile(profile))
+    }
+
+    /// Run without profiling.
+    #[deprecated(note = "use `Session::query(plan, &QueryOpts::new())` instead")]
     pub fn execute(&self, plan: &PlanNode) -> QueryOutcome {
-        self.run(plan, false)
+        self.query(plan, &QueryOpts::new())
     }
 
-    /// [`Session::run`] with per-operator profiling.
+    /// Run with per-operator profiling.
+    #[deprecated(note = "use `Session::query(plan, &QueryOpts::new().profile(true))` instead")]
     pub fn execute_profiled(&self, plan: &PlanNode) -> QueryOutcome {
-        self.run(plan, true)
+        self.query(plan, &QueryOpts::new().profile(true))
     }
 }
 
@@ -129,28 +218,50 @@ mod tests {
     #[test]
     fn clean_run_returns_rows() {
         let s = session();
-        let out = s.execute(&scan());
-        assert!(out.error.is_none());
-        assert_eq!(out.rows.len(), 100);
+        let out = s.query(&scan(), &QueryOpts::new());
+        assert!(out.is_ok());
+        assert_eq!(out.rows().len(), 100);
     }
 
     #[test]
     fn zero_timeout_cancels_and_session_recovers() {
         let mut s = session();
         s.set_timeout(Some(Duration::ZERO));
-        let out = s.execute(&scan());
-        assert!(matches!(out.error, Some(DbError::Cancelled(_))), "{out:?}");
+        let out = s.query(&scan(), &QueryOpts::new());
+        assert!(
+            matches!(out.error(), Some(DbError::Cancelled(_))),
+            "{out:?}"
+        );
         s.set_timeout(None);
-        let out = s.execute(&scan());
-        assert!(out.error.is_none());
-        assert_eq!(out.rows.len(), 100);
+        let out = s.query(&scan(), &QueryOpts::new());
+        assert!(out.is_ok());
+        assert_eq!(out.rows().len(), 100);
+    }
+
+    #[test]
+    fn per_query_timeout_override_beats_session_default() {
+        let s = session();
+        let out = s.query(&scan(), &QueryOpts::new().timeout(Duration::ZERO));
+        assert!(matches!(out.error(), Some(DbError::Cancelled(_))));
+        // Session default (no timeout) is untouched.
+        let out = s.query(&scan(), &QueryOpts::new());
+        assert!(out.is_ok());
     }
 
     #[test]
     fn pre_cancelled_session_token_is_replaced_per_query() {
         let s = session();
         s.cancel(); // cancels the idle placeholder token only
-        let out = s.execute(&scan());
-        assert!(out.error.is_none(), "next query gets a fresh token");
+        let out = s.query(&scan(), &QueryOpts::new());
+        assert!(out.is_ok(), "next query gets a fresh token");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_run() {
+        let s = session();
+        assert_eq!(s.execute(&scan()).rows().len(), 100);
+        assert!(s.execute_profiled(&scan()).profile().is_some());
+        assert!(s.run(&scan(), false).is_ok());
     }
 }

@@ -42,6 +42,10 @@ pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
     indexes: RwLock<HashMap<String, Arc<IndexDef>>>,
     next_addr: AtomicU64,
+    /// Statistics epoch: bumped on every table/index registration (and by
+    /// [`Catalog::bump_stats_epoch`]) so plan caches keyed on the epoch can
+    /// tell that cardinality estimates derived from this catalog are stale.
+    stats_epoch: AtomicU64,
 }
 
 impl Default for Catalog {
@@ -57,7 +61,22 @@ impl Catalog {
             tables: RwLock::new(HashMap::new()),
             indexes: RwLock::new(HashMap::new()),
             next_addr: AtomicU64::new(DATA_BASE),
+            stats_epoch: AtomicU64::new(0),
         }
+    }
+
+    /// The current statistics epoch. Any registration (table or index) and
+    /// any explicit [`Catalog::bump_stats_epoch`] advances it; cached plans
+    /// fingerprinted under an older epoch must be re-optimized.
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch.load(Ordering::Acquire)
+    }
+
+    /// Advance the statistics epoch without changing the schema — the hook
+    /// for bulk updates or re-analyzed statistics that invalidate cached
+    /// cardinality estimates.
+    pub fn bump_stats_epoch(&self) -> u64 {
+        self.stats_epoch.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// Finish `builder` into a table laid out at the next free simulated
@@ -74,6 +93,7 @@ impl Catalog {
             .write()
             .unwrap()
             .insert(table.name().to_string(), Arc::clone(&table));
+        self.bump_stats_epoch();
         table
     }
 
@@ -91,6 +111,7 @@ impl Catalog {
             .write()
             .unwrap()
             .insert(arc.name.clone(), Arc::clone(&arc));
+        self.bump_stats_epoch();
         arc
     }
 
@@ -177,6 +198,28 @@ mod tests {
         let idx = c.index("t_pkey").unwrap();
         assert_eq!(idx.btree.lookup(3), vec![3]);
         assert!(c.index("missing").is_err());
+    }
+
+    #[test]
+    fn stats_epoch_advances_on_registration_and_bump() {
+        let c = Catalog::new();
+        let e0 = c.stats_epoch();
+        c.add_table(builder("t", 3));
+        let e1 = c.stats_epoch();
+        assert!(e1 > e0, "table registration must bump the epoch");
+        let mut btree = BTreeIndex::new();
+        btree.insert(0, 0);
+        c.add_index(IndexDef {
+            name: "t_pkey".into(),
+            table: "t".into(),
+            key_column: 0,
+            btree,
+        });
+        let e2 = c.stats_epoch();
+        assert!(e2 > e1, "index registration must bump the epoch");
+        let e3 = c.bump_stats_epoch();
+        assert_eq!(e3, c.stats_epoch());
+        assert!(e3 > e2);
     }
 
     #[test]

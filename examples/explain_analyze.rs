@@ -6,7 +6,6 @@
 //! cargo run --release --example explain_analyze
 //! ```
 
-use bufferdb::core::explain_analyze;
 use bufferdb::prelude::*;
 
 fn main() -> Result<()> {

@@ -6,8 +6,6 @@
 //! cargo run --release --example join_strategies [scale_factor]
 //! ```
 
-use bufferdb::core::exec::execute_with_stats;
-use bufferdb::core::plan::explain::explain;
 use bufferdb::prelude::*;
 use bufferdb::tpch::{self, queries::JoinMethod};
 

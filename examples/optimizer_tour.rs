@@ -6,9 +6,7 @@
 //! cargo run --release --example optimizer_tour
 //! ```
 
-use bufferdb::core::exec::execute_with_stats;
 use bufferdb::core::optimizer::{choose_join_plan, JoinCostModel, JoinQuery};
-use bufferdb::core::plan::explain::explain;
 use bufferdb::prelude::*;
 use bufferdb::tpch;
 

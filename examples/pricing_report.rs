@@ -5,8 +5,6 @@
 //! cargo run --release --example pricing_report [scale_factor]
 //! ```
 
-use bufferdb::core::exec::execute_with_stats;
-use bufferdb::core::plan::explain::explain;
 use bufferdb::prelude::*;
 use bufferdb::tpch;
 

@@ -1,13 +1,11 @@
-//! Quickstart: build a table, run a query, let the refiner add a buffer.
+//! Quickstart: open a database, prepare a query, let the refiner add a
+//! buffer, and re-prepare to hit the shared plan cache.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use bufferdb::core::exec::execute_with_stats;
-use bufferdb::core::plan::explain::explain;
 use bufferdb::prelude::*;
-use bufferdb::storage::TableBuilder;
 
 fn main() -> Result<()> {
     // 1. A catalog with one table: 200k rows of (id, amount).
@@ -37,29 +35,31 @@ fn main() -> Result<()> {
         }),
         group_by: vec![],
         aggs: vec![
-            bufferdb::core::plan::AggSpec::new(AggFunc::Sum, Expr::col(1), "total"),
-            bufferdb::core::plan::AggSpec::new(AggFunc::Avg, Expr::col(1), "avg"),
-            bufferdb::core::plan::AggSpec::count_star("n"),
+            AggSpec::new(AggFunc::Sum, Expr::col(1), "total"),
+            AggSpec::new(AggFunc::Avg, Expr::col(1), "avg"),
+            AggSpec::count_star("n"),
         ],
     };
 
-    // 3. Execute on the simulated Pentium-4-like machine.
-    let machine = MachineConfig::pentium4_like();
-    let (rows, original) = execute_with_stats(&plan, &catalog, &machine)?;
+    // 3. Open a database over the simulated Pentium-4-like machine. For
+    //    comparison, first run the *unrefined* plan directly.
+    let db = Database::open(catalog, MachineConfig::pentium4_like());
+    let (rows, original) = execute_with_stats(&plan, db.catalog(), db.session().machine())?;
     println!("result: {}", rows[0]);
-    println!("\noriginal plan:\n{}", explain(&plan, &catalog));
+    println!("\noriginal plan:\n{}", explain(&plan, db.catalog()));
     println!("{}", original.breakdown);
 
-    // 4. Refine: the scan (13.2 K) + computed aggregation exceed the L1
-    //    instruction cache, so a buffer operator is inserted.
-    let refined = refine_plan(&plan, &catalog, &RefineConfig::default());
-    let (rows2, buffered) = execute_with_stats(&refined, &catalog, &machine)?;
+    // 4. Prepare: the scan (13.2 K) + computed aggregation exceed the L1
+    //    instruction cache, so refinement inserts a buffer operator, and the
+    //    refined physical plan is cached under the query's fingerprint.
+    let query = db.prepare(&plan)?;
+    let (rows2, buffered, _) = query.execute().into_result()?;
     assert_eq!(
         format!("{}", rows[0]),
         format!("{}", rows2[0]),
         "same answer"
     );
-    println!("refined plan:\n{}", explain(&refined, &catalog));
+    println!("refined plan:\n{}", explain(&query.plan(), db.catalog()));
     println!("{}", buffered.breakdown);
 
     println!(
@@ -73,6 +73,16 @@ fn main() -> Result<()> {
         original.seconds(),
         buffered.seconds(),
         100.0 * buffered.improvement_over(&original)
+    );
+
+    // 5. Preparing the same plan again skips optimization entirely: the
+    //    shared plan cache returns the refined plan by fingerprint.
+    let again = db.prepare(&plan)?;
+    assert_eq!(again.fingerprint(), query.fingerprint());
+    let stats = db.plan_cache().stats();
+    println!(
+        "\nplan cache: {} hit(s), {} miss(es), {} resident",
+        stats.hits, stats.misses, stats.entries
     );
     Ok(())
 }

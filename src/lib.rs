@@ -33,13 +33,42 @@ pub use bufferdb_tpch as tpch;
 pub use bufferdb_types as types;
 
 /// Commonly used items in one import.
+///
+/// Covers the full redesigned surface: the
+/// [`Database`](bufferdb_core::prepare::Database)/[`PreparedQuery`](bufferdb_core::prepare::PreparedQuery)
+/// facade with its plan cache, the
+/// [`Session`](bufferdb_core::session::Session)/[`QueryOpts`](bufferdb_core::session::QueryOpts)
+/// entry point,
+/// execution helpers, plan building, refinement, parallelization, fault
+/// injection, and the storage/type vocabulary — everything the examples,
+/// integration tests, and bench harness need without deep `crates/...`
+/// paths.
 pub mod prelude {
-    pub use bufferdb_cachesim::{BreakdownReport, MachineConfig, PerfCounters};
-    pub use bufferdb_core::exec::execute_collect;
+    pub use bufferdb_cachesim::{BreakdownReport, CacheConfig, MachineConfig, PerfCounters};
+    pub use bufferdb_core::cancel::CancelToken;
+    pub use bufferdb_core::exec::{
+        execute_collect, execute_profiled, execute_profiled_threads, execute_query,
+        execute_with_stats, execute_with_stats_threads, ExecOptions, QueryOutcome,
+    };
     pub use bufferdb_core::expr::Expr;
-    pub use bufferdb_core::plan::{AggFunc, PlanNode};
-    pub use bufferdb_core::refine::{refine_plan, RefineConfig};
-    pub use bufferdb_storage::{Catalog, Table};
+    pub use bufferdb_core::fault::{FaultMode, FaultRegistry, Trigger};
+    pub use bufferdb_core::footprint::{FootprintModel, OpKind};
+    pub use bufferdb_core::obs::{BufferGauges, ExchangeLane, ObsId, OpStats, QueryProfile};
+    pub use bufferdb_core::parallel::parallelize_plan;
+    pub use bufferdb_core::plan::analyze::explain_analyze;
+    pub use bufferdb_core::plan::explain::explain;
+    pub use bufferdb_core::plan::{AggFunc, AggSpec, IndexMode, PlanNode};
+    pub use bufferdb_core::prepare::{
+        fingerprint_plan, prepare_physical_plan, AdaptConfig, CacheEntry, CacheStats, Database,
+        PlanCache, PlanFingerprint, PreparedQuery,
+    };
+    pub use bufferdb_core::refine::{
+        refine_plan, refine_plan_observed, ObservedCards, RefineConfig,
+    };
+    pub use bufferdb_core::session::{QueryOpts, Session};
+    pub use bufferdb_core::stats::ExecStats;
+    pub use bufferdb_index::BTreeIndex;
+    pub use bufferdb_storage::{Catalog, IndexDef, Table, TableBuilder};
     pub use bufferdb_types::{
         DataType, Date, Datum, DbError, Decimal, Field, Result, Schema, Tuple,
     };

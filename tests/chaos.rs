@@ -5,14 +5,8 @@
 //! result. Error-mode failures additionally keep the per-operator profile
 //! balanced, so partial counters conserve exactly.
 
-use bufferdb::cachesim::MachineConfig;
-use bufferdb::core::fault::{self, FaultMode, Trigger};
-use bufferdb::core::parallel::parallelize_plan;
-use bufferdb::core::plan::{IndexMode, PlanNode};
-use bufferdb::core::Session;
-use bufferdb::index::BTreeIndex;
-use bufferdb::storage::{Catalog, IndexDef, TableBuilder};
-use bufferdb_types::{DataType, Datum, DbError, Field, Schema, Tuple};
+use bufferdb::core::fault;
+use bufferdb::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
@@ -114,28 +108,28 @@ fn every_site_and_worker_count_fails_cleanly_and_recovers() {
             let plan = plan_for(site, workers, session.catalog());
             for mode in [FaultMode::Error, FaultMode::Panic] {
                 session.faults().arm(site, Trigger::at_row(2), mode);
-                let out = session.execute(&plan);
+                let out = session.query(&plan, &QueryOpts::new());
                 match mode {
                     FaultMode::Error => assert!(
-                        matches!(out.error, Some(DbError::FaultInjected(_))),
+                        matches!(out.error(), Some(DbError::FaultInjected(_))),
                         "{site} x{workers} error mode: {:?}",
-                        out.error
+                        out.error()
                     ),
                     FaultMode::Panic => assert!(
-                        matches!(out.error, Some(DbError::WorkerFailed(_))),
+                        matches!(out.error(), Some(DbError::WorkerFailed(_))),
                         "{site} x{workers} panic mode: {:?}",
-                        out.error
+                        out.error()
                     ),
                 }
                 session.faults().clear();
-                let clean = session.execute(&plan);
+                let clean = session.query(&plan, &QueryOpts::new());
                 assert!(
-                    clean.error.is_none(),
+                    clean.error().is_none(),
                     "{site} x{workers} after {mode:?}: session did not recover: {:?}",
-                    clean.error
+                    clean.error()
                 );
                 assert_eq!(
-                    clean.rows.len(),
+                    clean.rows().len(),
                     ROWS as usize,
                     "{site} x{workers} after {mode:?}: wrong recovery result"
                 );
@@ -158,29 +152,29 @@ fn injected_error_keeps_profiled_counters_conserved() {
         session
             .faults()
             .arm(site, Trigger::at_row(2), FaultMode::Error);
-        let out = session.execute_profiled(&plan);
+        let out = session.query(&plan, &QueryOpts::new().profile(true));
         assert!(
-            matches!(out.error, Some(DbError::FaultInjected(_))),
+            matches!(out.error(), Some(DbError::FaultInjected(_))),
             "{site}: {:?}",
-            out.error
+            out.error()
         );
         let profile = out
-            .profile
+            .profile()
             .unwrap_or_else(|| panic!("{site}: clean error unwind must keep a balanced profile"));
         assert_eq!(
             profile.sum_op_counters(),
-            out.stats.counters,
+            out.stats().counters,
             "{site}: partial profile does not conserve"
         );
         session.faults().clear();
     }
     // Follow-up profiled query on the recovered session: complete and exact.
     let plan = plan_for(fault::SEQSCAN_NEXT, 2, session.catalog());
-    let out = session.execute_profiled(&plan);
-    assert!(out.error.is_none(), "{:?}", out.error);
-    assert_eq!(out.rows.len(), ROWS as usize);
-    let profile = out.profile.expect("profiled clean run");
-    assert_eq!(profile.sum_op_counters(), out.stats.counters);
+    let out = session.query(&plan, &QueryOpts::new().profile(true));
+    assert!(out.error().is_none(), "{:?}", out.error());
+    assert_eq!(out.rows().len(), ROWS as usize);
+    let profile = out.profile().expect("profiled clean run");
+    assert_eq!(profile.sum_op_counters(), out.stats().counters);
 }
 
 /// A zero timeout cancels at the first granule boundary with a typed
@@ -191,24 +185,24 @@ fn zero_timeout_cancels_with_conserved_partial_profile() {
     let mut session = Session::new(chaos_catalog(), MachineConfig::pentium4_like());
     let plan = plan_for(fault::BUFFER_FILL, 1, session.catalog());
     session.set_timeout(Some(Duration::ZERO));
-    let out = session.execute_profiled(&plan);
+    let out = session.query(&plan, &QueryOpts::new().profile(true));
     assert!(
-        matches!(out.error, Some(DbError::Cancelled(_))),
+        matches!(out.error(), Some(DbError::Cancelled(_))),
         "{:?}",
-        out.error
+        out.error()
     );
-    let profile = out.profile.expect("cancellation unwinds cleanly");
+    let profile = out.profile().expect("cancellation unwinds cleanly");
     assert_eq!(
         profile.sum_op_counters(),
-        out.stats.counters,
+        out.stats().counters,
         "partial profile after timeout does not conserve"
     );
     session.set_timeout(None);
-    let out = session.execute_profiled(&plan);
-    assert!(out.error.is_none(), "{:?}", out.error);
-    assert_eq!(out.rows.len(), ROWS as usize);
-    let profile = out.profile.expect("profiled clean run");
-    assert_eq!(profile.sum_op_counters(), out.stats.counters);
+    let out = session.query(&plan, &QueryOpts::new().profile(true));
+    assert!(out.error().is_none(), "{:?}", out.error());
+    assert_eq!(out.rows().len(), ROWS as usize);
+    let profile = out.profile().expect("profiled clean run");
+    assert_eq!(profile.sum_op_counters(), out.stats().counters);
 }
 
 /// `Session::cancel` from another thread stops the in-flight query with a
@@ -229,16 +223,16 @@ fn cross_thread_cancel_stops_inflight_query() {
                 std::thread::yield_now();
             }
         });
-        let out = session.execute(&plan);
+        let out = session.query(&plan, &QueryOpts::new());
         done.store(true, Ordering::Relaxed);
         out
     });
     assert!(
-        matches!(out.error, Some(DbError::Cancelled(_))),
+        matches!(out.error(), Some(DbError::Cancelled(_))),
         "{:?}",
-        out.error
+        out.error()
     );
-    let clean = session.execute(&plan);
-    assert!(clean.error.is_none(), "{:?}", clean.error);
-    assert_eq!(clean.rows.len(), ROWS as usize);
+    let clean = session.query(&plan, &QueryOpts::new());
+    assert!(clean.error().is_none(), "{:?}", clean.error());
+    assert_eq!(clean.rows().len(), ROWS as usize);
 }

@@ -3,11 +3,8 @@
 //! variant computes the same answer and that the answer matches a direct
 //! reference computation over the raw tables.
 
-use bufferdb::cachesim::MachineConfig;
-use bufferdb::core::exec::execute_collect;
-use bufferdb::core::refine::{refine_plan, RefineConfig};
+use bufferdb::prelude::*;
 use bufferdb::tpch::{self, queries, queries::JoinMethod};
-use bufferdb::types::{Decimal, Tuple};
 
 fn rows_to_string(rows: &[Tuple]) -> String {
     rows.iter()

@@ -1,12 +1,7 @@
 //! Failure injection: malformed plans and data must produce typed errors,
 //! never panics or wrong answers.
 
-use bufferdb::cachesim::MachineConfig;
-use bufferdb::core::exec::{execute_collect, execute_with_stats};
-use bufferdb::core::plan::{AggFunc, AggSpec, IndexMode, PlanNode};
 use bufferdb::prelude::*;
-use bufferdb::storage::TableBuilder;
-use bufferdb::types::DbError;
 
 fn catalog() -> Catalog {
     let c = Catalog::new();

@@ -2,14 +2,9 @@
 //! running against generated TPC-H data, cross-checked against the
 //! tuple-at-a-time engine.
 
-use bufferdb::cachesim::MachineConfig;
 use bufferdb::core::block::{BlockAggregate, BlockScan};
 use bufferdb::core::context::ExecContext;
-use bufferdb::core::exec::execute_collect;
-use bufferdb::core::footprint::FootprintModel;
 use bufferdb::core::optimizer::{choose_join_plan, JoinCostModel, JoinQuery};
-use bufferdb::core::plan::PlanNode;
-use bufferdb::core::refine::{refine_plan, RefineConfig};
 use bufferdb::prelude::*;
 use bufferdb::tpch;
 

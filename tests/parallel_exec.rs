@@ -2,13 +2,8 @@
 //! the serial result set at any worker count, and the merged per-worker
 //! counters must conserve the aggregate snapshot.
 
-use bufferdb::cachesim::MachineConfig;
-use bufferdb::core::exec::{execute_collect, execute_profiled_threads, execute_with_stats_threads};
-use bufferdb::core::parallel::parallelize_plan;
-use bufferdb::core::plan::PlanNode;
-use bufferdb::core::refine::{refine_plan, RefineConfig};
+use bufferdb::prelude::*;
 use bufferdb::tpch::{self, queries, queries::JoinMethod};
-use bufferdb_types::Tuple;
 
 fn all_queries(catalog: &bufferdb::storage::Catalog) -> Vec<(&'static str, PlanNode)> {
     vec![

@@ -2,10 +2,7 @@
 //! whole-query counters, and turning the profiler on must not distort the
 //! simulation it measures.
 
-use bufferdb::cachesim::MachineConfig;
-use bufferdb::core::exec::{execute_profiled, execute_with_stats};
-use bufferdb::core::plan::PlanNode;
-use bufferdb::core::refine::{refine_plan, RefineConfig};
+use bufferdb::prelude::*;
 use bufferdb::tpch::{self, queries, queries::JoinMethod};
 
 fn all_queries(catalog: &bufferdb::storage::Catalog) -> Vec<(&'static str, PlanNode)> {

@@ -3,14 +3,8 @@
 //! refinement) and every join method must leave query answers unchanged,
 //! and operators must agree with straightforward reference computations.
 
-use bufferdb::cachesim::MachineConfig;
-use bufferdb::core::exec::execute_collect;
-use bufferdb::core::expr::Expr;
-use bufferdb::core::plan::{AggFunc, AggSpec, PlanNode};
-use bufferdb::core::refine::{refine_plan, RefineConfig};
-use bufferdb::index::BTreeIndex;
-use bufferdb::storage::{Catalog, IndexDef, TableBuilder};
-use bufferdb::types::{DataType, Datum, Field, Rng, Schema, Tuple};
+use bufferdb::prelude::*;
+use bufferdb::types::Rng;
 
 /// Build a catalog with a fact table of `(k, v)` rows (nullable v) and a
 /// dimension table keyed 0..dim_n with an index.

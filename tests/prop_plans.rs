@@ -2,14 +2,9 @@
 //! plan refinement and constant folding must preserve the result set, and
 //! refined plans must satisfy the buffer-placement invariants.
 
-use bufferdb::cachesim::MachineConfig;
-use bufferdb::core::exec::execute_collect;
-use bufferdb::core::expr::Expr;
 use bufferdb::core::expr_fold::fold_plan;
-use bufferdb::core::plan::{AggFunc, AggSpec, PlanNode};
-use bufferdb::core::refine::{refine_plan, RefineConfig};
-use bufferdb::storage::{Catalog, TableBuilder};
-use bufferdb::types::{DataType, Datum, Field, Rng, Schema, Tuple};
+use bufferdb::prelude::*;
+use bufferdb::types::Rng;
 
 fn catalog() -> Catalog {
     let c = Catalog::new();

@@ -3,8 +3,7 @@
 //! parameterized inner of a foreign-key nested-loop join, configured sizes
 //! everywhere, and idempotency.
 
-use bufferdb::core::plan::PlanNode;
-use bufferdb::core::refine::{refine_plan, RefineConfig};
+use bufferdb::prelude::*;
 use bufferdb::tpch::{self, queries, queries::JoinMethod};
 
 fn all_plans(catalog: &bufferdb::storage::Catalog) -> Vec<(&'static str, PlanNode)> {

@@ -2,10 +2,7 @@
 //! paper (Query 1 buffered wins, Query 2 does not, misses scale ∝ 1/B),
 //! and machine ablations (a big-enough L1i removes the thrashing).
 
-use bufferdb::cachesim::MachineConfig;
-use bufferdb::core::exec::execute_with_stats;
-use bufferdb::core::plan::PlanNode;
-use bufferdb::core::refine::{refine_plan, RefineConfig};
+use bufferdb::prelude::*;
 use bufferdb::tpch::{self, queries};
 
 fn buffered_q1(catalog: &bufferdb::storage::Catalog, size: usize) -> PlanNode {
