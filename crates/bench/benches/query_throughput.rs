@@ -7,10 +7,20 @@
 
 use bufferdb_bench::microbench::bench_n;
 use bufferdb_cachesim::MachineConfig;
-use bufferdb_core::exec::execute_collect;
+use bufferdb_core::exec::{execute_query, ExecOptions};
+use bufferdb_core::plan::PlanNode;
 use bufferdb_core::refine::{refine_plan, RefineConfig};
+use bufferdb_storage::Catalog;
 use bufferdb_tpch::queries;
+use bufferdb_types::Tuple;
 use std::hint::black_box;
+
+fn collect(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> Vec<Tuple> {
+    let (rows, _, _) = execute_query(plan, catalog, cfg, &ExecOptions::default())
+        .into_result()
+        .unwrap();
+    rows
+}
 
 fn bench_query1() {
     let catalog = bufferdb_tpch::generate_catalog(0.002, 42);
@@ -18,10 +28,10 @@ fn bench_query1() {
     let plan = queries::paper_query1(&catalog).unwrap();
     let refined = refine_plan(&plan, &catalog, &RefineConfig::default());
     bench_n("query1/original", 10, || {
-        black_box(execute_collect(&plan, &catalog, &machine).unwrap())
+        black_box(collect(&plan, &catalog, &machine))
     });
     bench_n("query1/refined", 10, || {
-        black_box(execute_collect(&refined, &catalog, &machine).unwrap())
+        black_box(collect(&refined, &catalog, &machine))
     });
 }
 
@@ -31,10 +41,10 @@ fn bench_query6() {
     let plan = queries::tpch_q6(&catalog).unwrap();
     let refined = refine_plan(&plan, &catalog, &RefineConfig::default());
     bench_n("tpch_q6/original", 10, || {
-        black_box(execute_collect(&plan, &catalog, &machine).unwrap())
+        black_box(collect(&plan, &catalog, &machine))
     });
     bench_n("tpch_q6/refined", 10, || {
-        black_box(execute_collect(&refined, &catalog, &machine).unwrap())
+        black_box(collect(&refined, &catalog, &machine))
     });
 }
 

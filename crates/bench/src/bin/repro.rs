@@ -40,7 +40,9 @@ experiments:
   prepared  plan-cache hit/miss timing + adaptive refinement,
             write BENCH_plancache.json
   analyze   EXPLAIN ANALYZE of Query 1, unbuffered vs buffered
-  all       everything above
+  trace <query>  flight-recorder trace of one query (Q1 Q6 Q12 Q14
+            paperQ1 paperQ2), write Perfetto JSON to TRACE_<query>.json
+  all       everything above (except trace)
 options:
   --threads <n>     worker budget for parallel builds (default: all cores)
   --timeout-ms <n>  cancel any single query after <n> ms (exit code 3)
@@ -133,7 +135,10 @@ fn main() {
         ctx.catalog.table("lineitem").expect("lineitem").row_count()
     );
 
-    for e in &experiments {
+    let mut i = 0;
+    while i < experiments.len() {
+        let e = &experiments[i];
+        i += 1;
         let report = match e.as_str() {
             "table1" => exp::table1(&ctx),
             "table2" => exp::table2(),
@@ -157,6 +162,13 @@ fn main() {
             "scaling" => write_scaling(&ctx, seed),
             "prepared" => write_prepared(&ctx, seed),
             "analyze" => analyze_query1(&ctx),
+            "trace" => {
+                let query = experiments
+                    .get(i)
+                    .unwrap_or_else(|| die("trace needs a query name (e.g. `trace Q12`)"));
+                i += 1;
+                write_trace(&ctx, seed, threads, query)
+            }
             other => die(&format!("unknown experiment {other:?}")),
         };
         println!("{report}");
@@ -213,6 +225,28 @@ fn write_prepared(ctx: &ExperimentCtx, seed: u64) -> String {
         "{}wrote {path} ({} queries)\n",
         exp::prepared_table(&report),
         report.queries.len()
+    )
+}
+
+/// Trace one query under the flight recorder and write the Perfetto JSON
+/// next to the current directory (load it at `ui.perfetto.dev` or
+/// `chrome://tracing`).
+fn write_trace(ctx: &ExperimentCtx, seed: u64, threads: usize, query: &str) -> String {
+    const KNOWN: [&str; 6] = ["Q1", "Q6", "Q12", "Q14", "paperQ1", "paperQ2"];
+    if !KNOWN.contains(&query) {
+        die(&format!(
+            "unknown trace query {query:?} (expected one of {})",
+            KNOWN.join(" ")
+        ));
+    }
+    let (json, summary) = exp::trace_query(ctx, seed, threads, query);
+    let path = format!("TRACE_{query}.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        die(&format!("cannot write {path}: {e}"));
+    }
+    format!(
+        "== Flight recorder: {query} at {threads} workers ==\n{summary}wrote {path} ({} bytes)\n",
+        json.len()
     )
 }
 

@@ -1,12 +1,13 @@
 //! One function per paper artifact (table or figure).
 
 use crate::runner::{
-    comparison_report, reduction, run_plan, run_plan_threads, MetricsReport, PlanCacheReport,
+    comparison_report, reduction, run_plan, run_plan_traced, MetricsReport, PlanCacheReport,
     PreparedQueryMetrics, QueryMetrics, RunResult, ScalingEntry, ScalingReport, WorkerLaneMetrics,
 };
 use bufferdb_cachesim::MachineConfig;
-use bufferdb_core::exec::execute_profiled_threads;
+use bufferdb_core::exec::{execute_query, ExecOptions};
 use bufferdb_core::footprint::OpKind;
+use bufferdb_core::obs::TraceEvent;
 use bufferdb_core::plan::explain::explain;
 use bufferdb_core::plan::{AggFunc, PlanNode};
 use bufferdb_core::prepare::{prepare_physical_plan, Database};
@@ -389,8 +390,8 @@ pub fn baseline_metrics(ctx: &ExperimentCtx, seed: u64, threads: usize) -> Metri
     };
     for (name, plan) in plans {
         let refined = ctx.buffered(&plan);
-        let o = run_plan_threads("original", &plan, &ctx.catalog, &ctx.machine, threads);
-        let b = run_plan_threads("refined", &refined, &ctx.catalog, &ctx.machine, threads);
+        let o = run_plan_traced("original", &plan, &ctx.catalog, &ctx.machine, threads);
+        let b = run_plan_traced("refined", &refined, &ctx.catalog, &ctx.machine, threads);
         report
             .entries
             .push(QueryMetrics::from_run(name, "original", &plan, &o));
@@ -457,9 +458,15 @@ pub fn scaling_metrics(ctx: &ExperimentCtx, seed: u64) -> ScalingReport {
         for workers in SCALING_WORKERS {
             let par = prepare_physical_plan(&plan, &ctx.catalog, &ctx.refine, workers)
                 .unwrap_or_else(|e| panic!("{name}: prepare: {e}"));
-            let (rows, stats, profile) =
-                execute_profiled_threads(&par, &ctx.catalog, &ctx.machine, workers)
-                    .unwrap_or_else(|e| panic!("{name} at {workers} workers: {e}"));
+            let opts = ExecOptions {
+                threads: workers,
+                profile: true,
+                ..Default::default()
+            };
+            let (rows, stats, profile) = execute_query(&par, &ctx.catalog, &ctx.machine, &opts)
+                .into_result()
+                .unwrap_or_else(|e| panic!("{name} at {workers} workers: {e}"));
+            let profile = profile.expect("profiling was requested");
             assert_eq!(
                 profile.sum_op_counters(),
                 stats.counters,
@@ -491,6 +498,69 @@ pub fn scaling_metrics(ctx: &ExperimentCtx, seed: u64) -> ScalingReport {
         }
     }
     report
+}
+
+/// Resolve a trace-target query name to its plan.
+fn plan_by_name(catalog: &Catalog, name: &str) -> PlanNode {
+    match name {
+        "paperQ1" => queries::paper_query1(catalog).expect("paper q1"),
+        "paperQ2" => queries::paper_query2(catalog).expect("paper q2"),
+        "Q1" => queries::tpch_q1(catalog).expect("q1"),
+        "Q6" => queries::tpch_q6(catalog).expect("q6"),
+        "Q12" => queries::tpch_q12(catalog).expect("q12"),
+        "Q14" => queries::tpch_q14(catalog).expect("q14"),
+        other => panic!("unknown trace query {other:?} (try Q1 Q6 Q12 Q14 paperQ1 paperQ2)"),
+    }
+}
+
+/// Run `name` under the flight recorder at `threads` workers through the
+/// adaptive prepared-query path. Returns `(perfetto_json, summary)` — the
+/// Chrome/Perfetto trace-event document and the terminal timeline.
+///
+/// The adaptive loop runs a few rounds so the exported trace carries
+/// adaptivity instants when observation moves the plan. The round that
+/// installed a new plan generation wins (it shows the pre-split
+/// execution *and* the decision that changed it); failing that, the
+/// last round with any instants; failing that, the last round.
+pub fn trace_query(ctx: &ExperimentCtx, seed: u64, threads: usize, name: &str) -> (String, String) {
+    let mut db = Database::open(
+        bufferdb_tpch::generate_catalog(ctx.scale, seed),
+        ctx.machine.clone(),
+    )
+    .with_refine_config(ctx.refine.clone());
+    db.set_threads(threads);
+    let plan = plan_by_name(db.catalog(), name);
+    let prepared = db
+        .prepare(&plan)
+        .unwrap_or_else(|e| panic!("{name}: prepare: {e}"));
+    let opts = QueryOpts::new().trace(true).threads(threads);
+    const ROUNDS: usize = 6;
+    let mut with_install = None;
+    let mut with_instants = None;
+    let mut last = None;
+    for round in 0..ROUNDS {
+        let mut out = prepared.execute_adaptive_opts(&opts);
+        if let Some(err) = out.error() {
+            panic!("{name}: traced round {round}: {err}");
+        }
+        let trace = out.take_trace().expect("trace was requested");
+        let installed = trace
+            .instants
+            .iter()
+            .any(|ev| matches!(ev.event, TraceEvent::AdaptInstall { .. }));
+        if installed {
+            with_install = Some(trace);
+        } else if !trace.instants.is_empty() {
+            with_instants = Some(trace);
+        } else {
+            last = Some(trace);
+        }
+    }
+    let trace = with_install
+        .or(with_instants)
+        .or(last)
+        .expect("at least one round executed");
+    (trace.perfetto_json(), trace.summary())
 }
 
 /// Plain-text rendering of the scaling sweep (the `repro scaling` report).

@@ -6,7 +6,7 @@ use bufferdb_cachesim::{format_counter_comparison, pct_reduction, MachineConfig}
 use bufferdb_core::cancel::CancelToken;
 use bufferdb_core::exec::{execute_query, ExecOptions};
 use bufferdb_core::fault::FaultRegistry;
-use bufferdb_core::obs::ExchangeLane;
+use bufferdb_core::obs::{ExchangeLane, HistSummary, TraceReport};
 use bufferdb_core::plan::PlanNode;
 use bufferdb_core::stats::ExecStats;
 use bufferdb_storage::Catalog;
@@ -40,7 +40,7 @@ fn fault_registry() -> Arc<FaultRegistry> {
         .clone()
 }
 
-fn exec_options(threads: usize) -> ExecOptions {
+fn exec_options(threads: usize, trace: bool) -> ExecOptions {
     let cancel = match QUERY_TIMEOUT_MS.get() {
         Some(&ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
         None => CancelToken::new(),
@@ -50,6 +50,7 @@ fn exec_options(threads: usize) -> ExecOptions {
         cancel,
         faults: fault_registry(),
         profile: false,
+        trace,
     }
 }
 
@@ -81,6 +82,8 @@ pub struct RunResult {
     pub rows: Vec<Tuple>,
     /// Simulated counters and cost breakdown.
     pub stats: ExecStats,
+    /// Flight-recorder trace, when the run was traced.
+    pub trace: Option<TraceReport>,
 }
 
 impl RunResult {
@@ -107,7 +110,31 @@ pub fn run_plan_threads(
     cfg: &MachineConfig,
     threads: usize,
 ) -> RunResult {
-    let outcome = execute_query(plan, catalog, cfg, &exec_options(threads));
+    run_plan_inner(label, plan, catalog, cfg, threads, false)
+}
+
+/// [`run_plan_threads`] with the flight recorder enabled; the trace rides
+/// on the result for Perfetto export or histogram extraction.
+pub fn run_plan_traced(
+    label: &str,
+    plan: &PlanNode,
+    catalog: &Catalog,
+    cfg: &MachineConfig,
+    threads: usize,
+) -> RunResult {
+    run_plan_inner(label, plan, catalog, cfg, threads, true)
+}
+
+fn run_plan_inner(
+    label: &str,
+    plan: &PlanNode,
+    catalog: &Catalog,
+    cfg: &MachineConfig,
+    threads: usize,
+    trace: bool,
+) -> RunResult {
+    let mut outcome = execute_query(plan, catalog, cfg, &exec_options(threads, trace));
+    let trace = outcome.take_trace();
     let (rows, stats, _profile, error) = outcome.into_parts();
     if let Some(err) = error {
         report_failure_and_exit(label, &stats, rows.len(), err);
@@ -116,6 +143,7 @@ pub fn run_plan_threads(
         label: label.to_string(),
         rows,
         stats,
+        trace,
     }
 }
 
@@ -167,12 +195,69 @@ pub struct QueryMetrics {
     pub mispredictions: u64,
     /// ITLB misses.
     pub itlb_misses: u64,
+    /// Flight-recorder histogram summaries (empty when the run was not
+    /// traced). Additive to the `bufferdb-metrics/v1` schema.
+    pub histograms: Vec<HistogramMetric>,
+}
+
+/// Quantile summary of one flight-recorder histogram, destined for the
+/// JSON metrics report.
+#[derive(Debug, Clone)]
+pub struct HistogramMetric {
+    /// Metric name (e.g. `morsel_service_ns`).
+    pub name: String,
+    /// Recorded samples.
+    pub count: u64,
+    /// Median (log₂-bucket upper bound).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+impl HistogramMetric {
+    /// Package a named histogram summary for export.
+    pub fn from_summary(name: &str, s: &HistSummary) -> Self {
+        HistogramMetric {
+            name: name.to_string(),
+            count: s.count,
+            p50: s.p50,
+            p95: s.p95,
+            p99: s.p99,
+            max: s.max,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str(&self.name)),
+            ("count".into(), Json::U64(self.count)),
+            ("p50".into(), Json::U64(self.p50)),
+            ("p95".into(), Json::U64(self.p95)),
+            ("p99".into(), Json::U64(self.p99)),
+            ("max".into(), Json::U64(self.max)),
+        ])
+    }
 }
 
 impl QueryMetrics {
     /// Extract the exported metrics from one executed plan.
     pub fn from_run(query: &str, variant: &str, plan: &PlanNode, run: &RunResult) -> Self {
         let c = &run.stats.counters;
+        let histograms = run
+            .trace
+            .as_ref()
+            .map(|t| {
+                t.metrics
+                    .summaries()
+                    .iter()
+                    .map(|(name, s)| HistogramMetric::from_summary(name, s))
+                    .collect()
+            })
+            .unwrap_or_default();
         QueryMetrics {
             query: query.to_string(),
             variant: variant.to_string(),
@@ -185,6 +270,7 @@ impl QueryMetrics {
             l2_misses: c.l2_misses_uncovered(),
             mispredictions: c.mispredictions,
             itlb_misses: c.itlb_misses,
+            histograms,
         }
     }
 
@@ -201,6 +287,10 @@ impl QueryMetrics {
             ("l2_misses".into(), Json::U64(self.l2_misses)),
             ("mispredictions".into(), Json::U64(self.mispredictions)),
             ("itlb_misses".into(), Json::U64(self.itlb_misses)),
+            (
+                "histograms".into(),
+                Json::Arr(self.histograms.iter().map(|h| h.to_json()).collect()),
+            ),
         ])
     }
 }
@@ -495,6 +585,14 @@ mod tests {
                 l2_misses: 5,
                 mispredictions: 3,
                 itlb_misses: 1,
+                histograms: vec![HistogramMetric {
+                    name: "morsel_service_ns".into(),
+                    count: 8,
+                    p50: 1024,
+                    p95: 4096,
+                    p99: 4096,
+                    max: 3999,
+                }],
             }],
         };
         let text = report.to_json();
@@ -506,6 +604,9 @@ mod tests {
         assert!(text.contains("\"threads\": 4"), "{text}");
         assert!(text.contains("\"instructions\": 1000"), "{text}");
         assert!(text.contains("\"modeled_seconds\": 1.25"), "{text}");
+        assert!(text.contains("\"histograms\""), "{text}");
+        assert!(text.contains("\"name\": \"morsel_service_ns\""), "{text}");
+        assert!(text.contains("\"p95\": 4096"), "{text}");
     }
 
     #[test]

@@ -326,7 +326,7 @@ mod tests {
         let block_row = block_agg.execute(&mut ctx).unwrap();
 
         // Tuple-at-a-time reference.
-        use crate::exec::execute_collect;
+        use crate::exec::{execute_query, ExecOptions};
         use crate::plan::PlanNode;
         let plan = PlanNode::Aggregate {
             input: Box::new(PlanNode::SeqScan {
@@ -337,7 +337,14 @@ mod tests {
             group_by: vec![],
             aggs,
         };
-        let rows = execute_collect(&plan, &c, &MachineConfig::pentium4_like()).unwrap();
+        let (rows, _, _) = execute_query(
+            &plan,
+            &c,
+            &MachineConfig::pentium4_like(),
+            &ExecOptions::default(),
+        )
+        .into_result()
+        .unwrap();
         assert_eq!(format!("{}", block_row), format!("{}", rows[0]));
     }
 
@@ -357,7 +364,7 @@ mod tests {
         block_agg.execute(&mut ctx).unwrap();
         let block_misses = ctx.machine.snapshot().l1i_misses;
 
-        use crate::exec::execute_with_stats;
+        use crate::exec::{execute_query, ExecOptions};
         use crate::plan::PlanNode;
         let plan = PlanNode::Aggregate {
             input: Box::new(PlanNode::SeqScan {
@@ -368,8 +375,14 @@ mod tests {
             group_by: vec![],
             aggs,
         };
-        let (_, tuple_stats) =
-            execute_with_stats(&plan, &c, &MachineConfig::pentium4_like()).unwrap();
+        let (_, tuple_stats, _) = execute_query(
+            &plan,
+            &c,
+            &MachineConfig::pentium4_like(),
+            &ExecOptions::default(),
+        )
+        .into_result()
+        .unwrap();
         assert!(
             block_misses * 5 < tuple_stats.counters.l1i_misses,
             "block {} vs tuple {}",

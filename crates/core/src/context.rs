@@ -3,6 +3,7 @@
 use crate::arena::TupleArena;
 use crate::cancel::CancelToken;
 use crate::fault::FaultRegistry;
+use crate::obs::trace::{TraceEvent, Tracer};
 use crate::obs::{ExchangeLane, ObsEvent, ObsId, QueryProfile, QueryProfiler};
 use bufferdb_cachesim::{Machine, MachineConfig, PerfCounters};
 use bufferdb_types::Result;
@@ -36,6 +37,10 @@ pub struct ExecContext {
     /// [`crate::fault`]). Shared with worker contexts so hit counts are
     /// pool-global.
     pub faults: Arc<FaultRegistry>,
+    /// Flight-recorder handle; `None` (the default) makes every `trace_*`
+    /// helper a no-op, so untraced runs pay nothing (see
+    /// [`crate::obs::trace`]).
+    pub tracer: Option<Tracer>,
 }
 
 impl ExecContext {
@@ -49,6 +54,7 @@ impl ExecContext {
             build_threads: 1,
             cancel: CancelToken::new(),
             faults: Arc::new(FaultRegistry::new()),
+            tracer: None,
         }
     }
 
@@ -69,13 +75,57 @@ impl ExecContext {
 
     /// Fail with [`bufferdb_types::DbError::Cancelled`] if the query's
     /// cancel token fired. Called at granule boundaries, never per tuple.
-    pub fn check_cancel(&self) -> Result<()> {
-        self.cancel.check()
+    /// A fired cancellation is recorded on the flight recorder.
+    pub fn check_cancel(&mut self) -> Result<()> {
+        let r = self.cancel.check();
+        if r.is_err() {
+            self.trace(TraceEvent::CancelObserved);
+        }
+        r
     }
 
     /// Pass through the named fault-injection site (no-op unless armed).
-    pub fn fault(&self, site: &str) -> Result<()> {
-        self.faults.hit(site)
+    /// A tripped fault is recorded on the flight recorder.
+    pub fn fault(&mut self, site: &str) -> Result<()> {
+        let r = self.faults.hit(site);
+        if r.is_err() && self.tracer.is_some() {
+            self.trace(TraceEvent::FaultTrip { site: site.into() });
+        }
+        r
+    }
+
+    /// Whether a flight recorder is attached (gate for any tracing work
+    /// that needs preparation, e.g. snapshotting counters before a span).
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Nanoseconds on the trace clock, or 0 when tracing is off.
+    pub fn trace_now(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, Tracer::now_ns)
+    }
+
+    /// Record a flight-recorder event (no-op when tracing is off).
+    pub fn trace(&mut self, event: TraceEvent) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(event);
+        }
+    }
+
+    /// Record a histogram sample (no-op when tracing is off; see
+    /// [`crate::obs::hist`] for metric names).
+    pub fn trace_metric(&mut self, name: &str, v: u64) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.metric(name, v);
+        }
+    }
+
+    /// Fold a joined worker's tracer into this context's recorder
+    /// (no-op when either side is untraced).
+    pub fn absorb_trace(&mut self, worker: Option<Tracer>) {
+        if let (Some(t), Some(w)) = (self.tracer.as_mut(), worker) {
+            t.absorb(w);
+        }
     }
 
     /// Merge one exchange worker's results into this context: the worker

@@ -23,6 +23,8 @@ use crate::context::ExecContext;
 use crate::exec::Operator;
 use crate::fault;
 use crate::footprint::{FootprintModel, OpKind};
+use crate::obs::hist;
+use crate::obs::trace::TraceEvent;
 use crate::obs::ObsId;
 use bufferdb_cachesim::CodeRegion;
 use bufferdb_types::{Datum, DbError, Result, SchemaRef};
@@ -109,6 +111,15 @@ impl Operator for BufferOp {
             // `rescan` clears it, so the operator stays reusable.
             ctx.check_cancel()?;
             ctx.fault(fault::BUFFER_FILL)?;
+            // Flight-recorder span bracket: snapshot time and L1i misses
+            // before the fill so the event carries this granule's cost.
+            // Both reads are free when tracing is off.
+            let fill_start_ns = ctx.trace_now();
+            let l1i_before = if ctx.trace_enabled() {
+                ctx.machine.snapshot().l1i_misses
+            } else {
+                0
+            };
             // The full (still tiny, 0.7 K) buffer code runs on the refill
             // path; the return-pointed-tuple fast path below is a handful of
             // instructions — this is what makes the operator "light-weight"
@@ -134,6 +145,17 @@ impl Operator for BufferOp {
             }
             if !self.slots.is_empty() {
                 ctx.obs_buffer_fill(self.obs_id, self.slots.len() as u64);
+                if ctx.trace_enabled() {
+                    let rows = self.slots.len() as u64;
+                    let l1i = ctx.machine.snapshot().l1i_misses - l1i_before;
+                    ctx.trace(TraceEvent::FillEnd {
+                        op: self.obs_id.map_or(u32::MAX, |id| id.0 as u32),
+                        rows,
+                        l1i_misses: l1i,
+                        start_ns: fill_start_ns,
+                    });
+                    ctx.trace_metric(hist::FILL_GRANULE_ROWS, rows);
+                }
             }
         }
         if self.pos < self.slots.len() {
@@ -144,6 +166,14 @@ impl Operator for BufferOp {
             self.pos += 1;
             if self.pos == self.slots.len() {
                 ctx.obs_buffer_drain(self.obs_id);
+                if ctx.trace_enabled() {
+                    let occupancy = self.slots.len() as u64;
+                    ctx.trace(TraceEvent::DrainEnd {
+                        op: self.obs_id.map_or(u32::MAX, |id| id.0 as u32),
+                        occupancy,
+                    });
+                    ctx.trace_metric(hist::BUFFER_OCCUPANCY, occupancy);
+                }
             }
             Ok(Some(slot))
         } else {

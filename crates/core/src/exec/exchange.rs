@@ -21,6 +21,8 @@ use crate::context::ExecContext;
 use crate::exec::{schema_slot_bytes, Operator, DEFAULT_BATCH};
 use crate::fault;
 use crate::footprint::{FootprintModel, OpKind};
+use crate::obs::hist;
+use crate::obs::trace::{TraceEvent, Tracer};
 use crate::obs::{ExchangeLane, ObsId, QueryProfile, QueryProfiler};
 use crate::plan::PlanNode;
 use bufferdb_cachesim::{CodeRegion, MachineConfig, PerfCounters};
@@ -83,6 +85,9 @@ struct WorkerOutcome {
     tree: Option<Box<dyn Operator>>,
     counters: PerfCounters,
     profile: Option<QueryProfile>,
+    /// The worker's flight-recorder track; unlike the profile it survives
+    /// panics (the ring holds exactly the events leading up to the failure).
+    trace: Option<Tracer>,
     morsels: u64,
     rows: u64,
     error: Option<DbError>,
@@ -98,6 +103,7 @@ impl WorkerOutcome {
             tree: None,
             counters: PerfCounters::default(),
             profile: None,
+            trace: None,
             morsels: 0,
             rows: 0,
             error: Some(DbError::WorkerFailed(format!(
@@ -130,17 +136,22 @@ fn worker_phase(
     cfg: MachineConfig,
     labels: &[String],
     queue: &Mutex<VecDeque<(usize, (u32, u32))>>,
-    tx: mpsc::SyncSender<(usize, Tuple)>,
+    tx: mpsc::SyncSender<(usize, u64, Tuple)>,
     stop: &AtomicBool,
     cancel: &crate::cancel::CancelToken,
     faults: &std::sync::Arc<crate::fault::FaultRegistry>,
+    tracer: Option<Tracer>,
 ) -> WorkerOutcome {
     let mut wctx = ExecContext::for_worker(cfg, cancel, faults);
     if !labels.is_empty() {
         wctx.profiler = Some(QueryProfiler::new(labels));
     }
+    wctx.tracer = tracer;
     let mut morsels_done = 0u64;
     let mut rows = 0u64;
+    // The morsel in flight, tracked outside the unwind boundary so an
+    // error or contained panic still gets a terminal `MorselAbort` event.
+    let mut in_flight: Option<u32> = None;
     let caught = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
         loop {
             if stop.load(Ordering::Relaxed) {
@@ -151,9 +162,26 @@ fn worker_phase(
                 break;
             };
             morsels_done += 1;
+            let t0 = wctx.trace_now();
+            wctx.trace(TraceEvent::MorselClaim {
+                morsel: idx as u32,
+                lo: range.0,
+                hi: range.1,
+            });
+            in_flight = Some(idx as u32);
             wctx.fault(fault::EXCHANGE_MORSEL)?;
             wctx.morsel = Some(range);
+            let before = rows;
             run_morsel(&mut *tree, &mut wctx, idx, &tx, &mut rows)?;
+            wctx.trace(TraceEvent::MorselComplete {
+                morsel: idx as u32,
+                rows: rows - before,
+                start_ns: t0,
+            });
+            if wctx.trace_enabled() {
+                wctx.trace_metric(hist::MORSEL_SERVICE_NS, wctx.trace_now().saturating_sub(t0));
+            }
+            in_flight = None;
         }
         Ok(())
     }));
@@ -172,6 +200,12 @@ fn worker_phase(
     if error.is_some() {
         stop.store(true, Ordering::Relaxed);
     }
+    if let Some(morsel) = in_flight {
+        wctx.trace(TraceEvent::MorselAbort { morsel });
+    }
+    if panicked {
+        wctx.trace(TraceEvent::WorkerPanic);
+    }
     let counters = wctx.machine.snapshot();
     // A panicked worker's profiler brackets are unbalanced mid-call; its
     // per-operator split is meaningless, so only the lane counters survive
@@ -187,6 +221,7 @@ fn worker_phase(
         tree: (!panicked).then_some(tree),
         counters,
         profile,
+        trace: wctx.tracer.take(),
         morsels: morsels_done,
         rows,
         error,
@@ -256,24 +291,33 @@ impl ExchangeOp {
 }
 
 /// Run one morsel through a worker's subtree, streaming output to the
-/// gather channel tagged with the morsel index.
+/// gather channel tagged with the morsel index and the enqueue timestamp
+/// (0 when untraced; the coordinator turns it into a gather-wait sample).
 fn run_morsel(
     tree: &mut dyn Operator,
     wctx: &mut ExecContext,
     idx: usize,
-    tx: &mpsc::SyncSender<(usize, Tuple)>,
+    tx: &mpsc::SyncSender<(usize, u64, Tuple)>,
     rows: &mut u64,
 ) -> Result<()> {
     tree.open(wctx)?;
+    let mut sent = 0u64;
     while let Some(slot) = tree.next(wctx)? {
         let t = wctx.arena.tuple(slot).clone();
         wctx.machine.add_instructions(QUEUE_PUSH_INSTR);
         // A send error means the coordinator stopped draining (it is
         // unwinding an error of its own): stop producing.
-        if tx.send((idx, t)).is_err() {
+        if tx.send((idx, wctx.trace_now(), t)).is_err() {
             break;
         }
         *rows += 1;
+        sent += 1;
+    }
+    if sent > 0 {
+        wctx.trace(TraceEvent::GatherEnqueue {
+            morsel: idx as u32,
+            rows: sent,
+        });
     }
     tree.close(wctx)
 }
@@ -298,18 +342,28 @@ impl Operator for ExchangeOp {
             Mutex::new(morsels.into_iter().enumerate().collect());
         let trees = std::mem::take(&mut self.worker_trees);
         let labels = &self.worker_labels;
-        let (tx, rx) = mpsc::sync_channel::<(usize, Tuple)>(CHANNEL_BOUND);
+        let (tx, rx) = mpsc::sync_channel::<(usize, u64, Tuple)>(CHANNEL_BOUND);
         let mut buckets: Vec<Vec<Tuple>> = (0..n_morsels).map(|_| Vec::new()).collect();
         // First failure (error, panic, or cancellation) raises `stop`;
         // sibling workers observe it at their next morsel claim.
         let stop = AtomicBool::new(false);
         let cancel = ctx.cancel.clone();
         let faults = std::sync::Arc::clone(&ctx.faults);
+        // Per-worker flight-recorder rings on the coordinator's clock; each
+        // comes back in the worker's outcome and merges as its own track.
+        let tracers: Vec<Option<Tracer>> = (0..trees.len())
+            .map(|w| {
+                ctx.tracer
+                    .as_ref()
+                    .map(|t| t.for_worker(format!("worker-{w}")))
+            })
+            .collect();
         let outcomes: Vec<WorkerOutcome> = std::thread::scope(|s| {
             let handles: Vec<_> = trees
                 .into_iter()
+                .zip(tracers)
                 .enumerate()
-                .map(|(w, tree)| {
+                .map(|(w, (tree, tracer))| {
                     let tx = tx.clone();
                     let queue = &queue;
                     let cfg = cfg.clone();
@@ -317,7 +371,9 @@ impl Operator for ExchangeOp {
                     let cancel = &cancel;
                     let faults = &faults;
                     s.spawn(move || {
-                        worker_phase(w, tree, cfg, labels, queue, tx, stop, cancel, faults)
+                        worker_phase(
+                            w, tree, cfg, labels, queue, tx, stop, cancel, faults, tracer,
+                        )
                     })
                 })
                 .collect();
@@ -325,7 +381,13 @@ impl Operator for ExchangeOp {
             // dropping its own sender first lets the loop end when the last
             // worker hangs up.
             drop(tx);
-            for (idx, t) in rx {
+            for (idx, enq_ns, t) in rx {
+                if let Some(tr) = ctx.tracer.as_mut() {
+                    tr.metric(hist::GATHER_WAIT_NS, tr.now_ns().saturating_sub(enq_ns));
+                    if buckets[idx].is_empty() {
+                        tr.record(TraceEvent::GatherDequeue { morsel: idx as u32 });
+                    }
+                }
                 buckets[idx].push(t);
             }
             // Join-and-collect: a worker result is always a WorkerOutcome —
@@ -364,6 +426,7 @@ impl Operator for ExchangeOp {
                 oc.profile.as_ref(),
                 lane,
             );
+            ctx.absorb_trace(oc.trace);
             if let Some(tree) = oc.tree {
                 restored.push(tree);
             }

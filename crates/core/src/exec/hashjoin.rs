@@ -12,6 +12,7 @@ use crate::context::ExecContext;
 use crate::exec::{schema_slot_bytes, Operator, DEFAULT_BATCH};
 use crate::fault;
 use crate::footprint::{FootprintModel, OpKind};
+use crate::obs::trace::{TraceEvent, Tracer};
 use bufferdb_cachesim::{CodeRegion, Machine, PerfCounters};
 use bufferdb_types::{DbError, Result, SchemaRef, Tuple};
 use std::collections::HashMap;
@@ -128,19 +129,34 @@ impl HashJoinOp {
         let stop = AtomicBool::new(false);
         let cancel = ctx.cancel.clone();
         let faults = std::sync::Arc::clone(&ctx.faults);
-        type BuildPart = (PerfCounters, Result<HashMap<i64, Vec<u32>>>);
+        // Per-worker flight-recorder rings (on the query clock); each build
+        // partition comes back as its own `build-N` track.
+        let tracers: Vec<Option<Tracer>> = (0..workers)
+            .map(|w| {
+                ctx.tracer
+                    .as_ref()
+                    .map(|t| t.for_worker(format!("build-{w}")))
+            })
+            .collect();
+        type BuildPart = (PerfCounters, Result<HashMap<i64, Vec<u32>>>, Option<Tracer>);
         let parts: Vec<BuildPart> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
+            let handles: Vec<_> = tracers
+                .into_iter()
+                .enumerate()
+                .map(|(w, tracer)| {
                     let cfg = cfg.clone();
                     let mut code = code.clone();
                     let stop = &stop;
                     let cancel = &cancel;
                     let faults = &faults;
                     s.spawn(move || {
-                        // The machine lives outside the unwind boundary so a
-                        // panicked worker still reports its counters.
+                        // The machine and tracer live outside the unwind
+                        // boundary so a panicked worker still reports its
+                        // counters and its ring.
                         let mut m = Machine::new(cfg);
+                        let mut tracer = tracer;
+                        let start_ns = tracer.as_ref().map_or(0, Tracer::now_ns);
+                        let mut inserted = 0u64;
                         let caught =
                             catch_unwind(AssertUnwindSafe(|| -> Result<HashMap<i64, Vec<u32>>> {
                                 let mut part: HashMap<i64, Vec<u32>> = HashMap::new();
@@ -158,27 +174,52 @@ impl HashJoinOp {
                                     if stop.load(Ordering::Relaxed) {
                                         break;
                                     }
-                                    cancel.check()?;
-                                    faults.hit(fault::HASHJOIN_BUILD)?;
+                                    if let Err(e) = cancel.check() {
+                                        if let Some(t) = tracer.as_mut() {
+                                            t.record(TraceEvent::CancelObserved);
+                                        }
+                                        return Err(e);
+                                    }
+                                    if let Err(e) = faults.hit(fault::HASHJOIN_BUILD) {
+                                        if let Some(t) = tracer.as_mut() {
+                                            t.record(TraceEvent::FaultTrip {
+                                                site: fault::HASHJOIN_BUILD.into(),
+                                            });
+                                        }
+                                        return Err(e);
+                                    }
                                     m.exec_region(&mut code);
                                     if let Some(k) = key {
                                         m.data_write(ht_base + (mix(k as u64) & mask) * 16, 16);
                                         part.entry(k).or_default().push(idx as u32);
+                                        inserted += 1;
                                     }
                                 }
                                 Ok(part)
                             }));
                         let result = match caught {
                             Ok(r) => r,
-                            Err(payload) => Err(DbError::WorkerFailed(format!(
-                                "hash build worker {w} panicked: {}",
-                                fault::panic_message(&*payload)
-                            ))),
+                            Err(payload) => {
+                                if let Some(t) = tracer.as_mut() {
+                                    t.record(TraceEvent::WorkerPanic);
+                                }
+                                Err(DbError::WorkerFailed(format!(
+                                    "hash build worker {w} panicked: {}",
+                                    fault::panic_message(&*payload)
+                                )))
+                            }
                         };
                         if result.is_err() {
                             stop.store(true, Ordering::Relaxed);
                         }
-                        (m.snapshot(), result)
+                        if let Some(t) = tracer.as_mut() {
+                            t.record(TraceEvent::BuildPartition {
+                                worker: w as u32,
+                                rows: inserted,
+                                start_ns,
+                            });
+                        }
+                        (m.snapshot(), result, tracer)
                     })
                 })
                 .collect();
@@ -193,16 +234,18 @@ impl HashJoinOp {
                                 "hash build worker {w} panicked: {}",
                                 fault::panic_message(&*payload)
                             ))),
+                            None,
                         )
                     })
                 })
                 .collect()
         });
         let mut first_err = None;
-        for (counters, result) in parts {
+        for (counters, result, trace) in parts {
             // Absorb every lane's counters — even failed ones — so the
             // simulated work that did happen stays conserved.
             ctx.machine.absorb(&counters);
+            ctx.absorb_trace(trace);
             match result {
                 Ok(part) => self.table.extend(part),
                 Err(e) => {

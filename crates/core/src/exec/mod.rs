@@ -26,6 +26,7 @@ use crate::cancel::CancelToken;
 use crate::context::ExecContext;
 use crate::fault::{self, FaultRegistry};
 use crate::footprint::FootprintModel;
+use crate::obs::trace::{TraceEvent, TraceReport, Tracer};
 use crate::obs::{ProfiledOp, QueryProfile, QueryProfiler};
 use crate::plan::PlanNode;
 use crate::stats::ExecStats;
@@ -296,6 +297,10 @@ pub struct ExecOptions {
     pub faults: Arc<FaultRegistry>,
     /// Collect a per-operator [`QueryProfile`].
     pub profile: bool,
+    /// Record a flight-recorder [`TraceReport`] (see [`crate::obs::trace`]).
+    /// Off by default; a disabled recorder costs one `Option` check per
+    /// would-be event and adds no modeled instructions either way.
+    pub trace: bool,
 }
 
 impl Default for ExecOptions {
@@ -305,6 +310,7 @@ impl Default for ExecOptions {
             cancel: CancelToken::new(),
             faults: Arc::new(FaultRegistry::new()),
             profile: false,
+            trace: false,
         }
     }
 }
@@ -328,6 +334,7 @@ pub struct QueryOutcome {
     stats: ExecStats,
     profile: Option<QueryProfile>,
     error: Option<DbError>,
+    trace: Option<TraceReport>,
 }
 
 impl QueryOutcome {
@@ -337,12 +344,14 @@ impl QueryOutcome {
         stats: ExecStats,
         profile: Option<QueryProfile>,
         error: Option<DbError>,
+        trace: Option<TraceReport>,
     ) -> Self {
         QueryOutcome {
             rows,
             stats,
             profile,
             error,
+            trace,
         }
     }
 
@@ -364,6 +373,25 @@ impl QueryOutcome {
     /// The first failure, if any.
     pub fn error(&self) -> Option<&DbError> {
         self.error.as_ref()
+    }
+
+    /// The merged flight-recorder trace (when requested). Unlike the
+    /// profile, the trace survives contained panics — whatever the rings
+    /// held at the moment of failure is exactly what a flight recorder is
+    /// for.
+    pub fn trace(&self) -> Option<&TraceReport> {
+        self.trace.as_ref()
+    }
+
+    /// Mutable access to the trace, used by the prepared-query layer to
+    /// stamp post-execution adaptivity instants onto the same clock.
+    pub(crate) fn trace_mut(&mut self) -> Option<&mut TraceReport> {
+        self.trace.as_mut()
+    }
+
+    /// Detach the trace, leaving the outcome otherwise intact.
+    pub fn take_trace(&mut self) -> Option<TraceReport> {
+        self.trace.take()
     }
 
     /// Whether the query ran to completion without failure.
@@ -410,6 +438,9 @@ pub fn execute_query(
     if opts.profile {
         ctx.profiler = Some(QueryProfiler::new(fm.obs_labels()));
     }
+    if opts.trace {
+        ctx.tracer = Some(Tracer::new("coordinator"));
+    }
     let mut rows = Vec::new();
     let mut panicked = false;
     let error = match built {
@@ -439,6 +470,9 @@ pub fn execute_query(
             }
         }
     };
+    if panicked {
+        ctx.trace(TraceEvent::WorkerPanic);
+    }
     let wall = wall_start.elapsed();
     let counters = ctx.machine.snapshot();
     let breakdown = ctx.machine.breakdown_for(&counters);
@@ -450,6 +484,10 @@ pub fn execute_query(
         Some(p) if !panicked => Some(p.finish(counters)),
         _ => None,
     };
+    // The trace, by contrast, is kept even after a panic: rings are plain
+    // already-written memory, and the events leading up to the failure are
+    // the recorder's whole point.
+    let trace = ctx.tracer.take().map(Tracer::finish);
     let row_count = rows.len() as u64;
     QueryOutcome::new(
         rows,
@@ -461,33 +499,48 @@ pub fn execute_query(
         },
         profile,
         error,
+        trace,
     )
 }
 
 /// Execute a plan to completion, returning the result rows.
+#[deprecated(
+    note = "use `execute_query(plan, catalog, cfg, &ExecOptions::default()).into_result()` \
+            (or `Session::query` / `Database::prepare` for repeated runs) and take `rows`"
+)]
 pub fn execute_collect(
     plan: &PlanNode,
     catalog: &Catalog,
     cfg: &MachineConfig,
 ) -> Result<Vec<Tuple>> {
-    let (rows, _) = execute_with_stats(plan, catalog, cfg)?;
+    let (rows, _, _) = execute_query(plan, catalog, cfg, &ExecOptions::default()).into_result()?;
     Ok(rows)
 }
 
 /// Execute a plan to completion, returning rows plus the simulated hardware
 /// counters, cost breakdown and wall-clock time.
+#[deprecated(
+    note = "use `execute_query(plan, catalog, cfg, &ExecOptions::default()).into_result()` \
+            and take `(rows, stats)`"
+)]
 pub fn execute_with_stats(
     plan: &PlanNode,
     catalog: &Catalog,
     cfg: &MachineConfig,
 ) -> Result<(Vec<Tuple>, ExecStats)> {
-    execute_with_stats_threads(plan, catalog, cfg, 1)
+    let (rows, stats, _) =
+        execute_query(plan, catalog, cfg, &ExecOptions::default()).into_result()?;
+    Ok((rows, stats))
 }
 
 /// [`execute_with_stats`] with a worker budget for intra-operator
 /// parallelism (the partitioned hash-join build). Inter-operator
 /// parallelism comes from [`PlanNode::Exchange`] nodes in the plan itself
 /// (see [`crate::parallel::parallelize_plan`]).
+#[deprecated(
+    note = "use `execute_query(plan, catalog, cfg, &ExecOptions { threads, ..Default::default() })\
+            .into_result()`"
+)]
 pub fn execute_with_stats_threads(
     plan: &PlanNode,
     catalog: &Catalog,
@@ -508,16 +561,34 @@ pub fn execute_with_stats_threads(
 ///
 /// The instrumentation adds no modeled instructions, so `stats` match an
 /// unprofiled run of the same plan.
+#[deprecated(
+    note = "use `execute_query(plan, catalog, cfg, &ExecOptions { profile: true, \
+            ..Default::default() })` and read `QueryOutcome::profile()`"
+)]
 pub fn execute_profiled(
     plan: &PlanNode,
     catalog: &Catalog,
     cfg: &MachineConfig,
 ) -> Result<(Vec<Tuple>, ExecStats, QueryProfile)> {
-    execute_profiled_threads(plan, catalog, cfg, 1)
+    let opts = ExecOptions {
+        profile: true,
+        ..ExecOptions::default()
+    };
+    let (rows, stats, profile) = execute_query(plan, catalog, cfg, &opts).into_result()?;
+    match profile {
+        Some(p) => Ok((rows, stats, p)),
+        None => Err(DbError::ExecProtocol(
+            "profiled run returned no profile".into(),
+        )),
+    }
 }
 
 /// [`execute_profiled`] with a worker budget for intra-operator parallelism
 /// (see [`execute_with_stats_threads`]).
+#[deprecated(
+    note = "use `execute_query(plan, catalog, cfg, &ExecOptions { threads, profile: true, \
+            ..Default::default() })` and read `QueryOutcome::profile()`"
+)]
 pub fn execute_profiled_threads(
     plan: &PlanNode,
     catalog: &Catalog,

@@ -265,11 +265,17 @@ mod tests {
         };
         let folded = fold_plan(&plan);
         // Same results, fewer expression nodes.
-        use crate::exec::execute_collect;
+        use crate::exec::{execute_query, ExecOptions};
         use bufferdb_cachesim::MachineConfig;
         let m = MachineConfig::pentium4_like();
-        let a = execute_collect(&plan, &catalog, &m).unwrap();
-        let b = execute_collect(&folded, &catalog, &m).unwrap();
+        let collect = |p: &PlanNode| {
+            execute_query(p, &catalog, &m, &ExecOptions::default())
+                .into_result()
+                .map(|(rows, _, _)| rows)
+                .unwrap()
+        };
+        let a = collect(&plan);
+        let b = collect(&folded);
         assert_eq!(a, b);
         let PlanNode::Project { exprs, .. } = &folded else {
             panic!()

@@ -43,14 +43,19 @@ pub mod stats;
 pub use arena::{TupleArena, TupleSlot};
 pub use cancel::CancelToken;
 pub use context::ExecContext;
+pub use exec::{build_executor, execute_query, ExecOptions, Operator, QueryOutcome};
+#[allow(deprecated)]
 pub use exec::{
-    build_executor, execute_collect, execute_profiled, execute_profiled_threads, execute_query,
-    execute_with_stats, execute_with_stats_threads, ExecOptions, Operator, QueryOutcome,
+    execute_collect, execute_profiled, execute_profiled_threads, execute_with_stats,
+    execute_with_stats_threads,
 };
 pub use expr::Expr;
 pub use fault::{FaultMode, FaultRegistry, Trigger};
 pub use footprint::{FootprintModel, OpKind};
-pub use obs::{BufferGauges, ExchangeLane, ObsId, OpStats, QueryProfile, QueryProfiler};
+pub use obs::{
+    BufferGauges, ExchangeLane, HistSummary, Histogram, MetricsRegistry, ObsId, OpStats,
+    QueryProfile, QueryProfiler, TraceEvent, TraceReport, Tracer,
+};
 pub use parallel::parallelize_plan;
 pub use plan::analyze::explain_analyze;
 pub use plan::{AggFunc, AggSpec, IndexMode, PlanNode};

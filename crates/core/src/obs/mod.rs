@@ -18,6 +18,12 @@
 //! a profiled run retires the same modeled instructions as an unprofiled
 //! one (the buffer's "light-weight" claim extends to the instrumentation).
 
+pub mod hist;
+pub mod trace;
+
+pub use hist::{HistSummary, Histogram, MetricsRegistry};
+pub use trace::{TimedEvent, TraceEvent, TraceReport, TraceRing, TraceTrack, Tracer};
+
 use crate::arena::TupleSlot;
 use crate::context::ExecContext;
 use crate::exec::Operator;
@@ -101,6 +107,12 @@ pub struct OpStats {
     pub closes: u64,
     /// Exclusive simulated-counter delta attributed to this operator.
     pub counters: PerfCounters,
+    /// Gather-wait residual, present only on exchange operators: what the
+    /// workers' cores executed *outside* operator brackets (the bounded-queue
+    /// hand-off between iterator calls). Kept out of `counters` so operator
+    /// time stays operator time; [`QueryProfile::sum_op_counters`] adds it
+    /// back, preserving conservation.
+    pub gather_wait: PerfCounters,
     /// Buffer gauges, present only for buffer operators.
     pub buffer: Option<BufferGauges>,
     /// Per-worker lanes, present only for exchange operators.
@@ -193,8 +205,9 @@ impl QueryProfiler {
     /// own id plus one — worker trees are registered in the same pre-order).
     /// Each worker operator's stats fold into the corresponding subtree slot;
     /// whatever the worker's core executed *outside* operator brackets (the
-    /// queue hand-off between iterator calls) is the lane residual and is
-    /// charged to the exchange operator itself.
+    /// queue hand-off between iterator calls) is the lane residual, recorded
+    /// on the exchange operator's explicit [`OpStats::gather_wait`] bucket —
+    /// not folded into its operator time.
     ///
     /// The caller must absorb `worker.total` into the coordinating machine
     /// (see `Machine::absorb`) in the same bracket; advancing `last` here by
@@ -220,7 +233,7 @@ impl QueryProfiler {
             attributed = attributed + wop.counters;
         }
         let ex = &mut self.ops[exchange.0];
-        ex.counters = ex.counters + (worker.total - attributed);
+        ex.gather_wait = ex.gather_wait + (worker.total - attributed);
         self.last = self.last + worker.total;
     }
 
@@ -258,12 +271,21 @@ impl QueryProfile {
         &self.ops[id.0]
     }
 
-    /// Field-wise sum of every operator's exclusive delta. Equals
-    /// [`QueryProfile::total`] — the conservation invariant.
+    /// Field-wise sum of every operator's exclusive delta plus the
+    /// exchange gather-wait residuals. Equals [`QueryProfile::total`] —
+    /// the conservation invariant.
     pub fn sum_op_counters(&self) -> PerfCounters {
+        self.ops.iter().fold(PerfCounters::default(), |acc, op| {
+            acc + op.counters + op.gather_wait
+        })
+    }
+
+    /// Field-wise sum of every operator's gather-wait residual (non-zero
+    /// only on exchange operators).
+    pub fn gather_wait_total(&self) -> PerfCounters {
         self.ops
             .iter()
-            .fold(PerfCounters::default(), |acc, op| acc + op.counters)
+            .fold(PerfCounters::default(), |acc, op| acc + op.gather_wait)
     }
 
     /// This operator's share of whole-query L1i misses in [0, 1].

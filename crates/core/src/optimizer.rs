@@ -273,7 +273,7 @@ mod tests {
 
     #[test]
     fn chosen_plans_execute_and_agree() {
-        use crate::exec::execute_collect;
+        use crate::exec::{execute_query, ExecOptions};
         use bufferdb_cachesim::MachineConfig;
         let c = catalog(2000, 100);
         let machine = MachineConfig::pentium4_like();
@@ -284,7 +284,10 @@ mod tests {
             let choice =
                 choose_join_plan(&query(pred.clone(), true), &c, &JoinCostModel::default())
                     .unwrap();
-            let rows = execute_collect(&choice.plan, &c, &machine).unwrap();
+            let rows = execute_query(&choice.plan, &c, &machine, &ExecOptions::default())
+                .into_result()
+                .map(|(rows, _, _)| rows)
+                .unwrap();
             counts.push((pred.is_some(), rows.len()));
         }
         assert_eq!(

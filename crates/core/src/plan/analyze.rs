@@ -7,7 +7,7 @@
 //! (an interleaved scan/aggregate pair splits the misses it causes between
 //! both nodes; inserting a buffer collapses both shares).
 
-use crate::exec::execute_profiled;
+use crate::exec::{execute_query, ExecOptions};
 use crate::obs::{ObsId, QueryProfile};
 use crate::plan::estimate::estimate_rows;
 use crate::plan::explain::node_label;
@@ -22,7 +22,15 @@ use std::fmt::Write as _;
 /// exclusive modeled-time share. Buffer nodes additionally report their
 /// fill/occupancy/drain gauges.
 pub fn explain_analyze(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> Result<String> {
-    let (rows, stats, profile) = execute_profiled(plan, catalog, cfg)?;
+    let opts = ExecOptions {
+        profile: true,
+        trace: true,
+        ..Default::default()
+    };
+    let mut outcome = execute_query(plan, catalog, cfg, &opts);
+    let trace = outcome.take_trace();
+    let (rows, stats, profile) = outcome.into_result()?;
+    let profile = profile.expect("profiling was requested");
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -41,6 +49,12 @@ pub fn explain_analyze(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) 
     out.push_str("totals:\n");
     for line in format_counter_table(&profile.total).lines() {
         let _ = writeln!(out, "  {line}");
+    }
+    if let Some(trace) = trace {
+        out.push_str("flight recorder:\n");
+        for line in trace.summary().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
     }
     Ok(out)
 }
@@ -93,6 +107,21 @@ fn render(
             g.fills,
             g.avg_occupancy(),
             g.drains,
+        );
+    }
+    let gw = BreakdownReport::from_counters(&op.gather_wait, cfg);
+    if gw.total_cycles > 0 {
+        let gw_share = if total_bd.total_cycles == 0 {
+            0.0
+        } else {
+            gw.total_cycles as f64 / total_bd.total_cycles as f64
+        };
+        let _ = writeln!(
+            out,
+            "{pad}  gather wait: {:.3}s ({:.1}% of time) | L1i misses {}",
+            gw.seconds(),
+            100.0 * gw_share,
+            op.gather_wait.l1i_misses,
         );
     }
     if let Some(lanes) = &op.workers {
@@ -191,7 +220,12 @@ mod tests {
         let c = catalog(2000);
         let cfg = MachineConfig::pentium4_like();
         let plan = agg_over_scan(false);
-        let (_, stats, profile) = execute_profiled(&plan, &c, &cfg).unwrap();
+        let opts = ExecOptions {
+            profile: true,
+            ..Default::default()
+        };
+        let (_, stats, profile) = execute_query(&plan, &c, &cfg, &opts).into_result().unwrap();
+        let profile = profile.unwrap();
         assert_eq!(profile.sum_op_counters(), stats.counters, "conservation");
         let share_sum: f64 = (0..profile.ops.len())
             .map(|i| profile.l1i_share(ObsId(i)))

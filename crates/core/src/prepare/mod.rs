@@ -23,6 +23,7 @@ pub use fingerprint::{fingerprint_plan, subtree_hash, PlanFingerprint};
 pub use plancache::{CacheEntry, CacheStats, PlanCache, DEFAULT_CACHE_CAPACITY};
 
 use crate::exec::QueryOutcome;
+use crate::obs::trace::TraceEvent;
 use crate::parallel::parallelize_plan;
 use crate::plan::PlanNode;
 use crate::refine::{refine_plan, RefineConfig};
@@ -214,9 +215,13 @@ impl PreparedQuery<'_> {
     /// (profiling is forced on — the feedback needs the measurements).
     pub fn execute_adaptive_opts(&self, opts: &QueryOpts) -> QueryOutcome {
         let plan = self.entry.physical_plan();
-        let out = self.db.session.query(&plan, &opts.clone().profile(true));
+        let mut out = self.db.session.query(&plan, &opts.clone().profile(true));
+        // Adaptivity instants for the flight recorder: collected while the
+        // profile borrow is live, recorded onto the trace afterwards.
+        let mut instants: Vec<TraceEvent> = Vec::new();
         if let (true, Some(profile)) = (out.is_ok(), out.profile()) {
             let mut state = self.entry.adapt_state();
+            let had_pending = state.pending_validation.is_some();
             let decision = adapt_plan(
                 self.entry.base_plan(),
                 &plan,
@@ -226,9 +231,31 @@ impl PreparedQuery<'_> {
                 &self.db.adapt_cfg,
                 &mut state,
             );
+            if had_pending {
+                instants.push(TraceEvent::AdaptValidate {
+                    regressed: decision.rolled_back,
+                });
+            }
+            if decision.rolled_back {
+                instants.push(TraceEvent::AdaptRollback);
+                if state.frozen {
+                    instants.push(TraceEvent::AdaptFreeze);
+                }
+            }
             match decision.new_plan {
-                Some(new_plan) => self.entry.install(new_plan, state),
+                Some(new_plan) => {
+                    instants.push(TraceEvent::AdaptInstall {
+                        generation: state.generation,
+                        buffers: new_plan.buffer_count() as u64,
+                    });
+                    self.entry.install(new_plan, state);
+                }
                 None => self.entry.store_adapt_state(state),
+            }
+        }
+        if let Some(trace) = out.trace_mut() {
+            for ev in instants {
+                trace.record_instant(ev);
             }
         }
         out

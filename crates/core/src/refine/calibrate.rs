@@ -7,9 +7,10 @@
 //!
 //! This runs once per target machine configuration, on a synthetic table.
 
-use crate::exec::execute_with_stats;
+use crate::exec::{execute_query, ExecOptions};
 use crate::expr::Expr;
 use crate::plan::{AggFunc, AggSpec, PlanNode};
+use crate::stats::ExecStats;
 use bufferdb_cachesim::MachineConfig;
 use bufferdb_storage::{Catalog, TableBuilder};
 use bufferdb_types::{DataType, Datum, Decimal, Field, Schema, Tuple};
@@ -84,10 +85,8 @@ pub fn calibrate_cardinality_threshold(
     let mut points = Vec::new();
     let mut threshold = None;
     for &n in cardinalities {
-        let (_, plain) = execute_with_stats(&template(n, false, buffer_size), &catalog, cfg)
-            .expect("calibration query");
-        let (_, buf) = execute_with_stats(&template(n, true, buffer_size), &catalog, cfg)
-            .expect("calibration query");
+        let plain = measure(&template(n, false, buffer_size), &catalog, cfg);
+        let buf = measure(&template(n, true, buffer_size), &catalog, cfg);
         let (ps, bs) = (plain.seconds(), buf.seconds());
         points.push((n as u64, ps, bs));
         if bs < ps && threshold.is_none() {
@@ -103,6 +102,14 @@ pub fn calibrate_cardinality_threshold(
     }
 }
 
+/// Run one calibration query, discarding the rows and keeping the stats.
+fn measure(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> ExecStats {
+    let (_, stats, _) = execute_query(plan, catalog, cfg, &ExecOptions::default())
+        .into_result()
+        .expect("calibration query");
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,8 +118,8 @@ mod tests {
     fn buffered_wins_at_high_cardinality() {
         let cfg = MachineConfig::pentium4_like();
         let catalog = calibration_catalog(8000);
-        let (_, plain) = execute_with_stats(&template(6400, false, 100), &catalog, &cfg).unwrap();
-        let (_, buf) = execute_with_stats(&template(6400, true, 100), &catalog, &cfg).unwrap();
+        let plain = measure(&template(6400, false, 100), &catalog, &cfg);
+        let buf = measure(&template(6400, true, 100), &catalog, &cfg);
         assert!(
             buf.seconds() < plain.seconds(),
             "buffered {} vs plain {}",

@@ -33,6 +33,7 @@ use std::time::Duration;
 #[derive(Debug, Clone, Default)]
 pub struct QueryOpts {
     profile: bool,
+    trace: bool,
     threads: Option<usize>,
     timeout: Option<Duration>,
 }
@@ -46,6 +47,13 @@ impl QueryOpts {
     /// Request per-operator profiling (adds zero modeled cost).
     pub fn profile(mut self, on: bool) -> Self {
         self.profile = on;
+        self
+    }
+
+    /// Request a flight-recorder trace on the outcome (see
+    /// [`crate::obs::trace`]; adds zero modeled cost, off by default).
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
         self
     }
 
@@ -64,6 +72,11 @@ impl QueryOpts {
     /// Whether profiling was requested.
     pub fn wants_profile(&self) -> bool {
         self.profile
+    }
+
+    /// Whether a flight-recorder trace was requested.
+    pub fn wants_trace(&self) -> bool {
+        self.trace
     }
 
     /// The thread override, if any.
@@ -168,6 +181,7 @@ impl Session {
             cancel,
             faults: Arc::clone(&self.faults),
             profile: opts.wants_profile(),
+            trace: opts.wants_trace(),
         };
         execute_query(plan, &self.catalog, &self.cfg, &exec_opts)
     }

@@ -326,7 +326,17 @@ mod tests {
     use super::*;
     use crate::generate_catalog;
     use bufferdb_cachesim::MachineConfig;
-    use bufferdb_core::exec::execute_collect;
+    use bufferdb_core::exec::{execute_query, ExecOptions};
+
+    fn execute_collect(
+        plan: &PlanNode,
+        c: &Catalog,
+        cfg: &MachineConfig,
+    ) -> bufferdb_types::Result<Vec<bufferdb_types::Tuple>> {
+        execute_query(plan, c, cfg, &ExecOptions::default())
+            .into_result()
+            .map(|(rows, _, _)| rows)
+    }
     use bufferdb_core::refine::{refine_plan, RefineConfig};
 
     fn small() -> Catalog {

@@ -27,8 +27,10 @@ fn main() -> Result<()> {
     ] {
         let plan = tpch::queries::paper_query3(&catalog, method)?;
         let refined = refine_plan(&plan, &catalog, &refine_cfg);
-        let (rows, original) = execute_with_stats(&plan, &catalog, &machine)?;
-        let (rows2, buffered) = execute_with_stats(&refined, &catalog, &machine)?;
+        let (rows, original, _) =
+            execute_query(&plan, &catalog, &machine, &ExecOptions::default()).into_result()?;
+        let (rows2, buffered, _) =
+            execute_query(&refined, &catalog, &machine, &ExecOptions::default()).into_result()?;
         assert_eq!(format!("{}", rows[0]), format!("{}", rows2[0]));
         answers.push(format!("{}", rows[0]));
 

@@ -20,8 +20,10 @@ fn main() -> Result<()> {
     let plan = tpch::queries::paper_query1(&catalog)?;
     let refined = refine_plan(&plan, &catalog, &RefineConfig::default());
 
-    let (rows, original) = execute_with_stats(&plan, &catalog, &machine)?;
-    let (_, buffered) = execute_with_stats(&refined, &catalog, &machine)?;
+    let (rows, original, _) =
+        execute_query(&plan, &catalog, &machine, &ExecOptions::default()).into_result()?;
+    let (_, buffered, _) =
+        execute_query(&refined, &catalog, &machine, &ExecOptions::default()).into_result()?;
 
     println!("\npricing summary: {}", rows[0]);
     println!("\noriginal plan:\n{}", explain(&plan, &catalog));

@@ -44,7 +44,13 @@ fn main() -> Result<()> {
     // 3. Open a database over the simulated Pentium-4-like machine. For
     //    comparison, first run the *unrefined* plan directly.
     let db = Database::open(catalog, MachineConfig::pentium4_like());
-    let (rows, original) = execute_with_stats(&plan, db.catalog(), db.session().machine())?;
+    let (rows, original, _) = execute_query(
+        &plan,
+        db.catalog(),
+        db.session().machine(),
+        &ExecOptions::default(),
+    )
+    .into_result()?;
     println!("result: {}", rows[0]);
     println!("\noriginal plan:\n{}", explain(&plan, db.catalog()));
     println!("{}", original.breakdown);

@@ -11,13 +11,12 @@
 //! ```
 //! use bufferdb::prelude::*;
 //!
-//! // Build a tiny catalog and run COUNT(*) over a filtered scan, once with
-//! // the original plan and once with a buffer operator inserted.
+//! // Build a tiny catalog and run COUNT(*) over a filtered scan.
 //! let catalog = bufferdb::tpch::generate_catalog(0.001, 42);
 //! let plan = bufferdb::tpch::queries::paper_query2(&catalog).unwrap();
 //! let machine = MachineConfig::pentium4_like();
-//! let out = execute_collect(&plan, &catalog, &machine).unwrap();
-//! assert_eq!(out.len(), 1); // single aggregate row
+//! let out = execute_query(&plan, &catalog, &machine, &ExecOptions::default());
+//! assert_eq!(out.rows().len(), 1); // single aggregate row
 //! ```
 //!
 //! See `examples/` for end-to-end walkthroughs and `crates/bench` for the
@@ -46,14 +45,19 @@ pub use bufferdb_types as types;
 pub mod prelude {
     pub use bufferdb_cachesim::{BreakdownReport, CacheConfig, MachineConfig, PerfCounters};
     pub use bufferdb_core::cancel::CancelToken;
+    #[allow(deprecated)]
     pub use bufferdb_core::exec::{
-        execute_collect, execute_profiled, execute_profiled_threads, execute_query,
-        execute_with_stats, execute_with_stats_threads, ExecOptions, QueryOutcome,
+        execute_collect, execute_profiled, execute_profiled_threads, execute_with_stats,
+        execute_with_stats_threads,
     };
+    pub use bufferdb_core::exec::{execute_query, ExecOptions, QueryOutcome};
     pub use bufferdb_core::expr::Expr;
     pub use bufferdb_core::fault::{FaultMode, FaultRegistry, Trigger};
     pub use bufferdb_core::footprint::{FootprintModel, OpKind};
-    pub use bufferdb_core::obs::{BufferGauges, ExchangeLane, ObsId, OpStats, QueryProfile};
+    pub use bufferdb_core::obs::{
+        BufferGauges, ExchangeLane, HistSummary, Histogram, MetricsRegistry, ObsId, OpStats,
+        QueryProfile, TraceEvent, TraceReport, Tracer,
+    };
     pub use bufferdb_core::parallel::parallelize_plan;
     pub use bufferdb_core::plan::analyze::explain_analyze;
     pub use bufferdb_core::plan::explain::explain;

@@ -6,6 +6,12 @@
 use bufferdb::prelude::*;
 use bufferdb::tpch::{self, queries, queries::JoinMethod};
 
+fn collect(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> Result<Vec<Tuple>> {
+    execute_query(plan, catalog, cfg, &ExecOptions::default())
+        .into_result()
+        .map(|(rows, _, _)| rows)
+}
+
 fn rows_to_string(rows: &[Tuple]) -> String {
     rows.iter()
         .map(|t| t.to_string())
@@ -18,7 +24,7 @@ fn query1_matches_reference_scan() {
     let catalog = tpch::generate_catalog(0.002, 7);
     let machine = MachineConfig::pentium4_like();
     let plan = queries::paper_query1(&catalog).unwrap();
-    let rows = execute_collect(&plan, &catalog, &machine).unwrap();
+    let rows = collect(&plan, &catalog, &machine).unwrap();
     assert_eq!(rows.len(), 1);
 
     // Reference: direct fold over the heap.
@@ -77,8 +83,8 @@ fn refinement_preserves_results_for_every_paper_query() {
     ];
     for (name, plan) in plans {
         let refined = refine_plan(&plan, &catalog, &cfg);
-        let a = execute_collect(&plan, &catalog, &machine).unwrap();
-        let b = execute_collect(&refined, &catalog, &machine).unwrap();
+        let a = collect(&plan, &catalog, &machine).unwrap();
+        let b = collect(&refined, &catalog, &machine).unwrap();
         assert_eq!(rows_to_string(&a), rows_to_string(&b), "{name}");
     }
 }
@@ -102,7 +108,7 @@ fn join_methods_agree_with_reference_join() {
         JoinMethod::MergeJoin,
     ] {
         let plan = queries::paper_query3(&catalog, m).unwrap();
-        let rows = execute_collect(&plan, &catalog, &machine).unwrap();
+        let rows = collect(&plan, &catalog, &machine).unwrap();
         assert_eq!(rows[0].get(1).as_int().unwrap(), expected, "{m:?} count");
     }
 }
@@ -167,7 +173,7 @@ fn buffer_everywhere_is_still_correct() {
         group_by,
         aggs,
     };
-    let a = execute_collect(&plan, &catalog, &machine).unwrap();
-    let b = execute_collect(&stacked, &catalog, &machine).unwrap();
+    let a = collect(&plan, &catalog, &machine).unwrap();
+    let b = collect(&stacked, &catalog, &machine).unwrap();
     assert_eq!(rows_to_string(&a), rows_to_string(&b));
 }

@@ -3,6 +3,12 @@
 
 use bufferdb::prelude::*;
 
+fn collect(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> Result<Vec<Tuple>> {
+    execute_query(plan, catalog, cfg, &ExecOptions::default())
+        .into_result()
+        .map(|(rows, _, _)| rows)
+}
+
 fn catalog() -> Catalog {
     let c = Catalog::new();
     let mut b = TableBuilder::new(
@@ -32,7 +38,7 @@ fn unknown_table_and_index() {
         projection: None,
     };
     assert!(matches!(
-        execute_collect(&plan, &c, &machine()),
+        collect(&plan, &c, &machine()),
         Err(DbError::UnknownRelation(_))
     ));
     let ix = PlanNode::IndexScan {
@@ -40,7 +46,7 @@ fn unknown_table_and_index() {
         mode: IndexMode::LookupParam,
     };
     assert!(matches!(
-        execute_collect(&ix, &c, &machine()),
+        collect(&ix, &c, &machine()),
         Err(DbError::UnknownRelation(_))
     ));
 }
@@ -54,7 +60,7 @@ fn out_of_range_columns_are_rejected_at_build() {
         projection: None,
     };
     assert!(matches!(
-        execute_collect(&plan, &c, &machine()),
+        collect(&plan, &c, &machine()),
         Err(DbError::UnknownColumn(_))
     ));
     let agg = PlanNode::Aggregate {
@@ -66,7 +72,7 @@ fn out_of_range_columns_are_rejected_at_build() {
         group_by: vec![7],
         aggs: vec![],
     };
-    assert!(execute_collect(&agg, &c, &machine()).is_err());
+    assert!(collect(&agg, &c, &machine()).is_err());
 }
 
 #[test]
@@ -79,7 +85,7 @@ fn type_errors_surface_not_panic() {
         projection: None,
     };
     assert!(matches!(
-        execute_collect(&plan, &c, &machine()),
+        collect(&plan, &c, &machine()),
         Err(DbError::TypeMismatch(_))
     ));
     // Non-boolean predicate.
@@ -88,7 +94,7 @@ fn type_errors_surface_not_panic() {
         predicate: Some(Expr::col(0).add(Expr::lit(1))),
         projection: None,
     };
-    assert!(execute_collect(&plan2, &c, &machine()).is_err());
+    assert!(collect(&plan2, &c, &machine()).is_err());
 }
 
 #[test]
@@ -105,10 +111,7 @@ fn division_by_zero_in_projection() {
             "boom".into(),
         )],
     };
-    assert_eq!(
-        execute_collect(&plan, &c, &machine()),
-        Err(DbError::DivideByZero)
-    );
+    assert_eq!(collect(&plan, &c, &machine()), Err(DbError::DivideByZero));
 }
 
 #[test]
@@ -127,7 +130,7 @@ fn grouping_by_float_is_rejected() {
         aggs: vec![AggSpec::count_star("n")],
     };
     assert!(matches!(
-        execute_collect(&plan, &c, &machine()),
+        collect(&plan, &c, &machine()),
         Err(DbError::InvalidPlan(_))
     ));
 }
@@ -152,7 +155,7 @@ fn merge_join_over_unsorted_inputs_reports_invalid_plan() {
         right_key: 0,
     };
     assert!(matches!(
-        execute_collect(&plan, &c, &machine()),
+        collect(&plan, &c, &machine()),
         Err(DbError::InvalidPlan(_))
     ));
 }
@@ -173,7 +176,7 @@ fn aggregate_without_argument_is_rejected() {
             name: "a".into(),
         }],
     };
-    assert!(execute_collect(&plan, &c, &machine()).is_err());
+    assert!(collect(&plan, &c, &machine()).is_err());
 }
 
 #[test]
@@ -184,14 +187,16 @@ fn errors_do_not_corrupt_later_runs() {
         predicate: Some(Expr::col(0).eq(Expr::col(1))),
         projection: None,
     };
-    let _ = execute_collect(&bad, &c, &machine());
+    let _ = collect(&bad, &c, &machine());
     // A fresh, valid execution still works (no shared poisoned state).
     let good = PlanNode::SeqScan {
         table: "t".into(),
         predicate: None,
         projection: None,
     };
-    let (rows, stats) = execute_with_stats(&good, &c, &machine()).unwrap();
+    let (rows, stats, _) = execute_query(&good, &c, &machine(), &ExecOptions::default())
+        .into_result()
+        .unwrap();
     assert_eq!(rows.len(), 10);
     assert!(stats.counters.instructions > 0);
 }

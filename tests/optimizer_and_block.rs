@@ -8,6 +8,12 @@ use bufferdb::core::optimizer::{choose_join_plan, JoinCostModel, JoinQuery};
 use bufferdb::prelude::*;
 use bufferdb::tpch;
 
+fn collect(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> Result<Vec<Tuple>> {
+    execute_query(plan, catalog, cfg, &ExecOptions::default())
+        .into_result()
+        .map(|(rows, _, _)| rows)
+}
+
 fn lineitem_orders_join(catalog: &Catalog, cutoff: &str) -> JoinQuery {
     let l_ship = catalog
         .table("lineitem")
@@ -57,8 +63,8 @@ fn optimizer_plans_execute_correctly_and_refine_cleanly() {
         let choice =
             choose_join_plan(&lineitem_orders_join(&catalog, cutoff), &catalog, &cost).unwrap();
         let refined = refine_plan(&choice.plan, &catalog, &RefineConfig::default());
-        let a = execute_collect(&choice.plan, &catalog, &machine).unwrap();
-        let b = execute_collect(&refined, &catalog, &machine).unwrap();
+        let a = collect(&choice.plan, &catalog, &machine).unwrap();
+        let b = collect(&refined, &catalog, &machine).unwrap();
         assert_eq!(a.len(), b.len(), "{cutoff}");
         // Reference: count matching lineitems directly.
         let li = catalog.table("lineitem").unwrap();
@@ -77,7 +83,7 @@ fn block_engine_agrees_with_tuple_engine_on_query1() {
     let catalog = tpch::generate_catalog(0.002, 13);
     let machine = MachineConfig::pentium4_like();
     let plan = tpch::queries::paper_query1(&catalog).unwrap();
-    let tuple_rows = execute_collect(&plan, &catalog, &machine).unwrap();
+    let tuple_rows = collect(&plan, &catalog, &machine).unwrap();
 
     let PlanNode::Aggregate { input, aggs, .. } = plan else {
         panic!()
@@ -122,13 +128,13 @@ fn filter_and_limit_compose_with_buffers() {
         }),
         limit: 10,
     };
-    let rows = execute_collect(&plan, &catalog, &machine).unwrap();
+    let rows = collect(&plan, &catalog, &machine).unwrap();
     assert_eq!(rows.len(), 10);
     for r in &rows {
         assert!(r.get(l_qty).as_decimal().unwrap() >= Decimal::from_int(25));
     }
     // Refinement over the composed plan stays valid and equivalent.
     let refined = refine_plan(&plan, &catalog, &RefineConfig::default());
-    let rows2 = execute_collect(&refined, &catalog, &machine).unwrap();
+    let rows2 = collect(&refined, &catalog, &machine).unwrap();
     assert_eq!(rows.len(), rows2.len());
 }

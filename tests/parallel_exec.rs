@@ -44,10 +44,20 @@ fn parallel_results_match_serial_at_every_worker_count() {
     let catalog = tpch::generate_catalog(0.002, 7);
     let machine = MachineConfig::pentium4_like();
     for (name, plan) in all_queries(&catalog) {
-        let serial = normalized(&execute_collect(&plan, &catalog, &machine).unwrap());
+        let serial = normalized(
+            &execute_query(&plan, &catalog, &machine, &ExecOptions::default())
+                .into_result()
+                .map(|(rows, _, _)| rows)
+                .unwrap(),
+        );
         for workers in [1usize, 2, 7] {
             let par = parallelize_plan(&plan, &catalog, workers).unwrap();
-            let (rows, _) = execute_with_stats_threads(&par, &catalog, &machine, workers)
+            let opts = ExecOptions {
+                threads: workers,
+                ..Default::default()
+            };
+            let (rows, _, _) = execute_query(&par, &catalog, &machine, &opts)
+                .into_result()
                 .unwrap_or_else(|e| panic!("{name} at {workers} workers: {e}"));
             assert_eq!(
                 normalized(&rows),
@@ -66,14 +76,24 @@ fn refined_parallel_results_match_serial() {
     let machine = MachineConfig::pentium4_like();
     let cfg = RefineConfig::default();
     for (name, plan) in all_queries(&catalog) {
-        let serial = normalized(&execute_collect(&plan, &catalog, &machine).unwrap());
+        let serial = normalized(
+            &execute_query(&plan, &catalog, &machine, &ExecOptions::default())
+                .into_result()
+                .map(|(rows, _, _)| rows)
+                .unwrap(),
+        );
         for workers in [2usize, 7] {
             let par = refine_plan(
                 &parallelize_plan(&plan, &catalog, workers).unwrap(),
                 &catalog,
                 &cfg,
             );
-            let (rows, _) = execute_with_stats_threads(&par, &catalog, &machine, workers)
+            let opts = ExecOptions {
+                threads: workers,
+                ..Default::default()
+            };
+            let (rows, _, _) = execute_query(&par, &catalog, &machine, &opts)
+                .into_result()
                 .unwrap_or_else(|e| panic!("{name} refined at {workers} workers: {e}"));
             assert_eq!(
                 normalized(&rows),
@@ -94,8 +114,15 @@ fn parallel_profile_conserves_counters_and_lane_rows() {
     for (name, plan) in all_queries(&catalog) {
         for workers in [2usize, 7] {
             let par = parallelize_plan(&plan, &catalog, workers).unwrap();
-            let (_, stats, profile) = execute_profiled_threads(&par, &catalog, &machine, workers)
+            let opts = ExecOptions {
+                threads: workers,
+                profile: true,
+                ..Default::default()
+            };
+            let (_, stats, profile) = execute_query(&par, &catalog, &machine, &opts)
+                .into_result()
                 .unwrap_or_else(|e| panic!("{name} at {workers} workers: {e}"));
+            let profile = profile.expect("profiling was requested");
             assert_eq!(
                 profile.sum_op_counters(),
                 stats.counters,

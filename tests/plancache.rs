@@ -140,9 +140,13 @@ fn cached_results_match_uncached_at_1_2_7_workers() {
         for plan in [agg_plan(), scan()] {
             let direct = prepare_physical_plan(&plan, db.catalog(), db.refine_config(), workers)
                 .unwrap_or_else(|e| panic!("{workers} workers: prepare: {e}"));
-            let (rows, _) =
-                execute_with_stats_threads(&direct, db.catalog(), db.session().machine(), workers)
-                    .unwrap_or_else(|e| panic!("{workers} workers: uncached run: {e}"));
+            let opts = ExecOptions {
+                threads: workers,
+                ..Default::default()
+            };
+            let (rows, _, _) = execute_query(&direct, db.catalog(), db.session().machine(), &opts)
+                .into_result()
+                .unwrap_or_else(|e| panic!("{workers} workers: uncached run: {e}"));
             let prepared = db.prepare(&plan).unwrap();
             for round in 0..2 {
                 let out = prepared.execute();

@@ -5,6 +5,21 @@
 use bufferdb::prelude::*;
 use bufferdb::tpch::{self, queries, queries::JoinMethod};
 
+fn profiled(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    cfg: &MachineConfig,
+) -> (Vec<Tuple>, ExecStats, QueryProfile) {
+    let opts = ExecOptions {
+        profile: true,
+        ..Default::default()
+    };
+    let (rows, stats, profile) = execute_query(plan, catalog, cfg, &opts)
+        .into_result()
+        .unwrap();
+    (rows, stats, profile.expect("profiling was requested"))
+}
+
 fn all_queries(catalog: &bufferdb::storage::Catalog) -> Vec<(&'static str, PlanNode)> {
     vec![
         ("paper q1", queries::paper_query1(catalog).unwrap()),
@@ -40,7 +55,7 @@ fn per_operator_deltas_sum_to_query_totals() {
             ("original", plan.clone()),
             ("refined", refine_plan(&plan, &catalog, &cfg)),
         ] {
-            let (_, stats, profile) = execute_profiled(&p, &catalog, &machine).unwrap();
+            let (_, stats, profile) = profiled(&p, &catalog, &machine);
             let summed = profile.sum_op_counters();
             assert_eq!(
                 summed, stats.counters,
@@ -64,8 +79,11 @@ fn profiler_overhead_is_under_five_percent() {
     let catalog = tpch::generate_catalog(0.002, 7);
     let machine = MachineConfig::pentium4_like();
     for (name, plan) in all_queries(&catalog) {
-        let (rows_plain, stats_plain) = execute_with_stats(&plan, &catalog, &machine).unwrap();
-        let (rows_prof, stats_prof, profile) = execute_profiled(&plan, &catalog, &machine).unwrap();
+        let (rows_plain, stats_plain, _) =
+            execute_query(&plan, &catalog, &machine, &ExecOptions::default())
+                .into_result()
+                .unwrap();
+        let (rows_prof, stats_prof, profile) = profiled(&plan, &catalog, &machine);
         assert_eq!(
             rows_plain.len(),
             rows_prof.len(),
@@ -176,7 +194,7 @@ fn buffer_gauges_match_rows_through_buffer() {
     let cfg = RefineConfig::default();
     let plan = queries::paper_query1(&catalog).unwrap();
     let refined = refine_plan(&plan, &catalog, &cfg);
-    let (_, _, profile) = execute_profiled(&refined, &catalog, &machine).unwrap();
+    let (_, _, profile) = profiled(&refined, &catalog, &machine);
     let buffers: Vec<_> = profile
         .ops
         .iter()

@@ -6,6 +6,12 @@
 use bufferdb::prelude::*;
 use bufferdb::types::Rng;
 
+fn collect(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> Result<Vec<Tuple>> {
+    execute_query(plan, catalog, cfg, &ExecOptions::default())
+        .into_result()
+        .map(|(rows, _, _)| rows)
+}
+
 /// Build a catalog with a fact table of `(k, v)` rows (nullable v) and a
 /// dimension table keyed 0..dim_n with an index.
 fn catalog_from(rows: &[(i64, Option<i64>)], dim_n: i64) -> Catalog {
@@ -95,8 +101,8 @@ fn buffer_is_transparent_at_any_size() {
             input: Box::new(scan.clone()),
             size,
         };
-        let a = execute_collect(&scan, &c, &machine()).unwrap();
-        let b = execute_collect(&buffered, &c, &machine()).unwrap();
+        let a = collect(&scan, &c, &machine()).unwrap();
+        let b = collect(&buffered, &c, &machine()).unwrap();
         assert_eq!(rows_sig(&a), rows_sig(&b), "seed {seed} size {size}");
     }
 }
@@ -125,7 +131,7 @@ fn aggregate_matches_reference() {
             ],
         };
         let refined = refine_plan(&plan, &c, &RefineConfig::default());
-        let got = execute_collect(&refined, &c, &machine()).unwrap();
+        let got = collect(&refined, &c, &machine()).unwrap();
 
         let selected: Vec<i64> = rows
             .iter()
@@ -212,9 +218,9 @@ fn join_methods_agree_with_brute_force() {
             right_key: 0,
         });
         let m = machine();
-        let a = execute_collect(&nl, &c, &m).unwrap();
-        let b = execute_collect(&hj, &c, &m).unwrap();
-        let d = execute_collect(&mj, &c, &m).unwrap();
+        let a = collect(&nl, &c, &m).unwrap();
+        let b = collect(&hj, &c, &m).unwrap();
+        let d = collect(&mj, &c, &m).unwrap();
         assert_eq!(rows_sig(&a), rows_sig(&b), "seed {seed}");
         assert_eq!(rows_sig(&b), rows_sig(&d), "seed {seed}");
         // Brute force: every fact row with k < dim_n matches exactly once.
@@ -259,8 +265,8 @@ fn sort_matches_std() {
             keys: vec![(0, true)],
         };
         let m = machine();
-        let a = execute_collect(&sort, &c, &m).unwrap();
-        let b = execute_collect(&sort_buf, &c, &m).unwrap();
+        let a = collect(&sort, &c, &m).unwrap();
+        let b = collect(&sort_buf, &c, &m).unwrap();
         let got: Vec<i64> = a.iter().map(|t| t.get(0).as_int().unwrap()).collect();
         let mut want: Vec<i64> = rows.iter().map(|(k, _)| *k).collect();
         want.sort();
@@ -290,7 +296,7 @@ fn group_by_matches_reference() {
                 AggSpec::new(AggFunc::Sum, Expr::col(1), "s"),
             ],
         };
-        let got = execute_collect(&plan, &c, &machine()).unwrap();
+        let got = collect(&plan, &c, &machine()).unwrap();
         let mut reference: HashMap<i64, (i64, Option<i64>)> = HashMap::new();
         for (k, v) in &rows {
             let e = reference.entry(*k).or_insert((0, None));

@@ -6,6 +6,12 @@ use bufferdb::core::expr_fold::fold_plan;
 use bufferdb::prelude::*;
 use bufferdb::types::Rng;
 
+fn collect(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> Result<Vec<Tuple>> {
+    execute_query(plan, catalog, cfg, &ExecOptions::default())
+        .into_result()
+        .map(|(rows, _, _)| rows)
+}
+
 fn catalog() -> Catalog {
     let c = Catalog::new();
     for (name, rows) in [("fact", 600i64), ("dim", 40)] {
@@ -260,10 +266,10 @@ fn refinement_and_folding_preserve_any_plan() {
         plan.output_schema(&c)
             .expect("generated plan must be valid");
 
-        let baseline = execute_collect(&plan, &c, &machine).unwrap();
+        let baseline = collect(&plan, &c, &machine).unwrap();
 
         let refined = refine_plan(&plan, &c, &RefineConfig::default());
-        let refined_rows = execute_collect(&refined, &c, &machine).unwrap();
+        let refined_rows = collect(&refined, &c, &machine).unwrap();
         assert_eq!(
             signature(&baseline),
             signature(&refined_rows),
@@ -275,7 +281,7 @@ fn refinement_and_folding_preserve_any_plan() {
         let stripped = strip_buffers(&plan);
         let refined_clean = refine_plan(&stripped, &c, &RefineConfig::default());
         check_no_stacked_or_blocking_buffers(&refined_clean);
-        let clean_rows = execute_collect(&refined_clean, &c, &machine).unwrap();
+        let clean_rows = collect(&refined_clean, &c, &machine).unwrap();
         assert_eq!(
             signature(&baseline),
             signature(&clean_rows),
@@ -283,7 +289,7 @@ fn refinement_and_folding_preserve_any_plan() {
         );
 
         let folded = fold_plan(&plan);
-        let folded_rows = execute_collect(&folded, &c, &machine).unwrap();
+        let folded_rows = collect(&folded, &c, &machine).unwrap();
         assert_eq!(
             signature(&baseline),
             signature(&folded_rows),
@@ -292,7 +298,7 @@ fn refinement_and_folding_preserve_any_plan() {
 
         // Refinement after folding also agrees and is idempotent.
         let both = refine_plan(&folded, &c, &RefineConfig::default());
-        let both_rows = execute_collect(&both, &c, &machine).unwrap();
+        let both_rows = collect(&both, &c, &machine).unwrap();
         assert_eq!(
             signature(&baseline),
             signature(&both_rows),

@@ -5,6 +5,13 @@
 use bufferdb::prelude::*;
 use bufferdb::tpch::{self, queries};
 
+fn stats_of(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> ExecStats {
+    let (_, stats, _) = execute_query(plan, catalog, cfg, &ExecOptions::default())
+        .into_result()
+        .unwrap();
+    stats
+}
+
 fn buffered_q1(catalog: &bufferdb::storage::Catalog, size: usize) -> PlanNode {
     let plan = queries::paper_query1(catalog).unwrap();
     let PlanNode::Aggregate {
@@ -27,8 +34,8 @@ fn execution_is_deterministic() {
     let catalog = tpch::generate_catalog(0.001, 21);
     let machine = MachineConfig::pentium4_like();
     let plan = queries::paper_query1(&catalog).unwrap();
-    let (_, a) = execute_with_stats(&plan, &catalog, &machine).unwrap();
-    let (_, b) = execute_with_stats(&plan, &catalog, &machine).unwrap();
+    let a = stats_of(&plan, &catalog, &machine);
+    let b = stats_of(&plan, &catalog, &machine);
     assert_eq!(a.counters, b.counters, "identical runs, identical counters");
 }
 
@@ -40,8 +47,8 @@ fn query1_buffering_wins_query2_does_not() {
 
     let q1 = queries::paper_query1(&catalog).unwrap();
     let q1_ref = refine_plan(&q1, &catalog, &cfg);
-    let (_, o1) = execute_with_stats(&q1, &catalog, &machine).unwrap();
-    let (_, b1) = execute_with_stats(&q1_ref, &catalog, &machine).unwrap();
+    let o1 = stats_of(&q1, &catalog, &machine);
+    let b1 = stats_of(&q1_ref, &catalog, &machine);
     assert!(b1.seconds() < o1.seconds(), "Q1 buffered must win");
     assert!(
         (b1.counters.l1i_misses as f64) < 0.5 * o1.counters.l1i_misses as f64,
@@ -65,8 +72,8 @@ fn query1_buffering_wins_query2_does_not() {
         group_by,
         aggs,
     };
-    let (_, o2) = execute_with_stats(&q2, &catalog, &machine).unwrap();
-    let (_, b2) = execute_with_stats(&q2_forced, &catalog, &machine).unwrap();
+    let o2 = stats_of(&q2, &catalog, &machine);
+    let b2 = stats_of(&q2_forced, &catalog, &machine);
     assert!(
         b2.seconds() >= o2.seconds() * 0.995,
         "Q2 buffering must not meaningfully win: {} vs {}",
@@ -82,7 +89,7 @@ fn miss_reduction_scales_inversely_with_buffer_size() {
     let catalog = tpch::generate_catalog(0.002, 21);
     let machine = MachineConfig::pentium4_like();
     let misses = |size: usize| {
-        let (_, s) = execute_with_stats(&buffered_q1(&catalog, size), &catalog, &machine).unwrap();
+        let s = stats_of(&buffered_q1(&catalog, size), &catalog, &machine);
         s.counters.l1i_misses
     };
     let m1 = misses(1);
@@ -106,8 +113,8 @@ fn larger_l1i_removes_thrashing() {
     let plan = queries::paper_query1(&catalog).unwrap();
     let small = MachineConfig::pentium4_like();
     let big = MachineConfig::large_l1i();
-    let (_, s) = execute_with_stats(&plan, &catalog, &small).unwrap();
-    let (_, b) = execute_with_stats(&plan, &catalog, &big).unwrap();
+    let s = stats_of(&plan, &catalog, &small);
+    let b = stats_of(&plan, &catalog, &big);
     assert!(
         b.counters.l1i_misses * 10 < s.counters.l1i_misses,
         "32 KB L1i must eliminate Query 1 thrashing: {} vs {}",
@@ -122,8 +129,8 @@ fn buffering_reduces_itlb_misses() {
     let machine = MachineConfig::pentium4_like();
     let plan = queries::paper_query1(&catalog).unwrap();
     let refined = refine_plan(&plan, &catalog, &RefineConfig::default());
-    let (_, o) = execute_with_stats(&plan, &catalog, &machine).unwrap();
-    let (_, b) = execute_with_stats(&refined, &catalog, &machine).unwrap();
+    let o = stats_of(&plan, &catalog, &machine);
+    let b = stats_of(&refined, &catalog, &machine);
     assert!(
         b.counters.itlb_misses < o.counters.itlb_misses,
         "{} vs {}",
@@ -140,8 +147,8 @@ fn instruction_counts_nearly_identical() {
     let machine = MachineConfig::pentium4_like();
     let plan = queries::paper_query1(&catalog).unwrap();
     let refined = refine_plan(&plan, &catalog, &RefineConfig::default());
-    let (_, o) = execute_with_stats(&plan, &catalog, &machine).unwrap();
-    let (_, b) = execute_with_stats(&refined, &catalog, &machine).unwrap();
+    let o = stats_of(&plan, &catalog, &machine);
+    let b = stats_of(&refined, &catalog, &machine);
     let ratio = b.counters.instructions as f64 / o.counters.instructions as f64;
     assert!((0.99..=1.01).contains(&ratio), "instruction ratio {ratio}");
 }
@@ -151,7 +158,7 @@ fn wall_clock_is_recorded() {
     let catalog = tpch::generate_catalog(0.001, 21);
     let machine = MachineConfig::pentium4_like();
     let plan = queries::paper_query2(&catalog).unwrap();
-    let (_, s) = execute_with_stats(&plan, &catalog, &machine).unwrap();
+    let s = stats_of(&plan, &catalog, &machine);
     assert!(s.wall.as_nanos() > 0);
     assert!(s.rows == 1);
 }
