@@ -14,8 +14,8 @@ use bufferdb_bench::experiments as exp;
 use bufferdb_bench::experiments::ExperimentCtx;
 use bufferdb_tpch::queries::JoinMethod;
 
-const USAGE: &str =
-    "usage: repro [--sf <scale>] [--seed <n>] [--threads <n>] [--timeout-ms <n>] <experiment>...
+const USAGE: &str = "usage: repro [--sf <scale>] [--seed <n>] [--threads <n>] [--timeout-ms <n>]
+             [--qps <f>] [--duration <ms>] [--regimes <n>] <experiment>...
 experiments:
   table1    machine specification
   table2    operator instruction footprints
@@ -40,12 +40,22 @@ experiments:
   prepared  plan-cache hit/miss timing + adaptive refinement,
             write BENCH_plancache.json
   analyze   EXPLAIN ANALYZE of Query 1, unbuffered vs buffered
+  analyze <file.json>  validate a bench report's schema/schema_version and
+            summarize it (rejects unknown versions, exit code 2)
   trace <query>  flight-recorder trace of one query (Q1 Q6 Q12 Q14
             paperQ1 paperQ2), write Perfetto JSON to TRACE_<query>.json
-  all       everything above (except trace)
+  traffic   open-loop traffic run with scripted regime switches; writes
+            BENCH_traffic.json, TRAFFIC_windows.jsonl, TRAFFIC_metrics.prom
+  all       everything above (except trace and traffic)
 options:
   --threads <n>     worker budget for parallel builds (default: all cores)
   --timeout-ms <n>  cancel any single query after <n> ms (exit code 3)
+  --qps <f>         traffic: base offered rate in queries per virtual second
+                    (default: auto-calibrate to ~70% utilization)
+  --duration <ms>   traffic: virtual milliseconds per full regime
+                    (default: sized so a regime sees ~40 queries)
+  --regimes <n>     traffic: number of scripted regimes, 1-4 (default 4:
+                    steady, shift, burst, chaos)
 environment:
   BUFFERDB_FAULT    comma-separated fault specs `site:mode:trigger` injected
                     into every query (sites: seqscan.next indexscan.next
@@ -58,6 +68,9 @@ fn main() {
     let mut threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let mut qps: Option<f64> = None;
+    let mut duration_ms: Option<u64> = None;
+    let mut regimes = 4_usize;
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -87,6 +100,29 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--timeout-ms needs an integer"));
                 bufferdb_bench::runner::set_query_timeout_ms(ms);
+            }
+            "--qps" => {
+                qps = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&q: &f64| q > 0.0)
+                        .unwrap_or_else(|| die("--qps needs a positive number")),
+                );
+            }
+            "--duration" => {
+                duration_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&ms: &u64| ms >= 1)
+                        .unwrap_or_else(|| die("--duration needs a positive integer (ms)")),
+                );
+            }
+            "--regimes" => {
+                regimes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| (1..=4).contains(&n))
+                    .unwrap_or_else(|| die("--regimes needs an integer in 1..=4"));
             }
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -161,7 +197,19 @@ fn main() {
             "baseline" => write_baseline(&ctx, seed, threads),
             "scaling" => write_scaling(&ctx, seed),
             "prepared" => write_prepared(&ctx, seed),
-            "analyze" => analyze_query1(&ctx),
+            "analyze" => {
+                // `analyze <file.json>` validates a report; bare `analyze`
+                // keeps the EXPLAIN ANALYZE behavior.
+                match experiments.get(i).filter(|a| a.ends_with(".json")) {
+                    Some(path) => {
+                        let path = path.clone();
+                        i += 1;
+                        analyze_report(&path)
+                    }
+                    None => analyze_query1(&ctx),
+                }
+            }
+            "traffic" => write_traffic(scale, seed, regimes, qps, duration_ms),
             "trace" => {
                 let query = experiments
                     .get(i)
@@ -248,6 +296,96 @@ fn write_trace(ctx: &ExperimentCtx, seed: u64, threads: usize, query: &str) -> S
         "== Flight recorder: {query} at {threads} workers ==\n{summary}wrote {path} ({} bytes)\n",
         json.len()
     )
+}
+
+/// Run the open-loop traffic observatory and write `BENCH_traffic.json`
+/// plus the telemetry exports (JSONL window log, Prometheus exposition).
+fn write_traffic(
+    scale: f64,
+    seed: u64,
+    regimes: usize,
+    qps: Option<f64>,
+    duration_ms: Option<u64>,
+) -> String {
+    use bufferdb_bench::traffic::{run_traffic, TrafficConfig};
+    // Fail malformed BUFFERDB_FAULT with exit 2 (the CLI contract) before
+    // the run starts; run_traffic itself re-arms it per regime.
+    if let Err(msg) = bufferdb_core::fault::FaultRegistry::from_env() {
+        die(&format!("invalid BUFFERDB_FAULT: {msg}"));
+    }
+    let mut cfg = TrafficConfig::scripted(scale, seed, regimes);
+    cfg.qps = qps;
+    if let Some(ms) = duration_ms {
+        // A full regime is 8 windows; `--duration` fixes its virtual span.
+        cfg.window_ns = Some(((ms as f64 * 1e6) / 8.0).round().max(1.0) as u64);
+    }
+    let run = run_traffic(&cfg);
+    for (path, content) in [
+        ("BENCH_traffic.json", run.report.to_json()),
+        ("TRAFFIC_windows.jsonl", run.jsonl.clone()),
+        ("TRAFFIC_metrics.prom", run.prometheus.clone()),
+    ] {
+        if let Err(e) = std::fs::write(path, content) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+    }
+    format!(
+        "{}wrote BENCH_traffic.json ({} regimes), TRAFFIC_windows.jsonl, TRAFFIC_metrics.prom\n",
+        run.table,
+        run.report.regimes.len()
+    )
+}
+
+/// Parse a bench report, validate its `schema`/`schema_version`, and print
+/// a short summary. Unknown schemas or versions are a hard error (exit 2)
+/// rather than a misparse.
+fn analyze_report(path: &str) -> String {
+    use bufferdb_bench::json::{Json, SCHEMA_VERSION};
+    const KNOWN: [&str; 4] = [
+        "bufferdb-metrics/v1",
+        "bufferdb-parallel/v1",
+        "bufferdb-plancache/v1",
+        "bufferdb-traffic/v1",
+    ];
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let doc = Json::parse(&text).unwrap_or_else(|e| die(&format!("{path} is not valid JSON: {e}")));
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| die(&format!("{path}: missing \"schema\" field")));
+    if !KNOWN.contains(&schema) {
+        die(&format!(
+            "{path}: unknown schema {schema:?} (known: {})",
+            KNOWN.join(" ")
+        ));
+    }
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| {
+            die(&format!(
+                "{path}: missing \"schema_version\" (report predates version stamping; \
+                 regenerate it with this build)"
+            ))
+        });
+    if version != SCHEMA_VERSION {
+        die(&format!(
+            "{path}: schema_version {version} is not supported (this build reads version \
+             {SCHEMA_VERSION}); refusing to misparse"
+        ));
+    }
+    let count = |key: &str| doc.get(key).and_then(Json::as_arr).map(<[Json]>::len);
+    let fields = match &doc {
+        Json::Obj(f) => f.len(),
+        _ => 0,
+    };
+    let detail = count("entries")
+        .map(|n| format!("{n} entries"))
+        .or_else(|| count("queries").map(|n| format!("{n} queries")))
+        .or_else(|| count("regimes").map(|n| format!("{n} regimes")))
+        .unwrap_or_else(|| format!("{fields} top-level fields"));
+    format!("== Report check ==\n{path}: schema {schema}, version {version}, {detail}\n")
 }
 
 /// EXPLAIN ANALYZE of the paper's Query 1, before and after refinement:

@@ -10,10 +10,12 @@ pub mod experiments;
 pub mod json;
 pub mod microbench;
 pub mod runner;
+pub mod traffic;
 
 pub use experiments::*;
 pub use json::Json;
 pub use runner::{run_plan, MetricsReport, QueryMetrics, RunResult};
+pub use traffic::{run_traffic, RegimeSpec, TrafficConfig, TrafficRun};
 
 /// Execute Query 1 with the ablation-only **copying** buffer (§5 argues the
 /// production buffer must store pointers instead). Built by hand because

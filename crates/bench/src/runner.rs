@@ -1,7 +1,7 @@
 //! Shared plan-execution helpers for the experiments, plus the JSON
 //! metrics report the `repro` binary exports for CI artifacts.
 
-use crate::json::Json;
+use crate::json::{Json, SCHEMA_VERSION};
 use bufferdb_cachesim::{format_counter_comparison, pct_reduction, MachineConfig};
 use bufferdb_core::cancel::CancelToken;
 use bufferdb_core::exec::{execute_query, ExecOptions};
@@ -313,6 +313,7 @@ impl MetricsReport {
     pub fn to_json(&self) -> String {
         Json::Obj(vec![
             ("schema".into(), Json::str("bufferdb-metrics/v1")),
+            ("schema_version".into(), Json::U64(SCHEMA_VERSION)),
             ("scale_factor".into(), Json::F64(self.scale)),
             ("seed".into(), Json::U64(self.seed)),
             ("threads".into(), Json::U64(self.threads)),
@@ -449,6 +450,7 @@ impl ScalingReport {
     pub fn to_json(&self) -> String {
         Json::Obj(vec![
             ("schema".into(), Json::str("bufferdb-parallel/v1")),
+            ("schema_version".into(), Json::U64(SCHEMA_VERSION)),
             ("scale_factor".into(), Json::F64(self.scale)),
             ("seed".into(), Json::U64(self.seed)),
             (
@@ -541,6 +543,7 @@ impl PlanCacheReport {
     pub fn to_json(&self) -> String {
         Json::Obj(vec![
             ("schema".into(), Json::str("bufferdb-plancache/v1")),
+            ("schema_version".into(), Json::U64(SCHEMA_VERSION)),
             ("scale_factor".into(), Json::F64(self.scale)),
             ("seed".into(), Json::U64(self.seed)),
             ("threads".into(), Json::U64(self.threads)),

@@ -1,0 +1,235 @@
+//! Integration tests for the open-loop traffic driver: determinism,
+//! golden-normalized expositions, zero modeled telemetry overhead, and
+//! chaos scoped to its regime without plan-cache poisoning.
+
+use std::sync::OnceLock;
+
+use bufferdb_bench::json::{Json, SCHEMA_VERSION};
+use bufferdb_bench::{run_traffic, RegimeSpec, TrafficConfig, TrafficRun};
+
+/// A two-regime scenario small enough for debug-mode CI: steady then a
+/// stats-epoch shift, three windows each, ~4 queries per window. The
+/// shift regime's thread bump is dropped: parallel lanes claim morsels
+/// through a racy shared queue, so their modeled profile is
+/// schedule-dependent and exact-equality assertions need serial plans.
+fn tiny_cfg() -> TrafficConfig {
+    let mut cfg = TrafficConfig::scripted(0.002, 7, 2);
+    cfg.queries_per_window = 4.0;
+    for regime in &mut cfg.regimes {
+        regime.windows = 3;
+        regime.threads = None;
+    }
+    cfg
+}
+
+fn tiny_run() -> &'static TrafficRun {
+    static RUN: OnceLock<TrafficRun> = OnceLock::new();
+    RUN.get_or_init(|| run_traffic(&tiny_cfg()))
+}
+
+/// Replace every number outside string literals with `0`, keeping keys,
+/// label names, and structure. Latencies are virtual-time and therefore
+/// deterministic per host, but float library differences (powf/ln) may
+/// move a log2 bucket by one ulp across platforms — the goldens pin the
+/// exposition *shape*, the determinism test pins the values.
+fn normalize_numbers(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+            out.push(c);
+        } else if c.is_ascii_digit() {
+            while let Some(&n) = chars.peek() {
+                if n.is_ascii_digit() || matches!(n, '.' | 'e' | 'E' | '+' | '-') {
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            out.push('0');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn check_golden(got: &str, path: &str, name: &str) {
+    let full = format!("{}/tests/golden/{path}", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("BUFFERDB_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&full, got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&full)
+        .unwrap_or_else(|e| panic!("missing golden {full}: {e} (set BUFFERDB_UPDATE_GOLDEN=1)"));
+    assert_eq!(
+        got, want,
+        "normalized {name} exposition changed; rerun with BUFFERDB_UPDATE_GOLDEN=1 \
+         and review the diff if the change is intentional"
+    );
+}
+
+#[test]
+fn traffic_run_is_deterministic() {
+    let first = tiny_run();
+    let second = run_traffic(&tiny_cfg());
+    assert_eq!(
+        first.report.total_instructions, second.report.total_instructions,
+        "modeled instruction stream must be identical for the same seed"
+    );
+    assert_eq!(first.report.to_json(), second.report.to_json());
+    assert_eq!(first.prometheus, second.prometheus);
+    assert_eq!(first.jsonl, second.jsonl);
+    assert_eq!(first.table, second.table);
+}
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let run = tiny_run();
+    check_golden(
+        &normalize_numbers(&run.prometheus),
+        "traffic_metrics.prom",
+        "Prometheus",
+    );
+}
+
+#[test]
+fn jsonl_exposition_matches_golden() {
+    let run = tiny_run();
+    check_golden(
+        &normalize_numbers(&run.jsonl),
+        "traffic_windows.jsonl",
+        "JSONL",
+    );
+    // Every line must itself be a valid JSON document of a known kind.
+    for line in run.jsonl.lines() {
+        let doc = Json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        let kind = doc.get("kind").and_then(|k| k.as_str()).expect("kind");
+        assert!(kind == "window" || kind == "regime", "unknown kind {kind}");
+    }
+}
+
+#[test]
+fn report_carries_schema_version_and_regime_shape() {
+    let run = tiny_run();
+    let doc = Json::parse(&run.report.to_json()).expect("report parses");
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some("bufferdb-traffic/v1")
+    );
+    assert_eq!(
+        doc.get("schema_version").and_then(|v| v.as_u64()),
+        Some(SCHEMA_VERSION)
+    );
+    let regimes = doc
+        .get("regimes")
+        .and_then(|r| r.as_arr())
+        .expect("regimes");
+    assert_eq!(regimes.len(), 2);
+    for regime in regimes {
+        let classes = regime
+            .get("classes")
+            .and_then(|c| c.as_arr())
+            .expect("classes");
+        assert!(!classes.is_empty(), "each regime reports class latencies");
+        assert_eq!(
+            classes[0].get("class").and_then(|c| c.as_str()),
+            Some("all"),
+            "the aggregate series leads the class table"
+        );
+        for key in ["p50_ns", "p95_ns", "p99_ns", "mean_ns"] {
+            assert!(classes[0].get(key).is_some(), "missing {key}");
+        }
+    }
+    // The shift regime re-prepares after the stats-epoch bump: its misses
+    // and invalidation sweep must be visible.
+    assert!(run.report.regimes[1].cache_misses > 0);
+    assert!(run.report.regimes[1].cache_invalidations > 0);
+    assert_eq!(
+        run.report.issued,
+        run.report.regimes.iter().map(|r| r.issued).sum::<u64>()
+    );
+}
+
+/// Recording telemetry must add zero *modeled* work: the instruction
+/// stream of a query bracketed by time-series writes is bit-identical to
+/// an unobserved run (exact equality, not a tolerance).
+#[test]
+fn telemetry_adds_zero_modeled_instructions() {
+    use bufferdb_bench::experiments::ExperimentCtx;
+    use bufferdb_core::exec::{execute_query, ExecOptions};
+    use bufferdb_core::obs::TimeSeriesRegistry;
+
+    let ctx = ExperimentCtx::new(0.002, 7);
+    let plan = bufferdb_tpch::queries::paper_query1(&ctx.catalog).expect("q1");
+    let plain = execute_query(&plan, &ctx.catalog, &ctx.machine, &ExecOptions::default());
+    assert!(plain.is_ok(), "{:?}", plain.error());
+
+    let mut ts = TimeSeriesRegistry::new(1_000_000);
+    ts.counter_add("queries_ok", 0, 1);
+    let observed = execute_query(&plan, &ctx.catalog, &ctx.machine, &ExecOptions::default());
+    assert!(observed.is_ok(), "{:?}", observed.error());
+    ts.record_latency("all", 1_500_000, 42);
+    ts.gauge_set("offered_qps", 2_000_000, 1.0);
+    let series = ts.finish(3_000_000);
+    assert_eq!(series.counter_total("queries_ok"), 1);
+
+    let (_, a, _) = plain.into_result().expect("plain");
+    let (_, b, _) = observed.into_result().expect("observed");
+    assert_eq!(a.counters.instructions, b.counters.instructions);
+    assert_eq!(a.counters, b.counters);
+}
+
+/// Chaos is armed for exactly one regime: the steady regime before it and
+/// the recovery regime after it stay clean, and the recovery regime runs
+/// entirely from cached plans — injected faults neither evict nor poison
+/// plan-cache entries.
+#[test]
+fn chaos_stays_in_its_regime_and_does_not_poison_the_cache() {
+    let mut cfg = TrafficConfig::scripted(0.002, 11, 1);
+    cfg.queries_per_window = 4.0;
+    cfg.regimes = vec![
+        RegimeSpec::steady("steady", 3),
+        RegimeSpec {
+            // ~12k lineitem rows per scan at sf 0.002: p = 5e-5 trips
+            // roughly half the scans in the regime.
+            fault_spec: Some("seqscan.next:error:prob(31,0.00005)".to_string()),
+            ..RegimeSpec::steady("chaos", 3)
+        },
+        RegimeSpec::steady("recover", 3),
+    ];
+    let run = run_traffic(&cfg);
+    let [steady, chaos, recover] = &run.report.regimes[..] else {
+        panic!("expected 3 regimes");
+    };
+
+    assert_eq!(steady.errors, 0, "no faults before the chaos regime");
+    assert!(chaos.fault_trips >= 1, "the armed fault must trip");
+    assert_eq!(
+        chaos.errors, chaos.fault_trips,
+        "injected faults are the only failure cause under chaos"
+    );
+    assert_eq!(recover.errors, 0, "faults must not outlive their regime");
+    assert!(recover.ok > 0);
+    assert_eq!(
+        recover.cache_misses, 0,
+        "fault trips must not evict or poison cached plans"
+    );
+    for regime in &run.report.regimes {
+        assert_eq!(regime.issued, regime.ok + regime.errors);
+    }
+    let totals: u64 = run.report.regimes.iter().map(|r| r.ok + r.errors).sum();
+    assert_eq!(run.report.issued, totals, "every arrival is accounted for");
+}

@@ -319,10 +319,13 @@ impl Operator for HashJoinOp {
             let buckets = (self.build_rows.len().max(1) * 2).next_power_of_two() as u64;
             self.bucket_mask = buckets - 1;
             self.ht_base = ctx.arena.sim_alloc(buckets * 16);
-            for (k, v) in &self.table {
-                for _ in v {
+            // Writes are modeled in build-row order — the order the inserts
+            // actually happened — not by iterating `table`, whose randomized
+            // hash order would make the simulated miss counts nondeterministic.
+            for row in &self.build_rows {
+                if let Some(k) = row.get(self.build_key).as_int() {
                     ctx.machine
-                        .data_write(self.ht_base + (mix(*k as u64) & self.bucket_mask) * 16, 16);
+                        .data_write(self.ht_base + (mix(k as u64) & self.bucket_mask) * 16, 16);
                 }
             }
         }

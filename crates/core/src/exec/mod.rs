@@ -502,111 +502,3 @@ pub fn execute_query(
         trace,
     )
 }
-
-/// Execute a plan to completion, returning the result rows.
-#[deprecated(
-    note = "use `execute_query(plan, catalog, cfg, &ExecOptions::default()).into_result()` \
-            (or `Session::query` / `Database::prepare` for repeated runs) and take `rows`"
-)]
-pub fn execute_collect(
-    plan: &PlanNode,
-    catalog: &Catalog,
-    cfg: &MachineConfig,
-) -> Result<Vec<Tuple>> {
-    let (rows, _, _) = execute_query(plan, catalog, cfg, &ExecOptions::default()).into_result()?;
-    Ok(rows)
-}
-
-/// Execute a plan to completion, returning rows plus the simulated hardware
-/// counters, cost breakdown and wall-clock time.
-#[deprecated(
-    note = "use `execute_query(plan, catalog, cfg, &ExecOptions::default()).into_result()` \
-            and take `(rows, stats)`"
-)]
-pub fn execute_with_stats(
-    plan: &PlanNode,
-    catalog: &Catalog,
-    cfg: &MachineConfig,
-) -> Result<(Vec<Tuple>, ExecStats)> {
-    let (rows, stats, _) =
-        execute_query(plan, catalog, cfg, &ExecOptions::default()).into_result()?;
-    Ok((rows, stats))
-}
-
-/// [`execute_with_stats`] with a worker budget for intra-operator
-/// parallelism (the partitioned hash-join build). Inter-operator
-/// parallelism comes from [`PlanNode::Exchange`] nodes in the plan itself
-/// (see [`crate::parallel::parallelize_plan`]).
-#[deprecated(
-    note = "use `execute_query(plan, catalog, cfg, &ExecOptions { threads, ..Default::default() })\
-            .into_result()`"
-)]
-pub fn execute_with_stats_threads(
-    plan: &PlanNode,
-    catalog: &Catalog,
-    cfg: &MachineConfig,
-    threads: usize,
-) -> Result<(Vec<Tuple>, ExecStats)> {
-    let opts = ExecOptions {
-        threads,
-        ..ExecOptions::default()
-    };
-    let (rows, stats, _) = execute_query(plan, catalog, cfg, &opts).into_result()?;
-    Ok((rows, stats))
-}
-
-/// Execute a plan with per-operator profiling: rows and whole-query stats
-/// as [`execute_with_stats`], plus a [`QueryProfile`] attributing every
-/// simulated event to one operator instance (ids in plan pre-order).
-///
-/// The instrumentation adds no modeled instructions, so `stats` match an
-/// unprofiled run of the same plan.
-#[deprecated(
-    note = "use `execute_query(plan, catalog, cfg, &ExecOptions { profile: true, \
-            ..Default::default() })` and read `QueryOutcome::profile()`"
-)]
-pub fn execute_profiled(
-    plan: &PlanNode,
-    catalog: &Catalog,
-    cfg: &MachineConfig,
-) -> Result<(Vec<Tuple>, ExecStats, QueryProfile)> {
-    let opts = ExecOptions {
-        profile: true,
-        ..ExecOptions::default()
-    };
-    let (rows, stats, profile) = execute_query(plan, catalog, cfg, &opts).into_result()?;
-    match profile {
-        Some(p) => Ok((rows, stats, p)),
-        None => Err(DbError::ExecProtocol(
-            "profiled run returned no profile".into(),
-        )),
-    }
-}
-
-/// [`execute_profiled`] with a worker budget for intra-operator parallelism
-/// (see [`execute_with_stats_threads`]).
-#[deprecated(
-    note = "use `execute_query(plan, catalog, cfg, &ExecOptions { threads, profile: true, \
-            ..Default::default() })` and read `QueryOutcome::profile()`"
-)]
-pub fn execute_profiled_threads(
-    plan: &PlanNode,
-    catalog: &Catalog,
-    cfg: &MachineConfig,
-    threads: usize,
-) -> Result<(Vec<Tuple>, ExecStats, QueryProfile)> {
-    let opts = ExecOptions {
-        threads,
-        profile: true,
-        ..ExecOptions::default()
-    };
-    let (rows, stats, profile) = execute_query(plan, catalog, cfg, &opts).into_result()?;
-    match profile {
-        Some(p) => Ok((rows, stats, p)),
-        // Unreachable on the clean path (profile requested, no panic), but
-        // stay typed rather than panicking.
-        None => Err(DbError::ExecProtocol(
-            "profiled run returned no profile".into(),
-        )),
-    }
-}

@@ -44,24 +44,20 @@ pub use arena::{TupleArena, TupleSlot};
 pub use cancel::CancelToken;
 pub use context::ExecContext;
 pub use exec::{build_executor, execute_query, ExecOptions, Operator, QueryOutcome};
-#[allow(deprecated)]
-pub use exec::{
-    execute_collect, execute_profiled, execute_profiled_threads, execute_with_stats,
-    execute_with_stats_threads,
-};
 pub use expr::Expr;
 pub use fault::{FaultMode, FaultRegistry, Trigger};
 pub use footprint::{FootprintModel, OpKind};
 pub use obs::{
     BufferGauges, ExchangeLane, HistSummary, Histogram, MetricsRegistry, ObsId, OpStats,
-    QueryProfile, QueryProfiler, TraceEvent, TraceReport, Tracer,
+    QueryProfile, QueryProfiler, SloConfig, SloTracker, SloWindow, TimeSeries, TimeSeriesRegistry,
+    TraceEvent, TraceReport, Tracer, WindowSnapshot,
 };
 pub use parallel::parallelize_plan;
 pub use plan::analyze::explain_analyze;
 pub use plan::{AggFunc, AggSpec, IndexMode, PlanNode};
 pub use prepare::{
-    prepare_physical_plan, AdaptConfig, CacheStats, Database, PlanCache, PlanFingerprint,
-    PreparedQuery,
+    prepare_physical_plan, AdaptConfig, AdaptStats, CacheStats, Database, PlanCache,
+    PlanFingerprint, PreparedQuery,
 };
 pub use refine::{refine_plan, refine_plan_observed, ObservedCards, RefineConfig};
 pub use session::{QueryOpts, Session};

@@ -304,4 +304,67 @@ mod tests {
         assert!(!r.is_empty());
         assert!(MetricsRegistry::new().is_empty());
     }
+
+    #[test]
+    fn empty_registry_snapshot_is_empty() {
+        let r = MetricsRegistry::new();
+        assert!(r.summaries().is_empty());
+        assert!(r.get(MORSEL_SERVICE_NS).is_none());
+        // A registry whose histograms all hold zero samples summarizes to
+        // nothing, same as a never-touched one.
+        let mut touched = MetricsRegistry::new();
+        touched.merge(&MetricsRegistry::new());
+        assert!(touched.summaries().is_empty() && touched.is_empty());
+    }
+
+    #[test]
+    fn single_sample_pins_every_percentile() {
+        for v in [0u64, 1, 7, 1 << 40, u64::MAX] {
+            let mut h = Histogram::new();
+            h.record(v);
+            let s = h.summary();
+            assert_eq!(
+                (s.count, s.p50, s.p95, s.p99, s.max),
+                (1, v, v, v, v),
+                "single sample {v} must be every percentile"
+            );
+        }
+    }
+
+    #[test]
+    fn top_bucket_saturates_without_overflow() {
+        let mut h = Histogram::new();
+        // Everything at and beyond 2^63 lands in the final bucket; the
+        // nominal upper bound there is u64::MAX, so quantiles saturate at
+        // the observed max instead of wrapping.
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1u64 << 63);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.p50(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // The sum accumulator is also saturating, not wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_of_disjoint_registries_keeps_both_sides() {
+        let mut a = MetricsRegistry::new();
+        a.record(MORSEL_SERVICE_NS, 10);
+        let mut b = MetricsRegistry::new();
+        b.record(FILL_GRANULE_ROWS, 99);
+        a.merge(&b);
+        assert_eq!(a.get(MORSEL_SERVICE_NS).map(Histogram::count), Some(1));
+        assert_eq!(a.get(FILL_GRANULE_ROWS).map(Histogram::count), Some(1));
+        assert_eq!(a.get(FILL_GRANULE_ROWS).map(Histogram::max), Some(99));
+        // Merging into an empty registry clones the source series wholesale.
+        let mut empty = MetricsRegistry::new();
+        empty.merge(&a);
+        assert_eq!(empty.summaries(), a.summaries());
+        // And the source is untouched by being merged from.
+        assert_eq!(b.get(FILL_GRANULE_ROWS).map(Histogram::count), Some(1));
+        assert!(b.get(MORSEL_SERVICE_NS).is_none());
+    }
 }

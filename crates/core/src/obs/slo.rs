@@ -1,0 +1,217 @@
+//! Service-level objectives over the windowed time series.
+//!
+//! An [`SloConfig`] states two objectives: a latency ceiling (p95 of one
+//! latency series must stay at or below `p95_ns`) and an error-rate
+//! ceiling (`errors / (ok + errors)` per window must stay at or below
+//! `max_error_rate`). An [`SloTracker`] grades each sealed
+//! [`WindowSnapshot`] into an [`SloWindow`] verdict — a window passes only
+//! if both objectives hold; a window with no traffic passes vacuously —
+//! and keeps **burn** accounting: the run is granted a budget of failing
+//! windows (`window_budget`, a fraction of all windows), and
+//! [`SloTracker::burn`] reports how much of it the run consumed (1.0 =
+//! budget exactly exhausted, above 1.0 = SLO violated overall).
+//!
+//! Everything is computed from virtual-time windows, so verdicts are
+//! deterministic for a given seed and can be asserted in tests and CI.
+
+use super::timeseries::WindowSnapshot;
+
+/// Objectives an [`SloTracker`] grades windows against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// Latency series the p95 objective applies to (e.g. `"all"`).
+    pub latency_series: String,
+    /// Per-window p95 latency ceiling in virtual nanoseconds.
+    pub p95_ns: u64,
+    /// Counter holding per-window successful completions.
+    pub ok_counter: String,
+    /// Counter holding per-window failed completions.
+    pub error_counter: String,
+    /// Per-window error-rate ceiling, `errors / (ok + errors)` in `[0, 1]`.
+    pub max_error_rate: f64,
+    /// Fraction of windows allowed to fail before the run-level SLO is
+    /// considered violated (the error budget).
+    pub window_budget: f64,
+}
+
+impl Default for SloConfig {
+    /// p95 of `"all"` ≤ 1 virtual second, ≤ 1% errors, 10% of windows
+    /// may fail.
+    fn default() -> Self {
+        SloConfig {
+            latency_series: "all".to_string(),
+            p95_ns: 1_000_000_000,
+            ok_counter: "queries_ok".to_string(),
+            error_counter: "queries_error".to_string(),
+            max_error_rate: 0.01,
+            window_budget: 0.1,
+        }
+    }
+}
+
+/// Verdict for one window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloWindow {
+    /// Index of the graded window.
+    pub index: u64,
+    /// Completions observed in the window (ok + errors).
+    pub completions: u64,
+    /// Failed completions observed in the window.
+    pub errors: u64,
+    /// Measured p95 of the configured latency series (0 when no samples).
+    pub p95_ns: u64,
+    /// Measured error rate (0 when no completions).
+    pub error_rate: f64,
+    /// Latency objective held (vacuously true without samples).
+    pub latency_ok: bool,
+    /// Error objective held (vacuously true without completions).
+    pub errors_ok: bool,
+}
+
+impl SloWindow {
+    /// Whether the window passed both objectives.
+    pub fn ok(&self) -> bool {
+        self.latency_ok && self.errors_ok
+    }
+}
+
+/// Grades windows against an [`SloConfig`] and accounts budget burn.
+#[derive(Debug)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    windows: Vec<SloWindow>,
+}
+
+impl SloTracker {
+    /// A tracker with no windows observed yet.
+    pub fn new(cfg: SloConfig) -> Self {
+        SloTracker {
+            cfg,
+            windows: Vec::new(),
+        }
+    }
+
+    /// The objectives this tracker grades against.
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Grade one sealed window and record its verdict.
+    pub fn observe(&mut self, w: &WindowSnapshot) -> &SloWindow {
+        let ok = w.counter(&self.cfg.ok_counter);
+        let errors = w.counter(&self.cfg.error_counter);
+        let completions = ok + errors;
+        let (samples, p95_ns) = w
+            .latency_for(&self.cfg.latency_series)
+            .map(|s| (s.count, s.p95))
+            .unwrap_or((0, 0));
+        let error_rate = if completions == 0 {
+            0.0
+        } else {
+            errors as f64 / completions as f64
+        };
+        self.windows.push(SloWindow {
+            index: w.index,
+            completions,
+            errors,
+            p95_ns,
+            error_rate,
+            latency_ok: samples == 0 || p95_ns <= self.cfg.p95_ns,
+            errors_ok: completions == 0 || error_rate <= self.cfg.max_error_rate,
+        });
+        self.windows.last().expect("just pushed")
+    }
+
+    /// All verdicts in observation order.
+    pub fn windows(&self) -> &[SloWindow] {
+        &self.windows
+    }
+
+    /// Number of windows that passed both objectives.
+    pub fn passed(&self) -> u64 {
+        self.windows.iter().filter(|w| w.ok()).count() as u64
+    }
+
+    /// Number of windows that failed at least one objective.
+    pub fn failed(&self) -> u64 {
+        self.windows.len() as u64 - self.passed()
+    }
+
+    /// Budget burn: the failing-window fraction divided by the budget.
+    /// 0.0 with no windows; `INFINITY` when windows failed against a zero
+    /// budget. Values above 1.0 mean the run-level SLO is violated.
+    pub fn burn(&self) -> f64 {
+        if self.windows.is_empty() {
+            return 0.0;
+        }
+        let failed_frac = self.failed() as f64 / self.windows.len() as f64;
+        if self.cfg.window_budget <= 0.0 {
+            if failed_frac > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            failed_frac / self.cfg.window_budget
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::timeseries::TimeSeriesRegistry;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            p95_ns: 100,
+            max_error_rate: 0.2,
+            window_budget: 0.5,
+            ..SloConfig::default()
+        }
+    }
+
+    #[test]
+    fn grades_latency_and_error_objectives_per_window() {
+        let mut ts = TimeSeriesRegistry::new(1000);
+        // Window 0: fast and clean → pass.
+        ts.record_latency("all", 10, 50);
+        ts.counter_add("queries_ok", 10, 1);
+        // Window 1: latency blown.
+        ts.record_latency("all", 1010, 5000);
+        ts.counter_add("queries_ok", 1010, 1);
+        // Window 2: error rate blown (1 of 2 = 50% > 20%).
+        ts.record_latency("all", 2010, 50);
+        ts.counter_add("queries_ok", 2010, 1);
+        ts.counter_add("queries_error", 2020, 1);
+        // Window 3: idle → vacuous pass.
+        let done = ts.finish(4000);
+        let mut slo = SloTracker::new(cfg());
+        for w in &done.windows {
+            slo.observe(w);
+        }
+        let ok: Vec<bool> = slo.windows().iter().map(|w| w.ok()).collect();
+        assert_eq!(ok, vec![true, false, false, true]);
+        assert!(!slo.windows()[1].latency_ok && slo.windows()[1].errors_ok);
+        assert!(slo.windows()[2].latency_ok && !slo.windows()[2].errors_ok);
+        assert_eq!((slo.passed(), slo.failed()), (2, 2));
+        // 2/4 windows failed against a 0.5 budget → burn exactly 1.0.
+        assert_eq!(slo.burn(), 1.0);
+    }
+
+    #[test]
+    fn zero_budget_burns_infinite_on_any_failure() {
+        let mut ts = TimeSeriesRegistry::new(100);
+        ts.record_latency("all", 1, 5000);
+        ts.counter_add("queries_ok", 1, 1);
+        let done = ts.finish(100);
+        let mut slo = SloTracker::new(SloConfig {
+            window_budget: 0.0,
+            p95_ns: 100,
+            ..SloConfig::default()
+        });
+        slo.observe(&done.windows[0]);
+        assert!(slo.burn().is_infinite());
+        assert_eq!(SloTracker::new(cfg()).burn(), 0.0, "no windows, no burn");
+    }
+}

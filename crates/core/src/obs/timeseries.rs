@@ -1,0 +1,485 @@
+//! Sliding-window time-series telemetry over **virtual** (modeled) time.
+//!
+//! The traffic driver runs an open-loop simulation on a virtual clock
+//! measured in modeled nanoseconds, so the telemetry layer keys every
+//! observation off a caller-supplied timestamp instead of a host clock.
+//! That keeps runs deterministic for a given seed — window boundaries,
+//! quantiles, and exports are byte-identical across machines — and, like
+//! the flight recorder, recording costs **zero modeled instructions**
+//! because it never executes a simulated code region.
+//!
+//! A [`TimeSeriesRegistry`] chops virtual time into fixed-width windows
+//! (`[i·W, (i+1)·W)`). Within the open window it accumulates
+//! per-series latency [`Histogram`]s (the log₂ buckets from
+//! [`hist`](super::hist)), monotonically increasing named counters, and
+//! last-write-wins gauges. Advancing the clock past a window boundary
+//! seals the window into an immutable [`WindowSnapshot`]; empty windows
+//! are still emitted so gaps in traffic are visible in the series.
+//! [`TimeSeriesRegistry::finish`] seals the final (possibly partial)
+//! window and returns a [`TimeSeries`] with two renderers: a
+//! Prometheus/OpenMetrics text exposition of the cumulative totals and a
+//! JSONL log with one line per window.
+
+use super::hist::{HistSummary, Histogram};
+
+/// Accumulator for one still-open window.
+#[derive(Debug)]
+struct OpenWindow {
+    index: u64,
+    latency: Vec<(String, Histogram)>,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+}
+
+impl OpenWindow {
+    fn new(index: u64) -> Self {
+        OpenWindow {
+            index,
+            latency: Vec::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+        }
+    }
+
+    fn seal(self, window_ns: u64, end_ns: u64) -> WindowSnapshot {
+        WindowSnapshot {
+            index: self.index,
+            start_ns: self.index * window_ns,
+            end_ns,
+            latency: self
+                .latency
+                .into_iter()
+                .map(|(name, h)| (name, h.summary()))
+                .collect(),
+            counters: self.counters,
+            gauges: self.gauges,
+        }
+    }
+}
+
+/// An immutable, sealed telemetry window.
+///
+/// Latency series are condensed to [`HistSummary`] quantile estimates;
+/// counters hold the deltas observed *within* this window (not cumulative
+/// totals); gauges hold the last value set during the window. All series
+/// keep first-recorded (insertion) order so exports are stable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSnapshot {
+    /// Zero-based window index; window `i` spans `[i·W, (i+1)·W)`.
+    pub index: u64,
+    /// Virtual start of the window in nanoseconds.
+    pub start_ns: u64,
+    /// Virtual end of the window in nanoseconds. Equals `start_ns + W`
+    /// except for the final partial window sealed by
+    /// [`TimeSeriesRegistry::finish`].
+    pub end_ns: u64,
+    /// Per-series latency summaries, insertion-ordered.
+    pub latency: Vec<(String, HistSummary)>,
+    /// Per-window counter increments, insertion-ordered.
+    pub counters: Vec<(String, u64)>,
+    /// Last-write-wins gauge values, insertion-ordered.
+    pub gauges: Vec<(String, f64)>,
+}
+
+impl WindowSnapshot {
+    /// Counter value recorded in this window (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Latency summary for one series, if it recorded any samples.
+    pub fn latency_for(&self, series: &str) -> Option<&HistSummary> {
+        self.latency
+            .iter()
+            .find(|(n, _)| n == series)
+            .map(|(_, s)| s)
+    }
+
+    /// Render this window as one JSONL event line (no trailing newline).
+    ///
+    /// Shape: `{"kind":"window","index":N,"start_ns":N,"end_ns":N,`
+    /// `"latency":{series:{count,p50,p95,p99,max}},"counters":{...},`
+    /// `"gauges":{...}}`. All times and latencies are virtual nanoseconds.
+    pub fn jsonl_line(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"kind\":\"window\",\"index\":");
+        out.push_str(&self.index.to_string());
+        out.push_str(",\"start_ns\":");
+        out.push_str(&self.start_ns.to_string());
+        out.push_str(",\"end_ns\":");
+        out.push_str(&self.end_ns.to_string());
+        out.push_str(",\"latency\":{");
+        for (i, (name, s)) in self.latency.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_escape_into(&mut out, name);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}",
+                s.count, s.p50, s.p95, s.p99, s.max
+            ));
+        }
+        out.push_str("},\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_escape_into(&mut out, name);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_escape_into(&mut out, name);
+            out.push(':');
+            if v.is_finite() {
+                out.push_str(&format!("{v}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Sliding-window registry of latency histograms, counters, and gauges
+/// keyed to a virtual clock. See the [module docs](self) for semantics.
+#[derive(Debug)]
+pub struct TimeSeriesRegistry {
+    window_ns: u64,
+    open: OpenWindow,
+    closed: Vec<WindowSnapshot>,
+    total_latency: Vec<(String, Histogram)>,
+    total_counters: Vec<(String, u64)>,
+}
+
+impl TimeSeriesRegistry {
+    /// A registry with `window_ns`-wide windows starting at virtual time 0.
+    /// `window_ns` is clamped to at least 1.
+    pub fn new(window_ns: u64) -> Self {
+        TimeSeriesRegistry {
+            window_ns: window_ns.max(1),
+            open: OpenWindow::new(0),
+            closed: Vec::new(),
+            total_latency: Vec::new(),
+            total_counters: Vec::new(),
+        }
+    }
+
+    /// Window width in virtual nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.window_ns
+    }
+
+    /// Seal every window that ends at or before `now_ns`. Windows with no
+    /// recorded events are still emitted. Timestamps must be fed in
+    /// non-decreasing order; a stamp earlier than the open window clamps
+    /// into it rather than rewriting history.
+    pub fn advance_to(&mut self, now_ns: u64) {
+        while (self.open.index + 1).saturating_mul(self.window_ns) <= now_ns {
+            let next = OpenWindow::new(self.open.index + 1);
+            let sealed = std::mem::replace(&mut self.open, next);
+            let end = (sealed.index + 1) * self.window_ns;
+            self.closed.push(sealed.seal(self.window_ns, end));
+        }
+    }
+
+    /// Record one latency sample for `series` observed at virtual time
+    /// `at_ns`.
+    pub fn record_latency(&mut self, series: &str, at_ns: u64, latency_ns: u64) {
+        self.advance_to(at_ns);
+        hist_for(&mut self.open.latency, series).record(latency_ns);
+        hist_for(&mut self.total_latency, series).record(latency_ns);
+    }
+
+    /// Add `delta` to counter `name` at virtual time `at_ns`.
+    pub fn counter_add(&mut self, name: &str, at_ns: u64, delta: u64) {
+        self.advance_to(at_ns);
+        *slot_for(&mut self.open.counters, name, 0) += delta;
+        *slot_for(&mut self.total_counters, name, 0) += delta;
+    }
+
+    /// Set gauge `name` to `value` at virtual time `at_ns` (last write in
+    /// a window wins).
+    pub fn gauge_set(&mut self, name: &str, at_ns: u64, value: f64) {
+        self.advance_to(at_ns);
+        *slot_for(&mut self.open.gauges, name, 0.0) = value;
+    }
+
+    /// Windows sealed so far (the open window is not included).
+    pub fn sealed(&self) -> &[WindowSnapshot] {
+        &self.closed
+    }
+
+    /// Seal the final (possibly partial) window and return the finished
+    /// series. A trailing window that is empty and zero-width is dropped;
+    /// otherwise its `end_ns` records the actual end of the run.
+    pub fn finish(mut self, end_ns: u64) -> TimeSeries {
+        self.advance_to(end_ns);
+        let open = self.open;
+        let start = open.index * self.window_ns;
+        let has_data =
+            !open.latency.is_empty() || !open.counters.is_empty() || !open.gauges.is_empty();
+        if has_data || end_ns > start {
+            self.closed
+                .push(open.seal(self.window_ns, end_ns.max(start)));
+        }
+        TimeSeries {
+            window_ns: self.window_ns,
+            end_ns,
+            windows: self.closed,
+            total_latency: self
+                .total_latency
+                .into_iter()
+                .map(|(name, h)| {
+                    let sum = h.sum();
+                    (name, h.summary(), sum)
+                })
+                .collect(),
+            total_counters: self.total_counters,
+        }
+    }
+}
+
+/// A finished time series: every sealed window plus cumulative totals,
+/// with Prometheus and JSONL renderers.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    /// Window width in virtual nanoseconds.
+    pub window_ns: u64,
+    /// Virtual end of the run in nanoseconds.
+    pub end_ns: u64,
+    /// All sealed windows in order.
+    pub windows: Vec<WindowSnapshot>,
+    /// Cumulative per-series latency `(name, summary, sum_ns)` over the
+    /// whole run.
+    pub total_latency: Vec<(String, HistSummary, u64)>,
+    /// Cumulative counter totals over the whole run.
+    pub total_counters: Vec<(String, u64)>,
+}
+
+impl TimeSeries {
+    /// Cumulative counter total (0 when never incremented).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.total_counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Render the cumulative totals as a Prometheus/OpenMetrics text
+    /// exposition. Latency series become `summary`-typed families with
+    /// 0.5/0.95/0.99 quantiles plus `_sum`/`_count`; counters get a
+    /// `_total` suffix; the final window's gauges are exported as gauges.
+    /// `prefix` namespaces every family (e.g. `bufferdb_traffic`).
+    pub fn prometheus(&self, prefix: &str) -> String {
+        let prefix = sanitize_metric_name(prefix);
+        let mut out = String::new();
+        let fam = format!("{prefix}_latency_ns");
+        out.push_str(&format!(
+            "# HELP {fam} query latency by series (virtual ns, log2-bucket quantile estimates)\n\
+             # TYPE {fam} summary\n"
+        ));
+        for (name, s, sum) in &self.total_latency {
+            let label = prom_label_escape(name);
+            for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+                out.push_str(&format!(
+                    "{fam}{{series=\"{label}\",quantile=\"{q}\"}} {v}\n"
+                ));
+            }
+            out.push_str(&format!("{fam}_sum{{series=\"{label}\"}} {sum}\n"));
+            out.push_str(&format!("{fam}_count{{series=\"{label}\"}} {}\n", s.count));
+        }
+        for (name, v) in &self.total_counters {
+            let fam = format!("{prefix}_{}_total", sanitize_metric_name(name));
+            out.push_str(&format!(
+                "# HELP {fam} cumulative {name} events\n# TYPE {fam} counter\n{fam} {v}\n"
+            ));
+        }
+        if let Some(last) = self.windows.last() {
+            for (name, v) in &last.gauges {
+                let fam = format!("{prefix}_{}", sanitize_metric_name(name));
+                let rendered = if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "NaN".to_string()
+                };
+                out.push_str(&format!(
+                    "# HELP {fam} last observed {name}\n# TYPE {fam} gauge\n{fam} {rendered}\n"
+                ));
+            }
+        }
+        let fam = format!("{prefix}_windows_total");
+        out.push_str(&format!(
+            "# HELP {fam} telemetry windows sealed\n# TYPE {fam} counter\n{fam} {}\n",
+            self.windows.len()
+        ));
+        out
+    }
+
+    /// Render every window as JSONL (one [`WindowSnapshot::jsonl_line`]
+    /// per line, trailing newline included).
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        for w in &self.windows {
+            out.push_str(&w.jsonl_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn hist_for<'a>(series: &'a mut Vec<(String, Histogram)>, name: &str) -> &'a mut Histogram {
+    if let Some(i) = series.iter().position(|(n, _)| n == name) {
+        return &mut series[i].1;
+    }
+    series.push((name.to_string(), Histogram::new()));
+    let last = series.len() - 1;
+    &mut series[last].1
+}
+
+fn slot_for<'a, T: Copy>(slots: &'a mut Vec<(String, T)>, name: &str, zero: T) -> &'a mut T {
+    if let Some(i) = slots.iter().position(|(n, _)| n == name) {
+        return &mut slots[i].1;
+    }
+    slots.push((name.to_string(), zero));
+    let last = slots.len() - 1;
+    &mut slots[last].1
+}
+
+/// Replace every character outside `[a-zA-Z0-9_:]` with `_` so arbitrary
+/// series names are legal Prometheus metric names.
+fn sanitize_metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Escape a Prometheus label value (backslash, quote, newline).
+fn prom_label_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_seal_at_boundaries_and_empty_windows_are_emitted() {
+        let mut ts = TimeSeriesRegistry::new(1000);
+        ts.record_latency("q", 100, 7);
+        // Jump three windows ahead: windows 0..=2 seal, 1 and 2 empty.
+        ts.record_latency("q", 3500, 9);
+        assert_eq!(ts.sealed().len(), 3);
+        assert_eq!(ts.sealed()[0].latency_for("q").unwrap().count, 1);
+        assert!(ts.sealed()[1].latency.is_empty());
+        assert_eq!(ts.sealed()[1].start_ns, 1000);
+        assert_eq!(ts.sealed()[1].end_ns, 2000);
+        let done = ts.finish(3600);
+        assert_eq!(done.windows.len(), 4);
+        assert_eq!(done.windows[3].end_ns, 3600, "partial window keeps run end");
+        assert_eq!(done.total_latency[0].1.count, 2);
+    }
+
+    #[test]
+    fn counters_are_per_window_deltas_and_cumulative_totals() {
+        let mut ts = TimeSeriesRegistry::new(10);
+        ts.counter_add("ok", 1, 2);
+        ts.counter_add("ok", 15, 3);
+        ts.gauge_set("load", 16, 0.5);
+        let done = ts.finish(20);
+        assert_eq!(done.windows[0].counter("ok"), 2);
+        assert_eq!(done.windows[1].counter("ok"), 3);
+        assert_eq!(done.counter_total("ok"), 5);
+        assert_eq!(done.windows[1].gauges, vec![("load".to_string(), 0.5)]);
+    }
+
+    #[test]
+    fn exact_boundary_sample_lands_in_next_window() {
+        let mut ts = TimeSeriesRegistry::new(100);
+        ts.record_latency("q", 100, 1);
+        assert_eq!(ts.sealed().len(), 1, "window 0 sealed empty");
+        let done = ts.finish(200);
+        assert_eq!(done.windows[1].latency_for("q").unwrap().count, 1);
+    }
+
+    #[test]
+    fn jsonl_line_shape_is_stable() {
+        let mut ts = TimeSeriesRegistry::new(100);
+        ts.record_latency("all", 10, 6);
+        ts.counter_add("ok", 10, 1);
+        ts.gauge_set("qps", 10, 2.5);
+        let done = ts.finish(100);
+        assert_eq!(
+            done.windows[0].jsonl_line(),
+            "{\"kind\":\"window\",\"index\":0,\"start_ns\":0,\"end_ns\":100,\
+             \"latency\":{\"all\":{\"count\":1,\"p50\":6,\"p95\":6,\"p99\":6,\"max\":6}},\
+             \"counters\":{\"ok\":1},\"gauges\":{\"qps\":2.5}}"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_has_families_and_quantiles() {
+        let mut ts = TimeSeriesRegistry::new(100);
+        ts.record_latency("Q6", 10, 900);
+        ts.counter_add("queries ok", 10, 4);
+        ts.gauge_set("offered_qps", 10, 1.5);
+        let text = ts.finish(100).prometheus("bufferdb_traffic");
+        assert!(text.contains("# TYPE bufferdb_traffic_latency_ns summary"));
+        assert!(text.contains("bufferdb_traffic_latency_ns{series=\"Q6\",quantile=\"0.95\"}"));
+        assert!(text.contains("bufferdb_traffic_latency_ns_count{series=\"Q6\"} 1"));
+        assert!(text.contains("bufferdb_traffic_latency_ns_sum{series=\"Q6\"} 900"));
+        // Name sanitization: spaces become underscores in metric names.
+        assert!(text.contains("bufferdb_traffic_queries_ok_total 4"));
+        assert!(text.contains("bufferdb_traffic_offered_qps 1.5"));
+        assert!(text.contains("bufferdb_traffic_windows_total 1"));
+    }
+
+    #[test]
+    fn empty_registry_finishes_to_empty_series() {
+        let done = TimeSeriesRegistry::new(1000).finish(0);
+        assert!(done.windows.is_empty());
+        assert!(done.jsonl().is_empty());
+        assert!(done.prometheus("p").contains("p_windows_total 0"));
+    }
+}

@@ -20,7 +20,7 @@ pub mod plancache;
 
 pub use adapt::{adapt_plan, AdaptConfig, AdaptDecision, AdaptState, PendingValidation};
 pub use fingerprint::{fingerprint_plan, subtree_hash, PlanFingerprint};
-pub use plancache::{CacheEntry, CacheStats, PlanCache, DEFAULT_CACHE_CAPACITY};
+pub use plancache::{AdaptStats, CacheEntry, CacheStats, PlanCache, DEFAULT_CACHE_CAPACITY};
 
 use crate::exec::QueryOutcome;
 use crate::obs::trace::TraceEvent;
@@ -232,18 +232,22 @@ impl PreparedQuery<'_> {
                 &mut state,
             );
             if had_pending {
+                self.db.cache.note_adapt_validate();
                 instants.push(TraceEvent::AdaptValidate {
                     regressed: decision.rolled_back,
                 });
             }
             if decision.rolled_back {
+                self.db.cache.note_adapt_rollback();
                 instants.push(TraceEvent::AdaptRollback);
                 if state.frozen {
+                    self.db.cache.note_adapt_freeze();
                     instants.push(TraceEvent::AdaptFreeze);
                 }
             }
             match decision.new_plan {
                 Some(new_plan) => {
+                    self.db.cache.note_adapt_install();
                     instants.push(TraceEvent::AdaptInstall {
                         generation: state.generation,
                         buffers: new_plan.buffer_count() as u64,

@@ -101,6 +101,25 @@ impl CacheEntry {
     }
 }
 
+/// Monotonic adaptive-loop counters, snapshotted by
+/// [`PlanCache::adapt_stats`].
+///
+/// The adaptive executor in [`crate::prepare::PreparedQuery`] bumps these
+/// alongside the flight-recorder instants it already emits, so long-running
+/// drivers (the traffic observatory) can report install/validate/rollback/
+/// freeze activity as cheap counter deltas without collecting traces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptStats {
+    /// Adapted plans installed (generation bumps).
+    pub installs: u64,
+    /// Pending installs validated by a clean follow-up run.
+    pub validations: u64,
+    /// Installs regressed and rolled back.
+    pub rollbacks: u64,
+    /// Entries frozen after repeated rollbacks.
+    pub freezes: u64,
+}
+
 /// Monotonic cache counters, snapshotted by [`PlanCache::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -134,6 +153,10 @@ pub struct PlanCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
+    adapt_installs: AtomicU64,
+    adapt_validations: AtomicU64,
+    adapt_rollbacks: AtomicU64,
+    adapt_freezes: AtomicU64,
 }
 
 impl Default for PlanCache {
@@ -155,6 +178,10 @@ impl PlanCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            adapt_installs: AtomicU64::new(0),
+            adapt_validations: AtomicU64::new(0),
+            adapt_rollbacks: AtomicU64::new(0),
+            adapt_freezes: AtomicU64::new(0),
         }
     }
 
@@ -261,6 +288,32 @@ impl PlanCache {
             invalidations: self.invalidations.load(Ordering::Relaxed),
             entries: self.len(),
         }
+    }
+
+    /// Snapshot the monotonic adaptive-loop counters.
+    pub fn adapt_stats(&self) -> AdaptStats {
+        AdaptStats {
+            installs: self.adapt_installs.load(Ordering::Relaxed),
+            validations: self.adapt_validations.load(Ordering::Relaxed),
+            rollbacks: self.adapt_rollbacks.load(Ordering::Relaxed),
+            freezes: self.adapt_freezes.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn note_adapt_install(&self) {
+        self.adapt_installs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_adapt_validate(&self) {
+        self.adapt_validations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_adapt_rollback(&self) {
+        self.adapt_rollbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_adapt_freeze(&self) {
+        self.adapt_freezes.fetch_add(1, Ordering::Relaxed);
     }
 }
 

@@ -7,9 +7,8 @@
 //! session stays usable and the next query runs normally. The chaos suite
 //! (`tests/chaos.rs`) exercises exactly that.
 //!
-//! The one entry point is [`Session::query`] with a [`QueryOpts`] builder;
-//! the pre-redesign `run`/`execute`/`execute_profiled` trio survives as
-//! deprecated shims. For cached prepared execution, wrap the session in a
+//! The one entry point is [`Session::query`] with a [`QueryOpts`] builder.
+//! For cached prepared execution, wrap the session in a
 //! [`crate::prepare::Database`].
 
 use crate::cancel::CancelToken;
@@ -185,24 +184,6 @@ impl Session {
         };
         execute_query(plan, &self.catalog, &self.cfg, &exec_opts)
     }
-
-    /// Run `plan` to completion (or failure), profiled or not.
-    #[deprecated(note = "use `Session::query(plan, &QueryOpts::new().profile(p))` instead")]
-    pub fn run(&self, plan: &PlanNode, profile: bool) -> QueryOutcome {
-        self.query(plan, &QueryOpts::new().profile(profile))
-    }
-
-    /// Run without profiling.
-    #[deprecated(note = "use `Session::query(plan, &QueryOpts::new())` instead")]
-    pub fn execute(&self, plan: &PlanNode) -> QueryOutcome {
-        self.query(plan, &QueryOpts::new())
-    }
-
-    /// Run with per-operator profiling.
-    #[deprecated(note = "use `Session::query(plan, &QueryOpts::new().profile(true))` instead")]
-    pub fn execute_profiled(&self, plan: &PlanNode) -> QueryOutcome {
-        self.query(plan, &QueryOpts::new().profile(true))
-    }
 }
 
 #[cfg(test)]
@@ -268,14 +249,5 @@ mod tests {
         s.cancel(); // cancels the idle placeholder token only
         let out = s.query(&scan(), &QueryOpts::new());
         assert!(out.is_ok(), "next query gets a fresh token");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_run() {
-        let s = session();
-        assert_eq!(s.execute(&scan()).rows().len(), 100);
-        assert!(s.execute_profiled(&scan()).profile().is_some());
-        assert!(s.run(&scan(), false).is_ok());
     }
 }

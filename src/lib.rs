@@ -45,26 +45,22 @@ pub use bufferdb_types as types;
 pub mod prelude {
     pub use bufferdb_cachesim::{BreakdownReport, CacheConfig, MachineConfig, PerfCounters};
     pub use bufferdb_core::cancel::CancelToken;
-    #[allow(deprecated)]
-    pub use bufferdb_core::exec::{
-        execute_collect, execute_profiled, execute_profiled_threads, execute_with_stats,
-        execute_with_stats_threads,
-    };
     pub use bufferdb_core::exec::{execute_query, ExecOptions, QueryOutcome};
     pub use bufferdb_core::expr::Expr;
     pub use bufferdb_core::fault::{FaultMode, FaultRegistry, Trigger};
     pub use bufferdb_core::footprint::{FootprintModel, OpKind};
     pub use bufferdb_core::obs::{
         BufferGauges, ExchangeLane, HistSummary, Histogram, MetricsRegistry, ObsId, OpStats,
-        QueryProfile, TraceEvent, TraceReport, Tracer,
+        QueryProfile, SloConfig, SloTracker, SloWindow, TimeSeries, TimeSeriesRegistry, TraceEvent,
+        TraceReport, Tracer, WindowSnapshot,
     };
     pub use bufferdb_core::parallel::parallelize_plan;
     pub use bufferdb_core::plan::analyze::explain_analyze;
     pub use bufferdb_core::plan::explain::explain;
     pub use bufferdb_core::plan::{AggFunc, AggSpec, IndexMode, PlanNode};
     pub use bufferdb_core::prepare::{
-        fingerprint_plan, prepare_physical_plan, AdaptConfig, CacheEntry, CacheStats, Database,
-        PlanCache, PlanFingerprint, PreparedQuery,
+        fingerprint_plan, prepare_physical_plan, AdaptConfig, AdaptStats, CacheEntry, CacheStats,
+        Database, PlanCache, PlanFingerprint, PreparedQuery,
     };
     pub use bufferdb_core::refine::{
         refine_plan, refine_plan_observed, ObservedCards, RefineConfig,
