@@ -15,7 +15,8 @@ use bufferdb_bench::experiments::ExperimentCtx;
 use bufferdb_tpch::queries::JoinMethod;
 
 const USAGE: &str = "usage: repro [--sf <scale>] [--seed <n>] [--threads <n>] [--timeout-ms <n>]
-             [--qps <f>] [--duration <ms>] [--regimes <n>] <experiment>...
+             [--qps <f>] [--duration <ms>] [--regimes <n>] [--streams <list>]
+             <experiment>...
 experiments:
   table1    machine specification
   table2    operator instruction footprints
@@ -46,7 +47,10 @@ experiments:
             paperQ1 paperQ2), write Perfetto JSON to TRACE_<query>.json
   traffic   open-loop traffic run with scripted regime switches; writes
             BENCH_traffic.json, TRAFFIC_windows.jsonl, TRAFFIC_metrics.prom
-  all       everything above (except trace and traffic)
+  server    multi-query interference sweep: {1,2,4,8} concurrent streams ×
+            {none,static,adaptive} buffer policy on the shared scheduler,
+            write BENCH_server.json
+  all       everything above (except trace, traffic and server)
 options:
   --threads <n>     worker budget for parallel builds (default: all cores)
   --timeout-ms <n>  cancel any single query after <n> ms (exit code 3)
@@ -56,6 +60,7 @@ options:
                     (default: sized so a regime sees ~40 queries)
   --regimes <n>     traffic: number of scripted regimes, 1-4 (default 4:
                     steady, shift, burst, chaos)
+  --streams <list>  server: comma-separated stream counts (default 1,2,4,8)
 environment:
   BUFFERDB_FAULT    comma-separated fault specs `site:mode:trigger` injected
                     into every query (sites: seqscan.next indexscan.next
@@ -71,6 +76,7 @@ fn main() {
     let mut qps: Option<f64> = None;
     let mut duration_ms: Option<u64> = None;
     let mut regimes = 4_usize;
+    let mut streams: Vec<usize> = bufferdb_bench::server_bench::STREAM_COUNTS.to_vec();
     let mut experiments: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -123,6 +129,24 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .filter(|&n: &usize| (1..=4).contains(&n))
                     .unwrap_or_else(|| die("--regimes needs an integer in 1..=4"));
+            }
+            "--streams" => {
+                let list = args
+                    .next()
+                    .unwrap_or_else(|| die("--streams needs a comma-separated list"));
+                streams = list
+                    .split(',')
+                    .map(|v| {
+                        v.trim()
+                            .parse()
+                            .ok()
+                            .filter(|&n: &usize| (1..=64).contains(&n))
+                            .unwrap_or_else(|| die("--streams entries must be integers in 1..=64"))
+                    })
+                    .collect();
+                if streams.is_empty() {
+                    die("--streams needs at least one entry");
+                }
             }
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -210,6 +234,7 @@ fn main() {
                 }
             }
             "traffic" => write_traffic(scale, seed, regimes, qps, duration_ms),
+            "server" => write_server(scale, seed, &streams),
             "trace" => {
                 let query = experiments
                     .get(i)
@@ -336,15 +361,32 @@ fn write_traffic(
     )
 }
 
+/// Run the multi-query interference sweep on the deterministic virtual
+/// scheduler and write `BENCH_server.json` (uploaded as a CI artifact;
+/// bit-stable for a given scale/seed/stream list).
+fn write_server(scale: f64, seed: u64, streams: &[usize]) -> String {
+    let report = bufferdb_bench::server_metrics(scale, seed, streams);
+    let path = "BENCH_server.json";
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        die(&format!("cannot write {path}: {e}"));
+    }
+    format!(
+        "{}wrote {path} ({} cells)\n",
+        bufferdb_bench::server_table(&report),
+        report.entries.len()
+    )
+}
+
 /// Parse a bench report, validate its `schema`/`schema_version`, and print
 /// a short summary. Unknown schemas or versions are a hard error (exit 2)
 /// rather than a misparse.
 fn analyze_report(path: &str) -> String {
     use bufferdb_bench::json::{Json, SCHEMA_VERSION};
-    const KNOWN: [&str; 4] = [
+    const KNOWN: [&str; 5] = [
         "bufferdb-metrics/v1",
         "bufferdb-parallel/v1",
         "bufferdb-plancache/v1",
+        "bufferdb-server/v1",
         "bufferdb-traffic/v1",
     ];
     let text =

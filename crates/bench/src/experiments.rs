@@ -1,8 +1,9 @@
 //! One function per paper artifact (table or figure).
 
 use crate::runner::{
-    comparison_report, reduction, run_plan, run_plan_traced, MetricsReport, PlanCacheReport,
-    PreparedQueryMetrics, QueryMetrics, RunResult, ScalingEntry, ScalingReport, WorkerLaneMetrics,
+    comparison_report, reduction, run_plan, run_plan_traced, CacheContentionPoint, MetricsReport,
+    PlanCacheReport, PreparedQueryMetrics, QueryMetrics, RunResult, ScalingEntry, ScalingReport,
+    WorkerLaneMetrics,
 };
 use bufferdb_cachesim::MachineConfig;
 use bufferdb_core::exec::{execute_query, ExecOptions};
@@ -692,7 +693,80 @@ pub fn prepared_metrics(ctx: &ExperimentCtx, seed: u64, threads: usize) -> PlanC
     report.hits = cache.hits;
     report.misses = cache.misses;
     report.entries = cache.entries as u64;
+    report.contention = cache_contention();
     report
+}
+
+/// Hit-path latency under concurrent load, single-shard vs sharded.
+///
+/// Models a 256-session server: 256 distinct prepared-statement
+/// fingerprints resident at once, with every available core hammering
+/// lookups across that working set (each OS thread walks its own stride
+/// through the 256 logical sessions' fingerprints). A single-shard cache
+/// serializes every lookup on one mutex; the sharded cache splits the
+/// population across independently locked shards, so the same offered load
+/// contends only within a shard.
+fn cache_contention() -> Vec<CacheContentionPoint> {
+    use bufferdb_core::prepare::{fingerprint_plan, PlanCache};
+    const POPULATION: usize = 256;
+    const LOOKUPS_PER_THREAD: usize = 100_000;
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(2, 8);
+    let machine = MachineConfig::pentium4_like();
+    let refine = RefineConfig::default();
+    let plans: Vec<PlanNode> = (0..POPULATION)
+        .map(|i| PlanNode::SeqScan {
+            table: format!("session{i}"),
+            predicate: None,
+            projection: None,
+        })
+        .collect();
+    let fps: Vec<_> = plans
+        .iter()
+        .map(|p| fingerprint_plan(p, &machine, 1, 0, &refine))
+        .collect();
+    let mut out = Vec::new();
+    for shards in [1usize, bufferdb_core::prepare::DEFAULT_CACHE_SHARDS] {
+        // Capacity 2× the population so per-shard LRU never evicts the
+        // working set even under a skewed fingerprint distribution: every
+        // timed lookup is a hit.
+        let cache = PlanCache::sharded(POPULATION * 2, shards);
+        for (plan, fp) in plans.iter().zip(&fps) {
+            cache.insert(*fp, 0, plan.clone(), plan.clone());
+        }
+        let total = (threads * LOOKUPS_PER_THREAD) as u64;
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let cache = &cache;
+                let fps = &fps;
+                s.spawn(move || {
+                    let mut hits = 0_u64;
+                    // Coprime stride per thread: all threads sweep the whole
+                    // population in different orders, colliding on shards
+                    // the way independent sessions would.
+                    let stride = 2 * t + 1;
+                    let mut at = t;
+                    for _ in 0..LOOKUPS_PER_THREAD {
+                        at = (at + stride) % POPULATION;
+                        if cache.lookup(fps[at]).is_some() {
+                            hits += 1;
+                        }
+                    }
+                    std::hint::black_box(hits);
+                });
+            }
+        });
+        out.push(CacheContentionPoint {
+            shards: shards as u64,
+            threads: threads as u64,
+            lookups: total,
+            ns_per_lookup: start.elapsed().as_nanos() as f64 / total as f64,
+        });
+    }
+    out
 }
 
 /// Plain-text rendering of the prepared-query study (`repro prepared`).
@@ -721,6 +795,17 @@ pub fn prepared_table(report: &PlanCacheReport) -> String {
         "cache: {} hits, {} misses, {} resident",
         report.hits, report.misses, report.entries
     );
+    for c in &report.contention {
+        let _ = writeln!(
+            s,
+            "hit path @ {} threads, {} shard{}: {:>7.1} ns/lookup ({} lookups)",
+            c.threads,
+            c.shards,
+            if c.shards == 1 { "" } else { "s" },
+            c.ns_per_lookup,
+            c.lookups
+        );
+    }
     s
 }
 

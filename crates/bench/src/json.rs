@@ -11,7 +11,11 @@ use std::fmt;
 /// Version stamped into every report as `schema_version`, alongside the
 /// report-specific `schema` name. Bump it when a report's shape changes
 /// incompatibly; `repro analyze` refuses versions it does not know.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: the traffic report gained `l1i_cross_misses` (run- and
+/// regime-level) when the driver moved from a synthetic FCFS queue onto
+/// the multi-query server's admission path.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -416,7 +420,10 @@ mod tests {
             parsed.get("schema").and_then(Json::as_str),
             Some("bufferdb-metrics/v1")
         );
-        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            parsed.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
         assert_eq!(parsed.get("neg").and_then(Json::as_f64), Some(-2.5));
         assert_eq!(
             parsed.get("arr").and_then(Json::as_arr).map(<[Json]>::len),

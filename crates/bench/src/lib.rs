@@ -10,11 +10,13 @@ pub mod experiments;
 pub mod json;
 pub mod microbench;
 pub mod runner;
+pub mod server_bench;
 pub mod traffic;
 
 pub use experiments::*;
 pub use json::Json;
 pub use runner::{run_plan, MetricsReport, QueryMetrics, RunResult};
+pub use server_bench::{server_metrics, server_table, ServerReport, ServerSweepEntry};
 pub use traffic::{run_traffic, RegimeSpec, TrafficConfig, TrafficRun};
 
 /// Execute Query 1 with the ablation-only **copying** buffer (§5 argues the

@@ -519,6 +519,32 @@ impl PreparedQueryMetrics {
     }
 }
 
+/// One cell of the plan-cache hit-path contention microbench: `threads`
+/// host threads hammering lookups over a fixed fingerprint population on a
+/// cache with `shards` shards.
+#[derive(Debug, Clone)]
+pub struct CacheContentionPoint {
+    /// Shard count of the measured cache.
+    pub shards: u64,
+    /// Concurrent lookup threads.
+    pub threads: u64,
+    /// Total lookups timed across all threads.
+    pub lookups: u64,
+    /// Mean wall-clock per lookup (host nanoseconds).
+    pub ns_per_lookup: f64,
+}
+
+impl CacheContentionPoint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("shards".into(), Json::U64(self.shards)),
+            ("threads".into(), Json::U64(self.threads)),
+            ("lookups".into(), Json::U64(self.lookups)),
+            ("ns_per_lookup".into(), Json::F64(self.ns_per_lookup)),
+        ])
+    }
+}
+
 /// The machine-readable prepared-query report (`BENCH_plancache.json`).
 #[derive(Debug, Clone, Default)]
 pub struct PlanCacheReport {
@@ -536,6 +562,8 @@ pub struct PlanCacheReport {
     pub entries: u64,
     /// One entry per prepared query.
     pub queries: Vec<PreparedQueryMetrics>,
+    /// Hit-path latency under concurrent load, single-shard vs sharded.
+    pub contention: Vec<CacheContentionPoint>,
 }
 
 impl PlanCacheReport {
@@ -553,6 +581,10 @@ impl PlanCacheReport {
             (
                 "queries".into(),
                 Json::Arr(self.queries.iter().map(|q| q.to_json()).collect()),
+            ),
+            (
+                "contention".into(),
+                Json::Arr(self.contention.iter().map(|c| c.to_json()).collect()),
             ),
         ])
         .pretty()
@@ -632,6 +664,12 @@ mod tests {
                 static_l1i_misses: 5000,
                 adapted_l1i_misses: 700,
             }],
+            contention: vec![CacheContentionPoint {
+                shards: 8,
+                threads: 4,
+                lookups: 400000,
+                ns_per_lookup: 55.25,
+            }],
         };
         let text = report.to_json();
         assert!(
@@ -641,6 +679,8 @@ mod tests {
         assert!(text.contains("\"cache_hits\": 12"), "{text}");
         assert!(text.contains("\"generations\": 1"), "{text}");
         assert!(text.contains("\"adapted_l1i_misses\": 700"), "{text}");
+        assert!(text.contains("\"shards\": 8"), "{text}");
+        assert!(text.contains("\"ns_per_lookup\": 55.25"), "{text}");
     }
 
     #[test]

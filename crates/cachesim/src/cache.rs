@@ -4,6 +4,23 @@
 //! the simulator cares about hit/miss behaviour, not contents.
 
 use crate::config::CacheConfig;
+use std::collections::HashMap;
+
+/// Opt-in cross-owner eviction attribution (see [`Cache::set_owner`]).
+///
+/// Only the *evictor* of each currently-absent line is remembered: when a
+/// miss refills a line whose last eviction was performed by a different
+/// owner tag, the miss counts as a cross-owner miss. Lines never evicted
+/// (compulsory misses) and lines the same owner pushed out both stay in the
+/// ordinary miss count only.
+#[derive(Debug, Clone)]
+struct OwnerTrack {
+    /// Tag charged for evictions performed from now on.
+    owner: u32,
+    /// line -> owner tag that evicted it (entries removed on refill).
+    evicted_by: HashMap<u64, u32>,
+    cross_misses: u64,
+}
 
 /// One cache level. Addresses are byte addresses; the cache maps them to
 /// lines internally.
@@ -19,6 +36,8 @@ pub struct Cache {
     tick: u64,
     accesses: u64,
     misses: u64,
+    /// `None` (the default) keeps the hot path free of attribution work.
+    track: Option<OwnerTrack>,
 }
 
 impl Cache {
@@ -35,7 +54,33 @@ impl Cache {
             tick: 0,
             accesses: 0,
             misses: 0,
+            track: None,
         }
+    }
+
+    /// Enable cross-owner eviction attribution (if not already on) and set
+    /// the owner tag charged for evictions from this point forward.
+    ///
+    /// Misses on lines whose most recent eviction was performed under a
+    /// *different* tag accumulate in [`Cache::cross_misses`]. Tracking is
+    /// off by default and costs nothing until the first call.
+    pub fn set_owner(&mut self, tag: u32) {
+        match &mut self.track {
+            Some(t) => t.owner = tag,
+            None => {
+                self.track = Some(OwnerTrack {
+                    owner: tag,
+                    evicted_by: HashMap::new(),
+                    cross_misses: 0,
+                })
+            }
+        }
+    }
+
+    /// Misses on lines last evicted by a different owner tag (a subset of
+    /// [`Cache::misses`]); 0 when tracking was never enabled.
+    pub fn cross_misses(&self) -> u64 {
+        self.track.as_ref().map_or(0, |t| t.cross_misses)
     }
 
     /// Geometry.
@@ -77,6 +122,15 @@ impl Cache {
                 victim = w;
             }
         }
+        if let Some(t) = &mut self.track {
+            if t.evicted_by.remove(&line).is_some_and(|tag| tag != t.owner) {
+                t.cross_misses += 1;
+            }
+            let old = self.tags[base + victim];
+            if old != u64::MAX {
+                t.evicted_by.insert(old, t.owner);
+            }
+        }
         self.tags[base + victim] = line;
         self.stamps[base + victim] = self.tick;
         false
@@ -109,10 +163,14 @@ impl Cache {
         }
     }
 
-    /// Empty the cache (counters are preserved).
+    /// Empty the cache (counters are preserved). A flush is not an
+    /// eviction *by* anyone, so pending cross-owner attributions clear too.
     pub fn flush(&mut self) {
         self.tags.fill(u64::MAX);
         self.stamps.fill(0);
+        if let Some(t) = &mut self.track {
+            t.evicted_by.clear();
+        }
     }
 
     /// Number of resident lines (for invariants/tests).
@@ -216,6 +274,53 @@ mod tests {
         for set in 0..4u64 {
             assert!(c.access(set * 64), "set {set} should hit");
         }
+    }
+
+    #[test]
+    fn cross_owner_misses_attributed_to_evictor() {
+        let mut c = small();
+        c.set_owner(1);
+        // Owner 1 fills a 2-way set with lines a and b.
+        let (a, b, d) = (0x0u64, 0x100, 0x200);
+        c.access(a);
+        c.access(b);
+        assert_eq!(c.cross_misses(), 0, "compulsory misses are not cross");
+        // Owner 2 evicts a (LRU) with its own line d.
+        c.set_owner(2);
+        c.access(d);
+        assert_eq!(c.cross_misses(), 0, "owner 2's compulsory miss");
+        // Owner 1 re-misses on a: evicted by owner 2 => cross miss.
+        c.set_owner(1);
+        assert!(!c.access(a));
+        assert_eq!(c.cross_misses(), 1);
+        // Owner 1 now evicted d; owner 1 re-missing on its own victim b
+        // (evicted by owner 1's refill of a) is NOT a cross miss.
+        assert!(!c.access(b));
+        assert_eq!(c.cross_misses(), 1);
+    }
+
+    #[test]
+    fn flush_clears_pending_attributions() {
+        let mut c = small();
+        c.set_owner(1);
+        let (a, b, d) = (0x0u64, 0x100, 0x200);
+        c.access(a);
+        c.access(b);
+        c.set_owner(2);
+        c.access(d); // evicts a under owner 2
+        c.flush();
+        c.set_owner(1);
+        c.access(a); // would be cross without the flush
+        assert_eq!(c.cross_misses(), 0);
+    }
+
+    #[test]
+    fn untracked_cache_reports_zero_cross() {
+        let mut c = small();
+        for l in [0x0u64, 0x100, 0x200, 0x0, 0x100] {
+            c.access(l);
+        }
+        assert_eq!(c.cross_misses(), 0);
     }
 
     /// Against a reference model: a cache never holds more lines than its

@@ -12,6 +12,10 @@ pub struct PerfCounters {
     pub l1i_accesses: u64,
     /// L1 instruction (trace) cache misses.
     pub l1i_misses: u64,
+    /// L1i misses on lines last evicted by a *different* query (a subset of
+    /// `l1i_misses`). Zero unless cross-query tagging is enabled via
+    /// [`crate::Machine::set_query_tag`].
+    pub l1i_cross_misses: u64,
     /// L1 data cache accesses.
     pub l1d_accesses: u64,
     /// L1 data cache misses.
@@ -65,6 +69,7 @@ impl Add for PerfCounters {
             instructions: self.instructions + rhs.instructions,
             l1i_accesses: self.l1i_accesses + rhs.l1i_accesses,
             l1i_misses: self.l1i_misses + rhs.l1i_misses,
+            l1i_cross_misses: self.l1i_cross_misses + rhs.l1i_cross_misses,
             l1d_accesses: self.l1d_accesses + rhs.l1d_accesses,
             l1d_misses: self.l1d_misses + rhs.l1d_misses,
             l2_accesses: self.l2_accesses + rhs.l2_accesses,
@@ -86,6 +91,7 @@ impl Sub for PerfCounters {
             instructions: self.instructions - rhs.instructions,
             l1i_accesses: self.l1i_accesses - rhs.l1i_accesses,
             l1i_misses: self.l1i_misses - rhs.l1i_misses,
+            l1i_cross_misses: self.l1i_cross_misses - rhs.l1i_cross_misses,
             l1d_accesses: self.l1d_accesses - rhs.l1d_accesses,
             l1d_misses: self.l1d_misses - rhs.l1d_misses,
             l2_accesses: self.l2_accesses - rhs.l2_accesses,

@@ -99,15 +99,17 @@ fn mix(mut x: u64) -> u64 {
 pub const SET_FOLD: usize = 64;
 
 /// Allocates segments within a simulated text section.
-#[derive(Debug, Default)]
+///
+/// `Clone` is shallow where it matters: the clone shares the original's
+/// [`SegmentRef`]s, so every clone of a pre-linked layout hands out the
+/// *same* addresses for the same segment names — the way every query in a
+/// server shares one binary's text section.
+#[derive(Debug, Default, Clone)]
 pub struct CodeLayout {
     segments: HashMap<String, SegmentRef>,
     next_page: u64,
-    /// Cumulative i-cache-set load; each new function is placed at the
-    /// in-page offset that keeps set loads as even as possible — the
-    /// uniform set coverage contiguous linker packing would produce (a
-    /// hash-scattered layout creates artificial hot sets that thrash even
-    /// when a footprint fits overall).
+    /// Cumulative i-cache-set load; used as a tie-break so different
+    /// segments' spill lines spread over different sets.
     set_load: Vec<u32>,
 }
 
@@ -122,25 +124,41 @@ impl CodeLayout {
     }
 
     /// The in-page line slot for a function of `lines` cache lines that
-    /// minimizes the peak per-set load, then record its placement.
-    fn balanced_slot(&mut self, lines: u64) -> u64 {
+    /// minimizes the peak per-set load **within the segment being defined**
+    /// (`local_load`), breaking ties on the layout-wide load.
+    ///
+    /// Balancing per segment — not globally — matters: a linker packs each
+    /// module's functions contiguously, so *every* module covers the cache
+    /// sets near-uniformly on its own. A query executes a subset of the
+    /// segment vocabulary; only per-segment uniformity guarantees that any
+    /// such subset is conflict-free whenever its total footprint fits.
+    /// Globally-balanced placement looks uniform over the whole text
+    /// section but leaves individual subsets clustered on hot sets, which
+    /// thrash every row even though the working set fits overall.
+    fn balanced_slot(&mut self, local_load: &mut [u32], lines: u64) -> u64 {
         let max_slot = (PAGE_BYTES - FUNC_BYTES as u64) / 64; // 51
-        let mut best = (u32::MAX, u64::MAX, 0u64); // (peak, total, slot)
+                                                              // (local peak, local total, global total, slot)
+        let mut best = (u32::MAX, u64::MAX, u64::MAX, 0u64);
         for slot in 0..=max_slot {
             let mut peak = 0u32;
             let mut total = 0u64;
+            let mut global = 0u64;
             for k in 0..lines {
-                let load = self.set_load[((slot + k) % SET_FOLD as u64) as usize] + 1;
+                let set = ((slot + k) % SET_FOLD as u64) as usize;
+                let load = local_load[set] + 1;
                 peak = peak.max(load);
                 total += load as u64;
+                global += self.set_load[set] as u64;
             }
-            if (peak, total) < (best.0, best.1) {
-                best = (peak, total, slot);
+            if (peak, total, global) < (best.0, best.1, best.2) {
+                best = (peak, total, global, slot);
             }
         }
-        let slot = best.2;
+        let slot = best.3;
         for k in 0..lines {
-            self.set_load[((slot + k) % SET_FOLD as u64) as usize] += 1;
+            let set = ((slot + k) % SET_FOLD as u64) as usize;
+            local_load[set] += 1;
+            self.set_load[set] += 1;
         }
         slot
     }
@@ -159,12 +177,13 @@ impl CodeLayout {
         let mut functions = Vec::new();
         let mut sites = Vec::new();
         let mut remaining = spec.bytes;
+        let mut local_load = vec![0u32; SET_FOLD];
         while remaining > 0 {
             let len = remaining.min(FUNC_BYTES) as u32;
             let page = CODE_BASE + self.next_page * PAGE_BYTES;
             self.next_page += 1;
-            // Set-balanced 64-byte-aligned in-page offset (see set_load).
-            let slot = self.balanced_slot((len as u64).div_ceil(64));
+            // Set-balanced 64-byte-aligned in-page offset (see balanced_slot).
+            let slot = self.balanced_slot(&mut local_load, (len as u64).div_ceil(64));
             let base = page + slot * 64;
             for off in (0..len as usize).step_by(BRANCH_SITE_STRIDE) {
                 let addr = base + off as u64 + 16;

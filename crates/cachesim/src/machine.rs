@@ -130,6 +130,20 @@ impl Machine {
         self.instructions += n;
     }
 
+    /// Tag all execution from this point as belonging to query `tag`,
+    /// enabling cross-query L1i eviction attribution on this core.
+    ///
+    /// A multi-query server calls this whenever a worker's long-lived
+    /// machine switches to a different query's work: L1i lines the new
+    /// query pushes out are stamped with its tag, and when the *old* query
+    /// later re-misses on those lines the miss lands in
+    /// [`PerfCounters::l1i_cross_misses`] — the modeled cost of sharing an
+    /// instruction cache between concurrent queries. Solo executions never
+    /// call this and pay nothing.
+    pub fn set_query_tag(&mut self, tag: u32) {
+        self.l1i.set_owner(tag);
+    }
+
     /// Fold another core's counter delta into this machine's totals.
     ///
     /// Parallel operators (exchange, partitioned hash build) simulate each
@@ -150,6 +164,7 @@ impl Machine {
                 instructions: self.instructions,
                 l1i_accesses: self.l1i.accesses(),
                 l1i_misses: self.l1i.misses(),
+                l1i_cross_misses: self.l1i.cross_misses(),
                 l1d_accesses: self.l1d.accesses(),
                 l1d_misses: self.l1d.misses(),
                 l2_accesses: self.l2_accesses,

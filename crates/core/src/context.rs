@@ -2,6 +2,7 @@
 
 use crate::arena::TupleArena;
 use crate::cancel::CancelToken;
+use crate::exec::exchange::ExchangeDelegate;
 use crate::fault::FaultRegistry;
 use crate::obs::trace::{TraceEvent, Tracer};
 use crate::obs::{ExchangeLane, ObsEvent, ObsId, QueryProfile, QueryProfiler};
@@ -41,6 +42,33 @@ pub struct ExecContext {
     /// helper a no-op, so untraced runs pay nothing (see
     /// [`crate::obs::trace`]).
     pub tracer: Option<Tracer>,
+    /// Server-side phase scheduler. When installed (by
+    /// [`crate::server`] drive runners), exchange operators hand their
+    /// parallel phases to it instead of spawning per-query scoped threads.
+    pub(crate) delegate: Option<Box<dyn ExchangeDelegate>>,
+    /// Cooperative time-slicer for multi-query cores. When installed (by
+    /// the virtual server's session core), drive-side blocking loops call
+    /// [`ExecContext::tuple_yield`] once per tuple; the slicer decides when
+    /// the quantum is up and parks this query so another resident query can
+    /// run on the same simulated machine. `None` (the default) costs one
+    /// branch per tuple.
+    pub(crate) slicer: Option<Box<dyn CoreSlicer>>,
+}
+
+/// Cooperative time-slicing hook for queries sharing one simulated core.
+///
+/// Installed into the drive context by the virtual server. The single
+/// method is called at tuple boundaries of every blocking drive-side loop;
+/// the implementation tracks the cycle quantum and, when it expires, hands
+/// the machine back to the scheduler and blocks until this query's next
+/// turn. The machine handed back on resume is the same core with *other
+/// queries'* L1i state layered on top — that displacement is the modeled
+/// cross-query interference.
+pub trait CoreSlicer: Send {
+    /// Yield the core if the quantum expired. On resume the implementation
+    /// must re-base `profiler` (if present) so counters retired by other
+    /// queries during the gap are not charged to this query's operators.
+    fn maybe_yield(&mut self, machine: &mut Machine, profiler: Option<&mut QueryProfiler>);
 }
 
 impl ExecContext {
@@ -55,6 +83,8 @@ impl ExecContext {
             cancel: CancelToken::new(),
             faults: Arc::new(FaultRegistry::new()),
             tracer: None,
+            delegate: None,
+            slicer: None,
         }
     }
 
@@ -120,6 +150,23 @@ impl ExecContext {
         }
     }
 
+    /// Tuple-boundary yield point for drive-side blocking loops (aggregate
+    /// consume, sort fill, hash build, exchange drain, buffer refill). A
+    /// no-op — one branch — unless a [`CoreSlicer`] is installed by the
+    /// virtual server's session core.
+    #[inline]
+    pub fn tuple_yield(&mut self) {
+        let ExecContext {
+            slicer,
+            machine,
+            profiler,
+            ..
+        } = self;
+        if let Some(s) = slicer.as_mut() {
+            s.maybe_yield(machine, profiler.as_mut());
+        }
+    }
+
     /// Fold a joined worker's tracer into this context's recorder
     /// (no-op when either side is untraced).
     pub fn absorb_trace(&mut self, worker: Option<Tracer>) {
@@ -142,6 +189,20 @@ impl ExecContext {
         lane: ExchangeLane,
     ) {
         self.machine.absorb(&counters);
+        self.absorb_lane_profile(exchange, child_base, profile, lane);
+    }
+
+    /// The profiler half of [`ExecContext::absorb_worker`], without folding
+    /// counters into this context's machine. Server lanes run on long-lived
+    /// pool-worker machines whose counters stay where they accrued; only the
+    /// per-query attribution migrates to the coordinating profiler.
+    pub(crate) fn absorb_lane_profile(
+        &mut self,
+        exchange: Option<ObsId>,
+        child_base: usize,
+        profile: Option<&QueryProfile>,
+        lane: ExchangeLane,
+    ) {
         if let (Some(id), Some(p)) = (exchange, self.profiler.as_mut()) {
             if let Some(wp) = profile {
                 p.absorb_worker(child_base, id, wp);

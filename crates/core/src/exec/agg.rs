@@ -256,6 +256,7 @@ impl AggregateOp {
                 self.aggs.iter().map(|a| AggState::new(a.func)).collect();
             while let Some(slot) = self.child.next(ctx)? {
                 ctx.check_cancel()?;
+                ctx.tuple_yield();
                 ctx.machine.exec_region(&mut self.code);
                 let row = ctx.arena.tuple(slot).clone();
                 self.update_states(ctx, &mut states, &row)?;
@@ -268,6 +269,7 @@ impl AggregateOp {
             let mut order: Vec<Vec<KeyAtom>> = Vec::new();
             while let Some(slot) = self.child.next(ctx)? {
                 ctx.check_cancel()?;
+                ctx.tuple_yield();
                 ctx.machine.exec_region(&mut self.code);
                 let row = ctx.arena.tuple(slot).clone();
                 let mut key = Vec::with_capacity(self.group_by.len());

@@ -77,20 +77,21 @@ pub(crate) fn driving_leaf_rows(plan: &PlanNode, catalog: &Catalog) -> Result<u3
     }
 }
 
-/// What one worker brings home from the parallel phase.
-struct WorkerOutcome {
-    worker: u64,
+/// What one worker (scoped thread or server lane) brings home from the
+/// parallel phase.
+pub(crate) struct WorkerOutcome {
+    pub(crate) worker: u64,
     /// The worker's subtree, handed back for reuse — `None` when the worker
     /// panicked (the tree's internal state is indeterminate after unwind).
-    tree: Option<Box<dyn Operator>>,
-    counters: PerfCounters,
-    profile: Option<QueryProfile>,
+    pub(crate) tree: Option<Box<dyn Operator>>,
+    pub(crate) counters: PerfCounters,
+    pub(crate) profile: Option<QueryProfile>,
     /// The worker's flight-recorder track; unlike the profile it survives
     /// panics (the ring holds exactly the events leading up to the failure).
-    trace: Option<Tracer>,
-    morsels: u64,
-    rows: u64,
-    error: Option<DbError>,
+    pub(crate) trace: Option<Tracer>,
+    pub(crate) morsels: u64,
+    pub(crate) rows: u64,
+    pub(crate) error: Option<DbError>,
 }
 
 impl WorkerOutcome {
@@ -112,6 +113,54 @@ impl WorkerOutcome {
             ))),
         }
     }
+}
+
+/// A parallel phase an exchange hands to a server scheduler: the morsel
+/// ranges (bucket `i` collects morsel `i`'s output rows, in index order)
+/// plus the pre-built per-lane subtree copies and their profiler labels.
+pub(crate) struct PhaseRequest {
+    pub(crate) morsels: Vec<(u32, u32)>,
+    pub(crate) trees: Vec<Box<dyn Operator>>,
+    /// Subtree labels for per-lane profilers; empty when unprofiled.
+    pub(crate) labels: Vec<String>,
+}
+
+/// What a delegated phase brings back: per-morsel output buckets plus one
+/// outcome per lane, shaped exactly like a joined thread worker's so the
+/// merge path is shared.
+pub(crate) struct PhaseOutcome {
+    pub(crate) buckets: Vec<Vec<Tuple>>,
+    pub(crate) outcomes: Vec<WorkerOutcome>,
+}
+
+/// A scheduler that runs exchange phases on shared server workers instead of
+/// per-query scoped threads. Installed on [`ExecContext`] by the server's
+/// drive runners; when present, [`ExchangeOp::open`] routes its parallel
+/// phase through it, so queries submitted to a [`crate::server`] share one
+/// fixed worker pool (and its simulated per-core i-caches) instead of
+/// spinning up threads per query.
+///
+/// The trait also owns the drive's counter bookkeeping: in server mode the
+/// coordinator borrows a pool worker's long-lived machine, so the query's
+/// total is *assembled* — machine deltas outside phases (tracked between
+/// `begin_drive`/`run_phase`/`seal_drive` snapshots) plus every lane's
+/// accumulated per-unit deltas — rather than read off a fresh machine.
+///
+/// `Send` because lane contexts (which embed the delegate slot's type) are
+/// handed between pool workers behind locks.
+pub(crate) trait ExchangeDelegate: Send {
+    /// Note the machine snapshot at drive start: the baseline for the
+    /// coordinator's own-work accounting.
+    fn begin_drive(&mut self, base: PerfCounters);
+
+    /// Run one parallel phase to completion. Called with the delegate taken
+    /// *out* of `ctx` (no reentrancy through this context).
+    fn run_phase(&mut self, ctx: &mut ExecContext, req: PhaseRequest) -> PhaseOutcome;
+
+    /// Close the drive: `now` is the final machine snapshot. Returns the
+    /// query's total counters: coordinator deltas outside phases plus every
+    /// lane's accumulated counters.
+    fn seal_drive(&mut self, now: PerfCounters) -> PerfCounters;
 }
 
 /// Pop the next morsel, recovering the queue from poison: the claim
@@ -288,6 +337,96 @@ impl ExchangeOp {
         }
         out
     }
+
+    /// Merge joined worker (or server-lane) outcomes into the coordinating
+    /// context: restore trees, fold profiles and lane records, model the
+    /// per-morsel dispatch cost, surface the first failure.
+    ///
+    /// In `server_mode` the lane counters are *not* folded into the
+    /// coordinator's machine — each lane ran on a long-lived pool-worker
+    /// machine whose counters stay put; the delegate assembles the query
+    /// total instead. After absorbing lane profiles the profiler is
+    /// resynchronized to the machine so deltas that accrued on the borrowed
+    /// core during the phase (they belong to lanes, already absorbed above)
+    /// are not double-charged to the enclosing operator bracket.
+    fn merge_outcomes(
+        &mut self,
+        ctx: &mut ExecContext,
+        outcomes: Vec<WorkerOutcome>,
+        server_mode: bool,
+    ) -> Option<DbError> {
+        let mut restored = Vec::with_capacity(outcomes.len());
+        let mut first_err = None;
+        let mut dispatched = 0u64;
+        for oc in outcomes {
+            dispatched += oc.morsels;
+            let lane = ExchangeLane {
+                worker: oc.worker,
+                morsels: oc.morsels,
+                rows: oc.rows,
+                counters: oc.counters,
+            };
+            if server_mode {
+                ctx.absorb_lane_profile(self.obs, self.child_base, oc.profile.as_ref(), lane);
+            } else {
+                ctx.absorb_worker(
+                    self.obs,
+                    self.child_base,
+                    oc.counters,
+                    oc.profile.as_ref(),
+                    lane,
+                );
+            }
+            ctx.absorb_trace(oc.trace);
+            if let Some(tree) = oc.tree {
+                restored.push(tree);
+            }
+            if first_err.is_none() {
+                first_err = oc.error;
+            }
+        }
+        self.worker_trees = restored;
+        if server_mode {
+            let now = ctx.machine.snapshot();
+            if let Some(p) = ctx.profiler.as_mut() {
+                p.resync(now);
+            }
+        }
+        // Coordinator-side dispatch cost: one pass over the exchange's code
+        // per morsel handed out, inside the exchange's profiling bracket.
+        for _ in 0..dispatched {
+            ctx.machine.exec_region(&mut self.code);
+        }
+        first_err
+    }
+
+    /// Server-mode `open`: hand the phase to the installed scheduler instead
+    /// of spawning scoped threads, then merge exactly as the threaded path
+    /// does.
+    fn open_delegated(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        let Some(mut delegate) = ctx.delegate.take() else {
+            return Err(DbError::ExecProtocol(
+                "exchange delegate vanished before the phase".into(),
+            ));
+        };
+        let req = PhaseRequest {
+            morsels: self.morsels(),
+            trees: std::mem::take(&mut self.worker_trees),
+            labels: self.worker_labels.clone(),
+        };
+        let out = delegate.run_phase(ctx, req);
+        ctx.delegate = Some(delegate);
+        // Resequence by morsel index: serial row order for seq-scan leaves.
+        self.gathered = out.buckets.into_iter().flatten().collect();
+        match self.merge_outcomes(ctx, out.outcomes, true) {
+            Some(e) => {
+                // Partial gathers are meaningless once any lane failed.
+                self.gathered.clear();
+                Err(e)
+            }
+            None => Ok(()),
+        }
+    }
 }
 
 /// Run one morsel through a worker's subtree, streaming output to the
@@ -322,6 +461,35 @@ fn run_morsel(
     tree.close(wctx)
 }
 
+/// Channel-free variant of [`run_morsel`] for server lanes: output rows are
+/// collected straight into the morsel's bucket (the claiming worker already
+/// holds it), with the same modeled enqueue cost per tuple so server and
+/// scoped-thread execution charge identically.
+pub(crate) fn run_morsel_into(
+    tree: &mut dyn Operator,
+    wctx: &mut ExecContext,
+    idx: usize,
+    out: &mut Vec<Tuple>,
+    rows: &mut u64,
+) -> Result<()> {
+    tree.open(wctx)?;
+    let mut sent = 0u64;
+    while let Some(slot) = tree.next(wctx)? {
+        let t = wctx.arena.tuple(slot).clone();
+        wctx.machine.add_instructions(QUEUE_PUSH_INSTR);
+        out.push(t);
+        *rows += 1;
+        sent += 1;
+    }
+    if sent > 0 {
+        wctx.trace(TraceEvent::GatherEnqueue {
+            morsel: idx as u32,
+            rows: sent,
+        });
+    }
+    tree.close(wctx)
+}
+
 impl Operator for ExchangeOp {
     fn schema(&self) -> SchemaRef {
         self.schema.clone()
@@ -335,6 +503,9 @@ impl Operator for ExchangeOp {
         self.out_region = ctx
             .arena
             .alloc_region(self.batch_hint as u32 + 1, schema_slot_bytes(&self.schema));
+        if ctx.delegate.is_some() {
+            return self.open_delegated(ctx);
+        }
         let cfg = ctx.machine.config().clone();
         let morsels = self.morsels();
         let n_morsels = morsels.len();
@@ -405,37 +576,7 @@ impl Operator for ExchangeOp {
         });
         // Resequence by morsel index: serial row order for seq-scan leaves.
         self.gathered = buckets.into_iter().flatten().collect();
-        let mut restored = Vec::with_capacity(outcomes.len());
-        let mut first_err = None;
-        for oc in outcomes {
-            // Coordinator-side dispatch cost: one pass over the exchange's
-            // code per morsel handed out.
-            for _ in 0..oc.morsels {
-                ctx.machine.exec_region(&mut self.code);
-            }
-            let lane = ExchangeLane {
-                worker: oc.worker,
-                morsels: oc.morsels,
-                rows: oc.rows,
-                counters: oc.counters,
-            };
-            ctx.absorb_worker(
-                self.obs,
-                self.child_base,
-                oc.counters,
-                oc.profile.as_ref(),
-                lane,
-            );
-            ctx.absorb_trace(oc.trace);
-            if let Some(tree) = oc.tree {
-                restored.push(tree);
-            }
-            if first_err.is_none() {
-                first_err = oc.error;
-            }
-        }
-        self.worker_trees = restored;
-        match first_err {
+        match self.merge_outcomes(ctx, outcomes, false) {
             Some(e) => {
                 // Partial gathers are meaningless once any worker failed.
                 self.gathered.clear();

@@ -289,6 +289,7 @@ impl Operator for HashJoinOp {
             // insertion move to a key-partitioned worker pool.
             while let Some(slot) = self.build.next(ctx)? {
                 ctx.check_cancel()?;
+                ctx.tuple_yield();
                 let row = ctx.arena.tuple(slot).clone();
                 self.build_rows.push(row);
             }
@@ -302,6 +303,7 @@ impl Operator for HashJoinOp {
             // refiner may break with a buffer below us).
             while let Some(slot) = self.build.next(ctx)? {
                 ctx.check_cancel()?;
+                ctx.tuple_yield();
                 ctx.fault(fault::HASHJOIN_BUILD)?;
                 ctx.machine.exec_region(&mut self.build_code);
                 let row = ctx.arena.tuple(slot).clone();

@@ -59,6 +59,7 @@ impl Operator for MaterializeOp {
         if !self.drained {
             while let Some(slot) = self.child.next(ctx)? {
                 ctx.check_cancel()?;
+                ctx.tuple_yield();
                 ctx.machine.exec_region(&mut self.code);
                 let t = ctx.arena.tuple(slot).clone();
                 let own = ctx.arena.store(self.own_region, t, &mut ctx.machine);

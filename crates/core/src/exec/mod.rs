@@ -100,7 +100,23 @@ pub fn build_executor(
 ) -> Result<Box<dyn Operator>> {
     // Validate the whole tree up front (schemas, column indices).
     plan.output_schema(catalog)?;
-    build_rec(plan, catalog, fm)
+    build_rec(plan, catalog, fm, &FootprintModel::new)
+}
+
+/// [`build_executor`] with an explicit factory for the fresh per-core
+/// footprint models exchange worker subtrees are built against. The server
+/// passes a factory that clones one pre-linked master layout, so every query
+/// (and every lane) maps each operator to the *same* simulated text
+/// addresses — the precondition for modeling cross-query i-cache reuse and
+/// interference on shared pool workers.
+pub(crate) fn build_executor_with(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    fm: &mut FootprintModel,
+    worker_fm: &dyn Fn() -> FootprintModel,
+) -> Result<Box<dyn Operator>> {
+    plan.output_schema(catalog)?;
+    build_rec(plan, catalog, fm, worker_fm)
 }
 
 /// Short operator label for profiling output.
@@ -137,6 +153,7 @@ fn build_rec(
     plan: &PlanNode,
     catalog: &Catalog,
     fm: &mut FootprintModel,
+    worker_fm: &dyn Fn() -> FootprintModel,
 ) -> Result<Box<dyn Operator>> {
     // Register this node *before* recursing so ids follow plan pre-order —
     // the contract `explain_analyze` relies on to map nodes to stats.
@@ -170,8 +187,8 @@ fn build_rec(
             qual,
             ..
         } => {
-            let o = build_rec(outer, catalog, fm)?;
-            let i = build_rec(inner, catalog, fm)?;
+            let o = build_rec(outer, catalog, fm, worker_fm)?;
+            let i = build_rec(inner, catalog, fm, worker_fm)?;
             Box::new(nestloop::NestLoopOp::new(
                 fm,
                 o,
@@ -186,8 +203,8 @@ fn build_rec(
             probe_key,
             build_key,
         } => {
-            let p = build_rec(probe, catalog, fm)?;
-            let b = build_rec(build, catalog, fm)?;
+            let p = build_rec(probe, catalog, fm, worker_fm)?;
+            let b = build_rec(build, catalog, fm, worker_fm)?;
             Box::new(hashjoin::HashJoinOp::new(fm, p, b, *probe_key, *build_key))
         }
         PlanNode::MergeJoin {
@@ -196,12 +213,12 @@ fn build_rec(
             left_key,
             right_key,
         } => {
-            let l = build_rec(left, catalog, fm)?;
-            let r = build_rec(right, catalog, fm)?;
+            let l = build_rec(left, catalog, fm, worker_fm)?;
+            let r = build_rec(right, catalog, fm, worker_fm)?;
             Box::new(mergejoin::MergeJoinOp::new(fm, l, r, *left_key, *right_key))
         }
         PlanNode::Sort { input, keys } => {
-            let c = build_rec(input, catalog, fm)?;
+            let c = build_rec(input, catalog, fm, worker_fm)?;
             Box::new(sort::SortOp::new(fm, c, keys.clone()))
         }
         PlanNode::Aggregate {
@@ -209,7 +226,7 @@ fn build_rec(
             group_by,
             aggs,
         } => {
-            let c = build_rec(input, catalog, fm)?;
+            let c = build_rec(input, catalog, fm, worker_fm)?;
             Box::new(agg::AggregateOp::new(
                 fm,
                 c,
@@ -218,11 +235,11 @@ fn build_rec(
             )?)
         }
         PlanNode::Project { input, exprs } => {
-            let c = build_rec(input, catalog, fm)?;
+            let c = build_rec(input, catalog, fm, worker_fm)?;
             Box::new(project::ProjectOp::new(fm, c, exprs.clone())?)
         }
         PlanNode::Buffer { input, size } => {
-            let c = build_rec(input, catalog, fm)?;
+            let c = build_rec(input, catalog, fm, worker_fm)?;
             let mut b = buffer::BufferOp::new(fm, c, *size)?;
             // Fill/drain gauges are internal to the refill loop, so the
             // buffer reports them itself rather than via the decorator.
@@ -230,15 +247,15 @@ fn build_rec(
             Box::new(b)
         }
         PlanNode::Filter { input, predicate } => {
-            let c = build_rec(input, catalog, fm)?;
+            let c = build_rec(input, catalog, fm, worker_fm)?;
             Box::new(filter::FilterOp::new(fm, c, predicate.clone())?)
         }
         PlanNode::Limit { input, limit } => {
-            let c = build_rec(input, catalog, fm)?;
+            let c = build_rec(input, catalog, fm, worker_fm)?;
             Box::new(limit::LimitOp::new(fm, c, *limit))
         }
         PlanNode::Materialize { input } => {
-            let c = build_rec(input, catalog, fm)?;
+            let c = build_rec(input, catalog, fm, worker_fm)?;
             Box::new(materialize::MaterializeOp::new(fm, c))
         }
         PlanNode::Exchange { input, workers } => {
@@ -257,11 +274,11 @@ fn build_rec(
             let mut worker_trees = Vec::with_capacity(n);
             let mut worker_labels = Vec::new();
             for w in 0..n {
-                let mut wfm = FootprintModel::new();
+                let mut wfm = worker_fm();
                 if fm.obs_enabled() {
                     wfm.enable_obs();
                 }
-                let tree = build_rec(input, catalog, &mut wfm)?;
+                let tree = build_rec(input, catalog, &mut wfm, worker_fm)?;
                 if w == 0 {
                     worker_labels = wfm.obs_labels().to_vec();
                 }

@@ -66,6 +66,7 @@ impl SortOp {
         let mut rows: Vec<(Vec<Datum>, TupleSlot)> = Vec::new();
         while let Some(slot) = self.child.next(ctx)? {
             ctx.check_cancel()?;
+            ctx.tuple_yield();
             ctx.machine.exec_region(&mut self.code);
             // Materialize into our own storage (tuplesort copies tuples).
             let t = ctx.arena.tuple(slot).clone();

@@ -267,6 +267,62 @@ impl FootprintModel {
         }
     }
 
+    /// A model over an existing (typically pre-linked) layout.
+    ///
+    /// A multi-query server clones one [`FootprintModel::prelinked`] master
+    /// layout per query build so every concurrent query sees the *same*
+    /// text-section addresses — they genuinely share code, and their L1i
+    /// interference is real displacement, not accidental address aliasing
+    /// between independently laid-out layouts.
+    pub fn with_layout(mut layout: CodeLayout) -> Self {
+        let expr_seg = layout.define(&SegmentSpec::new("expr_eval", EXPR_EVAL));
+        FootprintModel {
+            layout,
+            expr_seg,
+            site_counter: 0,
+            obs_labels: None,
+        }
+    }
+
+    /// A master layout with the entire segment vocabulary already placed.
+    ///
+    /// Clones of this layout define no new segments for any plan the
+    /// executor can build, so concurrent per-query models derived from one
+    /// master agree on every address (see [`FootprintModel::with_layout`]).
+    pub fn prelinked() -> CodeLayout {
+        let mut layout = CodeLayout::new();
+        let mut define = |name: &str, bytes: usize| {
+            layout.define(&SegmentSpec::new(name, bytes));
+        };
+        define("expr_eval", EXPR_EVAL);
+        define("common_rt", COMMON_RT);
+        define("numeric_rt", NUMERIC_RT);
+        define("hash_fn", HASH_FN);
+        define("scan_core", SCAN_CORE);
+        define("scan_pred", SCAN_PRED);
+        define("ixscan_core", IXSCAN_CORE);
+        define("sort_core", SORT_CORE);
+        define("nestloop_core", NESTLOOP_CORE);
+        define("mergejoin_core", MERGEJOIN_CORE);
+        define("hashbuild_core", HASHBUILD_CORE);
+        define("hashprobe_core", HASHPROBE_CORE);
+        define("agg_core", AGG_CORE);
+        define("agg_count", AGG_COUNT);
+        define("agg_min", AGG_MINMAX);
+        define("agg_max", AGG_MINMAX);
+        define("agg_sum", AGG_SUM);
+        define("agg_avg", AGG_AVG);
+        define("buffer_core", BUFFER_CORE);
+        define("exchange_core", EXCHANGE_CORE);
+        define("project_core", PROJECT_CORE);
+        define("materialize_core", MATERIALIZE_CORE);
+        define("filter_core", FILTER_CORE);
+        define("limit_core", LIMIT_CORE);
+        define("block_mgmt", BLOCK_EXTRA);
+        define("exec_dispatch", EXEC_DISPATCH);
+        layout
+    }
+
     /// Turn on operator registration: executors built with this model are
     /// wrapped for per-operator profiling (see [`crate::obs`]).
     pub fn enable_obs(&mut self) {
@@ -439,6 +495,55 @@ mod tests {
             .flat_map(|s| s.functions.iter().map(|&(b, _)| b))
             .collect();
         assert_eq!(scan_exprs, nl_exprs, "expr_eval must be the same code");
+    }
+
+    #[test]
+    fn prelinked_clones_agree_on_every_address() {
+        // Two models over independent clones of one pre-linked master must
+        // hand out identical code addresses for every operator kind the
+        // executor can build — otherwise a clone would place a "new"
+        // segment at a clone-local address and alias another query's code.
+        let master = FootprintModel::prelinked();
+        let kinds = [
+            OpKind::SeqScan { with_pred: false },
+            OpKind::SeqScan { with_pred: true },
+            OpKind::IndexScan,
+            OpKind::Sort,
+            OpKind::NestLoop,
+            OpKind::MergeJoin,
+            OpKind::HashBuild,
+            OpKind::HashProbe,
+            OpKind::Aggregate {
+                funcs: vec![
+                    AggFunc::CountStar,
+                    AggFunc::Count,
+                    AggFunc::Min,
+                    AggFunc::Max,
+                    AggFunc::Sum,
+                    AggFunc::Avg,
+                ],
+            },
+            OpKind::Buffer,
+            OpKind::Exchange,
+            OpKind::Project,
+            OpKind::Materialize,
+            OpKind::Filter,
+            OpKind::Limit,
+            OpKind::Block(Box::new(OpKind::SeqScan { with_pred: true })),
+        ];
+        let mut m1 = FootprintModel::with_layout(master.clone());
+        let mut m2 = FootprintModel::with_layout(master.clone());
+        for k in &kinds {
+            let addrs = |m: &mut FootprintModel| -> Vec<(u64, u32)> {
+                m.region_for(k)
+                    .segments()
+                    .iter()
+                    .flat_map(|s| s.functions.iter().copied())
+                    .collect()
+            };
+            assert_eq!(addrs(&mut m1), addrs(&mut m2), "kind {k:?}");
+        }
+        assert_eq!(m1.predicate_site(), m2.predicate_site());
     }
 
     #[test]

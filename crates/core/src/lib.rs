@@ -37,6 +37,10 @@ pub mod parallel;
 pub mod plan;
 pub mod prepare;
 pub mod refine;
+// Same containment contract as `exec`: the server pool must never unwrap
+// its way into a poisoned panic while holding shared scheduler state.
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+pub mod server;
 pub mod session;
 pub mod stats;
 
@@ -60,5 +64,7 @@ pub use prepare::{
     PlanFingerprint, PreparedQuery,
 };
 pub use refine::{refine_plan, refine_plan_observed, ObservedCards, RefineConfig};
+pub use server::virt::{CompletedQuery, VirtualServer};
+pub use server::{QueryTicket, Server, ServerConfig, ServerStats};
 pub use session::{QueryOpts, Session};
 pub use stats::ExecStats;

@@ -258,6 +258,28 @@ impl QueryProfiler {
             total,
         }
     }
+
+    /// Re-base the profiler at `now` without charging the delta to anyone.
+    ///
+    /// A server worker's machine runs *other* queries' morsels between two
+    /// units of this query; the counters those units retire must not land
+    /// on whichever of this query's operators is on the stack. The unit
+    /// boundary calls `resync` with the machine snapshot at hand-back so
+    /// only this query's own execution is ever charged.
+    pub fn resync(&mut self, now: PerfCounters) {
+        self.last = now;
+    }
+
+    /// Seal the profile with an externally accounted total, charging
+    /// nothing. Used when the total is assembled from per-unit snapshot
+    /// deltas (server execution) rather than one final machine snapshot.
+    pub fn seal(self, total: PerfCounters) -> QueryProfile {
+        debug_assert!(self.stack.is_empty(), "profiler stack not unwound");
+        QueryProfile {
+            ops: self.ops,
+            total,
+        }
+    }
 }
 
 /// The finished per-operator profile of one query execution.

@@ -20,7 +20,9 @@ pub mod plancache;
 
 pub use adapt::{adapt_plan, AdaptConfig, AdaptDecision, AdaptState, PendingValidation};
 pub use fingerprint::{fingerprint_plan, subtree_hash, PlanFingerprint};
-pub use plancache::{AdaptStats, CacheEntry, CacheStats, PlanCache, DEFAULT_CACHE_CAPACITY};
+pub use plancache::{
+    AdaptStats, CacheEntry, CacheStats, PlanCache, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS,
+};
 
 use crate::exec::QueryOutcome;
 use crate::obs::trace::TraceEvent;
@@ -150,6 +152,68 @@ impl Database {
         self.session.set_timeout(timeout);
     }
 
+    /// Feed one profiled outcome back into `entry`'s adaptive loop: the
+    /// deferred half of [`PreparedQuery::execute_adaptive_opts`], for
+    /// callers that execute the cached plan elsewhere (the server admission
+    /// path runs `executed` on a [`crate::server::virt::VirtualServer`] and only
+    /// sees the profile at completion time). Gated on a **clean** profiled
+    /// outcome — a failed, cancelled, or panicked execution never modifies
+    /// the cached plan. Adaptivity instants are appended to `out`'s trace
+    /// when one was recorded.
+    pub fn absorb_feedback(
+        &self,
+        entry: &Arc<CacheEntry>,
+        executed: &PlanNode,
+        out: &mut QueryOutcome,
+    ) {
+        // Instants for the flight recorder: collected while the profile
+        // borrow is live, recorded onto the trace afterwards.
+        let mut instants: Vec<TraceEvent> = Vec::new();
+        if let (true, Some(profile)) = (out.is_ok(), out.profile()) {
+            let mut state = entry.adapt_state();
+            let had_pending = state.pending_validation.is_some();
+            let decision = adapt_plan(
+                entry.base_plan(),
+                executed,
+                profile,
+                self.catalog(),
+                &self.refine_cfg,
+                &self.adapt_cfg,
+                &mut state,
+            );
+            if had_pending {
+                self.cache.note_adapt_validate();
+                instants.push(TraceEvent::AdaptValidate {
+                    regressed: decision.rolled_back,
+                });
+            }
+            if decision.rolled_back {
+                self.cache.note_adapt_rollback();
+                instants.push(TraceEvent::AdaptRollback);
+                if state.frozen {
+                    self.cache.note_adapt_freeze();
+                    instants.push(TraceEvent::AdaptFreeze);
+                }
+            }
+            match decision.new_plan {
+                Some(new_plan) => {
+                    self.cache.note_adapt_install();
+                    instants.push(TraceEvent::AdaptInstall {
+                        generation: state.generation,
+                        buffers: new_plan.buffer_count() as u64,
+                    });
+                    entry.install(new_plan, state);
+                }
+                None => entry.store_adapt_state(state),
+            }
+        }
+        if let Some(trace) = out.trace_mut() {
+            for ev in instants {
+                trace.record_instant(ev);
+            }
+        }
+    }
+
     /// Prepare `plan`: on a cache hit the stored physical plan is reused
     /// outright; on a miss the plan is parallelized + refined and cached.
     /// Also sweeps entries whose stats epoch went stale (they are already
@@ -216,52 +280,7 @@ impl PreparedQuery<'_> {
     pub fn execute_adaptive_opts(&self, opts: &QueryOpts) -> QueryOutcome {
         let plan = self.entry.physical_plan();
         let mut out = self.db.session.query(&plan, &opts.clone().profile(true));
-        // Adaptivity instants for the flight recorder: collected while the
-        // profile borrow is live, recorded onto the trace afterwards.
-        let mut instants: Vec<TraceEvent> = Vec::new();
-        if let (true, Some(profile)) = (out.is_ok(), out.profile()) {
-            let mut state = self.entry.adapt_state();
-            let had_pending = state.pending_validation.is_some();
-            let decision = adapt_plan(
-                self.entry.base_plan(),
-                &plan,
-                profile,
-                self.db.catalog(),
-                &self.db.refine_cfg,
-                &self.db.adapt_cfg,
-                &mut state,
-            );
-            if had_pending {
-                self.db.cache.note_adapt_validate();
-                instants.push(TraceEvent::AdaptValidate {
-                    regressed: decision.rolled_back,
-                });
-            }
-            if decision.rolled_back {
-                self.db.cache.note_adapt_rollback();
-                instants.push(TraceEvent::AdaptRollback);
-                if state.frozen {
-                    self.db.cache.note_adapt_freeze();
-                    instants.push(TraceEvent::AdaptFreeze);
-                }
-            }
-            match decision.new_plan {
-                Some(new_plan) => {
-                    self.db.cache.note_adapt_install();
-                    instants.push(TraceEvent::AdaptInstall {
-                        generation: state.generation,
-                        buffers: new_plan.buffer_count() as u64,
-                    });
-                    self.entry.install(new_plan, state);
-                }
-                None => self.entry.store_adapt_state(state),
-            }
-        }
-        if let Some(trace) = out.trace_mut() {
-            for ev in instants {
-                trace.record_instant(ev);
-            }
-        }
+        self.db.absorb_feedback(&self.entry, &plan, &mut out);
         out
     }
 

@@ -288,19 +288,23 @@ impl Refiner<'_> {
             }
 
             PlanNode::Exchange { input, workers } => {
-                // An exchange is already a blocking buffer point: the worker
-                // pipeline's code never interleaves with the parent's (they
-                // run on different simulated cores), so groups never span
-                // the exchange edge and the pipeline's top group needs no
-                // buffer. Deeper groups inside the subtree (feeding a
-                // blocking phase, say) are refined as usual.
+                // The worker pipeline's code never interleaves with the
+                // parent's (they run on different simulated cores), so
+                // groups never span *down* the exchange edge: the subtree
+                // is refined in isolation. The parent side is different —
+                // the exchange's own gather/merge code runs in the
+                // coordinator pipeline, so it opens a fresh group that
+                // parents may join or buffer against, exactly like a leaf.
+                // Without this, nothing above an exchange could ever be
+                // buffered, and parallel plans would be stuck with their
+                // full coordinator footprint per tuple.
                 let (child, _group) = self.refine(input);
                 (
                     PlanNode::Exchange {
                         input: Box::new(child),
                         workers: *workers,
                     },
-                    None,
+                    Some(vec![OpKind::Exchange]),
                 )
             }
         }

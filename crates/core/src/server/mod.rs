@@ -1,0 +1,597 @@
+//! Multi-query server: many concurrent sessions over one shared
+//! work-stealing morsel scheduler and a **fixed pool of simulated cores**.
+//!
+//! The paper models a single query's instruction-cache behaviour; a real
+//! database runs many queries at once, and their code footprints fight over
+//! the same L1i. This module makes that fight observable. A [`Server`] owns
+//! `workers` long-lived [`bufferdb_cachesim::Machine`]s — one per pool
+//! worker, created once and reused for every query the server ever runs —
+//! so L1i/ITLB/branch state carries across query switches exactly as it
+//! does on a real core. Admission is bounded: at most `admission_slots`
+//! queries drive concurrently, the rest wait FIFO.
+//!
+//! A submitted query is decomposed the same way the standalone executor
+//! decomposes it — the exchange operator splits its driving scan into
+//! morsels — but instead of spawning per-query scoped threads, the exchange
+//! hands the phase to the server scheduler
+//! (`ExchangeDelegate`). Morsels land in per-lane
+//! shards and any pool worker may claim or steal them, interleaving units
+//! of *different queries* on one core. Misses a query takes on cache lines
+//! evicted by another query's code are attributed to the victim query's
+//! [`bufferdb_cachesim::PerfCounters::l1i_cross_misses`].
+//!
+//! Counter conservation is exact: a query's total equals its coordinator's
+//! own machine deltas (tracked between phase boundaries) plus every lane's
+//! per-unit deltas, and the per-operator profile sums to that total — the
+//! same invariant the scoped-thread path keeps, asserted in
+//! `tests/server.rs`.
+//!
+//! Two frontends share this machinery:
+//! - [`Server`]: real OS threads, for concurrent-session workloads;
+//! - [`virt::VirtualServer`]: a single-threaded deterministic twin driven
+//!   by simulated time, for reproducible interference experiments
+//!   (`repro server`) and the traffic driver's queueing model.
+
+pub mod virt;
+
+mod phase;
+
+use crate::cancel::CancelToken;
+use crate::context::ExecContext;
+use crate::exec::exchange::{ExchangeDelegate, PhaseOutcome, PhaseRequest};
+use crate::exec::{build_executor_with, Operator, QueryOutcome};
+use crate::fault::{self, FaultRegistry};
+use crate::footprint::FootprintModel;
+use crate::obs::trace::{TraceEvent, Tracer};
+use crate::obs::QueryProfiler;
+use crate::plan::PlanNode;
+use crate::session::QueryOpts;
+use crate::stats::ExecStats;
+use bufferdb_cachesim::{CodeLayout, Machine, MachineConfig, PerfCounters};
+use bufferdb_storage::Catalog;
+use bufferdb_types::{DbError, Result};
+use phase::PhaseState;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Lock, recovering from poison (a failed query must not wedge the pool).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Server sizing and the simulated hardware its pool runs on.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Pool workers; each owns one long-lived simulated machine.
+    pub workers: usize,
+    /// Queries allowed to drive concurrently; the rest queue FIFO.
+    pub admission_slots: usize,
+    /// Hardware model for every pool machine.
+    pub machine: MachineConfig,
+}
+
+impl ServerConfig {
+    /// `workers` pool cores, `slots` admission slots, on `machine`.
+    pub fn new(workers: usize, slots: usize, machine: MachineConfig) -> Self {
+        ServerConfig {
+            workers: workers.max(1),
+            admission_slots: slots.max(1),
+            machine,
+        }
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig::new(4, 4, MachineConfig::pentium4_like())
+    }
+}
+
+/// Aggregate scheduler counters, snapshotted via [`Server::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Queries accepted by `submit`.
+    pub submitted: u64,
+    /// Queries whose drives finished (clean or failed).
+    pub completed: u64,
+    /// Queries that finished with an error.
+    pub failed: u64,
+    /// Morsel units executed across all phases.
+    pub units: u64,
+    /// Units claimed from a shard other than the claimant's preferred one.
+    pub steals: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    units: AtomicU64,
+    steals: AtomicU64,
+}
+
+/// Everything a drive runner needs that is decided at submit time.
+pub(crate) struct DriveSpec {
+    pub(crate) root: Box<dyn Operator>,
+    /// Profiler labels (empty when profiling is off).
+    pub(crate) labels: Vec<String>,
+    pub(crate) tag: u32,
+    pub(crate) cancel: CancelToken,
+    pub(crate) faults: Arc<FaultRegistry>,
+    pub(crate) trace: bool,
+    /// Cooperative time-slicer installed into the drive context. `None` on
+    /// the threaded server (each drive owns its core for the duration);
+    /// the virtual server's session core sets one so resident queries
+    /// time-share a single simulated machine at tuple granularity.
+    pub(crate) slicer: Option<Box<dyn crate::context::CoreSlicer>>,
+}
+
+/// Coordinator-side counter assembly shared by both delegate impls: the
+/// query total is (machine deltas outside phases) + (sum of lane deltas),
+/// because lanes run on other cores — or on this core, excluded here and
+/// charged to their own query.
+#[derive(Default)]
+pub(crate) struct DriveAccounting {
+    unit_base: PerfCounters,
+    drive_total: PerfCounters,
+    lanes_total: PerfCounters,
+}
+
+impl DriveAccounting {
+    pub(crate) fn begin(&mut self, base: PerfCounters) {
+        self.unit_base = base;
+    }
+
+    /// Close the coordinator segment ending at `now`; returns its delta.
+    pub(crate) fn pause(&mut self, now: PerfCounters) -> PerfCounters {
+        let d = now - self.unit_base;
+        self.drive_total = self.drive_total + d;
+        self.unit_base = now;
+        d
+    }
+
+    /// Reopen coordinator accounting at `now` (end of a phase: whatever the
+    /// machine did in between belongs to lanes, not the coordinator).
+    pub(crate) fn resume(&mut self, now: PerfCounters) {
+        self.unit_base = now;
+    }
+
+    pub(crate) fn add_lanes(&mut self, sum: PerfCounters) {
+        self.lanes_total = self.lanes_total + sum;
+    }
+
+    /// Final segment + assembled query total.
+    pub(crate) fn seal(&mut self, now: PerfCounters) -> PerfCounters {
+        self.pause(now);
+        self.total()
+    }
+
+    /// Assembled total so far (coordinator segments + lane deltas).
+    pub(crate) fn total(&self) -> PerfCounters {
+        self.drive_total + self.lanes_total
+    }
+}
+
+/// Run one admitted query start to finish on the borrowed pool `machine`,
+/// mirroring [`crate::exec::execute_query`]'s containment exactly: typed
+/// errors and contained panics both land in the outcome, never unwind.
+pub(crate) fn run_drive(
+    spec: DriveSpec,
+    machine: &mut Machine,
+    delegate: Box<dyn ExchangeDelegate>,
+    cfg: &MachineConfig,
+) -> QueryOutcome {
+    let wall_start = std::time::Instant::now();
+    let mut ctx = ExecContext::new(cfg.clone());
+    std::mem::swap(&mut ctx.machine, machine);
+    ctx.machine.set_query_tag(spec.tag);
+    ctx.cancel = spec.cancel;
+    ctx.faults = spec.faults;
+    ctx.slicer = spec.slicer;
+    if !spec.labels.is_empty() {
+        ctx.profiler = Some(QueryProfiler::new(&spec.labels));
+    }
+    if spec.trace {
+        ctx.tracer = Some(Tracer::new(&format!("query-{}", spec.tag)));
+    }
+    let mut delegate = delegate;
+    delegate.begin_drive(ctx.machine.snapshot());
+    ctx.delegate = Some(delegate);
+    let mut root = spec.root;
+    let mut rows = Vec::new();
+    let mut panicked = false;
+    let caught = catch_unwind(AssertUnwindSafe(|| -> Result<()> {
+        root.open(&mut ctx)?;
+        while let Some(slot) = root.next(&mut ctx)? {
+            // Root drive loop is the universal cancellation granule.
+            ctx.check_cancel()?;
+            ctx.tuple_yield();
+            rows.push(ctx.arena.tuple(slot).clone());
+        }
+        root.close(&mut ctx)
+    }));
+    let error = match caught {
+        Ok(Ok(())) => None,
+        Ok(Err(e)) => Some(e),
+        Err(payload) => {
+            panicked = true;
+            Some(DbError::WorkerFailed(format!(
+                "server drive panicked: {}",
+                fault::panic_message(&*payload)
+            )))
+        }
+    };
+    if panicked {
+        ctx.trace(TraceEvent::WorkerPanic);
+    }
+    let final_snap = ctx.machine.snapshot();
+    let total = match ctx.delegate.take() {
+        Some(mut d) => d.seal_drive(final_snap),
+        // Unreachable: the exchange always puts the delegate back. Fall
+        // back to whole-machine counters rather than panic.
+        None => final_snap,
+    };
+    let breakdown = ctx.machine.breakdown_for(&total);
+    let profile = match ctx.profiler.take() {
+        Some(p) if !panicked => Some(p.seal(total)),
+        _ => None,
+    };
+    let trace = ctx.tracer.take().map(Tracer::finish);
+    std::mem::swap(&mut ctx.machine, machine);
+    let row_count = rows.len() as u64;
+    QueryOutcome::new(
+        rows,
+        ExecStats {
+            rows: row_count,
+            counters: total,
+            breakdown,
+            wall: wall_start.elapsed(),
+        },
+        profile,
+        error,
+        trace,
+    )
+}
+
+/// An admitted-or-waiting query on the threaded server.
+struct Job {
+    spec: DriveSpec,
+    reply: mpsc::Sender<QueryOutcome>,
+}
+
+struct SchedState {
+    waiting: VecDeque<Job>,
+    active: usize,
+    /// Open phases, claimable by any pool worker.
+    phases: Vec<Arc<PhaseState>>,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    next_tag: AtomicU32,
+    stats: StatCells,
+}
+
+impl Shared {
+    /// Wake everyone; taken after any state change a parked worker might be
+    /// waiting on. The lock round-trip prevents missed wakeups.
+    fn notify(&self) {
+        drop(lock(&self.state));
+        self.cv.notify_all();
+    }
+}
+
+/// Handle to one submitted query: await its outcome, or cancel it.
+pub struct QueryTicket {
+    rx: mpsc::Receiver<QueryOutcome>,
+    cancel: CancelToken,
+    tag: u32,
+    cfg: MachineConfig,
+}
+
+impl QueryTicket {
+    /// The query's server-assigned tag (its owner id in cross-query miss
+    /// attribution).
+    pub fn tag(&self) -> u32 {
+        self.tag
+    }
+
+    /// Request cooperative cancellation of the in-flight query.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Block until the query finishes. If the server died under the query
+    /// (unreachable in normal operation), a synthesized failure outcome is
+    /// returned rather than panicking.
+    pub fn wait(self) -> QueryOutcome {
+        match self.rx.recv() {
+            Ok(out) => out,
+            Err(_) => {
+                let zero = PerfCounters::default();
+                let machine = Machine::new(self.cfg);
+                QueryOutcome::new(
+                    Vec::new(),
+                    ExecStats {
+                        rows: 0,
+                        counters: zero,
+                        breakdown: machine.breakdown_for(&zero),
+                        wall: Duration::ZERO,
+                    },
+                    None,
+                    Some(DbError::WorkerFailed(
+                        "server shut down before the query completed".into(),
+                    )),
+                    None,
+                )
+            }
+        }
+    }
+}
+
+/// The threaded multi-query server. See the module docs for the model.
+pub struct Server {
+    shared: Arc<Shared>,
+    /// Pre-linked master code layout; every submitted query's footprint
+    /// model is a clone, so all queries share one simulated text section.
+    master: CodeLayout,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spin up the fixed worker pool. Workers (and their simulated
+    /// machines) live until the server is dropped.
+    pub fn new(cfg: ServerConfig) -> Self {
+        let shared = Arc::new(Shared {
+            cfg: cfg.clone(),
+            state: Mutex::new(SchedState {
+                waiting: VecDeque::new(),
+                active: 0,
+                phases: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_tag: AtomicU32::new(1),
+            stats: StatCells::default(),
+        });
+        let handles = (0..cfg.workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(w, &shared))
+            })
+            .collect();
+        Server {
+            shared,
+            master: FootprintModel::prelinked(),
+            handles,
+        }
+    }
+
+    /// Scheduler counters so far.
+    pub fn stats(&self) -> ServerStats {
+        let s = &self.shared.stats;
+        ServerStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            failed: s.failed.load(Ordering::Relaxed),
+            units: s.units.load(Ordering::Relaxed),
+            steals: s.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Submit `plan` for execution against `catalog`. The operator tree is
+    /// built on the calling thread (pool workers never touch the catalog);
+    /// execution starts when an admission slot and a worker free up.
+    pub fn submit(
+        &self,
+        plan: &PlanNode,
+        catalog: &Catalog,
+        opts: &QueryOpts,
+    ) -> Result<QueryTicket> {
+        self.submit_with_faults(plan, catalog, opts, Arc::new(FaultRegistry::new()))
+    }
+
+    /// [`Server::submit`] with a caller-supplied fault registry (chaos
+    /// tests arm sites per query; the registry is shared with every lane of
+    /// that query only).
+    pub fn submit_with_faults(
+        &self,
+        plan: &PlanNode,
+        catalog: &Catalog,
+        opts: &QueryOpts,
+        faults: Arc<FaultRegistry>,
+    ) -> Result<QueryTicket> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(DbError::WorkerFailed("server is shut down".into()));
+        }
+        let mut fm = FootprintModel::with_layout(self.master.clone());
+        if opts.wants_profile() {
+            fm.enable_obs();
+        }
+        let master = &self.master;
+        let root = build_executor_with(plan, catalog, &mut fm, &|| {
+            FootprintModel::with_layout(master.clone())
+        })?;
+        let cancel = match opts.timeout_override() {
+            Some(t) => CancelToken::with_timeout(t),
+            None => CancelToken::new(),
+        };
+        let tag = self.shared.next_tag.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            spec: DriveSpec {
+                root,
+                labels: if opts.wants_profile() {
+                    fm.obs_labels().to_vec()
+                } else {
+                    Vec::new()
+                },
+                tag,
+                cancel: cancel.clone(),
+                faults,
+                trace: opts.wants_trace(),
+                slicer: None,
+            },
+            reply: tx,
+        };
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        lock(&self.shared.state).waiting.push_back(job);
+        self.shared.cv.notify_all();
+        Ok(QueryTicket {
+            rx,
+            cancel,
+            tag,
+            cfg: self.shared.cfg.machine.clone(),
+        })
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Claim one unit from any open phase (own shard first within each phase).
+fn find_unit(shared: &Shared, w: usize) -> Option<(Arc<PhaseState>, phase::Lane, usize)> {
+    let phases: Vec<Arc<PhaseState>> = lock(&shared.state).phases.clone();
+    let n = phases.len();
+    if n == 0 {
+        return None;
+    }
+    for off in 0..n {
+        let p = &phases[(w + off) % n];
+        if let Some((lane, idx)) = p.begin_unit(w) {
+            return Some((Arc::clone(p), lane, idx));
+        }
+    }
+    None
+}
+
+fn worker_loop(w: usize, shared: &Arc<Shared>) {
+    let mut machine = Machine::new(shared.cfg.machine.clone());
+    loop {
+        // 1. Morsels of running queries take priority over admission:
+        //    finish what is in flight before widening the working set.
+        if let Some((phase, lane, idx)) = find_unit(shared, w) {
+            phase.run_unit(lane, idx, &mut machine);
+            shared.stats.units.fetch_add(1, Ordering::Relaxed);
+            shared.notify();
+            continue;
+        }
+        // 2. Admit the next waiting query if a slot is open.
+        let admitted = {
+            let mut st = lock(&shared.state);
+            let job = if st.active < shared.cfg.admission_slots {
+                st.waiting.pop_front()
+            } else {
+                None
+            };
+            if job.is_some() {
+                st.active += 1;
+            }
+            job
+        };
+        if let Some(job) = admitted {
+            let delegate = Box::new(ServerDelegate {
+                shared: Arc::clone(shared),
+                acct: DriveAccounting::default(),
+                tag: job.spec.tag,
+                hint: w,
+            });
+            let out = run_drive(job.spec, &mut machine, delegate, &shared.cfg.machine);
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            if !out.is_ok() {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            // A dropped ticket just discards the outcome.
+            let _ = job.reply.send(out);
+            lock(&shared.state).active -= 1;
+            shared.cv.notify_all();
+            continue;
+        }
+        // 3. Park until something changes.
+        let st = lock(&shared.state);
+        if shared.shutdown.load(Ordering::Acquire) && st.waiting.is_empty() && st.phases.is_empty()
+        {
+            break;
+        }
+        let has_work = !st.phases.is_empty()
+            || (!st.waiting.is_empty() && st.active < shared.cfg.admission_slots);
+        if !has_work {
+            // Timed, as a belt against lost notifications.
+            let _ = shared.cv.wait_timeout(st, Duration::from_millis(5));
+        }
+    }
+}
+
+/// The threaded server's phase scheduler: registers the phase for the pool,
+/// then helps run **its own** phase's units (deadlock-free: it can always
+/// drain its own phase; a unit never blocks) while parking between claims.
+struct ServerDelegate {
+    shared: Arc<Shared>,
+    acct: DriveAccounting,
+    tag: u32,
+    /// Preferred shard: the admitting worker's index.
+    hint: usize,
+}
+
+impl ExchangeDelegate for ServerDelegate {
+    fn begin_drive(&mut self, base: PerfCounters) {
+        self.acct.begin(base);
+    }
+
+    fn run_phase(&mut self, ctx: &mut ExecContext, req: PhaseRequest) -> PhaseOutcome {
+        self.acct.pause(ctx.machine.snapshot());
+        let phase = Arc::new(PhaseState::new(req, self.tag, ctx));
+        {
+            lock(&self.shared.state).phases.push(Arc::clone(&phase));
+        }
+        self.shared.cv.notify_all();
+        while !phase.done() {
+            if let Some((lane, idx)) = phase.begin_unit(self.hint) {
+                phase.run_unit(lane, idx, &mut ctx.machine);
+                self.shared.stats.units.fetch_add(1, Ordering::Relaxed);
+                self.shared.notify();
+            } else {
+                // Units in flight on other workers: wait for completions.
+                let st = lock(&self.shared.state);
+                if !phase.done() {
+                    let _ = self.shared.cv.wait_timeout(st, Duration::from_millis(2));
+                }
+            }
+        }
+        {
+            let mut st = lock(&self.shared.state);
+            st.phases.retain(|p| !Arc::ptr_eq(p, &phase));
+        }
+        self.shared
+            .stats
+            .steals
+            .fetch_add(phase.steals(), Ordering::Relaxed);
+        let out = phase.collect();
+        let lane_sum = out
+            .outcomes
+            .iter()
+            .fold(PerfCounters::default(), |acc, o| acc + o.counters);
+        self.acct.add_lanes(lane_sum);
+        self.acct.resume(ctx.machine.snapshot());
+        out
+    }
+
+    fn seal_drive(&mut self, now: PerfCounters) -> PerfCounters {
+        self.acct.seal(now)
+    }
+}

@@ -1,0 +1,308 @@
+//! Shared work-stealing phase state: the unit of scheduling the server's
+//! pool workers (and the coordinating drive) pull morsels from.
+//!
+//! When a server-mode exchange opens, it hands the scheduler a
+//! [`PhaseState`]: the morsel ranges of its driving scan, striped across
+//! per-lane shards, plus one [`Lane`] per plan-time worker. Any pool worker
+//! may claim a unit — its own shard first, then stealing from siblings —
+//! and runs it by swapping its **long-lived simulated machine** into the
+//! lane's context. That swap is the whole point of the server: the machine
+//! (and its L1i) persists across queries, so a unit of query B executed
+//! right after a unit of query A on the same worker misses on the lines A's
+//! code evicted — counted per query in
+//! [`bufferdb_cachesim::PerfCounters::l1i_cross_misses`] via the cache's
+//! evictor tags.
+//!
+//! Claim path discipline (this is a profiled hot path): one short lane-pool
+//! lock, one atomic `fetch_add` per shard probed, no per-morsel allocation —
+//! buckets and lanes are all preallocated at phase construction.
+
+use crate::context::ExecContext;
+use crate::exec::exchange::{run_morsel_into, PhaseOutcome, PhaseRequest, WorkerOutcome};
+use crate::exec::Operator;
+use crate::fault;
+use crate::obs::hist;
+use crate::obs::trace::TraceEvent;
+use crate::obs::QueryProfiler;
+use bufferdb_cachesim::{Machine, PerfCounters};
+use bufferdb_types::{DbError, Result, Tuple};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock, recovering from poison: a panicked unit must never cascade a
+/// poisoned-lock panic through unrelated queries on the pool.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One exchange lane: a private subtree copy plus the execution state that
+/// persists across the morsels this lane runs (arena, profiler, trace ring).
+/// The machine inside `ctx` is a cold placeholder — every unit swaps the
+/// claiming pool worker's live machine in for the duration of the morsel.
+pub(crate) struct Lane {
+    lane_id: u64,
+    tree: Box<dyn Operator>,
+    ctx: ExecContext,
+    /// Sum of this lane's per-unit machine deltas (its share of the query
+    /// total; never folded into any machine).
+    total: PerfCounters,
+    morsels: u64,
+    rows: u64,
+    panicked: bool,
+}
+
+/// One exchange phase registered with the server scheduler.
+pub(crate) struct PhaseState {
+    /// Owning query's tag (stamped on the machine for cross-query miss
+    /// attribution before every unit).
+    tag: u32,
+    morsels: Vec<(u32, u32)>,
+    /// Striped run-queue: shard `s` owns morsel indices `s`, `s + W`,
+    /// `s + 2W`, … where `W` is the shard count; claiming is one
+    /// `fetch_add` per shard probed, lock-free under the lane lock.
+    shards: Vec<AtomicU64>,
+    lanes: Mutex<Vec<Lane>>,
+    buckets: Mutex<Vec<Vec<Tuple>>>,
+    completed: AtomicU32,
+    /// First failure stops the phase; later claims drain without running.
+    stop: AtomicBool,
+    error: Mutex<Option<DbError>>,
+    /// Units claimed from a shard other than the claimant's preferred one.
+    steals: AtomicU64,
+    /// Virtual-time bookkeeping (ns); unused (zero) on the threaded pool.
+    pub(crate) start_v: AtomicU64,
+    pub(crate) max_end_v: AtomicU64,
+}
+
+impl PhaseState {
+    /// Build the phase from an exchange's request, cloning per-lane
+    /// contexts off the coordinating one (same machine config, shared
+    /// cancel token and fault registry, per-lane profiler and trace ring).
+    pub(crate) fn new(req: PhaseRequest, tag: u32, ctx: &ExecContext) -> Self {
+        let cfg = ctx.machine.config().clone();
+        let lanes: Vec<Lane> = req
+            .trees
+            .into_iter()
+            .enumerate()
+            .map(|(i, tree)| {
+                let mut lctx = ExecContext::for_worker(cfg.clone(), &ctx.cancel, &ctx.faults);
+                if !req.labels.is_empty() {
+                    lctx.profiler = Some(QueryProfiler::new(&req.labels));
+                }
+                lctx.tracer = ctx
+                    .tracer
+                    .as_ref()
+                    .map(|t| t.for_worker(format!("lane-{i}")));
+                Lane {
+                    lane_id: i as u64,
+                    tree,
+                    ctx: lctx,
+                    total: PerfCounters::default(),
+                    morsels: 0,
+                    rows: 0,
+                    panicked: false,
+                }
+            })
+            .collect();
+        let n_shards = lanes.len().max(1);
+        let n_morsels = req.morsels.len();
+        PhaseState {
+            tag,
+            morsels: req.morsels,
+            shards: (0..n_shards).map(|_| AtomicU64::new(0)).collect(),
+            lanes: Mutex::new(lanes),
+            buckets: Mutex::new((0..n_morsels).map(|_| Vec::new()).collect()),
+            completed: AtomicU32::new(0),
+            stop: AtomicBool::new(false),
+            error: Mutex::new(None),
+            steals: AtomicU64::new(0),
+            start_v: AtomicU64::new(0),
+            max_end_v: AtomicU64::new(0),
+        }
+    }
+
+    /// All morsels ran (or drained): the coordinator may collect.
+    pub(crate) fn done(&self) -> bool {
+        self.completed.load(Ordering::Acquire) as usize >= self.morsels.len()
+    }
+
+    /// Units claimed outside the claimant's preferred shard.
+    pub(crate) fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Claim the next morsel index: preferred shard first, then steal from
+    /// siblings in ring order.
+    fn claim(&self, preferred: usize) -> Option<usize> {
+        let n = self.shards.len();
+        for off in 0..n {
+            let s = (preferred + off) % n;
+            let c = self.shards[s].fetch_add(1, Ordering::Relaxed) as usize;
+            let idx = s + c * n;
+            if idx < self.morsels.len() {
+                if off != 0 {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Check out a lane *and* claim a morsel for it, atomically with respect
+    /// to phase completion: a lane only ever leaves the pool together with a
+    /// claimed morsel, so once every morsel is accounted (`done`), all lanes
+    /// are guaranteed back in the pool and `collect` cannot lose one.
+    pub(crate) fn begin_unit(&self, preferred: usize) -> Option<(Lane, usize)> {
+        let mut lanes = lock(&self.lanes);
+        if lanes.is_empty() {
+            return None;
+        }
+        let idx = self.claim(preferred)?;
+        let lane = lanes.pop()?;
+        Some((lane, idx))
+    }
+
+    /// Record a failure and stop the phase; later units drain unrun.
+    fn fail(&self, e: DbError) {
+        let mut slot = lock(&self.error);
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Return the lane and mark one morsel handled. Lane return *precedes*
+    /// the completion count so `done` implies every lane is home.
+    fn finish_unit(&self, lane: Lane) {
+        lock(&self.lanes).push(lane);
+        self.completed.fetch_add(1, Ordering::Release);
+    }
+
+    /// Run one claimed unit on `machine` (the claiming worker's long-lived
+    /// core, swapped into the lane for the duration). Returns the unit's
+    /// simulated cycle cost (for virtual-time callers; threaded callers
+    /// ignore it).
+    pub(crate) fn run_unit(&self, mut lane: Lane, idx: usize, machine: &mut Machine) -> u64 {
+        // Drained after a stop: account the morsel without running it.
+        if self.stop.load(Ordering::Acquire) {
+            self.finish_unit(lane);
+            return 0;
+        }
+        let range = self.morsels[idx];
+        std::mem::swap(machine, &mut lane.ctx.machine);
+        lane.ctx.machine.set_query_tag(self.tag);
+        let base = lane.ctx.machine.snapshot();
+        if let Some(p) = lane.ctx.profiler.as_mut() {
+            // Drop whatever foreign deltas accrued on this core since the
+            // lane's previous unit: only this unit's work is charged here.
+            p.resync(base);
+        }
+        let t0 = lane.ctx.trace_now();
+        lane.ctx.trace(TraceEvent::MorselClaim {
+            morsel: idx as u32,
+            lo: range.0,
+            hi: range.1,
+        });
+        lane.morsels += 1;
+        let mut out: Vec<Tuple> = Vec::new();
+        let mut rows = lane.rows;
+        let before = rows;
+        let caught = {
+            let lane = &mut lane;
+            let out = &mut out;
+            let rows = &mut rows;
+            catch_unwind(AssertUnwindSafe(move || -> Result<()> {
+                lane.ctx.check_cancel()?;
+                lane.ctx.fault(fault::EXCHANGE_MORSEL)?;
+                lane.ctx.morsel = Some(range);
+                run_morsel_into(&mut *lane.tree, &mut lane.ctx, idx, out, rows)
+            }))
+        };
+        lane.rows = rows;
+        match caught {
+            Ok(Ok(())) => {
+                lane.ctx.trace(TraceEvent::MorselComplete {
+                    morsel: idx as u32,
+                    rows: rows - before,
+                    start_ns: t0,
+                });
+                if lane.ctx.trace_enabled() {
+                    let dt = lane.ctx.trace_now().saturating_sub(t0);
+                    lane.ctx.trace_metric(hist::MORSEL_SERVICE_NS, dt);
+                }
+            }
+            Ok(Err(e)) => {
+                lane.ctx
+                    .trace(TraceEvent::MorselAbort { morsel: idx as u32 });
+                self.fail(e);
+            }
+            Err(payload) => {
+                lane.panicked = true;
+                lane.ctx
+                    .trace(TraceEvent::MorselAbort { morsel: idx as u32 });
+                lane.ctx.trace(TraceEvent::WorkerPanic);
+                self.fail(DbError::WorkerFailed(format!(
+                    "server lane {} panicked: {}",
+                    lane.lane_id,
+                    fault::panic_message(&*payload)
+                )));
+            }
+        }
+        let delta = lane.ctx.machine.snapshot() - base;
+        lane.total = lane.total + delta;
+        std::mem::swap(machine, &mut lane.ctx.machine);
+        let cycles = machine.cycles_for(&delta);
+        if !out.is_empty() {
+            lock(&self.buckets)[idx] = out;
+        }
+        self.finish_unit(lane);
+        cycles
+    }
+
+    /// Raise the latest-unit-end virtual clock (virtual-time mode only).
+    pub(crate) fn note_end_v(&self, v: u64) {
+        self.max_end_v.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Tear the completed phase down into the exchange's merge shape. Must
+    /// only be called once `done()` holds (all lanes back in the pool).
+    pub(crate) fn collect(&self) -> PhaseOutcome {
+        let lanes = std::mem::take(&mut *lock(&self.lanes));
+        let buckets = std::mem::take(&mut *lock(&self.buckets));
+        let mut outcomes: Vec<WorkerOutcome> = lanes
+            .into_iter()
+            .map(|mut lane| {
+                let counters = lane.total;
+                // A panicked lane's profiler brackets are unbalanced; only
+                // its lane counters survive (conservation holds — they are
+                // charged to the exchange's gather residual).
+                let profile = if lane.panicked {
+                    None
+                } else {
+                    lane.ctx.profiler.take().map(|p| p.seal(counters))
+                };
+                WorkerOutcome {
+                    worker: lane.lane_id,
+                    tree: (!lane.panicked).then_some(lane.tree),
+                    counters,
+                    profile,
+                    trace: lane.ctx.tracer.take(),
+                    morsels: lane.morsels,
+                    rows: lane.rows,
+                    error: None,
+                }
+            })
+            .collect();
+        // The lane pool is LIFO; restore id order so merging (and trace
+        // track order) is deterministic.
+        outcomes.sort_by_key(|o| o.worker);
+        if let Some(e) = lock(&self.error).take() {
+            if let Some(first) = outcomes.first_mut() {
+                first.error = Some(e);
+            }
+        }
+        PhaseOutcome { buckets, outcomes }
+    }
+}

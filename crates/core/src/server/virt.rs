@@ -1,0 +1,813 @@
+//! Deterministic single-threaded-in-spirit twin of the threaded
+//! [`super::Server`], driven by simulated time instead of OS scheduling.
+//!
+//! The machine model here is deliberately asymmetric, mirroring how a
+//! database server actually loses its instruction cache:
+//!
+//! - **One session core** hosts every admitted query's *drive* — the
+//!   coordinator side of the plan (aggregate consume loops, hash builds,
+//!   sort fills, exchange merges). Resident drives time-share this single
+//!   simulated machine cooperatively: each blocking loop calls
+//!   [`crate::context::ExecContext::tuple_yield`] once per tuple, and when
+//!   a drive's cycle quantum expires it parks and the next resident runs.
+//!   Because the L1i is *one physical cache*, every switch layers the next
+//!   query's code footprint over the previous one's; the misses a resumed
+//!   query takes on lines another query evicted are charged to its
+//!   [`bufferdb_cachesim::PerfCounters::l1i_cross_misses`]. This is the
+//!   interference the `repro server` experiment sweeps — and the lever the
+//!   buffered plans pull: a buffer refill runs as one uninterrupted burst
+//!   (no yield inside the refill loop), and between refills only the
+//!   current operator group's code re-warms per quantum, not the whole
+//!   pipeline footprint.
+//! - **A pool of `workers - 1` morsel cores** runs the parallel phases the
+//!   exchanges hand over (`ExchangeDelegate`).
+//!   Pool cores interleave units of *different queries'* phases, the same
+//!   work-stealing shards as the threaded server.
+//!
+//! Drives need a real call stack to park mid-operator, so each admitted
+//! query runs on an OS thread — but in strict lockstep: the scheduler
+//! grants the session machine to exactly one drive at a time over a
+//! channel and blocks until that drive yields it back (quantum expiry,
+//! phase wait, or completion). At any instant at most one drive thread is
+//! runnable, so the schedule — and every counter — is a pure function of
+//! the submissions: bit-for-bit reproducible.
+//!
+//! Virtual time: the session core's clock advances by the machine-model
+//! cycle cost of each grant-to-yield window; pool clocks advance per unit.
+//! A drive blocked on a phase resumes no earlier than the phase's last
+//! unit's end. Latency (`done_ns - arrival_ns`) therefore includes both
+//! core queueing and phase execution.
+//!
+//! Wall-clock timeouts do not exist in virtual time; `QueryOpts::timeout`
+//! is ignored here. Cancellation and fault injection work exactly as on
+//! the threaded server (cancel before submission or arm a fault site).
+
+use super::phase::PhaseState;
+use super::{lock, run_drive, DriveAccounting, DriveSpec, ServerConfig, ServerStats};
+use crate::cancel::CancelToken;
+use crate::context::{CoreSlicer, ExecContext};
+use crate::exec::exchange::{ExchangeDelegate, PhaseOutcome, PhaseRequest};
+use crate::exec::{build_executor_with, QueryOutcome};
+use crate::fault::FaultRegistry;
+use crate::footprint::FootprintModel;
+use crate::obs::QueryProfiler;
+use crate::plan::PlanNode;
+use crate::session::QueryOpts;
+use bufferdb_cachesim::{CodeLayout, Machine, MachineConfig, PerfCounters};
+use bufferdb_storage::Catalog;
+use bufferdb_types::{DbError, Result};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Default drive quantum on the session core, in simulated cycles. Small
+/// enough that 4-8 residents genuinely interleave within one query's
+/// lifetime; large enough that a quantum covers many tuples (the switch
+/// itself is free in model time — only the cache displacement costs).
+pub const DEFAULT_QUANTUM_CYCLES: u64 = 40_000;
+
+/// Simulated cycles → nanoseconds on the model's clock.
+fn to_ns(cycles: u64, clock_hz: u64) -> u64 {
+    ((cycles as u128 * 1_000_000_000u128) / clock_hz.max(1) as u128) as u64
+}
+
+/// One finished query with its simulated queueing timeline.
+#[derive(Debug)]
+pub struct CompletedQuery {
+    /// Submission id (monotonic per server).
+    pub id: u64,
+    /// The query's cross-query attribution tag.
+    pub tag: u32,
+    /// When the query arrived (as passed to `submit_at`).
+    pub arrival_ns: u64,
+    /// When the session core first ran its drive.
+    pub start_ns: u64,
+    /// When the drive finished; `done_ns - arrival_ns` is the latency.
+    pub done_ns: u64,
+    /// The execution outcome (rows, stats, profile, error, trace).
+    pub outcome: QueryOutcome,
+}
+
+/// Why a drive handed the session machine back.
+enum DriveYield {
+    /// Quantum expired; still runnable.
+    Quantum,
+    /// Blocked until this phase's morsels all complete on the pool.
+    PhaseWait(Arc<PhaseState>),
+    /// Drive finished; the thread exits after this send.
+    Done(Box<QueryOutcome>),
+}
+
+/// A yielded turn: the session machine coming home plus the reason.
+struct YieldMsg {
+    slot: usize,
+    machine: Machine,
+    why: DriveYield,
+}
+
+/// Drive-side end of the turn protocol, shared by the slicer (quantum
+/// yields) and the delegate (phase waits) of one resident query.
+struct DriveGate {
+    slot: usize,
+    tag: u32,
+    cfg: MachineConfig,
+    turn_rx: Mutex<mpsc::Receiver<Machine>>,
+    yield_tx: mpsc::Sender<YieldMsg>,
+    /// Cold stand-in left in the context while the real machine is away.
+    spare: Mutex<Option<Machine>>,
+    acct: Mutex<DriveAccounting>,
+    cancel: CancelToken,
+}
+
+impl DriveGate {
+    /// Block for the first grant of the session machine. `None` means the
+    /// scheduler is gone and the drive should never start.
+    fn first_turn(&self) -> Option<Machine> {
+        lock(&self.turn_rx).recv().ok()
+    }
+
+    /// Swap the session machine out of `slot_machine`, send it home with
+    /// `why`, and block until the next grant (swapped back in, re-tagged).
+    /// Returns `false` if the scheduler is gone: the drive is cancelled and
+    /// `slot_machine` holds a valid (cold or real) machine so the operator
+    /// stack can unwind normally through its next cancellation check.
+    fn yield_turn(&self, slot_machine: &mut Machine, why: DriveYield) -> bool {
+        let spare = lock(&self.spare)
+            .take()
+            .unwrap_or_else(|| Machine::new(self.cfg.clone()));
+        let real = std::mem::replace(slot_machine, spare);
+        let msg = YieldMsg {
+            slot: self.slot,
+            machine: real,
+            why,
+        };
+        if let Err(mpsc::SendError(msg)) = self.yield_tx.send(msg) {
+            // Scheduler dropped mid-run: keep the real machine, abandon.
+            let spare = std::mem::replace(slot_machine, msg.machine);
+            *lock(&self.spare) = Some(spare);
+            self.cancel.cancel();
+            return false;
+        }
+        match lock(&self.turn_rx).recv() {
+            Ok(mut granted) => {
+                granted.set_query_tag(self.tag);
+                let spare = std::mem::replace(slot_machine, granted);
+                *lock(&self.spare) = Some(spare);
+                true
+            }
+            Err(_) => {
+                self.cancel.cancel();
+                false
+            }
+        }
+    }
+}
+
+/// The session core's [`CoreSlicer`]: tracks the cycle quantum at tuple
+/// boundaries and parks the drive when it expires.
+struct TurnSlicer {
+    gate: Arc<DriveGate>,
+    quantum_cycles: u64,
+    /// Counters at the start of the current quantum; `None` until the
+    /// first tuple boundary after the first grant.
+    base: Option<PerfCounters>,
+}
+
+impl CoreSlicer for TurnSlicer {
+    fn maybe_yield(&mut self, machine: &mut Machine, profiler: Option<&mut QueryProfiler>) {
+        let now = machine.snapshot();
+        let Some(base) = self.base else {
+            self.base = Some(now);
+            return;
+        };
+        if machine.cycles_for(&(now - base)) < self.quantum_cycles {
+            return;
+        }
+        lock(&self.gate.acct).pause(now);
+        self.gate.yield_turn(machine, DriveYield::Quantum);
+        // On resume the machine carries other residents' deltas (and their
+        // L1i footprints — the interference): re-base both the accounting
+        // and the profiler so none of it is charged to this query.
+        let snap = machine.snapshot();
+        if let Some(p) = profiler {
+            p.resync(snap);
+        }
+        lock(&self.gate.acct).resume(snap);
+        self.base = Some(snap);
+    }
+}
+
+/// The session core's phase delegate: registers the phase with the
+/// scheduler, parks the drive until the pool finishes it, and folds the
+/// lane deltas into the query total on resume.
+struct SlicedDelegate {
+    core: Arc<Mutex<VCore>>,
+    gate: Arc<DriveGate>,
+}
+
+impl ExchangeDelegate for SlicedDelegate {
+    fn begin_drive(&mut self, base: PerfCounters) {
+        lock(&self.gate.acct).begin(base);
+    }
+
+    fn run_phase(&mut self, ctx: &mut ExecContext, req: PhaseRequest) -> PhaseOutcome {
+        lock(&self.gate.acct).pause(ctx.machine.snapshot());
+        let phase = Arc::new(PhaseState::new(req, self.gate.tag, ctx));
+        lock(&self.core).phases.push(Arc::clone(&phase));
+        // Park. A live re-grant means the phase is done; a dead scheduler
+        // means the query is cancelled and whatever ran is collected as-is
+        // (every claimed unit completes within its claiming step, so the
+        // lanes are home either way).
+        self.gate
+            .yield_turn(&mut ctx.machine, DriveYield::PhaseWait(Arc::clone(&phase)));
+        let out = phase.collect();
+        let lane_sum = out
+            .outcomes
+            .iter()
+            .fold(PerfCounters::default(), |acc, o| acc + o.counters);
+        let snap = ctx.machine.snapshot();
+        if let Some(p) = ctx.profiler.as_mut() {
+            // Other residents ran on this machine while we were parked.
+            p.resync(snap);
+        }
+        let mut acct = lock(&self.gate.acct);
+        acct.add_lanes(lane_sum);
+        acct.resume(snap);
+        out
+    }
+
+    fn seal_drive(&mut self, now: PerfCounters) -> PerfCounters {
+        let mut acct = lock(&self.gate.acct);
+        acct.pause(now);
+        acct.total()
+    }
+}
+
+struct VJob {
+    id: u64,
+    arrival: u64,
+    spec: DriveSpec,
+}
+
+/// One pool (morsel) core.
+struct VWorker {
+    machine: Option<Machine>,
+    vclock: u64,
+}
+
+/// State shared with drive threads (they push phases; the stepper reads
+/// everything else between grants, when no drive is runnable).
+struct VCore {
+    cfg: MachineConfig,
+    clock_hz: u64,
+    slots: usize,
+    /// Session core clock; the machine itself lives in the scheduler and
+    /// is `None` only while granted to a drive.
+    core_v: u64,
+    core_machine: Option<Machine>,
+    pool: Vec<VWorker>,
+    waiting: VecDeque<VJob>,
+    active: usize,
+    phases: Vec<Arc<PhaseState>>,
+    finished: Vec<CompletedQuery>,
+    units: u64,
+    steals: u64,
+    completed: u64,
+    failed: u64,
+}
+
+/// A query admitted onto the session core: its parked drive thread plus
+/// the scheduler-side turn bookkeeping.
+struct Resident {
+    id: u64,
+    tag: u32,
+    arrival: u64,
+    start_v: Option<u64>,
+    /// Earliest virtual time this drive may run again (arrival before the
+    /// first turn; the phase's last unit end after a phase wait).
+    ready_at: u64,
+    waiting_on: Option<Arc<PhaseState>>,
+    turn_tx: mpsc::Sender<Machine>,
+    cancel: CancelToken,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Deterministic multi-query server in simulated time. See module docs.
+pub struct VirtualServer {
+    core: Arc<Mutex<VCore>>,
+    residents: Vec<Option<Resident>>,
+    free: Vec<usize>,
+    /// Round-robin turn order over resident slots.
+    ring: VecDeque<usize>,
+    yield_rx: mpsc::Receiver<YieldMsg>,
+    yield_tx: mpsc::Sender<YieldMsg>,
+    quantum_cycles: u64,
+    master: CodeLayout,
+    faults: Arc<FaultRegistry>,
+    next_id: u64,
+    next_tag: u32,
+    submitted: u64,
+}
+
+impl VirtualServer {
+    /// A session core, `cfg.workers - 1` (min 1) pool cores, and
+    /// `cfg.admission_slots` resident-drive slots, at virtual time zero.
+    pub fn new(cfg: ServerConfig) -> Self {
+        let clock_hz = cfg.machine.clock_hz;
+        let pool_n = cfg.workers.saturating_sub(1).max(1);
+        let (yield_tx, yield_rx) = mpsc::channel();
+        VirtualServer {
+            core: Arc::new(Mutex::new(VCore {
+                cfg: cfg.machine.clone(),
+                clock_hz,
+                slots: cfg.admission_slots,
+                core_v: 0,
+                core_machine: Some(Machine::new(cfg.machine.clone())),
+                pool: (0..pool_n)
+                    .map(|_| VWorker {
+                        machine: Some(Machine::new(cfg.machine.clone())),
+                        vclock: 0,
+                    })
+                    .collect(),
+                waiting: VecDeque::new(),
+                active: 0,
+                phases: Vec::new(),
+                finished: Vec::new(),
+                units: 0,
+                steals: 0,
+                completed: 0,
+                failed: 0,
+            })),
+            residents: Vec::new(),
+            free: Vec::new(),
+            ring: VecDeque::new(),
+            yield_rx,
+            yield_tx,
+            quantum_cycles: DEFAULT_QUANTUM_CYCLES,
+            master: FootprintModel::prelinked(),
+            faults: Arc::new(FaultRegistry::new()),
+            next_id: 0,
+            next_tag: 1,
+            submitted: 0,
+        }
+    }
+
+    /// Override the session-core drive quantum (simulated cycles). Smaller
+    /// quanta mean more switches and more cross-query displacement.
+    pub fn set_quantum_cycles(&mut self, cycles: u64) {
+        self.quantum_cycles = cycles.max(1);
+    }
+
+    /// The fault registry shared by every query this server runs (arm sites
+    /// here, as on a [`crate::session::Session`]).
+    pub fn faults(&self) -> &Arc<FaultRegistry> {
+        &self.faults
+    }
+
+    /// Queue `plan` with the given simulated arrival time (nanoseconds).
+    /// Submissions must come in nondecreasing arrival order; admission is
+    /// FIFO. Returns the submission id echoed in [`CompletedQuery::id`].
+    pub fn submit_at(
+        &mut self,
+        arrival_ns: u64,
+        plan: &PlanNode,
+        catalog: &Catalog,
+        opts: &QueryOpts,
+    ) -> Result<u64> {
+        self.submit_with_cancel(arrival_ns, plan, catalog, opts, CancelToken::new())
+    }
+
+    /// [`VirtualServer::submit_at`] with a caller-held cancel token.
+    pub fn submit_with_cancel(
+        &mut self,
+        arrival_ns: u64,
+        plan: &PlanNode,
+        catalog: &Catalog,
+        opts: &QueryOpts,
+        cancel: CancelToken,
+    ) -> Result<u64> {
+        let mut fm = FootprintModel::with_layout(self.master.clone());
+        if opts.wants_profile() {
+            fm.enable_obs();
+        }
+        let master = &self.master;
+        let root = build_executor_with(plan, catalog, &mut fm, &|| {
+            FootprintModel::with_layout(master.clone())
+        })?;
+        let id = self.next_id;
+        self.next_id += 1;
+        let tag = self.next_tag;
+        self.next_tag = self.next_tag.wrapping_add(1).max(1);
+        self.submitted += 1;
+        let spec = DriveSpec {
+            root,
+            labels: if opts.wants_profile() {
+                fm.obs_labels().to_vec()
+            } else {
+                Vec::new()
+            },
+            tag,
+            cancel,
+            faults: Arc::clone(&self.faults),
+            trace: opts.wants_trace(),
+            slicer: None,
+        };
+        let mut c = lock(&self.core);
+        if c.waiting.back().is_some_and(|j| j.arrival > arrival_ns) {
+            return Err(DbError::ExecProtocol(
+                "virtual server submissions must arrive in order".into(),
+            ));
+        }
+        c.waiting.push_back(VJob {
+            id,
+            arrival: arrival_ns,
+            spec,
+        });
+        Ok(id)
+    }
+
+    /// Spawn the drive thread for an admitted job and enter it in the ring.
+    fn admit(&mut self, job: VJob) {
+        let VJob {
+            id,
+            arrival,
+            mut spec,
+        } = job;
+        let tag = spec.tag;
+        let cancel = spec.cancel.clone();
+        let cfg = lock(&self.core).cfg.clone();
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.residents.push(None);
+                self.residents.len() - 1
+            }
+        };
+        let (turn_tx, turn_rx) = mpsc::channel();
+        let gate = Arc::new(DriveGate {
+            slot,
+            tag,
+            cfg: cfg.clone(),
+            turn_rx: Mutex::new(turn_rx),
+            yield_tx: self.yield_tx.clone(),
+            spare: Mutex::new(Some(Machine::new(cfg.clone()))),
+            acct: Mutex::new(DriveAccounting::default()),
+            cancel: cancel.clone(),
+        });
+        spec.slicer = Some(Box::new(TurnSlicer {
+            gate: Arc::clone(&gate),
+            quantum_cycles: self.quantum_cycles,
+            base: None,
+        }));
+        let delegate = Box::new(SlicedDelegate {
+            core: Arc::clone(&self.core),
+            gate: Arc::clone(&gate),
+        });
+        let handle = std::thread::spawn(move || {
+            let Some(mut machine) = gate.first_turn() else {
+                return;
+            };
+            let outcome = run_drive(spec, &mut machine, delegate, &cfg);
+            let _ = gate.yield_tx.send(YieldMsg {
+                slot: gate.slot,
+                machine,
+                why: DriveYield::Done(Box::new(outcome)),
+            });
+        });
+        self.residents[slot] = Some(Resident {
+            id,
+            tag,
+            arrival,
+            start_v: None,
+            ready_at: arrival,
+            waiting_on: None,
+            turn_tx,
+            cancel,
+            handle: Some(handle),
+        });
+        self.ring.push_back(slot);
+        lock(&self.core).active += 1;
+    }
+
+    /// A phase just completed: unregister it, credit its steals, and wake
+    /// every resident parked on it at the phase's last unit end. Takes the
+    /// fields split apart so callers can hold the core lock.
+    fn resolve_phase(residents: &mut [Option<Resident>], c: &mut VCore, phase: &Arc<PhaseState>) {
+        c.phases.retain(|p| !Arc::ptr_eq(p, phase));
+        c.steals += phase.steals();
+        let end = phase.max_end_v.load(Ordering::Relaxed);
+        for r in residents.iter_mut().flatten() {
+            if r.waiting_on.as_ref().is_some_and(|p| Arc::ptr_eq(p, phase)) {
+                r.waiting_on = None;
+                r.ready_at = r.ready_at.max(end);
+            }
+        }
+    }
+
+    /// Grant the session machine to the resident in ring position `pos`
+    /// whose turn starts at `turn_v`, and process its yield.
+    fn run_core_turn(&mut self, pos: usize, turn_v: u64) {
+        let Some(slot) = self.ring.remove(pos) else {
+            return;
+        };
+        let machine = {
+            let mut c = lock(&self.core);
+            c.core_v = turn_v;
+            let Some(r) = self.residents[slot].as_mut() else {
+                return;
+            };
+            if r.start_v.is_none() {
+                r.start_v = Some(turn_v);
+            }
+            let Some(m) = c.core_machine.take() else {
+                // The session machine is home whenever no turn is in flight.
+                // If it is somehow absent, retire the resident rather than
+                // wedging the turn ring.
+                drop(c);
+                self.fail_resident(slot, None);
+                return;
+            };
+            m
+        };
+        let base = machine.snapshot();
+        let Some(resident) = self.residents[slot].as_ref() else {
+            // Checked under the lock above; return the machine home.
+            lock(&self.core).core_machine = Some(machine);
+            return;
+        };
+        if let Err(mpsc::SendError(machine)) = resident.turn_tx.send(machine) {
+            // Drive thread died without yielding (it never starts without a
+            // grant, so this is the post-drop path of an abandoned thread).
+            self.fail_resident(slot, Some(machine));
+            return;
+        }
+        let Ok(msg) = self.yield_rx.recv() else {
+            // Unreachable while `self.yield_tx` lives, but if every sender is
+            // gone the granted machine is lost with its thread: retire the
+            // resident and let `fail_resident` install a replacement machine.
+            self.fail_resident(slot, None);
+            return;
+        };
+        debug_assert_eq!(msg.slot, slot);
+        let delta = msg.machine.snapshot() - base;
+        let cycles = msg.machine.cycles_for(&delta);
+        let mut c = lock(&self.core);
+        c.core_v += to_ns(cycles, c.clock_hz);
+        c.core_machine = Some(msg.machine);
+        let now_v = c.core_v;
+        match msg.why {
+            DriveYield::Quantum => {
+                if let Some(r) = self.residents[slot].as_mut() {
+                    r.ready_at = now_v;
+                }
+                self.ring.push_back(slot);
+            }
+            DriveYield::PhaseWait(phase) => {
+                phase.start_v.store(now_v, Ordering::Relaxed);
+                phase.note_end_v(now_v);
+                if let Some(r) = self.residents[slot].as_mut() {
+                    r.ready_at = now_v;
+                    r.waiting_on = Some(Arc::clone(&phase));
+                }
+                if phase.done() {
+                    // Born done (zero-morsel phase): wake immediately.
+                    Self::resolve_phase(&mut self.residents, &mut c, &phase);
+                }
+                self.ring.push_back(slot);
+            }
+            DriveYield::Done(outcome) => {
+                let Some(r) = self.residents[slot].take() else {
+                    return;
+                };
+                c.active -= 1;
+                c.completed += 1;
+                if !outcome.is_ok() {
+                    c.failed += 1;
+                }
+                c.finished.push(CompletedQuery {
+                    id: r.id,
+                    tag: r.tag,
+                    arrival_ns: r.arrival,
+                    start_ns: r.start_v.unwrap_or(now_v),
+                    done_ns: now_v,
+                    outcome: *outcome,
+                });
+                drop(c);
+                if let Some(h) = r.handle {
+                    let _ = h.join();
+                }
+                self.free.push(slot);
+            }
+        }
+    }
+
+    /// Retire a resident whose thread is gone (scheduler-restart path):
+    /// synthesize a failed completion so accounting stays conserved.
+    fn fail_resident(&mut self, slot: usize, machine: Option<Machine>) {
+        let Some(r) = self.residents[slot].take() else {
+            return;
+        };
+        let mut c = lock(&self.core);
+        let counters = PerfCounters::default();
+        // Restore the granted machine, or install a cold replacement when it
+        // was lost with a dead drive thread, so the core is never machineless.
+        let machine = machine.unwrap_or_else(|| Machine::new(c.cfg.clone()));
+        let breakdown = machine.breakdown_for(&counters);
+        c.core_machine = Some(machine);
+        c.active -= 1;
+        c.completed += 1;
+        c.failed += 1;
+        let now_v = c.core_v;
+        c.finished.push(CompletedQuery {
+            id: r.id,
+            tag: r.tag,
+            arrival_ns: r.arrival,
+            start_ns: r.start_v.unwrap_or(now_v),
+            done_ns: now_v,
+            outcome: QueryOutcome::new(
+                Vec::new(),
+                crate::stats::ExecStats {
+                    rows: 0,
+                    counters,
+                    breakdown,
+                    wall: std::time::Duration::ZERO,
+                },
+                None,
+                Some(DbError::WorkerFailed("virtual drive thread lost".into())),
+                None,
+            ),
+        });
+        drop(c);
+        if let Some(h) = r.handle {
+            let _ = h.join();
+        }
+        self.free.push(slot);
+    }
+
+    /// Run one pool unit on the earliest-clocked pool core. Returns whether
+    /// anything ran.
+    fn run_pool_unit(&mut self) -> bool {
+        let (phase, lane, idx, mut machine, w) = {
+            let mut c = lock(&self.core);
+            let Some((w, machine)) = c
+                .pool
+                .iter_mut()
+                .enumerate()
+                .filter(|(_, p)| p.machine.is_some())
+                .min_by_key(|(i, p)| (p.vclock, *i))
+                .and_then(|(i, p)| p.machine.take().map(|m| (i, m)))
+            else {
+                return false;
+            };
+            let n = c.phases.len();
+            let mut found = None;
+            for off in 0..n {
+                let p = Arc::clone(&c.phases[(w + off) % n]);
+                if let Some((lane, idx)) = p.begin_unit(w) {
+                    found = Some((p, lane, idx));
+                    break;
+                }
+            }
+            let Some((p, lane, idx)) = found else {
+                // All remaining phases are done but unresolved (shouldn't
+                // happen — completion resolves eagerly); sweep them so the
+                // outer loop can't spin.
+                c.pool[w].machine = Some(machine);
+                let done: Vec<Arc<PhaseState>> =
+                    c.phases.iter().filter(|p| p.done()).cloned().collect();
+                for p in &done {
+                    Self::resolve_phase(&mut self.residents, &mut c, p);
+                }
+                return !done.is_empty();
+            };
+            let start = p.start_v.load(Ordering::Relaxed);
+            let wk = &mut c.pool[w];
+            wk.vclock = wk.vclock.max(start);
+            (p, lane, idx, machine, w)
+        };
+        let cycles = phase.run_unit(lane, idx, &mut machine);
+        let mut c = lock(&self.core);
+        c.units += 1;
+        let ns = to_ns(cycles, c.clock_hz);
+        let wk = &mut c.pool[w];
+        wk.vclock += ns;
+        let end = wk.vclock;
+        wk.machine = Some(machine);
+        phase.note_end_v(end);
+        if phase.done() {
+            Self::resolve_phase(&mut self.residents, &mut c, &phase);
+        }
+        true
+    }
+
+    /// Advance simulated time, admitting any job with `arrival ≤ horizon`
+    /// (or at or before the session core's current clock), and return the
+    /// queries that completed, ordered by completion time.
+    pub fn run_until(&mut self, horizon_ns: u64) -> Vec<CompletedQuery> {
+        loop {
+            // Admissions are free in model time; slots bound concurrency.
+            loop {
+                let job = {
+                    let mut c = lock(&self.core);
+                    let reach = c.core_v.max(horizon_ns);
+                    if c.active < c.slots && c.waiting.front().is_some_and(|j| j.arrival <= reach) {
+                        c.waiting.pop_front()
+                    } else {
+                        None
+                    }
+                };
+                match job {
+                    Some(j) => self.admit(j),
+                    None => break,
+                }
+            }
+            // Candidate events, in virtual-time order. Session-core turn:
+            // the frontmost ring entry minimizing max(core_v, ready_at)
+            // among runnable residents.
+            let (core_cand, pool_cand) = {
+                let c = lock(&self.core);
+                let mut core_cand: Option<(u64, usize)> = None;
+                for (pos, &slot) in self.ring.iter().enumerate() {
+                    let Some(r) = self.residents[slot].as_ref() else {
+                        continue;
+                    };
+                    if r.waiting_on.is_some() {
+                        continue;
+                    }
+                    let t = c.core_v.max(r.ready_at);
+                    if core_cand.is_none_or(|(bt, _)| t < bt) {
+                        core_cand = Some((t, pos));
+                    }
+                }
+                let pool_cand: Option<u64> = if c.phases.is_empty() {
+                    None
+                } else {
+                    let start = c
+                        .phases
+                        .iter()
+                        .map(|p| p.start_v.load(Ordering::Relaxed))
+                        .min()
+                        .unwrap_or(0);
+                    c.pool.iter().map(|p| p.vclock).min().map(|v| v.max(start))
+                };
+                (core_cand, pool_cand)
+            };
+            match (core_cand, pool_cand) {
+                (Some((ct, pos)), Some(pt)) => {
+                    if ct <= pt {
+                        self.run_core_turn(pos, ct);
+                    } else {
+                        self.run_pool_unit();
+                    }
+                }
+                (Some((ct, pos)), None) => self.run_core_turn(pos, ct),
+                (None, Some(_)) => {
+                    if !self.run_pool_unit() {
+                        break;
+                    }
+                }
+                (None, None) => break,
+            }
+        }
+        let mut done = std::mem::take(&mut lock(&self.core).finished);
+        done.sort_by_key(|c| (c.done_ns, c.id));
+        done
+    }
+
+    /// Run everything queued to completion.
+    pub fn drain(&mut self) -> Vec<CompletedQuery> {
+        self.run_until(u64::MAX)
+    }
+
+    /// Scheduler counters so far.
+    pub fn stats(&self) -> ServerStats {
+        let c = lock(&self.core);
+        ServerStats {
+            submitted: self.submitted,
+            completed: c.completed,
+            failed: c.failed,
+            units: c.units,
+            steals: c.steals,
+        }
+    }
+}
+
+impl Drop for VirtualServer {
+    fn drop(&mut self) {
+        // Wake and retire any still-parked drives: cancelling first makes
+        // the unwind prompt, dropping the grant sender makes it certain.
+        for r in self.residents.iter_mut().flatten() {
+            r.cancel.cancel();
+        }
+        for r in self.residents.drain(..).flatten() {
+            let Resident {
+                turn_tx, handle, ..
+            } = r;
+            drop(turn_tx);
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
+        }
+    }
+}

@@ -65,6 +65,8 @@ pub mod prelude {
     pub use bufferdb_core::refine::{
         refine_plan, refine_plan_observed, ObservedCards, RefineConfig,
     };
+    pub use bufferdb_core::server::virt::{CompletedQuery, VirtualServer};
+    pub use bufferdb_core::server::{QueryTicket, Server, ServerConfig, ServerStats};
     pub use bufferdb_core::session::{QueryOpts, Session};
     pub use bufferdb_core::stats::ExecStats;
     pub use bufferdb_index::BTreeIndex;

@@ -1,0 +1,291 @@
+//! Multi-query server correctness: concurrent queries on the shared
+//! work-stealing pool must produce exactly the standalone executor's
+//! results, conserve per-query counters (including the cross-query L1i
+//! interference bucket), and contain faults without poisoning the pool.
+
+use bufferdb::prelude::*;
+use bufferdb::tpch::queries::JoinMethod;
+use bufferdb::tpch::{self, queries};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn catalog() -> Catalog {
+    tpch::generate_catalog(0.002, 7)
+}
+
+/// A mixed bag of plans: serial and parallelized, scans through joins.
+fn suite(catalog: &Catalog, lanes: usize) -> Vec<(&'static str, PlanNode)> {
+    let base = vec![
+        ("paper q1", queries::paper_query1(catalog).unwrap()),
+        ("paper q2", queries::paper_query2(catalog).unwrap()),
+        ("tpch q1", queries::tpch_q1(catalog).unwrap()),
+        ("tpch q6", queries::tpch_q6(catalog).unwrap()),
+    ];
+    base.into_iter()
+        .map(|(name, plan)| (name, parallelize_plan(&plan, catalog, lanes).unwrap()))
+        .collect()
+}
+
+/// Order-normalized row fingerprints (multiset compare, bit-exact rows).
+fn normalized(rows: &[Tuple]) -> Vec<String> {
+    let mut v: Vec<String> = rows.iter().map(|t| format!("{t}")).collect();
+    v.sort();
+    v
+}
+
+fn solo_rows(plan: &PlanNode, catalog: &Catalog, lanes: usize) -> Vec<String> {
+    let opts = ExecOptions {
+        threads: lanes,
+        ..Default::default()
+    };
+    let (rows, _, _) = execute_query(plan, catalog, &MachineConfig::pentium4_like(), &opts)
+        .into_result()
+        .unwrap();
+    normalized(&rows)
+}
+
+fn assert_conserved(name: &str, out: &QueryOutcome) {
+    let c = out.stats().counters;
+    assert!(
+        c.l1i_cross_misses <= c.l1i_misses,
+        "{name}: cross-query L1i misses must be a subset of L1i misses \
+         ({} > {})",
+        c.l1i_cross_misses,
+        c.l1i_misses
+    );
+    let profile = out.profile().expect("profiling was requested");
+    assert_eq!(
+        profile.total, c,
+        "{name}: profile total must equal the query's assembled counters"
+    );
+    assert_eq!(
+        profile.sum_op_counters(),
+        c,
+        "{name}: per-operator counters must sum exactly to the query total"
+    );
+}
+
+/// N concurrent queries on pools of {1, 2, 7} workers: every query's rows
+/// are bit-identical to a standalone run of the same plan, and every
+/// query's counters conserve exactly — including the `l1i_cross_misses`
+/// interference bucket staying a subset of total L1i misses.
+#[test]
+fn concurrent_queries_match_solo_and_conserve_counters() {
+    let catalog = catalog();
+    let lanes = 2;
+    let plans = suite(&catalog, lanes);
+    let expected: Vec<Vec<String>> = plans
+        .iter()
+        .map(|(_, plan)| solo_rows(plan, &catalog, lanes))
+        .collect();
+    for workers in [1usize, 2, 7] {
+        let server = Server::new(ServerConfig::new(
+            workers,
+            workers.max(2),
+            MachineConfig::pentium4_like(),
+        ));
+        let opts = QueryOpts::new().profile(true);
+        // Two waves, so every machine has another query's residue.
+        for wave in 0..2 {
+            let tickets: Vec<_> = plans
+                .iter()
+                .map(|(name, plan)| (*name, server.submit(plan, &catalog, &opts).expect("submit")))
+                .collect();
+            for (i, (name, ticket)) in tickets.into_iter().enumerate() {
+                let out = ticket.wait();
+                assert!(
+                    out.error().is_none(),
+                    "{name} (wave {wave}, {workers} workers): {:?}",
+                    out.error()
+                );
+                assert_eq!(
+                    normalized(out.rows()),
+                    expected[i],
+                    "{name} (wave {wave}, {workers} workers): rows differ from solo run"
+                );
+                assert_conserved(name, &out);
+            }
+        }
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 2 * plans.len() as u64);
+        assert_eq!(stats.completed, 2 * plans.len() as u64);
+        assert_eq!(stats.failed, 0);
+        assert!(stats.units > 0, "exchange phases must run through the pool");
+    }
+}
+
+/// A query that faults (typed error and injected panic) or times out
+/// mid-stream must fail alone: concurrent and subsequent queries on the
+/// same pool still run to the correct result.
+#[test]
+fn faulted_query_does_not_poison_the_pool() {
+    let catalog = catalog();
+    let lanes = 2;
+    let plans = suite(&catalog, lanes);
+    let (victim_name, victim) = &plans[0];
+    let server = Server::new(ServerConfig::new(2, 3, MachineConfig::pentium4_like()));
+    let opts = QueryOpts::new().profile(true);
+    for mode in [FaultMode::Error, FaultMode::Panic] {
+        // Arm a mid-stream fault on the victim only; its registry is not
+        // shared with the healthy queries.
+        let faults = Arc::new(FaultRegistry::new());
+        faults.arm(
+            bufferdb::core::fault::EXCHANGE_MORSEL,
+            Trigger::at_row(1),
+            mode,
+        );
+        let bad = server
+            .submit_with_faults(victim, &catalog, &opts, faults)
+            .expect("submit victim");
+        let healthy: Vec<_> = plans
+            .iter()
+            .map(|(name, plan)| (*name, server.submit(plan, &catalog, &opts).unwrap()))
+            .collect();
+        let bad_out = bad.wait();
+        assert!(
+            bad_out.error().is_some(),
+            "{victim_name}: armed {mode:?} fault must surface as an error"
+        );
+        for (name, ticket) in healthy {
+            let out = ticket.wait();
+            assert!(
+                out.error().is_none(),
+                "{name} alongside a {mode:?}-faulted query: {:?}",
+                out.error()
+            );
+            assert_conserved(name, &out);
+        }
+    }
+    // Cancellation (as an already-expired timeout, so it deterministically
+    // lands mid-stream) behaves the same way.
+    let cancelled = server
+        .submit(victim, &catalog, &QueryOpts::new().timeout(Duration::ZERO))
+        .expect("submit cancelled");
+    let out = cancelled.wait();
+    assert!(
+        matches!(out.error(), Some(DbError::Cancelled(_))),
+        "expired timeout must cancel: {:?}",
+        out.error()
+    );
+    let (name, plan) = &plans[1];
+    let after = server.submit(plan, &catalog, &opts).unwrap().wait();
+    assert!(
+        after.error().is_none(),
+        "{name} after cancel: {:?}",
+        after.error()
+    );
+    assert_eq!(normalized(after.rows()), solo_rows(plan, &catalog, lanes));
+    assert!(server.stats().failed >= 3);
+}
+
+/// The virtual twin is bit-for-bit deterministic: identical submissions
+/// yield identical per-query counters, timelines, and scheduler stats —
+/// and concurrent streams show real cross-query L1i interference.
+#[test]
+fn virtual_server_is_deterministic_and_attributes_interference() {
+    let catalog = catalog();
+    let lanes = 2;
+    let plans = suite(&catalog, lanes);
+    let run = || {
+        let mut vs = VirtualServer::new(ServerConfig::new(4, 4, MachineConfig::pentium4_like()));
+        let opts = QueryOpts::new().profile(true);
+        for _ in 0..2 {
+            for (_, plan) in &plans {
+                vs.submit_at(0, plan, &catalog, &opts).expect("submit");
+            }
+        }
+        let done = vs.drain();
+        let stats = vs.stats();
+        (done, stats)
+    };
+    let (a, stats_a) = run();
+    let (b, stats_b) = run();
+    assert_eq!(a.len(), 2 * plans.len());
+    assert_eq!(stats_a, stats_b, "scheduler stats must be reproducible");
+    let mut cross_total = 0u64;
+    for (qa, qb) in a.iter().zip(&b) {
+        assert_eq!(qa.id, qb.id);
+        assert_eq!(
+            qa.outcome.stats().counters,
+            qb.outcome.stats().counters,
+            "query {}: counters must be bit-identical across runs",
+            qa.id
+        );
+        assert_eq!((qa.start_ns, qa.done_ns), (qb.start_ns, qb.done_ns));
+        assert!(qa.start_ns >= qa.arrival_ns && qa.done_ns > qa.start_ns);
+        let (name, plan) = &plans[qa.id as usize % plans.len()];
+        assert!(
+            qa.outcome.error().is_none(),
+            "{name}: {:?}",
+            qa.outcome.error()
+        );
+        assert_eq!(
+            normalized(qa.outcome.rows()),
+            solo_rows(plan, &catalog, lanes),
+            "{name}: virtual-server rows differ from solo run"
+        );
+        assert_conserved(name, &qa.outcome);
+        cross_total += qa.outcome.stats().counters.l1i_cross_misses;
+    }
+    assert!(
+        cross_total > 0,
+        "concurrent streams on shared cores must show cross-query L1i misses"
+    );
+}
+
+/// More concurrent query *streams* ⇒ more cross-query interference. Each
+/// stream is a client repeating its own query: one stream keeps its code
+/// warm in the shared text section (near-zero cross misses), while S
+/// streams time-share the session core with *distinct operator families*
+/// whose combined footprint overflows the L1i, so every quantum switch
+/// evicts another stream's lines. The suite is chosen for that diversity —
+/// streams running near-identical plans share text and interfere little,
+/// which is correct and exactly why each added stream here brings a new
+/// operator mix (aggregate → hash join → sort/merge → semi-join).
+#[test]
+fn virtual_server_interference_grows_with_streams() {
+    let catalog = catalog();
+    let lanes = 2;
+    let plans: Vec<(&'static str, PlanNode)> = vec![
+        ("paper q1", queries::paper_query1(&catalog).unwrap()),
+        (
+            "paper q3 hash",
+            queries::paper_query3(&catalog, JoinMethod::HashJoin).unwrap(),
+        ),
+        (
+            "paper q3 merge",
+            queries::paper_query3(&catalog, JoinMethod::MergeJoin).unwrap(),
+        ),
+        ("tpch q12", queries::tpch_q12(&catalog).unwrap()),
+    ];
+    let plans: Vec<(&'static str, PlanNode)> = plans
+        .into_iter()
+        .map(|(name, plan)| (name, parallelize_plan(&plan, &catalog, lanes).unwrap()))
+        .collect();
+    // S streams × 3 rounds, round-robin submission, slots = S, on a pool
+    // wider than any S so admitted queries share the free workers.
+    let cross_at = |streams: usize| {
+        let mut vs = VirtualServer::new(ServerConfig::new(
+            6,
+            streams,
+            MachineConfig::pentium4_like(),
+        ));
+        for _ in 0..3 {
+            for (_, plan) in plans.iter().take(streams) {
+                vs.submit_at(0, plan, &catalog, &QueryOpts::new()).unwrap();
+            }
+        }
+        vs.drain()
+            .iter()
+            .map(|c| c.outcome.stats().counters.l1i_cross_misses)
+            .sum::<u64>()
+    };
+    let c1 = cross_at(1);
+    let c2 = cross_at(2);
+    let c4 = cross_at(4);
+    assert!(
+        c1 < c2 && c2 < c4,
+        "cross-query L1i misses must grow with stream count: \
+         1 stream = {c1}, 2 streams = {c2}, 4 streams = {c4}"
+    );
+}

@@ -255,11 +255,20 @@ fn perfetto_export_matches_golden_file() {
     assert!(out.is_ok(), "{:?}", out.error());
     let json = out.take_trace().unwrap().perfetto_json();
     let got = normalize_times(&json);
-    let want = include_str!("golden/trace_buffered_agg.json");
+    let full = format!(
+        "{}/tests/golden/trace_buffered_agg.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    if std::env::var_os("BUFFERDB_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&full, &got).expect("write golden");
+        return;
+    }
+    let want =
+        std::fs::read_to_string(&full).expect("missing golden (set BUFFERDB_UPDATE_GOLDEN=1)");
     assert_eq!(
         got, want,
-        "normalized Perfetto export changed; regenerate tests/golden/trace_buffered_agg.json \
-         if the change is intentional"
+        "normalized Perfetto export changed; rerun with BUFFERDB_UPDATE_GOLDEN=1 \
+         and review the diff if the change is intentional"
     );
 }
 
