@@ -38,6 +38,8 @@ experiments:
   misscurve i-cache miss rate vs capacity, interleaved vs batched
   baseline  write per-query metrics to BENCH_baseline.json
   scaling   TPC-H at 1/2/4/8 workers, write BENCH_parallel.json
+  modes     executor showdown: pull vs buffered pull vs push vs auto at
+            1/2/4 workers on the TPC-H mix, write BENCH_modes.json
   prepared  plan-cache hit/miss timing + adaptive refinement,
             write BENCH_plancache.json
   analyze   EXPLAIN ANALYZE of Query 1, unbuffered vs buffered
@@ -180,6 +182,7 @@ fn main() {
             "misscurve",
             "baseline",
             "scaling",
+            "modes",
             "prepared",
             "analyze",
         ]
@@ -220,6 +223,7 @@ fn main() {
             "misscurve" => exp::misscurve(&ctx),
             "baseline" => write_baseline(&ctx, seed, threads),
             "scaling" => write_scaling(&ctx, seed),
+            "modes" => write_modes(&ctx, seed),
             "prepared" => write_prepared(&ctx, seed),
             "analyze" => {
                 // `analyze <file.json>` validates a report; bare `analyze`
@@ -281,6 +285,22 @@ fn write_scaling(ctx: &ExperimentCtx, seed: u64) -> String {
     format!(
         "{}wrote {path} ({} runs)\n",
         exp::scaling_table(&report),
+        report.entries.len()
+    )
+}
+
+/// Run the executor-mode showdown and write `BENCH_modes.json` (uploaded
+/// as a CI artifact and drift-gated against the committed copy). Rows are
+/// asserted bit-identical across modes before any physics are reported.
+fn write_modes(ctx: &ExperimentCtx, seed: u64) -> String {
+    let report = exp::modes_metrics(ctx, seed);
+    let path = "BENCH_modes.json";
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        die(&format!("cannot write {path}: {e}"));
+    }
+    format!(
+        "{}wrote {path} ({} cells)\n",
+        exp::modes_table(&report),
         report.entries.len()
     )
 }
@@ -382,8 +402,9 @@ fn write_server(scale: f64, seed: u64, streams: &[usize]) -> String {
 /// rather than a misparse.
 fn analyze_report(path: &str) -> String {
     use bufferdb_bench::json::{Json, SCHEMA_VERSION};
-    const KNOWN: [&str; 5] = [
+    const KNOWN: [&str; 6] = [
         "bufferdb-metrics/v1",
+        "bufferdb-modes/v1",
         "bufferdb-parallel/v1",
         "bufferdb-plancache/v1",
         "bufferdb-server/v1",

@@ -2,16 +2,17 @@
 
 use crate::runner::{
     comparison_report, reduction, run_plan, run_plan_traced, CacheContentionPoint, MetricsReport,
-    PlanCacheReport, PreparedQueryMetrics, QueryMetrics, RunResult, ScalingEntry, ScalingReport,
-    WorkerLaneMetrics,
+    ModesEntry, ModesReport, PlanCacheReport, PreparedQueryMetrics, QueryMetrics, RunResult,
+    ScalingEntry, ScalingReport, WorkerLaneMetrics,
 };
 use bufferdb_cachesim::MachineConfig;
 use bufferdb_core::exec::{execute_query, ExecOptions};
 use bufferdb_core::footprint::OpKind;
 use bufferdb_core::obs::TraceEvent;
+use bufferdb_core::optimizer::ExecModePolicy;
 use bufferdb_core::plan::explain::explain;
 use bufferdb_core::plan::{AggFunc, PlanNode};
-use bufferdb_core::prepare::{prepare_physical_plan, Database};
+use bufferdb_core::prepare::{prepare_physical_plan, prepare_plan_parts_with_mode, Database};
 use bufferdb_core::refine::calibrate::calibrate_cardinality_threshold;
 use bufferdb_core::refine::{refine_plan, RefineConfig};
 use bufferdb_core::session::QueryOpts;
@@ -589,6 +590,133 @@ pub fn scaling_table(report: &ScalingReport) -> String {
     s
 }
 
+/// Worker counts swept by the executor-mode showdown.
+pub const MODES_WORKERS: [usize; 3] = [1, 2, 4];
+
+/// Mode policies swept by the showdown, pull first (it is the baseline
+/// the other modes' speedups are computed against).
+pub const MODES_POLICIES: [ExecModePolicy; 4] = [
+    ExecModePolicy::Pull,
+    ExecModePolicy::BufferedPull,
+    ExecModePolicy::Push,
+    ExecModePolicy::Auto,
+];
+
+fn push_pipeline_count(plan: &PlanNode) -> usize {
+    let own = usize::from(matches!(plan, PlanNode::PushPipeline { .. }));
+    own + plan
+        .children()
+        .iter()
+        .map(|c| push_pipeline_count(c))
+        .sum::<usize>()
+}
+
+/// The executor-mode showdown: the TPC-H mix prepared under each
+/// [`ExecModePolicy`] — unbuffered pull, the paper's buffered pull, the
+/// fused batch-at-a-time push backend, and footprint-driven auto selection
+/// — at 1/2/4 exchange workers. Every cell asserts bit-identical rows
+/// against the pull baseline and exact per-operator counter conservation
+/// before any number is reported; the physics (instructions, L1i misses,
+/// modeled wall clock) are the only things allowed to differ. The `repro`
+/// binary serializes this to `BENCH_modes.json`.
+pub fn modes_metrics(ctx: &ExperimentCtx, seed: u64) -> ModesReport {
+    let plans: Vec<(&str, PlanNode)> = vec![
+        (
+            "paper Q1",
+            queries::paper_query1(&ctx.catalog).expect("paper q1"),
+        ),
+        (
+            "paper Q2",
+            queries::paper_query2(&ctx.catalog).expect("paper q2"),
+        ),
+        ("Q1", queries::tpch_q1(&ctx.catalog).expect("q1")),
+        ("Q6", queries::tpch_q6(&ctx.catalog).expect("q6")),
+        ("Q12", queries::tpch_q12(&ctx.catalog).expect("q12")),
+        ("Q14", queries::tpch_q14(&ctx.catalog).expect("q14")),
+    ];
+    let mut report = ModesReport {
+        scale: ctx.scale,
+        seed,
+        entries: Vec::new(),
+    };
+    for (name, plan) in plans {
+        for workers in MODES_WORKERS {
+            let mut pull_rows: Option<Vec<String>> = None;
+            let mut pull_wall: Option<f64> = None;
+            for mode in MODES_POLICIES {
+                let parts =
+                    prepare_plan_parts_with_mode(&plan, &ctx.catalog, &ctx.refine, workers, mode)
+                        .unwrap_or_else(|e| panic!("{name}: prepare ({}): {e}", mode.label()));
+                let opts = crate::runner::profiled_exec_options(workers);
+                let label = format!("{name} x{workers} ({})", mode.label());
+                let outcome = execute_query(&parts.physical, &ctx.catalog, &ctx.machine, &opts);
+                let (rows, stats, profile, error) = outcome.into_parts();
+                if let Some(err) = error {
+                    crate::runner::fail_query(&label, &stats, rows.len(), err);
+                }
+                let profile = profile.expect("profiling was requested");
+                assert_eq!(
+                    profile.sum_op_counters(),
+                    stats.counters,
+                    "{name} x{workers} under {}: counters not conserved",
+                    mode.label()
+                );
+                let rendered: Vec<String> = rows.iter().map(|t| t.to_string()).collect();
+                match &pull_rows {
+                    None => pull_rows = Some(rendered),
+                    Some(expected) => assert_eq!(
+                        &rendered,
+                        expected,
+                        "{name} x{workers} under {}: rows diverge from pull",
+                        mode.label()
+                    ),
+                }
+                let modeled = modeled_wall_seconds(&stats, &profile, &ctx.machine);
+                let base = *pull_wall.get_or_insert(modeled);
+                report.entries.push(ModesEntry {
+                    query: name.to_string(),
+                    mode: mode.label().to_string(),
+                    workers: workers as u64,
+                    rows: rows.len() as u64,
+                    fused_pipelines: push_pipeline_count(&parts.physical) as u64,
+                    buffers: parts.physical.buffer_count() as u64,
+                    modeled_wall_seconds: modeled,
+                    modeled_cpu_seconds: stats.seconds(),
+                    speedup_vs_pull: if modeled > 0.0 { base / modeled } else { 1.0 },
+                    instructions: stats.counters.instructions,
+                    l1i_misses: stats.counters.l1i_misses,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Plain-text rendering of the mode showdown (the `repro modes` report).
+pub fn modes_table(report: &ModesReport) -> String {
+    let mut s = String::from(
+        "== Executor-mode showdown: pull vs buffered pull vs push ==\n\
+         (speedup is vs the unbuffered pull run of the same query/workers;\n\
+          fused = push pipelines in the plan, buf = refiner-placed buffers)\n\
+         query    | mode          | workers | fused | buf | wall (s) | speedup | L1i misses\n",
+    );
+    for e in &report.entries {
+        let _ = writeln!(
+            s,
+            "{:<8} | {:<13} | {:>7} | {:>5} | {:>3} | {:>8.4} | {:>6.2}x | {:>10}",
+            e.query,
+            e.mode,
+            e.workers,
+            e.fused_pipelines,
+            e.buffers,
+            e.modeled_wall_seconds,
+            e.speedup_vs_pull,
+            e.l1i_misses,
+        );
+    }
+    s
+}
+
 /// Prepared-query study for the plan cache and the adaptive refinement
 /// loop: for each query, time the cold (miss) and warm (hit) prepare
 /// paths, then execute adaptively until the feedback loop converges and
@@ -1023,6 +1151,9 @@ pub fn buffer_everywhere(plan: &PlanNode, size: usize) -> PlanNode {
     };
     match plan {
         PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => plan.clone(),
+        // A fused push group is already batch-at-a-time internally; a
+        // buffer above (or inside) it would only add copies.
+        PlanNode::PushPipeline { .. } => plan.clone(),
         PlanNode::Aggregate {
             input,
             group_by,

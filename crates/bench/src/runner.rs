@@ -40,6 +40,24 @@ fn fault_registry() -> Arc<FaultRegistry> {
         .clone()
 }
 
+/// Profiled [`ExecOptions`] carrying the process-wide timeout
+/// (`--timeout-ms`) and fault registry (`BUFFERDB_FAULT`) — the same
+/// wiring [`run_plan`] applies, for experiments that drive
+/// `execute_query` themselves.
+pub(crate) fn profiled_exec_options(threads: usize) -> ExecOptions {
+    ExecOptions {
+        profile: true,
+        ..exec_options(threads, false)
+    }
+}
+
+/// See [`report_failure_and_exit`]: the CLI failure contract (exit 3 for a
+/// timeout with partial counters, exit 1 otherwise) for experiments that
+/// drive `execute_query` themselves.
+pub(crate) fn fail_query(label: &str, stats: &ExecStats, rows: usize, err: DbError) -> ! {
+    report_failure_and_exit(label, stats, rows, err)
+}
+
 fn exec_options(threads: usize, trace: bool) -> ExecOptions {
     let cancel = match QUERY_TIMEOUT_MS.get() {
         Some(&ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
@@ -450,6 +468,88 @@ impl ScalingReport {
     pub fn to_json(&self) -> String {
         Json::Obj(vec![
             ("schema".into(), Json::str("bufferdb-parallel/v1")),
+            ("schema_version".into(), Json::U64(SCHEMA_VERSION)),
+            ("scale_factor".into(), Json::F64(self.scale)),
+            ("seed".into(), Json::U64(self.seed)),
+            (
+                "runs".into(),
+                Json::Arr(self.entries.iter().map(|e| e.to_json()).collect()),
+            ),
+        ])
+        .pretty()
+    }
+}
+
+/// One cell of the executor-mode showdown: a query executed under one
+/// mode policy at one worker count.
+#[derive(Debug, Clone)]
+pub struct ModesEntry {
+    /// Query name.
+    pub query: String,
+    /// Executor-mode policy label (`pull`, `buffered-pull`, `push`, `auto`).
+    pub mode: String,
+    /// Exchange worker count for this run.
+    pub workers: u64,
+    /// Result rows (identical across modes by construction; asserted).
+    pub rows: u64,
+    /// Fused push pipelines in the physical plan (0 under pull modes).
+    pub fused_pipelines: u64,
+    /// Buffer operators the refiner placed (0 under pull and inside fused
+    /// groups).
+    pub buffers: u64,
+    /// Modeled wall-clock seconds (serial cycles + slowest exchange lane).
+    pub modeled_wall_seconds: f64,
+    /// Modeled CPU seconds summed over every core (the conserved total).
+    pub modeled_cpu_seconds: f64,
+    /// Wall-clock speedup relative to the pull run of the same query at
+    /// the same worker count (the showdown's headline number).
+    pub speedup_vs_pull: f64,
+    /// Simulated instructions retired.
+    pub instructions: u64,
+    /// Aggregate L1i misses across all cores (conserved).
+    pub l1i_misses: u64,
+}
+
+impl ModesEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("query".into(), Json::str(&self.query)),
+            ("mode".into(), Json::str(&self.mode)),
+            ("workers".into(), Json::U64(self.workers)),
+            ("rows".into(), Json::U64(self.rows)),
+            ("fused_pipelines".into(), Json::U64(self.fused_pipelines)),
+            ("buffers".into(), Json::U64(self.buffers)),
+            (
+                "modeled_wall_seconds".into(),
+                Json::F64(self.modeled_wall_seconds),
+            ),
+            (
+                "modeled_cpu_seconds".into(),
+                Json::F64(self.modeled_cpu_seconds),
+            ),
+            ("speedup_vs_pull".into(), Json::F64(self.speedup_vs_pull)),
+            ("instructions".into(), Json::U64(self.instructions)),
+            ("l1i_misses".into(), Json::U64(self.l1i_misses)),
+        ])
+    }
+}
+
+/// The machine-readable executor-mode showdown (`BENCH_modes.json`).
+#[derive(Debug, Clone, Default)]
+pub struct ModesReport {
+    /// TPC-H scale factor.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// One entry per (query, mode, worker-count) execution.
+    pub entries: Vec<ModesEntry>,
+}
+
+impl ModesReport {
+    /// Render the report as a pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("schema".into(), Json::str("bufferdb-modes/v1")),
             ("schema_version".into(), Json::U64(SCHEMA_VERSION)),
             ("scale_factor".into(), Json::F64(self.scale)),
             ("seed".into(), Json::U64(self.seed)),

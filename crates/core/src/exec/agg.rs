@@ -16,9 +16,11 @@ use bufferdb_types::{ops, Datum, DbError, Result, Schema, SchemaRef, Tuple};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Running state of one aggregate.
+/// Running state of one aggregate. Shared with the push executor
+/// ([`crate::exec::push`]) so both backends fold values identically —
+/// bit-identical accumulation is what the mode-equivalence tests pin.
 #[derive(Debug, Clone)]
-enum AggState {
+pub(crate) enum AggState {
     Count(i64),
     Sum(Option<Datum>),
     Min(Option<Datum>),
@@ -27,7 +29,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(func: AggFunc) -> AggState {
+    pub(crate) fn new(func: AggFunc) -> AggState {
         match func {
             AggFunc::CountStar | AggFunc::Count => AggState::Count(0),
             AggFunc::Sum => AggState::Sum(None),
@@ -37,7 +39,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, value: Option<&Datum>) -> Result<()> {
+    pub(crate) fn update(&mut self, value: Option<&Datum>) -> Result<()> {
         match self {
             AggState::Count(n) => {
                 // COUNT(*) is fed None-as-star; COUNT(expr) skips NULLs.
@@ -98,7 +100,7 @@ impl AggState {
         Ok(())
     }
 
-    fn finish(&self) -> Datum {
+    pub(crate) fn finish(&self) -> Datum {
         match self {
             AggState::Count(n) => Datum::Int(*n),
             AggState::Sum(acc) | AggState::Min(acc) | AggState::Max(acc) => {
@@ -126,7 +128,7 @@ fn datum_to_f64(d: &Datum) -> Option<f64> {
 
 /// Hashable, equatable group key (floats are rejected at build time).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum KeyAtom {
+pub(crate) enum KeyAtom {
     Null,
     Bool(bool),
     Int(i64),
@@ -135,7 +137,7 @@ enum KeyAtom {
     Dec(i128, u8),
 }
 
-fn key_atom(d: &Datum) -> Result<KeyAtom> {
+pub(crate) fn key_atom(d: &Datum) -> Result<KeyAtom> {
     Ok(match d {
         Datum::Null => KeyAtom::Null,
         Datum::Bool(b) => KeyAtom::Bool(*b),
@@ -312,7 +314,7 @@ impl AggregateOp {
     }
 }
 
-fn fx_hash(key: &[KeyAtom]) -> u64 {
+pub(crate) fn fx_hash(key: &[KeyAtom]) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
     key.hash(&mut h);

@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// start-up: insert on the coordinating core instead.
 const PARALLEL_BUILD_MIN_ROWS: usize = 256;
 
-fn mix(mut x: u64) -> u64 {
+pub(crate) fn mix(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)

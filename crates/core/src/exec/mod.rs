@@ -18,6 +18,7 @@ pub mod materialize;
 pub mod mergejoin;
 pub mod nestloop;
 pub mod project;
+pub mod push;
 pub mod seqscan;
 pub mod sort;
 
@@ -135,6 +136,7 @@ fn obs_label(plan: &PlanNode) -> String {
         PlanNode::Limit { .. } => "Limit".to_string(),
         PlanNode::Materialize { .. } => "Materialize".to_string(),
         PlanNode::Exchange { workers, .. } => format!("Exchange({workers})"),
+        PlanNode::PushPipeline { .. } => "PushPipeline".to_string(),
     }
 }
 
@@ -294,6 +296,15 @@ fn build_rec(
                 worker_trees,
                 worker_labels,
             ))
+        }
+        PlanNode::PushPipeline { input } => {
+            // The compile walk registers the fused nodes' labels in plan
+            // pre-order (hash-join build subtrees are built through this
+            // function and register + bracket themselves); the fused work
+            // itself lands on this node's bracket.
+            Box::new(push::PushPipelineOp::compile(
+                input, catalog, fm, worker_fm,
+            )?)
         }
     };
     Ok(match obs {

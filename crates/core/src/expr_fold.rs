@@ -180,6 +180,9 @@ pub fn fold_plan(plan: &crate::plan::PlanNode) -> crate::plan::PlanNode {
             input: Box::new(fold_plan(input)),
             workers: *workers,
         },
+        P::PushPipeline { input } => P::PushPipeline {
+            input: Box::new(fold_plan(input)),
+        },
     }
 }
 

@@ -75,6 +75,12 @@ const LIMIT_CORE: usize = 300;
 /// Block-oriented operators (the §2 related-work baseline) carry the same
 /// logic as their tuple-at-a-time versions plus block-management code.
 const BLOCK_EXTRA: usize = 1100;
+/// The push executor's fused-pipeline driver: the produce loop plus the
+/// inlined consume calls threading a batch through every stage of one
+/// fused group. It replaces the per-operator `exec_dispatch` interleaving
+/// of the pull model — a fused group executes as ONE region, so its
+/// member segments plus this driver form a single combined footprint.
+const PUSH_DRIVER: usize = 1300;
 
 /// Operator kinds for footprint purposes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -117,6 +123,12 @@ pub enum OpKind {
     /// §2: "block oriented processing … requires a complete redesign of
     /// database operations").
     Block(Box<OpKind>),
+    /// A fused push-based pipeline over the member operators: the whole
+    /// group executes as one code region (member segments counted once,
+    /// plus the push driver), which is the push model's answer to the
+    /// paper's buffering — one combined footprint instead of several
+    /// interleaved ones.
+    PushGroup(Vec<OpKind>),
 }
 
 impl OpKind {
@@ -223,6 +235,12 @@ impl OpKind {
                 out.extend(inner.segments());
                 out.push(seg("block_mgmt", BLOCK_EXTRA));
             }
+            OpKind::PushGroup(members) => {
+                for m in members {
+                    out.extend(m.segments());
+                }
+                out.push(seg("push_driver", PUSH_DRIVER));
+            }
         }
         // Within one operator, count each shared segment once.
         out.sort_by(|a, b| a.name.cmp(&b.name));
@@ -319,6 +337,7 @@ impl FootprintModel {
         define("filter_core", FILTER_CORE);
         define("limit_core", LIMIT_CORE);
         define("block_mgmt", BLOCK_EXTRA);
+        define("push_driver", PUSH_DRIVER);
         define("exec_dispatch", EXEC_DISPATCH);
         layout
     }
@@ -452,6 +471,27 @@ mod tests {
     }
 
     #[test]
+    fn push_group_is_one_combined_footprint_plus_driver() {
+        let members = vec![
+            OpKind::SeqScan { with_pred: true },
+            OpKind::Filter,
+            OpKind::Aggregate {
+                funcs: vec![AggFunc::Sum],
+            },
+        ];
+        let group = OpKind::PushGroup(members.clone());
+        // Shared segments (common_rt, expr_eval, numeric_rt) count once:
+        // the group footprint is the §6.1 combined footprint of its
+        // members plus the push driver — not the sum of separate totals.
+        assert_eq!(
+            group.footprint_bytes(),
+            FootprintModel::combined_footprint(&members) + PUSH_DRIVER
+        );
+        let separate: usize = members.iter().map(|m| m.footprint_bytes()).sum();
+        assert!(group.footprint_bytes() < separate);
+    }
+
+    #[test]
     fn paper_query1_combined_footprint_exceeds_l1i() {
         // Scan-with-pred + Agg(SUM, AVG, COUNT): §7.2 says ≈ 23 K > 16 K.
         let combined = FootprintModel::combined_footprint(&[
@@ -530,6 +570,14 @@ mod tests {
             OpKind::Filter,
             OpKind::Limit,
             OpKind::Block(Box::new(OpKind::SeqScan { with_pred: true })),
+            OpKind::PushGroup(vec![
+                OpKind::SeqScan { with_pred: true },
+                OpKind::Filter,
+                OpKind::HashProbe,
+                OpKind::Aggregate {
+                    funcs: vec![AggFunc::Sum, AggFunc::Avg, AggFunc::CountStar],
+                },
+            ]),
         ];
         let mut m1 = FootprintModel::with_layout(master.clone());
         let mut m2 = FootprintModel::with_layout(master.clone());

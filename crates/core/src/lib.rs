@@ -56,6 +56,7 @@ pub use obs::{
     QueryProfile, QueryProfiler, SloConfig, SloTracker, SloWindow, TimeSeries, TimeSeriesRegistry,
     TraceEvent, TraceReport, Tracer, WindowSnapshot,
 };
+pub use optimizer::{choose_pipeline_modes, ExecModePolicy};
 pub use parallel::parallelize_plan;
 pub use plan::analyze::explain_analyze;
 pub use plan::{AggFunc, AggSpec, IndexMode, PlanNode};

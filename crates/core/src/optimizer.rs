@@ -9,10 +9,269 @@
 //! executor simulates — so its choices align with the simulated outcomes.
 
 use crate::expr::Expr;
+use crate::footprint::OpKind;
 use crate::plan::estimate::{estimate_rows, predicate_selectivity};
-use crate::plan::{IndexMode, PlanNode};
+use crate::plan::{push_member_kinds, IndexMode, PlanNode};
+use crate::refine::RefineConfig;
 use bufferdb_storage::Catalog;
 use bufferdb_types::{DbError, Result};
+
+/// Which executor backend prepared plans run under — the "execution model"
+/// half of a physical plan, kept separate from the plan shape so the same
+/// logical plan can be compared across backends.
+///
+/// * `Pull` — plain Volcano iterators, no buffer operators (refinement is
+///   skipped): the paper's baseline.
+/// * `BufferedPull` — Volcano iterators plus refiner-placed buffer
+///   operators (the paper's contribution; the default, and the behaviour
+///   of every release before this policy existed).
+/// * `Push` — every eligible pipeline is fused into a
+///   [`PlanNode::PushPipeline`] group executing batch-at-a-time over one
+///   combined code region; the refiner still buffers what stays pull.
+/// * `Auto` — per-pipeline choice: fuse a pipeline exactly when its
+///   combined footprint (group members + push driver) fits the configured
+///   L1i capacity, otherwise leave it to the refiner's buffered pull.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecModePolicy {
+    /// Volcano pull, no buffers.
+    Pull,
+    /// Volcano pull with refiner-placed buffers (default).
+    #[default]
+    BufferedPull,
+    /// Fuse every eligible pipeline into a push group.
+    Push,
+    /// Fuse per pipeline when the fused footprint fits L1i.
+    Auto,
+}
+
+impl ExecModePolicy {
+    /// Stable label used in fingerprints, JSON schemas and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecModePolicy::Pull => "pull",
+            ExecModePolicy::BufferedPull => "buffered-pull",
+            ExecModePolicy::Push => "push",
+            ExecModePolicy::Auto => "auto",
+        }
+    }
+
+    /// Parse a [`ExecModePolicy::label`] back into a policy.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "pull" => ExecModePolicy::Pull,
+            "buffered-pull" => ExecModePolicy::BufferedPull,
+            "push" => ExecModePolicy::Push,
+            "auto" => ExecModePolicy::Auto,
+            _ => return None,
+        })
+    }
+
+    /// Whether the refiner runs over the mode-marked plan (buffers are a
+    /// pull-side tool; plain pull is the unbuffered baseline).
+    pub(crate) fn refines(self) -> bool {
+        !matches!(self, ExecModePolicy::Pull)
+    }
+
+    /// Whether profiled feedback may re-refine the cached plan. Buffer
+    /// placement is what adaptation moves, so only the modes that asked
+    /// for refiner-placed buffers adapt; `Pull` and `Push` plans are
+    /// pinned to what the policy chose.
+    pub(crate) fn adapts(self) -> bool {
+        matches!(self, ExecModePolicy::BufferedPull | ExecModePolicy::Auto)
+    }
+}
+
+/// Can `n` be the probe-side chain of a fused hash join (filters and
+/// projections over one sequential scan)?
+fn probe_chain_ok(n: &PlanNode) -> bool {
+    match n {
+        PlanNode::Filter { input, .. } | PlanNode::Project { input, .. } => probe_chain_ok(input),
+        PlanNode::SeqScan { .. } => true,
+        _ => false,
+    }
+}
+
+/// Can `n` be fused below a push group root: `[Filter|Project]*` over a
+/// sequential scan, or over a hash join whose probe side is such a chain
+/// (the blocking build side stays a pull subtree either way)?
+fn chain_ok(n: &PlanNode) -> bool {
+    match n {
+        PlanNode::Filter { input, .. } | PlanNode::Project { input, .. } => chain_ok(input),
+        PlanNode::SeqScan { .. } => true,
+        PlanNode::HashJoin { probe, .. } => probe_chain_ok(probe),
+        _ => false,
+    }
+}
+
+/// Is `n` the root of a push-eligible pipeline? An aggregate may cap the
+/// group (it is the terminal sink); everything below must be a fuseable
+/// chain. Nested-loop inners, index scans, sorts, merges and exchanges are
+/// never fused.
+fn push_eligible(n: &PlanNode) -> bool {
+    match n {
+        PlanNode::Aggregate { input, .. } => chain_ok(input),
+        other => chain_ok(other),
+    }
+}
+
+/// Does `policy` want this eligible pipeline fused? `Push` always fuses;
+/// `Auto` fuses when the group is non-trivial (≥ 2 members) and its
+/// combined footprint fits the refiner's L1i budget — the same capacity
+/// the buffered alternative is judged against.
+fn fuse_wanted(n: &PlanNode, cfg: &RefineConfig, policy: ExecModePolicy) -> bool {
+    match policy {
+        ExecModePolicy::Pull | ExecModePolicy::BufferedPull => false,
+        ExecModePolicy::Push => true,
+        ExecModePolicy::Auto => {
+            let members = push_member_kinds(n);
+            members.len() >= 2 && OpKind::PushGroup(members).footprint_bytes() <= cfg.l1i_capacity
+        }
+    }
+}
+
+/// Clone the fused chain, recursing mode selection into hash-join build
+/// sides (they stay pull subtrees and may contain their own pipelines).
+fn recurse_build_sides(n: &PlanNode, cfg: &RefineConfig, policy: ExecModePolicy) -> PlanNode {
+    match n {
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => PlanNode::Aggregate {
+            input: Box::new(recurse_build_sides(input, cfg, policy)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        PlanNode::Filter { input, predicate } => PlanNode::Filter {
+            input: Box::new(recurse_build_sides(input, cfg, policy)),
+            predicate: predicate.clone(),
+        },
+        PlanNode::Project { input, exprs } => PlanNode::Project {
+            input: Box::new(recurse_build_sides(input, cfg, policy)),
+            exprs: exprs.clone(),
+        },
+        PlanNode::HashJoin {
+            probe,
+            build,
+            probe_key,
+            build_key,
+        } => PlanNode::HashJoin {
+            // The probe chain is part of the group (no joins inside it, by
+            // eligibility); only the build subtree re-enters selection.
+            probe: probe.clone(),
+            build: Box::new(mode_rec(build, cfg, policy)),
+            probe_key: *probe_key,
+            build_key: *build_key,
+        },
+        other => other.clone(),
+    }
+}
+
+fn mode_rec(plan: &PlanNode, cfg: &RefineConfig, policy: ExecModePolicy) -> PlanNode {
+    if push_eligible(plan) && fuse_wanted(plan, cfg, policy) {
+        return PlanNode::PushPipeline {
+            input: Box::new(recurse_build_sides(plan, cfg, policy)),
+        };
+    }
+    match plan {
+        PlanNode::NestLoopJoin {
+            outer,
+            inner,
+            param_outer_col,
+            qual,
+            fk_inner,
+        } => PlanNode::NestLoopJoin {
+            outer: Box::new(mode_rec(outer, cfg, policy)),
+            // The inner side is rescanned per outer row; push pipelines do
+            // not rescan, so it stays pull.
+            inner: inner.clone(),
+            param_outer_col: *param_outer_col,
+            qual: qual.clone(),
+            fk_inner: *fk_inner,
+        },
+        PlanNode::HashJoin {
+            probe,
+            build,
+            probe_key,
+            build_key,
+        } => PlanNode::HashJoin {
+            probe: Box::new(mode_rec(probe, cfg, policy)),
+            build: Box::new(mode_rec(build, cfg, policy)),
+            probe_key: *probe_key,
+            build_key: *build_key,
+        },
+        PlanNode::MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => PlanNode::MergeJoin {
+            left: Box::new(mode_rec(left, cfg, policy)),
+            right: Box::new(mode_rec(right, cfg, policy)),
+            left_key: *left_key,
+            right_key: *right_key,
+        },
+        PlanNode::Sort { input, keys } => PlanNode::Sort {
+            input: Box::new(mode_rec(input, cfg, policy)),
+            keys: keys.clone(),
+        },
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => PlanNode::Aggregate {
+            input: Box::new(mode_rec(input, cfg, policy)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        PlanNode::Project { input, exprs } => PlanNode::Project {
+            input: Box::new(mode_rec(input, cfg, policy)),
+            exprs: exprs.clone(),
+        },
+        PlanNode::Filter { input, predicate } => PlanNode::Filter {
+            input: Box::new(mode_rec(input, cfg, policy)),
+            predicate: predicate.clone(),
+        },
+        PlanNode::Limit { input, limit } => PlanNode::Limit {
+            input: Box::new(mode_rec(input, cfg, policy)),
+            limit: *limit,
+        },
+        PlanNode::Buffer { input, size } => PlanNode::Buffer {
+            input: Box::new(mode_rec(input, cfg, policy)),
+            size: *size,
+        },
+        PlanNode::Materialize { input } => PlanNode::Materialize {
+            input: Box::new(mode_rec(input, cfg, policy)),
+        },
+        PlanNode::Exchange { input, workers } => PlanNode::Exchange {
+            // Fusion happens per worker pipeline, under the exchange.
+            input: Box::new(mode_rec(input, cfg, policy)),
+            workers: *workers,
+        },
+        PlanNode::PushPipeline { .. } | PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => {
+            plan.clone()
+        }
+    }
+}
+
+/// Mark every pipeline of `plan` with its execution model under `policy`:
+/// eligible pipelines are wrapped in [`PlanNode::PushPipeline`] when the
+/// policy wants them fused, everything else is left for the pull executor
+/// (and, after this pass, the refiner). Runs between parallelization and
+/// refinement — see `crate::prepare::prepare_plan_parts_with_mode`.
+///
+/// Output is bit-identical across policies by construction: the marker
+/// changes *how* a pipeline executes, never what it produces.
+pub fn choose_pipeline_modes(
+    plan: &PlanNode,
+    refine_cfg: &RefineConfig,
+    policy: ExecModePolicy,
+) -> PlanNode {
+    match policy {
+        ExecModePolicy::Pull | ExecModePolicy::BufferedPull => plan.clone(),
+        ExecModePolicy::Push | ExecModePolicy::Auto => mode_rec(plan, refine_cfg, policy),
+    }
+}
 
 /// A two-table foreign-key equi-join to be planned: every `outer` row joins
 /// at most one `inner` row via `inner`'s unique key.
@@ -311,5 +570,141 @@ mod tests {
         let choice = choose_join_plan(&query(None, true), &c, &JoinCostModel::default()).unwrap();
         assert!(choice.cost > 0.0);
         assert!(estimated_output_rows(&choice, &c) > 0.0);
+    }
+
+    fn agg_over_scan() -> PlanNode {
+        PlanNode::Aggregate {
+            input: Box::new(PlanNode::SeqScan {
+                table: "fact".into(),
+                predicate: Some(Expr::col(1).lt(Expr::lit(100))),
+                projection: None,
+            }),
+            group_by: vec![],
+            aggs: vec![crate::plan::AggSpec::count_star("n")],
+        }
+    }
+
+    fn push_count(p: &PlanNode) -> usize {
+        let own = usize::from(matches!(p, PlanNode::PushPipeline { .. }));
+        own + p.children().iter().map(|c| push_count(c)).sum::<usize>()
+    }
+
+    #[test]
+    fn push_policy_fuses_whole_eligible_pipeline() {
+        let cfg = RefineConfig::default();
+        let plan = agg_over_scan();
+        let marked = choose_pipeline_modes(&plan, &cfg, ExecModePolicy::Push);
+        assert!(
+            matches!(&marked, PlanNode::PushPipeline { input } if matches!(**input, PlanNode::Aggregate { .. })),
+            "aggregate caps the group: {marked:?}"
+        );
+        assert_eq!(push_count(&marked), 1);
+    }
+
+    #[test]
+    fn pull_policies_leave_the_plan_untouched() {
+        let cfg = RefineConfig::default();
+        let plan = agg_over_scan();
+        for policy in [ExecModePolicy::Pull, ExecModePolicy::BufferedPull] {
+            assert_eq!(choose_pipeline_modes(&plan, &cfg, policy), plan);
+        }
+    }
+
+    #[test]
+    fn auto_fuses_only_when_the_group_fits_l1i() {
+        // With shared segments counted once, COUNT(*) over a filtered scan
+        // plus the push driver unions to ~15.6K: inside the default 16K
+        // budget, but well over a 12K one.
+        let plan = agg_over_scan();
+        let tight = RefineConfig {
+            l1i_capacity: 12 * 1024,
+            ..RefineConfig::default()
+        };
+        assert_eq!(
+            push_count(&choose_pipeline_modes(&plan, &tight, ExecModePolicy::Auto)),
+            0,
+            "over-budget group must stay buffered pull"
+        );
+        let roomy = RefineConfig::default();
+        assert_eq!(
+            push_count(&choose_pipeline_modes(&plan, &roomy, ExecModePolicy::Auto)),
+            1
+        );
+        // A bare scan is a trivial group: auto never fuses it.
+        let scan = PlanNode::SeqScan {
+            table: "fact".into(),
+            predicate: None,
+            projection: None,
+        };
+        assert_eq!(
+            push_count(&choose_pipeline_modes(&scan, &roomy, ExecModePolicy::Auto)),
+            0
+        );
+    }
+
+    #[test]
+    fn nestloop_inner_is_never_fused() {
+        let cfg = RefineConfig::default();
+        let scan = PlanNode::SeqScan {
+            table: "fact".into(),
+            predicate: None,
+            projection: None,
+        };
+        let plan = PlanNode::NestLoopJoin {
+            outer: Box::new(scan.clone()),
+            inner: Box::new(scan),
+            param_outer_col: None,
+            qual: None,
+            fk_inner: false,
+        };
+        let marked = choose_pipeline_modes(&plan, &cfg, ExecModePolicy::Push);
+        let PlanNode::NestLoopJoin { outer, inner, .. } = &marked else {
+            panic!("root must stay a nestloop: {marked:?}");
+        };
+        assert!(matches!(**outer, PlanNode::PushPipeline { .. }));
+        assert!(
+            matches!(**inner, PlanNode::SeqScan { .. }),
+            "rescanned inner must stay pull"
+        );
+    }
+
+    #[test]
+    fn push_fuses_under_exchange_and_into_build_sides() {
+        let cfg = RefineConfig::default();
+        let scan = PlanNode::SeqScan {
+            table: "fact".into(),
+            predicate: Some(Expr::col(1).lt(Expr::lit(10))),
+            projection: None,
+        };
+        let plan = PlanNode::Aggregate {
+            input: Box::new(PlanNode::Exchange {
+                input: Box::new(PlanNode::HashJoin {
+                    probe: Box::new(scan.clone()),
+                    build: Box::new(scan),
+                    probe_key: 0,
+                    build_key: 0,
+                }),
+                workers: 2,
+            }),
+            group_by: vec![],
+            aggs: vec![crate::plan::AggSpec::count_star("n")],
+        };
+        let marked = choose_pipeline_modes(&plan, &cfg, ExecModePolicy::Push);
+        // The exchange blocks fusion of the aggregate; below it the join
+        // pipeline fuses, and the build side becomes its own group.
+        assert_eq!(push_count(&marked), 2, "{marked:?}");
+        let PlanNode::Aggregate { input, .. } = &marked else {
+            panic!()
+        };
+        let PlanNode::Exchange { input, .. } = &**input else {
+            panic!("exchange preserved: {marked:?}")
+        };
+        let PlanNode::PushPipeline { input } = &**input else {
+            panic!("join pipeline fused: {marked:?}")
+        };
+        let PlanNode::HashJoin { build, .. } = &**input else {
+            panic!()
+        };
+        assert!(matches!(**build, PlanNode::PushPipeline { .. }));
     }
 }

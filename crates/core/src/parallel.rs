@@ -150,10 +150,12 @@ fn rec(
         PlanNode::Materialize { input } => PlanNode::Materialize {
             input: Box::new(rec(input, catalog, workers, order_required)?),
         },
-        // Already parallel (or a leaf that did not qualify above).
-        PlanNode::Exchange { .. } | PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => {
-            plan.clone()
-        }
+        // Already parallel, already mode-marked (mode selection runs after
+        // this pass, so this is defensive), or a leaf that did not qualify.
+        PlanNode::Exchange { .. }
+        | PlanNode::PushPipeline { .. }
+        | PlanNode::SeqScan { .. }
+        | PlanNode::IndexScan { .. } => plan.clone(),
     })
 }
 

@@ -76,6 +76,7 @@ pub fn estimate_rows(plan: &PlanNode, catalog: &Catalog) -> f64 {
         | PlanNode::Project { input, .. }
         | PlanNode::Buffer { input, .. }
         | PlanNode::Exchange { input, .. }
+        | PlanNode::PushPipeline { input }
         | PlanNode::Materialize { input } => estimate_rows(input, catalog),
         PlanNode::Filter { input, .. } => estimate_rows(input, catalog) * DEFAULT_SEL,
         PlanNode::Limit { input, limit } => estimate_rows(input, catalog).min(*limit as f64),

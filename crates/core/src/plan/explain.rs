@@ -70,6 +70,10 @@ pub fn node_label(node: &PlanNode) -> String {
         PlanNode::Limit { limit, .. } => format!("Limit {limit}"),
         PlanNode::Materialize { .. } => "Materialize (blocking)".to_string(),
         PlanNode::Exchange { workers, .. } => format!("Exchange ({workers} workers)"),
+        PlanNode::PushPipeline { input } => {
+            let fused = crate::plan::push_member_kinds(input).len();
+            format!("PushPipeline ({fused} fused operators)")
+        }
     }
 }
 

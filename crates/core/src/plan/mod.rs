@@ -193,6 +193,49 @@ pub enum PlanNode {
         /// Worker count (must be ≥ 1).
         workers: usize,
     },
+    /// Executor-mode marker: run the wrapped pipeline on the push-based
+    /// backend, batch-at-a-time, as ONE fused code region (scan → filters/
+    /// projects → optional hash-join probes → optional terminal aggregate).
+    /// The fused group has a single combined instruction footprint
+    /// ([`OpKind::PushGroup`]) — the push model's alternative to the
+    /// paper's buffer operators. Inserted by the mode-selection pass
+    /// ([`crate::optimizer::choose_pipeline_modes`]); output rows are
+    /// bit-identical to pull execution of the same subtree.
+    PushPipeline {
+        /// The pipeline executed push-style.
+        input: Box<PlanNode>,
+    },
+}
+
+/// The footprint kinds of the operators fused into a push pipeline over
+/// `node`, top-down. Hash-join *build* sides are excluded — they stay pull
+/// subtrees whose footprint is accounted separately, exactly as the
+/// refiner treats blocking build phases.
+pub fn push_member_kinds(node: &PlanNode) -> Vec<OpKind> {
+    fn rec(n: &PlanNode, out: &mut Vec<OpKind>) {
+        match n {
+            PlanNode::Aggregate { input, aggs, .. } => {
+                out.push(OpKind::aggregate(aggs));
+                rec(input, out);
+            }
+            PlanNode::Filter { input, .. } => {
+                out.push(OpKind::Filter);
+                rec(input, out);
+            }
+            PlanNode::Project { input, .. } => {
+                out.push(OpKind::Project);
+                rec(input, out);
+            }
+            PlanNode::HashJoin { probe, .. } => {
+                out.push(OpKind::HashProbe);
+                rec(probe, out);
+            }
+            other => out.push(other.op_kind()),
+        }
+    }
+    let mut out = Vec::new();
+    rec(node, &mut out);
+    out
 }
 
 impl PlanNode {
@@ -210,6 +253,7 @@ impl PlanNode {
             | PlanNode::Filter { input, .. }
             | PlanNode::Limit { input, .. }
             | PlanNode::Exchange { input, .. }
+            | PlanNode::PushPipeline { input }
             | PlanNode::Materialize { input } => vec![input],
         }
     }
@@ -233,6 +277,7 @@ impl PlanNode {
             PlanNode::Limit { .. } => OpKind::Limit,
             PlanNode::Materialize { .. } => OpKind::Materialize,
             PlanNode::Exchange { .. } => OpKind::Exchange,
+            PlanNode::PushPipeline { input } => OpKind::PushGroup(push_member_kinds(input)),
         }
     }
 
@@ -345,6 +390,7 @@ impl PlanNode {
             }
             PlanNode::Limit { input, .. } => input.output_schema(catalog),
             PlanNode::Materialize { input } => input.output_schema(catalog),
+            PlanNode::PushPipeline { input } => input.output_schema(catalog),
             PlanNode::Exchange { input, workers } => {
                 if *workers == 0 {
                     return Err(DbError::InvalidPlan(

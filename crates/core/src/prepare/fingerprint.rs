@@ -16,6 +16,7 @@
 //! construction*: a stale entry can never be returned for a fresh lookup —
 //! [`crate::prepare::PlanCache::evict_stale`] merely reclaims its memory.
 
+use crate::optimizer::ExecModePolicy;
 use crate::plan::PlanNode;
 use crate::refine::RefineConfig;
 use bufferdb_cachesim::MachineConfig;
@@ -49,13 +50,36 @@ impl PlanFingerprint {
     }
 }
 
-/// Fingerprint `plan` under the full preparation context.
+/// Fingerprint `plan` under the full preparation context, at the default
+/// [`ExecModePolicy::BufferedPull`].
 pub fn fingerprint_plan(
     plan: &PlanNode,
     machine: &MachineConfig,
     threads: usize,
     stats_epoch: u64,
     refine: &RefineConfig,
+) -> PlanFingerprint {
+    fingerprint_plan_with_mode(
+        plan,
+        machine,
+        threads,
+        stats_epoch,
+        refine,
+        ExecModePolicy::BufferedPull,
+    )
+}
+
+/// [`fingerprint_plan`] with an explicit executor-mode policy. The mode
+/// determines where push groups are carved and whether buffers exist at
+/// all, so it is as much a part of the physical plan as the worker budget:
+/// a plan prepared for `push` must never be served to a `pull` lookup.
+pub fn fingerprint_plan_with_mode(
+    plan: &PlanNode,
+    machine: &MachineConfig,
+    threads: usize,
+    stats_epoch: u64,
+    refine: &RefineConfig,
+    mode: ExecModePolicy,
 ) -> PlanFingerprint {
     let mut h = fnv1a(FNV_OFFSET, format!("{plan:?}").as_bytes());
     h = fnv1a(h, format!("{machine:?}").as_bytes());
@@ -64,6 +88,7 @@ pub fn fingerprint_plan(
     h = fnv1a(h, &(refine.l1i_capacity as u64).to_le_bytes());
     h = fnv1a(h, &refine.cardinality_threshold.to_bits().to_le_bytes());
     h = fnv1a(h, &(refine.buffer_size as u64).to_le_bytes());
+    h = fnv1a(h, mode.label().as_bytes());
     PlanFingerprint(h)
 }
 
@@ -115,6 +140,23 @@ mod tests {
             base,
             fingerprint_plan(&scan("t"), &cfg, 1, 0, &tight),
             "refine cfg"
+        );
+        for mode in [
+            ExecModePolicy::Pull,
+            ExecModePolicy::Push,
+            ExecModePolicy::Auto,
+        ] {
+            assert_ne!(
+                base,
+                fingerprint_plan_with_mode(&scan("t"), &cfg, 1, 0, &r, mode),
+                "mode {}",
+                mode.label()
+            );
+        }
+        assert_eq!(
+            base,
+            fingerprint_plan_with_mode(&scan("t"), &cfg, 1, 0, &r, ExecModePolicy::BufferedPull),
+            "buffered-pull is the default keying"
         );
     }
 

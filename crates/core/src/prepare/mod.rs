@@ -19,13 +19,16 @@ pub mod fingerprint;
 pub mod plancache;
 
 pub use adapt::{adapt_plan, AdaptConfig, AdaptDecision, AdaptState, PendingValidation};
-pub use fingerprint::{fingerprint_plan, subtree_hash, PlanFingerprint};
+pub use fingerprint::{
+    fingerprint_plan, fingerprint_plan_with_mode, subtree_hash, PlanFingerprint,
+};
 pub use plancache::{
     AdaptStats, CacheEntry, CacheStats, PlanCache, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS,
 };
 
 use crate::exec::QueryOutcome;
 use crate::obs::trace::TraceEvent;
+use crate::optimizer::{choose_pipeline_modes, ExecModePolicy};
 use crate::parallel::parallelize_plan;
 use crate::plan::PlanNode;
 use crate::refine::{refine_plan, RefineConfig};
@@ -48,20 +51,50 @@ pub struct PreparedPlan {
 
 /// The canonical logical→physical pipeline: parallelize (only when
 /// `workers > 1` — the exchange rewrite is not free at one worker), then
-/// refine. Returns both stages; use [`prepare_physical_plan`] when only the
-/// executable plan is needed.
+/// refine under the default [`ExecModePolicy::BufferedPull`]. Returns both
+/// stages; use [`prepare_physical_plan`] when only the executable plan is
+/// needed, or [`prepare_plan_parts_with_mode`] to pick the executor
+/// backend per pipeline.
 pub fn prepare_plan_parts(
     plan: &PlanNode,
     catalog: &Catalog,
     refine_cfg: &RefineConfig,
     workers: usize,
 ) -> Result<PreparedPlan> {
+    prepare_plan_parts_with_mode(
+        plan,
+        catalog,
+        refine_cfg,
+        workers,
+        ExecModePolicy::BufferedPull,
+    )
+}
+
+/// [`prepare_plan_parts`] with an explicit executor-mode policy:
+/// parallelize, then mark pipelines for push execution per `mode`
+/// ([`choose_pipeline_modes`]), then refine — except under
+/// [`ExecModePolicy::Pull`], whose whole point is the unbuffered baseline,
+/// so refinement is skipped. Mode selection runs *before* refinement so
+/// the refiner sees fused groups as opaque single-footprint operators and
+/// never buffers inside them.
+pub fn prepare_plan_parts_with_mode(
+    plan: &PlanNode,
+    catalog: &Catalog,
+    refine_cfg: &RefineConfig,
+    workers: usize,
+    mode: ExecModePolicy,
+) -> Result<PreparedPlan> {
     let base = if workers > 1 {
         parallelize_plan(plan, catalog, workers)?
     } else {
         plan.clone()
     };
-    let physical = refine_plan(&base, catalog, refine_cfg);
+    let base = choose_pipeline_modes(&base, refine_cfg, mode);
+    let physical = if mode.refines() {
+        refine_plan(&base, catalog, refine_cfg)
+    } else {
+        base.clone()
+    };
     Ok(PreparedPlan { base, physical })
 }
 
@@ -86,6 +119,7 @@ pub struct Database {
     cache: Arc<PlanCache>,
     refine_cfg: RefineConfig,
     adapt_cfg: AdaptConfig,
+    mode: ExecModePolicy,
 }
 
 impl Database {
@@ -98,7 +132,21 @@ impl Database {
             cache: Arc::new(PlanCache::default()),
             refine_cfg: RefineConfig::default(),
             adapt_cfg: AdaptConfig::default(),
+            mode: ExecModePolicy::default(),
         }
+    }
+
+    /// Replace the executor-mode policy used by [`Database::prepare`].
+    /// The mode is part of the plan fingerprint, so databases sharing one
+    /// cache never serve each other plans prepared for another backend.
+    pub fn with_exec_mode(mut self, mode: ExecModePolicy) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The executor-mode policy prepares run under.
+    pub fn exec_mode(&self) -> ExecModePolicy {
+        self.mode
     }
 
     /// Replace the plan cache (e.g. a smaller capacity for tests, or a
@@ -166,6 +214,11 @@ impl Database {
         executed: &PlanNode,
         out: &mut QueryOutcome,
     ) {
+        // Adaptation moves buffer operators; under a policy that did not
+        // ask for refiner-placed buffers the cached plan is pinned.
+        if !self.mode.adapts() {
+            return;
+        }
         // Instants for the flight recorder: collected while the profile
         // borrow is live, recorded onto the trace afterwards.
         let mut instants: Vec<TraceEvent> = Vec::new();
@@ -222,17 +275,24 @@ impl Database {
         let epoch = self.catalog().stats_epoch();
         self.cache.evict_stale(epoch);
         let threads = self.session.threads();
-        let fp = fingerprint_plan(
+        let fp = fingerprint::fingerprint_plan_with_mode(
             plan,
             self.session.machine(),
             threads,
             epoch,
             &self.refine_cfg,
+            self.mode,
         );
         let entry = match self.cache.lookup(fp) {
             Some(entry) => entry,
             None => {
-                let parts = prepare_plan_parts(plan, self.catalog(), &self.refine_cfg, threads)?;
+                let parts = prepare_plan_parts_with_mode(
+                    plan,
+                    self.catalog(),
+                    &self.refine_cfg,
+                    threads,
+                    self.mode,
+                )?;
                 self.cache.insert(fp, epoch, parts.base, parts.physical)
             }
         };

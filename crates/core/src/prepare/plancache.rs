@@ -163,8 +163,10 @@ impl Inner {
 /// O(entries/shard), fine at plan-cache capacities.
 pub struct PlanCache {
     capacity: usize,
-    /// Per-shard entry budget (`ceil(capacity / shards)`).
-    shard_capacity: usize,
+    /// Per-shard entry budgets. Budgets sum exactly to `capacity` (each at
+    /// least 1): shard `i` gets `capacity / shards`, plus one of the
+    /// `capacity % shards` remainder slots for the lowest-indexed shards.
+    shard_budgets: Vec<usize>,
     shards: Vec<Mutex<Inner>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -193,16 +195,21 @@ impl PlanCache {
     }
 
     /// A cache of `shards` independently locked shards with `capacity`
-    /// total entries, `ceil(capacity / shards)` per shard. LRU order is
-    /// per-shard; a pathological fingerprint distribution can evict from a
-    /// hot shard while a cold one has room, which is the usual sharding
-    /// trade for lock-contention relief on the hit path.
+    /// total entries. Per-shard budgets sum exactly to `capacity` (the
+    /// `capacity % shards` remainder goes to the lowest-indexed shards, one
+    /// slot each, and every shard gets at least one slot — so `shards` is
+    /// clamped to `capacity`). LRU order is per-shard; a pathological
+    /// fingerprint distribution can evict from a hot shard while a cold one
+    /// has room, which is the usual sharding trade for lock-contention
+    /// relief on the hit path.
     pub fn sharded(capacity: usize, shards: usize) -> Self {
-        let shards = shards.max(1);
         let capacity = capacity.max(1);
+        let shards = shards.clamp(1, capacity);
+        let base = capacity / shards;
+        let extra = capacity % shards;
         PlanCache {
             capacity,
-            shard_capacity: capacity.div_ceil(shards),
+            shard_budgets: (0..shards).map(|i| base + usize::from(i < extra)).collect(),
             shards: (0..shards).map(|_| Mutex::new(Inner::empty())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -228,16 +235,15 @@ impl PlanCache {
     /// The shard a fingerprint lives in. The fingerprint is already a
     /// mixed 64-bit hash; fold the high bits in so shard selection is not
     /// just the low bits the map bucketing also uses.
-    fn shard_for(&self, fp: PlanFingerprint) -> &Mutex<Inner> {
+    fn shard_for(&self, fp: PlanFingerprint) -> usize {
         let raw = fp.raw();
-        let idx = ((raw ^ (raw >> 32)) % self.shards.len() as u64) as usize;
-        &self.shards[idx]
+        ((raw ^ (raw >> 32)) % self.shards.len() as u64) as usize
     }
 
     /// Look up a fingerprint, counting a hit or miss and refreshing the
     /// entry's LRU position on a hit.
     pub fn lookup(&self, fp: PlanFingerprint) -> Option<Arc<CacheEntry>> {
-        let mut inner = lock(self.shard_for(fp));
+        let mut inner = lock(&self.shards[self.shard_for(fp)]);
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get(&fp.raw()) {
@@ -269,14 +275,15 @@ impl PlanCache {
         base: PlanNode,
         physical: PlanNode,
     ) -> Arc<CacheEntry> {
-        let mut inner = lock(self.shard_for(fp));
+        let shard = self.shard_for(fp);
+        let mut inner = lock(&self.shards[shard]);
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(existing) = inner.map.get(&fp.raw()) {
             existing.last_used.store(tick, Ordering::Relaxed);
             return Arc::clone(existing);
         }
-        if inner.map.len() >= self.shard_capacity {
+        if inner.map.len() >= self.shard_budgets[shard] {
             let victim = inner
                 .map
                 .iter()
@@ -453,8 +460,8 @@ mod tests {
         for n in &names {
             cache.insert(fp(n, 0), 0, scan(n), scan(n));
         }
-        // Per-shard budget is ceil(8/4) = 2; whatever the fingerprint
-        // distribution, residency never exceeds shards × budget.
+        // Per-shard budget is 8/4 = 2; whatever the fingerprint
+        // distribution, residency never exceeds the total capacity.
         assert!(cache.len() <= 8, "len {} exceeds capacity", cache.len());
         // The most recent inserts are still resident in their shards.
         let resident = names
@@ -464,6 +471,35 @@ mod tests {
         assert_eq!(resident, cache.len());
         assert!(resident > 0);
         assert!(cache.stats().evictions >= 24);
+    }
+
+    #[test]
+    fn sharded_budgets_conserve_total_capacity() {
+        // capacity not divisible by shards: ceil-per-shard would allow
+        // 8 × ceil(10/8) = 16 resident entries. The remainder distribution
+        // must keep the worst case at exactly `capacity`.
+        let cache = PlanCache::sharded(10, 8);
+        assert_eq!(cache.capacity(), 10);
+        assert_eq!(cache.shard_count(), 8);
+        for i in 0..64 {
+            let n = format!("t{i}");
+            cache.insert(fp(&n, 0), 0, scan(&n), scan(&n));
+        }
+        assert!(
+            cache.len() <= cache.capacity(),
+            "len {} exceeds capacity {}",
+            cache.len(),
+            cache.capacity()
+        );
+        // More shards than capacity: every shard still needs ≥ 1 slot, so
+        // the shard count is clamped down to the capacity.
+        let tiny = PlanCache::sharded(3, 8);
+        assert_eq!(tiny.shard_count(), 3);
+        for i in 0..16 {
+            let n = format!("u{i}");
+            tiny.insert(fp(&n, 0), 0, scan(&n), scan(&n));
+        }
+        assert!(tiny.len() <= 3, "len {} exceeds capacity 3", tiny.len());
     }
 
     #[test]

@@ -287,6 +287,16 @@ impl Refiner<'_> {
                 )
             }
 
+            PlanNode::PushPipeline { .. } => {
+                // A fused push pipeline executes as ONE code region: there
+                // is nothing inside for a buffer to amortize (the fusion
+                // already removed the per-tuple interleaving), so the
+                // subtree is left untouched. Toward the parent the group
+                // carries the fused footprint, so pull operators stacked
+                // above a push pipeline buffer against its real size.
+                (node.clone(), Some(vec![node.op_kind()]))
+            }
+
             PlanNode::Exchange { input, workers } => {
                 // The worker pipeline's code never interleaves with the
                 // parent's (they run on different simulated cores), so

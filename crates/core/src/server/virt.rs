@@ -22,7 +22,9 @@
 //! - **A pool of `workers - 1` morsel cores** runs the parallel phases the
 //!   exchanges hand over (`ExchangeDelegate`).
 //!   Pool cores interleave units of *different queries'* phases, the same
-//!   work-stealing shards as the threaded server.
+//!   work-stealing shards as the threaded server. With `workers = 1` the
+//!   pool is empty and phase units run inline on the session core between
+//!   drive turns — one configured core means one core of simulated compute.
 //!
 //! Drives need a real call stack to park mid-operator, so each admitted
 //! query runs on an OS thread — but in strict lockstep: the scheduler
@@ -311,11 +313,13 @@ pub struct VirtualServer {
 }
 
 impl VirtualServer {
-    /// A session core, `cfg.workers - 1` (min 1) pool cores, and
-    /// `cfg.admission_slots` resident-drive slots, at virtual time zero.
+    /// A session core, `cfg.workers - 1` pool cores (zero when
+    /// `cfg.workers == 1`; phase units then run inline on the session
+    /// core), and `cfg.admission_slots` resident-drive slots, at virtual
+    /// time zero.
     pub fn new(cfg: ServerConfig) -> Self {
         let clock_hz = cfg.machine.clock_hz;
-        let pool_n = cfg.workers.saturating_sub(1).max(1);
+        let pool_n = cfg.workers.saturating_sub(1);
         let (yield_tx, yield_rx) = mpsc::channel();
         VirtualServer {
             core: Arc::new(Mutex::new(VCore {
@@ -397,8 +401,7 @@ impl VirtualServer {
         })?;
         let id = self.next_id;
         self.next_id += 1;
-        let tag = self.next_tag;
-        self.next_tag = self.next_tag.wrapping_add(1).max(1);
+        let tag = self.alloc_tag();
         self.submitted += 1;
         let spec = DriveSpec {
             root,
@@ -425,6 +428,30 @@ impl VirtualServer {
             spec,
         });
         Ok(id)
+    }
+
+    /// Allocate the next cross-query attribution tag. Tag 0 is the
+    /// cachesim's "untagged" sentinel and is never handed out; neither is
+    /// any tag still held by a live resident or a queued submission —
+    /// after u32 wraparound on a long traffic run, a naive increment could
+    /// alias a running query's tag and count its self-evictions as
+    /// `l1i_cross_misses`. The skip loop terminates because at most
+    /// `slots + waiting` tags are live at once.
+    fn alloc_tag(&mut self) -> u32 {
+        let live: std::collections::HashSet<u32> = self
+            .residents
+            .iter()
+            .flatten()
+            .map(|r| r.tag)
+            .chain(lock(&self.core).waiting.iter().map(|j| j.spec.tag))
+            .collect();
+        loop {
+            let tag = self.next_tag;
+            self.next_tag = self.next_tag.wrapping_add(1).max(1);
+            if tag != 0 && !live.contains(&tag) {
+                return tag;
+            }
+        }
     }
 
     /// Spawn the drive thread for an admitted job and enter it in the ring.
@@ -645,19 +672,24 @@ impl VirtualServer {
         self.free.push(slot);
     }
 
-    /// Run one pool unit on the earliest-clocked pool core. Returns whether
-    /// anything ran.
+    /// Run one pool unit on the earliest-clocked pool core — or, when the
+    /// pool is empty (`workers = 1`), inline on the session core between
+    /// drive turns. Returns whether anything ran.
     fn run_pool_unit(&mut self) -> bool {
-        let (phase, lane, idx, mut machine, w) = {
+        let (phase, lane, idx, mut machine, w, on_core) = {
             let mut c = lock(&self.core);
-            let Some((w, machine)) = c
-                .pool
-                .iter_mut()
-                .enumerate()
-                .filter(|(_, p)| p.machine.is_some())
-                .min_by_key(|(i, p)| (p.vclock, *i))
-                .and_then(|(i, p)| p.machine.take().map(|m| (i, m)))
-            else {
+            let Some((w, machine, on_core)) = (if c.pool.is_empty() {
+                // No drive turn is in flight while the scheduler steps, so
+                // the session machine is home; borrow it for one unit.
+                c.core_machine.take().map(|m| (0, m, true))
+            } else {
+                c.pool
+                    .iter_mut()
+                    .enumerate()
+                    .filter(|(_, p)| p.machine.is_some())
+                    .min_by_key(|(i, p)| (p.vclock, *i))
+                    .and_then(|(i, p)| p.machine.take().map(|m| (i, m, false)))
+            }) else {
                 return false;
             };
             let n = c.phases.len();
@@ -673,7 +705,11 @@ impl VirtualServer {
                 // All remaining phases are done but unresolved (shouldn't
                 // happen — completion resolves eagerly); sweep them so the
                 // outer loop can't spin.
-                c.pool[w].machine = Some(machine);
+                if on_core {
+                    c.core_machine = Some(machine);
+                } else {
+                    c.pool[w].machine = Some(machine);
+                }
                 let done: Vec<Arc<PhaseState>> =
                     c.phases.iter().filter(|p| p.done()).cloned().collect();
                 for p in &done {
@@ -682,18 +718,28 @@ impl VirtualServer {
                 return !done.is_empty();
             };
             let start = p.start_v.load(Ordering::Relaxed);
-            let wk = &mut c.pool[w];
-            wk.vclock = wk.vclock.max(start);
-            (p, lane, idx, machine, w)
+            if on_core {
+                c.core_v = c.core_v.max(start);
+            } else {
+                let wk = &mut c.pool[w];
+                wk.vclock = wk.vclock.max(start);
+            }
+            (p, lane, idx, machine, w, on_core)
         };
         let cycles = phase.run_unit(lane, idx, &mut machine);
         let mut c = lock(&self.core);
         c.units += 1;
         let ns = to_ns(cycles, c.clock_hz);
-        let wk = &mut c.pool[w];
-        wk.vclock += ns;
-        let end = wk.vclock;
-        wk.machine = Some(machine);
+        let end = if on_core {
+            c.core_v += ns;
+            c.core_machine = Some(machine);
+            c.core_v
+        } else {
+            let wk = &mut c.pool[w];
+            wk.vclock += ns;
+            wk.machine = Some(machine);
+            wk.vclock
+        };
         phase.note_end_v(end);
         if phase.done() {
             Self::resolve_phase(&mut self.residents, &mut c, &phase);
@@ -749,7 +795,12 @@ impl VirtualServer {
                         .map(|p| p.start_v.load(Ordering::Relaxed))
                         .min()
                         .unwrap_or(0);
-                    c.pool.iter().map(|p| p.vclock).min().map(|v| v.max(start))
+                    if c.pool.is_empty() {
+                        // workers = 1: phase units run on the session core.
+                        Some(c.core_v.max(start))
+                    } else {
+                        c.pool.iter().map(|p| p.vclock).min().map(|v| v.max(start))
+                    }
                 };
                 (core_cand, pool_cand)
             };
@@ -809,5 +860,63 @@ impl Drop for VirtualServer {
                 let _ = h.join();
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A resident that never runs: just a live tag in a slot.
+    fn parked_resident(tag: u32) -> Resident {
+        let (turn_tx, turn_rx) = mpsc::channel();
+        // The drive never starts, so the grant receiver can drop.
+        drop(turn_rx);
+        Resident {
+            id: 0,
+            tag,
+            arrival: 0,
+            start_v: None,
+            ready_at: 0,
+            waiting_on: None,
+            turn_tx,
+            cancel: CancelToken::new(),
+            handle: None,
+        }
+    }
+
+    #[test]
+    fn tag_allocation_skips_live_tags_across_wraparound() {
+        let mut vs = VirtualServer::new(ServerConfig::default());
+        // A long-lived resident holds tag 5; the counter is about to wrap.
+        vs.residents.push(Some(parked_resident(5)));
+        vs.next_tag = u32::MAX - 1;
+        let tags: Vec<u32> = (0..8).map(|_| vs.alloc_tag()).collect();
+        assert_eq!(
+            tags,
+            vec![u32::MAX - 1, u32::MAX, 1, 2, 3, 4, 6, 7],
+            "allocation must wrap past the sentinel 0 and skip the live tag 5"
+        );
+        // No duplicates against the live set or within the batch.
+        assert!(!tags.contains(&0), "tag 0 is the untagged sentinel");
+        assert!(!tags.contains(&5), "live resident tags must not be reused");
+    }
+
+    #[test]
+    fn workers_one_has_no_hidden_pool_core() {
+        // Before the sizing fix, workers = 1 built a one-core pool anyway,
+        // giving the "single worker" config two cores of simulated compute.
+        let vs = VirtualServer::new(ServerConfig::new(
+            1,
+            2,
+            bufferdb_cachesim::MachineConfig::pentium4_like(),
+        ));
+        assert!(lock(&vs.core).pool.is_empty(), "workers=1 ⇒ empty pool");
+        let vs2 = VirtualServer::new(ServerConfig::new(
+            2,
+            2,
+            bufferdb_cachesim::MachineConfig::pentium4_like(),
+        ));
+        assert_eq!(lock(&vs2.core).pool.len(), 1);
     }
 }

@@ -54,13 +54,15 @@ pub mod prelude {
         QueryProfile, SloConfig, SloTracker, SloWindow, TimeSeries, TimeSeriesRegistry, TraceEvent,
         TraceReport, Tracer, WindowSnapshot,
     };
+    pub use bufferdb_core::optimizer::{choose_pipeline_modes, ExecModePolicy};
     pub use bufferdb_core::parallel::parallelize_plan;
     pub use bufferdb_core::plan::analyze::explain_analyze;
     pub use bufferdb_core::plan::explain::explain;
     pub use bufferdb_core::plan::{AggFunc, AggSpec, IndexMode, PlanNode};
     pub use bufferdb_core::prepare::{
-        fingerprint_plan, prepare_physical_plan, AdaptConfig, AdaptStats, CacheEntry, CacheStats,
-        Database, PlanCache, PlanFingerprint, PreparedQuery,
+        fingerprint_plan, fingerprint_plan_with_mode, prepare_physical_plan,
+        prepare_plan_parts_with_mode, AdaptConfig, AdaptStats, CacheEntry, CacheStats, Database,
+        PlanCache, PlanFingerprint, PreparedQuery,
     };
     pub use bufferdb_core::refine::{
         refine_plan, refine_plan_observed, ObservedCards, RefineConfig,

@@ -178,6 +178,54 @@ fn faulted_query_does_not_poison_the_pool() {
     assert!(server.stats().failed >= 3);
 }
 
+/// `workers = 1` means one core of simulated compute, period. The session
+/// core absorbs the exchange phases inline, so a single-worker server must
+/// still complete parallel plans correctly — and must take strictly longer
+/// than a two-worker server (which used to be impossible to observe: the
+/// old sizing gave workers=1 a hidden pool core, making it a secret
+/// workers=2).
+#[test]
+fn virtual_server_workers_one_runs_on_one_core() {
+    let catalog = catalog();
+    let lanes = 2;
+    let plans = suite(&catalog, lanes);
+    let makespan = |workers: usize| {
+        let mut vs = VirtualServer::new(ServerConfig::new(
+            workers,
+            2,
+            MachineConfig::pentium4_like(),
+        ));
+        for (_, plan) in &plans {
+            vs.submit_at(0, plan, &catalog, &QueryOpts::new()).unwrap();
+        }
+        let done = vs.drain();
+        assert_eq!(done.len(), plans.len());
+        for c in &done {
+            let (name, plan) = &plans[c.id as usize % plans.len()];
+            assert!(
+                c.outcome.error().is_none(),
+                "{name}: {:?}",
+                c.outcome.error()
+            );
+            assert_eq!(
+                normalized(c.outcome.rows()),
+                solo_rows(plan, &catalog, lanes),
+                "{name} on a {workers}-worker virtual server: rows differ"
+            );
+        }
+        let stats = vs.stats();
+        assert!(stats.units > 0, "exchange phases must still run");
+        done.iter().map(|c| c.done_ns).max().unwrap()
+    };
+    let one = makespan(1);
+    let two = makespan(2);
+    assert!(
+        one > two,
+        "one configured core must be strictly slower than two \
+         (workers=1 makespan {one} ns vs workers=2 makespan {two} ns)"
+    );
+}
+
 /// The virtual twin is bit-for-bit deterministic: identical submissions
 /// yield identical per-query counters, timelines, and scheduler stats —
 /// and concurrent streams show real cross-query L1i interference.
