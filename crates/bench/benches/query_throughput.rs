@@ -7,16 +7,17 @@
 
 use bufferdb_bench::microbench::bench_n;
 use bufferdb_cachesim::MachineConfig;
-use bufferdb_core::exec::{execute_query, ExecOptions};
+use bufferdb_core::exec::execute_query;
 use bufferdb_core::plan::PlanNode;
 use bufferdb_core::refine::{refine_plan, RefineConfig};
+use bufferdb_core::session::QueryOpts;
 use bufferdb_storage::Catalog;
 use bufferdb_tpch::queries;
 use bufferdb_types::Tuple;
 use std::hint::black_box;
 
 fn collect(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> Vec<Tuple> {
-    let (rows, _, _) = execute_query(plan, catalog, cfg, &ExecOptions::default())
+    let (rows, _, _) = execute_query(plan, catalog, cfg, &QueryOpts::new())
         .into_result()
         .unwrap();
     rows

@@ -52,6 +52,8 @@ experiments:
   server    multi-query interference sweep: {1,2,4,8} concurrent streams ×
             {none,static,adaptive} buffer policy on the shared scheduler,
             write BENCH_server.json
+  reuse     subplan reuse-cache sweep: zipfian workload over {1,2,4} client
+            streams × {off,tight,default} cache budgets, write BENCH_reuse.json
   all       everything above (except trace, traffic and server)
 options:
   --threads <n>     worker budget for parallel builds (default: all cores)
@@ -239,6 +241,7 @@ fn main() {
             }
             "traffic" => write_traffic(scale, seed, regimes, qps, duration_ms),
             "server" => write_server(scale, seed, &streams),
+            "reuse" => write_reuse(scale, seed),
             "trace" => {
                 let query = experiments
                     .get(i)
@@ -397,19 +400,42 @@ fn write_server(scale: f64, seed: u64, streams: &[usize]) -> String {
     )
 }
 
-/// Parse a bench report, validate its `schema`/`schema_version`, and print
-/// a short summary. Unknown schemas or versions are a hard error (exit 2)
-/// rather than a misparse.
+/// Every committed report schema, paired with the top-level array its
+/// payload lives in. `analyze` validates all of them through this one
+/// table, so adding a report means adding a row — not a new code path.
+const REPORT_SCHEMAS: [(&str, &str); 7] = [
+    ("bufferdb-metrics/v1", "entries"),
+    ("bufferdb-modes/v1", "entries"),
+    ("bufferdb-parallel/v1", "entries"),
+    ("bufferdb-plancache/v1", "queries"),
+    ("bufferdb-reuse/v1", "entries"),
+    ("bufferdb-server/v1", "entries"),
+    ("bufferdb-traffic/v1", "regimes"),
+];
+
+/// Run the subplan reuse-cache sweep and write `BENCH_reuse.json`
+/// (uploaded as a CI artifact and drift-gated against the committed copy).
+/// Runs serial and on the deterministic simulator, so the artifact is
+/// bit-stable for a (scale, seed); rows are asserted bit-identical across
+/// every cell before any physics are reported.
+fn write_reuse(scale: f64, seed: u64) -> String {
+    let report = bufferdb_bench::reuse_metrics(scale, seed);
+    let path = "BENCH_reuse.json";
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        die(&format!("cannot write {path}: {e}"));
+    }
+    format!(
+        "{}wrote {path} ({} cells)\n",
+        bufferdb_bench::reuse_table(&report),
+        report.entries.len()
+    )
+}
+
+/// Parse a bench report, validate its `schema`/`schema_version` and the
+/// schema's payload array, and print a short summary. Unknown schemas or
+/// versions are a hard error (exit 2) rather than a misparse.
 fn analyze_report(path: &str) -> String {
     use bufferdb_bench::json::{Json, SCHEMA_VERSION};
-    const KNOWN: [&str; 6] = [
-        "bufferdb-metrics/v1",
-        "bufferdb-modes/v1",
-        "bufferdb-parallel/v1",
-        "bufferdb-plancache/v1",
-        "bufferdb-server/v1",
-        "bufferdb-traffic/v1",
-    ];
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let doc = Json::parse(&text).unwrap_or_else(|e| die(&format!("{path} is not valid JSON: {e}")));
@@ -417,12 +443,19 @@ fn analyze_report(path: &str) -> String {
         .get("schema")
         .and_then(Json::as_str)
         .unwrap_or_else(|| die(&format!("{path}: missing \"schema\" field")));
-    if !KNOWN.contains(&schema) {
-        die(&format!(
-            "{path}: unknown schema {schema:?} (known: {})",
-            KNOWN.join(" ")
-        ));
-    }
+    let (_, payload_key) = REPORT_SCHEMAS
+        .iter()
+        .find(|(s, _)| *s == schema)
+        .unwrap_or_else(|| {
+            die(&format!(
+                "{path}: unknown schema {schema:?} (known: {})",
+                REPORT_SCHEMAS
+                    .iter()
+                    .map(|(s, _)| *s)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ))
+        });
     let version = doc
         .get("schema_version")
         .and_then(Json::as_u64)
@@ -438,17 +471,18 @@ fn analyze_report(path: &str) -> String {
              {SCHEMA_VERSION}); refusing to misparse"
         ));
     }
-    let count = |key: &str| doc.get(key).and_then(Json::as_arr).map(<[Json]>::len);
-    let fields = match &doc {
-        Json::Obj(f) => f.len(),
-        _ => 0,
-    };
-    let detail = count("entries")
-        .map(|n| format!("{n} entries"))
-        .or_else(|| count("queries").map(|n| format!("{n} queries")))
-        .or_else(|| count("regimes").map(|n| format!("{n} regimes")))
-        .unwrap_or_else(|| format!("{fields} top-level fields"));
-    format!("== Report check ==\n{path}: schema {schema}, version {version}, {detail}\n")
+    let payload = doc
+        .get(payload_key)
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| {
+            die(&format!(
+                "{path}: schema {schema} requires a top-level {payload_key:?} array"
+            ))
+        });
+    format!(
+        "== Report check ==\n{path}: schema {schema}, version {version}, {} {payload_key}\n",
+        payload.len()
+    )
 }
 
 /// EXPLAIN ANALYZE of the paper's Query 1, before and after refinement:

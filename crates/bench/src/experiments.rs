@@ -6,7 +6,7 @@ use crate::runner::{
     ScalingEntry, ScalingReport, WorkerLaneMetrics,
 };
 use bufferdb_cachesim::MachineConfig;
-use bufferdb_core::exec::{execute_query, ExecOptions};
+use bufferdb_core::exec::execute_query;
 use bufferdb_core::footprint::OpKind;
 use bufferdb_core::obs::TraceEvent;
 use bufferdb_core::optimizer::ExecModePolicy;
@@ -460,11 +460,7 @@ pub fn scaling_metrics(ctx: &ExperimentCtx, seed: u64) -> ScalingReport {
         for workers in SCALING_WORKERS {
             let par = prepare_physical_plan(&plan, &ctx.catalog, &ctx.refine, workers)
                 .unwrap_or_else(|e| panic!("{name}: prepare: {e}"));
-            let opts = ExecOptions {
-                threads: workers,
-                profile: true,
-                ..Default::default()
-            };
+            let opts = QueryOpts::new().threads(workers).profile(true);
             let (rows, stats, profile) = execute_query(&par, &ctx.catalog, &ctx.machine, &opts)
                 .into_result()
                 .unwrap_or_else(|e| panic!("{name} at {workers} workers: {e}"));
@@ -1150,7 +1146,9 @@ pub fn buffer_everywhere(plan: &PlanNode, size: usize) -> PlanNode {
         }
     };
     match plan {
-        PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => plan.clone(),
+        PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } | PlanNode::ReusedScan { .. } => {
+            plan.clone()
+        }
         // A fused push group is already batch-at-a-time internally; a
         // buffer above (or inside) it would only add copies.
         PlanNode::PushPipeline { .. } => plan.clone(),

@@ -9,12 +9,14 @@
 pub mod experiments;
 pub mod json;
 pub mod microbench;
+pub mod reuse_bench;
 pub mod runner;
 pub mod server_bench;
 pub mod traffic;
 
 pub use experiments::*;
 pub use json::Json;
+pub use reuse_bench::{reuse_metrics, reuse_table, ReuseReport, ReuseSweepEntry};
 pub use runner::{run_plan, MetricsReport, QueryMetrics, RunResult};
 pub use server_bench::{server_metrics, server_table, ServerReport, ServerSweepEntry};
 pub use traffic::{run_traffic, RegimeSpec, TrafficConfig, TrafficRun};

@@ -3,11 +3,11 @@
 
 use crate::json::{Json, SCHEMA_VERSION};
 use bufferdb_cachesim::{format_counter_comparison, pct_reduction, MachineConfig};
-use bufferdb_core::cancel::CancelToken;
-use bufferdb_core::exec::{execute_query, ExecOptions};
+use bufferdb_core::exec::execute_query;
 use bufferdb_core::fault::FaultRegistry;
 use bufferdb_core::obs::{ExchangeLane, HistSummary, TraceReport};
 use bufferdb_core::plan::PlanNode;
+use bufferdb_core::session::QueryOpts;
 use bufferdb_core::stats::ExecStats;
 use bufferdb_storage::Catalog;
 use bufferdb_types::{DbError, Tuple};
@@ -40,15 +40,12 @@ fn fault_registry() -> Arc<FaultRegistry> {
         .clone()
 }
 
-/// Profiled [`ExecOptions`] carrying the process-wide timeout
+/// Profiled [`QueryOpts`] carrying the process-wide timeout
 /// (`--timeout-ms`) and fault registry (`BUFFERDB_FAULT`) — the same
 /// wiring [`run_plan`] applies, for experiments that drive
 /// `execute_query` themselves.
-pub(crate) fn profiled_exec_options(threads: usize) -> ExecOptions {
-    ExecOptions {
-        profile: true,
-        ..exec_options(threads, false)
-    }
+pub(crate) fn profiled_exec_options(threads: usize) -> QueryOpts {
+    exec_options(threads, false).profile(true)
 }
 
 /// See [`report_failure_and_exit`]: the CLI failure contract (exit 3 for a
@@ -58,18 +55,15 @@ pub(crate) fn fail_query(label: &str, stats: &ExecStats, rows: usize, err: DbErr
     report_failure_and_exit(label, stats, rows, err)
 }
 
-fn exec_options(threads: usize, trace: bool) -> ExecOptions {
-    let cancel = match QUERY_TIMEOUT_MS.get() {
-        Some(&ms) => CancelToken::with_timeout(Duration::from_millis(ms)),
-        None => CancelToken::new(),
-    };
-    ExecOptions {
-        threads,
-        cancel,
-        faults: fault_registry(),
-        profile: false,
-        trace,
+fn exec_options(threads: usize, trace: bool) -> QueryOpts {
+    let mut opts = QueryOpts::new()
+        .threads(threads)
+        .trace(trace)
+        .faults(fault_registry());
+    if let Some(&ms) = QUERY_TIMEOUT_MS.get() {
+        opts = opts.timeout(Duration::from_millis(ms));
     }
+    opts
 }
 
 /// Exit for a failed benchmark query: cancellations (timeouts) exit with

@@ -32,7 +32,7 @@ use bufferdb_core::plan::PlanNode;
 use bufferdb_core::prepare::{adapt_plan, AdaptConfig, AdaptState};
 use bufferdb_core::refine::{refine_plan, RefineConfig};
 use bufferdb_core::server::virt::VirtualServer;
-use bufferdb_core::server::ServerConfig;
+use bufferdb_core::server::{ServerConfig, SubmitSpec};
 use bufferdb_core::session::QueryOpts;
 use bufferdb_storage::Catalog;
 use bufferdb_tpch::queries::{self, JoinMethod};
@@ -242,7 +242,7 @@ fn run_cell(
     let mut executed_of: Vec<PlanNode> = Vec::new();
     for job in 0..streams.min(TOTAL_JOBS) {
         let st = &plans[job % n_plans];
-        vs.submit_at(0, &st.physical, catalog, &opts)
+        vs.submit(SubmitSpec::new(&st.physical, catalog).opts(opts.clone()))
             .expect("submit round 0");
         job_of.push(job);
         executed_of.push(st.physical.clone());
@@ -310,8 +310,12 @@ fn run_cell(
             let next = job + streams;
             if next < TOTAL_JOBS {
                 let st = &plans[next % n_plans];
-                vs.submit_at(c.done_ns, &st.physical, catalog, &opts)
-                    .expect("submit next round");
+                vs.submit(
+                    SubmitSpec::new(&st.physical, catalog)
+                        .at(c.done_ns)
+                        .opts(opts.clone()),
+                )
+                .expect("submit next round");
                 job_of.push(next);
                 executed_of.push(st.physical.clone());
             }

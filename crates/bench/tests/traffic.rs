@@ -169,17 +169,18 @@ fn report_carries_schema_version_and_regime_shape() {
 #[test]
 fn telemetry_adds_zero_modeled_instructions() {
     use bufferdb_bench::experiments::ExperimentCtx;
-    use bufferdb_core::exec::{execute_query, ExecOptions};
+    use bufferdb_core::exec::execute_query;
     use bufferdb_core::obs::TimeSeriesRegistry;
+    use bufferdb_core::session::QueryOpts;
 
     let ctx = ExperimentCtx::new(0.002, 7);
     let plan = bufferdb_tpch::queries::paper_query1(&ctx.catalog).expect("q1");
-    let plain = execute_query(&plan, &ctx.catalog, &ctx.machine, &ExecOptions::default());
+    let plain = execute_query(&plan, &ctx.catalog, &ctx.machine, &QueryOpts::new());
     assert!(plain.is_ok(), "{:?}", plain.error());
 
     let mut ts = TimeSeriesRegistry::new(1_000_000);
     ts.counter_add("queries_ok", 0, 1);
-    let observed = execute_query(&plan, &ctx.catalog, &ctx.machine, &ExecOptions::default());
+    let observed = execute_query(&plan, &ctx.catalog, &ctx.machine, &QueryOpts::new());
     assert!(observed.is_ok(), "{:?}", observed.error());
     ts.record_latency("all", 1_500_000, 42);
     ts.gauge_set("offered_qps", 2_000_000, 1.0);

@@ -109,6 +109,20 @@ impl TupleArena {
         TupleSlot { region, slot }
     }
 
+    /// Store a tuple into an *unbounded* `region` without simulating a
+    /// memory write. Used to seed a region with rows that already exist in
+    /// simulated memory (the subplan reuse cache's materialized
+    /// intermediates): the producing query modeled the writes when it
+    /// materialized them, so a replaying query pays only the reads.
+    pub fn preload(&mut self, region: u32, tuple: Tuple) -> TupleSlot {
+        let r = &mut self.regions[region as usize];
+        assert_eq!(r.capacity, 0, "preload targets unbounded regions");
+        let slot = r.next;
+        r.tuples.push(Some(tuple));
+        r.next += 1;
+        TupleSlot { region, slot }
+    }
+
     /// The tuple in `slot`. Panics when the slot was never written or has
     /// been recycled — which indicates an executor protocol bug (a parent
     /// holding a pointer longer than the child's slot capacity allows).

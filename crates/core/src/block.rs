@@ -326,8 +326,9 @@ mod tests {
         let block_row = block_agg.execute(&mut ctx).unwrap();
 
         // Tuple-at-a-time reference.
-        use crate::exec::{execute_query, ExecOptions};
+        use crate::exec::execute_query;
         use crate::plan::PlanNode;
+        use crate::session::QueryOpts;
         let plan = PlanNode::Aggregate {
             input: Box::new(PlanNode::SeqScan {
                 table: "t".into(),
@@ -341,7 +342,7 @@ mod tests {
             &plan,
             &c,
             &MachineConfig::pentium4_like(),
-            &ExecOptions::default(),
+            &QueryOpts::new(),
         )
         .into_result()
         .unwrap();
@@ -364,8 +365,9 @@ mod tests {
         block_agg.execute(&mut ctx).unwrap();
         let block_misses = ctx.machine.snapshot().l1i_misses;
 
-        use crate::exec::{execute_query, ExecOptions};
+        use crate::exec::execute_query;
         use crate::plan::PlanNode;
+        use crate::session::QueryOpts;
         let plan = PlanNode::Aggregate {
             input: Box::new(PlanNode::SeqScan {
                 table: "t".into(),
@@ -379,7 +381,7 @@ mod tests {
             &plan,
             &c,
             &MachineConfig::pentium4_like(),
-            &ExecOptions::default(),
+            &QueryOpts::new(),
         )
         .into_result()
         .unwrap();

@@ -19,6 +19,7 @@ pub mod mergejoin;
 pub mod nestloop;
 pub mod project;
 pub mod push;
+pub mod reused;
 pub mod seqscan;
 pub mod sort;
 
@@ -30,6 +31,7 @@ use crate::footprint::FootprintModel;
 use crate::obs::trace::{TraceEvent, TraceReport, Tracer};
 use crate::obs::{ProfiledOp, QueryProfile, QueryProfiler};
 use crate::plan::PlanNode;
+use crate::session::QueryOpts;
 use crate::stats::ExecStats;
 use bufferdb_cachesim::MachineConfig;
 use bufferdb_storage::Catalog;
@@ -125,6 +127,7 @@ fn obs_label(plan: &PlanNode) -> String {
     match plan {
         PlanNode::SeqScan { table, .. } => format!("SeqScan({table})"),
         PlanNode::IndexScan { index, .. } => format!("IndexScan({index})"),
+        PlanNode::ReusedScan { handle } => format!("ReusedScan({} rows)", handle.row_count()),
         PlanNode::NestLoopJoin { .. } => "NestLoopJoin".to_string(),
         PlanNode::HashJoin { .. } => "HashJoin".to_string(),
         PlanNode::MergeJoin { .. } => "MergeJoin".to_string(),
@@ -182,6 +185,7 @@ fn build_rec(
             index,
             mode.clone(),
         )?),
+        PlanNode::ReusedScan { handle } => Box::new(reused::ReusedScanOp::new(fm, handle.clone())),
         PlanNode::NestLoopJoin {
             outer,
             inner,
@@ -315,6 +319,11 @@ fn build_rec(
 
 /// Knobs for one query execution; the default is a serial, unprofiled run
 /// with no cancellation deadline and no armed faults.
+#[deprecated(
+    since = "0.9.0",
+    note = "use crate::session::QueryOpts — the one options type for \
+            execute_query, Session::query, Database, and both servers"
+)]
 #[derive(Clone)]
 pub struct ExecOptions {
     /// Worker budget for intra-operator parallelism (hash-join build).
@@ -331,6 +340,7 @@ pub struct ExecOptions {
     pub trace: bool,
 }
 
+#[allow(deprecated)]
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
@@ -340,6 +350,26 @@ impl Default for ExecOptions {
             profile: false,
             trace: false,
         }
+    }
+}
+
+#[allow(deprecated)]
+impl ExecOptions {
+    /// Convert to the unified [`QueryOpts`] (the migration shim).
+    pub fn into_query_opts(self) -> QueryOpts {
+        QueryOpts::new()
+            .threads(self.threads)
+            .cancel(self.cancel)
+            .faults(self.faults)
+            .profile(self.profile)
+            .trace(self.trace)
+    }
+}
+
+#[allow(deprecated)]
+impl From<ExecOptions> for QueryOpts {
+    fn from(opts: ExecOptions) -> QueryOpts {
+        opts.into_query_opts()
     }
 }
 
@@ -451,22 +481,22 @@ pub fn execute_query(
     plan: &PlanNode,
     catalog: &Catalog,
     cfg: &MachineConfig,
-    opts: &ExecOptions,
+    opts: &QueryOpts,
 ) -> QueryOutcome {
     let mut fm = FootprintModel::new();
-    if opts.profile {
+    if opts.wants_profile() {
         fm.enable_obs();
     }
     let wall_start = std::time::Instant::now();
     let built = build_executor(plan, catalog, &mut fm);
     let mut ctx = ExecContext::new(cfg.clone());
-    ctx.build_threads = opts.threads.max(1);
-    ctx.cancel = opts.cancel.clone();
-    ctx.faults = Arc::clone(&opts.faults);
-    if opts.profile {
+    ctx.build_threads = opts.thread_override().unwrap_or(1).max(1);
+    ctx.cancel = opts.resolve_cancel();
+    ctx.faults = opts.resolve_faults();
+    if opts.wants_profile() {
         ctx.profiler = Some(QueryProfiler::new(fm.obs_labels()));
     }
-    if opts.trace {
+    if opts.wants_trace() {
         ctx.tracer = Some(Tracer::new("coordinator"));
     }
     let mut rows = Vec::new();

@@ -98,7 +98,7 @@ pub fn fold_plan(plan: &crate::plan::PlanNode) -> crate::plan::PlanNode {
             predicate: predicate.as_ref().map(fold_constants),
             projection: fold_proj(projection),
         },
-        P::IndexScan { .. } => plan.clone(),
+        P::IndexScan { .. } | P::ReusedScan { .. } => plan.clone(),
         P::NestLoopJoin {
             outer,
             inner,
@@ -268,11 +268,12 @@ mod tests {
         };
         let folded = fold_plan(&plan);
         // Same results, fewer expression nodes.
-        use crate::exec::{execute_query, ExecOptions};
+        use crate::exec::execute_query;
+        use crate::session::QueryOpts;
         use bufferdb_cachesim::MachineConfig;
         let m = MachineConfig::pentium4_like();
         let collect = |p: &PlanNode| {
-            execute_query(p, &catalog, &m, &ExecOptions::default())
+            execute_query(p, &catalog, &m, &QueryOpts::new())
                 .into_result()
                 .map(|(rows, _, _)| rows)
                 .unwrap()

@@ -72,6 +72,11 @@ const PROJECT_CORE: usize = 600;
 const MATERIALIZE_CORE: usize = 3000;
 const FILTER_CORE: usize = 900;
 const LIMIT_CORE: usize = 300;
+/// Replay loop of a cached intermediate (subplan reuse cache): slot fetch
+/// plus hand-off, no expression or numeric code. Deliberately tiny — the
+/// whole point of splicing a [`OpKind::ReusedScan`] over a subtree is that
+/// the subtree's operator stack leaves the instruction stream.
+const REUSED_CORE: usize = 1200;
 /// Block-oriented operators (the §2 related-work baseline) carry the same
 /// logic as their tuple-at-a-time versions plus block-management code.
 const BLOCK_EXTRA: usize = 1100;
@@ -92,6 +97,8 @@ pub enum OpKind {
     },
     /// Index scan (range or parameterized lookup).
     IndexScan,
+    /// Replay of a cached intermediate (subplan reuse cache).
+    ReusedScan,
     /// Blocking sort.
     Sort,
     /// Nested-loop join node.
@@ -161,6 +168,10 @@ impl OpKind {
             OpKind::IndexScan => {
                 out.push(seg("common_rt", COMMON_RT));
                 out.push(seg("ixscan_core", IXSCAN_CORE));
+            }
+            OpKind::ReusedScan => {
+                out.push(seg("common_rt", COMMON_RT));
+                out.push(seg("reused_core", REUSED_CORE));
             }
             OpKind::Sort => {
                 out.push(seg("common_rt", COMMON_RT));
@@ -319,6 +330,7 @@ impl FootprintModel {
         define("scan_core", SCAN_CORE);
         define("scan_pred", SCAN_PRED);
         define("ixscan_core", IXSCAN_CORE);
+        define("reused_core", REUSED_CORE);
         define("sort_core", SORT_CORE);
         define("nestloop_core", NESTLOOP_CORE);
         define("mergejoin_core", MERGEJOIN_CORE);
@@ -548,6 +560,7 @@ mod tests {
             OpKind::SeqScan { with_pred: false },
             OpKind::SeqScan { with_pred: true },
             OpKind::IndexScan,
+            OpKind::ReusedScan,
             OpKind::Sort,
             OpKind::NestLoop,
             OpKind::MergeJoin,

@@ -47,7 +47,9 @@ pub mod stats;
 pub use arena::{TupleArena, TupleSlot};
 pub use cancel::CancelToken;
 pub use context::ExecContext;
-pub use exec::{build_executor, execute_query, ExecOptions, Operator, QueryOutcome};
+#[allow(deprecated)]
+pub use exec::ExecOptions;
+pub use exec::{build_executor, execute_query, Operator, QueryOutcome};
 pub use expr::Expr;
 pub use fault::{FaultMode, FaultRegistry, Trigger};
 pub use footprint::{FootprintModel, OpKind};
@@ -62,10 +64,10 @@ pub use plan::analyze::explain_analyze;
 pub use plan::{AggFunc, AggSpec, IndexMode, PlanNode};
 pub use prepare::{
     prepare_physical_plan, AdaptConfig, AdaptStats, CacheStats, Database, PlanCache,
-    PlanFingerprint, PreparedQuery,
+    PlanFingerprint, PreparedQuery, ReuseCache, ReuseStats,
 };
 pub use refine::{refine_plan, refine_plan_observed, ObservedCards, RefineConfig};
 pub use server::virt::{CompletedQuery, VirtualServer};
-pub use server::{QueryTicket, Server, ServerConfig, ServerStats};
-pub use session::{QueryOpts, Session};
+pub use server::{QueryTicket, Server, ServerConfig, ServerStats, SubmitSpec};
+pub use session::{QueryOpts, ReusePolicy, Session};
 pub use stats::ExecStats;

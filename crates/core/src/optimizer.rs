@@ -248,9 +248,10 @@ fn mode_rec(plan: &PlanNode, cfg: &RefineConfig, policy: ExecModePolicy) -> Plan
             input: Box::new(mode_rec(input, cfg, policy)),
             workers: *workers,
         },
-        PlanNode::PushPipeline { .. } | PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => {
-            plan.clone()
-        }
+        PlanNode::PushPipeline { .. }
+        | PlanNode::SeqScan { .. }
+        | PlanNode::IndexScan { .. }
+        | PlanNode::ReusedScan { .. } => plan.clone(),
     }
 }
 
@@ -532,7 +533,8 @@ mod tests {
 
     #[test]
     fn chosen_plans_execute_and_agree() {
-        use crate::exec::{execute_query, ExecOptions};
+        use crate::exec::execute_query;
+        use crate::session::QueryOpts;
         use bufferdb_cachesim::MachineConfig;
         let c = catalog(2000, 100);
         let machine = MachineConfig::pentium4_like();
@@ -543,7 +545,7 @@ mod tests {
             let choice =
                 choose_join_plan(&query(pred.clone(), true), &c, &JoinCostModel::default())
                     .unwrap();
-            let rows = execute_query(&choice.plan, &c, &machine, &ExecOptions::default())
+            let rows = execute_query(&choice.plan, &c, &machine, &QueryOpts::new())
                 .into_result()
                 .map(|(rows, _, _)| rows)
                 .unwrap();

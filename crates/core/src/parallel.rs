@@ -155,7 +155,8 @@ fn rec(
         PlanNode::Exchange { .. }
         | PlanNode::PushPipeline { .. }
         | PlanNode::SeqScan { .. }
-        | PlanNode::IndexScan { .. } => plan.clone(),
+        | PlanNode::IndexScan { .. }
+        | PlanNode::ReusedScan { .. } => plan.clone(),
     })
 }
 

@@ -7,11 +7,12 @@
 //! (an interleaved scan/aggregate pair splits the misses it causes between
 //! both nodes; inserting a buffer collapses both shares).
 
-use crate::exec::{execute_query, ExecOptions};
+use crate::exec::execute_query;
 use crate::obs::{ObsId, QueryProfile};
 use crate::plan::estimate::estimate_rows;
 use crate::plan::explain::node_label;
 use crate::plan::PlanNode;
+use crate::session::QueryOpts;
 use bufferdb_cachesim::{format_counter_table, BreakdownReport, MachineConfig};
 use bufferdb_storage::Catalog;
 use bufferdb_types::Result;
@@ -22,11 +23,7 @@ use std::fmt::Write as _;
 /// exclusive modeled-time share. Buffer nodes additionally report their
 /// fill/occupancy/drain gauges.
 pub fn explain_analyze(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> Result<String> {
-    let opts = ExecOptions {
-        profile: true,
-        trace: true,
-        ..Default::default()
-    };
+    let opts = QueryOpts::new().profile(true).trace(true);
     let mut outcome = execute_query(plan, catalog, cfg, &opts);
     let trace = outcome.take_trace();
     let (rows, stats, profile) = outcome.into_result()?;
@@ -220,10 +217,7 @@ mod tests {
         let c = catalog(2000);
         let cfg = MachineConfig::pentium4_like();
         let plan = agg_over_scan(false);
-        let opts = ExecOptions {
-            profile: true,
-            ..Default::default()
-        };
+        let opts = QueryOpts::new().profile(true);
         let (_, stats, profile) = execute_query(&plan, &c, &cfg, &opts).into_result().unwrap();
         let profile = profile.unwrap();
         assert_eq!(profile.sum_op_counters(), stats.counters, "conservation");

@@ -56,6 +56,8 @@ pub fn estimate_rows(plan: &PlanNode, catalog: &Catalog) -> f64 {
                 }
             }
         }
+        // A reused scan's cardinality is exact: the rows are already there.
+        PlanNode::ReusedScan { handle } => handle.row_count() as f64,
         PlanNode::NestLoopJoin {
             outer,
             inner,

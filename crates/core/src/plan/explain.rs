@@ -31,6 +31,9 @@ pub fn node_label(node: &PlanNode) -> String {
                 format!("IndexScan using {index} range [{lo:?}, {hi:?}]")
             }
         },
+        PlanNode::ReusedScan { handle } => {
+            format!("ReusedScan ({} cached rows)", handle.row_count())
+        }
         PlanNode::NestLoopJoin { fk_inner, qual, .. } => {
             let fk = if *fk_inner { " (fk inner)" } else { "" };
             match qual {

@@ -11,6 +11,7 @@ pub mod explain;
 
 use crate::expr::Expr;
 use crate::footprint::OpKind;
+use crate::prepare::reuse::ReuseHandle;
 use bufferdb_storage::Catalog;
 use bufferdb_types::{DataType, DbError, Field, Result, Schema, SchemaRef};
 
@@ -193,6 +194,17 @@ pub enum PlanNode {
         /// Worker count (must be ≥ 1).
         workers: usize,
     },
+    /// Replay of a cached materialized intermediate installed by the
+    /// subplan reuse cache ([`crate::prepare::ReuseCache`]). Spliced in
+    /// place of a whole subtree at prepare time when the cache holds that
+    /// subtree's output for the current stats epoch and replay is modeled
+    /// cheaper than recompute. Produces the cached rows bit-identically
+    /// through the normal arena/machine path, with a single tight-loop
+    /// instruction footprint ([`OpKind::ReusedScan`]).
+    ReusedScan {
+        /// Handle to the cached rows (shared with the cache).
+        handle: ReuseHandle,
+    },
     /// Executor-mode marker: run the wrapped pipeline on the push-based
     /// backend, batch-at-a-time, as ONE fused code region (scan → filters/
     /// projects → optional hash-join probes → optional terminal aggregate).
@@ -242,7 +254,9 @@ impl PlanNode {
     /// Children, left-to-right.
     pub fn children(&self) -> Vec<&PlanNode> {
         match self {
-            PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => vec![],
+            PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } | PlanNode::ReusedScan { .. } => {
+                vec![]
+            }
             PlanNode::NestLoopJoin { outer, inner, .. } => vec![outer, inner],
             PlanNode::HashJoin { probe, build, .. } => vec![probe, build],
             PlanNode::MergeJoin { left, right, .. } => vec![left, right],
@@ -266,6 +280,7 @@ impl PlanNode {
                 with_pred: predicate.is_some(),
             },
             PlanNode::IndexScan { .. } => OpKind::IndexScan,
+            PlanNode::ReusedScan { .. } => OpKind::ReusedScan,
             PlanNode::NestLoopJoin { .. } => OpKind::NestLoop,
             PlanNode::HashJoin { .. } => OpKind::HashProbe,
             PlanNode::MergeJoin { .. } => OpKind::MergeJoin,
@@ -389,6 +404,7 @@ impl PlanNode {
                 Ok(s)
             }
             PlanNode::Limit { input, .. } => input.output_schema(catalog),
+            PlanNode::ReusedScan { handle } => Ok(handle.schema()),
             PlanNode::Materialize { input } => input.output_schema(catalog),
             PlanNode::PushPipeline { input } => input.output_schema(catalog),
             PlanNode::Exchange { input, workers } => {

@@ -17,6 +17,7 @@
 pub mod adapt;
 pub mod fingerprint;
 pub mod plancache;
+pub mod reuse;
 
 pub use adapt::{adapt_plan, AdaptConfig, AdaptDecision, AdaptState, PendingValidation};
 pub use fingerprint::{
@@ -24,6 +25,10 @@ pub use fingerprint::{
 };
 pub use plancache::{
     AdaptStats, CacheEntry, CacheStats, PlanCache, DEFAULT_CACHE_CAPACITY, DEFAULT_CACHE_SHARDS,
+};
+pub use reuse::{
+    eligible_subtrees, reuse_key, splice_reused, ReuseCache, ReuseHandle, ReuseStats,
+    DEFAULT_REUSE_BUDGET_BYTES,
 };
 
 use crate::exec::QueryOutcome;
@@ -117,6 +122,7 @@ pub fn prepare_physical_plan(
 pub struct Database {
     session: Session,
     cache: Arc<PlanCache>,
+    reuse: Arc<ReuseCache>,
     refine_cfg: RefineConfig,
     adapt_cfg: AdaptConfig,
     mode: ExecModePolicy,
@@ -130,10 +136,24 @@ impl Database {
         Database {
             session: Session::new(catalog, cfg),
             cache: Arc::new(PlanCache::default()),
+            reuse: Arc::new(ReuseCache::default()),
             refine_cfg: RefineConfig::default(),
             adapt_cfg: AdaptConfig::default(),
             mode: ExecModePolicy::default(),
         }
+    }
+
+    /// Replace the subplan reuse cache (e.g. a different byte budget, or a
+    /// cache shared with another database over the same catalog).
+    pub fn with_reuse_cache(mut self, reuse: Arc<ReuseCache>) -> Self {
+        self.reuse = reuse;
+        self
+    }
+
+    /// The subplan reuse cache (inspect [`ReuseCache::stats`] for hit rates
+    /// and modeled cycles saved).
+    pub fn reuse_cache(&self) -> &Arc<ReuseCache> {
+        &self.reuse
     }
 
     /// Replace the executor-mode policy used by [`Database::prepare`].
@@ -267,16 +287,39 @@ impl Database {
         }
     }
 
-    /// Prepare `plan`: on a cache hit the stored physical plan is reused
-    /// outright; on a miss the plan is parallelized + refined and cached.
-    /// Also sweeps entries whose stats epoch went stale (they are already
-    /// unreachable — the epoch is part of the key — this reclaims them).
+    /// Prepare `plan` under default [`QueryOpts`]: on a cache hit the
+    /// stored physical plan is reused outright; on a miss the plan is
+    /// parallelized + refined and cached. See [`Database::prepare_opts`].
     pub fn prepare(&self, plan: &PlanNode) -> Result<PreparedQuery<'_>> {
+        self.prepare_opts(plan, &QueryOpts::new())
+    }
+
+    /// Prepare `plan` under explicit [`QueryOpts`].
+    ///
+    /// When `opts.reuse_policy()` splices (the default), the logical plan
+    /// is first rewritten against the subplan [`ReuseCache`]: any subtree
+    /// whose output is cached for the current stats epoch — and whose
+    /// replay is modeled cheaper than recompute — is replaced by a
+    /// [`PlanNode::ReusedScan`] leaf. The fingerprint is computed over the
+    /// *spliced* plan, so the plan cache automatically keys reused and
+    /// recomputing variants separately.
+    ///
+    /// Also sweeps plan-cache and reuse-cache entries whose stats epoch
+    /// went stale (they are already unreachable — the epoch is part of
+    /// both keys — this reclaims their memory).
+    pub fn prepare_opts(&self, plan: &PlanNode, opts: &QueryOpts) -> Result<PreparedQuery<'_>> {
         let epoch = self.catalog().stats_epoch();
         self.cache.evict_stale(epoch);
+        self.reuse.sweep_epoch(epoch);
+        let logical = plan.clone();
+        let plan = if opts.reuse_policy().splices() {
+            reuse::splice_reused(plan, &self.reuse, self.session.machine(), epoch).0
+        } else {
+            plan.clone()
+        };
         let threads = self.session.threads();
         let fp = fingerprint::fingerprint_plan_with_mode(
-            plan,
+            &plan,
             self.session.machine(),
             threads,
             epoch,
@@ -287,7 +330,7 @@ impl Database {
             Some(entry) => entry,
             None => {
                 let parts = prepare_plan_parts_with_mode(
-                    plan,
+                    &plan,
                     self.catalog(),
                     &self.refine_cfg,
                     threads,
@@ -296,8 +339,103 @@ impl Database {
                 self.cache.insert(fp, epoch, parts.base, parts.physical)
             }
         };
-        Ok(PreparedQuery { db: self, entry })
+        Ok(PreparedQuery {
+            db: self,
+            entry,
+            logical,
+        })
     }
+
+    /// Harvest `plan`'s eligible materialization points into the reuse
+    /// cache: each hash-join build input, aggregate, and materialize node
+    /// of the *logical* plan is run standalone (under `opts` minus
+    /// profiling/tracing — so armed faults, timeouts, and cancellation
+    /// apply to the producing runs exactly as they would to a query), its
+    /// modeled recompute cost read off the run, its replay cost measured
+    /// by actually driving a [`crate::exec::reused::ReusedScanOp`] over a
+    /// scratch machine, and the pair offered to [`ReuseCache::install`].
+    ///
+    /// Correctness gates, in order:
+    /// * `opts.reuse_policy()` must install (default [`crate::session::ReusePolicy::Enabled`]);
+    /// * a failed, cancelled, or faulted producing run installs nothing;
+    /// * a stats-epoch bump between the start of the harvest and the end
+    ///   of a producing run discards that run's rows (they reflect the old
+    ///   catalog);
+    /// * the cache itself refuses entries over budget or whose replay does
+    ///   not beat recompute.
+    ///
+    /// Returns the number of entries installed. Installation is explicit —
+    /// executing a prepared query never grows the cache behind the
+    /// caller's back; call this after (or instead of) executions whose
+    /// intermediates are worth keeping.
+    pub fn harvest_reuse(&self, plan: &PlanNode, opts: &QueryOpts) -> usize {
+        if !opts.reuse_policy().installs() || self.reuse.budget_bytes() == 0 {
+            return 0;
+        }
+        let machine = self.session.machine().clone();
+        let epoch0 = self.catalog().stats_epoch();
+        let run_opts = opts.clone().profile(false).trace(false);
+        let mut installed = 0;
+        for sub in reuse::eligible_subtrees(plan) {
+            let key = reuse::reuse_key(sub, &machine, epoch0);
+            if self.reuse.contains(key) || self.reuse.is_refused(key) {
+                continue;
+            }
+            let Ok(schema) = sub.output_schema(self.catalog()) else {
+                continue;
+            };
+            let out = self.session.query(sub, &run_opts);
+            if !out.is_ok() {
+                // Fault, cancel, or error mid-produce: never install.
+                self.reuse.note_install_failure();
+                continue;
+            }
+            if self.catalog().stats_epoch() != epoch0 {
+                // Stats moved mid-stream: the rows reflect the old catalog.
+                self.reuse.note_install_failure();
+                continue;
+            }
+            let recompute = out.stats().breakdown.total_cycles;
+            let rows = out.rows().to_vec();
+            let replay = measure_replay_cycles(&schema, rows.clone(), &machine);
+            if self
+                .reuse
+                .install(key, epoch0, schema, rows, recompute, replay)
+                .is_some()
+            {
+                installed += 1;
+            }
+        }
+        installed
+    }
+}
+
+/// Modeled cycles one full replay of `rows` costs: build a
+/// [`crate::exec::reused::ReusedScanOp`] over a detached handle and drive
+/// it on a scratch machine. This is a measurement, not an estimate — the
+/// exact operator the splice would run, over the exact rows.
+fn measure_replay_cycles(
+    schema: &bufferdb_types::SchemaRef,
+    rows: Vec<bufferdb_types::Tuple>,
+    cfg: &MachineConfig,
+) -> u64 {
+    use crate::exec::reused::ReusedScanOp;
+    use crate::exec::Operator;
+    let handle = reuse::ReuseHandle::scratch(schema.clone(), rows);
+    let mut fm = crate::footprint::FootprintModel::new();
+    let mut op = ReusedScanOp::new(&mut fm, handle);
+    let mut ctx = crate::context::ExecContext::new(cfg.clone());
+    let drove = (|| -> Result<()> {
+        op.open(&mut ctx)?;
+        while op.next(&mut ctx)?.is_some() {}
+        op.close(&mut ctx)
+    })();
+    if drove.is_err() {
+        // Replay cannot even be measured: report it as never profitable.
+        return u64::MAX;
+    }
+    let counters = ctx.machine.snapshot();
+    ctx.machine.cycles_for(&counters)
 }
 
 /// A handle on one cached prepared plan, ready for repeated execution.
@@ -308,6 +446,9 @@ impl Database {
 pub struct PreparedQuery<'db> {
     db: &'db Database,
     entry: Arc<CacheEntry>,
+    /// The original logical plan as handed to `prepare_opts`, before any
+    /// reuse splice — the tree [`Database::harvest_reuse`] walks.
+    logical: PlanNode,
 }
 
 impl PreparedQuery<'_> {
@@ -362,6 +503,17 @@ impl PreparedQuery<'_> {
     /// The fingerprint this query is cached under.
     pub fn fingerprint(&self) -> PlanFingerprint {
         self.entry.fingerprint()
+    }
+
+    /// The original logical plan (pre-splice), as handed to prepare.
+    pub fn logical_plan(&self) -> &PlanNode {
+        &self.logical
+    }
+
+    /// Harvest this query's eligible subtrees into the reuse cache — a
+    /// convenience for [`Database::harvest_reuse`] over the logical plan.
+    pub fn harvest_reuse(&self, opts: &QueryOpts) -> usize {
+        self.db.harvest_reuse(&self.logical, opts)
     }
 }
 

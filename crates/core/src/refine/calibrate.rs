@@ -7,9 +7,10 @@
 //!
 //! This runs once per target machine configuration, on a synthetic table.
 
-use crate::exec::{execute_query, ExecOptions};
+use crate::exec::execute_query;
 use crate::expr::Expr;
 use crate::plan::{AggFunc, AggSpec, PlanNode};
+use crate::session::QueryOpts;
 use crate::stats::ExecStats;
 use bufferdb_cachesim::MachineConfig;
 use bufferdb_storage::{Catalog, TableBuilder};
@@ -104,7 +105,7 @@ pub fn calibrate_cardinality_threshold(
 
 /// Run one calibration query, discarding the rows and keeping the stats.
 fn measure(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> ExecStats {
-    let (_, stats, _) = execute_query(plan, catalog, cfg, &ExecOptions::default())
+    let (_, stats, _) = execute_query(plan, catalog, cfg, &QueryOpts::new())
         .into_result()
         .expect("calibration query");
     stats

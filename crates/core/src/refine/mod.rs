@@ -128,7 +128,7 @@ impl Refiner<'_> {
     /// (`None` = boundary: blocking, excluded, or already buffered).
     fn refine(&self, node: &PlanNode) -> (PlanNode, Option<Group>) {
         match node {
-            PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => {
+            PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } | PlanNode::ReusedScan { .. } => {
                 (node.clone(), Some(vec![node.op_kind()]))
             }
 

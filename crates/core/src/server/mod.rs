@@ -115,6 +115,73 @@ struct StatCells {
     steals: AtomicU64,
 }
 
+/// One query submission, builder style — the single entry point for both
+/// servers ([`Server::submit`] and [`virt::VirtualServer::submit`]).
+///
+/// Everything per-query rides on the unified [`QueryOpts`]: profiling,
+/// tracing, timeout, a caller-held cancel token, a per-query fault
+/// registry, and the subplan-reuse policy. The arrival time matters only to
+/// the virtual server's simulated clock (the threaded server admits
+/// immediately) and defaults to 0.
+///
+/// ```ignore
+/// let id = vs.submit(SubmitSpec::new(&plan, &catalog).at(500).opts(
+///     QueryOpts::new().profile(true).cancel(token),
+/// ))?;
+/// ```
+pub struct SubmitSpec<'a> {
+    plan: &'a PlanNode,
+    catalog: &'a Catalog,
+    arrival_ns: u64,
+    opts: QueryOpts,
+}
+
+impl<'a> SubmitSpec<'a> {
+    /// A submission of `plan` against `catalog` with default options,
+    /// arriving at virtual time 0.
+    pub fn new(plan: &'a PlanNode, catalog: &'a Catalog) -> Self {
+        SubmitSpec {
+            plan,
+            catalog,
+            arrival_ns: 0,
+            opts: QueryOpts::new(),
+        }
+    }
+
+    /// Set the simulated arrival time in nanoseconds (virtual server only;
+    /// the threaded server ignores it).
+    pub fn at(mut self, arrival_ns: u64) -> Self {
+        self.arrival_ns = arrival_ns;
+        self
+    }
+
+    /// Replace the per-query options.
+    pub fn opts(mut self, opts: QueryOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The plan to execute.
+    pub fn plan(&self) -> &'a PlanNode {
+        self.plan
+    }
+
+    /// The catalog the plan runs against.
+    pub fn catalog(&self) -> &'a Catalog {
+        self.catalog
+    }
+
+    /// The simulated arrival time (nanoseconds).
+    pub fn arrival_ns(&self) -> u64 {
+        self.arrival_ns
+    }
+
+    /// The per-query options.
+    pub fn query_opts(&self) -> &QueryOpts {
+        &self.opts
+    }
+}
+
 /// Everything a drive runner needs that is decided at submit time.
 pub(crate) struct DriveSpec {
     pub(crate) root: Box<dyn Operator>,
@@ -387,28 +454,16 @@ impl Server {
         }
     }
 
-    /// Submit `plan` for execution against `catalog`. The operator tree is
-    /// built on the calling thread (pool workers never touch the catalog);
-    /// execution starts when an admission slot and a worker free up.
-    pub fn submit(
-        &self,
-        plan: &PlanNode,
-        catalog: &Catalog,
-        opts: &QueryOpts,
-    ) -> Result<QueryTicket> {
-        self.submit_with_faults(plan, catalog, opts, Arc::new(FaultRegistry::new()))
-    }
-
-    /// [`Server::submit`] with a caller-supplied fault registry (chaos
-    /// tests arm sites per query; the registry is shared with every lane of
-    /// that query only).
-    pub fn submit_with_faults(
-        &self,
-        plan: &PlanNode,
-        catalog: &Catalog,
-        opts: &QueryOpts,
-        faults: Arc<FaultRegistry>,
-    ) -> Result<QueryTicket> {
+    /// Submit a query for execution. The operator tree is built on the
+    /// calling thread (pool workers never touch the catalog); execution
+    /// starts when an admission slot and a worker free up. Arrival time on
+    /// the spec is ignored — the threaded server has no simulated clock.
+    ///
+    /// Per-query cancel tokens, timeouts, and fault registries all ride on
+    /// the spec's [`QueryOpts`]; an explicit cancel token wins over a
+    /// timeout-derived one, and an unset fault registry means no faults.
+    pub fn submit(&self, spec: SubmitSpec<'_>) -> Result<QueryTicket> {
+        let (plan, catalog, opts) = (spec.plan, spec.catalog, &spec.opts);
         if self.shared.shutdown.load(Ordering::Acquire) {
             return Err(DbError::WorkerFailed("server is shut down".into()));
         }
@@ -420,10 +475,8 @@ impl Server {
         let root = build_executor_with(plan, catalog, &mut fm, &|| {
             FootprintModel::with_layout(master.clone())
         })?;
-        let cancel = match opts.timeout_override() {
-            Some(t) => CancelToken::with_timeout(t),
-            None => CancelToken::new(),
-        };
+        let cancel = opts.resolve_cancel();
+        let faults = opts.resolve_faults();
         let tag = self.shared.next_tag.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         let job = Job {
@@ -451,6 +504,21 @@ impl Server {
             tag,
             cfg: self.shared.cfg.machine.clone(),
         })
+    }
+
+    /// [`Server::submit`] with a caller-supplied fault registry.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use Server::submit(SubmitSpec::new(plan, catalog).opts(opts.faults(...)))"
+    )]
+    pub fn submit_with_faults(
+        &self,
+        plan: &PlanNode,
+        catalog: &Catalog,
+        opts: &QueryOpts,
+        faults: Arc<FaultRegistry>,
+    ) -> Result<QueryTicket> {
+        self.submit(SubmitSpec::new(plan, catalog).opts(opts.clone().faults(faults)))
     }
 }
 

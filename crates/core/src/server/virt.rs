@@ -45,7 +45,7 @@
 //! the threaded server (cancel before submission or arm a fault site).
 
 use super::phase::PhaseState;
-use super::{lock, run_drive, DriveAccounting, DriveSpec, ServerConfig, ServerStats};
+use super::{lock, run_drive, DriveAccounting, DriveSpec, ServerConfig, ServerStats, SubmitSpec};
 use crate::cancel::CancelToken;
 use crate::context::{CoreSlicer, ExecContext};
 use crate::exec::exchange::{ExchangeDelegate, PhaseOutcome, PhaseRequest};
@@ -81,7 +81,7 @@ pub struct CompletedQuery {
     pub id: u64,
     /// The query's cross-query attribution tag.
     pub tag: u32,
-    /// When the query arrived (as passed to `submit_at`).
+    /// When the query arrived (as passed via [`SubmitSpec::at`]).
     pub arrival_ns: u64,
     /// When the session core first ran its drive.
     pub start_ns: u64,
@@ -369,28 +369,26 @@ impl VirtualServer {
         &self.faults
     }
 
-    /// Queue `plan` with the given simulated arrival time (nanoseconds).
-    /// Submissions must come in nondecreasing arrival order; admission is
-    /// FIFO. Returns the submission id echoed in [`CompletedQuery::id`].
-    pub fn submit_at(
-        &mut self,
-        arrival_ns: u64,
-        plan: &PlanNode,
-        catalog: &Catalog,
-        opts: &QueryOpts,
-    ) -> Result<u64> {
-        self.submit_with_cancel(arrival_ns, plan, catalog, opts, CancelToken::new())
-    }
-
-    /// [`VirtualServer::submit_at`] with a caller-held cancel token.
-    pub fn submit_with_cancel(
-        &mut self,
-        arrival_ns: u64,
-        plan: &PlanNode,
-        catalog: &Catalog,
-        opts: &QueryOpts,
-        cancel: CancelToken,
-    ) -> Result<u64> {
+    /// Queue a query with its simulated arrival time
+    /// ([`SubmitSpec::at`], nanoseconds). Submissions must come in
+    /// nondecreasing arrival order; admission is FIFO. Returns the
+    /// submission id echoed in [`CompletedQuery::id`].
+    ///
+    /// Wall-clock timeouts do not exist in virtual time, so
+    /// `QueryOpts::timeout` is ignored; a caller-held cancel token
+    /// (`QueryOpts::cancel`) works as on the threaded server. A per-query
+    /// fault registry on the opts overrides the server-shared one.
+    pub fn submit(&mut self, spec: SubmitSpec<'_>) -> Result<u64> {
+        let (plan, catalog, opts) = (spec.plan(), spec.catalog(), spec.query_opts());
+        let arrival_ns = spec.arrival_ns();
+        let cancel = match opts.cancel_override() {
+            Some(c) => c.clone(),
+            None => CancelToken::new(),
+        };
+        let faults = match opts.fault_registry() {
+            Some(f) => Arc::clone(f),
+            None => Arc::clone(&self.faults),
+        };
         let mut fm = FootprintModel::with_layout(self.master.clone());
         if opts.wants_profile() {
             fm.enable_obs();
@@ -412,7 +410,7 @@ impl VirtualServer {
             },
             tag,
             cancel,
-            faults: Arc::clone(&self.faults),
+            faults,
             trace: opts.wants_trace(),
             slicer: None,
         };
@@ -428,6 +426,45 @@ impl VirtualServer {
             spec,
         });
         Ok(id)
+    }
+
+    /// Queue `plan` at `arrival_ns` with default cancellation.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use VirtualServer::submit(SubmitSpec::new(plan, catalog).at(arrival_ns))"
+    )]
+    pub fn submit_at(
+        &mut self,
+        arrival_ns: u64,
+        plan: &PlanNode,
+        catalog: &Catalog,
+        opts: &QueryOpts,
+    ) -> Result<u64> {
+        self.submit(
+            SubmitSpec::new(plan, catalog)
+                .at(arrival_ns)
+                .opts(opts.clone()),
+        )
+    }
+
+    /// Queue `plan` at `arrival_ns` with a caller-held cancel token.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use VirtualServer::submit(SubmitSpec::new(plan, catalog).at(...).opts(opts.cancel(token)))"
+    )]
+    pub fn submit_with_cancel(
+        &mut self,
+        arrival_ns: u64,
+        plan: &PlanNode,
+        catalog: &Catalog,
+        opts: &QueryOpts,
+        cancel: CancelToken,
+    ) -> Result<u64> {
+        self.submit(
+            SubmitSpec::new(plan, catalog)
+                .at(arrival_ns)
+                .opts(opts.clone().cancel(cancel)),
+        )
     }
 
     /// Allocate the next cross-query attribution tag. Tag 0 is the

@@ -12,7 +12,7 @@
 //! [`crate::prepare::Database`].
 
 use crate::cancel::CancelToken;
-use crate::exec::{execute_query, ExecOptions, QueryOutcome};
+use crate::exec::{execute_query, QueryOutcome};
 use crate::fault::FaultRegistry;
 use crate::plan::PlanNode;
 use bufferdb_cachesim::MachineConfig;
@@ -20,10 +20,53 @@ use bufferdb_storage::Catalog;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-/// Per-query options for [`Session::query`], builder style.
+/// Per-query policy for the subplan reuse cache (see
+/// [`crate::prepare::ReuseCache`]).
 ///
-/// Unset options fall back to the session's own defaults, so
-/// `QueryOpts::new()` reproduces the session's plain execution path.
+/// Reuse never changes results — a spliced [`crate::plan::PlanNode::ReusedScan`]
+/// replays bit-identical rows — so the policy only controls whether the
+/// cache is consulted and whether new entries may be installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReusePolicy {
+    /// Consult the cache at prepare time *and* allow eligible subtrees to
+    /// install their output after a clean execution.
+    #[default]
+    Enabled,
+    /// Consult the cache (splice hits) but never install new entries.
+    ReadOnly,
+    /// Ignore the reuse cache entirely.
+    Off,
+}
+
+impl ReusePolicy {
+    /// Whether prepare may splice `ReusedScan` leaves over cache hits.
+    pub fn splices(self) -> bool {
+        !matches!(self, ReusePolicy::Off)
+    }
+
+    /// Whether eligible subtrees may install their output after execution.
+    pub fn installs(self) -> bool {
+        matches!(self, ReusePolicy::Enabled)
+    }
+
+    /// Stable lowercase label (for reports and fingerprints).
+    pub fn label(self) -> &'static str {
+        match self {
+            ReusePolicy::Enabled => "enabled",
+            ReusePolicy::ReadOnly => "read-only",
+            ReusePolicy::Off => "off",
+        }
+    }
+}
+
+/// The one execution-options type, builder style.
+///
+/// Used directly by [`crate::exec::execute_query`], by [`Session::query`],
+/// by [`crate::prepare::Database`], and (wrapped in a
+/// [`crate::server::SubmitSpec`]) by both servers. Unset options fall back
+/// to the caller's defaults: a session fills in its worker budget, timeout,
+/// and fault registry; bare `execute_query` runs serial with no deadline
+/// and no armed faults.
 ///
 /// ```ignore
 /// let opts = QueryOpts::new().profile(true).threads(4);
@@ -35,6 +78,9 @@ pub struct QueryOpts {
     trace: bool,
     threads: Option<usize>,
     timeout: Option<Duration>,
+    cancel: Option<CancelToken>,
+    faults: Option<Arc<FaultRegistry>>,
+    reuse: ReusePolicy,
 }
 
 impl QueryOpts {
@@ -68,6 +114,28 @@ impl QueryOpts {
         self
     }
 
+    /// Attach a caller-held cancel token. An explicit token wins over any
+    /// timeout-derived one, so the caller can stop the query from another
+    /// thread regardless of deadlines.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attach a fault-injection registry for this query (chaos tests arm
+    /// sites per query; unset inherits the session's registry, or an empty
+    /// one under bare `execute_query`).
+    pub fn faults(mut self, faults: Arc<FaultRegistry>) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Set the subplan-reuse policy (default: [`ReusePolicy::Enabled`]).
+    pub fn reuse(mut self, policy: ReusePolicy) -> Self {
+        self.reuse = policy;
+        self
+    }
+
     /// Whether profiling was requested.
     pub fn wants_profile(&self) -> bool {
         self.profile
@@ -86,6 +154,41 @@ impl QueryOpts {
     /// The timeout override, if any.
     pub fn timeout_override(&self) -> Option<Duration> {
         self.timeout
+    }
+
+    /// The caller-held cancel token, if any.
+    pub fn cancel_override(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// The per-query fault registry, if any.
+    pub fn fault_registry(&self) -> Option<&Arc<FaultRegistry>> {
+        self.faults.as_ref()
+    }
+
+    /// The subplan-reuse policy.
+    pub fn reuse_policy(&self) -> ReusePolicy {
+        self.reuse
+    }
+
+    /// The cancel token this query will run under: the explicit token when
+    /// set, else a fresh deadline token from the timeout, else a fresh
+    /// never-cancelling token.
+    pub fn resolve_cancel(&self) -> CancelToken {
+        match (&self.cancel, self.timeout) {
+            (Some(c), _) => c.clone(),
+            (None, Some(t)) => CancelToken::with_timeout(t),
+            (None, None) => CancelToken::new(),
+        }
+    }
+
+    /// The fault registry this query will run under (an empty registry when
+    /// none was attached).
+    pub fn resolve_faults(&self) -> Arc<FaultRegistry> {
+        match &self.faults {
+            Some(f) => Arc::clone(f),
+            None => Arc::new(FaultRegistry::new()),
+        }
     }
 }
 
@@ -167,22 +270,32 @@ impl Session {
     /// [`crate::prepare::prepare_physical_plan`] (or use a
     /// [`crate::prepare::Database`]) to parallelize and refine it first.
     pub fn query(&self, plan: &PlanNode, opts: &QueryOpts) -> QueryOutcome {
-        let cancel = match opts.timeout_override().or(self.timeout) {
-            Some(t) => CancelToken::with_timeout(t),
-            None => CancelToken::new(),
-        };
+        let resolved = self.resolve_opts(opts);
+        let cancel = resolved.resolve_cancel();
         *self
             .current
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner()) = cancel.clone();
-        let exec_opts = ExecOptions {
-            threads: opts.thread_override().unwrap_or(self.threads),
-            cancel,
-            faults: Arc::clone(&self.faults),
-            profile: opts.wants_profile(),
-            trace: opts.wants_trace(),
-        };
-        execute_query(plan, &self.catalog, &self.cfg, &exec_opts)
+        execute_query(plan, &self.catalog, &self.cfg, &resolved.cancel(cancel))
+    }
+
+    /// Fill session defaults into options the caller left unset: the worker
+    /// budget, the per-query timeout, and the fault registry. Explicit
+    /// settings in `opts` always win.
+    pub fn resolve_opts(&self, opts: &QueryOpts) -> QueryOpts {
+        let mut resolved = opts.clone();
+        if resolved.thread_override().is_none() {
+            resolved = resolved.threads(self.threads);
+        }
+        if resolved.timeout_override().is_none() {
+            if let Some(t) = self.timeout {
+                resolved = resolved.timeout(t);
+            }
+        }
+        if resolved.fault_registry().is_none() {
+            resolved = resolved.faults(Arc::clone(&self.faults));
+        }
+        resolved
     }
 }
 

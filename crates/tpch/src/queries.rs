@@ -326,14 +326,15 @@ mod tests {
     use super::*;
     use crate::generate_catalog;
     use bufferdb_cachesim::MachineConfig;
-    use bufferdb_core::exec::{execute_query, ExecOptions};
+    use bufferdb_core::exec::execute_query;
+    use bufferdb_core::session::QueryOpts;
 
     fn execute_collect(
         plan: &PlanNode,
         c: &Catalog,
         cfg: &MachineConfig,
     ) -> bufferdb_types::Result<Vec<bufferdb_types::Tuple>> {
-        execute_query(plan, c, cfg, &ExecOptions::default())
+        execute_query(plan, c, cfg, &QueryOpts::new())
             .into_result()
             .map(|(rows, _, _)| rows)
     }

@@ -28,9 +28,9 @@ fn main() -> Result<()> {
         let plan = tpch::queries::paper_query3(&catalog, method)?;
         let refined = refine_plan(&plan, &catalog, &refine_cfg);
         let (rows, original, _) =
-            execute_query(&plan, &catalog, &machine, &ExecOptions::default()).into_result()?;
+            execute_query(&plan, &catalog, &machine, &QueryOpts::new()).into_result()?;
         let (rows2, buffered, _) =
-            execute_query(&refined, &catalog, &machine, &ExecOptions::default()).into_result()?;
+            execute_query(&refined, &catalog, &machine, &QueryOpts::new()).into_result()?;
         assert_eq!(format!("{}", rows[0]), format!("{}", rows2[0]));
         answers.push(format!("{}", rows[0]));
 

@@ -38,7 +38,7 @@ fn main() -> Result<()> {
         let refined = refine_plan(&choice.plan, &catalog, &RefineConfig::default());
         println!("{}", explain(&refined, &catalog));
         let (rows, stats, _) =
-            execute_query(&refined, &catalog, &machine, &ExecOptions::default()).into_result()?;
+            execute_query(&refined, &catalog, &machine, &QueryOpts::new()).into_result()?;
         println!(
             "rows: {}, modeled {:.3}s, L1i misses {}\n",
             rows.len(),

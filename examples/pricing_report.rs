@@ -21,9 +21,9 @@ fn main() -> Result<()> {
     let refined = refine_plan(&plan, &catalog, &RefineConfig::default());
 
     let (rows, original, _) =
-        execute_query(&plan, &catalog, &machine, &ExecOptions::default()).into_result()?;
+        execute_query(&plan, &catalog, &machine, &QueryOpts::new()).into_result()?;
     let (_, buffered, _) =
-        execute_query(&refined, &catalog, &machine, &ExecOptions::default()).into_result()?;
+        execute_query(&refined, &catalog, &machine, &QueryOpts::new()).into_result()?;
 
     println!("\npricing summary: {}", rows[0]);
     println!("\noriginal plan:\n{}", explain(&plan, &catalog));

@@ -48,7 +48,7 @@ fn main() -> Result<()> {
         &plan,
         db.catalog(),
         db.session().machine(),
-        &ExecOptions::default(),
+        &QueryOpts::new(),
     )
     .into_result()?;
     println!("result: {}", rows[0]);

@@ -15,7 +15,7 @@
 //! let catalog = bufferdb::tpch::generate_catalog(0.001, 42);
 //! let plan = bufferdb::tpch::queries::paper_query2(&catalog).unwrap();
 //! let machine = MachineConfig::pentium4_like();
-//! let out = execute_query(&plan, &catalog, &machine, &ExecOptions::default());
+//! let out = execute_query(&plan, &catalog, &machine, &QueryOpts::new());
 //! assert_eq!(out.rows().len(), 1); // single aggregate row
 //! ```
 //!
@@ -45,7 +45,9 @@ pub use bufferdb_types as types;
 pub mod prelude {
     pub use bufferdb_cachesim::{BreakdownReport, CacheConfig, MachineConfig, PerfCounters};
     pub use bufferdb_core::cancel::CancelToken;
-    pub use bufferdb_core::exec::{execute_query, ExecOptions, QueryOutcome};
+    #[allow(deprecated)]
+    pub use bufferdb_core::exec::ExecOptions;
+    pub use bufferdb_core::exec::{execute_query, QueryOutcome};
     pub use bufferdb_core::expr::Expr;
     pub use bufferdb_core::fault::{FaultMode, FaultRegistry, Trigger};
     pub use bufferdb_core::footprint::{FootprintModel, OpKind};
@@ -62,14 +64,14 @@ pub mod prelude {
     pub use bufferdb_core::prepare::{
         fingerprint_plan, fingerprint_plan_with_mode, prepare_physical_plan,
         prepare_plan_parts_with_mode, AdaptConfig, AdaptStats, CacheEntry, CacheStats, Database,
-        PlanCache, PlanFingerprint, PreparedQuery,
+        PlanCache, PlanFingerprint, PreparedQuery, ReuseCache, ReuseStats,
     };
     pub use bufferdb_core::refine::{
         refine_plan, refine_plan_observed, ObservedCards, RefineConfig,
     };
     pub use bufferdb_core::server::virt::{CompletedQuery, VirtualServer};
-    pub use bufferdb_core::server::{QueryTicket, Server, ServerConfig, ServerStats};
-    pub use bufferdb_core::session::{QueryOpts, Session};
+    pub use bufferdb_core::server::{QueryTicket, Server, ServerConfig, ServerStats, SubmitSpec};
+    pub use bufferdb_core::session::{QueryOpts, ReusePolicy, Session};
     pub use bufferdb_core::stats::ExecStats;
     pub use bufferdb_index::BTreeIndex;
     pub use bufferdb_storage::{Catalog, IndexDef, Table, TableBuilder};

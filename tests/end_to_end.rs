@@ -7,7 +7,7 @@ use bufferdb::prelude::*;
 use bufferdb::tpch::{self, queries, queries::JoinMethod};
 
 fn collect(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> Result<Vec<Tuple>> {
-    execute_query(plan, catalog, cfg, &ExecOptions::default())
+    execute_query(plan, catalog, cfg, &QueryOpts::new())
         .into_result()
         .map(|(rows, _, _)| rows)
 }

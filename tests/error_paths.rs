@@ -4,7 +4,7 @@
 use bufferdb::prelude::*;
 
 fn collect(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> Result<Vec<Tuple>> {
-    execute_query(plan, catalog, cfg, &ExecOptions::default())
+    execute_query(plan, catalog, cfg, &QueryOpts::new())
         .into_result()
         .map(|(rows, _, _)| rows)
 }
@@ -194,7 +194,7 @@ fn errors_do_not_corrupt_later_runs() {
         predicate: None,
         projection: None,
     };
-    let (rows, stats, _) = execute_query(&good, &c, &machine(), &ExecOptions::default())
+    let (rows, stats, _) = execute_query(&good, &c, &machine(), &QueryOpts::new())
         .into_result()
         .unwrap();
     assert_eq!(rows.len(), 10);

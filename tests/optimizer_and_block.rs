@@ -9,7 +9,7 @@ use bufferdb::prelude::*;
 use bufferdb::tpch;
 
 fn collect(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> Result<Vec<Tuple>> {
-    execute_query(plan, catalog, cfg, &ExecOptions::default())
+    execute_query(plan, catalog, cfg, &QueryOpts::new())
         .into_result()
         .map(|(rows, _, _)| rows)
 }

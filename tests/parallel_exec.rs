@@ -45,17 +45,14 @@ fn parallel_results_match_serial_at_every_worker_count() {
     let machine = MachineConfig::pentium4_like();
     for (name, plan) in all_queries(&catalog) {
         let serial = normalized(
-            &execute_query(&plan, &catalog, &machine, &ExecOptions::default())
+            &execute_query(&plan, &catalog, &machine, &QueryOpts::new())
                 .into_result()
                 .map(|(rows, _, _)| rows)
                 .unwrap(),
         );
         for workers in [1usize, 2, 7] {
             let par = parallelize_plan(&plan, &catalog, workers).unwrap();
-            let opts = ExecOptions {
-                threads: workers,
-                ..Default::default()
-            };
+            let opts = QueryOpts::new().threads(workers);
             let (rows, _, _) = execute_query(&par, &catalog, &machine, &opts)
                 .into_result()
                 .unwrap_or_else(|e| panic!("{name} at {workers} workers: {e}"));
@@ -77,7 +74,7 @@ fn refined_parallel_results_match_serial() {
     let cfg = RefineConfig::default();
     for (name, plan) in all_queries(&catalog) {
         let serial = normalized(
-            &execute_query(&plan, &catalog, &machine, &ExecOptions::default())
+            &execute_query(&plan, &catalog, &machine, &QueryOpts::new())
                 .into_result()
                 .map(|(rows, _, _)| rows)
                 .unwrap(),
@@ -88,10 +85,7 @@ fn refined_parallel_results_match_serial() {
                 &catalog,
                 &cfg,
             );
-            let opts = ExecOptions {
-                threads: workers,
-                ..Default::default()
-            };
+            let opts = QueryOpts::new().threads(workers);
             let (rows, _, _) = execute_query(&par, &catalog, &machine, &opts)
                 .into_result()
                 .unwrap_or_else(|e| panic!("{name} refined at {workers} workers: {e}"));
@@ -114,11 +108,7 @@ fn parallel_profile_conserves_counters_and_lane_rows() {
     for (name, plan) in all_queries(&catalog) {
         for workers in [2usize, 7] {
             let par = parallelize_plan(&plan, &catalog, workers).unwrap();
-            let opts = ExecOptions {
-                threads: workers,
-                profile: true,
-                ..Default::default()
-            };
+            let opts = QueryOpts::new().threads(workers).profile(true);
             let (_, stats, profile) = execute_query(&par, &catalog, &machine, &opts)
                 .into_result()
                 .unwrap_or_else(|e| panic!("{name} at {workers} workers: {e}"));

@@ -140,10 +140,7 @@ fn cached_results_match_uncached_at_1_2_7_workers() {
         for plan in [agg_plan(), scan()] {
             let direct = prepare_physical_plan(&plan, db.catalog(), db.refine_config(), workers)
                 .unwrap_or_else(|e| panic!("{workers} workers: prepare: {e}"));
-            let opts = ExecOptions {
-                threads: workers,
-                ..Default::default()
-            };
+            let opts = QueryOpts::new().threads(workers);
             let (rows, _, _) = execute_query(&direct, db.catalog(), db.session().machine(), &opts)
                 .into_result()
                 .unwrap_or_else(|e| panic!("{workers} workers: uncached run: {e}"));

@@ -10,10 +10,7 @@ fn profiled(
     catalog: &Catalog,
     cfg: &MachineConfig,
 ) -> (Vec<Tuple>, ExecStats, QueryProfile) {
-    let opts = ExecOptions {
-        profile: true,
-        ..Default::default()
-    };
+    let opts = QueryOpts::new().profile(true);
     let (rows, stats, profile) = execute_query(plan, catalog, cfg, &opts)
         .into_result()
         .unwrap();
@@ -80,7 +77,7 @@ fn profiler_overhead_is_under_five_percent() {
     let machine = MachineConfig::pentium4_like();
     for (name, plan) in all_queries(&catalog) {
         let (rows_plain, stats_plain, _) =
-            execute_query(&plan, &catalog, &machine, &ExecOptions::default())
+            execute_query(&plan, &catalog, &machine, &QueryOpts::new())
                 .into_result()
                 .unwrap();
         let (rows_prof, stats_prof, profile) = profiled(&plan, &catalog, &machine);

@@ -34,10 +34,7 @@ fn normalized(rows: &[Tuple]) -> Vec<String> {
 }
 
 fn solo_rows(plan: &PlanNode, catalog: &Catalog, lanes: usize) -> Vec<String> {
-    let opts = ExecOptions {
-        threads: lanes,
-        ..Default::default()
-    };
+    let opts = QueryOpts::new().threads(lanes);
     let (rows, _, _) = execute_query(plan, catalog, &MachineConfig::pentium4_like(), &opts)
         .into_result()
         .unwrap();
@@ -89,7 +86,10 @@ fn concurrent_queries_match_solo_and_conserve_counters() {
         for wave in 0..2 {
             let tickets: Vec<_> = plans
                 .iter()
-                .map(|(name, plan)| (*name, server.submit(plan, &catalog, &opts).expect("submit")))
+                .map(|(name, plan)| {
+                    let spec = SubmitSpec::new(plan, &catalog).opts(opts.clone());
+                    (*name, server.submit(spec).expect("submit"))
+                })
                 .collect();
             for (i, (name, ticket)) in tickets.into_iter().enumerate() {
                 let out = ticket.wait();
@@ -135,11 +135,14 @@ fn faulted_query_does_not_poison_the_pool() {
             mode,
         );
         let bad = server
-            .submit_with_faults(victim, &catalog, &opts, faults)
+            .submit(SubmitSpec::new(victim, &catalog).opts(opts.clone().faults(faults)))
             .expect("submit victim");
         let healthy: Vec<_> = plans
             .iter()
-            .map(|(name, plan)| (*name, server.submit(plan, &catalog, &opts).unwrap()))
+            .map(|(name, plan)| {
+                let spec = SubmitSpec::new(plan, &catalog).opts(opts.clone());
+                (*name, server.submit(spec).unwrap())
+            })
             .collect();
         let bad_out = bad.wait();
         assert!(
@@ -159,7 +162,7 @@ fn faulted_query_does_not_poison_the_pool() {
     // Cancellation (as an already-expired timeout, so it deterministically
     // lands mid-stream) behaves the same way.
     let cancelled = server
-        .submit(victim, &catalog, &QueryOpts::new().timeout(Duration::ZERO))
+        .submit(SubmitSpec::new(victim, &catalog).opts(QueryOpts::new().timeout(Duration::ZERO)))
         .expect("submit cancelled");
     let out = cancelled.wait();
     assert!(
@@ -168,7 +171,10 @@ fn faulted_query_does_not_poison_the_pool() {
         out.error()
     );
     let (name, plan) = &plans[1];
-    let after = server.submit(plan, &catalog, &opts).unwrap().wait();
+    let after = server
+        .submit(SubmitSpec::new(plan, &catalog).opts(opts.clone()))
+        .unwrap()
+        .wait();
     assert!(
         after.error().is_none(),
         "{name} after cancel: {:?}",
@@ -196,7 +202,7 @@ fn virtual_server_workers_one_runs_on_one_core() {
             MachineConfig::pentium4_like(),
         ));
         for (_, plan) in &plans {
-            vs.submit_at(0, plan, &catalog, &QueryOpts::new()).unwrap();
+            vs.submit(SubmitSpec::new(plan, &catalog)).unwrap();
         }
         let done = vs.drain();
         assert_eq!(done.len(), plans.len());
@@ -239,7 +245,8 @@ fn virtual_server_is_deterministic_and_attributes_interference() {
         let opts = QueryOpts::new().profile(true);
         for _ in 0..2 {
             for (_, plan) in &plans {
-                vs.submit_at(0, plan, &catalog, &opts).expect("submit");
+                vs.submit(SubmitSpec::new(plan, &catalog).opts(opts.clone()))
+                    .expect("submit");
             }
         }
         let done = vs.drain();
@@ -320,7 +327,7 @@ fn virtual_server_interference_grows_with_streams() {
         ));
         for _ in 0..3 {
             for (_, plan) in plans.iter().take(streams) {
-                vs.submit_at(0, plan, &catalog, &QueryOpts::new()).unwrap();
+                vs.submit(SubmitSpec::new(plan, &catalog)).unwrap();
             }
         }
         vs.drain()

@@ -6,7 +6,7 @@ use bufferdb::prelude::*;
 use bufferdb::tpch::{self, queries};
 
 fn stats_of(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> ExecStats {
-    let (_, stats, _) = execute_query(plan, catalog, cfg, &ExecOptions::default())
+    let (_, stats, _) = execute_query(plan, catalog, cfg, &QueryOpts::new())
         .into_result()
         .unwrap();
     stats

@@ -104,12 +104,7 @@ fn trace_and_profiler_conserve_at_1_2_7_workers() {
     let plan = queries::tpch_q12(&catalog).unwrap();
     for workers in [1usize, 2, 7] {
         let par = parallelize_plan(&plan, &catalog, workers).unwrap();
-        let opts = ExecOptions {
-            threads: workers,
-            profile: true,
-            trace: true,
-            ..Default::default()
-        };
+        let opts = QueryOpts::new().threads(workers).profile(true).trace(true);
         let mut out = execute_query(&par, &catalog, &machine, &opts);
         assert!(out.is_ok(), "{workers} workers: {:?}", out.error());
         let trace = out.take_trace().expect("trace was requested");
@@ -247,10 +242,7 @@ fn find_time_key(s: &str) -> Option<(&'static str, usize)> {
 #[test]
 fn perfetto_export_matches_golden_file() {
     let c = small_catalog(1000);
-    let opts = ExecOptions {
-        trace: true,
-        ..Default::default()
-    };
+    let opts = QueryOpts::new().trace(true);
     let mut out = execute_query(&buffered_agg(), &c, &MachineConfig::pentium4_like(), &opts);
     assert!(out.is_ok(), "{:?}", out.error());
     let json = out.take_trace().unwrap().perfetto_json();
@@ -277,12 +269,9 @@ fn tracing_costs_nothing_modeled_and_is_off_by_default() {
     let c = small_catalog(5000);
     let machine = MachineConfig::pentium4_like();
     let plan = buffered_agg();
-    let plain = execute_query(&plan, &c, &machine, &ExecOptions::default());
+    let plain = execute_query(&plan, &c, &machine, &QueryOpts::new());
     assert!(plain.trace().is_none(), "tracing must be off by default");
-    let opts = ExecOptions {
-        trace: true,
-        ..Default::default()
-    };
+    let opts = QueryOpts::new().trace(true);
     let traced = execute_query(&plan, &c, &machine, &opts);
     assert!(traced.trace().is_some());
     // The recorder adds zero modeled work: identical instruction stream
