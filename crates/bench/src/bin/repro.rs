@@ -47,6 +47,14 @@ experiments:
             summarize it (rejects unknown versions, exit code 2)
   trace <query>  flight-recorder trace of one query (Q1 Q6 Q12 Q14
             paperQ1 paperQ2), write Perfetto JSON to TRACE_<query>.json
+  trace --server  whole-server flight recorder: admission waits, query
+            runs and quantum turns across a multi-stream run, write
+            Perfetto JSON to TRACE_server.json
+  heatmap   per-segment L1i eviction attribution over the multi-stream
+            server workload, write BENCH_heatmap.json (exactly conserved
+            against machine totals)
+  systables install every sys.* introspection table, run a workload, and
+            query each through an ordinary plan (asserts zero modeled cost)
   traffic   open-loop traffic run with scripted regime switches; writes
             BENCH_traffic.json, TRAFFIC_windows.jsonl, TRAFFIC_metrics.prom
   server    multi-query interference sweep: {1,2,4,8} concurrent streams ×
@@ -242,12 +250,18 @@ fn main() {
             "traffic" => write_traffic(scale, seed, regimes, qps, duration_ms),
             "server" => write_server(scale, seed, &streams),
             "reuse" => write_reuse(scale, seed),
+            "heatmap" => write_heatmap(scale, seed),
+            "systables" => bufferdb_bench::sys_tables_demo(scale, seed),
             "trace" => {
                 let query = experiments
                     .get(i)
                     .unwrap_or_else(|| die("trace needs a query name (e.g. `trace Q12`)"));
                 i += 1;
-                write_trace(&ctx, seed, threads, query)
+                if query == "--server" {
+                    write_server_trace(scale, seed)
+                } else {
+                    write_trace(&ctx, seed, threads, query)
+                }
             }
             other => die(&format!("unknown experiment {other:?}")),
         };
@@ -403,7 +417,8 @@ fn write_server(scale: f64, seed: u64, streams: &[usize]) -> String {
 /// Every committed report schema, paired with the top-level array its
 /// payload lives in. `analyze` validates all of them through this one
 /// table, so adding a report means adding a row — not a new code path.
-const REPORT_SCHEMAS: [(&str, &str); 7] = [
+const REPORT_SCHEMAS: [(&str, &str); 8] = [
+    ("bufferdb-heatmap/v1", "segments"),
     ("bufferdb-metrics/v1", "entries"),
     ("bufferdb-modes/v1", "entries"),
     ("bufferdb-parallel/v1", "entries"),
@@ -428,6 +443,37 @@ fn write_reuse(scale: f64, seed: u64) -> String {
         "{}wrote {path} ({} cells)\n",
         bufferdb_bench::reuse_table(&report),
         report.entries.len()
+    )
+}
+
+/// Run the server workload with the per-segment heat ledger on and write
+/// `BENCH_heatmap.json` (uploaded as a CI artifact and drift-gated against
+/// the committed copy). The serializer itself asserts exact conservation
+/// against the machine-counter totals.
+fn write_heatmap(scale: f64, seed: u64) -> String {
+    let report = bufferdb_bench::heatmap_metrics(scale, seed);
+    let path = "BENCH_heatmap.json";
+    if let Err(e) = std::fs::write(path, report.to_json()) {
+        die(&format!("cannot write {path}: {e}"));
+    }
+    format!(
+        "{}wrote {path} ({} segments)\n",
+        bufferdb_bench::heatmap_table(&report),
+        report.segments.len()
+    )
+}
+
+/// Run the server workload under the always-on flight recorder and write
+/// the whole-run Perfetto timeline to `TRACE_server.json`.
+fn write_server_trace(scale: f64, seed: u64) -> String {
+    let (json, summary) = bufferdb_bench::server_trace(scale, seed);
+    let path = "TRACE_server.json";
+    if let Err(e) = std::fs::write(path, &json) {
+        die(&format!("cannot write {path}: {e}"));
+    }
+    format!(
+        "== Server flight recorder ==\n{summary}wrote {path} ({} bytes)\n",
+        json.len()
     )
 }
 

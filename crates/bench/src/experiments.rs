@@ -1146,9 +1146,10 @@ pub fn buffer_everywhere(plan: &PlanNode, size: usize) -> PlanNode {
         }
     };
     match plan {
-        PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } | PlanNode::ReusedScan { .. } => {
-            plan.clone()
-        }
+        PlanNode::SeqScan { .. }
+        | PlanNode::IndexScan { .. }
+        | PlanNode::ReusedScan { .. }
+        | PlanNode::SysScan { .. } => plan.clone(),
         // A fused push group is already batch-at-a-time internally; a
         // buffer above (or inside) it would only add copies.
         PlanNode::PushPipeline { .. } => plan.clone(),

@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod heatmap_bench;
 pub mod json;
 pub mod microbench;
 pub mod reuse_bench;
@@ -15,6 +16,9 @@ pub mod server_bench;
 pub mod traffic;
 
 pub use experiments::*;
+pub use heatmap_bench::{
+    heatmap_metrics, heatmap_table, server_trace, sys_tables_demo, HeatmapReport,
+};
 pub use json::Json;
 pub use reuse_bench::{reuse_metrics, reuse_table, ReuseReport, ReuseSweepEntry};
 pub use runner::{run_plan, MetricsReport, QueryMetrics, RunResult};

@@ -4,6 +4,7 @@
 //! the simulator cares about hit/miss behaviour, not contents.
 
 use crate::config::CacheConfig;
+use crate::heat::HeatCell;
 use std::collections::HashMap;
 
 /// Opt-in cross-owner eviction attribution (see [`Cache::set_owner`]).
@@ -22,6 +23,30 @@ struct OwnerTrack {
     cross_misses: u64,
 }
 
+/// Opt-in per-segment heat attribution (see [`Cache::enable_heat`]).
+///
+/// Kept boxed and separate from [`OwnerTrack`] so the plain and
+/// owner-tracked hot paths stay untouched when heat is off. Segment ids are
+/// small integers interned by the machine layer; id 0 means "no segment
+/// announced" ([`crate::heat::UNTRACKED_SEGMENT`]).
+#[derive(Debug, Clone, Default)]
+struct HeatTrack {
+    /// Segment charged for misses and evictions from now on.
+    cur_seg: u16,
+    /// `(segment, owner)` → accumulated cell.
+    cells: HashMap<(u16, u32), HeatCell>,
+    /// line → `(segment, owner)` that evicted it (removed on refill).
+    evicted: HashMap<u64, (u16, u32)>,
+    /// line → segment that fetched it (for residency snapshots).
+    line_seg: HashMap<u64, u16>,
+}
+
+impl HeatTrack {
+    fn cell(&mut self, seg: u16, owner: u32) -> &mut HeatCell {
+        self.cells.entry((seg, owner)).or_default()
+    }
+}
+
 /// One cache level. Addresses are byte addresses; the cache maps them to
 /// lines internally.
 #[derive(Debug, Clone)]
@@ -38,6 +63,8 @@ pub struct Cache {
     misses: u64,
     /// `None` (the default) keeps the hot path free of attribution work.
     track: Option<OwnerTrack>,
+    /// `None` (the default) keeps the miss path free of heat-ledger work.
+    heat: Option<Box<HeatTrack>>,
 }
 
 impl Cache {
@@ -55,6 +82,7 @@ impl Cache {
             accesses: 0,
             misses: 0,
             track: None,
+            heat: None,
         }
     }
 
@@ -81,6 +109,63 @@ impl Cache {
     /// [`Cache::misses`]); 0 when tracking was never enabled.
     pub fn cross_misses(&self) -> u64 {
         self.track.as_ref().map_or(0, |t| t.cross_misses)
+    }
+
+    /// Enable the per-(segment, owner) heat ledger. Idempotent; off by
+    /// default, and until enabled the miss path pays nothing for it. Enable
+    /// on a *cold* cache for exact `Σ misses == Cache::misses` conservation
+    /// (misses taken before enabling are in no cell).
+    pub fn enable_heat(&mut self) {
+        if self.heat.is_none() {
+            self.heat = Some(Box::default());
+        }
+    }
+
+    /// Whether the heat ledger is on.
+    pub fn heat_enabled(&self) -> bool {
+        self.heat.is_some()
+    }
+
+    /// Announce the code segment charged for misses and evictions from this
+    /// point forward (no-op while heat is disabled). Id 0 is reserved for
+    /// "no segment announced".
+    pub fn set_heat_segment(&mut self, seg: u16) {
+        if let Some(h) = &mut self.heat {
+            h.cur_seg = seg;
+        }
+    }
+
+    /// The accumulated heat ledger as `((segment id, owner), cell)` rows;
+    /// empty when heat was never enabled.
+    pub fn heat_cells(&self) -> Vec<((u16, u32), HeatCell)> {
+        self.heat
+            .as_ref()
+            .map(|h| h.cells.iter().map(|(&k, &v)| (k, v)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Point-in-time residency: `(set index, segment id, resident lines)`
+    /// for every (set, segment) pair with at least one resident line. Lines
+    /// fetched before heat was enabled count under segment 0.
+    pub fn heat_residency(&self) -> Vec<(usize, u16, u32)> {
+        let Some(h) = &self.heat else {
+            return Vec::new();
+        };
+        let mut acc: HashMap<(usize, u16), u32> = HashMap::new();
+        for (i, &tag) in self.tags.iter().enumerate() {
+            if tag == u64::MAX {
+                continue;
+            }
+            let set = i / self.cfg.associativity;
+            let seg = h.line_seg.get(&tag).copied().unwrap_or(0);
+            *acc.entry((set, seg)).or_insert(0) += 1;
+        }
+        acc.into_iter().map(|((s, g), n)| (s, g, n)).collect()
+    }
+
+    /// Number of sets in this cache.
+    pub fn sets(&self) -> usize {
+        self.set_mask as usize + 1
     }
 
     /// Geometry.
@@ -122,14 +207,42 @@ impl Cache {
                 victim = w;
             }
         }
+        let old = self.tags[base + victim];
+        let mut cross = false;
         if let Some(t) = &mut self.track {
             if t.evicted_by.remove(&line).is_some_and(|tag| tag != t.owner) {
                 t.cross_misses += 1;
+                cross = true;
             }
-            let old = self.tags[base + victim];
             if old != u64::MAX {
                 t.evicted_by.insert(old, t.owner);
             }
+        }
+        if let Some(h) = &mut self.heat {
+            // The cross verdict comes from the owner track above — the heat
+            // ledger never re-derives it, so the two can never disagree and
+            // Σ cell.cross_misses == cross_misses() holds unconditionally.
+            let owner = self.track.as_ref().map_or(0, |t| t.owner);
+            let seg = h.cur_seg;
+            let evictor = h.evicted.remove(&line);
+            if cross {
+                // Attribute the cross miss to whoever evicted the line; a
+                // missing record (heat enabled after the eviction) lands on
+                // the untracked segment instead of breaking conservation.
+                let (ev_seg, ev_owner) = evictor.unwrap_or((0, u32::MAX));
+                h.cell(ev_seg, ev_owner).cross_caused += 1;
+            }
+            let cell = h.cell(seg, owner);
+            cell.misses += 1;
+            if cross {
+                cell.cross_misses += 1;
+            }
+            if old != u64::MAX {
+                h.cell(seg, owner).evictions += 1;
+                h.evicted.insert(old, (seg, owner));
+                h.line_seg.remove(&old);
+            }
+            h.line_seg.insert(line, seg);
         }
         self.tags[base + victim] = line;
         self.stamps[base + victim] = self.tick;
@@ -170,6 +283,10 @@ impl Cache {
         self.stamps.fill(0);
         if let Some(t) = &mut self.track {
             t.evicted_by.clear();
+        }
+        if let Some(h) = &mut self.heat {
+            h.evicted.clear();
+            h.line_seg.clear();
         }
     }
 
@@ -336,6 +453,100 @@ mod tests {
             }
             assert!(c.resident_lines() <= 8); // 4 sets * 2 ways
         }
+    }
+
+    #[test]
+    fn heat_cells_conserve_misses_and_cross() {
+        let mut c = small();
+        c.enable_heat();
+        c.set_owner(1);
+        c.set_heat_segment(10);
+        let (a, b, d) = (0x0u64, 0x100, 0x200);
+        c.access(a);
+        c.access(b);
+        c.set_owner(2);
+        c.set_heat_segment(20);
+        c.access(d); // evicts a under (seg 20, owner 2)
+        c.set_owner(1);
+        c.set_heat_segment(10);
+        c.access(a); // cross miss, caused by (20, 2)
+        let cells = c.heat_cells();
+        let sum_miss: u64 = cells.iter().map(|(_, v)| v.misses).sum();
+        let sum_cross: u64 = cells.iter().map(|(_, v)| v.cross_misses).sum();
+        let sum_caused: u64 = cells.iter().map(|(_, v)| v.cross_caused).sum();
+        assert_eq!(sum_miss, c.misses());
+        assert_eq!(sum_cross, c.cross_misses());
+        assert_eq!(sum_caused, c.cross_misses());
+        let victim = cells.iter().find(|(k, _)| *k == (10, 1)).unwrap().1;
+        assert_eq!(victim.cross_misses, 1, "victim side charged");
+        let evictor = cells.iter().find(|(k, _)| *k == (20, 2)).unwrap().1;
+        assert_eq!(evictor.cross_caused, 1, "evictor side charged");
+        assert_eq!(evictor.evictions, 1);
+    }
+
+    #[test]
+    fn heat_conservation_under_random_streams() {
+        for seed in 0..32u64 {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) + 1;
+            let mut c = small();
+            c.enable_heat();
+            let len = 50 + (splitmix(&mut state) % 400) as usize;
+            for _ in 0..len {
+                let owner = 1 + (splitmix(&mut state) % 3) as u32;
+                let seg = (splitmix(&mut state) % 4) as u16;
+                c.set_owner(owner);
+                c.set_heat_segment(seg);
+                c.access(splitmix(&mut state) % 0x1000);
+            }
+            let cells = c.heat_cells();
+            let sum_miss: u64 = cells.iter().map(|(_, v)| v.misses).sum();
+            let sum_cross: u64 = cells.iter().map(|(_, v)| v.cross_misses).sum();
+            let sum_caused: u64 = cells.iter().map(|(_, v)| v.cross_caused).sum();
+            assert_eq!(sum_miss, c.misses(), "seed {seed}");
+            assert_eq!(sum_cross, c.cross_misses(), "seed {seed}");
+            assert_eq!(sum_caused, c.cross_misses(), "seed {seed}");
+            let resident: u32 = c.heat_residency().iter().map(|&(_, _, n)| n).sum();
+            assert_eq!(resident as usize, c.resident_lines(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn heat_off_reports_empty_and_counts_match_enabled() {
+        // The ledger must be observationally free: the same access stream
+        // produces identical hit/miss results with heat on and off.
+        let stream: Vec<u64> = (0..200).map(|i| (i * 37) % 0x800).collect();
+        let mut plain = small();
+        let mut hot = small();
+        hot.enable_heat();
+        hot.set_heat_segment(3);
+        for &a in &stream {
+            assert_eq!(plain.access(a), hot.access(a));
+        }
+        assert_eq!(plain.misses(), hot.misses());
+        assert!(plain.heat_cells().is_empty());
+        assert!(plain.heat_residency().is_empty());
+    }
+
+    #[test]
+    fn heat_flush_clears_pending_attribution_state() {
+        let mut c = small();
+        c.enable_heat();
+        c.set_owner(1);
+        c.set_heat_segment(1);
+        let (a, b, d) = (0x0u64, 0x100, 0x200);
+        c.access(a);
+        c.access(b);
+        c.set_owner(2);
+        c.set_heat_segment(2);
+        c.access(d);
+        c.flush();
+        c.set_owner(1);
+        c.set_heat_segment(1);
+        c.access(a);
+        let cells = c.heat_cells();
+        let sum_caused: u64 = cells.iter().map(|(_, v)| v.cross_caused).sum();
+        assert_eq!(sum_caused, 0, "flush must clear eviction attributions");
+        assert_eq!(c.heat_residency().len(), 1, "only line a resident");
     }
 
     /// Hit/miss agrees with an exact reference LRU simulation across many

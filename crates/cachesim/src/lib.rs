@@ -27,6 +27,7 @@ pub mod branch;
 pub mod cache;
 pub mod config;
 pub mod counters;
+pub mod heat;
 pub mod layout;
 pub mod machine;
 pub mod misscurve;
@@ -38,6 +39,7 @@ pub use branch::{BimodalPredictor, BranchPredictor, GsharePredictor, PredictorKi
 pub use cache::Cache;
 pub use config::{BranchConfig, CacheConfig, Latencies, MachineConfig};
 pub use counters::PerfCounters;
+pub use heat::{HeatCell, HeatSnapshot};
 pub use layout::{CodeLayout, CodeRegion, SegmentSpec};
 pub use machine::Machine;
 pub use misscurve::{sweep as miss_curve_sweep, MissPoint};

@@ -4,6 +4,7 @@ use crate::branch::{build_predictor, BranchPredictor};
 use crate::cache::Cache;
 use crate::config::MachineConfig;
 use crate::counters::PerfCounters;
+use crate::heat::{HeatSnapshot, UNTRACKED_SEGMENT};
 use crate::layout::CodeRegion;
 use crate::prefetch::StreamPrefetcher;
 use crate::report::BreakdownReport;
@@ -28,6 +29,9 @@ pub struct Machine {
     l2_line_shift: u32,
     /// Counters merged in from other simulated cores (worker machines).
     absorbed: PerfCounters,
+    /// Segment-name interner for the L1i heat ledger; index = segment id.
+    /// `None` while the heatmap is off (the common case).
+    heat_names: Option<Vec<String>>,
 }
 
 impl Machine {
@@ -47,6 +51,7 @@ impl Machine {
             l2_covered: 0,
             l2_line_shift: cfg.l2.line_size.trailing_zeros(),
             absorbed: PerfCounters::default(),
+            heat_names: None,
             cfg,
         }
     }
@@ -74,6 +79,19 @@ impl Machine {
     pub fn exec_region(&mut self, region: &mut CodeRegion) {
         let line = self.cfg.l1i.line_size as u64;
         for seg in region.segments() {
+            if let Some(names) = &mut self.heat_names {
+                // Announce the segment so L1i misses in the loop below land
+                // in its heat cell. Interning is per segment execution, not
+                // per line, and the vocabulary is ~30 names.
+                let id = match names.iter().position(|n| n == &seg.name) {
+                    Some(i) => i,
+                    None => {
+                        names.push(seg.name.clone());
+                        names.len() - 1
+                    }
+                };
+                self.l1i.set_heat_segment(id as u16);
+            }
             for &(base, len) in &seg.functions {
                 self.itlb.access(base);
                 self.instructions += (len as u64) / 4;
@@ -142,6 +160,47 @@ impl Machine {
     /// call this and pay nothing.
     pub fn set_query_tag(&mut self, tag: u32) {
         self.l1i.set_owner(tag);
+    }
+
+    /// Enable the per-segment L1i heat ledger on this core. Idempotent.
+    /// Enable before the first [`Machine::exec_region`] for exact
+    /// miss-conservation (Σ cell misses == `l1i_misses`); attribution adds
+    /// zero modeled cost either way.
+    pub fn enable_heatmap(&mut self) {
+        if self.heat_names.is_none() {
+            self.heat_names = Some(vec![UNTRACKED_SEGMENT.to_string()]);
+            self.l1i.enable_heat();
+        }
+    }
+
+    /// Whether the heat ledger is on.
+    pub fn heatmap_enabled(&self) -> bool {
+        self.heat_names.is_some()
+    }
+
+    /// Resolve the L1i heat ledger into names: per-(segment, owner) miss/
+    /// eviction attribution plus point-in-time per-set residency. Empty when
+    /// the heatmap was never enabled. Snapshots of several machines merge
+    /// with [`HeatSnapshot::merge`].
+    pub fn heat_snapshot(&self) -> HeatSnapshot {
+        let mut snap = HeatSnapshot::default();
+        let Some(names) = &self.heat_names else {
+            return snap;
+        };
+        snap.sets = self.l1i.sets();
+        let name_of = |id: u16| -> String {
+            names
+                .get(id as usize)
+                .cloned()
+                .unwrap_or_else(|| UNTRACKED_SEGMENT.to_string())
+        };
+        for ((seg, owner), cell) in self.l1i.heat_cells() {
+            snap.cells.insert((name_of(seg), owner), cell);
+        }
+        for (set, seg, n) in self.l1i.heat_residency() {
+            *snap.residency.entry((set, name_of(seg))).or_insert(0) += n;
+        }
+        snap
     }
 
     /// Fold another core's counter delta into this machine's totals.
@@ -333,6 +392,53 @@ mod tests {
         let mut m = machine();
         m.data_read(0x1000_0020, 96); // crosses a 64 B boundary
         assert_eq!(m.snapshot().l1d_accesses, 2);
+    }
+
+    #[test]
+    fn heat_snapshot_conserves_machine_l1i_totals() {
+        let mut m = machine();
+        m.enable_heatmap();
+        let mut l = CodeLayout::new();
+        let mut a = region(&mut l, "parent", 13_000);
+        let mut b = region(&mut l, "child", 13_000);
+        m.set_query_tag(1);
+        for _ in 0..50 {
+            m.exec_region(&mut b);
+            m.exec_region(&mut a);
+        }
+        m.set_query_tag(2);
+        for _ in 0..50 {
+            m.exec_region(&mut a);
+        }
+        let c = m.snapshot();
+        let snap = m.heat_snapshot();
+        assert_eq!(snap.total_misses(), c.l1i_misses);
+        assert_eq!(snap.total_cross_misses(), c.l1i_cross_misses);
+        assert_eq!(snap.total_cross_caused(), c.l1i_cross_misses);
+        assert!(snap.cells.keys().any(|(s, _)| s == "parent"));
+        assert!(snap.cells.keys().any(|(s, _)| s == "child"));
+        let resident: u32 = snap.residency.values().sum();
+        assert!(resident > 0, "warm cache has resident lines");
+    }
+
+    #[test]
+    fn heatmap_adds_zero_modeled_cost() {
+        let run = |heat: bool| {
+            let mut m = machine();
+            if heat {
+                m.enable_heatmap();
+            }
+            let mut l = CodeLayout::new();
+            let mut a = region(&mut l, "p", 13_000);
+            let mut b = region(&mut l, "c", 13_000);
+            m.set_query_tag(7);
+            for _ in 0..100 {
+                m.exec_region(&mut b);
+                m.exec_region(&mut a);
+            }
+            m.snapshot()
+        };
+        assert_eq!(run(false), run(true), "heat must not perturb counters");
     }
 
     #[test]

@@ -22,22 +22,21 @@ pub mod push;
 pub mod reused;
 pub mod seqscan;
 pub mod sort;
+pub mod sysscan;
 
 use crate::arena::TupleSlot;
-use crate::cancel::CancelToken;
 use crate::context::ExecContext;
-use crate::fault::{self, FaultRegistry};
+use crate::fault;
 use crate::footprint::FootprintModel;
 use crate::obs::trace::{TraceEvent, TraceReport, Tracer};
 use crate::obs::{ProfiledOp, QueryProfile, QueryProfiler};
 use crate::plan::PlanNode;
 use crate::session::QueryOpts;
 use crate::stats::ExecStats;
-use bufferdb_cachesim::MachineConfig;
+use bufferdb_cachesim::{HeatSnapshot, MachineConfig};
 use bufferdb_storage::Catalog;
 use bufferdb_types::{DataType, Datum, DbError, Result, SchemaRef, Tuple};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
 
 /// Default live-slot window for an operator's output region when no buffer
 /// operator raised it: the consumer holds at most the current tuple while the
@@ -128,6 +127,7 @@ fn obs_label(plan: &PlanNode) -> String {
         PlanNode::SeqScan { table, .. } => format!("SeqScan({table})"),
         PlanNode::IndexScan { index, .. } => format!("IndexScan({index})"),
         PlanNode::ReusedScan { handle } => format!("ReusedScan({} rows)", handle.row_count()),
+        PlanNode::SysScan { table } => format!("SysScan({table})"),
         PlanNode::NestLoopJoin { .. } => "NestLoopJoin".to_string(),
         PlanNode::HashJoin { .. } => "HashJoin".to_string(),
         PlanNode::MergeJoin { .. } => "MergeJoin".to_string(),
@@ -186,6 +186,10 @@ fn build_rec(
             mode.clone(),
         )?),
         PlanNode::ReusedScan { handle } => Box::new(reused::ReusedScanOp::new(fm, handle.clone())),
+        PlanNode::SysScan { table } => Box::new(sysscan::SysScanOp::new(
+            table.clone(),
+            catalog.sys_table(table)?,
+        )),
         PlanNode::NestLoopJoin {
             outer,
             inner,
@@ -317,62 +321,6 @@ fn build_rec(
     })
 }
 
-/// Knobs for one query execution; the default is a serial, unprofiled run
-/// with no cancellation deadline and no armed faults.
-#[deprecated(
-    since = "0.9.0",
-    note = "use crate::session::QueryOpts — the one options type for \
-            execute_query, Session::query, Database, and both servers"
-)]
-#[derive(Clone)]
-pub struct ExecOptions {
-    /// Worker budget for intra-operator parallelism (hash-join build).
-    pub threads: usize,
-    /// Cancellation handle; clone it before the run to cancel from outside.
-    pub cancel: CancelToken,
-    /// Fault-injection registry (see [`crate::fault`]); empty = no faults.
-    pub faults: Arc<FaultRegistry>,
-    /// Collect a per-operator [`QueryProfile`].
-    pub profile: bool,
-    /// Record a flight-recorder [`TraceReport`] (see [`crate::obs::trace`]).
-    /// Off by default; a disabled recorder costs one `Option` check per
-    /// would-be event and adds no modeled instructions either way.
-    pub trace: bool,
-}
-
-#[allow(deprecated)]
-impl Default for ExecOptions {
-    fn default() -> Self {
-        ExecOptions {
-            threads: 1,
-            cancel: CancelToken::new(),
-            faults: Arc::new(FaultRegistry::new()),
-            profile: false,
-            trace: false,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl ExecOptions {
-    /// Convert to the unified [`QueryOpts`] (the migration shim).
-    pub fn into_query_opts(self) -> QueryOpts {
-        QueryOpts::new()
-            .threads(self.threads)
-            .cancel(self.cancel)
-            .faults(self.faults)
-            .profile(self.profile)
-            .trace(self.trace)
-    }
-}
-
-#[allow(deprecated)]
-impl From<ExecOptions> for QueryOpts {
-    fn from(opts: ExecOptions) -> QueryOpts {
-        opts.into_query_opts()
-    }
-}
-
 /// What one query execution produced — even when it failed.
 ///
 /// A clean run has [`QueryOutcome::error`] `None`; otherwise
@@ -393,6 +341,7 @@ pub struct QueryOutcome {
     profile: Option<QueryProfile>,
     error: Option<DbError>,
     trace: Option<TraceReport>,
+    heat: Option<HeatSnapshot>,
 }
 
 impl QueryOutcome {
@@ -410,7 +359,22 @@ impl QueryOutcome {
             profile,
             error,
             trace,
+            heat: None,
         }
+    }
+
+    /// Attach the per-segment L1i heatmap (executor-internal).
+    pub(crate) fn set_heat(&mut self, heat: HeatSnapshot) {
+        self.heat = Some(heat);
+    }
+
+    /// The per-segment L1i heatmap (when requested via
+    /// [`crate::session::QueryOpts::heatmap`]). Conservation holds exactly:
+    /// the snapshot's total misses equal [`ExecStats::counters`]'
+    /// `l1i_misses` for a serial run (worker cores' heat stays on their
+    /// machines).
+    pub fn heat(&self) -> Option<&HeatSnapshot> {
+        self.heat.as_ref()
     }
 
     /// Rows produced before completion or failure.
@@ -499,6 +463,9 @@ pub fn execute_query(
     if opts.wants_trace() {
         ctx.tracer = Some(Tracer::new("coordinator"));
     }
+    if opts.wants_heatmap() {
+        ctx.machine.enable_heatmap();
+    }
     let mut rows = Vec::new();
     let mut panicked = false;
     let error = match built {
@@ -547,7 +514,7 @@ pub fn execute_query(
     // the recorder's whole point.
     let trace = ctx.tracer.take().map(Tracer::finish);
     let row_count = rows.len() as u64;
-    QueryOutcome::new(
+    let mut out = QueryOutcome::new(
         rows,
         ExecStats {
             rows: row_count,
@@ -558,5 +525,9 @@ pub fn execute_query(
         profile,
         error,
         trace,
-    )
+    );
+    if opts.wants_heatmap() {
+        out.set_heat(ctx.machine.heat_snapshot());
+    }
+    out
 }

@@ -1,0 +1,158 @@
+//! Scan of a virtual `sys.*` introspection table.
+//!
+//! A [`SysScanOp`] is the executor leaf behind
+//! [`crate::plan::PlanNode::SysScan`]: it snapshots the provider's rows at
+//! `open` and hands them out one slot per `next` with **zero modeled cost**.
+//! Unlike every other leaf it executes no code region and models no memory
+//! reads — the rows are preloaded into the arena (free by construction, the
+//! same path reuse-cache replay uses) and yielded straight from the slot
+//! table. Introspection therefore cannot evict anyone's cached code or
+//! data: a query over `sys.queries` observes the server without perturbing
+//! the very counters it reports (the observer-effect-zero guarantee).
+//!
+//! The op still honors the cooperative protocol — cancellation checks and
+//! tuple-yield ticks — so sys scans stay preemptible under the server's
+//! quantum slicer.
+
+use crate::arena::TupleSlot;
+use crate::context::ExecContext;
+use crate::exec::{schema_slot_bytes, Operator};
+use bufferdb_storage::SysTableRef;
+use bufferdb_types::{Datum, DbError, Result, SchemaRef};
+
+/// Leaf operator over a virtual table provider.
+pub struct SysScanOp {
+    name: String,
+    provider: SysTableRef,
+    schema: SchemaRef,
+    slots: Vec<TupleSlot>,
+    pos: usize,
+}
+
+impl SysScanOp {
+    /// A scan leaf over `provider`, registered under `name`.
+    pub fn new(name: impl Into<String>, provider: SysTableRef) -> Self {
+        let schema = provider.schema();
+        SysScanOp {
+            name: name.into(),
+            provider,
+            schema,
+            slots: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl Operator for SysScanOp {
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn open(&mut self, ctx: &mut ExecContext) -> Result<()> {
+        // Snapshot once: the scan sees a consistent point-in-time state even
+        // if the engine keeps moving while downstream operators pull.
+        let rows = self.provider.snapshot();
+        let region = ctx
+            .arena
+            .alloc_unbounded_region(schema_slot_bytes(&self.schema));
+        self.slots.clear();
+        self.slots.reserve(rows.len());
+        for (i, t) in rows.into_iter().enumerate() {
+            if t.arity() != self.schema.len() {
+                return Err(DbError::ExecProtocol(format!(
+                    "sys table {} row {i} has {} columns, schema has {}",
+                    self.name,
+                    t.arity(),
+                    self.schema.len()
+                )));
+            }
+            self.slots.push(ctx.arena.preload(region, t));
+        }
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext) -> Result<Option<TupleSlot>> {
+        ctx.check_cancel()?;
+        if self.pos >= self.slots.len() {
+            return Ok(None);
+        }
+        let slot = self.slots[self.pos];
+        self.pos += 1;
+        // Yield-tick only: no exec_region, no arena read — the modeled
+        // machine never sees this scan.
+        ctx.tuple_yield();
+        Ok(Some(slot))
+    }
+
+    fn close(&mut self, _ctx: &mut ExecContext) -> Result<()> {
+        self.slots.clear();
+        Ok(())
+    }
+
+    fn rescan(&mut self, _ctx: &mut ExecContext, param: Option<&Datum>) -> Result<()> {
+        if param.is_some() {
+            return Err(DbError::ExecProtocol("sys scan takes no parameter".into()));
+        }
+        // Replay the snapshot taken at open — a rescan inside one query must
+        // see the same rows every pass.
+        self.pos = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bufferdb_cachesim::MachineConfig;
+    use bufferdb_storage::FnSysTable;
+    use bufferdb_types::{DataType, Field, Schema, Tuple};
+    use std::sync::Arc;
+
+    fn provider(n: i64) -> SysTableRef {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]).into_ref();
+        Arc::new(FnSysTable::new(schema, move || {
+            (0..n).map(|i| Tuple::new(vec![Datum::Int(i)])).collect()
+        }))
+    }
+
+    fn drain(op: &mut SysScanOp, ctx: &mut ExecContext) -> Vec<i64> {
+        let mut out = Vec::new();
+        while let Some(s) = op.next(ctx).unwrap() {
+            out.push(ctx.arena.tuple(s).get(0).as_int().unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn yields_snapshot_rows_in_order() {
+        let mut op = SysScanOp::new("sys.test", provider(5));
+        let mut ctx = ExecContext::new(MachineConfig::pentium4_like());
+        op.open(&mut ctx).unwrap();
+        assert_eq!(drain(&mut op, &mut ctx), vec![0, 1, 2, 3, 4]);
+        op.rescan(&mut ctx, None).unwrap();
+        assert_eq!(drain(&mut op, &mut ctx), vec![0, 1, 2, 3, 4]);
+        op.close(&mut ctx).unwrap();
+    }
+
+    #[test]
+    fn scan_is_invisible_to_the_modeled_machine() {
+        let mut op = SysScanOp::new("sys.test", provider(1000));
+        let mut ctx = ExecContext::new(MachineConfig::pentium4_like());
+        let before = ctx.machine.snapshot();
+        op.open(&mut ctx).unwrap();
+        drain(&mut op, &mut ctx);
+        op.close(&mut ctx).unwrap();
+        let after = ctx.machine.snapshot();
+        assert_eq!(before, after, "sys scan must model zero cost");
+    }
+
+    #[test]
+    fn parameterized_rescan_is_a_protocol_error() {
+        let mut op = SysScanOp::new("sys.test", provider(1));
+        let mut ctx = ExecContext::new(MachineConfig::pentium4_like());
+        op.open(&mut ctx).unwrap();
+        let err = op.rescan(&mut ctx, Some(&Datum::Int(3))).unwrap_err();
+        assert!(matches!(err, DbError::ExecProtocol(_)));
+    }
+}

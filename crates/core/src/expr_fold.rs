@@ -98,7 +98,7 @@ pub fn fold_plan(plan: &crate::plan::PlanNode) -> crate::plan::PlanNode {
             predicate: predicate.as_ref().map(fold_constants),
             projection: fold_proj(projection),
         },
-        P::IndexScan { .. } | P::ReusedScan { .. } => plan.clone(),
+        P::IndexScan { .. } | P::ReusedScan { .. } | P::SysScan { .. } => plan.clone(),
         P::NestLoopJoin {
             outer,
             inner,

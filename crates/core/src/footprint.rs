@@ -99,6 +99,12 @@ pub enum OpKind {
     IndexScan,
     /// Replay of a cached intermediate (subplan reuse cache).
     ReusedScan,
+    /// Scan of a virtual `sys.*` introspection table. Owns **no** code
+    /// segments: the snapshot is taken outside the simulated machine, so
+    /// introspection contributes nothing to any instruction footprint and
+    /// cannot evict anyone's cached code (the observer-effect-zero
+    /// guarantee the `sys.*` tests assert).
+    SysScan,
     /// Blocking sort.
     Sort,
     /// Nested-loop join node.
@@ -173,6 +179,7 @@ impl OpKind {
                 out.push(seg("common_rt", COMMON_RT));
                 out.push(seg("reused_core", REUSED_CORE));
             }
+            OpKind::SysScan => {}
             OpKind::Sort => {
                 out.push(seg("common_rt", COMMON_RT));
                 out.push(seg("sort_core", SORT_CORE));
@@ -438,6 +445,12 @@ mod tests {
         assert_eq!(OpKind::Limit.footprint_bytes(), 800 + 300);
         let block_scan = OpKind::Block(Box::new(OpKind::SeqScan { with_pred: true }));
         assert_eq!(block_scan.footprint_bytes(), 13_200 + 1100);
+    }
+
+    #[test]
+    fn sys_scan_has_zero_footprint() {
+        assert!(OpKind::SysScan.segments().is_empty());
+        assert_eq!(OpKind::SysScan.footprint_bytes(), 0);
     }
 
     #[test]

@@ -47,8 +47,6 @@ pub mod stats;
 pub use arena::{TupleArena, TupleSlot};
 pub use cancel::CancelToken;
 pub use context::ExecContext;
-#[allow(deprecated)]
-pub use exec::ExecOptions;
 pub use exec::{build_executor, execute_query, Operator, QueryOutcome};
 pub use expr::Expr;
 pub use fault::{FaultMode, FaultRegistry, Trigger};

@@ -1,0 +1,104 @@
+//! Prometheus text-exposition builder.
+//!
+//! One tiny, dependency-free writer for the [text exposition format]:
+//! `# HELP` / `# TYPE` headers followed by sample lines, optionally with
+//! `{label="value"}` pairs. Every exporter in the repo — the traffic
+//! observatory's time-series dump, [`crate::prepare::Database::prometheus_text`],
+//! and [`crate::server::virt::VirtualServer::prometheus_text`] — goes through
+//! this builder so the sections concatenate into one well-formed registry
+//! (no duplicate headers, consistent escaping).
+//!
+//! [text exposition format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+
+/// Incremental builder for one Prometheus exposition document.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+impl PromText {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emit the `# HELP` / `# TYPE` header pair for a metric family.
+    /// Call once per family, before its samples.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) -> &mut Self {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+        self
+    }
+
+    /// Emit one unlabelled sample.
+    pub fn sample(&mut self, name: &str, value: f64) -> &mut Self {
+        self.labelled(name, &[], value)
+    }
+
+    /// Emit one sample carrying `labels` as `(key, value)` pairs.
+    pub fn labelled(&mut self, name: &str, labels: &[(&str, &str)], value: f64) -> &mut Self {
+        let _ = write!(self.out, "{name}");
+        if !labels.is_empty() {
+            let body: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+                .collect();
+            let _ = write!(self.out, "{{{}}}", body.join(","));
+        }
+        if value.fract() == 0.0 && value.abs() < 9e15 {
+            let _ = writeln!(self.out, " {}", value as i64);
+        } else {
+            let _ = writeln!(self.out, " {value}");
+        }
+        self
+    }
+
+    /// Shorthand: header plus one unlabelled gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) -> &mut Self {
+        self.header(name, "gauge", help).sample(name, value)
+    }
+
+    /// Shorthand: header plus one unlabelled counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: f64) -> &mut Self {
+        self.header(name, "counter", help).sample(name, value)
+    }
+
+    /// The finished exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_headers_and_samples() {
+        let mut p = PromText::new();
+        p.counter("db_hits_total", "Cache hits.", 42.0);
+        p.header("db_seg_misses", "gauge", "Per-segment misses.")
+            .labelled("db_seg_misses", &[("segment", "exec.filter")], 7.0);
+        let text = p.finish();
+        assert!(text.contains("# HELP db_hits_total Cache hits.\n"));
+        assert!(text.contains("# TYPE db_hits_total counter\n"));
+        assert!(text.contains("db_hits_total 42\n"));
+        assert!(text.contains("db_seg_misses{segment=\"exec.filter\"} 7\n"));
+    }
+
+    #[test]
+    fn escapes_label_values_and_floats() {
+        let mut p = PromText::new();
+        p.labelled("m", &[("k", "a\"b\\c")], 0.5);
+        let text = p.finish();
+        assert!(text.contains("m{k=\"a\\\"b\\\\c\"} 0.5\n"), "{text}");
+    }
+}

@@ -15,6 +15,9 @@
 //! deterministic for a given seed and can be asserted in tests and CI.
 
 use super::timeseries::WindowSnapshot;
+use bufferdb_storage::{FnSysTable, SysTableRef};
+use bufferdb_types::{DataType, Datum, Field, Schema, Tuple};
+use std::sync::{Arc, Mutex};
 
 /// Objectives an [`SloTracker`] grades windows against.
 #[derive(Debug, Clone, PartialEq)]
@@ -155,6 +158,44 @@ impl SloTracker {
             failed_frac / self.cfg.window_budget
         }
     }
+}
+
+/// Build the `sys.slo_windows` provider over a shared tracker: one row per
+/// graded window (index, completions, errors, measured p95 and error rate,
+/// and the three verdict booleans). Register it under `"sys.slo_windows"`
+/// with [`bufferdb_storage::Catalog::register_sys_table`]; the workload
+/// driver keeps observing windows through the same `Arc<Mutex<…>>` and the
+/// table always reflects the latest verdicts.
+pub fn slo_windows_table(tracker: Arc<Mutex<SloTracker>>) -> SysTableRef {
+    let schema = Schema::new(vec![
+        Field::new("index", DataType::Int),
+        Field::new("completions", DataType::Int),
+        Field::new("errors", DataType::Int),
+        Field::new("p95_ns", DataType::Int),
+        Field::new("error_rate", DataType::Float),
+        Field::new("latency_ok", DataType::Bool),
+        Field::new("errors_ok", DataType::Bool),
+        Field::new("ok", DataType::Bool),
+    ])
+    .into_ref();
+    Arc::new(FnSysTable::new(schema, move || {
+        let t = tracker.lock().unwrap_or_else(|p| p.into_inner());
+        t.windows()
+            .iter()
+            .map(|w| {
+                Tuple::new(vec![
+                    Datum::Int(w.index as i64),
+                    Datum::Int(w.completions as i64),
+                    Datum::Int(w.errors as i64),
+                    Datum::Int(w.p95_ns as i64),
+                    Datum::Float(w.error_rate),
+                    Datum::Bool(w.latency_ok),
+                    Datum::Bool(w.errors_ok),
+                    Datum::Bool(w.ok()),
+                ])
+            })
+            .collect()
+    }))
 }
 
 #[cfg(test)]

@@ -146,6 +146,38 @@ pub enum TraceEvent {
     CancelObserved,
     /// A panic was contained on this track (`catch_unwind`).
     WorkerPanic,
+    /// A query waited for admission + its first core grant (span since
+    /// `start_ns` = arrival). Server flight recorder only.
+    QueryWait {
+        /// Submission id.
+        query: u64,
+        /// Arrival timestamp (span start).
+        start_ns: u64,
+    },
+    /// A query's drive ran start to finish (span since `start_ns` = first
+    /// grant). Server flight recorder only.
+    QueryRun {
+        /// Submission id.
+        query: u64,
+        /// Result rows produced.
+        rows: u64,
+        /// Whether the drive completed cleanly.
+        ok: bool,
+        /// First-grant timestamp (span start).
+        start_ns: u64,
+    },
+    /// One session-core quantum turn (span since `start_ns` = grant).
+    /// Each turn switches the shared machine to another resident's code
+    /// footprint; `cross_misses` is the L1i displacement this turn paid
+    /// for lines other queries evicted. Server flight recorder only.
+    CoreTurn {
+        /// The running query's cross-query attribution tag.
+        tag: u32,
+        /// Cross-query L1i misses charged during this turn.
+        cross_misses: u64,
+        /// Grant timestamp (span start).
+        start_ns: u64,
+    },
 }
 
 /// Internal: one argument value for the Perfetto `args` object.
@@ -174,6 +206,9 @@ impl TraceEvent {
             TraceEvent::FaultTrip { .. } => "fault.trip",
             TraceEvent::CancelObserved => "cancel.observed",
             TraceEvent::WorkerPanic => "worker.panic",
+            TraceEvent::QueryWait { .. } => "query.wait",
+            TraceEvent::QueryRun { .. } => "query.run",
+            TraceEvent::CoreTurn { .. } => "core.turn",
         }
     }
 
@@ -182,7 +217,10 @@ impl TraceEvent {
         match self {
             TraceEvent::MorselComplete { start_ns, .. }
             | TraceEvent::FillEnd { start_ns, .. }
-            | TraceEvent::BuildPartition { start_ns, .. } => Some(*start_ns),
+            | TraceEvent::BuildPartition { start_ns, .. }
+            | TraceEvent::QueryWait { start_ns, .. }
+            | TraceEvent::QueryRun { start_ns, .. }
+            | TraceEvent::CoreTurn { start_ns, .. } => Some(*start_ns),
             _ => None,
         }
     }
@@ -241,6 +279,20 @@ impl TraceEvent {
             TraceEvent::AdaptRollback | TraceEvent::AdaptFreeze => vec![],
             TraceEvent::FaultTrip { site } => vec![("site", Arg::S(site.clone()))],
             TraceEvent::CancelObserved | TraceEvent::WorkerPanic => vec![],
+            TraceEvent::QueryWait { query, .. } => vec![("query", Arg::U(*query))],
+            TraceEvent::QueryRun {
+                query, rows, ok, ..
+            } => vec![
+                ("query", Arg::U(*query)),
+                ("rows", Arg::U(*rows)),
+                ("ok", Arg::B(*ok)),
+            ],
+            TraceEvent::CoreTurn {
+                tag, cross_misses, ..
+            } => vec![
+                ("tag", Arg::U(*tag as u64)),
+                ("cross_misses", Arg::U(*cross_misses)),
+            ],
         }
     }
 }
@@ -346,7 +398,9 @@ pub struct TraceTrack {
 }
 
 impl TraceTrack {
-    fn from_ring(name: String, ring: TraceRing) -> Self {
+    /// Seal a ring into a finished track (used by the per-query tracer and
+    /// by the server flight recorder, whose rings live outside any tracer).
+    pub fn from_ring(name: String, ring: TraceRing) -> Self {
         TraceTrack {
             events: ring.events(),
             recorded: ring.recorded(),
@@ -470,6 +524,18 @@ pub struct TraceReport {
 }
 
 impl TraceReport {
+    /// Assemble a report from externally built tracks — the server flight
+    /// recorder stamps its rings with virtual (or wall) time itself, so the
+    /// report's clock is fresh and only used for later `record_instant`s.
+    pub fn from_tracks(tracks: Vec<TraceTrack>) -> Self {
+        TraceReport {
+            tracks,
+            instants: Vec::new(),
+            metrics: MetricsRegistry::new(),
+            clock: TraceClock::new(),
+        }
+    }
+
     /// Record a query-level instant stamped now (the report keeps the
     /// execution's clock, so post-execution decisions — plan-cache installs,
     /// rollbacks — land on the same time base).
@@ -585,6 +651,10 @@ impl TraceReport {
             let mut faults = 0u64;
             let mut cancels = 0u64;
             let mut panics = 0u64;
+            let mut waits = 0u64;
+            let mut runs = 0u64;
+            let mut turns = 0u64;
+            let mut turn_cross = 0u64;
             for ev in &track.events {
                 let a = ev.event.span_start_ns().unwrap_or(ev.ts_ns);
                 let (ca, cb) = (col(a, lo, span, WIDTH), col(ev.ts_ns, lo, span, WIDTH));
@@ -601,6 +671,12 @@ impl TraceReport {
                     TraceEvent::FaultTrip { .. } => faults += 1,
                     TraceEvent::CancelObserved => cancels += 1,
                     TraceEvent::WorkerPanic => panics += 1,
+                    TraceEvent::QueryWait { .. } => waits += 1,
+                    TraceEvent::QueryRun { .. } => runs += 1,
+                    TraceEvent::CoreTurn { cross_misses, .. } => {
+                        turns += 1;
+                        turn_cross += cross_misses;
+                    }
                     _ => {}
                 }
             }
@@ -624,6 +700,12 @@ impl TraceReport {
             }
             if panics > 0 {
                 notes.push(format!("panics contained {panics}"));
+            }
+            if waits + runs > 0 {
+                notes.push(format!("queries {waits} waited/{runs} ran"));
+            }
+            if turns > 0 {
+                notes.push(format!("turns {turns} ({turn_cross} cross misses)"));
             }
             let notes = if notes.is_empty() {
                 String::new()

@@ -251,7 +251,8 @@ fn mode_rec(plan: &PlanNode, cfg: &RefineConfig, policy: ExecModePolicy) -> Plan
         PlanNode::PushPipeline { .. }
         | PlanNode::SeqScan { .. }
         | PlanNode::IndexScan { .. }
-        | PlanNode::ReusedScan { .. } => plan.clone(),
+        | PlanNode::ReusedScan { .. }
+        | PlanNode::SysScan { .. } => plan.clone(),
     }
 }
 

@@ -156,7 +156,8 @@ fn rec(
         | PlanNode::PushPipeline { .. }
         | PlanNode::SeqScan { .. }
         | PlanNode::IndexScan { .. }
-        | PlanNode::ReusedScan { .. } => plan.clone(),
+        | PlanNode::ReusedScan { .. }
+        | PlanNode::SysScan { .. } => plan.clone(),
     })
 }
 

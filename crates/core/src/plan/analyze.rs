@@ -23,9 +23,10 @@ use std::fmt::Write as _;
 /// exclusive modeled-time share. Buffer nodes additionally report their
 /// fill/occupancy/drain gauges.
 pub fn explain_analyze(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) -> Result<String> {
-    let opts = QueryOpts::new().profile(true).trace(true);
+    let opts = QueryOpts::new().profile(true).trace(true).heatmap(true);
     let mut outcome = execute_query(plan, catalog, cfg, &opts);
     let trace = outcome.take_trace();
+    let heat = outcome.heat().cloned();
     let (rows, stats, profile) = outcome.into_result()?;
     let profile = profile.expect("profiling was requested");
     let mut out = String::new();
@@ -51,6 +52,14 @@ pub fn explain_analyze(plan: &PlanNode, catalog: &Catalog, cfg: &MachineConfig) 
         out.push_str("flight recorder:\n");
         for line in trace.summary().lines() {
             let _ = writeln!(out, "  {line}");
+        }
+    }
+    if let Some(heat) = heat {
+        if !heat.cells.is_empty() {
+            out.push_str("i-cache heatmap:\n");
+            for line in heat.render(32).lines() {
+                let _ = writeln!(out, "  {line}");
+            }
         }
     }
     Ok(out)

@@ -58,6 +58,11 @@ pub fn estimate_rows(plan: &PlanNode, catalog: &Catalog) -> f64 {
         }
         // A reused scan's cardinality is exact: the rows are already there.
         PlanNode::ReusedScan { handle } => handle.row_count() as f64,
+        // Sys tables are tiny; the provider hint is best-effort.
+        PlanNode::SysScan { table } => match catalog.sys_table(table) {
+            Ok(p) => p.approx_rows() as f64,
+            Err(_) => 0.0,
+        },
         PlanNode::NestLoopJoin {
             outer,
             inner,

@@ -34,6 +34,7 @@ pub fn node_label(node: &PlanNode) -> String {
         PlanNode::ReusedScan { handle } => {
             format!("ReusedScan ({} cached rows)", handle.row_count())
         }
+        PlanNode::SysScan { table } => format!("SysScan on {table} (zero modeled cost)"),
         PlanNode::NestLoopJoin { fk_inner, qual, .. } => {
             let fk = if *fk_inner { " (fk inner)" } else { "" };
             match qual {

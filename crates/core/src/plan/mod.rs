@@ -205,6 +205,16 @@ pub enum PlanNode {
         /// Handle to the cached rows (shared with the cache).
         handle: ReuseHandle,
     },
+    /// Scan of a virtual `sys.*` introspection table. The provider snapshots
+    /// live engine state (scheduler queues, plan caches, cache-segment heat)
+    /// at open; rows flow through the normal operator protocol but the scan
+    /// has **zero modeled cost** — no instruction footprint
+    /// ([`OpKind::SysScan`] owns no segments) and no simulated memory
+    /// traffic — so introspection never perturbs what it observes.
+    SysScan {
+        /// Virtual table name, e.g. `"sys.queries"`.
+        table: String,
+    },
     /// Executor-mode marker: run the wrapped pipeline on the push-based
     /// backend, batch-at-a-time, as ONE fused code region (scan → filters/
     /// projects → optional hash-join probes → optional terminal aggregate).
@@ -254,7 +264,10 @@ impl PlanNode {
     /// Children, left-to-right.
     pub fn children(&self) -> Vec<&PlanNode> {
         match self {
-            PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } | PlanNode::ReusedScan { .. } => {
+            PlanNode::SeqScan { .. }
+            | PlanNode::IndexScan { .. }
+            | PlanNode::ReusedScan { .. }
+            | PlanNode::SysScan { .. } => {
                 vec![]
             }
             PlanNode::NestLoopJoin { outer, inner, .. } => vec![outer, inner],
@@ -281,6 +294,7 @@ impl PlanNode {
             },
             PlanNode::IndexScan { .. } => OpKind::IndexScan,
             PlanNode::ReusedScan { .. } => OpKind::ReusedScan,
+            PlanNode::SysScan { .. } => OpKind::SysScan,
             PlanNode::NestLoopJoin { .. } => OpKind::NestLoop,
             PlanNode::HashJoin { .. } => OpKind::HashProbe,
             PlanNode::MergeJoin { .. } => OpKind::MergeJoin,
@@ -405,6 +419,7 @@ impl PlanNode {
             }
             PlanNode::Limit { input, .. } => input.output_schema(catalog),
             PlanNode::ReusedScan { handle } => Ok(handle.schema()),
+            PlanNode::SysScan { table } => Ok(catalog.sys_table(table)?.schema()),
             PlanNode::Materialize { input } => input.output_schema(catalog),
             PlanNode::PushPipeline { input } => input.output_schema(catalog),
             PlanNode::Exchange { input, workers } => {

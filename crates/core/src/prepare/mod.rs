@@ -32,6 +32,7 @@ pub use reuse::{
 };
 
 use crate::exec::QueryOutcome;
+use crate::obs::prom::PromText;
 use crate::obs::trace::TraceEvent;
 use crate::optimizer::{choose_pipeline_modes, ExecModePolicy};
 use crate::parallel::parallelize_plan;
@@ -39,8 +40,8 @@ use crate::plan::PlanNode;
 use crate::refine::{refine_plan, RefineConfig};
 use crate::session::{QueryOpts, Session};
 use bufferdb_cachesim::MachineConfig;
-use bufferdb_storage::Catalog;
-use bufferdb_types::Result;
+use bufferdb_storage::{Catalog, FnSysTable};
+use bufferdb_types::{DataType, Datum, Field, Result, Schema, Tuple};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -206,6 +207,172 @@ impl Database {
     /// The refinement configuration prepares run under.
     pub fn refine_config(&self) -> &RefineConfig {
         &self.refine_cfg
+    }
+
+    /// Register this database's `sys.*` introspection tables in its own
+    /// catalog:
+    ///
+    /// * `sys.plan_cache` — one row per resident [`CacheEntry`]
+    ///   (fingerprint, stats epoch, adaptive generation, lookup hits, and
+    ///   the physical plan's buffer-operator count);
+    /// * `sys.reuse_cache` — one row per live materialized intermediate
+    ///   (key, rows, exact bytes, replay hits, modeled recompute/replay
+    ///   cycles and the benefit gate).
+    ///
+    /// Providers capture `Arc` handles to the caches, snapshot under their
+    /// short internal locks, and run as zero-footprint
+    /// [`PlanNode::SysScan`] leaves — introspecting the caches never adds
+    /// modeled cycles or perturbs hit counters (registration bumps the
+    /// stats epoch once, like any other catalog change).
+    pub fn install_sys_tables(&self) {
+        let plan_schema = Schema::new(vec![
+            Field::new("fingerprint", DataType::Str),
+            Field::new("epoch", DataType::Int),
+            Field::new("generation", DataType::Int),
+            Field::new("hits", DataType::Int),
+            Field::new("buffers", DataType::Int),
+        ])
+        .into_ref();
+        let cache = Arc::clone(&self.cache);
+        self.catalog().register_sys_table(
+            "sys.plan_cache",
+            Arc::new(FnSysTable::new(plan_schema, move || {
+                cache
+                    .entries()
+                    .iter()
+                    .map(|e| {
+                        Tuple::new(vec![
+                            Datum::str(format!("{:#018x}", e.fingerprint().raw())),
+                            Datum::Int(e.epoch() as i64),
+                            Datum::Int(e.generation() as i64),
+                            Datum::Int(e.hits() as i64),
+                            Datum::Int(e.physical_plan().buffer_count() as i64),
+                        ])
+                    })
+                    .collect()
+            })),
+        );
+
+        let reuse_schema = Schema::new(vec![
+            Field::new("key", DataType::Str),
+            Field::new("rows", DataType::Int),
+            Field::new("bytes", DataType::Int),
+            Field::new("hits", DataType::Int),
+            Field::new("recompute_cycles", DataType::Int),
+            Field::new("replay_cycles", DataType::Int),
+            Field::new("benefit_cycles", DataType::Int),
+            Field::new("beneficial", DataType::Bool),
+        ])
+        .into_ref();
+        let reuse = Arc::clone(&self.reuse);
+        self.catalog().register_sys_table(
+            "sys.reuse_cache",
+            Arc::new(FnSysTable::new(reuse_schema, move || {
+                reuse
+                    .entries()
+                    .iter()
+                    .map(|h| {
+                        Tuple::new(vec![
+                            Datum::str(format!("{:#018x}", h.key())),
+                            Datum::Int(h.row_count() as i64),
+                            Datum::Int(h.bytes() as i64),
+                            Datum::Int(h.hits() as i64),
+                            Datum::Int(h.recompute_cycles() as i64),
+                            Datum::Int(h.replay_cycles() as i64),
+                            Datum::Int(
+                                h.recompute_cycles().saturating_sub(h.replay_cycles()) as i64
+                            ),
+                            Datum::Bool(h.beneficial()),
+                        ])
+                    })
+                    .collect()
+            })),
+        );
+    }
+
+    /// Render the plan-cache, reuse-cache, and adaptive-loop counters in
+    /// Prometheus text exposition under `prefix` (e.g.
+    /// `bufferdb_plancache_hits_total`). Shares the [`PromText`] registry
+    /// conventions with the traffic observatory's series dump and
+    /// [`crate::server::virt::VirtualServer::prometheus_text`], so sections
+    /// concatenate into one well-formed scrape body.
+    pub fn prometheus_text(&self, prefix: &str) -> String {
+        let mut p = PromText::new();
+        let cs = self.cache.stats();
+        let c = |n: &str| format!("{prefix}_plancache_{n}");
+        p.counter(&c("hits_total"), "Plan-cache lookup hits.", cs.hits as f64);
+        p.counter(
+            &c("misses_total"),
+            "Plan-cache lookup misses.",
+            cs.misses as f64,
+        );
+        p.counter(
+            &c("evictions_total"),
+            "Plan-cache capacity evictions.",
+            cs.evictions as f64,
+        );
+        p.counter(
+            &c("invalidations_total"),
+            "Plan-cache stale-epoch invalidations.",
+            cs.invalidations as f64,
+        );
+        p.gauge(
+            &c("entries"),
+            "Resident plan-cache entries.",
+            cs.entries as f64,
+        );
+        let ad = self.cache.adapt_stats();
+        let a = |n: &str| format!("{prefix}_adapt_{n}");
+        p.counter(
+            &a("installs_total"),
+            "Adapted plans installed.",
+            ad.installs as f64,
+        );
+        p.counter(
+            &a("validations_total"),
+            "Adapted plans validated.",
+            ad.validations as f64,
+        );
+        p.counter(
+            &a("rollbacks_total"),
+            "Adapted plans rolled back.",
+            ad.rollbacks as f64,
+        );
+        p.counter(
+            &a("freezes_total"),
+            "Plan entries frozen.",
+            ad.freezes as f64,
+        );
+        let rs = self.reuse.stats();
+        let r = |n: &str| format!("{prefix}_reuse_{n}");
+        p.counter(
+            &r("lookups_total"),
+            "Reuse-cache subtree lookups.",
+            rs.lookups as f64,
+        );
+        p.counter(&r("hits_total"), "Reuse-cache splice hits.", rs.hits as f64);
+        p.counter(
+            &r("installs_total"),
+            "Reuse-cache installs.",
+            rs.installs as f64,
+        );
+        p.counter(
+            &r("evictions_total"),
+            "Reuse-cache benefit-ranked evictions.",
+            rs.evictions as f64,
+        );
+        p.gauge(
+            &r("entries"),
+            "Live reuse-cache entries.",
+            rs.entries as f64,
+        );
+        p.gauge(&r("bytes"), "Live reuse-cache bytes.", rs.bytes as f64);
+        p.counter(
+            &r("cycles_saved_total"),
+            "Modeled cycles saved by replaying cached intermediates.",
+            rs.cycles_saved as f64,
+        );
+        p.finish()
     }
 
     /// Set the default worker budget for subsequent prepares/executions.

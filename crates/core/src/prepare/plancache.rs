@@ -41,6 +41,7 @@ pub struct CacheEntry {
     generation: AtomicU64,
     adapt: Mutex<AdaptState>,
     last_used: AtomicU64,
+    hits: AtomicU64,
 }
 
 impl CacheEntry {
@@ -53,6 +54,7 @@ impl CacheEntry {
             generation: AtomicU64::new(0),
             adapt: Mutex::new(AdaptState::default()),
             last_used: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
         }
     }
 
@@ -79,6 +81,11 @@ impl CacheEntry {
     /// How many times adaptation has replaced the physical plan.
     pub fn generation(&self) -> u64 {
         self.generation.load(Ordering::Acquire)
+    }
+
+    /// How many cache lookups returned this entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the adaptive-refinement state.
@@ -249,6 +256,7 @@ impl PlanCache {
         match inner.map.get(&fp.raw()) {
             Some(entry) => {
                 entry.last_used.store(tick, Ordering::Relaxed);
+                entry.hits.fetch_add(1, Ordering::Relaxed);
                 let entry = Arc::clone(entry);
                 drop(inner);
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -333,6 +341,18 @@ impl PlanCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Snapshot every resident entry, ordered by raw fingerprint for
+    /// deterministic iteration. Backs the `sys.plan_cache` table.
+    pub fn entries(&self) -> Vec<Arc<CacheEntry>> {
+        let mut out: Vec<Arc<CacheEntry>> = self
+            .shards
+            .iter()
+            .flat_map(|s| lock(s).map.values().cloned().collect::<Vec<_>>())
+            .collect();
+        out.sort_by_key(|e| e.fingerprint().raw());
+        out
     }
 
     /// Snapshot the monotonic counters plus current occupancy.

@@ -117,6 +117,11 @@ impl PartialEq for ReuseHandle {
 }
 
 impl ReuseHandle {
+    /// The cache key this entry was installed under.
+    pub fn key(&self) -> u64 {
+        self.0.key
+    }
+
     /// The cached output schema.
     pub fn schema(&self) -> SchemaRef {
         self.0.schema.clone()
@@ -431,6 +436,19 @@ impl ReuseCache {
         self.len() == 0
     }
 
+    /// Snapshot every live entry as a shared handle, ordered by key for
+    /// deterministic iteration. Backs the `sys.reuse_cache` table.
+    pub fn entries(&self) -> Vec<ReuseHandle> {
+        let mut out: Vec<ReuseHandle> = self
+            .lock()
+            .entries
+            .values()
+            .map(|e| ReuseHandle(Arc::clone(e)))
+            .collect();
+        out.sort_by_key(ReuseHandle::key);
+        out
+    }
+
     /// Snapshot of the cache counters (exact byte accounting: `bytes` is
     /// the sum of `rows × slot width` over live entries).
     pub fn stats(&self) -> ReuseStats {
@@ -475,10 +493,14 @@ fn splice_rec(
 ) -> PlanNode {
     // Leaves that can never be cheaper cached than executed are not even
     // looked up (a ReusedScan of a SeqScan's rows replays the same data
-    // with the same read loop; the scan itself is the floor).
+    // with the same read loop; the scan itself is the floor). Sys scans are
+    // excluded too: a cached replay of live telemetry would be stale.
     let consult = !matches!(
         node,
-        PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } | PlanNode::ReusedScan { .. }
+        PlanNode::SeqScan { .. }
+            | PlanNode::IndexScan { .. }
+            | PlanNode::ReusedScan { .. }
+            | PlanNode::SysScan { .. }
     );
     if consult {
         if let Some(handle) = cache.lookup(reuse_key(node, machine, epoch)) {
@@ -489,7 +511,9 @@ fn splice_rec(
     use PlanNode as P;
     let rec = |n: &PlanNode, s: &mut u64| splice_rec(n, cache, machine, epoch, s);
     match node {
-        P::SeqScan { .. } | P::IndexScan { .. } | P::ReusedScan { .. } => node.clone(),
+        P::SeqScan { .. } | P::IndexScan { .. } | P::ReusedScan { .. } | P::SysScan { .. } => {
+            node.clone()
+        }
         P::NestLoopJoin {
             outer,
             inner,
@@ -585,27 +609,39 @@ fn splice_rec(
 pub fn eligible_subtrees(plan: &PlanNode) -> Vec<&PlanNode> {
     // Mirror of the splice-side consult rule: a bare scan leaf is never
     // looked up at splice time, so installing one would only burn budget.
+    // Any subtree *containing* a sys scan is also excluded: its rows are a
+    // snapshot of live engine state, and a cached replay would freeze it.
     fn consultable(n: &PlanNode) -> bool {
         !matches!(
             n,
-            PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } | PlanNode::ReusedScan { .. }
+            PlanNode::SeqScan { .. }
+                | PlanNode::IndexScan { .. }
+                | PlanNode::ReusedScan { .. }
+                | PlanNode::SysScan { .. }
         )
+    }
+    fn contains_sys_scan(n: &PlanNode) -> bool {
+        matches!(n, PlanNode::SysScan { .. }) || n.children().iter().any(|c| contains_sys_scan(c))
     }
     fn rec<'p>(n: &'p PlanNode, out: &mut Vec<&'p PlanNode>) {
         match n {
             PlanNode::HashJoin { probe, build, .. } => {
-                if consultable(build) {
+                if consultable(build) && !contains_sys_scan(build) {
                     out.push(build);
                 }
                 rec(probe, out);
                 rec(build, out);
             }
             PlanNode::Aggregate { input, .. } => {
-                out.push(n);
+                if !contains_sys_scan(n) {
+                    out.push(n);
+                }
                 rec(input, out);
             }
             PlanNode::Materialize { input } => {
-                out.push(n);
+                if !contains_sys_scan(n) {
+                    out.push(n);
+                }
                 rec(input, out);
             }
             PlanNode::NestLoopJoin {

@@ -132,6 +132,10 @@ impl Refiner<'_> {
                 (node.clone(), Some(vec![node.op_kind()]))
             }
 
+            // A sys scan has no instruction footprint, so buffering above it
+            // can never pay for itself: treat it as a group boundary.
+            PlanNode::SysScan { .. } => (node.clone(), None),
+
             PlanNode::Aggregate {
                 input,
                 group_by,

@@ -42,7 +42,10 @@ use crate::exec::exchange::{ExchangeDelegate, PhaseOutcome, PhaseRequest};
 use crate::exec::{build_executor_with, Operator, QueryOutcome};
 use crate::fault::{self, FaultRegistry};
 use crate::footprint::FootprintModel;
-use crate::obs::trace::{TraceEvent, Tracer};
+use crate::obs::trace::{
+    TimedEvent, TraceClock, TraceEvent, TraceReport, TraceRing, TraceTrack, Tracer,
+    DEFAULT_RING_CAPACITY,
+};
 use crate::obs::QueryProfiler;
 use crate::plan::PlanNode;
 use crate::session::QueryOpts;
@@ -104,6 +107,73 @@ pub struct ServerStats {
     pub units: u64,
     /// Units claimed from a shard other than the claimant's preferred one.
     pub steals: u64,
+}
+
+/// The always-on server flight recorder: two continuous rings spanning the
+/// whole server run — one for query lifecycle spans
+/// ([`TraceEvent::QueryWait`] / [`TraceEvent::QueryRun`]), one for
+/// session-core activity ([`TraceEvent::CoreTurn`] on the virtual server).
+/// Unlike the per-query [`Tracer`], these rings outlive individual queries,
+/// so cross-query effects (a burst of admissions, one query's turns
+/// displacing another's cache state) land on one shared timeline.
+///
+/// The owning server stamps every event itself: virtual nanoseconds on
+/// [`virt::VirtualServer`], wall nanoseconds (via the internal clock) on
+/// the threaded [`Server`]. Recording is a ring store — no simulated code
+/// executes, so an observed server retires exactly the same modeled
+/// instructions as an unobserved one.
+pub struct ServerRecorder {
+    clock: TraceClock,
+    queries: TraceRing,
+    core: TraceRing,
+}
+
+impl ServerRecorder {
+    /// A recorder with default-capacity rings, clock origin now.
+    pub fn new() -> Self {
+        ServerRecorder::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A recorder with explicit per-ring capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        ServerRecorder {
+            clock: TraceClock::new(),
+            queries: TraceRing::with_capacity(cap),
+            core: TraceRing::with_capacity(cap),
+        }
+    }
+
+    /// Wall nanoseconds since the recorder was created (the threaded
+    /// server's time base; the virtual server uses its own clock).
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Record a query-lifecycle event at an explicit timestamp.
+    pub fn record_query(&mut self, ts_ns: u64, event: TraceEvent) {
+        self.queries.push(TimedEvent { ts_ns, event });
+    }
+
+    /// Record a session-core event at an explicit timestamp.
+    pub fn record_core(&mut self, ts_ns: u64, event: TraceEvent) {
+        self.core.push(TimedEvent { ts_ns, event });
+    }
+
+    /// Seal into a [`TraceReport`]: `server.queries` and `server.core`
+    /// tracks on one shared timeline, renderable with
+    /// [`TraceReport::perfetto_json`] or [`TraceReport::summary`].
+    pub fn finish(self) -> TraceReport {
+        TraceReport::from_tracks(vec![
+            TraceTrack::from_ring("server.queries".into(), self.queries),
+            TraceTrack::from_ring("server.core".into(), self.core),
+        ])
+    }
+}
+
+impl Default for ServerRecorder {
+    fn default() -> Self {
+        ServerRecorder::new()
+    }
 }
 
 #[derive(Default)]
@@ -327,6 +397,11 @@ pub(crate) fn run_drive(
 
 /// An admitted-or-waiting query on the threaded server.
 struct Job {
+    /// Submission id (monotonic per server), echoed in recorder spans.
+    id: u64,
+    /// Wall timestamp at submit on the recorder's clock (0 when the
+    /// recorder is off).
+    arrival_ns: u64,
     spec: DriveSpec,
     reply: mpsc::Sender<QueryOutcome>,
 }
@@ -345,6 +420,8 @@ struct Shared {
     shutdown: AtomicBool,
     next_tag: AtomicU32,
     stats: StatCells,
+    /// Server-scoped flight recorder; `None` until enabled.
+    recorder: Mutex<Option<ServerRecorder>>,
 }
 
 impl Shared {
@@ -428,6 +505,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             next_tag: AtomicU32::new(1),
             stats: StatCells::default(),
+            recorder: Mutex::new(None),
         });
         let handles = (0..cfg.workers)
             .map(|w| {
@@ -440,6 +518,24 @@ impl Server {
             master: FootprintModel::prelinked(),
             handles,
         }
+    }
+
+    /// Switch on the always-on flight recorder. Spans for queries already
+    /// in flight are not back-filled — enable before submitting for a
+    /// complete timeline. Idempotent (re-enabling keeps the current rings).
+    pub fn enable_flight_recorder(&self) {
+        let mut rec = lock(&self.shared.recorder);
+        if rec.is_none() {
+            *rec = Some(ServerRecorder::new());
+        }
+    }
+
+    /// Seal and take the server flight recorder's report, switching
+    /// recording off. `None` when it was never enabled.
+    pub fn finish_recorder(&self) -> Option<TraceReport> {
+        lock(&self.shared.recorder)
+            .take()
+            .map(ServerRecorder::finish)
     }
 
     /// Scheduler counters so far.
@@ -479,7 +575,13 @@ impl Server {
         let faults = opts.resolve_faults();
         let tag = self.shared.next_tag.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
+        let id = self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let arrival_ns = lock(&self.shared.recorder)
+            .as_ref()
+            .map_or(0, ServerRecorder::now_ns);
         let job = Job {
+            id,
+            arrival_ns,
             spec: DriveSpec {
                 root,
                 labels: if opts.wants_profile() {
@@ -495,7 +597,6 @@ impl Server {
             },
             reply: tx,
         };
-        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
         lock(&self.shared.state).waiting.push_back(job);
         self.shared.cv.notify_all();
         Ok(QueryTicket {
@@ -504,21 +605,6 @@ impl Server {
             tag,
             cfg: self.shared.cfg.machine.clone(),
         })
-    }
-
-    /// [`Server::submit`] with a caller-supplied fault registry.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use Server::submit(SubmitSpec::new(plan, catalog).opts(opts.faults(...)))"
-    )]
-    pub fn submit_with_faults(
-        &self,
-        plan: &PlanNode,
-        catalog: &Catalog,
-        opts: &QueryOpts,
-        faults: Arc<FaultRegistry>,
-    ) -> Result<QueryTicket> {
-        self.submit(SubmitSpec::new(plan, catalog).opts(opts.clone().faults(faults)))
     }
 }
 
@@ -579,7 +665,37 @@ fn worker_loop(w: usize, shared: &Arc<Shared>) {
                 tag: job.spec.tag,
                 hint: w,
             });
+            // Wait span: arrival (at submit) → first run (now).
+            let run_start_ns = {
+                let mut rec = lock(&shared.recorder);
+                rec.as_mut().map(|r| {
+                    let now = r.now_ns();
+                    r.record_query(
+                        now,
+                        TraceEvent::QueryWait {
+                            query: job.id,
+                            start_ns: job.arrival_ns.min(now),
+                        },
+                    );
+                    now
+                })
+            };
             let out = run_drive(job.spec, &mut machine, delegate, &shared.cfg.machine);
+            if let Some(start_ns) = run_start_ns {
+                let mut rec = lock(&shared.recorder);
+                if let Some(r) = rec.as_mut() {
+                    let now = r.now_ns();
+                    r.record_query(
+                        now,
+                        TraceEvent::QueryRun {
+                            query: job.id,
+                            rows: out.rows().len() as u64,
+                            ok: out.is_ok(),
+                            start_ns,
+                        },
+                    );
+                }
+            }
             shared.stats.completed.fetch_add(1, Ordering::Relaxed);
             if !out.is_ok() {
                 shared.stats.failed.fetch_add(1, Ordering::Relaxed);

@@ -45,19 +45,22 @@
 //! the threaded server (cancel before submission or arm a fault site).
 
 use super::phase::PhaseState;
-use super::{lock, run_drive, DriveAccounting, DriveSpec, ServerConfig, ServerStats, SubmitSpec};
+use super::{
+    lock, run_drive, DriveAccounting, DriveSpec, ServerConfig, ServerRecorder, ServerStats,
+    SubmitSpec,
+};
 use crate::cancel::CancelToken;
 use crate::context::{CoreSlicer, ExecContext};
 use crate::exec::exchange::{ExchangeDelegate, PhaseOutcome, PhaseRequest};
 use crate::exec::{build_executor_with, QueryOutcome};
 use crate::fault::FaultRegistry;
 use crate::footprint::FootprintModel;
+use crate::obs::prom::PromText;
+use crate::obs::trace::{TraceEvent, TraceReport};
 use crate::obs::QueryProfiler;
-use crate::plan::PlanNode;
-use crate::session::QueryOpts;
-use bufferdb_cachesim::{CodeLayout, Machine, MachineConfig, PerfCounters};
-use bufferdb_storage::Catalog;
-use bufferdb_types::{DbError, Result};
+use bufferdb_cachesim::{CodeLayout, HeatSnapshot, Machine, MachineConfig, PerfCounters};
+use bufferdb_storage::{Catalog, FnSysTable};
+use bufferdb_types::{DataType, Datum, DbError, Field, Result, Schema, Tuple};
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Mutex};
@@ -256,6 +259,34 @@ struct VJob {
 struct VWorker {
     machine: Option<Machine>,
     vclock: u64,
+    /// Morsel units this core has run (surfaced by `sys.workers`).
+    units: u64,
+}
+
+/// Completed queries retained for `sys.queries` introspection (bounded).
+const QUERY_LOG_CAP: usize = 1024;
+
+/// One completed query's row in the bounded introspection log.
+struct QueryLogEntry {
+    id: u64,
+    tag: u32,
+    arrival_ns: u64,
+    start_ns: u64,
+    done_ns: u64,
+    rows: u64,
+    ok: bool,
+    l1i_misses: u64,
+    l1i_cross_misses: u64,
+}
+
+/// A query currently admitted (its drive thread is live), mirrored into
+/// [`VCore`] so `sys.queries` can list running queries without reaching
+/// into the scheduler's resident table.
+struct RunningInfo {
+    id: u64,
+    tag: u32,
+    arrival_ns: u64,
+    start_ns: Option<u64>,
 }
 
 /// State shared with drive threads (they push phases; the stepper reads
@@ -277,6 +308,28 @@ struct VCore {
     steals: u64,
     completed: u64,
     failed: u64,
+    /// Session-core quantum grants processed (turn switches).
+    turns: u64,
+    /// Phase units run inline on the session core (`workers == 1`).
+    core_units: u64,
+    /// Whether the heat ledger is enabled (replacement machines installed
+    /// by `fail_resident` must inherit it).
+    heatmap: bool,
+    /// The always-on server flight recorder; `None` until enabled.
+    recorder: Option<ServerRecorder>,
+    /// Admitted queries, mirrored for `sys.queries`.
+    running: Vec<RunningInfo>,
+    /// Bounded log of completed queries for `sys.queries`.
+    log: VecDeque<QueryLogEntry>,
+}
+
+impl VCore {
+    fn push_log(&mut self, entry: QueryLogEntry) {
+        if self.log.len() == QUERY_LOG_CAP {
+            self.log.pop_front();
+        }
+        self.log.push_back(entry);
+    }
 }
 
 /// A query admitted onto the session core: its parked drive thread plus
@@ -332,6 +385,7 @@ impl VirtualServer {
                     .map(|_| VWorker {
                         machine: Some(Machine::new(cfg.machine.clone())),
                         vclock: 0,
+                        units: 0,
                     })
                     .collect(),
                 waiting: VecDeque::new(),
@@ -342,6 +396,12 @@ impl VirtualServer {
                 steals: 0,
                 completed: 0,
                 failed: 0,
+                turns: 0,
+                core_units: 0,
+                heatmap: false,
+                recorder: None,
+                running: Vec::new(),
+                log: VecDeque::new(),
             })),
             residents: Vec::new(),
             free: Vec::new(),
@@ -428,45 +488,6 @@ impl VirtualServer {
         Ok(id)
     }
 
-    /// Queue `plan` at `arrival_ns` with default cancellation.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use VirtualServer::submit(SubmitSpec::new(plan, catalog).at(arrival_ns))"
-    )]
-    pub fn submit_at(
-        &mut self,
-        arrival_ns: u64,
-        plan: &PlanNode,
-        catalog: &Catalog,
-        opts: &QueryOpts,
-    ) -> Result<u64> {
-        self.submit(
-            SubmitSpec::new(plan, catalog)
-                .at(arrival_ns)
-                .opts(opts.clone()),
-        )
-    }
-
-    /// Queue `plan` at `arrival_ns` with a caller-held cancel token.
-    #[deprecated(
-        since = "0.9.0",
-        note = "use VirtualServer::submit(SubmitSpec::new(plan, catalog).at(...).opts(opts.cancel(token)))"
-    )]
-    pub fn submit_with_cancel(
-        &mut self,
-        arrival_ns: u64,
-        plan: &PlanNode,
-        catalog: &Catalog,
-        opts: &QueryOpts,
-        cancel: CancelToken,
-    ) -> Result<u64> {
-        self.submit(
-            SubmitSpec::new(plan, catalog)
-                .at(arrival_ns)
-                .opts(opts.clone().cancel(cancel)),
-        )
-    }
-
     /// Allocate the next cross-query attribution tag. Tag 0 is the
     /// cachesim's "untagged" sentinel and is never handed out; neither is
     /// any tag still held by a live resident or a queued submission —
@@ -551,7 +572,14 @@ impl VirtualServer {
             handle: Some(handle),
         });
         self.ring.push_back(slot);
-        lock(&self.core).active += 1;
+        let mut c = lock(&self.core);
+        c.active += 1;
+        c.running.push(RunningInfo {
+            id,
+            tag,
+            arrival_ns: arrival,
+            start_ns: None,
+        });
     }
 
     /// A phase just completed: unregister it, credit its steals, and wake
@@ -583,6 +611,21 @@ impl VirtualServer {
             };
             if r.start_v.is_none() {
                 r.start_v = Some(turn_v);
+                // First grant ends the wait: admission queueing + any core
+                // contention between arrival and this turn.
+                let (id, arrival) = (r.id, r.arrival);
+                if let Some(rec) = c.recorder.as_mut() {
+                    rec.record_query(
+                        turn_v,
+                        TraceEvent::QueryWait {
+                            query: id,
+                            start_ns: arrival.min(turn_v),
+                        },
+                    );
+                }
+                if let Some(ri) = c.running.iter_mut().find(|ri| ri.id == id) {
+                    ri.start_ns = Some(turn_v);
+                }
             }
             let Some(m) = c.core_machine.take() else {
                 // The session machine is home whenever no turn is in flight.
@@ -600,6 +643,7 @@ impl VirtualServer {
             lock(&self.core).core_machine = Some(machine);
             return;
         };
+        let turn_tag = resident.tag;
         if let Err(mpsc::SendError(machine)) = resident.turn_tx.send(machine) {
             // Drive thread died without yielding (it never starts without a
             // grant, so this is the post-drop path of an abandoned thread).
@@ -620,6 +664,17 @@ impl VirtualServer {
         c.core_v += to_ns(cycles, c.clock_hz);
         c.core_machine = Some(msg.machine);
         let now_v = c.core_v;
+        c.turns += 1;
+        if let Some(rec) = c.recorder.as_mut() {
+            rec.record_core(
+                now_v,
+                TraceEvent::CoreTurn {
+                    tag: turn_tag,
+                    cross_misses: delta.l1i_cross_misses,
+                    start_ns: turn_v,
+                },
+            );
+        }
         match msg.why {
             DriveYield::Quantum => {
                 if let Some(r) = self.residents[slot].as_mut() {
@@ -649,11 +704,36 @@ impl VirtualServer {
                 if !outcome.is_ok() {
                     c.failed += 1;
                 }
+                let start_ns = r.start_v.unwrap_or(now_v);
+                let counters = outcome.stats().counters;
+                if let Some(rec) = c.recorder.as_mut() {
+                    rec.record_query(
+                        now_v,
+                        TraceEvent::QueryRun {
+                            query: r.id,
+                            rows: outcome.rows().len() as u64,
+                            ok: outcome.is_ok(),
+                            start_ns,
+                        },
+                    );
+                }
+                c.running.retain(|ri| ri.id != r.id);
+                c.push_log(QueryLogEntry {
+                    id: r.id,
+                    tag: r.tag,
+                    arrival_ns: r.arrival,
+                    start_ns,
+                    done_ns: now_v,
+                    rows: outcome.rows().len() as u64,
+                    ok: outcome.is_ok(),
+                    l1i_misses: counters.l1i_misses,
+                    l1i_cross_misses: counters.l1i_cross_misses,
+                });
                 c.finished.push(CompletedQuery {
                     id: r.id,
                     tag: r.tag,
                     arrival_ns: r.arrival,
-                    start_ns: r.start_v.unwrap_or(now_v),
+                    start_ns,
                     done_ns: now_v,
                     outcome: *outcome,
                 });
@@ -676,18 +756,48 @@ impl VirtualServer {
         let counters = PerfCounters::default();
         // Restore the granted machine, or install a cold replacement when it
         // was lost with a dead drive thread, so the core is never machineless.
-        let machine = machine.unwrap_or_else(|| Machine::new(c.cfg.clone()));
+        let machine = machine.unwrap_or_else(|| {
+            let mut m = Machine::new(c.cfg.clone());
+            if c.heatmap {
+                m.enable_heatmap();
+            }
+            m
+        });
         let breakdown = machine.breakdown_for(&counters);
         c.core_machine = Some(machine);
         c.active -= 1;
         c.completed += 1;
         c.failed += 1;
         let now_v = c.core_v;
+        let start_ns = r.start_v.unwrap_or(now_v);
+        if let Some(rec) = c.recorder.as_mut() {
+            rec.record_query(
+                now_v,
+                TraceEvent::QueryRun {
+                    query: r.id,
+                    rows: 0,
+                    ok: false,
+                    start_ns,
+                },
+            );
+        }
+        c.running.retain(|ri| ri.id != r.id);
+        c.push_log(QueryLogEntry {
+            id: r.id,
+            tag: r.tag,
+            arrival_ns: r.arrival,
+            start_ns,
+            done_ns: now_v,
+            rows: 0,
+            ok: false,
+            l1i_misses: 0,
+            l1i_cross_misses: 0,
+        });
         c.finished.push(CompletedQuery {
             id: r.id,
             tag: r.tag,
             arrival_ns: r.arrival,
-            start_ns: r.start_v.unwrap_or(now_v),
+            start_ns,
             done_ns: now_v,
             outcome: QueryOutcome::new(
                 Vec::new(),
@@ -769,11 +879,13 @@ impl VirtualServer {
         let ns = to_ns(cycles, c.clock_hz);
         let end = if on_core {
             c.core_v += ns;
+            c.core_units += 1;
             c.core_machine = Some(machine);
             c.core_v
         } else {
             let wk = &mut c.pool[w];
             wk.vclock += ns;
+            wk.units += 1;
             wk.machine = Some(machine);
             wk.vclock
         };
@@ -878,6 +990,355 @@ impl VirtualServer {
             units: c.units,
             steals: c.steals,
         }
+    }
+
+    /// Session-core quantum grants processed so far.
+    pub fn turns(&self) -> u64 {
+        lock(&self.core).turns
+    }
+
+    /// Enable the per-segment L1i heat ledger on the session core and every
+    /// pool core. Enable **before the first submission** for exact miss
+    /// conservation (Σ heat-cell misses == Σ machine `l1i_misses`);
+    /// attribution adds zero modeled cost either way. Idempotent.
+    pub fn enable_heatmap(&mut self) {
+        let mut c = lock(&self.core);
+        c.heatmap = true;
+        if let Some(m) = c.core_machine.as_mut() {
+            m.enable_heatmap();
+        }
+        for w in c.pool.iter_mut() {
+            if let Some(m) = w.machine.as_mut() {
+                m.enable_heatmap();
+            }
+        }
+    }
+
+    /// The merged server-wide heatmap: the session core's ledger folded
+    /// with every pool core's. Call between [`VirtualServer::run_until`]
+    /// steps (all machines are home then); a machine away on a live drive
+    /// turn contributes nothing until it comes home. Empty when
+    /// [`VirtualServer::enable_heatmap`] was never called.
+    pub fn heatmap(&self) -> HeatSnapshot {
+        let c = lock(&self.core);
+        let mut snap = HeatSnapshot::default();
+        if let Some(m) = c.core_machine.as_ref() {
+            snap.merge(&m.heat_snapshot());
+        }
+        for w in &c.pool {
+            if let Some(m) = w.machine.as_ref() {
+                snap.merge(&m.heat_snapshot());
+            }
+        }
+        snap
+    }
+
+    /// Machine-total counters summed over the session core and pool cores —
+    /// the conservation denominator the heatmap is checked against.
+    pub fn machine_counters(&self) -> PerfCounters {
+        let c = lock(&self.core);
+        let mut total = PerfCounters::default();
+        if let Some(m) = c.core_machine.as_ref() {
+            total = total + m.snapshot();
+        }
+        for w in &c.pool {
+            if let Some(m) = w.machine.as_ref() {
+                total = total + m.snapshot();
+            }
+        }
+        total
+    }
+
+    /// Switch on the always-on server flight recorder (admission waits,
+    /// per-query runs, session-core quantum turns with their cross-miss
+    /// charge), stamped in virtual nanoseconds. Idempotent.
+    pub fn enable_flight_recorder(&mut self) {
+        let mut c = lock(&self.core);
+        if c.recorder.is_none() {
+            c.recorder = Some(ServerRecorder::new());
+        }
+    }
+
+    /// Seal and take the server flight recorder's report (one timeline for
+    /// the whole server run), switching recording off. `None` when it was
+    /// never enabled.
+    pub fn finish_recorder(&mut self) -> Option<TraceReport> {
+        lock(&self.core).recorder.take().map(ServerRecorder::finish)
+    }
+
+    /// Register this server's `sys.*` introspection tables in `catalog`:
+    ///
+    /// * `sys.queries` — waiting, running, and completed queries with their
+    ///   wait/run timelines and L1i (cross-)miss totals (completed rows are
+    ///   retained in a bounded log of the most recent 1024);
+    /// * `sys.workers` — per-core virtual clocks, turn/unit counts, and
+    ///   carried L1i state;
+    /// * `sys.cache_segments` — the per-segment heatmap rollup (empty until
+    ///   [`VirtualServer::enable_heatmap`]).
+    ///
+    /// Providers snapshot under the scheduler lock *between* turns and
+    /// execute as zero-footprint [`crate::plan::PlanNode::SysScan`] leaves,
+    /// so a query over them adds exactly zero modeled cycles or misses to
+    /// anything it observes — including other queries running on this very
+    /// server (the observer-effect-zero invariant `tests/observatory.rs`
+    /// asserts).
+    pub fn install_sys_tables(&self, catalog: &Catalog) {
+        let queries_schema = Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("state", DataType::Str),
+            Field::new("tag", DataType::Int),
+            Field::new("arrival_ns", DataType::Int),
+            Field::nullable("start_ns", DataType::Int),
+            Field::nullable("done_ns", DataType::Int),
+            Field::nullable("wait_ns", DataType::Int),
+            Field::nullable("run_ns", DataType::Int),
+            Field::nullable("rows", DataType::Int),
+            Field::nullable("ok", DataType::Bool),
+            Field::nullable("l1i_misses", DataType::Int),
+            Field::nullable("l1i_cross_misses", DataType::Int),
+        ])
+        .into_ref();
+        let core = Arc::clone(&self.core);
+        catalog.register_sys_table(
+            "sys.queries",
+            Arc::new(
+                FnSysTable::new(queries_schema, move || {
+                    let c = lock(&core);
+                    let int = |v: u64| Datum::Int(v as i64);
+                    let mut rows = Vec::new();
+                    for j in &c.waiting {
+                        rows.push(Tuple::new(vec![
+                            int(j.id),
+                            Datum::str("waiting"),
+                            int(j.spec.tag as u64),
+                            int(j.arrival),
+                            Datum::Null,
+                            Datum::Null,
+                            Datum::Null,
+                            Datum::Null,
+                            Datum::Null,
+                            Datum::Null,
+                            Datum::Null,
+                            Datum::Null,
+                        ]));
+                    }
+                    for ri in &c.running {
+                        rows.push(Tuple::new(vec![
+                            int(ri.id),
+                            Datum::str("running"),
+                            int(ri.tag as u64),
+                            int(ri.arrival_ns),
+                            ri.start_ns.map_or(Datum::Null, int),
+                            Datum::Null,
+                            ri.start_ns
+                                .map_or(Datum::Null, |s| int(s.saturating_sub(ri.arrival_ns))),
+                            Datum::Null,
+                            Datum::Null,
+                            Datum::Null,
+                            Datum::Null,
+                            Datum::Null,
+                        ]));
+                    }
+                    for e in &c.log {
+                        rows.push(Tuple::new(vec![
+                            int(e.id),
+                            Datum::str("done"),
+                            int(e.tag as u64),
+                            int(e.arrival_ns),
+                            int(e.start_ns),
+                            int(e.done_ns),
+                            int(e.start_ns.saturating_sub(e.arrival_ns)),
+                            int(e.done_ns.saturating_sub(e.start_ns)),
+                            int(e.rows),
+                            Datum::Bool(e.ok),
+                            int(e.l1i_misses),
+                            int(e.l1i_cross_misses),
+                        ]));
+                    }
+                    rows.sort_by_key(|t| t.get(0).as_int());
+                    rows
+                })
+                .with_approx_rows(16),
+            ),
+        );
+
+        let workers_schema = Schema::new(vec![
+            Field::new("core", DataType::Str),
+            Field::new("vclock_ns", DataType::Int),
+            Field::new("turns", DataType::Int),
+            Field::new("units", DataType::Int),
+            Field::new("resident", DataType::Bool),
+            Field::nullable("l1i_misses", DataType::Int),
+            Field::nullable("l1i_cross_misses", DataType::Int),
+        ])
+        .into_ref();
+        let core = Arc::clone(&self.core);
+        catalog.register_sys_table(
+            "sys.workers",
+            Arc::new(
+                FnSysTable::new(workers_schema, move || {
+                    let c = lock(&core);
+                    let int = |v: u64| Datum::Int(v as i64);
+                    let carried = |m: Option<&Machine>| match m {
+                        // `resident == false` means the machine is away on a
+                        // live drive turn; its counters come home with it.
+                        Some(m) => {
+                            let s = m.snapshot();
+                            (
+                                Datum::Bool(true),
+                                int(s.l1i_misses),
+                                int(s.l1i_cross_misses),
+                            )
+                        }
+                        None => (Datum::Bool(false), Datum::Null, Datum::Null),
+                    };
+                    let mut rows = Vec::new();
+                    let (res, misses, cross) = carried(c.core_machine.as_ref());
+                    rows.push(Tuple::new(vec![
+                        Datum::str("session"),
+                        int(c.core_v),
+                        int(c.turns),
+                        int(c.core_units),
+                        res,
+                        misses,
+                        cross,
+                    ]));
+                    for (i, w) in c.pool.iter().enumerate() {
+                        let (res, misses, cross) = carried(w.machine.as_ref());
+                        rows.push(Tuple::new(vec![
+                            Datum::str(format!("pool-{i}")),
+                            int(w.vclock),
+                            Datum::Int(0),
+                            int(w.units),
+                            res,
+                            misses,
+                            cross,
+                        ]));
+                    }
+                    rows
+                })
+                .with_approx_rows(1 + lock(&self.core).pool.len() as u64),
+            ),
+        );
+
+        let segments_schema = Schema::new(vec![
+            Field::new("segment", DataType::Str),
+            Field::new("misses", DataType::Int),
+            Field::new("cross_misses", DataType::Int),
+            Field::new("evictions", DataType::Int),
+            Field::new("cross_caused", DataType::Int),
+        ])
+        .into_ref();
+        let core = Arc::clone(&self.core);
+        catalog.register_sys_table(
+            "sys.cache_segments",
+            Arc::new(FnSysTable::new(segments_schema, move || {
+                let c = lock(&core);
+                let mut snap = HeatSnapshot::default();
+                if let Some(m) = c.core_machine.as_ref() {
+                    snap.merge(&m.heat_snapshot());
+                }
+                for w in &c.pool {
+                    if let Some(m) = w.machine.as_ref() {
+                        snap.merge(&m.heat_snapshot());
+                    }
+                }
+                snap.by_segment()
+                    .into_iter()
+                    .map(|(seg, cell)| {
+                        Tuple::new(vec![
+                            Datum::str(seg),
+                            Datum::Int(cell.misses as i64),
+                            Datum::Int(cell.cross_misses as i64),
+                            Datum::Int(cell.evictions as i64),
+                            Datum::Int(cell.cross_caused as i64),
+                        ])
+                    })
+                    .collect()
+            })),
+        );
+    }
+
+    /// Render scheduler and i-cache gauges in Prometheus text exposition
+    /// under `prefix` (e.g. `bufferdb_server_completed_total`). Per-segment
+    /// heat appears as labelled samples when
+    /// [`VirtualServer::enable_heatmap`] is on. Concatenates cleanly with
+    /// [`crate::prepare::Database::prometheus_text`] and the traffic
+    /// observatory's series dump — one builder, one set of conventions.
+    pub fn prometheus_text(&self, prefix: &str) -> String {
+        let mut p = PromText::new();
+        let s = self.stats();
+        let n = |name: &str| format!("{prefix}_server_{name}");
+        p.counter(
+            &n("submitted_total"),
+            "Queries admitted.",
+            s.submitted as f64,
+        );
+        p.counter(
+            &n("completed_total"),
+            "Queries completed.",
+            s.completed as f64,
+        );
+        p.counter(&n("failed_total"), "Queries failed.", s.failed as f64);
+        p.counter(&n("units_total"), "Morsel units executed.", s.units as f64);
+        p.counter(
+            &n("steals_total"),
+            "Cross-worker morsel steals.",
+            s.steals as f64,
+        );
+        let (turns, core_v, waiting, running) = {
+            let c = lock(&self.core);
+            (c.turns, c.core_v, c.waiting.len(), c.running.len())
+        };
+        p.counter(
+            &n("turns_total"),
+            "Session-core quantum turns.",
+            turns as f64,
+        );
+        p.counter(
+            &n("core_vns_total"),
+            "Session-core virtual nanoseconds.",
+            core_v as f64,
+        );
+        p.gauge(
+            &n("waiting"),
+            "Queries queued for admission.",
+            waiting as f64,
+        );
+        p.gauge(&n("running"), "Queries currently resident.", running as f64);
+        let mc = self.machine_counters();
+        p.counter(
+            &n("l1i_misses_total"),
+            "Modeled L1i misses across all cores.",
+            mc.l1i_misses as f64,
+        );
+        p.counter(
+            &n("l1i_cross_misses_total"),
+            "Modeled L1i misses caused by cross-query eviction.",
+            mc.l1i_cross_misses as f64,
+        );
+        let heat = self.heatmap();
+        if !heat.cells.is_empty() {
+            let m = n("segment_misses_total");
+            p.header(
+                &m,
+                "counter",
+                "Modeled L1i misses attributed per code segment.",
+            );
+            let x = n("segment_cross_misses_total");
+            for (seg, cell) in heat.by_segment() {
+                p.labelled(&m, &[("segment", &seg)], cell.misses as f64);
+            }
+            p.header(
+                &x,
+                "counter",
+                "Cross-query L1i misses attributed per code segment.",
+            );
+            for (seg, cell) in heat.by_segment() {
+                p.labelled(&x, &[("segment", &seg)], cell.cross_misses as f64);
+            }
+        }
+        p.finish()
     }
 }
 

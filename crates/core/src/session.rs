@@ -76,6 +76,7 @@ impl ReusePolicy {
 pub struct QueryOpts {
     profile: bool,
     trace: bool,
+    heatmap: bool,
     threads: Option<usize>,
     timeout: Option<Duration>,
     cancel: Option<CancelToken>,
@@ -99,6 +100,14 @@ impl QueryOpts {
     /// [`crate::obs::trace`]; adds zero modeled cost, off by default).
     pub fn trace(mut self, on: bool) -> Self {
         self.trace = on;
+        self
+    }
+
+    /// Request a per-segment L1i heatmap on the outcome
+    /// ([`bufferdb_cachesim::HeatSnapshot`]; attribution adds zero modeled
+    /// cost, off by default).
+    pub fn heatmap(mut self, on: bool) -> Self {
+        self.heatmap = on;
         self
     }
 
@@ -144,6 +153,11 @@ impl QueryOpts {
     /// Whether a flight-recorder trace was requested.
     pub fn wants_trace(&self) -> bool {
         self.trace
+    }
+
+    /// Whether a per-segment L1i heatmap was requested.
+    pub fn wants_heatmap(&self) -> bool {
+        self.heatmap
     }
 
     /// The thread override, if any.

@@ -1,5 +1,6 @@
 //! The catalog: named tables and indexes, plus simulated-address allocation.
 
+use crate::systable::SysTableRef;
 use crate::table::{Table, TableBuilder};
 use bufferdb_index::BTreeIndex;
 use bufferdb_types::{DbError, Result};
@@ -37,10 +38,12 @@ pub struct IndexDef {
 /// simulated-address allocator is a lock-free atomic (registration computes
 /// sizes *before* reserving), which leaves `tables` and `indexes` as the
 /// only locks; neither is ever taken while the other is held.
-#[derive(Debug)]
 pub struct Catalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
     indexes: RwLock<HashMap<String, Arc<IndexDef>>>,
+    /// Virtual `sys.*` introspection tables: providers snapshot live engine
+    /// state on scan and occupy no simulated address space.
+    sys_tables: RwLock<HashMap<String, SysTableRef>>,
     next_addr: AtomicU64,
     /// Statistics epoch: bumped on every table/index registration (and by
     /// [`Catalog::bump_stats_epoch`]) so plan caches keyed on the epoch can
@@ -54,12 +57,26 @@ impl Default for Catalog {
     }
 }
 
+// Manual impl: `dyn SysTableProvider` is not `Debug`; show registry names.
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Catalog")
+            .field("tables", &self.tables)
+            .field("indexes", &self.indexes)
+            .field("sys_tables", &self.sys_table_names())
+            .field("next_addr", &self.next_addr)
+            .field("stats_epoch", &self.stats_epoch)
+            .finish()
+    }
+}
+
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> Self {
         Catalog {
             tables: RwLock::new(HashMap::new()),
             indexes: RwLock::new(HashMap::new()),
+            sys_tables: RwLock::new(HashMap::new()),
             next_addr: AtomicU64::new(DATA_BASE),
             stats_epoch: AtomicU64::new(0),
         }
@@ -138,6 +155,35 @@ impl Catalog {
     /// Names of all registered tables (unordered).
     pub fn table_names(&self) -> Vec<String> {
         self.tables.read().unwrap().keys().cloned().collect()
+    }
+
+    /// Register (or replace) a virtual `sys.*` table. Registration bumps the
+    /// stats epoch like any other schema change so cached plans that resolved
+    /// the old provider's schema are re-optimized.
+    pub fn register_sys_table(&self, name: impl Into<String>, provider: SysTableRef) {
+        self.sys_tables
+            .write()
+            .unwrap()
+            .insert(name.into(), provider);
+        self.bump_stats_epoch();
+    }
+
+    /// Look up a virtual table by name (same Arc-clone-inside-guard
+    /// discipline as [`Catalog::table`]).
+    pub fn sys_table(&self, name: &str) -> Result<SysTableRef> {
+        self.sys_tables
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::UnknownRelation(name.to_string()))
+    }
+
+    /// Names of all registered virtual tables, sorted.
+    pub fn sys_table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.sys_tables.read().unwrap().keys().cloned().collect();
+        names.sort();
+        names
     }
 }
 

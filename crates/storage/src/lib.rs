@@ -11,8 +11,10 @@
 
 pub mod catalog;
 pub mod stats;
+pub mod systable;
 pub mod table;
 
 pub use catalog::{Catalog, IndexDef};
 pub use stats::TableStats;
+pub use systable::{FnSysTable, SysTableProvider, SysTableRef};
 pub use table::{RowId, Table, TableBuilder};

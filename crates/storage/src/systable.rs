@@ -1,0 +1,97 @@
+//! Virtual `sys.*` introspection tables.
+//!
+//! A [`SysTableProvider`] turns live engine telemetry (scheduler state, plan
+//! caches, cache-segment heat) into rows on demand. Providers register in
+//! the [`crate::Catalog`] under dotted `sys.` names and are scanned by the
+//! executor's `SysScan` leaf exactly like heap tables — filters, projections,
+//! aggregates and `explain_analyze` all compose over them — but the snapshot
+//! is taken outside the simulated machine, so introspection adds **zero
+//! modeled cost** to anything it observes.
+
+use bufferdb_types::{SchemaRef, Tuple};
+use std::sync::Arc;
+
+/// A source of rows for one `sys.*` table.
+///
+/// `snapshot` must be cheap and must never block on locks held across query
+/// execution (providers snapshot under short internal locks and return owned
+/// rows). Row order should be deterministic for a given engine state so
+/// introspection queries are reproducible.
+pub trait SysTableProvider: Send + Sync {
+    /// Fixed output schema.
+    fn schema(&self) -> SchemaRef;
+
+    /// Materialize the current state as rows matching [`Self::schema`].
+    fn snapshot(&self) -> Vec<Tuple>;
+
+    /// Row-count hint for the planner's cardinality estimate (introspection
+    /// tables are tiny; 0 means "unknown/small").
+    fn approx_rows(&self) -> u64 {
+        0
+    }
+}
+
+/// Shared handle to a registered provider.
+pub type SysTableRef = Arc<dyn SysTableProvider>;
+
+/// A provider built from closures — convenient for engine components that
+/// just need to capture a few `Arc`s.
+pub struct FnSysTable<F: Fn() -> Vec<Tuple> + Send + Sync> {
+    schema: SchemaRef,
+    rows: F,
+    approx: u64,
+}
+
+impl<F: Fn() -> Vec<Tuple> + Send + Sync> FnSysTable<F> {
+    /// A provider with `schema` whose snapshot calls `rows`.
+    pub fn new(schema: SchemaRef, rows: F) -> Self {
+        FnSysTable {
+            schema,
+            rows,
+            approx: 0,
+        }
+    }
+
+    /// Set the planner row-count hint.
+    pub fn with_approx_rows(mut self, n: u64) -> Self {
+        self.approx = n;
+        self
+    }
+}
+
+impl<F: Fn() -> Vec<Tuple> + Send + Sync> SysTableProvider for FnSysTable<F> {
+    fn schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn snapshot(&self) -> Vec<Tuple> {
+        (self.rows)()
+    }
+
+    fn approx_rows(&self) -> u64 {
+        self.approx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bufferdb_types::{DataType, Datum, Field, Schema};
+
+    #[test]
+    fn fn_provider_snapshots_live_state() {
+        use std::sync::atomic::{AtomicI64, Ordering};
+        let counter = Arc::new(AtomicI64::new(0));
+        let schema = Schema::new(vec![Field::new("n", DataType::Int)]).into_ref();
+        let c = Arc::clone(&counter);
+        let p = FnSysTable::new(schema.clone(), move || {
+            vec![Tuple::new(vec![Datum::Int(c.load(Ordering::Relaxed))])]
+        })
+        .with_approx_rows(1);
+        assert_eq!(p.schema(), schema);
+        assert_eq!(p.approx_rows(), 1);
+        assert_eq!(p.snapshot()[0].get(0).as_int(), Some(0));
+        counter.store(42, Ordering::Relaxed);
+        assert_eq!(p.snapshot()[0].get(0).as_int(), Some(42));
+    }
+}

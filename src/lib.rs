@@ -43,18 +43,19 @@ pub use bufferdb_types as types;
 /// integration tests, and bench harness need without deep `crates/...`
 /// paths.
 pub mod prelude {
-    pub use bufferdb_cachesim::{BreakdownReport, CacheConfig, MachineConfig, PerfCounters};
+    pub use bufferdb_cachesim::{
+        BreakdownReport, CacheConfig, HeatCell, HeatSnapshot, MachineConfig, PerfCounters,
+    };
     pub use bufferdb_core::cancel::CancelToken;
-    #[allow(deprecated)]
-    pub use bufferdb_core::exec::ExecOptions;
     pub use bufferdb_core::exec::{execute_query, QueryOutcome};
     pub use bufferdb_core::expr::Expr;
     pub use bufferdb_core::fault::{FaultMode, FaultRegistry, Trigger};
     pub use bufferdb_core::footprint::{FootprintModel, OpKind};
+    pub use bufferdb_core::obs::slo::slo_windows_table;
     pub use bufferdb_core::obs::{
         BufferGauges, ExchangeLane, HistSummary, Histogram, MetricsRegistry, ObsId, OpStats,
-        QueryProfile, SloConfig, SloTracker, SloWindow, TimeSeries, TimeSeriesRegistry, TraceEvent,
-        TraceReport, Tracer, WindowSnapshot,
+        PromText, QueryProfile, SloConfig, SloTracker, SloWindow, TimeSeries, TimeSeriesRegistry,
+        TraceEvent, TraceReport, Tracer, WindowSnapshot,
     };
     pub use bufferdb_core::optimizer::{choose_pipeline_modes, ExecModePolicy};
     pub use bufferdb_core::parallel::parallelize_plan;
@@ -70,11 +71,15 @@ pub mod prelude {
         refine_plan, refine_plan_observed, ObservedCards, RefineConfig,
     };
     pub use bufferdb_core::server::virt::{CompletedQuery, VirtualServer};
-    pub use bufferdb_core::server::{QueryTicket, Server, ServerConfig, ServerStats, SubmitSpec};
+    pub use bufferdb_core::server::{
+        QueryTicket, Server, ServerConfig, ServerRecorder, ServerStats, SubmitSpec,
+    };
     pub use bufferdb_core::session::{QueryOpts, ReusePolicy, Session};
     pub use bufferdb_core::stats::ExecStats;
     pub use bufferdb_index::BTreeIndex;
-    pub use bufferdb_storage::{Catalog, IndexDef, Table, TableBuilder};
+    pub use bufferdb_storage::{
+        Catalog, FnSysTable, IndexDef, SysTableProvider, SysTableRef, Table, TableBuilder,
+    };
     pub use bufferdb_types::{
         DataType, Date, Datum, DbError, Decimal, Field, Result, Schema, Tuple,
     };
